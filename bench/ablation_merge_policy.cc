@@ -1,0 +1,69 @@
+// Ablation A1: how much does the localized structure-value Delta metric
+// (Sec. 4.1) matter? Compares three phase-1 merge policies at equal
+// budgets:
+//   * delta      — the paper's marginal-loss heuristic over the localized
+//                  structure-value clustering metric;
+//   * count-only — the same heuristic with value summaries ignored
+//                  (a TreeSketch-style purely structural metric);
+//   * random     — uniformly random label/type-compatible merges
+//                  (averaged over 3 seeds).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace xcluster {
+namespace {
+
+double ErrorFor(const bench::Experiment& experiment,
+                const BuildOptions& options) {
+  GraphSynopsis synopsis =
+      XClusterBuild(experiment.reference, options, nullptr);
+  std::vector<double> estimates =
+      bench::EstimateAll(synopsis, experiment.workload);
+  return EvaluateErrors(experiment.workload, estimates).overall.avg_rel_error;
+}
+
+void Report(const std::string& name) {
+  bench::Experiment experiment = bench::Setup(name);
+  std::printf("%s\n", name.c_str());
+  std::printf("%8s | %8s | %10s | %8s\n", "Bstr(KB)", "delta", "count-only",
+              "random");
+  for (size_t budget :
+       {size_t{0}, size_t{5 * 1024}, size_t{15 * 1024}, size_t{30 * 1024}}) {
+    if (budget > experiment.reference.StructuralBytes()) break;
+    BuildOptions options;
+    options.structural_budget = budget;
+    options.value_budget = bench::ValueBudgetFor(experiment);
+
+    options.policy = MergePolicy::kLocalizedDelta;
+    const double guided = ErrorFor(experiment, options);
+
+    options.policy = MergePolicy::kCountOnly;
+    const double count_only = ErrorFor(experiment, options);
+
+    options.policy = MergePolicy::kRandom;
+    double random_error = 0.0;
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      options.seed = seed;
+      random_error += ErrorFor(experiment, options);
+    }
+    random_error /= 3.0;
+
+    std::printf("%8zu | %7.1f%% | %9.1f%% | %7.1f%%\n", budget / 1024,
+                bench::Pct(guided), bench::Pct(count_only),
+                bench::Pct(random_error));
+    std::printf("CSV,ablation_merge,%s,%zu,%.4f,%.4f,%.4f\n", name.c_str(),
+                budget, guided, count_only, random_error);
+  }
+}
+
+}  // namespace
+}  // namespace xcluster
+
+int main() {
+  std::printf("Ablation: merge-policy comparison (overall avg rel error)\n");
+  xcluster::Report("IMDB");
+  xcluster::Report("XMark");
+  return 0;
+}

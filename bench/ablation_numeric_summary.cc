@@ -1,0 +1,78 @@
+// Ablation A5: alternative NUMERIC value summaries. Sec. 3 names
+// histograms, wavelets, and random sampling as interchangeable numeric
+// summarization tools ("our ideas can easily be extended to other
+// techniques"). This experiment runs the full pipeline (reference
+// construction -> XCLUSTERBUILD -> estimation) three times, switching only
+// the numeric summary kind, and reports the numeric-predicate error across
+// the budget sweep.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace xcluster {
+namespace {
+
+const char* KindName(NumericSummaryKind kind) {
+  switch (kind) {
+    case NumericSummaryKind::kHistogram:
+      return "histogram";
+    case NumericSummaryKind::kWavelet:
+      return "wavelet";
+    case NumericSummaryKind::kSample:
+      return "sample";
+  }
+  return "?";
+}
+
+void Report(const std::string& name) {
+  std::printf("%s\n", name.c_str());
+  std::printf("%10s | %9s | %9s | %9s\n", "Bstr(KB)", "histogram",
+              "wavelet", "sample");
+
+  // One experiment per kind; the workload comes from the histogram run so
+  // all three kinds answer identical queries.
+  bench::Experiment base = bench::Setup(name);
+  const size_t value_budget = bench::ValueBudgetFor(base);
+
+  for (size_t budget : {size_t{0}, size_t{4 * 1024}, size_t{16 * 1024}}) {
+    double errors[3] = {0.0, 0.0, 0.0};
+    int i = 0;
+    for (NumericSummaryKind kind :
+         {NumericSummaryKind::kHistogram, NumericSummaryKind::kWavelet,
+          NumericSummaryKind::kSample}) {
+      ReferenceOptions ref_options;
+      ref_options.value_paths = base.dataset.value_paths;
+      ref_options.numeric_summary = kind;
+      GraphSynopsis reference =
+          BuildReferenceSynopsis(base.dataset.doc, ref_options);
+      BuildOptions options;
+      options.structural_budget = budget;
+      options.value_budget = value_budget;
+      GraphSynopsis synopsis = XClusterBuild(reference, options, nullptr);
+      std::vector<double> estimates =
+          bench::EstimateAll(synopsis, base.workload);
+      ErrorReport report = EvaluateErrors(base.workload, estimates);
+      auto it = report.by_class.find("Numeric");
+      errors[i++] =
+          it == report.by_class.end() ? 0.0 : it->second.avg_rel_error;
+    }
+    std::printf("%10zu | %8.1f%% | %8.1f%% | %8.1f%%\n", budget / 1024,
+                bench::Pct(errors[0]), bench::Pct(errors[1]),
+                bench::Pct(errors[2]));
+    std::printf("CSV,ablation_numeric,%s,%zu,%.4f,%.4f,%.4f\n", name.c_str(),
+                budget, errors[0], errors[1], errors[2]);
+  }
+  (void)KindName;
+}
+
+}  // namespace
+}  // namespace xcluster
+
+int main() {
+  std::printf(
+      "Ablation: numeric summary kinds (numeric-predicate avg rel error)\n");
+  xcluster::Report("IMDB");
+  xcluster::Report("XMark");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation A4: sensitivity of XCLUSTERBUILD to the candidate-pool bounds
+// Hm / Hl (Sec. 4.3). Larger pools consider more merge candidates per
+// round (closer to exhaustive greedy) at higher construction cost; small
+// pools are faster but may pick worse merges.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace xcluster {
+namespace {
+
+void Report(const std::string& name) {
+  bench::Experiment experiment = bench::Setup(name);
+  std::printf("%s (reference %zu nodes)\n", name.c_str(),
+              experiment.reference.NodeCount());
+  std::printf("%8s %8s | %8s | %8s\n", "Hm", "Hl", "error", "build(s)");
+  struct PoolConfig {
+    size_t pool_max;
+    size_t pool_min;
+  };
+  for (PoolConfig config : {PoolConfig{100, 50}, PoolConfig{1000, 500},
+                            PoolConfig{10000, 5000},
+                            PoolConfig{40000, 20000}}) {
+    BuildOptions options;
+    options.structural_budget = 5 * 1024;
+    options.value_budget = bench::ValueBudgetFor(experiment);
+    options.pool_max = config.pool_max;
+    options.pool_min = config.pool_min;
+    auto start = std::chrono::steady_clock::now();
+    GraphSynopsis synopsis =
+        XClusterBuild(experiment.reference, options, nullptr);
+    const double seconds = bench::SecondsSince(start);
+    std::vector<double> estimates =
+        bench::EstimateAll(synopsis, experiment.workload);
+    ErrorReport report = EvaluateErrors(experiment.workload, estimates);
+    std::printf("%8zu %8zu | %7.1f%% | %8.1f\n", config.pool_max,
+                config.pool_min, bench::Pct(report.overall.avg_rel_error),
+                seconds);
+    std::printf("CSV,ablation_pool,%s,%zu,%zu,%.4f,%.2f\n", name.c_str(),
+                config.pool_max, config.pool_min,
+                report.overall.avg_rel_error, seconds);
+  }
+}
+
+}  // namespace
+}  // namespace xcluster
+
+int main() {
+  std::printf("Ablation: candidate-pool sizing (Hm/Hl) at Bstr = 5KB\n");
+  xcluster::Report("IMDB");
+  xcluster::Report("XMark");
+  return 0;
+}

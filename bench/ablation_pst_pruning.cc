@@ -1,0 +1,91 @@
+// Ablation A3: PST pruning guided by pruning error (Sec. 4.2's st_cmprs
+// scheme: remove the leaves whose removal changes their own substring
+// estimate least, i.e. where the Markovian assumption already holds) vs.
+// classical count-threshold pruning (remove lowest-count leaves first).
+//
+// Workload: substring selectivity queries over a realistic STRING cluster
+// (person names from the XMark generator's name model), evaluated against
+// exact containment counts, across a sweep of retained-size fractions.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/xmark.h"
+#include "summaries/pst.h"
+
+namespace xcluster {
+namespace {
+
+double TrueCount(const std::vector<std::string>& strings,
+                 const std::string& qs) {
+  double count = 0.0;
+  for (const std::string& s : strings) {
+    if (s.find(qs) != std::string::npos) count += 1.0;
+  }
+  return count;
+}
+
+int Run() {
+  // Harvest item-name strings from the generator.
+  XMarkOptions options;
+  options.scale = 0.4;
+  GeneratedDataset dataset = GenerateXMark(options);
+  std::vector<std::string> strings;
+  for (NodeId id = 0; id < dataset.doc.size(); ++id) {
+    if (dataset.doc.label_name(id) == "name" &&
+        dataset.doc.type(id) == ValueType::kString) {
+      strings.push_back(dataset.doc.node(id).text);
+    }
+  }
+
+  Pst full = Pst::Build(strings, 5);
+  const size_t nodes = full.node_count();
+
+  // Query set: substrings sampled from the full tree (positive), plus
+  // perturbed variants (often negative / longer than stored depth).
+  Rng rng(7);
+  std::vector<std::string> queries;
+  for (std::string& s : full.SampleSubstrings(400)) {
+    queries.push_back(s);
+  }
+  for (size_t i = 0; i < 100; ++i) {
+    std::string q = queries[rng.Uniform(queries.size())];
+    q += static_cast<char>('a' + rng.Uniform(26));
+    queries.push_back(std::move(q));
+  }
+
+  auto avg_error = [&](const Pst& pst) {
+    double total = 0.0;
+    for (const std::string& q : queries) {
+      double truth = TrueCount(strings, q);
+      total += std::abs(pst.EstimateCount(q) - truth) /
+               std::max(truth, 10.0);  // sanity bound 10
+    }
+    return total / static_cast<double>(queries.size());
+  };
+
+  std::printf("Ablation: PST pruning schemes (%zu strings, %zu nodes, "
+              "%zu queries)\n",
+              strings.size(), nodes, queries.size());
+  std::printf("%10s | %12s | %12s\n", "kept", "prune-error", "count-based");
+  for (double fraction : {0.8, 0.6, 0.4, 0.2, 0.1}) {
+    size_t remove = nodes - static_cast<size_t>(fraction * nodes);
+    Pst by_error = full;
+    by_error.Prune(remove);
+    Pst by_count = full;
+    by_count.PruneByCount(remove);
+    std::printf("%9.0f%% | %11.4f | %11.4f\n", fraction * 100.0,
+                avg_error(by_error), avg_error(by_count));
+    std::printf("CSV,ablation_pst,%.2f,%.5f,%.5f\n", fraction,
+                avg_error(by_error), avg_error(by_count));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xcluster
+
+int main() { return xcluster::Run(); }

@@ -1,0 +1,133 @@
+// Ablation A2: end-biased term histograms vs. a conventional "bucketized"
+// compression of the term-vector centroid (Sec. 3 claim: conventional
+// histograms lose zero-valued entries, which ruins point queries for
+// non-existent terms).
+//
+// Both compressions get the same byte budget:
+//   * end-biased   — top-k exact frequencies + RLE membership bitmap +
+//                    average frequency for the remaining non-zero terms;
+//   * conventional — top-k exact frequencies + one range bucket covering
+//                    the whole dictionary (no membership): every other term
+//                    is estimated by the bucket average, including terms
+//                    that never occur.
+// Reported: mean absolute error of the estimated frequency w[t] over terms
+// present in the data and over absent terms.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "summaries/term_histogram.h"
+#include "text/corpus.h"
+#include "text/dictionary.h"
+
+namespace xcluster {
+namespace {
+
+int Run() {
+  Rng rng(123);
+  // A steep Zipf over one topic leaves much of the dictionary unused, so a
+  // sizable set of "absent" terms exists — the case that separates the two
+  // compressions.
+  TextGenerator text(1.3);
+  TermDictionary dict;
+  // Preload the dictionary with the whole corpus so absent terms exist.
+  for (const std::string& word : CorpusWords()) dict.Intern(word);
+
+  std::vector<TermSet> texts;
+  std::map<TermId, double> truth;
+  const size_t n = 500;
+  for (size_t i = 0; i < n; ++i) {
+    TermSet set = dict.LookupText(text.Generate(&rng, 6, 0));
+    for (TermId t : set) truth[t] += 1.0;
+    texts.push_back(std::move(set));
+  }
+  for (auto& [t, c] : truth) c /= static_cast<double>(n);
+
+  TermHistogram exact = TermHistogram::Build(texts);
+  const size_t full = exact.SizeBytes();
+
+  std::printf("Ablation: end-biased vs conventional term compression\n");
+  std::printf("dictionary %zu terms, %zu present, exact centroid %zuB\n",
+              dict.size(), truth.size(), full);
+  std::printf("%9s | %21s | %21s\n", "", "end-biased", "conventional");
+  std::printf("%9s | %10s %10s | %10s %10s\n", "budget", "present",
+              "absent", "present", "absent");
+
+  for (double fraction : {0.75, 0.5, 0.25, 0.1}) {
+    const size_t budget = static_cast<size_t>(full * fraction);
+
+    // End-biased: demote lowest-frequency terms until within budget.
+    TermHistogram end_biased = exact;
+    while (end_biased.SizeBytes() > budget && end_biased.CanCompress()) {
+      end_biased.Compress(4);
+    }
+
+    // Conventional: top-k + one dictionary-wide bucket. Choose the largest
+    // k that fits (bucket costs ~2 runs + avg = fixed).
+    const size_t fixed = 2 * 4 + 8;
+    const size_t k = budget > fixed ? (budget - fixed) / 8 : 0;
+    std::vector<std::pair<TermId, double>> by_freq(exact.indexed().begin(),
+                                                   exact.indexed().end());
+    std::sort(by_freq.begin(), by_freq.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (by_freq.size() > k) by_freq.resize(k);
+    double rest_mass = 0.0;
+    size_t rest_count = 0;
+    std::vector<TermId> everything;
+    for (TermId t = 0; t < dict.size(); ++t) {
+      bool indexed = false;
+      for (const auto& [kt, kf] : by_freq) {
+        if (kt == t) indexed = true;
+      }
+      if (indexed) continue;
+      everything.push_back(t);
+      auto it = truth.find(t);
+      if (it != truth.end()) rest_mass += it->second;
+      ++rest_count;
+    }
+    TermHistogram conventional = TermHistogram::FromParts(
+        by_freq, everything,
+        rest_count == 0 ? 0.0 : rest_mass / static_cast<double>(rest_count));
+
+    // Evaluate both on present and absent terms.
+    auto evaluate = [&](const TermHistogram& hist, bool absent_terms) {
+      double total = 0.0;
+      size_t count = 0;
+      for (TermId t = 0; t < dict.size(); ++t) {
+        bool present = truth.count(t) > 0;
+        if (present == absent_terms) continue;
+        double w = present ? truth.at(t) : 0.0;
+        total += std::abs(hist.Frequency(t) - w);
+        ++count;
+      }
+      return count == 0 ? 0.0 : total / static_cast<double>(count);
+    };
+
+    std::printf("%8zuB | %10.5f %10.5f | %10.5f %10.5f\n", budget,
+                evaluate(end_biased, false), evaluate(end_biased, true),
+                evaluate(conventional, false), evaluate(conventional, true));
+    std::printf("CSV,ablation_termhist,%zu,%.6f,%.6f,%.6f,%.6f\n", budget,
+                evaluate(end_biased, false), evaluate(end_biased, true),
+                evaluate(conventional, false), evaluate(conventional, true));
+    // The practical consequence: phantom results for negative keyword
+    // queries. Over a 10k-text cluster, a query for an absent term returns
+    // avg_absent_error * 10000 spurious tuples under the conventional
+    // scheme and exactly 0 under end-biased histograms.
+    std::printf("          (phantom tuples per negative query on a 10k "
+                "cluster: conventional %.1f, end-biased %.1f)\n",
+                evaluate(conventional, true) * 10000.0,
+                evaluate(end_biased, true) * 10000.0);
+  }
+  std::printf("(end-biased keeps absent-term error at exactly 0: the RLE\n"
+              " membership bitmap preserves zero entries losslessly)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace xcluster
+
+int main() { return xcluster::Run(); }

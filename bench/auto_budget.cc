@@ -1,0 +1,70 @@
+// Extension experiment E1: automatic Bstr/Bval allocation from a unified
+// total budget (the future-work item of Sec. 4.3). For a sweep of total
+// budgets, compares the automatically chosen split against fixed splits on
+// a held-out workload.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "build/auto_budget.h"
+
+namespace xcluster {
+namespace {
+
+void Report(const std::string& name) {
+  bench::Experiment experiment = bench::Setup(name);
+  std::printf("%s (reference %zu KB structural + %zu KB value)\n",
+              name.c_str(), experiment.reference.StructuralBytes() / 1024,
+              experiment.reference.ValueBytes() / 1024);
+  std::printf("%9s | %14s %8s | %8s %8s %8s\n", "B(total)", "auto split",
+              "err", "10/90", "30/70", "60/40");
+
+  auto error_of = [&](const GraphSynopsis& synopsis) {
+    std::vector<double> estimates =
+        bench::EstimateAll(synopsis, experiment.workload);
+    return EvaluateErrors(experiment.workload, estimates)
+        .overall.avg_rel_error;
+  };
+
+  for (size_t total : {size_t{40 * 1024}, size_t{80 * 1024},
+                       size_t{140 * 1024}}) {
+    AutoBudgetOptions options;
+    options.total_budget = total;
+    options.sample_workload.num_queries = 150;
+    options.sample_workload.seed = 4242;  // training workload != held-out
+    AutoBudgetResult result =
+        AutoBudgetBuild(experiment.dataset.doc, experiment.reference, options);
+    const double auto_error = error_of(result.synopsis);
+
+    double fixed_errors[3];
+    const double fractions[] = {0.1, 0.3, 0.6};
+    for (int i = 0; i < 3; ++i) {
+      BuildOptions fixed;
+      fixed.structural_budget =
+          static_cast<size_t>(fractions[i] * static_cast<double>(total));
+      fixed.value_budget = total - fixed.structural_budget;
+      GraphSynopsis synopsis =
+          XClusterBuild(experiment.reference, fixed, nullptr);
+      fixed_errors[i] = error_of(synopsis);
+    }
+
+    std::printf("%7zuKB | %5zuKB/%5zuKB %7.1f%% | %7.1f%% %7.1f%% %7.1f%%\n",
+                total / 1024, result.structural_budget / 1024,
+                result.value_budget / 1024, bench::Pct(auto_error),
+                bench::Pct(fixed_errors[0]), bench::Pct(fixed_errors[1]),
+                bench::Pct(fixed_errors[2]));
+    std::printf("CSV,auto_budget,%s,%zu,%zu,%.4f,%.4f,%.4f,%.4f\n",
+                name.c_str(), total, result.structural_budget, auto_error,
+                fixed_errors[0], fixed_errors[1], fixed_errors[2]);
+  }
+}
+
+}  // namespace
+}  // namespace xcluster
+
+int main() {
+  std::printf("Extension: automatic structural/value budget allocation\n");
+  xcluster::Report("IMDB");
+  xcluster::Report("XMark");
+  return 0;
+}

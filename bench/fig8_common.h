@@ -1,0 +1,74 @@
+#ifndef XCLUSTER_BENCH_FIG8_COMMON_H_
+#define XCLUSTER_BENCH_FIG8_COMMON_H_
+
+// Shared driver for Figure 8(a)/(b): average relative estimation error as a
+// function of the structural budget, at a fixed value budget, reported
+// overall and per predicate class (Struct / Numeric / String / Text).
+//
+// Paper shape (Sec. 6.2): error decreases as the structural budget grows;
+// the 0 KB point (tag-only clustering) is much worse than the full-budget
+// point; Struct error stays below ~5% for modest budgets; TEXT on XMark
+// stays high in relative terms (low-count artifact analyzed in Figure 9).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace xcluster {
+namespace bench {
+
+inline int RunFig8(const std::string& name) {
+  Experiment experiment = Setup(name);
+  const size_t value_budget = ValueBudgetFor(experiment);
+  std::printf("Figure 8 (%s): avg. relative error vs structural budget\n",
+              name.c_str());
+  std::printf("reference: %zu nodes, %zu KB structural, %zu KB value; "
+              "value budget %zu KB; %zu queries\n",
+              experiment.reference.NodeCount(),
+              experiment.reference.StructuralBytes() / 1024,
+              experiment.reference.ValueBytes() / 1024, value_budget / 1024,
+              experiment.workload.queries.size());
+  std::printf("%8s | %9s | %7s | %7s | %7s | %7s | %7s | %7s\n", "Bstr(KB)",
+              "Total(KB)", "Overall", "Struct", "Numeric", "String", "Text",
+              "build(s)");
+
+  // Fix the sanity bound across the sweep (it depends only on the
+  // workload).
+  double sanity = 0.0;
+  for (size_t budget : DefaultBudgets()) {
+    if (budget > experiment.reference.StructuralBytes() + 8 * 1024) break;
+    BuildOptions options;
+    options.structural_budget = budget;
+    options.value_budget = value_budget;
+    auto start = std::chrono::steady_clock::now();
+    BuildStats stats;
+    GraphSynopsis synopsis = XClusterBuild(experiment.reference, options,
+                                           &stats);
+    const double build_seconds = SecondsSince(start);
+    std::vector<double> estimates = EstimateAll(synopsis, experiment.workload);
+    ErrorReport report = EvaluateErrors(experiment.workload, estimates,
+                                        sanity);
+    if (sanity == 0.0) sanity = report.sanity_bound;
+    const size_t total_kb =
+        (stats.final_structural_bytes + stats.final_value_bytes) / 1024;
+    std::printf("%8zu | %9zu | %6.1f%% | %6.1f%% | %6.1f%% | %6.1f%% | "
+                "%6.1f%% | %7.1f\n",
+                budget / 1024, total_kb, Pct(report.overall.avg_rel_error),
+                ClassPct(report, "Struct"), ClassPct(report, "Numeric"),
+                ClassPct(report, "String"), ClassPct(report, "Text"),
+                build_seconds);
+    std::printf("CSV,fig8,%s,%zu,%zu,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+                name.c_str(), budget, total_kb,
+                report.overall.avg_rel_error,
+                ClassPct(report, "Struct") / 100.0,
+                ClassPct(report, "Numeric") / 100.0,
+                ClassPct(report, "String") / 100.0,
+                ClassPct(report, "Text") / 100.0);
+  }
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace xcluster
+
+#endif  // XCLUSTER_BENCH_FIG8_COMMON_H_

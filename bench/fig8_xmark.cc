@@ -1,0 +1,4 @@
+// Figure 8(b): XMark — estimation error vs. structural budget.
+#include "bench/fig8_common.h"
+
+int main() { return xcluster::bench::RunFig8("XMark"); }

@@ -1,0 +1,56 @@
+// Verifies the paper's negative-workload claim (Sec. 6.1): for queries with
+// zero true selectivity, XCluster synopses "consistently yield close to
+// zero estimates for all space budgets". Reports the mean estimated
+// selectivity of a zero-selectivity workload across the structural-budget
+// sweep.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace xcluster {
+namespace {
+
+void Report(const std::string& name) {
+  bench::Experiment experiment = bench::Setup(name);
+  WorkloadOptions wl_options;
+  wl_options.num_queries = 300;
+  wl_options.positive = false;
+  Workload negative = GenerateWorkload(experiment.dataset.doc,
+                                       experiment.reference, wl_options);
+  std::printf("%s: %zu negative queries\n", name.c_str(),
+              negative.queries.size());
+  std::printf("%8s | %12s | %12s\n", "Bstr(KB)", "mean est.", "max est.");
+  for (size_t budget : bench::DefaultBudgets()) {
+    if (budget > experiment.reference.StructuralBytes() + 8 * 1024) break;
+    BuildOptions options;
+    options.structural_budget = budget;
+    options.value_budget = bench::ValueBudgetFor(experiment);
+    GraphSynopsis synopsis =
+        XClusterBuild(experiment.reference, options, nullptr);
+    std::vector<double> estimates = bench::EstimateAll(synopsis, negative);
+    double total = 0.0;
+    double max_estimate = 0.0;
+    for (double e : estimates) {
+      total += e;
+      max_estimate = std::max(max_estimate, e);
+    }
+    const double mean =
+        estimates.empty() ? 0.0
+                          : total / static_cast<double>(estimates.size());
+    std::printf("%8zu | %12.4f | %12.4f\n", budget / 1024, mean,
+                max_estimate);
+    std::printf("CSV,negative,%s,%zu,%.6f,%.6f\n", name.c_str(), budget, mean,
+                max_estimate);
+  }
+}
+
+}  // namespace
+}  // namespace xcluster
+
+int main() {
+  std::printf("Negative workloads: estimates for zero-selectivity twigs\n");
+  xcluster::Report("IMDB");
+  xcluster::Report("XMark");
+  return 0;
+}

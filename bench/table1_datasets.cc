@@ -1,0 +1,49 @@
+// Reproduces Table 1 of the paper: data set characteristics — serialized
+// size, element count, reference-synopsis size, and node counts (nodes with
+// value summaries / total).
+//
+// Paper values for calibration (real IMDB subset / XMark at 10MB):
+//   IMDB : 7.1 MB, 236,822 elements, ref 473,448 KB?? (473 KB), 2037/3800
+//   XMark: 10 MB,  206,130 elements, ref 890,745 (890 KB),      3593/16446
+// Our synthetic stand-ins are ~5x smaller (DESIGN.md, substitutions); the
+// reported ratios (reference much smaller than data, a few thousand
+// clusters, a small set of value clusters) are the comparable shape.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "xml/writer.h"
+
+namespace xcluster {
+namespace {
+
+void Report(const std::string& name) {
+  bench::Experiment experiment = bench::Setup(name);
+  const XmlDocument& doc = experiment.dataset.doc;
+  XmlWriter writer;
+  const double size_mb =
+      static_cast<double>(writer.SerializedSize(doc)) / (1024.0 * 1024.0);
+  const size_t ref_kb = (experiment.reference.StructuralBytes() +
+                         experiment.reference.ValueBytes()) /
+                        1024;
+  std::printf("%-6s | %9.2f | %10zu | %9zu | %6zu / %zu\n", name.c_str(),
+              size_mb, doc.size(), ref_kb,
+              experiment.reference.ValueNodeCount(),
+              experiment.reference.NodeCount());
+  std::printf("CSV,table1,%s,%.3f,%zu,%zu,%zu,%zu\n", name.c_str(), size_mb,
+              doc.size(), ref_kb, experiment.reference.ValueNodeCount(),
+              experiment.reference.NodeCount());
+}
+
+}  // namespace
+}  // namespace xcluster
+
+int main() {
+  std::printf("Table 1: Data Set Characteristics\n");
+  std::printf(
+      "%-6s | %9s | %10s | %9s | %s\n", "Set", "Size(MB)", "#Elements",
+      "Ref.(KB)", "#Nodes: Value / Total");
+  xcluster::Report("IMDB");
+  xcluster::Report("XMark");
+  return 0;
+}

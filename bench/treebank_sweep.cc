@@ -1,0 +1,7 @@
+// Extension experiment E3: the Figure-8 sweep on a third, structurally
+// opposite data set — a Treebank-like corpus of deeply recursive parse
+// trees. Stresses the descendant-axis DP (cyclic synopsis paths after
+// merging) and STRING-heavy content; not part of the paper's evaluation.
+#include "bench/fig8_common.h"
+
+int main() { return xcluster::bench::RunFig8("Treebank"); }

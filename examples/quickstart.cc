@@ -1,0 +1,91 @@
+// Quickstart: build an XCluster synopsis of a small XML document and ask it
+// for selectivity estimates.
+//
+//   $ ./quickstart
+//
+// Walks through the three core steps of the public API:
+//   1. get an XmlDocument (here: parsed from a string literal);
+//   2. XCluster::Build with structural/value budgets;
+//   3. EstimateSelectivity on twig-query strings.
+
+#include <cstdio>
+
+#include "core/xcluster.h"
+#include "eval/evaluator.h"
+#include "query/parser.h"
+#include "xml/parser.h"
+
+int main() {
+  using namespace xcluster;
+
+  // A miniature bibliography (the paper's running example domain).
+  const char* kXml = R"(
+    <dblp>
+      <author><name>ada writer</name>
+        <paper><year>2000</year><title>Counting Twig Matches</title>
+          <abstract>counting matches of twig patterns in xml trees</abstract>
+        </paper>
+        <paper><year>2002</year><title>Holistic Tree Joins</title>
+          <abstract>xml employs a tree structured data model</abstract>
+        </paper>
+      </author>
+      <author><name>bob scholar</name>
+        <paper><year>2003</year><title>XCluster Synopses</title>
+          <abstract>a synopsis summarizes structure and values of xml</abstract>
+        </paper>
+        <book><year>1999</year><title>Database Systems</title></book>
+      </author>
+    </dblp>)";
+
+  // 1. Parse. Value types are inferred (year -> NUMERIC, title -> STRING)
+  //    with a hint that abstracts are free text.
+  ParseOptions parse_options;
+  parse_options.type_hints["abstract"] = ValueType::kText;
+  XmlParser parser(parse_options);
+  XmlDocument doc;
+  Status status = parser.Parse(kXml, &doc);
+  if (!status.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("parsed %zu elements (%zu with values)\n", doc.size(),
+              doc.CountValued());
+
+  // 2. Build the synopsis. Budgets are in bytes; for a document this small
+  //    the defaults keep everything, so squeeze it to show compression.
+  XCluster::Options options;
+  options.build.structural_budget = 256;
+  options.build.value_budget = 512;
+  XCluster synopsis = XCluster::Build(doc, options);
+  std::printf("synopsis: %zu bytes (%zu structural + %zu value), "
+              "%zu clusters from %zu reference clusters\n",
+              synopsis.SizeBytes(), synopsis.synopsis().StructuralBytes(),
+              synopsis.synopsis().ValueBytes(),
+              synopsis.synopsis().NodeCount(),
+              synopsis.build_stats().reference_nodes);
+
+  // 3. Estimate twig selectivities and compare with the exact answer.
+  ExactEvaluator evaluator(doc, synopsis.synopsis().term_dictionary().get());
+  const char* queries[] = {
+      "//paper",
+      "//paper/year[range(2001,2005)]",
+      "//title[contains(Tree)]",
+      "//paper[/abstract[ftcontains(xml)]]/title",
+      "//paper[/year[range(2001,9999)]]"
+      "[/abstract[ftcontains(synopsis,xml)]]/title",
+  };
+  std::printf("\n%-70s %9s %7s\n", "query", "estimate", "true");
+  for (const char* text : queries) {
+    Result<double> estimate = synopsis.EstimateSelectivity(text);
+    if (!estimate.ok()) {
+      std::fprintf(stderr, "bad query %s: %s\n", text,
+                   estimate.status().ToString().c_str());
+      return 1;
+    }
+    Result<TwigQuery> query = ParseTwig(text);
+    query.value().ResolveTerms(*synopsis.synopsis().term_dictionary());
+    double truth = evaluator.Selectivity(query.value());
+    std::printf("%-70s %9.2f %7.0f\n", text, estimate.value(), truth);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#ifndef XCLUSTER_COMMON_RNG_H_
+#define XCLUSTER_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xcluster {
+
+/// Deterministic pseudo-random number generator (xoshiro256**). Every
+/// randomized component in the library (data generators, workload sampling,
+/// predicate sampling in the Delta metric) draws from an explicitly seeded
+/// Rng so that experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n); n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  /// All weights must be >= 0 and at least one must be > 0; otherwise
+  /// returns 0.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Gaussian via Box-Muller (mean 0, stddev 1).
+  double NextGaussian();
+
+  /// Derives an independent child generator; useful for giving each module
+  /// its own stream from one master seed.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_COMMON_RNG_H_

@@ -1,0 +1,20 @@
+#include "common/string_pool.h"
+
+namespace xcluster {
+
+SymbolId StringPool::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+SymbolId StringPool::Lookup(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  if (it == index_.end()) return kInvalidSymbol;
+  return it->second;
+}
+
+}  // namespace xcluster

@@ -1,0 +1,43 @@
+#ifndef XCLUSTER_COMMON_STRING_POOL_H_
+#define XCLUSTER_COMMON_STRING_POOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xcluster {
+
+/// Integer id for an interned string (element tag or dictionary term).
+using SymbolId = uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol = static_cast<SymbolId>(-1);
+
+/// Interns strings to dense integer ids. Element labels and text terms are
+/// interned once per document/dictionary so that synopsis structures store
+/// 4-byte ids instead of strings; this also defines the byte cost of a label
+/// in the synopsis size model.
+class StringPool {
+ public:
+  StringPool() = default;
+
+  /// Returns the id for `s`, interning it if new.
+  SymbolId Intern(std::string_view s);
+
+  /// Returns the id for `s` or kInvalidSymbol if it was never interned.
+  SymbolId Lookup(std::string_view s) const;
+
+  /// Returns the string for `id`; id must be valid.
+  const std::string& Get(SymbolId id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, SymbolId> index_;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_COMMON_STRING_POOL_H_

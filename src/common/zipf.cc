@@ -1,0 +1,33 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xcluster {
+
+ZipfSampler::ZipfSampler(size_t n, double theta) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Probability(size_t i) const {
+  if (i >= cdf_.size()) return 0.0;
+  if (i == 0) return cdf_[0];
+  return cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace xcluster

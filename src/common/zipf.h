@@ -1,0 +1,34 @@
+#ifndef XCLUSTER_COMMON_ZIPF_H_
+#define XCLUSTER_COMMON_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace xcluster {
+
+/// Zipfian sampler over ranks {0, ..., n-1}: P(rank i) proportional to
+/// 1/(i+1)^theta. Used by the data generators to draw terms and value
+/// frequencies with realistic skew (the XMark text model draws words from a
+/// skewed natural-language distribution).
+class ZipfSampler {
+ public:
+  /// `n` must be > 0; `theta` >= 0 (0 = uniform).
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws one rank from the distribution using `rng`.
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank `i`.
+  double Probability(size_t i) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities; back() == 1.0
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_COMMON_ZIPF_H_

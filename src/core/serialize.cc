@@ -1,0 +1,296 @@
+#include <fstream>
+#include <sstream>
+
+#include "core/xcluster.h"
+
+namespace xcluster {
+
+namespace {
+
+constexpr char kMagic[] = "XCLUSTER";
+constexpr int kVersion = 1;
+
+void WriteSummary(std::ostream& out, const ValueSummary& vsumm) {
+  switch (vsumm.type()) {
+    case ValueType::kNone:
+      out << "vsumm none\n";
+      return;
+    case ValueType::kNumeric: {
+      switch (vsumm.numeric_kind()) {
+        case NumericSummaryKind::kHistogram: {
+          const auto& buckets = vsumm.histogram().buckets();
+          out << "vsumm hist " << buckets.size();
+          for (const HistogramBucket& b : buckets) {
+            out << ' ' << b.lo << ' ' << b.hi << ' ' << b.count;
+          }
+          out << '\n';
+          return;
+        }
+        case NumericSummaryKind::kWavelet: {
+          const WaveletSummary& w = vsumm.wavelet();
+          out << "vsumm wavelet " << w.domain_lo() << ' ' << w.cell_width()
+              << ' ' << w.grid() << ' ' << w.total() << ' '
+              << w.coefficients().size();
+          for (const auto& c : w.coefficients()) {
+            out << ' ' << c.index << ' ' << c.value;
+          }
+          out << '\n';
+          return;
+        }
+        case NumericSummaryKind::kSample: {
+          const SampleSummary& sample = vsumm.sample();
+          out << "vsumm sample " << sample.total() << ' '
+              << sample.sample().size();
+          for (int64_t v : sample.sample()) out << ' ' << v;
+          out << '\n';
+          return;
+        }
+      }
+      return;
+    }
+    case ValueType::kString: {
+      const Pst& pst = vsumm.pst();
+      std::vector<Pst::DumpNode> dump = pst.Dump();
+      out << "vsumm pst " << pst.total() << ' ' << pst.max_depth() << ' '
+          << dump.size();
+      for (const Pst::DumpNode& node : dump) {
+        out << ' ' << node.parent << ' '
+            << static_cast<int>(static_cast<unsigned char>(node.symbol))
+            << ' ' << node.count;
+      }
+      out << '\n';
+      return;
+    }
+    case ValueType::kText: {
+      const TermHistogram& terms = vsumm.terms();
+      out << "vsumm terms " << terms.indexed().size();
+      for (const auto& [term, freq] : terms.indexed()) {
+        out << ' ' << term << ' ' << freq;
+      }
+      out << ' ' << terms.uniform_members().size();
+      for (TermId term : terms.uniform_members()) out << ' ' << term;
+      out << ' ' << terms.uniform_avg() << '\n';
+      return;
+    }
+  }
+}
+
+Status ReadSummary(std::istream& in, ValueType type, ValueSummary* vsumm) {
+  std::string tag, kind;
+  in >> tag >> kind;
+  if (tag != "vsumm") return Status::Corruption("expected vsumm record");
+  if (kind == "none") return Status::OK();
+  if (kind == "hist") {
+    size_t n = 0;
+    in >> n;
+    std::vector<HistogramBucket> buckets(n);
+    for (HistogramBucket& b : buckets) in >> b.lo >> b.hi >> b.count;
+    if (!in) return Status::Corruption("bad histogram record");
+    vsumm->set_type(ValueType::kNumeric);
+    *vsumm->mutable_histogram() = Histogram::FromBuckets(std::move(buckets));
+    return Status::OK();
+  }
+  if (kind == "wavelet") {
+    int64_t domain_lo = 0;
+    int64_t cell_width = 0;
+    size_t grid = 0;
+    double total = 0.0;
+    size_t n = 0;
+    in >> domain_lo >> cell_width >> grid >> total >> n;
+    std::vector<WaveletSummary::Coefficient> coeffs(n);
+    for (auto& c : coeffs) in >> c.index >> c.value;
+    if (!in) return Status::Corruption("bad wavelet record");
+    vsumm->set_type(ValueType::kNumeric);
+    vsumm->set_numeric_kind(NumericSummaryKind::kWavelet);
+    *vsumm->mutable_wavelet() = WaveletSummary::FromCoefficients(
+        std::move(coeffs), domain_lo, cell_width, grid, total);
+    return Status::OK();
+  }
+  if (kind == "sample") {
+    double total = 0.0;
+    size_t n = 0;
+    in >> total >> n;
+    std::vector<int64_t> sample(n);
+    for (int64_t& v : sample) in >> v;
+    if (!in) return Status::Corruption("bad sample record");
+    vsumm->set_type(ValueType::kNumeric);
+    vsumm->set_numeric_kind(NumericSummaryKind::kSample);
+    *vsumm->mutable_sample() =
+        SampleSummary::FromParts(std::move(sample), total);
+    return Status::OK();
+  }
+  if (kind == "pst") {
+    double total = 0.0;
+    size_t max_depth = 0;
+    size_t n = 0;
+    in >> total >> max_depth >> n;
+    std::vector<Pst::DumpNode> dump(n);
+    for (Pst::DumpNode& node : dump) {
+      int symbol = 0;
+      in >> node.parent >> symbol >> node.count;
+      node.symbol = static_cast<char>(static_cast<unsigned char>(symbol));
+    }
+    if (!in) return Status::Corruption("bad pst record");
+    vsumm->set_type(ValueType::kString);
+    *vsumm->mutable_pst() = Pst::FromDump(dump, total, max_depth);
+    return Status::OK();
+  }
+  if (kind == "terms") {
+    size_t n_indexed = 0;
+    in >> n_indexed;
+    std::vector<std::pair<TermId, double>> indexed(n_indexed);
+    for (auto& [term, freq] : indexed) in >> term >> freq;
+    size_t n_members = 0;
+    in >> n_members;
+    std::vector<TermId> members(n_members);
+    for (TermId& term : members) in >> term;
+    double avg = 0.0;
+    in >> avg;
+    if (!in) return Status::Corruption("bad term-histogram record");
+    vsumm->set_type(ValueType::kText);
+    *vsumm->mutable_terms() =
+        TermHistogram::FromParts(std::move(indexed), std::move(members), avg);
+    return Status::OK();
+  }
+  (void)type;
+  return Status::Corruption("unknown vsumm kind '" + kind + "'");
+}
+
+/// Encodes a string on one line ("<len> <bytes>"); labels and terms may in
+/// principle contain spaces.
+void WriteString(std::ostream& out, const std::string& s) {
+  out << s.size() << ' ' << s << '\n';
+}
+
+Status ReadString(std::istream& in, std::string* s) {
+  size_t n = 0;
+  in >> n;
+  in.get();  // the separating space
+  s->resize(n);
+  in.read(s->data(), static_cast<std::streamsize>(n));
+  if (!in) return Status::Corruption("bad string record");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status XCluster::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.precision(17);
+
+  // Serialize a compacted copy so ids are dense.
+  GraphSynopsis synopsis = synopsis_;
+  synopsis.Compact();
+
+  out << kMagic << ' ' << kVersion << '\n';
+
+  out << "labels " << synopsis.labels().size() << '\n';
+  for (SymbolId id = 0; id < synopsis.labels().size(); ++id) {
+    WriteString(out, synopsis.labels().Get(id));
+  }
+
+  auto dict = synopsis.term_dictionary();
+  const size_t num_terms = dict ? dict->size() : 0;
+  out << "terms " << num_terms << '\n';
+  for (TermId id = 0; id < num_terms; ++id) WriteString(out, dict->Get(id));
+
+  out << "root " << synopsis.root() << '\n';
+  out << "nodes " << synopsis.NodeCount() << '\n';
+  for (SynNodeId id : synopsis.AliveNodes()) {
+    const SynNode& node = synopsis.node(id);
+    out << "node " << node.label << ' ' << static_cast<int>(node.type) << ' '
+        << node.count << '\n';
+    WriteSummary(out, node.vsumm);
+  }
+
+  out << "edges " << synopsis.EdgeCount() << '\n';
+  for (SynNodeId id : synopsis.AliveNodes()) {
+    for (const SynEdge& edge : synopsis.node(id).children) {
+      out << "edge " << id << ' ' << edge.target << ' ' << edge.avg_count
+          << '\n';
+    }
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<XCluster> XCluster::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != kMagic || version != kVersion) {
+    return Status::Corruption("not an XCluster synopsis file: " + path);
+  }
+
+  GraphSynopsis synopsis;
+  std::string tag;
+  size_t num_labels = 0;
+  in >> tag >> num_labels;
+  if (tag != "labels") return Status::Corruption("expected labels section");
+  in.get();  // newline
+  std::vector<std::string> labels(num_labels);
+  for (std::string& label : labels) {
+    XC_RETURN_IF_ERROR(ReadString(in, &label));
+    // Pre-intern in file order so label ids (and a re-save) are stable.
+    synopsis.labels().Intern(label);
+  }
+
+  size_t num_terms = 0;
+  in >> tag >> num_terms;
+  if (tag != "terms") return Status::Corruption("expected terms section");
+  in.get();
+  auto dict = std::make_shared<TermDictionary>();
+  for (size_t i = 0; i < num_terms; ++i) {
+    std::string term;
+    XC_RETURN_IF_ERROR(ReadString(in, &term));
+    dict->Intern(term);
+  }
+  synopsis.set_term_dictionary(dict);
+
+  SynNodeId root = 0;
+  in >> tag >> root;
+  if (tag != "root") return Status::Corruption("expected root section");
+
+  size_t num_nodes = 0;
+  in >> tag >> num_nodes;
+  if (tag != "nodes") return Status::Corruption("expected nodes section");
+  for (size_t i = 0; i < num_nodes; ++i) {
+    std::string node_tag;
+    SymbolId label = 0;
+    int type = 0;
+    double count = 0.0;
+    in >> node_tag >> label >> type >> count;
+    if (node_tag != "node" || label >= labels.size()) {
+      return Status::Corruption("bad node record");
+    }
+    SynNodeId id = synopsis.AddNode(labels[label],
+                                    static_cast<ValueType>(type), count);
+    XC_RETURN_IF_ERROR(ReadSummary(in, static_cast<ValueType>(type),
+                                   &synopsis.node(id).vsumm));
+  }
+  if (root >= num_nodes) return Status::Corruption("bad root id");
+  synopsis.set_root(root);
+
+  size_t num_edges = 0;
+  in >> tag >> num_edges;
+  if (tag != "edges") return Status::Corruption("expected edges section");
+  for (size_t i = 0; i < num_edges; ++i) {
+    std::string edge_tag;
+    SynNodeId u = 0;
+    SynNodeId v = 0;
+    double avg = 0.0;
+    in >> edge_tag >> u >> v >> avg;
+    if (edge_tag != "edge" || u >= num_nodes || v >= num_nodes || !in) {
+      return Status::Corruption("bad edge record");
+    }
+    synopsis.AddEdge(u, v, avg);
+  }
+
+  return XCluster(std::move(synopsis));
+}
+
+}  // namespace xcluster

@@ -1,0 +1,30 @@
+#include "core/xcluster.h"
+
+#include "query/parser.h"
+
+namespace xcluster {
+
+XCluster XCluster::Build(const XmlDocument& doc, const Options& options) {
+  BuildStats stats;
+  GraphSynopsis synopsis =
+      BuildXCluster(doc, options.reference, options.build, &stats);
+  XCluster xc(std::move(synopsis), options.estimate);
+  xc.stats_ = stats;
+  return xc;
+}
+
+XCluster::XCluster(GraphSynopsis synopsis, EstimateOptions estimate)
+    : synopsis_(std::move(synopsis)), estimate_options_(estimate) {}
+
+double XCluster::EstimateSelectivity(const TwigQuery& query) const {
+  XClusterEstimator estimator(synopsis_, estimate_options_);
+  return estimator.Estimate(query);
+}
+
+Result<double> XCluster::EstimateSelectivity(std::string_view twig) const {
+  Result<TwigQuery> query = ParseTwig(twig);
+  if (!query.ok()) return query.status();
+  return EstimateSelectivity(query.value());
+}
+
+}  // namespace xcluster

@@ -1,0 +1,71 @@
+#ifndef XCLUSTER_CORE_XCLUSTER_H_
+#define XCLUSTER_CORE_XCLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "build/builder.h"
+#include "common/status.h"
+#include "estimate/estimator.h"
+#include "query/twig.h"
+#include "synopsis/graph.h"
+#include "synopsis/reference.h"
+#include "xml/document.h"
+
+namespace xcluster {
+
+/// High-level facade over the whole library: build an XCluster synopsis of
+/// an XML document within a storage budget, then answer selectivity
+/// estimates for twig queries.
+///
+///   XCluster::Options options;
+///   options.build.structural_budget = 20 * 1024;
+///   options.build.value_budget = 150 * 1024;
+///   XCluster xc = XCluster::Build(doc, options);
+///   Result<double> estimate = xc.EstimateSelectivity(
+///       "//open_auction[/initial[range(100,500)]]/bidder");
+class XCluster {
+ public:
+  struct Options {
+    ReferenceOptions reference;
+    BuildOptions build;
+    EstimateOptions estimate;
+  };
+
+  /// Builds the synopsis for `doc` (reference construction + XCLUSTERBUILD).
+  static XCluster Build(const XmlDocument& doc, const Options& options);
+
+  /// Wraps an already-constructed synopsis.
+  explicit XCluster(GraphSynopsis synopsis,
+                    EstimateOptions estimate = EstimateOptions());
+
+  /// Estimated selectivity of a parsed query.
+  double EstimateSelectivity(const TwigQuery& query) const;
+
+  /// Parses `twig` (see query/parser.h for the syntax) and estimates it.
+  Result<double> EstimateSelectivity(std::string_view twig) const;
+
+  const GraphSynopsis& synopsis() const { return synopsis_; }
+  const BuildStats& build_stats() const { return stats_; }
+
+  /// Total size (structural + value bytes) under the synopsis size model.
+  size_t SizeBytes() const {
+    return synopsis_.StructuralBytes() + synopsis_.ValueBytes();
+  }
+
+  /// Persists the synopsis to `path` (versioned text format).
+  Status Save(const std::string& path) const;
+
+  /// Loads a synopsis previously written by Save().
+  static Result<XCluster> Load(const std::string& path);
+
+ private:
+  GraphSynopsis synopsis_;
+  BuildStats stats_;
+  EstimateOptions estimate_options_;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_CORE_XCLUSTER_H_

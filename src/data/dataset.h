@@ -1,0 +1,24 @@
+#ifndef XCLUSTER_DATA_DATASET_H_
+#define XCLUSTER_DATA_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "text/dictionary.h"
+#include "xml/document.h"
+
+namespace xcluster {
+
+/// A generated experimental data set: the document, the value paths that
+/// receive detailed summaries in the reference synopsis (Sec. 6.1 uses 7
+/// for IMDB and 9 for XMark), and a display name.
+struct GeneratedDataset {
+  std::string name;
+  XmlDocument doc;
+  std::vector<std::string> value_paths;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_DATA_DATASET_H_

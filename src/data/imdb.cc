@@ -1,0 +1,254 @@
+#include "data/imdb.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+#include "text/corpus.h"
+
+namespace xcluster {
+
+namespace {
+
+const char* kFirstNames[] = {
+    "humphrey", "ingrid", "marlon",  "audrey",  "orson",   "greta",
+    "cary",     "bette",  "james",   "katharine", "henry", "vivien",
+    "spencer",  "grace",  "clark",   "sophia",  "peter",   "marilyn",
+    "gregory",  "lauren", "akira",   "setsuko", "toshiro", "federico",
+    "marcello", "anna",   "jean",    "brigitte", "max",    "marlene"};
+
+const char* kLastNames[] = {
+    "bogart",   "bergman", "brando",  "hepburn", "welles",   "garbo",
+    "grant",    "davis",   "stewart", "tracy",   "kelly",    "gable",
+    "loren",    "sellers", "monroe",  "peck",    "bacall",   "kurosawa",
+    "hara",     "mifune",  "fellini", "mastroianni", "magnani", "gabin",
+    "bardot",   "ophuls",  "dietrich", "wilder", "huston",   "lean"};
+
+const char* kGenres[] = {"drama",    "comedy",   "thriller", "romance",
+                         "western",  "noir",     "musical",  "horror",
+                         "adventure", "mystery", "war",      "history"};
+
+template <size_t N>
+const char* Pick(Rng* rng, const char* (&options)[N]) {
+  return options[rng->Uniform(N)];
+}
+
+class ImdbBuilder {
+ public:
+  explicit ImdbBuilder(const ImdbOptions& options)
+      : rng_(options.seed), text_(0.8), scale_(std::max(0.01, options.scale)) {}
+
+  GeneratedDataset Build() {
+    GeneratedDataset dataset;
+    dataset.name = "IMDB";
+    doc_ = &dataset.doc;
+    NodeId imdb = doc_->CreateRoot("imdb");
+
+    num_movies_ = Scaled(1500);
+    num_series_ = Scaled(160);
+    num_actors_ = Scaled(2400);
+    num_directors_ = Scaled(420);
+
+    BuildMovies(imdb);
+    BuildSeries(imdb);
+    BuildActors(imdb);
+    BuildDirectors(imdb);
+
+    dataset.value_paths = {
+        "/imdb/movie/year",
+        "/imdb/series/year",
+        "/imdb/movie/rating",
+        "/imdb/movie/title",
+        "/imdb/series/episode/title",
+        "/imdb/actor/name",
+        "/imdb/movie/plot",
+        "/imdb/series/episode/plot",
+    };
+    return dataset;
+  }
+
+ private:
+  size_t Scaled(size_t base) {
+    return std::max<size_t>(
+        2, static_cast<size_t>(std::llround(static_cast<double>(base) * scale_)));
+  }
+
+  std::string PersonName() {
+    std::string name = Pick(&rng_, kFirstNames);
+    name += ' ';
+    name += Pick(&rng_, kLastNames);
+    return name;
+  }
+
+  std::string Title(size_t topic = 0) {
+    // 1-4 corpus words, title-cased ("The Golden Harbor").
+    size_t words = 1 + rng_.Uniform(4);
+    std::string title = rng_.Bernoulli(0.4) ? "the " : "";
+    title += text_.Generate(&rng_, words, topic);
+    bool upper = true;
+    for (char& c : title) {
+      if (upper && std::isalpha(static_cast<unsigned char>(c))) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        upper = false;
+      }
+      if (c == ' ') upper = true;
+    }
+    return title;
+  }
+
+  void BuildMovies(NodeId imdb) {
+    for (size_t m = 0; m < num_movies_; ++m) {
+      // Latent era in [0, 1]: 0 = silent age, 1 = contemporary. The era
+      // drives the year AND the movie's structure (cast size, keywords,
+      // rating presence) and content (title/plot vocabulary) — structure-
+      // value correlations that coarse clusterings blur.
+      const double era = rng_.NextDouble();
+      const size_t topic = era < 0.5 ? 3 : 5;  // vocabulary per era
+
+      NodeId movie = doc_->AddChild(imdb, "movie");
+      doc_->SetString(doc_->AddChild(movie, "title"), Title(topic));
+      int64_t year = 1925 + static_cast<int64_t>(era * 80.0) +
+                     static_cast<int64_t>(rng_.Uniform(5));
+      doc_->SetNumeric(doc_->AddChild(movie, "year"), year);
+      if (era > 0.3) {
+        // 0-100 rating; only post-silent-era films are rated, and older
+        // surviving films skew higher — a hard structure-value correlation.
+        int64_t rating = static_cast<int64_t>(std::clamp(
+            70.0 - era * 10.0 + rng_.NextGaussian() * 12.0, 1.0, 100.0));
+        doc_->SetNumeric(doc_->AddChild(movie, "rating"), rating);
+      }
+      size_t genres = 1 + static_cast<size_t>(era * 2.0 + rng_.NextDouble());
+      NodeId genre_list = doc_->AddChild(movie, "genres");
+      for (size_t g = 0; g < genres; ++g) {
+        doc_->SetString(doc_->AddChild(genre_list, "genre"),
+                        Pick(&rng_, kGenres));
+      }
+      if (rng_.Bernoulli(0.9)) {
+        NodeId cast = doc_->AddChild(movie, "cast");
+        // Cast size grows almost deterministically with the era.
+        size_t performers = 1 + static_cast<size_t>(era * 5.0) + rng_.Uniform(2);
+        for (size_t p = 0; p < performers; ++p) {
+          NodeId performer = doc_->AddChild(cast, "performer");
+          doc_->SetString(doc_->AddChild(performer, "@actor"),
+                          "actor" + std::to_string(rng_.Uniform(num_actors_)));
+          if (rng_.Bernoulli(0.5)) {
+            doc_->SetString(doc_->AddChild(performer, "role"),
+                            text_.Word(&rng_, topic));
+          }
+        }
+      }
+      NodeId directed = doc_->AddChild(movie, "directedby");
+      doc_->SetString(doc_->AddChild(directed, "@director"),
+                      "director" + std::to_string(rng_.Uniform(num_directors_)));
+      // Optional release metadata (varies the count-stable signatures).
+      if (rng_.Bernoulli(0.5)) {
+        NodeId countries = doc_->AddChild(movie, "countries");
+        size_t n = 1 + rng_.Uniform(3);
+        for (size_t i = 0; i < n; ++i) {
+          doc_->SetString(doc_->AddChild(countries, "country"),
+                          text_.Word(&rng_, 11));
+        }
+      }
+      if (rng_.Bernoulli(0.35 + 0.3 * era)) {
+        doc_->SetNumeric(doc_->AddChild(movie, "runtime"),
+                         60 + static_cast<int64_t>(rng_.Uniform(120)));
+      }
+      if (rng_.Bernoulli(0.2 * (1.0 - era) + 0.05)) {
+        NodeId awards = doc_->AddChild(movie, "awards");
+        size_t n = 1 + rng_.Uniform(3);
+        for (size_t i = 0; i < n; ++i) {
+          NodeId award = doc_->AddChild(awards, "award");
+          doc_->SetString(doc_->AddChild(award, "name"),
+                          text_.Word(&rng_, 13));
+          doc_->SetNumeric(doc_->AddChild(award, "year"),
+                           1930 + static_cast<int64_t>(rng_.Uniform(70)));
+        }
+      }
+      if (rng_.Bernoulli(0.15 + 0.8 * era)) {
+        doc_->SetText(doc_->AddChild(movie, "plot"),
+                      text_.Generate(&rng_, 20 + rng_.Uniform(40), topic));
+      }
+      if (era > 0.55) {
+        // Keyword lists exist only for the modern catalogue.
+        doc_->SetText(doc_->AddChild(movie, "keywords"),
+                      text_.Generate(&rng_, 4 + rng_.Uniform(8), topic));
+      }
+    }
+  }
+
+  void BuildSeries(NodeId imdb) {
+    for (size_t t = 0; t < num_series_; ++t) {
+      NodeId series = doc_->AddChild(imdb, "series");
+      doc_->SetString(doc_->AddChild(series, "title"), Title(7));
+      // Series share the "year" and "rating" labels with movies but draw
+      // from different distributions, so tag-level clustering mixes them
+      // (the numeric analogue of the title-vocabulary mixing below).
+      doc_->SetNumeric(doc_->AddChild(series, "year"),
+                       1950 + static_cast<int64_t>(rng_.Uniform(55)));
+      doc_->SetNumeric(doc_->AddChild(series, "rating"),
+                       40 + static_cast<int64_t>(rng_.Uniform(45)));
+      size_t episodes = 3 + rng_.Uniform(10);
+      for (size_t e = 0; e < episodes; ++e) {
+        NodeId episode = doc_->AddChild(series, "episode");
+        // Episode titles use a distinct vocabulary from movie titles, so
+        // //title substring queries mix differently-distributed clusters.
+        doc_->SetString(doc_->AddChild(episode, "title"), Title(9));
+        doc_->SetNumeric(doc_->AddChild(episode, "season"),
+                         1 + static_cast<int64_t>(e / 4));
+        doc_->SetNumeric(doc_->AddChild(episode, "number"),
+                         1 + static_cast<int64_t>(e % 4));
+        if (rng_.Bernoulli(0.85)) {
+          // Episode plots share the "plot" label with movies but use a
+          // different vocabulary — cross-path TEXT mixing at coarse budgets.
+          doc_->SetText(doc_->AddChild(episode, "plot"),
+                        text_.Generate(&rng_, 10 + rng_.Uniform(15), 9));
+        }
+      }
+    }
+  }
+
+  void BuildActors(NodeId imdb) {
+    for (size_t a = 0; a < num_actors_; ++a) {
+      NodeId actor = doc_->AddChild(imdb, "actor");
+      doc_->SetString(doc_->AddChild(actor, "@id"),
+                      "actor" + std::to_string(a));
+      doc_->SetString(doc_->AddChild(actor, "name"), PersonName());
+      if (rng_.Bernoulli(0.6)) {
+        doc_->SetNumeric(doc_->AddChild(actor, "birthyear"),
+                         1900 + static_cast<int64_t>(rng_.Uniform(80)));
+      }
+    }
+  }
+
+  void BuildDirectors(NodeId imdb) {
+    for (size_t d = 0; d < num_directors_; ++d) {
+      NodeId director = doc_->AddChild(imdb, "director");
+      doc_->SetString(doc_->AddChild(director, "@id"),
+                      "director" + std::to_string(d));
+      doc_->SetString(doc_->AddChild(director, "name"), PersonName());
+      if (rng_.Bernoulli(0.3)) {
+        doc_->SetText(doc_->AddChild(director, "biography"),
+                      text_.Generate(&rng_, 15 + rng_.Uniform(20)));
+      }
+    }
+  }
+
+  Rng rng_;
+  TextGenerator text_;
+  double scale_;
+  XmlDocument* doc_ = nullptr;
+  size_t num_movies_ = 0;
+  size_t num_series_ = 0;
+  size_t num_actors_ = 0;
+  size_t num_directors_ = 0;
+};
+
+}  // namespace
+
+GeneratedDataset GenerateImdb(const ImdbOptions& options) {
+  return ImdbBuilder(options).Build();
+}
+
+}  // namespace xcluster

@@ -1,0 +1,27 @@
+#ifndef XCLUSTER_DATA_IMDB_H_
+#define XCLUSTER_DATA_IMDB_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace xcluster {
+
+/// Options for the IMDB-like generator. `scale` = 1.0 produces roughly
+/// 45k elements (a synthetic stand-in for the paper's real IMDB subset;
+/// see the substitution notes in DESIGN.md).
+struct ImdbOptions {
+  double scale = 1.0;
+  uint64_t seed = 11;
+};
+
+/// Generates an IMDB-like movie database: movies with titles, years,
+/// ratings, genre lists, casts, plots and keyword lists, plus actor and
+/// director registries. Mixed-type content: NUMERIC (years, ratings),
+/// STRING (titles, names), TEXT (plots, keywords). Seven value paths
+/// receive detailed summaries, mirroring the paper's setup.
+GeneratedDataset GenerateImdb(const ImdbOptions& options);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_DATA_IMDB_H_

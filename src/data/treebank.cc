@@ -1,0 +1,127 @@
+#include "data/treebank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/rng.h"
+#include "text/corpus.h"
+
+namespace xcluster {
+
+namespace {
+
+class TreebankBuilder {
+ public:
+  explicit TreebankBuilder(const TreebankOptions& options)
+      : options_(options),
+        rng_(options.seed),
+        text_(0.9),
+        scale_(std::max(0.01, options.scale)) {}
+
+  GeneratedDataset Build() {
+    GeneratedDataset dataset;
+    dataset.name = "Treebank";
+    doc_ = &dataset.doc;
+    NodeId corpus = doc_->CreateRoot("corpus");
+
+    const size_t num_documents = std::max<size_t>(
+        1, static_cast<size_t>(std::llround(60.0 * scale_)));
+    for (size_t d = 0; d < num_documents; ++d) {
+      NodeId document = doc_->AddChild(corpus, "document");
+      doc_->SetString(doc_->AddChild(document, "docno"),
+                      "doc" + std::to_string(d));
+      size_t sentences = 8 + rng_.Uniform(18);
+      for (size_t s = 0; s < sentences; ++s) BuildSentence(document);
+    }
+
+    dataset.value_paths = {
+        "/corpus/document/sentence/length",
+        "/corpus/document/sentence/text",
+        "/corpus/document/sentence/S/NP/NN",
+        "/corpus/document/sentence/S/VP/VB",
+    };
+    return dataset;
+  }
+
+ private:
+  void BuildSentence(NodeId document) {
+    NodeId sentence = doc_->AddChild(document, "sentence");
+    words_in_sentence_.clear();
+    NodeId s = doc_->AddChild(sentence, "S");
+    // A sentence is NP VP, each recursively expanded.
+    BuildNp(s, 1);
+    BuildVp(s, 1);
+    doc_->SetNumeric(doc_->AddChild(sentence, "length"),
+                     static_cast<int64_t>(words_in_sentence_.size()));
+    std::string text;
+    for (const std::string& word : words_in_sentence_) {
+      if (!text.empty()) text += ' ';
+      text += word;
+    }
+    doc_->SetText(doc_->AddChild(sentence, "text"), text);
+  }
+
+  std::string Word(size_t topic) {
+    std::string word = text_.Word(&rng_, topic);
+    words_in_sentence_.push_back(word);
+    return word;
+  }
+
+  void BuildNp(NodeId parent, size_t depth) {
+    NodeId np = doc_->AddChild(parent, "NP");
+    if (rng_.Bernoulli(0.6)) {
+      const char* determiner = rng_.Bernoulli(0.7) ? "the" : "a";
+      doc_->SetString(doc_->AddChild(np, "DT"), determiner);
+      words_in_sentence_.push_back(determiner);
+    }
+    if (rng_.Bernoulli(0.4)) {
+      doc_->SetString(doc_->AddChild(np, "JJ"), Word(2));
+    }
+    doc_->SetString(doc_->AddChild(np, "NN"), Word(0));
+    // Recursive attachments: PP ("of the king") or SBAR ("that ran").
+    if (depth < options_.max_depth && rng_.Bernoulli(0.35)) {
+      BuildPp(np, depth + 1);
+    }
+    if (depth < options_.max_depth && rng_.Bernoulli(0.1)) {
+      NodeId sbar = doc_->AddChild(np, "SBAR");
+      doc_->SetString(doc_->AddChild(sbar, "IN"), "that");
+      words_in_sentence_.push_back("that");
+      BuildVp(sbar, depth + 1);
+    }
+  }
+
+  void BuildVp(NodeId parent, size_t depth) {
+    NodeId vp = doc_->AddChild(parent, "VP");
+    doc_->SetString(doc_->AddChild(vp, "VB"), Word(4));
+    if (depth < options_.max_depth && rng_.Bernoulli(0.65)) {
+      BuildNp(vp, depth + 1);
+    }
+    if (depth < options_.max_depth && rng_.Bernoulli(0.25)) {
+      BuildPp(vp, depth + 1);
+    }
+  }
+
+  void BuildPp(NodeId parent, size_t depth) {
+    NodeId pp = doc_->AddChild(parent, "PP");
+    doc_->SetString(doc_->AddChild(pp, "IN"),
+                    rng_.Bernoulli(0.5) ? "of" : "in");
+    words_in_sentence_.push_back("of");
+    BuildNp(pp, depth + 1);
+  }
+
+  const TreebankOptions& options_;
+  Rng rng_;
+  TextGenerator text_;
+  double scale_;
+  XmlDocument* doc_ = nullptr;
+  std::vector<std::string> words_in_sentence_;
+};
+
+}  // namespace
+
+GeneratedDataset GenerateTreebank(const TreebankOptions& options) {
+  return TreebankBuilder(options).Build();
+}
+
+}  // namespace xcluster

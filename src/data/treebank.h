@@ -1,0 +1,29 @@
+#ifndef XCLUSTER_DATA_TREEBANK_H_
+#define XCLUSTER_DATA_TREEBANK_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace xcluster {
+
+/// Options for the Treebank-like generator. `scale` = 1.0 produces roughly
+/// 45k elements.
+struct TreebankOptions {
+  double scale = 1.0;
+  uint64_t seed = 23;
+  /// Maximum parse-tree depth below a sentence.
+  size_t max_depth = 10;
+};
+
+/// Generates a Treebank-like corpus of parsed sentences: deeply recursive
+/// grammatical structure (S / NP / VP / PP / SBAR nesting) with STRING
+/// leaves (words under part-of-speech tags) and a per-sentence TEXT node.
+/// This is the classic "deep recursive" stress data set for XML synopses —
+/// descendant-axis estimation must traverse long, cyclic label paths, the
+/// opposite regime from the wide-and-shallow IMDB/XMark shapes.
+GeneratedDataset GenerateTreebank(const TreebankOptions& options);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_DATA_TREEBANK_H_

@@ -1,0 +1,400 @@
+#include "data/xmark.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "text/corpus.h"
+
+namespace xcluster {
+
+namespace {
+
+const char* kRegions[] = {"africa",   "asia",    "australia",
+                          "europe",   "namerica", "samerica"};
+
+const char* kFirstNames[] = {
+    "james", "mary",   "john",   "patricia", "robert", "jennifer",
+    "michael", "linda", "william", "elizabeth", "david", "barbara",
+    "richard", "susan", "joseph", "jessica",  "thomas", "sarah",
+    "charles", "karen", "yuki",   "kenji",    "mei",    "amara",
+    "diego",  "lucia",  "ivan",   "olga",     "pierre", "claire"};
+
+const char* kLastNames[] = {
+    "smith",  "johnson", "williams", "brown",   "jones",    "garcia",
+    "miller", "davis",   "rodriguez", "martinez", "hernandez", "lopez",
+    "gonzalez", "wilson", "anderson", "thomas",  "taylor",   "moore",
+    "tanaka", "suzuki",  "mueller",  "schmidt", "rossi",    "ferrari",
+    "ivanov", "petrov",  "dubois",   "lefevre", "kim",      "park"};
+
+const char* kCities[] = {"london", "paris",  "tokyo",   "berlin", "madrid",
+                         "rome",   "moscow", "beijing", "sydney", "toronto",
+                         "lagos",  "cairo",  "mumbai",  "seoul",  "lima"};
+
+const char* kCountries[] = {"uk",     "france", "japan", "germany", "spain",
+                            "italy",  "russia", "china", "australia",
+                            "canada", "nigeria", "egypt", "india",  "korea",
+                            "peru"};
+
+const char* kEducation[] = {"highschool", "college", "graduate", "other"};
+const char* kBusiness[] = {"yes", "no"};
+const char* kAuctionTypes[] = {"regular", "featured", "dutch"};
+const char* kPayments[] = {"creditcard", "cash", "moneyorder",
+                           "personalcheck"};
+const char* kShipping[] = {"willship internationally", "willship worldwide",
+                           "buyer pays fixed shipping charges",
+                           "see description for charges"};
+
+template <size_t N>
+const char* Pick(Rng* rng, const char* (&options)[N]) {
+  return options[rng->Uniform(N)];
+}
+
+class XMarkBuilder {
+ public:
+  explicit XMarkBuilder(const XMarkOptions& options)
+      : rng_(options.seed), text_(0.85), scale_(std::max(0.01, options.scale)) {}
+
+  GeneratedDataset Build() {
+    GeneratedDataset dataset;
+    dataset.name = "XMark";
+    doc_ = &dataset.doc;
+    NodeId site = doc_->CreateRoot("site");
+
+    num_categories_ = Scaled(60);
+    num_people_ = Scaled(700);
+    num_items_ = Scaled(900);
+    num_open_ = Scaled(420);
+    num_closed_ = Scaled(260);
+
+    BuildRegions(site);
+    BuildCategories(site);
+    BuildCatgraph(site);
+    BuildPeople(site);
+    BuildOpenAuctions(site);
+    BuildClosedAuctions(site);
+
+    dataset.value_paths = {
+        "/site/open_auctions/open_auction/initial",
+        "/site/open_auctions/open_auction/bidder/increase",
+        "/site/closed_auctions/closed_auction/price",
+        "/site/people/person/profile/age",
+        "/site/people/person/name",
+        "/site/people/person/emailaddress",
+        "/site/regions/europe/item/name",
+        "/site/regions/europe/item/description/text",
+        "/site/open_auctions/open_auction/annotation/description/text",
+    };
+    return dataset;
+  }
+
+ private:
+  size_t Scaled(size_t base) {
+    return std::max<size_t>(
+        2, static_cast<size_t>(std::llround(static_cast<double>(base) * scale_)));
+  }
+
+  std::string PersonName() {
+    std::string name = Pick(&rng_, kFirstNames);
+    name += ' ';
+    name += Pick(&rng_, kLastNames);
+    return name;
+  }
+
+  std::string ItemName() {
+    // 2-3 skewed corpus words, e.g. "golden vintage ring".
+    size_t words = 2 + rng_.Uniform(2);
+    return text_.Generate(&rng_, words);
+  }
+
+  /// Adds a text element with optional inline markup children (<bold>,
+  /// <keyword>, <emph>), mirroring XMark's marked-up text model. Markup
+  /// multiplies the count-stable signature space, as in the real benchmark.
+  NodeId AddMarkedUpText(NodeId parent, size_t words, size_t topic) {
+    NodeId text = doc_->AddChild(parent, "text");
+    doc_->SetText(text, text_.Generate(&rng_, words, topic));
+    const char* markup[] = {"bold", "keyword", "emph"};
+    for (const char* tag : markup) {
+      size_t count = rng_.Bernoulli(0.35) ? 1 + rng_.Uniform(2) : 0;
+      for (size_t i = 0; i < count; ++i) {
+        NodeId node = doc_->AddChild(text, tag);
+        doc_->SetString(node, text_.Word(&rng_, topic));
+      }
+    }
+    return text;
+  }
+
+  /// description := text | parlist (recursive; depth-limited). `depth` is
+  /// the recursion allowance already consumed (>= 2 forces plain text);
+  /// `topic` selects the text vocabulary.
+  void BuildDescription(NodeId parent, int depth, size_t topic) {
+    NodeId description = doc_->AddChild(parent, "description");
+    if (depth < 2 && rng_.Bernoulli(0.5)) {
+      NodeId parlist = doc_->AddChild(description, "parlist");
+      size_t items = 1 + rng_.Uniform(3);
+      for (size_t i = 0; i < items; ++i) {
+        NodeId listitem = doc_->AddChild(parlist, "listitem");
+        if (depth < 1 && rng_.Bernoulli(0.25)) {
+          NodeId inner = doc_->AddChild(listitem, "parlist");
+          NodeId inner_item = doc_->AddChild(inner, "listitem");
+          AddMarkedUpText(inner_item, 8 + rng_.Uniform(10), topic);
+        } else {
+          AddMarkedUpText(listitem, 8 + rng_.Uniform(14), topic);
+        }
+      }
+    } else {
+      NodeId text = doc_->AddChild(description, "text");
+      doc_->SetText(text, text_.Generate(&rng_, 12 + rng_.Uniform(20), topic));
+    }
+  }
+
+  void BuildRegions(NodeId site) {
+    NodeId regions = doc_->AddChild(site, "regions");
+    // Items are spread over regions with a skew (Europe largest, as in
+    // XMark's fixed region fractions).
+    const double fractions[] = {0.10, 0.20, 0.05, 0.35, 0.22, 0.08};
+    for (size_t r = 0; r < 6; ++r) {
+      NodeId region = doc_->AddChild(regions, kRegions[r]);
+      size_t count = std::max<size_t>(
+          1, static_cast<size_t>(std::llround(
+                 static_cast<double>(num_items_) * fractions[r])));
+      for (size_t i = 0; i < count; ++i) BuildItem(region, r);
+    }
+  }
+
+  void BuildItem(NodeId region, size_t region_index) {
+    // Latent "richness": correlated with the region (Europe richest) and
+    // driving the item's structure (mailbox, category links, parlist
+    // descriptions) as well as its values — the structure-value
+    // correlations the synopsis must capture.
+    const double region_wealth[] = {0.05, 0.25, 0.15, 0.45, 0.35, 0.10};
+    const double richness = std::min(
+        1.0, rng_.NextDouble() * 0.6 + region_wealth[region_index]);
+
+    NodeId item = doc_->AddChild(region, "item");
+    doc_->SetString(doc_->AddChild(item, "location"),
+                    Pick(&rng_, kCountries));
+    doc_->SetNumeric(doc_->AddChild(item, "quantity"),
+                     1 + static_cast<int64_t>((1.0 - richness) * 9.0));
+    // Region-specific naming vocabulary.
+    doc_->SetString(doc_->AddChild(item, "name"),
+                    text_.Generate(&rng_, 2 + rng_.Uniform(2), region_index));
+    doc_->SetString(doc_->AddChild(item, "payment"),
+                    kPayments[richness > 0.5 ? rng_.Uniform(2)
+                                             : 2 + rng_.Uniform(2)]);
+    BuildDescription(item, richness > 0.65 ? 0 : 2, region_index);
+    doc_->SetString(doc_->AddChild(item, "shipping"), Pick(&rng_, kShipping));
+    size_t cats = 1 + static_cast<size_t>(richness * 3.0);
+    for (size_t c = 0; c < cats; ++c) {
+      NodeId incategory = doc_->AddChild(item, "incategory");
+      doc_->SetString(doc_->AddChild(incategory, "@category"),
+                      "category" + std::to_string(rng_.Uniform(num_categories_)));
+    }
+    if (richness > 0.45) {
+      NodeId mailbox = doc_->AddChild(item, "mailbox");
+      size_t mails = 1 + static_cast<size_t>(richness * 3.0 * rng_.NextDouble());
+      for (size_t m = 0; m < mails; ++m) {
+        NodeId mail = doc_->AddChild(mailbox, "mail");
+        doc_->SetString(doc_->AddChild(mail, "from"), PersonName());
+        doc_->SetString(doc_->AddChild(mail, "to"), PersonName());
+        doc_->SetNumeric(doc_->AddChild(mail, "date"),
+                         1998 + static_cast<int64_t>(rng_.Uniform(6)));
+        AddMarkedUpText(mail, 15 + rng_.Uniform(25), region_index);
+      }
+    }
+  }
+
+  void BuildCategories(NodeId site) {
+    NodeId categories = doc_->AddChild(site, "categories");
+    for (size_t c = 0; c < num_categories_; ++c) {
+      NodeId category = doc_->AddChild(categories, "category");
+      doc_->SetString(doc_->AddChild(category, "@id"),
+                      "category" + std::to_string(c));
+      doc_->SetString(doc_->AddChild(category, "name"), ItemName());
+      BuildDescription(category, 1, 6);
+    }
+  }
+
+  void BuildCatgraph(NodeId site) {
+    NodeId catgraph = doc_->AddChild(site, "catgraph");
+    size_t edges = num_categories_ * 2;
+    for (size_t e = 0; e < edges; ++e) {
+      NodeId edge = doc_->AddChild(catgraph, "edge");
+      doc_->SetString(doc_->AddChild(edge, "@from"),
+                      "category" + std::to_string(rng_.Uniform(num_categories_)));
+      doc_->SetString(doc_->AddChild(edge, "@to"),
+                      "category" + std::to_string(rng_.Uniform(num_categories_)));
+    }
+  }
+
+  void BuildPeople(NodeId site) {
+    NodeId people = doc_->AddChild(site, "people");
+    for (size_t p = 0; p < num_people_; ++p) {
+      NodeId person = doc_->AddChild(people, "person");
+      doc_->SetString(doc_->AddChild(person, "@id"),
+                      "person" + std::to_string(p));
+      std::string name = PersonName();
+      doc_->SetString(doc_->AddChild(person, "name"), name);
+      std::string email = name;
+      std::replace(email.begin(), email.end(), ' ', '.');
+      doc_->SetString(doc_->AddChild(person, "emailaddress"),
+                      "mailto:" + email + "@example.com");
+      // Latent engagement: highly engaged users have complete contact
+      // records, rich profiles, more interests and watch lists, and skew
+      // older — correlating person structure with the age distribution.
+      const double engagement = rng_.NextDouble();
+      if (engagement > 0.3) {
+        doc_->SetString(doc_->AddChild(person, "phone"),
+                        "+" + std::to_string(1 + rng_.Uniform(99)) + " " +
+                            std::to_string(1000000 + rng_.Uniform(9000000)));
+      }
+      if (engagement > 0.4) {
+        NodeId address = doc_->AddChild(person, "address");
+        doc_->SetString(doc_->AddChild(address, "street"),
+                        std::to_string(1 + rng_.Uniform(99)) + " " +
+                            text_.Word(&rng_) + " st");
+        doc_->SetString(doc_->AddChild(address, "city"), Pick(&rng_, kCities));
+        doc_->SetString(doc_->AddChild(address, "country"),
+                        Pick(&rng_, kCountries));
+        doc_->SetNumeric(doc_->AddChild(address, "zipcode"),
+                         static_cast<int64_t>(rng_.Uniform(99999)));
+      }
+      if (engagement > 0.5) {
+        doc_->SetString(doc_->AddChild(person, "creditcard"),
+                        std::to_string(1000 + rng_.Uniform(9000)) + " " +
+                            std::to_string(1000 + rng_.Uniform(9000)));
+      }
+      if (engagement > 0.25) {
+        NodeId profile = doc_->AddChild(person, "profile");
+        size_t interests = static_cast<size_t>(engagement * 4.0);
+        for (size_t i = 0; i < interests; ++i) {
+          NodeId interest = doc_->AddChild(profile, "interest");
+          doc_->SetString(doc_->AddChild(interest, "@category"),
+                          "category" + std::to_string(rng_.Uniform(num_categories_)));
+        }
+        if (engagement > 0.55) {
+          doc_->SetString(doc_->AddChild(profile, "education"),
+                          Pick(&rng_, kEducation));
+        }
+        doc_->SetString(doc_->AddChild(profile, "business"),
+                        kBusiness[engagement > 0.6 ? 0 : 1]);
+        // Engaged users skew older: age rises with engagement.
+        int64_t age =
+            18 + static_cast<int64_t>(engagement * 35.0) +
+            static_cast<int64_t>(std::min(15.0, std::abs(rng_.NextGaussian()) * 6.0));
+        doc_->SetNumeric(doc_->AddChild(profile, "age"), age);
+      }
+      if (engagement > 0.6) {
+        NodeId watches = doc_->AddChild(person, "watches");
+        size_t count = 1 + static_cast<size_t>(engagement * 3.0 * rng_.NextDouble());
+        for (size_t w = 0; w < count; ++w) {
+          NodeId watch = doc_->AddChild(watches, "watch");
+          doc_->SetString(doc_->AddChild(watch, "@open_auction"),
+                          "auction" + std::to_string(rng_.Uniform(
+                                          std::max<size_t>(1, num_open_))));
+        }
+      }
+    }
+  }
+
+  /// Auction prices follow a Zipf-flavoured heavy tail.
+  int64_t Price() {
+    double u = rng_.NextDouble();
+    return 1 + static_cast<int64_t>(std::pow(u, 3.0) * 4999.0);
+  }
+
+  void BuildOpenAuctions(NodeId site) {
+    NodeId auctions = doc_->AddChild(site, "open_auctions");
+    for (size_t a = 0; a < num_open_; ++a) {
+      NodeId auction = doc_->AddChild(auctions, "open_auction");
+      doc_->SetString(doc_->AddChild(auction, "@id"),
+                      "auction" + std::to_string(a));
+      // Popularity correlates structure with values: cheap auctions draw
+      // many bidders, and bid increases scale with the initial price.
+      const double popularity = rng_.NextDouble();
+      int64_t initial =
+          1 + static_cast<int64_t>((1.0 - popularity) * (1.0 - popularity) *
+                                   4999.0 * rng_.NextDouble());
+      doc_->SetNumeric(doc_->AddChild(auction, "initial"), initial);
+      size_t bidders = static_cast<size_t>(popularity * popularity * 7.0);
+      int64_t current = initial;
+      for (size_t b = 0; b < bidders; ++b) {
+        NodeId bidder = doc_->AddChild(auction, "bidder");
+        doc_->SetNumeric(doc_->AddChild(bidder, "date"),
+                         1998 + static_cast<int64_t>(rng_.Uniform(6)));
+        NodeId personref = doc_->AddChild(bidder, "personref");
+        doc_->SetString(doc_->AddChild(personref, "@person"),
+                        "person" + std::to_string(rng_.Uniform(num_people_)));
+        int64_t increase =
+            1 + initial / 20 + static_cast<int64_t>(rng_.Uniform(20));
+        doc_->SetNumeric(doc_->AddChild(bidder, "increase"), increase);
+        current += increase;
+      }
+      doc_->SetNumeric(doc_->AddChild(auction, "current"), current);
+      NodeId itemref = doc_->AddChild(auction, "itemref");
+      doc_->SetString(doc_->AddChild(itemref, "@item"),
+                      "item" + std::to_string(rng_.Uniform(num_items_)));
+      NodeId seller = doc_->AddChild(auction, "seller");
+      doc_->SetString(doc_->AddChild(seller, "@person"),
+                      "person" + std::to_string(rng_.Uniform(num_people_)));
+      NodeId annotation = doc_->AddChild(auction, "annotation");
+      BuildDescription(annotation, 1, 8 + (popularity > 0.66 ? 1u : 0u));
+      doc_->SetNumeric(doc_->AddChild(auction, "quantity"),
+                       1 + static_cast<int64_t>(rng_.Uniform(10)));
+      size_t type_index = popularity > 0.66 ? 1 : rng_.Uniform(3);
+      doc_->SetString(doc_->AddChild(auction, "type"),
+                      kAuctionTypes[type_index]);
+      NodeId interval = doc_->AddChild(auction, "interval");
+      int64_t start = 1998 + static_cast<int64_t>(rng_.Uniform(5));
+      doc_->SetNumeric(doc_->AddChild(interval, "start"), start);
+      doc_->SetNumeric(doc_->AddChild(interval, "end"),
+                       start + 1 + static_cast<int64_t>(rng_.Uniform(2)));
+    }
+  }
+
+  void BuildClosedAuctions(NodeId site) {
+    NodeId auctions = doc_->AddChild(site, "closed_auctions");
+    for (size_t a = 0; a < num_closed_; ++a) {
+      NodeId auction = doc_->AddChild(auctions, "closed_auction");
+      NodeId seller = doc_->AddChild(auction, "seller");
+      doc_->SetString(doc_->AddChild(seller, "@person"),
+                      "person" + std::to_string(rng_.Uniform(num_people_)));
+      NodeId buyer = doc_->AddChild(auction, "buyer");
+      doc_->SetString(doc_->AddChild(buyer, "@person"),
+                      "person" + std::to_string(rng_.Uniform(num_people_)));
+      NodeId itemref = doc_->AddChild(auction, "itemref");
+      doc_->SetString(doc_->AddChild(itemref, "@item"),
+                      "item" + std::to_string(rng_.Uniform(num_items_)));
+      doc_->SetNumeric(doc_->AddChild(auction, "price"), Price());
+      doc_->SetNumeric(doc_->AddChild(auction, "date"),
+                       1999 + static_cast<int64_t>(rng_.Uniform(5)));
+      doc_->SetNumeric(doc_->AddChild(auction, "quantity"),
+                       1 + static_cast<int64_t>(rng_.Uniform(10)));
+      doc_->SetString(doc_->AddChild(auction, "type"),
+                      Pick(&rng_, kAuctionTypes));
+      NodeId annotation = doc_->AddChild(auction, "annotation");
+      BuildDescription(annotation, 1, 10);
+    }
+  }
+
+  Rng rng_;
+  TextGenerator text_;
+  double scale_;
+  XmlDocument* doc_ = nullptr;
+  size_t num_categories_ = 0;
+  size_t num_people_ = 0;
+  size_t num_items_ = 0;
+  size_t num_open_ = 0;
+  size_t num_closed_ = 0;
+};
+
+}  // namespace
+
+GeneratedDataset GenerateXMark(const XMarkOptions& options) {
+  return XMarkBuilder(options).Build();
+}
+
+}  // namespace xcluster

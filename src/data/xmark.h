@@ -1,0 +1,29 @@
+#ifndef XCLUSTER_DATA_XMARK_H_
+#define XCLUSTER_DATA_XMARK_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+
+namespace xcluster {
+
+/// Options for the XMark-like generator. `scale` = 1.0 produces roughly
+/// 50k elements (a scaled-down re-implementation of the XMark auction
+/// benchmark schema; see the substitution notes in DESIGN.md).
+struct XMarkOptions {
+  double scale = 1.0;
+  uint64_t seed = 7;
+};
+
+/// Generates an XMark-like auction document: site with regions/items
+/// (nested recursive parlist descriptions), categories, people with
+/// profiles, open auctions with bidder streams, and closed auctions.
+/// Mixed-type content: NUMERIC (prices, increases, ages, quantities),
+/// STRING (names, emails, cities), TEXT (descriptions, annotations, mail
+/// bodies). Nine value paths receive detailed summaries, mirroring the
+/// paper's setup.
+GeneratedDataset GenerateXMark(const XMarkOptions& options);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_DATA_XMARK_H_

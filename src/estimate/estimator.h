@@ -1,0 +1,124 @@
+#ifndef XCLUSTER_ESTIMATE_ESTIMATOR_H_
+#define XCLUSTER_ESTIMATE_ESTIMATOR_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_pool.h"
+#include "query/twig.h"
+#include "synopsis/graph.h"
+
+namespace xcluster {
+
+/// Options for the XCluster estimation algorithm.
+struct EstimateOptions {
+  /// Maximum number of hops explored for the descendant axis over the
+  /// synopsis graph. Synopses of recursive schemas (XMark's parlist) are
+  /// cyclic, so descendant reach counts are computed as a bounded-hop DP;
+  /// contributions decay geometrically in practice.
+  size_t max_descendant_hops = 24;
+
+  /// Per-hop contributions below this mass are dropped.
+  double epsilon = 1e-9;
+
+  /// Selectivity assumed for a predicate on a cluster whose value type
+  /// matches the predicate kind but which carries no value summary (the
+  /// reference synopsis only summarizes configured paths). The default (0)
+  /// matches the paper's setting, where queries only ever filter on
+  /// summarized paths; optimizer integrations that issue predicates on
+  /// arbitrary paths can set the classical "magic constant" (e.g. 0.1)
+  /// instead. Type-incompatible predicates always estimate 0.
+  double default_selectivity = 0.0;
+};
+
+/// Per-variable breakdown of an estimate (see XClusterEstimator::Explain).
+struct EstimateExplanation {
+  struct VarStats {
+    QueryVarId var = 0;
+    std::string step;             ///< e.g. "//paper" ("" for the root)
+    double expected_bindings = 0; ///< elements bound to this variable
+    double predicate_selectivity = 1.0;  ///< combined sigma at this var
+  };
+  double selectivity = 0.0;  ///< the overall estimate s(Q)
+  std::vector<VarStats> vars;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Selectivity estimation over an XCluster synopsis (Sec. 5).
+///
+/// Implements the query-embedding framework under the generalized
+/// Path-Value Independence assumption: the expected number of elements of
+/// synopsis node c reached per element of node u through path u[p]/c is
+/// sigma_p(u) * count(u, c). The total estimate sums, over all embeddings
+/// of the query into the synopsis graph, the product of edge reach-counts
+/// and predicate selectivities — computed in factored form by dynamic
+/// programming over query variables.
+class XClusterEstimator {
+ public:
+  /// `synopsis` must outlive the estimator.
+  explicit XClusterEstimator(const GraphSynopsis& synopsis,
+                             EstimateOptions options = EstimateOptions());
+
+  /// Estimated selectivity of `query`. ftcontains terms are resolved
+  /// against the synopsis' term dictionary internally.
+  double Estimate(const TwigQuery& query) const;
+
+  /// Estimate plus an EXPLAIN-style per-variable breakdown: the expected
+  /// number of elements bound to each query variable (after predicates)
+  /// and the average predicate selectivity applied there. Useful when
+  /// integrating the synopsis into an optimizer.
+  EstimateExplanation Explain(const TwigQuery& query) const;
+
+ private:
+  /// Expected binding tuples of the sub-twig rooted at `var`, per element
+  /// of synopsis node `node` bound to `var` (before var's predicates).
+  double TuplesPerElement(const TwigQuery& query, QueryVarId var,
+                          SynNodeId node,
+                          std::vector<std::unordered_map<SynNodeId, double>>*
+                              memo) const;
+
+  /// sigma of all predicates attached to `var` evaluated at `node`.
+  double PredicateSelectivity(const TwigQuery& query, QueryVarId var,
+                              SynNodeId node) const;
+
+  /// Expected number of elements of each target node reached per element of
+  /// `source` via `step`; appends (target, count) pairs.
+  void Reach(SynNodeId source, const TwigStep& step,
+             std::vector<std::pair<SynNodeId, double>>* out) const;
+
+  bool LabelMatches(SynNodeId node, const TwigStep& step) const;
+
+  const GraphSynopsis& synopsis_;
+  EstimateOptions options_;
+
+  /// Descendant-axis reach counts are label-independent per source node up
+  /// to the final label filter, and queries repeatedly traverse the same
+  /// synopsis, so the per-(source, label-or-wildcard) results are memoized
+  /// for the estimator's lifetime. The synopsis must not change while an
+  /// estimator exists.
+  struct ReachKey {
+    SynNodeId source;
+    SymbolId label;  // kInvalidSymbol encodes the wildcard
+    bool operator==(const ReachKey& other) const {
+      return source == other.source && label == other.label;
+    }
+  };
+  struct ReachKeyHash {
+    size_t operator()(const ReachKey& key) const {
+      return std::hash<uint64_t>()(
+          (static_cast<uint64_t>(key.source) << 32) ^ key.label);
+    }
+  };
+  mutable std::unordered_map<ReachKey,
+                             std::vector<std::pair<SynNodeId, double>>,
+                             ReachKeyHash>
+      descendant_cache_;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_ESTIMATE_ESTIMATOR_H_

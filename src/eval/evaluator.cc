@@ -1,0 +1,182 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace xcluster {
+
+ExactEvaluator::ExactEvaluator(const XmlDocument& doc,
+                               const TermDictionary* dict)
+    : doc_(doc), dict_(dict) {}
+
+bool ExactEvaluator::Satisfies(NodeId e, const ValuePredicate& pred) const {
+  const XmlNode& node = doc_.node(e);
+  switch (pred.kind) {
+    case ValuePredicate::Kind::kRange:
+      return node.type == ValueType::kNumeric && node.numeric >= pred.lo &&
+             node.numeric <= pred.hi;
+    case ValuePredicate::Kind::kContains:
+      return node.type == ValueType::kString &&
+             node.text.find(pred.substring) != std::string::npos;
+    case ValuePredicate::Kind::kFtContains: {
+      if (node.type != ValueType::kText || dict_ == nullptr) return false;
+      if (pred.term_ids.size() != pred.terms.size()) return false;  // unknown
+      TermSet present = dict_->LookupText(node.text);
+      return std::includes(present.begin(), present.end(),
+                           pred.term_ids.begin(), pred.term_ids.end());
+    }
+    case ValuePredicate::Kind::kFtAny: {
+      if (node.type != ValueType::kText || dict_ == nullptr) return false;
+      TermSet present = dict_->LookupText(node.text);
+      for (TermId term : pred.term_ids) {
+        if (std::binary_search(present.begin(), present.end(), term)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case ValuePredicate::Kind::kFtSimilar: {
+      if (node.type != ValueType::kText || dict_ == nullptr) return false;
+      TermSet present = dict_->LookupText(node.text);
+      size_t matches = 0;
+      for (TermId term : pred.term_ids) {
+        if (std::binary_search(present.begin(), present.end(), term)) {
+          ++matches;
+        }
+      }
+      return matches >= pred.RequiredMatches();
+    }
+  }
+  return false;
+}
+
+void ExactEvaluator::Matches(NodeId element, const TwigStep& step,
+                             std::vector<NodeId>* out) const {
+  const auto label_matches = [&](NodeId id) {
+    return step.wildcard || doc_.label_name(id) == step.label;
+  };
+  if (step.axis == TwigStep::Axis::kChild) {
+    for (NodeId child : doc_.children(element)) {
+      if (label_matches(child)) out->push_back(child);
+    }
+    return;
+  }
+  // Descendant axis: DFS over the subtree (proper descendants).
+  std::vector<NodeId> stack(doc_.children(element).begin(),
+                            doc_.children(element).end());
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    if (label_matches(id)) out->push_back(id);
+    const auto& children = doc_.children(id);
+    stack.insert(stack.end(), children.begin(), children.end());
+  }
+}
+
+double ExactEvaluator::Tuples(
+    const TwigQuery& query, QueryVarId var, NodeId element,
+    std::vector<std::unordered_map<NodeId, double>>* memo) const {
+  auto& cache = (*memo)[var];
+  auto it = cache.find(element);
+  if (it != cache.end()) return it->second;
+
+  const QueryVar& qvar = query.var(var);
+  double result = 1.0;
+  for (const ValuePredicate& pred : qvar.predicates) {
+    if (!Satisfies(element, pred)) {
+      result = 0.0;
+      break;
+    }
+  }
+  if (result > 0.0) {
+    for (QueryVarId child : qvar.children) {
+      std::vector<NodeId> matches;
+      Matches(element, query.var(child).step, &matches);
+      double sum = 0.0;
+      for (NodeId m : matches) sum += Tuples(query, child, m, memo);
+      result *= sum;
+      if (result == 0.0) break;
+    }
+  }
+  cache.emplace(element, result);
+  return result;
+}
+
+namespace {
+
+/// Backtracking enumeration state.
+struct Enumeration {
+  const TwigQuery* query;
+  const ExactEvaluator* evaluator;
+  const XmlDocument* doc;
+  size_t limit;
+  std::vector<NodeId> assignment;
+  std::vector<std::vector<NodeId>>* out;
+
+  bool Full() const { return limit != 0 && out->size() >= limit; }
+};
+
+}  // namespace
+
+/// Extends the assignment with all bindings of `var`'s remaining subtree;
+/// `child_index` walks the child list of `var` (product semantics).
+static void ExtendBindings(Enumeration* state, QueryVarId var,
+                           size_t child_index,
+                           const std::function<void()>& done);
+
+static void BindVar(Enumeration* state, QueryVarId var, NodeId element,
+                    const std::function<void()>& done) {
+  const QueryVar& qvar = state->query->var(var);
+  for (const ValuePredicate& pred : qvar.predicates) {
+    if (!state->evaluator->Satisfies(element, pred)) return;
+  }
+  state->assignment[var] = element;
+  ExtendBindings(state, var, 0, done);
+}
+
+static void ExtendBindings(Enumeration* state, QueryVarId var,
+                           size_t child_index,
+                           const std::function<void()>& done) {
+  if (state->Full()) return;
+  const QueryVar& qvar = state->query->var(var);
+  if (child_index >= qvar.children.size()) {
+    done();
+    return;
+  }
+  QueryVarId child = qvar.children[child_index];
+  std::vector<NodeId> matches;
+  state->evaluator->MatchesForTest(state->assignment[var],
+                                   state->query->var(child).step, &matches);
+  for (NodeId m : matches) {
+    if (state->Full()) return;
+    BindVar(state, child, m,
+            [state, var, child_index, &done]() {
+              ExtendBindings(state, var, child_index + 1, done);
+            });
+  }
+}
+
+std::vector<std::vector<NodeId>> ExactEvaluator::EnumerateBindings(
+    const TwigQuery& query, size_t limit) const {
+  std::vector<std::vector<NodeId>> out;
+  if (doc_.root() == kNoNode) return out;
+  Enumeration state;
+  state.query = &query;
+  state.evaluator = this;
+  state.doc = &doc_;
+  state.limit = limit;
+  state.assignment.assign(query.size(), kNoNode);
+  state.out = &out;
+  BindVar(&state, 0, doc_.root(), [&state]() {
+    if (!state.Full()) state.out->push_back(state.assignment);
+  });
+  return out;
+}
+
+double ExactEvaluator::Selectivity(const TwigQuery& query) const {
+  if (doc_.root() == kNoNode) return 0.0;
+  std::vector<std::unordered_map<NodeId, double>> memo(query.size());
+  return Tuples(query, 0, doc_.root(), &memo);
+}
+
+}  // namespace xcluster

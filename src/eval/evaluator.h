@@ -1,0 +1,67 @@
+#ifndef XCLUSTER_EVAL_EVALUATOR_H_
+#define XCLUSTER_EVAL_EVALUATOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "query/twig.h"
+#include "text/dictionary.h"
+#include "xml/document.h"
+
+namespace xcluster {
+
+/// Exact twig-query evaluation over a document: computes the true
+/// selectivity s(Q) — the number of binding tuples, i.e. complete
+/// assignments of elements to query variables satisfying every structural
+/// and value constraint (Sec. 2). This is the ground truth the estimation
+/// experiments measure against.
+///
+/// Uses bottom-up dynamic programming: tuples(q, e) — the number of binding
+/// tuples of the sub-twig rooted at q when q is bound to element e — is the
+/// product over q's child variables of the summed tuples of their matches.
+/// Counts are tracked as doubles (XMark-style workloads exceed 2^53-free
+/// integer ranges only far beyond our scales).
+class ExactEvaluator {
+ public:
+  /// `doc` and `dict` must outlive the evaluator; `dict` may be null when
+  /// no ftcontains predicates will be evaluated.
+  ExactEvaluator(const XmlDocument& doc, const TermDictionary* dict);
+
+  /// True selectivity of `query`. The query's ftcontains predicates must
+  /// already be resolved against the same dictionary.
+  double Selectivity(const TwigQuery& query) const;
+
+  /// True if element `e` satisfies predicate `pred`.
+  bool Satisfies(NodeId e, const ValuePredicate& pred) const;
+
+  /// Materializes up to `limit` binding tuples of `query` (0 = unlimited).
+  /// Each tuple assigns one element per query variable, indexed by
+  /// QueryVarId. The number of tuples (when not truncated by `limit`)
+  /// equals Selectivity(query).
+  std::vector<std::vector<NodeId>> EnumerateBindings(const TwigQuery& query,
+                                                     size_t limit) const;
+
+  /// Elements reached from `element` by `step` (children or all proper
+  /// descendants with a matching label). Public so the binding enumerator
+  /// and tests can drive single steps.
+  void MatchesForTest(NodeId element, const TwigStep& step,
+                      std::vector<NodeId>* out) const {
+    Matches(element, step, out);
+  }
+
+ private:
+  double Tuples(const TwigQuery& query, QueryVarId var, NodeId element,
+                std::vector<std::unordered_map<NodeId, double>>* memo) const;
+
+  /// Elements reached from `element` by `step` (children or all proper
+  /// descendants with a matching label).
+  void Matches(NodeId element, const TwigStep& step,
+               std::vector<NodeId>* out) const;
+
+  const XmlDocument& doc_;
+  const TermDictionary* dict_;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_EVAL_EVALUATOR_H_

@@ -1,0 +1,108 @@
+#ifndef XCLUSTER_QUERY_BUILDER_H_
+#define XCLUSTER_QUERY_BUILDER_H_
+
+#include <string>
+#include <utility>
+
+#include "query/twig.h"
+
+namespace xcluster {
+
+/// Fluent builder for twig queries — the programmatic alternative to
+/// ParseTwig for callers that assemble queries from structured input
+/// (search forms, optimizer rewrites):
+///
+///   TwigQuery query = TwigBuilder()
+///       .Descendant("paper")
+///           .Branch("year").Range(2001, 9999).Up()
+///           .Branch("abstract").FtContains({"synopsis", "xml"}).Up()
+///       .Child("title").Contains("Tree")
+///       .Build();
+///
+/// The builder keeps a cursor at the most recently added variable; Branch()
+/// descends one child step and Up() returns to the parent, while Child()/
+/// Descendant() extend the spine from the cursor.
+class TwigBuilder {
+ public:
+  TwigBuilder() = default;
+
+  /// Adds a child-axis step from the cursor and moves the cursor to it.
+  TwigBuilder& Child(std::string label) {
+    return Step(TwigStep::Axis::kChild, std::move(label), false);
+  }
+
+  /// Adds a descendant-axis step from the cursor and moves the cursor.
+  TwigBuilder& Descendant(std::string label) {
+    return Step(TwigStep::Axis::kDescendant, std::move(label), false);
+  }
+
+  /// Adds a child-axis wildcard step.
+  TwigBuilder& AnyChild() {
+    return Step(TwigStep::Axis::kChild, "", true);
+  }
+
+  /// Like Child(), but intended for existential branches; pair with Up().
+  TwigBuilder& Branch(std::string label) { return Child(std::move(label)); }
+
+  /// Like Descendant(), for branches; pair with Up().
+  TwigBuilder& BranchDescendant(std::string label) {
+    return Descendant(std::move(label));
+  }
+
+  /// Moves the cursor back to the current variable's parent.
+  TwigBuilder& Up() {
+    if (cursor_ != 0) cursor_ = query_.var(cursor_).parent;
+    return *this;
+  }
+
+  TwigBuilder& Range(int64_t lo, int64_t hi) {
+    query_.AddPredicate(cursor_, ValuePredicate::Range(lo, hi));
+    return *this;
+  }
+
+  TwigBuilder& Contains(std::string substring) {
+    query_.AddPredicate(cursor_,
+                        ValuePredicate::Contains(std::move(substring)));
+    return *this;
+  }
+
+  TwigBuilder& FtContains(std::vector<std::string> terms) {
+    query_.AddPredicate(cursor_,
+                        ValuePredicate::FtContains(std::move(terms)));
+    return *this;
+  }
+
+  TwigBuilder& FtAny(std::vector<std::string> terms) {
+    query_.AddPredicate(cursor_, ValuePredicate::FtAny(std::move(terms)));
+    return *this;
+  }
+
+  TwigBuilder& FtSimilar(int64_t percent, std::vector<std::string> terms) {
+    query_.AddPredicate(
+        cursor_, ValuePredicate::FtSimilar(percent, std::move(terms)));
+    return *this;
+  }
+
+  /// Returns the assembled query (the builder is left in a moved-from
+  /// state).
+  TwigQuery Build() { return std::move(query_); }
+
+  QueryVarId cursor() const { return cursor_; }
+
+ private:
+  TwigBuilder& Step(TwigStep::Axis axis, std::string label, bool wildcard) {
+    TwigStep step;
+    step.axis = axis;
+    step.label = std::move(label);
+    step.wildcard = wildcard;
+    cursor_ = query_.AddVar(cursor_, std::move(step));
+    return *this;
+  }
+
+  TwigQuery query_;
+  QueryVarId cursor_ = 0;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_QUERY_BUILDER_H_

@@ -1,0 +1,31 @@
+#ifndef XCLUSTER_QUERY_PARSER_H_
+#define XCLUSTER_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "query/twig.h"
+
+namespace xcluster {
+
+/// Parses the compact twig-query syntax used across examples and tests:
+///
+///   Query := Step+
+///   Step  := ('/' | '//') (NAME | '*') Pred*
+///   Pred  := '[' Body ']'
+///   Body  := 'range' '(' INT ',' INT ')'
+///          | 'contains' '(' ARG ')'
+///          | 'ftcontains' '(' ARG (',' ARG)* ')'   -- keyword conjunction
+///          | 'ftany' '(' ARG (',' ARG)* ')'         -- keyword disjunction
+///          | 'ftsimilar' '(' INT (',' ARG)+ ')'      -- >= INT% of terms
+///          | Step+                                  -- existential branch
+///
+/// ARG is a double-quoted string or a bare token (no ',' / ')' / space).
+/// Examples:
+///   //paper[range(2000,2005)][/abstract[ftcontains(xml,synopsis)]]/title
+///   /site//item[/name[contains("gold")]]
+Result<TwigQuery> ParseTwig(std::string_view input);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_QUERY_PARSER_H_

@@ -1,0 +1,97 @@
+#ifndef XCLUSTER_QUERY_PREDICATE_H_
+#define XCLUSTER_QUERY_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/dictionary.h"
+
+namespace xcluster {
+
+/// A value predicate attached to a twig-query node (Sec. 2):
+///  * kRange       — NUMERIC [lo, hi] range predicate;
+///  * kContains    — STRING substring predicate contains(qs);
+///  * kFtContains  — TEXT keyword conjunction ftcontains(t1, ..., tk);
+///  * kFtAny       — TEXT keyword disjunction ftany(t1, ..., tk);
+///  * kFtSimilar   — TEXT set-theoretic document similarity
+///                   ftsimilar(p, t1, ..., tk): at least p% of the k query
+///                   terms appear in the text. kFtAny and kFtSimilar are
+///                   the "other Boolean-model predicates, such as
+///                   set-theoretic notions of document-similarity" that
+///                   Sec. 2 says the framework also handles.
+struct ValuePredicate {
+  enum class Kind { kRange, kContains, kFtContains, kFtAny, kFtSimilar };
+
+  Kind kind = Kind::kRange;
+
+  // kRange
+  int64_t lo = 0;
+  int64_t hi = 0;
+
+  // kContains
+  std::string substring;
+
+  // kFtContains / kFtAny / kFtSimilar — raw terms; `term_ids` is resolved
+  // against the document's term dictionary before evaluation/estimation.
+  std::vector<std::string> terms;
+  TermSet term_ids;
+
+  // kFtSimilar: required match percentage in [0, 100].
+  int64_t similarity_percent = 0;
+
+  static ValuePredicate Range(int64_t lo, int64_t hi) {
+    ValuePredicate p;
+    p.kind = Kind::kRange;
+    p.lo = lo;
+    p.hi = hi;
+    return p;
+  }
+
+  static ValuePredicate Contains(std::string qs) {
+    ValuePredicate p;
+    p.kind = Kind::kContains;
+    p.substring = std::move(qs);
+    return p;
+  }
+
+  static ValuePredicate FtContains(std::vector<std::string> terms) {
+    ValuePredicate p;
+    p.kind = Kind::kFtContains;
+    p.terms = std::move(terms);
+    return p;
+  }
+
+  static ValuePredicate FtAny(std::vector<std::string> terms) {
+    ValuePredicate p;
+    p.kind = Kind::kFtAny;
+    p.terms = std::move(terms);
+    return p;
+  }
+
+  static ValuePredicate FtSimilar(int64_t percent,
+                                  std::vector<std::string> terms) {
+    ValuePredicate p;
+    p.kind = Kind::kFtSimilar;
+    p.similarity_percent = percent;
+    p.terms = std::move(terms);
+    return p;
+  }
+
+  /// Minimum number of matching terms required by a kFtSimilar predicate.
+  size_t RequiredMatches() const {
+    if (terms.empty()) return 0;
+    const double needed = static_cast<double>(similarity_percent) / 100.0 *
+                          static_cast<double>(terms.size());
+    size_t required = static_cast<size_t>(needed);
+    if (static_cast<double>(required) < needed) ++required;
+    return required == 0 ? 1 : required;  // "similar" needs >= 1 match
+  }
+
+  /// Display form, e.g. "range(3,17)" or "contains(ACM)".
+  std::string ToString() const;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_QUERY_PREDICATE_H_

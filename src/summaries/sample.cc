@@ -1,0 +1,106 @@
+#include "summaries/sample.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace xcluster {
+
+namespace {
+
+constexpr uint64_t kSampleSeed = 0x5a17c0de;
+
+}  // namespace
+
+SampleSummary SampleSummary::Build(const std::vector<int64_t>& values,
+                                   size_t max_sample) {
+  SampleSummary summary;
+  summary.total_ = static_cast<double>(values.size());
+  if (values.empty() || max_sample == 0) return summary;
+
+  // Reservoir sampling (Algorithm R) with a fixed seed.
+  Rng rng(kSampleSeed);
+  summary.sample_.reserve(std::min(max_sample, values.size()));
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (summary.sample_.size() < max_sample) {
+      summary.sample_.push_back(values[i]);
+    } else {
+      const size_t j = static_cast<size_t>(rng.Uniform(i + 1));
+      if (j < max_sample) summary.sample_[j] = values[i];
+    }
+  }
+  std::sort(summary.sample_.begin(), summary.sample_.end());
+  return summary;
+}
+
+SampleSummary SampleSummary::Merge(const SampleSummary& a,
+                                   const SampleSummary& b) {
+  if (a.total_ <= 0.0) return b;
+  if (b.total_ <= 0.0) return a;
+  SampleSummary out;
+  out.total_ = a.total_ + b.total_;
+  const size_t cap = std::max(a.sample_.size(), b.sample_.size());
+
+  // Draw proportionally to the totals so the merged sample remains an
+  // (approximately) uniform sample of the union.
+  Rng rng(kSampleSeed ^ 0x9e3779b9);
+  const double share_a = a.total_ / out.total_;
+  const size_t from_a = std::min(
+      a.sample_.size(),
+      static_cast<size_t>(share_a * static_cast<double>(cap) + 0.5));
+  const size_t from_b = std::min(b.sample_.size(), cap - from_a);
+
+  auto draw = [&rng](const std::vector<int64_t>& source, size_t count,
+                     std::vector<int64_t>* dest) {
+    std::vector<int64_t> pool = source;
+    for (size_t i = 0; i < count && !pool.empty(); ++i) {
+      const size_t j = static_cast<size_t>(rng.Uniform(pool.size()));
+      dest->push_back(pool[j]);
+      pool[j] = pool.back();
+      pool.pop_back();
+    }
+  };
+  draw(a.sample_, from_a, &out.sample_);
+  draw(b.sample_, from_b, &out.sample_);
+  std::sort(out.sample_.begin(), out.sample_.end());
+  return out;
+}
+
+double SampleSummary::EstimateRange(int64_t lo, int64_t hi) const {
+  if (sample_.empty() || lo > hi) return 0.0;
+  auto begin = std::lower_bound(sample_.begin(), sample_.end(), lo);
+  auto end = std::upper_bound(sample_.begin(), sample_.end(), hi);
+  const double in_range = static_cast<double>(end - begin);
+  return total_ * in_range / static_cast<double>(sample_.size());
+}
+
+double SampleSummary::Selectivity(int64_t lo, int64_t hi) const {
+  if (total_ <= 0.0) return 0.0;
+  return EstimateRange(lo, hi) / total_;
+}
+
+void SampleSummary::Compress(size_t num) {
+  while (num-- > 0 && sample_.size() > 1) {
+    // Deterministic decimation: drop from alternating positions so the
+    // remaining sample stays spread across the sorted order.
+    sample_.erase(sample_.begin() +
+                  static_cast<ptrdiff_t>((sample_.size() / 2) %
+                                         sample_.size()));
+  }
+}
+
+SampleSummary SampleSummary::FromParts(std::vector<int64_t> sample,
+                                       double total) {
+  SampleSummary summary;
+  summary.sample_ = std::move(sample);
+  std::sort(summary.sample_.begin(), summary.sample_.end());
+  summary.total_ = total;
+  return summary;
+}
+
+size_t SampleSummary::SizeBytes() const {
+  if (total_ <= 0.0) return 0;
+  return sample_.size() * 4 + 4;
+}
+
+}  // namespace xcluster

@@ -1,0 +1,60 @@
+#ifndef XCLUSTER_SUMMARIES_SAMPLE_H_
+#define XCLUSTER_SUMMARIES_SAMPLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xcluster {
+
+/// Random-sample summary of a NUMERIC value distribution — the third
+/// numeric summarization tool the paper names (Sec. 3, citing
+/// Lipton/Naughton/Schneider/Seshadri): a fixed-size uniform sample of the
+/// values plus the total count. Range selectivity is the in-sample
+/// fraction scaled by the total.
+///
+/// All randomness is derived deterministically from a fixed seed so that
+/// construction is reproducible.
+class SampleSummary {
+ public:
+  SampleSummary() = default;
+
+  /// Builds a summary keeping a uniform reservoir sample of at most
+  /// `max_sample` values.
+  static SampleSummary Build(const std::vector<int64_t>& values,
+                             size_t max_sample);
+
+  /// Fuses two summaries: samples are combined with draws proportional to
+  /// the summaries' totals, capped at the larger input sample size.
+  static SampleSummary Merge(const SampleSummary& a, const SampleSummary& b);
+
+  /// Estimated number of values in [lo, hi] (inclusive).
+  double EstimateRange(int64_t lo, int64_t hi) const;
+
+  /// EstimateRange normalized by the total count.
+  double Selectivity(int64_t lo, int64_t hi) const;
+
+  /// Drops `num` sampled values (deterministic stride), keeping at least
+  /// one.
+  void Compress(size_t num);
+
+  bool CanCompress() const { return sample_.size() > 1; }
+
+  double total() const { return total_; }
+  size_t sample_size() const { return sample_.size(); }
+  const std::vector<int64_t>& sample() const { return sample_; }
+
+  /// Byte cost: 4 per sampled value + 4 for the total count.
+  size_t SizeBytes() const;
+
+  /// Reconstructs a summary from serialized parts.
+  static SampleSummary FromParts(std::vector<int64_t> sample, double total);
+
+ private:
+  std::vector<int64_t> sample_;  // sorted
+  double total_ = 0.0;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_SUMMARIES_SAMPLE_H_

@@ -1,0 +1,235 @@
+#include "synopsis/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+
+#include "synopsis/size_model.h"
+
+namespace xcluster {
+
+SynNodeId GraphSynopsis::AddNode(std::string_view label, ValueType type,
+                                 double count) {
+  SynNode node;
+  node.label = labels_.Intern(label);
+  node.type = type;
+  node.count = count;
+  SynNodeId id = static_cast<SynNodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void GraphSynopsis::AddEdge(SynNodeId u, SynNodeId v, double avg_count) {
+  nodes_[u].children.push_back({v, avg_count});
+  auto& parents = nodes_[v].parents;
+  if (std::find(parents.begin(), parents.end(), u) == parents.end()) {
+    parents.push_back(u);
+  }
+}
+
+double GraphSynopsis::EdgeCount(SynNodeId u, SynNodeId v) const {
+  for (const SynEdge& edge : nodes_[u].children) {
+    if (edge.target == v) return edge.avg_count;
+  }
+  return 0.0;
+}
+
+void GraphSynopsis::ReplaceParentLink(SynNodeId child, SynNodeId old_parent,
+                                      SynNodeId new_parent) {
+  auto& parents = nodes_[child].parents;
+  parents.erase(std::remove(parents.begin(), parents.end(), old_parent),
+                parents.end());
+  if (new_parent != kNoSynNode &&
+      std::find(parents.begin(), parents.end(), new_parent) == parents.end()) {
+    parents.push_back(new_parent);
+  }
+}
+
+SynNodeId GraphSynopsis::MergeNodes(SynNodeId u, SynNodeId v) {
+  const double wu = nodes_[u].count;
+  const double wv = nodes_[v].count;
+  const double total = wu + wv;
+
+  SynNode merged;
+  merged.label = nodes_[u].label;
+  merged.type = nodes_[u].type;
+  merged.count = total;
+  merged.vsumm = ValueSummary::Merge(nodes_[u].vsumm, wu, nodes_[v].vsumm, wv);
+  SynNodeId w = static_cast<SynNodeId>(nodes_.size());
+  nodes_.push_back(std::move(merged));
+
+  auto mapped = [&](SynNodeId id) { return (id == u || id == v) ? w : id; };
+
+  // --- Children of w: count(w, c) = (|u| count(u,c) + |v| count(v,c)) / |w|.
+  std::map<SynNodeId, double> child_mass;  // target -> |u|*count(u,c)+...
+  for (SynNodeId src : {u, v}) {
+    const double weight = nodes_[src].count;
+    for (const SynEdge& edge : nodes_[src].children) {
+      child_mass[mapped(edge.target)] += weight * edge.avg_count;
+    }
+  }
+  for (const auto& [target, mass] : child_mass) {
+    // Old parent links from u/v are removed below; AddEdge records w.
+    nodes_[w].children.push_back({target, mass / total});
+    auto& parents = nodes_[target].parents;
+    if (std::find(parents.begin(), parents.end(), w) == parents.end()) {
+      parents.push_back(w);
+    }
+  }
+
+  // --- Parents of w: count(p, w) = count(p, u) + count(p, v).
+  std::vector<SynNodeId> parent_ids;
+  for (SynNodeId src : {u, v}) {
+    for (SynNodeId p : nodes_[src].parents) {
+      if (p == u || p == v) continue;  // handled as the self loop above
+      if (std::find(parent_ids.begin(), parent_ids.end(), p) ==
+          parent_ids.end()) {
+        parent_ids.push_back(p);
+      }
+    }
+  }
+  for (SynNodeId p : parent_ids) {
+    double sum = 0.0;
+    auto& edges = nodes_[p].children;
+    for (auto it = edges.begin(); it != edges.end();) {
+      if (it->target == u || it->target == v) {
+        sum += it->avg_count;
+        it = edges.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    edges.push_back({w, sum});
+    nodes_[w].parents.push_back(p);
+  }
+
+  // --- Detach u and v.
+  for (SynNodeId src : {u, v}) {
+    for (const SynEdge& edge : nodes_[src].children) {
+      if (edge.target == u || edge.target == v) continue;
+      ReplaceParentLink(edge.target, src, kNoSynNode);
+    }
+    nodes_[src].alive = false;
+    nodes_[src].children.clear();
+    nodes_[src].parents.clear();
+    nodes_[src].vsumm = ValueSummary();
+  }
+
+  if (u == root_ || v == root_) root_ = w;
+
+  // Invalidate stale pool candidates around the merge site.
+  for (const SynEdge& edge : nodes_[w].children) ++nodes_[edge.target].version;
+  for (SynNodeId p : nodes_[w].parents) ++nodes_[p].version;
+  return w;
+}
+
+size_t GraphSynopsis::NodeCount() const {
+  size_t count = 0;
+  for (const SynNode& node : nodes_) {
+    if (node.alive) ++count;
+  }
+  return count;
+}
+
+size_t GraphSynopsis::EdgeCount() const {
+  size_t count = 0;
+  for (const SynNode& node : nodes_) {
+    if (node.alive) count += node.children.size();
+  }
+  return count;
+}
+
+std::vector<SynNodeId> GraphSynopsis::AliveNodes() const {
+  std::vector<SynNodeId> ids;
+  for (SynNodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].alive) ids.push_back(id);
+  }
+  return ids;
+}
+
+size_t GraphSynopsis::StructuralBytes() const {
+  return SizeModel::StructuralBytes(NodeCount(), EdgeCount());
+}
+
+size_t GraphSynopsis::ValueBytes() const {
+  size_t bytes = 0;
+  for (const SynNode& node : nodes_) {
+    if (node.alive) bytes += node.vsumm.SizeBytes();
+  }
+  return bytes;
+}
+
+size_t GraphSynopsis::ValueNodeCount() const {
+  size_t count = 0;
+  for (const SynNode& node : nodes_) {
+    if (node.alive && !node.vsumm.empty()) ++count;
+  }
+  return count;
+}
+
+std::vector<uint32_t> GraphSynopsis::ComputeLevels() const {
+  constexpr uint32_t kUnset = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> levels(nodes_.size(), kUnset);
+  std::deque<SynNodeId> queue;
+  for (SynNodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].alive && nodes_[id].children.empty()) {
+      levels[id] = 0;
+      queue.push_back(id);
+    }
+  }
+  uint32_t max_level = 0;
+  while (!queue.empty()) {
+    SynNodeId id = queue.front();
+    queue.pop_front();
+    for (SynNodeId parent : nodes_[id].parents) {
+      if (!nodes_[parent].alive || levels[parent] != kUnset) continue;
+      levels[parent] = levels[id] + 1;
+      max_level = std::max(max_level, levels[parent]);
+      queue.push_back(parent);
+    }
+  }
+  for (SynNodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].alive && levels[id] == kUnset) levels[id] = max_level + 1;
+  }
+  return levels;
+}
+
+std::vector<SynNodeId> GraphSynopsis::Compact() {
+  std::vector<SynNodeId> remap(nodes_.size(), kNoSynNode);
+  std::vector<SynNode> kept;
+  kept.reserve(NodeCount());
+  for (SynNodeId id = 0; id < nodes_.size(); ++id) {
+    if (!nodes_[id].alive) continue;
+    remap[id] = static_cast<SynNodeId>(kept.size());
+    kept.push_back(std::move(nodes_[id]));
+  }
+  for (SynNode& node : kept) {
+    for (SynEdge& edge : node.children) edge.target = remap[edge.target];
+    for (SynNodeId& parent : node.parents) parent = remap[parent];
+  }
+  nodes_ = std::move(kept);
+  root_ = remap[root_];
+  return remap;
+}
+
+std::string GraphSynopsis::DebugString() const {
+  std::ostringstream out;
+  for (SynNodeId id = 0; id < nodes_.size(); ++id) {
+    const SynNode& node = nodes_[id];
+    if (!node.alive) continue;
+    out << id << " " << labels_.Get(node.label) << "("
+        << static_cast<int64_t>(node.count) << ")";
+    if (node.type != ValueType::kNone) {
+      out << " [" << ValueTypeName(node.type) << " "
+          << node.vsumm.SizeBytes() << "B]";
+    }
+    for (const SynEdge& edge : node.children) {
+      out << " ->" << edge.target << ":" << edge.avg_count;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace xcluster

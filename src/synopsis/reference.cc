@@ -1,0 +1,264 @@
+#include "synopsis/reference.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace xcluster {
+
+namespace {
+
+/// Per-element root paths and path ids: two elements share a path id iff
+/// their root-to-element label/type sequences are identical.
+struct PathIndex {
+  std::vector<uint32_t> path_of;        // element -> path id
+  std::vector<std::string> path_name;   // path id -> "/a/b/c"
+};
+
+PathIndex ComputePaths(const XmlDocument& doc) {
+  PathIndex index;
+  index.path_of.resize(doc.size());
+  std::map<std::tuple<uint32_t, SymbolId, ValueType>, uint32_t> ids;
+  for (NodeId id = 0; id < doc.size(); ++id) {
+    const XmlNode& node = doc.node(id);
+    uint32_t parent_path =
+        (node.parent == kNoNode) ? static_cast<uint32_t>(-1)
+                                 : index.path_of[node.parent];
+    auto key = std::make_tuple(parent_path, node.label, node.type);
+    auto [it, inserted] =
+        ids.emplace(key, static_cast<uint32_t>(index.path_name.size()));
+    if (inserted) {
+      std::string name = (node.parent == kNoNode)
+                             ? ""
+                             : index.path_name[parent_path];
+      name += '/';
+      name += doc.label_name(id);
+      index.path_name.push_back(std::move(name));
+    }
+    index.path_of[id] = it->second;
+  }
+  return index;
+}
+
+/// True if the cluster at `path` should carry a value summary.
+bool PathSelected(const std::vector<std::string>& filter,
+                  const std::string& path) {
+  if (filter.empty()) return true;
+  return std::find(filter.begin(), filter.end(), path) != filter.end();
+}
+
+/// Builds the detailed value summary for the elements in `extent`.
+ValueSummary BuildSummary(const XmlDocument& doc,
+                          const std::vector<NodeId>& extent, ValueType type,
+                          const ReferenceOptions& options,
+                          TermDictionary* dict) {
+  switch (type) {
+    case ValueType::kNumeric: {
+      std::vector<int64_t> values;
+      values.reserve(extent.size());
+      for (NodeId id : extent) values.push_back(doc.node(id).numeric);
+      return ValueSummary::FromNumeric(std::move(values),
+                                       options.hist_max_buckets,
+                                       options.numeric_summary);
+    }
+    case ValueType::kString: {
+      std::vector<std::string> values;
+      values.reserve(extent.size());
+      for (NodeId id : extent) values.push_back(doc.node(id).text);
+      return ValueSummary::FromStrings(values, options.pst_max_depth);
+    }
+    case ValueType::kText: {
+      std::vector<TermSet> texts;
+      texts.reserve(extent.size());
+      for (NodeId id : extent) texts.push_back(dict->InternText(doc.node(id).text));
+      return ValueSummary::FromTexts(texts);
+    }
+    case ValueType::kNone:
+      break;
+  }
+  return ValueSummary();
+}
+
+}  // namespace
+
+GraphSynopsis BuildReferenceSynopsis(const XmlDocument& doc,
+                                     const ReferenceOptions& options) {
+  GraphSynopsis synopsis;
+  auto dict = options.dictionary ? options.dictionary
+                                 : std::make_shared<TermDictionary>();
+  synopsis.set_term_dictionary(dict);
+  if (doc.root() == kNoNode) return synopsis;
+
+  PathIndex paths = ComputePaths(doc);
+
+  // Bottom-up count-stable clustering: an element's cluster is determined
+  // by its path id plus the multiset of (child cluster, count) pairs.
+  // Children have larger NodeIds than parents, so one descending pass
+  // resolves the fixpoint.
+  using ChildCounts = std::vector<std::pair<uint32_t, uint32_t>>;
+  using ClusterKey = std::pair<uint32_t, ChildCounts>;
+  std::map<ClusterKey, uint32_t> cluster_ids;
+  std::vector<uint32_t> cluster_of(doc.size());
+  std::vector<ChildCounts> cluster_children;  // cluster -> child signature
+
+  for (NodeId id = static_cast<NodeId>(doc.size()); id-- > 0;) {
+    std::map<uint32_t, uint32_t> counts;
+    for (NodeId child : doc.children(id)) counts[cluster_of[child]] += 1;
+    ChildCounts signature(counts.begin(), counts.end());
+    ClusterKey key{paths.path_of[id], signature};
+    auto [it, inserted] =
+        cluster_ids.emplace(std::move(key), static_cast<uint32_t>(cluster_children.size()));
+    if (inserted) cluster_children.push_back(std::move(signature));
+    cluster_of[id] = it->second;
+  }
+
+  // Extents, ordered so the root's cluster becomes synopsis node 0.
+  const size_t num_clusters = cluster_children.size();
+  std::vector<std::vector<NodeId>> extents(num_clusters);
+  std::vector<uint32_t> order;
+  std::vector<bool> seen(num_clusters, false);
+  for (NodeId id = 0; id < doc.size(); ++id) {
+    uint32_t cluster = cluster_of[id];
+    if (!seen[cluster]) {
+      seen[cluster] = true;
+      order.push_back(cluster);
+    }
+    extents[cluster].push_back(id);
+  }
+
+  std::vector<SynNodeId> syn_of(num_clusters);
+  for (uint32_t cluster : order) {
+    NodeId witness = extents[cluster].front();
+    syn_of[cluster] = synopsis.AddNode(doc.label_name(witness),
+                                       doc.type(witness),
+                                       static_cast<double>(extents[cluster].size()));
+  }
+  for (uint32_t cluster : order) {
+    for (const auto& [child_cluster, count] : cluster_children[cluster]) {
+      synopsis.AddEdge(syn_of[cluster], syn_of[child_cluster],
+                       static_cast<double>(count));
+    }
+  }
+
+  // Detailed value summaries for selected paths.
+  for (uint32_t cluster : order) {
+    NodeId witness = extents[cluster].front();
+    ValueType type = doc.type(witness);
+    if (type == ValueType::kNone) continue;
+    const std::string& path = paths.path_name[paths.path_of[witness]];
+    if (!PathSelected(options.value_paths, path)) continue;
+    synopsis.node(syn_of[cluster]).vsumm =
+        BuildSummary(doc, extents[cluster], type, options, dict.get());
+  }
+  return synopsis;
+}
+
+GraphSynopsis BuildPathSynopsis(const XmlDocument& doc,
+                                const ReferenceOptions& options) {
+  GraphSynopsis synopsis;
+  auto dict = options.dictionary ? options.dictionary
+                                 : std::make_shared<TermDictionary>();
+  synopsis.set_term_dictionary(dict);
+  if (doc.root() == kNoNode) return synopsis;
+
+  PathIndex paths = ComputePaths(doc);
+
+  // One cluster per path id; path ids are assigned in first-visit order, so
+  // the root's path is id 0 and synopsis node ids align with path ids.
+  std::vector<std::vector<NodeId>> extents(paths.path_name.size());
+  for (NodeId id = 0; id < doc.size(); ++id) {
+    extents[paths.path_of[id]].push_back(id);
+  }
+
+  std::vector<SynNodeId> syn_of(extents.size());
+  for (uint32_t path = 0; path < extents.size(); ++path) {
+    NodeId witness = extents[path].front();
+    syn_of[path] =
+        synopsis.AddNode(doc.label_name(witness), doc.type(witness),
+                         static_cast<double>(extents[path].size()));
+  }
+  for (uint32_t path = 0; path < extents.size(); ++path) {
+    std::map<uint32_t, double> totals;
+    for (NodeId id : extents[path]) {
+      for (NodeId child : doc.children(id)) {
+        totals[paths.path_of[child]] += 1.0;
+      }
+    }
+    for (const auto& [child_path, total] : totals) {
+      synopsis.AddEdge(syn_of[path], syn_of[child_path],
+                       total / static_cast<double>(extents[path].size()));
+    }
+  }
+
+  for (uint32_t path = 0; path < extents.size(); ++path) {
+    NodeId witness = extents[path].front();
+    ValueType type = doc.type(witness);
+    if (type == ValueType::kNone) continue;
+    if (!PathSelected(options.value_paths, paths.path_name[path])) continue;
+    synopsis.node(syn_of[path]).vsumm =
+        BuildSummary(doc, extents[path], type, options, dict.get());
+  }
+  return synopsis;
+}
+
+GraphSynopsis BuildTagSynopsis(const XmlDocument& doc,
+                               const ReferenceOptions& options) {
+  GraphSynopsis synopsis;
+  auto dict = options.dictionary ? options.dictionary
+                                 : std::make_shared<TermDictionary>();
+  synopsis.set_term_dictionary(dict);
+  if (doc.root() == kNoNode) return synopsis;
+
+  PathIndex paths = ComputePaths(doc);
+
+  // One cluster per (label, type).
+  std::map<std::pair<SymbolId, ValueType>, uint32_t> cluster_ids;
+  std::vector<uint32_t> cluster_of(doc.size());
+  std::vector<std::vector<NodeId>> extents;
+  for (NodeId id = 0; id < doc.size(); ++id) {
+    auto key = std::make_pair(doc.label(id), doc.type(id));
+    auto [it, inserted] =
+        cluster_ids.emplace(key, static_cast<uint32_t>(extents.size()));
+    if (inserted) extents.emplace_back();
+    cluster_of[id] = it->second;
+    extents[it->second].push_back(id);
+  }
+
+  std::vector<SynNodeId> syn_of(extents.size());
+  for (uint32_t cluster = 0; cluster < extents.size(); ++cluster) {
+    NodeId witness = extents[cluster].front();
+    syn_of[cluster] =
+        synopsis.AddNode(doc.label_name(witness), doc.type(witness),
+                         static_cast<double>(extents[cluster].size()));
+  }
+
+  // Average child counts per (cluster, child cluster).
+  for (uint32_t cluster = 0; cluster < extents.size(); ++cluster) {
+    std::map<uint32_t, double> totals;
+    for (NodeId id : extents[cluster]) {
+      for (NodeId child : doc.children(id)) totals[cluster_of[child]] += 1.0;
+    }
+    for (const auto& [child_cluster, total] : totals) {
+      synopsis.AddEdge(syn_of[cluster], syn_of[child_cluster],
+                       total / static_cast<double>(extents[cluster].size()));
+    }
+  }
+
+  for (uint32_t cluster = 0; cluster < extents.size(); ++cluster) {
+    NodeId witness = extents[cluster].front();
+    ValueType type = doc.type(witness);
+    if (type == ValueType::kNone) continue;
+    std::vector<NodeId> selected;
+    for (NodeId id : extents[cluster]) {
+      const std::string& path = paths.path_name[paths.path_of[id]];
+      if (PathSelected(options.value_paths, path)) selected.push_back(id);
+    }
+    if (selected.empty()) continue;
+    synopsis.node(syn_of[cluster]).vsumm =
+        BuildSummary(doc, selected, type, options, dict.get());
+  }
+  return synopsis;
+}
+
+}  // namespace xcluster

@@ -1,0 +1,66 @@
+#ifndef XCLUSTER_SYNOPSIS_REFERENCE_H_
+#define XCLUSTER_SYNOPSIS_REFERENCE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "summaries/value_summary.h"
+#include "synopsis/graph.h"
+#include "text/dictionary.h"
+#include "xml/document.h"
+
+namespace xcluster {
+
+/// Options for reference-synopsis construction (Sec. 4.3).
+struct ReferenceOptions {
+  /// Maximum buckets in a detailed NUMERIC histogram (distinct values are
+  /// kept exactly up to this; beyond it an equi-depth histogram is built).
+  /// For the alternative numeric kinds this is the coefficient / entry
+  /// budget.
+  size_t hist_max_buckets = 64;
+
+  /// Which structure summarizes NUMERIC distributions (Sec. 3 names
+  /// histograms, wavelets, and random samples as interchangeable tools).
+  NumericSummaryKind numeric_summary = NumericSummaryKind::kHistogram;
+
+  /// Maximum substring depth recorded in a detailed STRING PST.
+  size_t pst_max_depth = 5;
+
+  /// Root paths (e.g. "/site/people/person/profile/@income") whose clusters
+  /// receive value summaries. Empty = every value-bearing cluster. The
+  /// paper builds value summaries "under specific paths of the underlying
+  /// XML" (7 for IMDB, 9 for XMark).
+  std::vector<std::string> value_paths;
+
+  /// Shared dictionary for TEXT values; created internally when null.
+  std::shared_ptr<TermDictionary> dictionary;
+};
+
+/// Builds the reference XCluster synopsis of `doc`: a refinement of the
+/// lossless count-stable summary where every cluster (a) groups elements
+/// with identical per-cluster child counts, (b) has exactly one incoming
+/// label path (capturing path-to-value correlations), and (c) carries a
+/// detailed value summary when on a selected value path.
+GraphSynopsis BuildReferenceSynopsis(const XmlDocument& doc,
+                                     const ReferenceOptions& options);
+
+/// Builds the coarsest type-respecting synopsis: one cluster per
+/// (label, value type) pair — the paper's 0 KB structural baseline. Value
+/// summaries are built for all value-bearing clusters subject to
+/// `options.value_paths` filtering on any witness path.
+GraphSynopsis BuildTagSynopsis(const XmlDocument& doc,
+                               const ReferenceOptions& options);
+
+/// Builds the path-tree synopsis: one cluster per root label path (the
+/// classical intermediate granularity between the tag partition and the
+/// count-stable reference — path-to-value correlations are captured, but
+/// sibling-structure correlations are not). Value summaries follow
+/// `options.value_paths` as in the reference.
+GraphSynopsis BuildPathSynopsis(const XmlDocument& doc,
+                                const ReferenceOptions& options);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_SYNOPSIS_REFERENCE_H_

@@ -1,0 +1,31 @@
+#ifndef XCLUSTER_SYNOPSIS_SIZE_MODEL_H_
+#define XCLUSTER_SYNOPSIS_SIZE_MODEL_H_
+
+#include <cstddef>
+
+namespace xcluster {
+
+/// Byte-cost model for XCluster synopses (the units of the Bstr / Bval
+/// budgets in Sec. 4.3). Centralizing the constants keeps construction,
+/// reporting, and tests consistent.
+///
+/// Structural storage (counted against Bstr):
+///  * per node: label id (4) + element count (4) + value type tag (1);
+///  * per edge: target node id (4) + average child count (4).
+///
+/// Value storage (counted against Bval) is defined by each summary class:
+///  * histogram: 4 + 8 per bucket (upper boundary + count);
+///  * PST: 4 + 9 per node (symbol + count + child link);
+///  * term histogram: 8 per indexed term + 4 per RLE run + 8 fixed.
+struct SizeModel {
+  static constexpr size_t kNodeBytes = 9;
+  static constexpr size_t kEdgeBytes = 8;
+
+  static size_t StructuralBytes(size_t num_nodes, size_t num_edges) {
+    return num_nodes * kNodeBytes + num_edges * kEdgeBytes;
+  }
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_SYNOPSIS_SIZE_MODEL_H_

@@ -1,0 +1,68 @@
+#include "synopsis/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace xcluster {
+
+SynopsisStats ComputeStats(const GraphSynopsis& synopsis) {
+  SynopsisStats stats;
+  stats.nodes = synopsis.NodeCount();
+  stats.edges = synopsis.EdgeCount();
+  stats.structural_bytes = synopsis.StructuralBytes();
+  stats.value_bytes = synopsis.ValueBytes();
+
+  size_t out_degree_total = 0;
+  for (SynNodeId id : synopsis.AliveNodes()) {
+    const SynNode& node = synopsis.node(id);
+    stats.max_out_degree = std::max(stats.max_out_degree,
+                                    node.children.size());
+    stats.max_in_degree = std::max(stats.max_in_degree, node.parents.size());
+    out_degree_total += node.children.size();
+
+    auto& label = stats.by_label[synopsis.labels().Get(node.label)];
+    ++label.clusters;
+    label.elements += node.count;
+
+    if (!node.vsumm.empty()) {
+      auto& type = stats.by_type[node.type];
+      ++type.clusters;
+      type.bytes += node.vsumm.SizeBytes();
+      type.elements += node.count;
+    }
+  }
+  if (stats.nodes > 0) {
+    stats.avg_out_degree =
+        static_cast<double>(out_degree_total) / static_cast<double>(stats.nodes);
+  }
+  return stats;
+}
+
+std::string SynopsisStats::ToString() const {
+  std::ostringstream out;
+  out << "nodes " << nodes << ", edges " << edges << " ("
+      << structural_bytes << "B structural + " << value_bytes
+      << "B value)\n";
+  out << "degrees: avg out " << avg_out_degree << ", max out "
+      << max_out_degree << ", max in " << max_in_degree << "\n";
+  for (const auto& [type, type_stats] : by_type) {
+    out << "  " << ValueTypeName(type) << ": " << type_stats.clusters
+        << " summarized clusters, " << type_stats.bytes << "B, "
+        << type_stats.elements << " elements\n";
+  }
+  // The five heaviest labels by extent size.
+  std::vector<std::pair<std::string, LabelStats>> labels(by_label.begin(),
+                                                         by_label.end());
+  std::sort(labels.begin(), labels.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.elements > b.second.elements;
+            });
+  if (labels.size() > 5) labels.resize(5);
+  for (const auto& [name, label_stats] : labels) {
+    out << "  label '" << name << "': " << label_stats.clusters
+        << " clusters, " << label_stats.elements << " elements\n";
+  }
+  return out.str();
+}
+
+}  // namespace xcluster

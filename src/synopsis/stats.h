@@ -1,0 +1,48 @@
+#ifndef XCLUSTER_SYNOPSIS_STATS_H_
+#define XCLUSTER_SYNOPSIS_STATS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "synopsis/graph.h"
+
+namespace xcluster {
+
+/// Aggregate statistics of a graph synopsis, for inspection tools and
+/// tuning (xclusterctl inspect, EXPERIMENTS reporting).
+struct SynopsisStats {
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t structural_bytes = 0;
+  size_t value_bytes = 0;
+
+  /// Per value type: number of summarized clusters and their summary bytes.
+  struct TypeStats {
+    size_t clusters = 0;
+    size_t bytes = 0;
+    double elements = 0.0;  ///< total extent size of those clusters
+  };
+  std::map<ValueType, TypeStats> by_type;
+
+  /// Per label: cluster count and total extent size.
+  struct LabelStats {
+    size_t clusters = 0;
+    double elements = 0.0;
+  };
+  std::map<std::string, LabelStats> by_label;
+
+  size_t max_out_degree = 0;
+  size_t max_in_degree = 0;
+  double avg_out_degree = 0.0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes statistics over the alive portion of `synopsis`.
+SynopsisStats ComputeStats(const GraphSynopsis& synopsis);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_SYNOPSIS_STATS_H_

@@ -1,0 +1,107 @@
+#include "text/corpus.h"
+
+namespace xcluster {
+
+const std::vector<std::string>& CorpusWords() {
+  // Function-local static pointer so the vector is never destroyed (see the
+  // style guide's static-storage-duration rules).
+  static const auto& words = *new std::vector<std::string>{
+      // High-frequency function words (low Zipf ranks).
+      "the", "of", "and", "to", "in", "a", "is", "that", "for", "it",
+      "with", "as", "was", "on", "are", "be", "this", "by", "from", "or",
+      "an", "which", "you", "one", "had", "not", "but", "what", "all", "were",
+      "when", "there", "can", "more", "if", "out", "other", "new", "some",
+      "could", "time", "these", "two", "may", "then", "first", "any", "my",
+      "now", "such", "like", "our", "over", "even", "most", "after", "also",
+      "made", "many", "must", "before", "through", "where", "much", "your",
+      "well", "down", "should", "because", "each", "just", "those", "how",
+      "too", "good", "very", "make", "world", "still", "own", "see", "men",
+      "work", "long", "here", "get", "both", "between", "life", "being",
+      "under", "never", "day", "same", "another", "know", "while", "last",
+      "might", "us", "great", "old", "year", "off", "come", "since",
+      "against", "go", "came", "right", "used", "take", "three",
+      // Mid-frequency content words.
+      "house", "letter", "king", "world", "water", "night", "light", "land",
+      "story", "heart", "hand", "question", "money", "silver", "golden",
+      "market", "price", "value", "trade", "offer", "goods", "quality",
+      "honest", "seller", "buyer", "bidding", "ancient", "rare", "fine",
+      "vintage", "classic", "modern", "original", "genuine", "crafted",
+      "condition", "excellent", "shipping", "payment", "delivery", "credit",
+      "cash", "check", "online", "auction", "reserve", "closed", "open",
+      "current", "initial", "increase", "item", "category", "region",
+      "europe", "asia", "africa", "australia", "america", "description",
+      "annotation", "quantity", "person", "address", "city", "country",
+      "street", "phone", "email", "profile", "interest", "education",
+      "business", "income", "gender", "watch", "mailbox", "mail", "date",
+      "text", "keyword", "bold", "emphasis", "list", "parlist", "listitem",
+      // Literary filler (Shakespeare-flavoured, as XMark used).
+      "lord", "lady", "sword", "crown", "castle", "noble", "honour",
+      "battle", "soldier", "fortune", "virtue", "spirit", "shadow", "dream",
+      "sorrow", "mercy", "grace", "wisdom", "folly", "jest", "villain",
+      "crownd", "majesty", "herald", "trumpet", "banner", "throne", "realm",
+      "kingdom", "queen", "prince", "duke", "earl", "knight", "squire",
+      "page", "servant", "master", "mistress", "friend", "enemy", "traitor",
+      "loyal", "brave", "coward", "fierce", "gentle", "cruel", "kind",
+      "fair", "foul", "sweet", "bitter", "proud", "humble", "rich", "poor",
+      "young", "aged", "swift", "slow", "strong", "weak", "wise", "mad",
+      "merry", "sad", "glad", "woe", "joy", "grief", "love", "hate",
+      "fear", "hope", "faith", "doubt", "truth", "lie", "oath", "vow",
+      "curse", "blessing", "prayer", "sin", "heaven", "earth", "sea",
+      "storm", "wind", "rain", "sun", "moon", "star", "fire", "ice",
+      "stone", "iron", "gold", "pearl", "jewel", "ring", "chain", "robe",
+      "cloak", "veil", "mask", "mirror", "candle", "torch", "lantern",
+      "gate", "tower", "wall", "bridge", "road", "path", "forest", "field",
+      "garden", "river", "mountain", "valley", "island", "shore", "harbor",
+      "ship", "sail", "anchor", "voyage", "journey", "quest", "tale",
+      "song", "verse", "rhyme", "music", "dance", "feast", "wine", "bread",
+      "meat", "fruit", "flower", "rose", "thorn", "leaf", "branch", "root",
+      "seed", "harvest", "winter", "spring", "summer", "autumn", "morning",
+      "evening", "midnight", "dawn", "dusk", "hour", "moment", "season",
+      "age", "century", "history", "memory", "legend", "prophecy", "omen",
+      "sign", "wonder", "miracle", "magic", "charm", "spell", "potion",
+      "poison", "remedy", "wound", "scar", "blood", "bone", "flesh",
+      "breath", "voice", "whisper", "cry", "shout", "laughter", "tear",
+      "smile", "frown", "glance", "gaze", "sight", "sound", "touch",
+      "taste", "scent", "silence", "echo", "thunder", "lightning", "mist",
+      "fog", "frost", "snow", "flame", "ember", "ash", "dust", "clay",
+      "sand", "wave", "tide", "stream", "fountain", "well", "spring2",
+      "pool", "lake", "marsh", "cave", "cliff", "peak", "abyss", "void",
+      // Technical / bibliographic words (for the IMDB-like plots).
+      "film", "movie", "director", "actor", "actress", "scene", "camera",
+      "screen", "script", "plot", "drama", "comedy", "tragedy", "thriller",
+      "mystery", "romance", "adventure", "fantasy", "horror", "western",
+      "documentary", "animation", "studio", "producer", "award", "festival",
+      "critic", "review", "audience", "premiere", "sequel", "trilogy",
+      "character", "hero", "heroine", "narrative", "dialogue", "monologue",
+      "soundtrack", "score", "editing", "costume", "makeup", "stunt",
+      "special", "effect", "budget", "boxoffice", "release", "rating",
+      "cast", "crew", "location", "set", "prop", "take", "cut", "frame",
+      "shot", "angle", "closeup", "montage", "flashback", "climax",
+      "ending", "twist", "suspense", "tension", "conflict", "resolution",
+      "theme", "motif", "symbol", "metaphor", "genre", "style", "tone",
+      "mood", "atmosphere", "pacing", "rhythm", "structure", "arc",
+  };
+  return words;
+}
+
+TextGenerator::TextGenerator(double theta)
+    : zipf_(CorpusWords().size(), theta) {}
+
+std::string TextGenerator::Generate(Rng* rng, size_t num_words,
+                                    size_t topic) const {
+  const std::vector<std::string>& words = CorpusWords();
+  std::string out;
+  for (size_t i = 0; i < num_words; ++i) {
+    if (i > 0) out += ' ';
+    // Topics rotate the rank-to-word mapping by a fixed stride.
+    out += words[(zipf_.Sample(rng) + topic * 37) % words.size()];
+  }
+  return out;
+}
+
+const std::string& TextGenerator::Word(Rng* rng, size_t topic) const {
+  const std::vector<std::string>& words = CorpusWords();
+  return words[(zipf_.Sample(rng) + topic * 37) % words.size()];
+}
+
+}  // namespace xcluster

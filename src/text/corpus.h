@@ -1,0 +1,42 @@
+#ifndef XCLUSTER_TEXT_CORPUS_H_
+#define XCLUSTER_TEXT_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace xcluster {
+
+/// Returns the embedded word corpus used by the synthetic data generators.
+/// Stands in for XMark's Shakespeare word list (a substitution documented in
+/// DESIGN.md): several hundred English + domain words, ordered so that a
+/// Zipfian rank distribution over the vector yields natural-looking skew.
+const std::vector<std::string>& CorpusWords();
+
+/// Generates free text by drawing `num_words` words from the corpus under a
+/// Zipf(theta) rank distribution. Deterministic given the Rng state.
+///
+/// `topic` rotates the rank-to-word mapping, so different topics have
+/// different high-frequency vocabularies while sharing the long tail. The
+/// generators use topics to correlate text content with document structure
+/// (region-specific item descriptions, era-specific movie plots) — the
+/// path-to-value correlations that XCluster synopses are built to capture.
+class TextGenerator {
+ public:
+  explicit TextGenerator(double theta = 0.8);
+
+  /// One text value with `num_words` space-separated words.
+  std::string Generate(Rng* rng, size_t num_words, size_t topic = 0) const;
+
+  /// One word (e.g., for keyword lists).
+  const std::string& Word(Rng* rng, size_t topic = 0) const;
+
+ private:
+  ZipfSampler zipf_;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_TEXT_CORPUS_H_

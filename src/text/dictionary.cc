@@ -1,0 +1,42 @@
+#include "text/dictionary.h"
+
+#include <algorithm>
+
+namespace xcluster {
+
+namespace {
+
+void SortUnique(TermSet* terms) {
+  std::sort(terms->begin(), terms->end());
+  terms->erase(std::unique(terms->begin(), terms->end()), terms->end());
+}
+
+}  // namespace
+
+TermSet TermDictionary::InternText(std::string_view text) {
+  TermSet terms;
+  for (const std::string& token : Tokenize(text)) {
+    terms.push_back(pool_.Intern(token));
+  }
+  SortUnique(&terms);
+  return terms;
+}
+
+TermSet TermDictionary::LookupText(std::string_view text,
+                                   bool* all_known) const {
+  TermSet terms;
+  bool known = true;
+  for (const std::string& token : Tokenize(text)) {
+    TermId id = pool_.Lookup(token);
+    if (id == kInvalidSymbol) {
+      known = false;
+      continue;
+    }
+    terms.push_back(id);
+  }
+  SortUnique(&terms);
+  if (all_known != nullptr) *all_known = known;
+  return terms;
+}
+
+}  // namespace xcluster

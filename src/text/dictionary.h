@@ -1,0 +1,48 @@
+#ifndef XCLUSTER_TEXT_DICTIONARY_H_
+#define XCLUSTER_TEXT_DICTIONARY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/string_pool.h"
+#include "text/tokenizer.h"
+
+namespace xcluster {
+
+/// Id of a term in the global term dictionary underlying all TEXT values.
+using TermId = SymbolId;
+
+/// The set of distinct terms of one TEXT value — a sparse representation of
+/// the Boolean term vector of Sec. 2 (sorted, unique TermIds).
+using TermSet = std::vector<TermId>;
+
+/// Maps terms to dense TermIds. One dictionary is shared by a document's
+/// TEXT values, the reference synopsis, and the query workload so that
+/// ftcontains predicates resolve to the same id space everywhere.
+class TermDictionary {
+ public:
+  TermDictionary() = default;
+
+  /// Tokenizes `text` and interns every distinct term; returns the sorted
+  /// TermSet (the Boolean vector's support).
+  TermSet InternText(std::string_view text);
+
+  /// Tokenizes `text` and resolves terms without interning; terms unknown to
+  /// the dictionary are dropped (a Boolean vector over the dictionary has 0
+  /// for them anyway). `all_known` reports whether every token resolved.
+  TermSet LookupText(std::string_view text, bool* all_known = nullptr) const;
+
+  TermId Intern(std::string_view term) { return pool_.Intern(term); }
+  TermId Lookup(std::string_view term) const { return pool_.Lookup(term); }
+  const std::string& Get(TermId id) const { return pool_.Get(id); }
+
+  /// Number of distinct terms.
+  size_t size() const { return pool_.size(); }
+
+ private:
+  StringPool pool_;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_TEXT_DICTIONARY_H_

@@ -1,0 +1,22 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace xcluster {
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  std::vector<std::string> terms;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!current.empty()) {
+      terms.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) terms.push_back(std::move(current));
+  return terms;
+}
+
+}  // namespace xcluster

@@ -1,0 +1,17 @@
+#ifndef XCLUSTER_TEXT_TOKENIZER_H_
+#define XCLUSTER_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xcluster {
+
+/// Splits free text into lowercase alphanumeric terms. This defines the
+/// Boolean term-vector model of Sec. 2: a TEXT value is the set of distinct
+/// terms the tokenizer produces for it.
+std::vector<std::string> Tokenize(std::string_view text);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_TEXT_TOKENIZER_H_

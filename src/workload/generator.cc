@@ -1,0 +1,329 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "eval/evaluator.h"
+
+namespace xcluster {
+
+namespace {
+
+/// Root-to-node cluster path in the reference synopsis (a tree: every
+/// non-root node has exactly one parent).
+std::vector<SynNodeId> PathFromRoot(const GraphSynopsis& synopsis,
+                                    SynNodeId node) {
+  std::vector<SynNodeId> path;
+  SynNodeId cur = node;
+  for (;;) {
+    path.push_back(cur);
+    if (cur == synopsis.root() || synopsis.node(cur).parents.empty()) break;
+    cur = synopsis.node(cur).parents.front();
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+class WorkloadBuilder {
+ public:
+  WorkloadBuilder(const XmlDocument& doc, const GraphSynopsis& reference,
+                  const WorkloadOptions& options)
+      : doc_(doc),
+        synopsis_(reference),
+        options_(options),
+        rng_(options.seed),
+        evaluator_(doc, reference.term_dictionary().get()) {}
+
+  Workload Build() {
+    CollectValueNodes();
+    Workload workload;
+    size_t guard = options_.num_queries * options_.max_attempts;
+    while (workload.queries.size() < options_.num_queries && guard-- > 0) {
+      ValueType cls = PickClass();
+      WorkloadQuery draw;
+      if (!GenerateOne(cls, &draw)) continue;
+      draw.query.ResolveTerms(*synopsis_.term_dictionary());
+      draw.true_selectivity = evaluator_.Selectivity(draw.query);
+      const bool ok = options_.positive ? draw.true_selectivity > 0.0
+                                        : draw.true_selectivity == 0.0;
+      if (!ok) continue;
+      workload.queries.push_back(std::move(draw));
+    }
+    return workload;
+  }
+
+ private:
+  void CollectValueNodes() {
+    for (SynNodeId id : synopsis_.AliveNodes()) {
+      const SynNode& node = synopsis_.node(id);
+      if (node.vsumm.empty()) continue;
+      switch (node.type) {
+        case ValueType::kNumeric:
+          numeric_nodes_.push_back(id);
+          break;
+        case ValueType::kString:
+          string_nodes_.push_back(id);
+          break;
+        case ValueType::kText:
+          text_nodes_.push_back(id);
+          break;
+        case ValueType::kNone:
+          break;
+      }
+    }
+  }
+
+  ValueType PickClass() {
+    if (rng_.NextDouble() < options_.struct_fraction) return ValueType::kNone;
+    std::vector<ValueType> classes;
+    if (!numeric_nodes_.empty()) classes.push_back(ValueType::kNumeric);
+    if (!string_nodes_.empty()) classes.push_back(ValueType::kString);
+    if (!text_nodes_.empty()) classes.push_back(ValueType::kText);
+    if (classes.empty()) return ValueType::kNone;
+    return classes[rng_.Uniform(classes.size())];
+  }
+
+  /// Picks an element of `nodes` weighted by extent size (high-count bias).
+  SynNodeId PickWeighted(const std::vector<SynNodeId>& nodes) {
+    std::vector<double> weights;
+    weights.reserve(nodes.size());
+    for (SynNodeId id : nodes) weights.push_back(synopsis_.node(id).count);
+    return nodes[rng_.WeightedIndex(weights)];
+  }
+
+  const std::string& LabelOf(SynNodeId id) {
+    return synopsis_.labels().Get(synopsis_.node(id).label);
+  }
+
+  /// Renders the synopsis path `path` (starting at the root cluster) into
+  /// query steps under `query`, applying descendant-axis relaxation.
+  /// Returns (query var, synopsis node) pairs for the materialized spine.
+  std::vector<std::pair<QueryVarId, SynNodeId>> EmitSpine(
+      TwigQuery* query, const std::vector<SynNodeId>& path) {
+    std::vector<std::pair<QueryVarId, SynNodeId>> spine;
+    QueryVarId current = 0;
+    bool pending_descendant = false;
+    for (size_t i = 1; i < path.size(); ++i) {
+      const bool last = (i + 1 == path.size());
+      // Skip an intermediate node with probability descendant_prob; the
+      // next emitted step then uses the descendant axis.
+      if (!last && !pending_descendant &&
+          rng_.Bernoulli(options_.descendant_prob)) {
+        pending_descendant = true;
+        continue;
+      }
+      TwigStep step;
+      step.axis = pending_descendant ? TwigStep::Axis::kDescendant
+                                     : TwigStep::Axis::kChild;
+      step.label = LabelOf(path[i]);
+      pending_descendant = false;
+      current = query->AddVar(current, std::move(step));
+      spine.push_back({current, path[i]});
+    }
+    return spine;
+  }
+
+  /// Adds existential branches at random spine nodes (one extra step into a
+  /// child cluster off the spine).
+  void EmitBranches(TwigQuery* query,
+                    const std::vector<std::pair<QueryVarId, SynNodeId>>& spine) {
+    for (size_t i = 0; i + 1 < spine.size(); ++i) {
+      if (!rng_.Bernoulli(options_.branch_prob)) continue;
+      const auto [var, node] = spine[i];
+      const SynNodeId on_spine = spine[i + 1].second;
+      std::vector<SynNodeId> targets;
+      std::vector<double> weights;
+      for (const SynEdge& edge : synopsis_.node(node).children) {
+        if (edge.target == on_spine) continue;
+        targets.push_back(edge.target);
+        weights.push_back(edge.avg_count * synopsis_.node(edge.target).count);
+      }
+      if (targets.empty()) continue;
+      SynNodeId target = targets[rng_.WeightedIndex(weights)];
+      TwigStep step;
+      step.axis = TwigStep::Axis::kChild;
+      step.label = LabelOf(target);
+      query->AddVar(var, std::move(step));
+    }
+  }
+
+  bool AttachPredicate(TwigQuery* query, QueryVarId var, SynNodeId node) {
+    const ValueSummary& vsumm = synopsis_.node(node).vsumm;
+    switch (vsumm.type()) {
+      case ValueType::kNumeric: {
+        switch (vsumm.numeric_kind()) {
+          case NumericSummaryKind::kHistogram: {
+            const auto& buckets = vsumm.histogram().buckets();
+            if (buckets.empty()) return false;
+            if (!options_.positive) {
+              int64_t hi = vsumm.histogram().domain_hi();
+              query->AddPredicate(
+                  var, ValuePredicate::Range(hi + 10, hi + 1000));
+              return true;
+            }
+            std::vector<double> weights;
+            for (const HistogramBucket& b : buckets) {
+              weights.push_back(b.count);
+            }
+            size_t i = rng_.WeightedIndex(weights);
+            size_t span = rng_.Uniform(3);
+            size_t j = std::min(buckets.size() - 1, i + span);
+            query->AddPredicate(
+                var, ValuePredicate::Range(buckets[i].lo, buckets[j].hi));
+            return true;
+          }
+          case NumericSummaryKind::kSample: {
+            const auto& sample = vsumm.sample().sample();
+            if (sample.empty()) return false;
+            if (!options_.positive) {
+              int64_t hi = sample.back();
+              query->AddPredicate(
+                  var, ValuePredicate::Range(hi + 10, hi + 1000));
+              return true;
+            }
+            size_t i = rng_.Uniform(sample.size());
+            size_t j = std::min(sample.size() - 1, i + rng_.Uniform(5));
+            query->AddPredicate(
+                var, ValuePredicate::Range(sample[i], sample[j]));
+            return true;
+          }
+          case NumericSummaryKind::kWavelet: {
+            const WaveletSummary& wavelet = vsumm.wavelet();
+            if (wavelet.total() <= 0.0) return false;
+            int64_t lo = wavelet.domain_lo();
+            int64_t hi = wavelet.domain_hi();
+            if (!options_.positive) {
+              query->AddPredicate(
+                  var, ValuePredicate::Range(hi + 10, hi + 1000));
+              return true;
+            }
+            int64_t a = rng_.UniformRange(lo, hi);
+            int64_t b = rng_.UniformRange(lo, hi);
+            if (a > b) std::swap(a, b);
+            query->AddPredicate(var, ValuePredicate::Range(a, b));
+            return true;
+          }
+        }
+        return false;
+      }
+      case ValueType::kString: {
+        std::vector<std::string> candidates =
+            vsumm.pst().SampleSubstrings(128);
+        if (candidates.empty()) return false;
+        if (!options_.positive) {
+          // A substring containing a symbol never seen in string data.
+          query->AddPredicate(var, ValuePredicate::Contains("\x01zq\x01"));
+          return true;
+        }
+        // Prefer longer substrings (more realistic query strings).
+        std::vector<double> weights;
+        for (const std::string& s : candidates) {
+          weights.push_back(vsumm.pst().EstimateCount(s) *
+                            static_cast<double>(s.size()));
+        }
+        query->AddPredicate(
+            var, ValuePredicate::Contains(candidates[rng_.WeightedIndex(weights)]));
+        return true;
+      }
+      case ValueType::kText: {
+        std::vector<TermId> terms = vsumm.terms().SampleTerms(256);
+        if (terms.empty()) return false;
+        if (!options_.positive) {
+          query->AddPredicate(
+              var, ValuePredicate::FtContains({"qzxunseenterm"}));
+          return true;
+        }
+        std::vector<double> weights;
+        for (TermId t : terms) weights.push_back(vsumm.terms().Frequency(t));
+        std::vector<std::string> chosen;
+        chosen.push_back(
+            synopsis_.term_dictionary()->Get(terms[rng_.WeightedIndex(weights)]));
+        if (rng_.Bernoulli(0.4)) {
+          const std::string& second =
+              synopsis_.term_dictionary()->Get(terms[rng_.WeightedIndex(weights)]);
+          if (second != chosen.front()) chosen.push_back(second);
+        }
+        query->AddPredicate(var, ValuePredicate::FtContains(std::move(chosen)));
+        return true;
+      }
+      case ValueType::kNone:
+        return false;
+    }
+    return false;
+  }
+
+  bool GenerateOne(ValueType cls, WorkloadQuery* out) {
+    out->pred_class = cls;
+    out->query = TwigQuery();
+
+    std::vector<SynNodeId> path;
+    if (cls == ValueType::kNone) {
+      // Structural random walk from the root, biased toward heavy edges.
+      SynNodeId current = synopsis_.root();
+      size_t length = 2 + rng_.Uniform(3);
+      path.push_back(current);
+      for (size_t step = 0; step < length; ++step) {
+        const auto& edges = synopsis_.node(current).children;
+        if (edges.empty()) break;
+        std::vector<double> weights;
+        for (const SynEdge& edge : edges) {
+          weights.push_back(edge.avg_count * synopsis_.node(edge.target).count);
+        }
+        current = edges[rng_.WeightedIndex(weights)].target;
+        path.push_back(current);
+      }
+      if (path.size() < 2) return false;
+    } else {
+      const std::vector<SynNodeId>* pool = nullptr;
+      switch (cls) {
+        case ValueType::kNumeric:
+          pool = &numeric_nodes_;
+          break;
+        case ValueType::kString:
+          pool = &string_nodes_;
+          break;
+        case ValueType::kText:
+          pool = &text_nodes_;
+          break;
+        case ValueType::kNone:
+          return false;
+      }
+      if (pool->empty()) return false;
+      path = PathFromRoot(synopsis_, PickWeighted(*pool));
+      if (path.size() < 2) return false;
+    }
+
+    auto spine = EmitSpine(&out->query, path);
+    if (spine.empty()) return false;
+    EmitBranches(&out->query, spine);
+    if (cls != ValueType::kNone) {
+      // The spine's last node is the sampled value cluster.
+      if (!AttachPredicate(&out->query, spine.back().first,
+                           spine.back().second)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const XmlDocument& doc_;
+  const GraphSynopsis& synopsis_;
+  const WorkloadOptions& options_;
+  Rng rng_;
+  ExactEvaluator evaluator_;
+  std::vector<SynNodeId> numeric_nodes_;
+  std::vector<SynNodeId> string_nodes_;
+  std::vector<SynNodeId> text_nodes_;
+};
+
+}  // namespace
+
+Workload GenerateWorkload(const XmlDocument& doc,
+                          const GraphSynopsis& reference,
+                          const WorkloadOptions& options) {
+  return WorkloadBuilder(doc, reference, options).Build();
+}
+
+}  // namespace xcluster

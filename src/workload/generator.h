@@ -1,0 +1,66 @@
+#ifndef XCLUSTER_WORKLOAD_GENERATOR_H_
+#define XCLUSTER_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/twig.h"
+#include "synopsis/graph.h"
+#include "xml/document.h"
+
+namespace xcluster {
+
+/// Options for workload generation (Sec. 6.1: random positive twig queries
+/// sampled from the reference synopsis, with predicates attached at nodes
+/// with values; sampling biased toward high counts).
+struct WorkloadOptions {
+  size_t num_queries = 1000;
+  uint64_t seed = 17;
+
+  /// Probability that a spine step is relaxed to the descendant axis
+  /// (collapsing the intermediate steps it skips).
+  double descendant_prob = 0.25;
+
+  /// Probability of adding an existential branch at a spine node.
+  double branch_prob = 0.5;
+
+  /// Fraction of queries that carry no value predicate ("Struct" class);
+  /// the remainder split evenly across the value classes present in the
+  /// reference synopsis.
+  double struct_fraction = 0.3;
+
+  /// Number of attempts to generate a positive query before giving up on a
+  /// draw (a safety valve; in practice 1-3 attempts suffice).
+  size_t max_attempts = 64;
+
+  /// When true (default), only queries with non-zero true selectivity are
+  /// kept; when false, predicates are drawn to be unsatisfiable (negative
+  /// workload).
+  bool positive = true;
+};
+
+/// One generated query with its ground truth.
+struct WorkloadQuery {
+  TwigQuery query;
+  double true_selectivity = 0.0;
+  /// Class for reporting: kNone = purely structural; otherwise the type of
+  /// the attached value predicate.
+  ValueType pred_class = ValueType::kNone;
+};
+
+/// A query workload over one data set.
+struct Workload {
+  std::vector<WorkloadQuery> queries;
+};
+
+/// Generates a workload for `doc` by sampling twigs from its reference
+/// synopsis `reference` (which must have been built from `doc` and carry
+/// its term dictionary). True selectivities are computed with the exact
+/// evaluator.
+Workload GenerateWorkload(const XmlDocument& doc,
+                          const GraphSynopsis& reference,
+                          const WorkloadOptions& options);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,88 @@
+#include "workload/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "query/parser.h"
+#include "workload/metrics.h"
+
+namespace xcluster {
+
+namespace {
+
+Result<ValueType> ClassFromName(const std::string& name) {
+  if (name == "Struct") return ValueType::kNone;
+  if (name == "Numeric") return ValueType::kNumeric;
+  if (name == "String") return ValueType::kString;
+  if (name == "Text") return ValueType::kText;
+  return Status::Corruption("unknown workload class '" + name + "'");
+}
+
+bool QueryRoundTrips(const WorkloadQuery& query) {
+  for (QueryVarId var = 0; var < query.query.size(); ++var) {
+    for (const ValuePredicate& pred : query.query.var(var).predicates) {
+      if (pred.substring.find('"') != std::string::npos) return false;
+      for (const std::string& term : pred.terms) {
+        if (term.find('"') != std::string::npos) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SaveWorkload(const Workload& workload, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.precision(17);
+  for (const WorkloadQuery& query : workload.queries) {
+    if (!QueryRoundTrips(query)) {
+      return Status::Unsupported(
+          "workload query contains a double quote, which the twig syntax "
+          "cannot represent: " +
+          query.query.ToString());
+    }
+    out << ClassName(query.pred_class) << '\t' << query.true_selectivity
+        << '\t' << query.query.ToString() << '\n';
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Workload> LoadWorkload(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  Workload workload;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string class_name;
+    std::string selectivity;
+    std::string query_text;
+    if (!std::getline(fields, class_name, '\t') ||
+        !std::getline(fields, selectivity, '\t') ||
+        !std::getline(fields, query_text)) {
+      return Status::Corruption("bad workload line " +
+                                std::to_string(line_number));
+    }
+    Result<ValueType> cls = ClassFromName(class_name);
+    if (!cls.ok()) return cls.status();
+    Result<TwigQuery> query = ParseTwig(query_text);
+    if (!query.ok()) {
+      return Status::Corruption("line " + std::to_string(line_number) + ": " +
+                                query.status().ToString());
+    }
+    WorkloadQuery entry;
+    entry.pred_class = cls.value();
+    entry.true_selectivity = std::stod(selectivity);
+    entry.query = std::move(query).value();
+    workload.queries.push_back(std::move(entry));
+  }
+  return workload;
+}
+
+}  // namespace xcluster

@@ -1,0 +1,25 @@
+#ifndef XCLUSTER_WORKLOAD_IO_H_
+#define XCLUSTER_WORKLOAD_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "workload/generator.h"
+
+namespace xcluster {
+
+/// Persists a workload as tab-separated lines:
+///   <class>\t<true_selectivity>\t<query>
+/// where <class> is Struct/Numeric/String/Text and <query> uses the twig
+/// syntax of query/parser.h. Substring predicates containing a double quote
+/// cannot be represented (the syntax has no escape) and are rejected.
+Status SaveWorkload(const Workload& workload, const std::string& path);
+
+/// Loads a workload written by SaveWorkload. Query strings are re-parsed;
+/// true selectivities are taken from the file (they are properties of the
+/// data set the workload was generated from).
+Result<Workload> LoadWorkload(const std::string& path);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_WORKLOAD_IO_H_

@@ -1,0 +1,104 @@
+#include "workload/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xcluster {
+
+std::string ClassName(ValueType pred_class) {
+  switch (pred_class) {
+    case ValueType::kNone:
+      return "Struct";
+    case ValueType::kNumeric:
+      return "Numeric";
+    case ValueType::kString:
+      return "String";
+    case ValueType::kText:
+      return "Text";
+  }
+  return "?";
+}
+
+double SanityBound(const Workload& workload, double percentile) {
+  if (workload.queries.empty()) return 0.0;
+  std::vector<double> counts;
+  counts.reserve(workload.queries.size());
+  for (const WorkloadQuery& q : workload.queries) {
+    counts.push_back(q.true_selectivity);
+  }
+  std::sort(counts.begin(), counts.end());
+  size_t index = static_cast<size_t>(
+      percentile * static_cast<double>(counts.size()));
+  index = std::min(index, counts.size() - 1);
+  return counts[index];
+}
+
+namespace {
+
+struct Accumulator {
+  size_t count = 0;
+  double sum_rel = 0.0;
+  double sum_abs = 0.0;
+  double sum_true = 0.0;
+
+  void Add(double truth, double estimate, double sanity) {
+    ++count;
+    const double abs_error = std::abs(truth - estimate);
+    sum_abs += abs_error;
+    sum_rel += abs_error / std::max(truth, sanity);
+    sum_true += truth;
+  }
+
+  ClassError Finish() const {
+    ClassError error;
+    error.count = count;
+    if (count > 0) {
+      const double n = static_cast<double>(count);
+      error.avg_rel_error = sum_rel / n;
+      error.avg_abs_error = sum_abs / n;
+      error.avg_true = sum_true / n;
+    }
+    return error;
+  }
+};
+
+ErrorReport Evaluate(const Workload& workload,
+                     const std::vector<double>& estimates, double sanity,
+                     bool low_count_only) {
+  ErrorReport report;
+  report.sanity_bound = sanity;
+  Accumulator overall;
+  std::map<std::string, Accumulator> by_class;
+  for (size_t i = 0; i < workload.queries.size() && i < estimates.size();
+       ++i) {
+    const WorkloadQuery& q = workload.queries[i];
+    if (low_count_only && q.true_selectivity >= sanity) continue;
+    overall.Add(q.true_selectivity, estimates[i], sanity);
+    by_class[ClassName(q.pred_class)].Add(q.true_selectivity, estimates[i],
+                                          sanity);
+  }
+  report.overall = overall.Finish();
+  for (const auto& [name, acc] : by_class) {
+    report.by_class[name] = acc.Finish();
+  }
+  return report;
+}
+
+}  // namespace
+
+ErrorReport EvaluateErrors(const Workload& workload,
+                           const std::vector<double>& estimates,
+                           double sanity_override) {
+  const double sanity = sanity_override > 0.0
+                            ? sanity_override
+                            : std::max(1.0, SanityBound(workload));
+  return Evaluate(workload, estimates, sanity, /*low_count_only=*/false);
+}
+
+ErrorReport EvaluateLowCountErrors(const Workload& workload,
+                                   const std::vector<double>& estimates) {
+  const double sanity = std::max(1.0, SanityBound(workload));
+  return Evaluate(workload, estimates, sanity, /*low_count_only=*/true);
+}
+
+}  // namespace xcluster

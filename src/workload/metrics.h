@@ -1,0 +1,53 @@
+#ifndef XCLUSTER_WORKLOAD_METRICS_H_
+#define XCLUSTER_WORKLOAD_METRICS_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+#include "xml/document.h"
+
+namespace xcluster {
+
+/// Per-class error aggregates.
+struct ClassError {
+  size_t count = 0;
+  double avg_rel_error = 0.0;  ///< mean |c - e| / max(c, s), in [0, ...)
+  double avg_abs_error = 0.0;  ///< mean |c - e|
+  double avg_true = 0.0;       ///< mean true selectivity
+};
+
+/// Error report over a workload for one synopsis, using the paper's
+/// evaluation metric (Sec. 6.1): the average absolute relative error with a
+/// sanity bound s set to the 10-percentile of the true counts (90% of
+/// queries have true result size >= s).
+struct ErrorReport {
+  double sanity_bound = 0.0;
+  ClassError overall;
+  /// Keys: "Struct", "Numeric", "String", "Text" (present classes only).
+  std::map<std::string, ClassError> by_class;
+};
+
+/// Display name of a workload query class.
+std::string ClassName(ValueType pred_class);
+
+/// Sanity bound: the `percentile` quantile of the true counts.
+double SanityBound(const Workload& workload, double percentile = 0.10);
+
+/// Computes the error report for `estimates[i]` vs the workload's true
+/// selectivities. `estimates` must parallel `workload.queries`. If
+/// `sanity_override` > 0 it is used instead of the computed 10-percentile.
+ErrorReport EvaluateErrors(const Workload& workload,
+                           const std::vector<double>& estimates,
+                           double sanity_override = 0.0);
+
+/// Error report restricted to low-count queries (true selectivity below
+/// the sanity bound) — the Figure 9 analysis.
+ErrorReport EvaluateLowCountErrors(const Workload& workload,
+                                   const std::vector<double>& estimates);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_WORKLOAD_METRICS_H_

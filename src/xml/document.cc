@@ -1,0 +1,87 @@
+#include "xml/document.h"
+
+#include <algorithm>
+
+namespace xcluster {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNone:
+      return "none";
+    case ValueType::kNumeric:
+      return "numeric";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kText:
+      return "text";
+  }
+  return "unknown";
+}
+
+NodeId XmlDocument::CreateRoot(std::string_view label) {
+  nodes_.clear();
+  XmlNode node;
+  node.label = labels_.Intern(label);
+  nodes_.push_back(std::move(node));
+  return 0;
+}
+
+NodeId XmlDocument::AddChild(NodeId parent, std::string_view label) {
+  XmlNode node;
+  node.label = labels_.Intern(label);
+  node.parent = parent;
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+void XmlDocument::SetNumeric(NodeId node, int64_t value) {
+  nodes_[node].type = ValueType::kNumeric;
+  nodes_[node].numeric = value;
+}
+
+void XmlDocument::SetString(NodeId node, std::string_view value) {
+  nodes_[node].type = ValueType::kString;
+  nodes_[node].text = std::string(value);
+}
+
+void XmlDocument::SetText(NodeId node, std::string_view value) {
+  nodes_[node].type = ValueType::kText;
+  nodes_[node].text = std::string(value);
+}
+
+size_t XmlDocument::CountValued() const {
+  size_t count = 0;
+  for (const XmlNode& node : nodes_) {
+    if (node.type != ValueType::kNone) ++count;
+  }
+  return count;
+}
+
+size_t XmlDocument::Depth() const {
+  if (nodes_.empty()) return 0;
+  // Nodes are created parent-before-child, so one forward pass suffices.
+  std::vector<uint32_t> depth(nodes_.size(), 1);
+  uint32_t max_depth = 1;
+  for (NodeId id = 1; id < nodes_.size(); ++id) {
+    depth[id] = depth[nodes_[id].parent] + 1;
+    max_depth = std::max(max_depth, depth[id]);
+  }
+  return max_depth;
+}
+
+std::string XmlDocument::PathOf(NodeId id) const {
+  std::vector<SymbolId> labels;
+  for (NodeId cur = id; cur != kNoNode; cur = nodes_[cur].parent) {
+    labels.push_back(nodes_[cur].label);
+  }
+  std::string path;
+  for (auto it = labels.rbegin(); it != labels.rend(); ++it) {
+    path += '/';
+    path += labels_.Get(*it);
+  }
+  return path;
+}
+
+}  // namespace xcluster

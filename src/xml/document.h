@@ -1,0 +1,99 @@
+#ifndef XCLUSTER_XML_DOCUMENT_H_
+#define XCLUSTER_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/string_pool.h"
+
+namespace xcluster {
+
+/// Data type of an XML element's value (Sec. 2 of the paper). Elements with
+/// no value are kNone ("null data type").
+enum class ValueType : uint8_t {
+  kNone = 0,
+  kNumeric = 1,  ///< integer values in a domain {0..M-1}
+  kString = 2,   ///< short strings (names, titles, ...)
+  kText = 3,     ///< free text queried with IR-style term predicates
+};
+
+/// Name of a value type for display ("none", "numeric", "string", "text").
+const char* ValueTypeName(ValueType type);
+
+using NodeId = uint32_t;
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// One element node of the document tree.
+struct XmlNode {
+  SymbolId label = kInvalidSymbol;
+  ValueType type = ValueType::kNone;
+  int64_t numeric = 0;    ///< valid iff type == kNumeric
+  std::string text;       ///< raw value iff type is kString or kText
+  NodeId parent = kNoNode;
+  std::vector<NodeId> children;
+};
+
+/// A node-labeled XML document tree T(V, E) with typed element values.
+/// Nodes live in a flat arena indexed by NodeId; node 0 is the root once
+/// created. Labels are interned in a per-document StringPool.
+class XmlDocument {
+ public:
+  XmlDocument() = default;
+
+  XmlDocument(const XmlDocument&) = delete;
+  XmlDocument& operator=(const XmlDocument&) = delete;
+  XmlDocument(XmlDocument&&) = default;
+  XmlDocument& operator=(XmlDocument&&) = default;
+
+  /// Creates the root element; must be the first node created.
+  NodeId CreateRoot(std::string_view label);
+
+  /// Appends a child element under `parent` and returns its id.
+  NodeId AddChild(NodeId parent, std::string_view label);
+
+  /// Attaches a NUMERIC value to `node`.
+  void SetNumeric(NodeId node, int64_t value);
+
+  /// Attaches a STRING value to `node`.
+  void SetString(NodeId node, std::string_view value);
+
+  /// Attaches a TEXT value to `node` (raw text; term vectors are derived by
+  /// the text module).
+  void SetText(NodeId node, std::string_view value);
+
+  NodeId root() const { return nodes_.empty() ? kNoNode : 0; }
+  size_t size() const { return nodes_.size(); }
+
+  const XmlNode& node(NodeId id) const { return nodes_[id]; }
+  SymbolId label(NodeId id) const { return nodes_[id].label; }
+  const std::string& label_name(NodeId id) const {
+    return labels_.Get(nodes_[id].label);
+  }
+  ValueType type(NodeId id) const { return nodes_[id].type; }
+  const std::vector<NodeId>& children(NodeId id) const {
+    return nodes_[id].children;
+  }
+
+  const StringPool& labels() const { return labels_; }
+  StringPool& labels() { return labels_; }
+
+  /// Number of elements carrying a (non-null) value.
+  size_t CountValued() const;
+
+  /// Maximum depth of the tree (root at depth 1); 0 when empty.
+  size_t Depth() const;
+
+  /// Root-to-node label path rendered as "/a/b/c" (for diagnostics and for
+  /// selecting value-summary paths).
+  std::string PathOf(NodeId id) const;
+
+ private:
+  StringPool labels_;
+  std::vector<XmlNode> nodes_;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_XML_DOCUMENT_H_

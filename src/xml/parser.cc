@@ -1,0 +1,334 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace xcluster {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Returns true if `s` (after trimming) is a decimal integer.
+bool LooksNumeric(std::string_view s, int64_t* out) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && IsSpace(s[b])) ++b;
+  while (e > b && IsSpace(s[e - 1])) --e;
+  if (b == e) return false;
+  size_t i = b;
+  if (s[i] == '-' || s[i] == '+') ++i;
+  if (i == e) return false;
+  int64_t value = 0;
+  for (; i < e; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    value = value * 10 + (s[i] - '0');
+    if (value < 0) return false;  // overflow guard; treat as non-numeric
+  }
+  *out = (s[b] == '-') ? -value : value;
+  return true;
+}
+
+class ParserImpl {
+ public:
+  ParserImpl(std::string_view input, const ParseOptions& options,
+             XmlDocument* doc)
+      : in_(input), options_(options), doc_(doc) {}
+
+  Status Run() {
+    SkipProlog();
+    if (eof()) return Status::InvalidArgument("empty document");
+    XC_RETURN_IF_ERROR(ParseElement(kNoNode));
+    SkipMisc();
+    if (!eof()) {
+      return Status::Corruption("trailing content after root element at byte " +
+                                std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool eof() const { return pos_ >= in_.size(); }
+  char peek() const { return in_[pos_]; }
+  bool StartsWith(std::string_view s) const {
+    return in_.compare(pos_, s.size(), s) == 0;
+  }
+
+  void SkipSpace() {
+    while (!eof() && IsSpace(peek())) ++pos_;
+  }
+
+  /// Skips XML declaration, comments, PIs, doctype (without entity decls).
+  void SkipProlog() {
+    for (;;) {
+      SkipSpace();
+      if (StartsWith("<?")) {
+        SkipUntil("?>");
+      } else if (StartsWith("<!--")) {
+        SkipUntil("-->");
+      } else if (StartsWith("<!DOCTYPE")) {
+        SkipDoctype();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipSpace();
+      if (StartsWith("<?")) {
+        SkipUntil("?>");
+      } else if (StartsWith("<!--")) {
+        SkipUntil("-->");
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipUntil(std::string_view terminator) {
+    size_t found = in_.find(terminator, pos_);
+    pos_ = (found == std::string_view::npos) ? in_.size()
+                                             : found + terminator.size();
+  }
+
+  void SkipDoctype() {
+    // Skip to matching '>' accounting for an optional internal subset.
+    int bracket = 0;
+    while (!eof()) {
+      char c = in_[pos_++];
+      if (c == '[') ++bracket;
+      if (c == ']') --bracket;
+      if (c == '>' && bracket <= 0) return;
+    }
+  }
+
+  Result<std::string> ParseName() {
+    if (eof() || !IsNameStart(peek())) {
+      return Status::Corruption("expected name at byte " +
+                                std::to_string(pos_));
+    }
+    size_t start = pos_;
+    while (!eof() && IsNameChar(peek())) ++pos_;
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  /// Decodes predefined entities and numeric character references in `raw`.
+  std::string DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos || semi - i > 10) {
+        out += raw[i++];
+        continue;
+      }
+      std::string_view ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "lt") {
+        out += '<';
+      } else if (ent == "gt") {
+        out += '>';
+      } else if (ent == "amp") {
+        out += '&';
+      } else if (ent == "quot") {
+        out += '"';
+      } else if (ent == "apos") {
+        out += '\'';
+      } else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
+          code = std::strtol(std::string(ent.substr(2)).c_str(), nullptr, 16);
+        } else {
+          code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
+        }
+        if (code > 0 && code < 128) {
+          out += static_cast<char>(code);
+        } else {
+          out += '?';  // non-ASCII reference: placeholder
+        }
+      } else {
+        // Unknown entity: keep literally.
+        out.append(raw.substr(i, semi - i + 1));
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  Status ParseAttributes(NodeId element) {
+    for (;;) {
+      SkipSpace();
+      if (eof()) return Status::Corruption("unterminated start tag");
+      if (peek() == '>' || peek() == '/' || peek() == '?') return Status::OK();
+      Result<std::string> name = ParseName();
+      if (!name.ok()) return name.status();
+      SkipSpace();
+      if (eof() || peek() != '=') {
+        return Status::Corruption("expected '=' in attribute at byte " +
+                                  std::to_string(pos_));
+      }
+      ++pos_;
+      SkipSpace();
+      if (eof() || (peek() != '"' && peek() != '\'')) {
+        return Status::Corruption("expected quoted attribute value");
+      }
+      char quote = in_[pos_++];
+      size_t start = pos_;
+      while (!eof() && peek() != quote) ++pos_;
+      if (eof()) return Status::Corruption("unterminated attribute value");
+      std::string value = DecodeEntities(in_.substr(start, pos_ - start));
+      ++pos_;
+      if (options_.attributes_as_children && element != kNoNode) {
+        NodeId attr = doc_->AddChild(element, "@" + name.value());
+        AssignValue(attr, value);
+      }
+    }
+  }
+
+  /// Types and stores character data on `node` per hints / inference.
+  void AssignValue(NodeId node, std::string_view raw) {
+    // Trim surrounding whitespace.
+    size_t b = 0;
+    size_t e = raw.size();
+    while (b < e && IsSpace(raw[b])) ++b;
+    while (e > b && IsSpace(raw[e - 1])) --e;
+    if (b == e) return;
+    std::string_view text = raw.substr(b, e - b);
+
+    auto hint = options_.type_hints.find(doc_->label_name(node));
+    if (hint != options_.type_hints.end()) {
+      switch (hint->second) {
+        case ValueType::kNumeric: {
+          int64_t value = 0;
+          if (LooksNumeric(text, &value)) doc_->SetNumeric(node, value);
+          return;
+        }
+        case ValueType::kString:
+          doc_->SetString(node, text);
+          return;
+        case ValueType::kText:
+          doc_->SetText(node, text);
+          return;
+        case ValueType::kNone:
+          return;
+      }
+    }
+    int64_t value = 0;
+    if (LooksNumeric(text, &value)) {
+      doc_->SetNumeric(node, value);
+    } else if (text.size() <= options_.string_max_bytes) {
+      doc_->SetString(node, text);
+    } else {
+      doc_->SetText(node, text);
+    }
+  }
+
+  Status ParseElement(NodeId parent) {
+    if (eof() || peek() != '<') {
+      return Status::Corruption("expected '<' at byte " + std::to_string(pos_));
+    }
+    ++pos_;
+    Result<std::string> name = ParseName();
+    if (!name.ok()) return name.status();
+
+    NodeId node = (parent == kNoNode) ? doc_->CreateRoot(name.value())
+                                      : doc_->AddChild(parent, name.value());
+    XC_RETURN_IF_ERROR(ParseAttributes(node));
+
+    if (StartsWith("/>")) {
+      pos_ += 2;
+      return Status::OK();
+    }
+    if (eof() || peek() != '>') {
+      return Status::Corruption("malformed start tag for <" + name.value() +
+                                ">");
+    }
+    ++pos_;
+
+    std::string char_data;
+    for (;;) {
+      if (eof()) {
+        return Status::Corruption("unterminated element <" + name.value() +
+                                  ">");
+      }
+      if (StartsWith("<![CDATA[")) {
+        pos_ += 9;
+        size_t end = in_.find("]]>", pos_);
+        if (end == std::string_view::npos) {
+          return Status::Corruption("unterminated CDATA section");
+        }
+        char_data.append(in_.substr(pos_, end - pos_));
+        pos_ = end + 3;
+      } else if (StartsWith("<!--")) {
+        SkipUntil("-->");
+      } else if (StartsWith("<?")) {
+        SkipUntil("?>");
+      } else if (StartsWith("</")) {
+        pos_ += 2;
+        Result<std::string> close = ParseName();
+        if (!close.ok()) return close.status();
+        if (close.value() != name.value()) {
+          return Status::Corruption("mismatched close tag </" + close.value() +
+                                    "> for <" + name.value() + ">");
+        }
+        SkipSpace();
+        if (eof() || peek() != '>') {
+          return Status::Corruption("malformed close tag");
+        }
+        ++pos_;
+        break;
+      } else if (peek() == '<') {
+        XC_RETURN_IF_ERROR(ParseElement(node));
+      } else {
+        size_t start = pos_;
+        while (!eof() && peek() != '<') ++pos_;
+        char_data += DecodeEntities(in_.substr(start, pos_ - start));
+      }
+    }
+
+    AssignValue(node, char_data);
+    return Status::OK();
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  const ParseOptions& options_;
+  XmlDocument* doc_;
+};
+
+}  // namespace
+
+Status XmlParser::Parse(std::string_view input, XmlDocument* doc) {
+  *doc = XmlDocument();
+  ParserImpl impl(input, options_, doc);
+  return impl.Run();
+}
+
+Status XmlParser::ParseFile(const std::string& path, XmlDocument* doc) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return Parse(buffer.str(), doc);
+}
+
+}  // namespace xcluster

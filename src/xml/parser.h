@@ -1,0 +1,53 @@
+#ifndef XCLUSTER_XML_PARSER_H_
+#define XCLUSTER_XML_PARSER_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace xcluster {
+
+/// Options controlling how parsed character data is typed.
+struct ParseOptions {
+  /// Explicit element-label -> value-type assignments. Labels not listed
+  /// fall back to automatic inference (integer text => NUMERIC, short text
+  /// => STRING, long text => TEXT).
+  std::map<std::string, ValueType> type_hints;
+
+  /// Threshold (in bytes) separating auto-inferred STRING from TEXT values.
+  size_t string_max_bytes = 64;
+
+  /// When true, attributes become child elements labeled "@name" carrying a
+  /// STRING value (the paper's data model is element-only).
+  bool attributes_as_children = true;
+};
+
+/// Self-contained, non-validating XML parser producing an XmlDocument.
+///
+/// Supported: nested elements, attributes, character data, CDATA sections,
+/// comments, processing instructions, XML declaration, the five predefined
+/// entities and numeric character references. Unsupported (rejected with
+/// Status): DTDs with internal subsets that declare entities.
+///
+/// Mixed content: all character data directly under an element is
+/// concatenated; an element receives a value only if it has character data.
+class XmlParser {
+ public:
+  explicit XmlParser(ParseOptions options = {}) : options_(std::move(options)) {}
+
+  /// Parses `input` into `doc` (replacing its contents).
+  Status Parse(std::string_view input, XmlDocument* doc);
+
+  /// Reads `path` from disk and parses it.
+  Status ParseFile(const std::string& path, XmlDocument* doc);
+
+ private:
+  ParseOptions options_;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_XML_PARSER_H_

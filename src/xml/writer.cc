@@ -1,0 +1,113 @@
+#include "xml/writer.h"
+
+#include <fstream>
+
+namespace xcluster {
+
+std::string XmlEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void XmlWriter::RenderNode(const XmlDocument& doc, NodeId id, int depth,
+                           std::string* out) const {
+  const XmlNode& node = doc.node(id);
+  const std::string& name = doc.label_name(id);
+  if (options_.indent) out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += '<';
+  *out += name;
+
+  // Attribute-children first.
+  std::vector<NodeId> element_children;
+  for (NodeId child : node.children) {
+    const std::string& child_name = doc.label_name(child);
+    if (!child_name.empty() && child_name[0] == '@') {
+      *out += ' ';
+      out->append(child_name, 1, std::string::npos);
+      *out += "=\"";
+      const XmlNode& attr = doc.node(child);
+      if (attr.type == ValueType::kNumeric) {
+        *out += std::to_string(attr.numeric);
+      } else {
+        *out += XmlEscape(attr.text);
+      }
+      *out += '"';
+    } else {
+      element_children.push_back(child);
+    }
+  }
+
+  std::string value;
+  switch (node.type) {
+    case ValueType::kNumeric:
+      value = std::to_string(node.numeric);
+      break;
+    case ValueType::kString:
+    case ValueType::kText:
+      value = XmlEscape(node.text);
+      break;
+    case ValueType::kNone:
+      break;
+  }
+
+  if (element_children.empty() && value.empty()) {
+    *out += "/>";
+    if (options_.indent) *out += '\n';
+    return;
+  }
+
+  *out += '>';
+  *out += value;
+  if (!element_children.empty()) {
+    if (options_.indent) *out += '\n';
+    for (NodeId child : element_children) {
+      RenderNode(doc, child, depth + 1, out);
+    }
+    if (options_.indent) out->append(static_cast<size_t>(depth) * 2, ' ');
+  }
+  *out += "</";
+  *out += name;
+  *out += '>';
+  if (options_.indent) *out += '\n';
+}
+
+std::string XmlWriter::ToString(const XmlDocument& doc) const {
+  std::string out;
+  if (doc.root() == kNoNode) return out;
+  RenderNode(doc, doc.root(), 0, &out);
+  return out;
+}
+
+Status XmlWriter::WriteFile(const XmlDocument& doc,
+                            const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  file << ToString(doc);
+  if (!file) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+size_t XmlWriter::SerializedSize(const XmlDocument& doc) const {
+  return ToString(doc).size();
+}
+
+}  // namespace xcluster

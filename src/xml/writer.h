@@ -1,0 +1,46 @@
+#ifndef XCLUSTER_XML_WRITER_H_
+#define XCLUSTER_XML_WRITER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace xcluster {
+
+/// Serializes an XmlDocument back to XML text. Attribute-children (labels
+/// beginning with '@') are emitted as attributes; everything else as nested
+/// elements. Used by the generators to materialize data sets and by Table 1
+/// to report the on-disk size of each data set.
+class XmlWriter {
+ public:
+  struct Options {
+    bool indent = false;  ///< pretty-print with 2-space indentation
+  };
+
+  XmlWriter() : options_(Options()) {}
+  explicit XmlWriter(Options options) : options_(options) {}
+
+  /// Renders the whole document to a string.
+  std::string ToString(const XmlDocument& doc) const;
+
+  /// Writes the document to `path`.
+  Status WriteFile(const XmlDocument& doc, const std::string& path) const;
+
+  /// Size in bytes of the serialized document (without materializing when
+  /// possible is unnecessary at our scale; this renders and measures).
+  size_t SerializedSize(const XmlDocument& doc) const;
+
+ private:
+  void RenderNode(const XmlDocument& doc, NodeId id, int depth,
+                  std::string* out) const;
+
+  Options options_;
+};
+
+/// Escapes &, <, >, " for inclusion in XML text/attributes.
+std::string XmlEscape(std::string_view raw);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_XML_WRITER_H_

@@ -1,0 +1,152 @@
+#include "build/compress.h"
+
+#include <gtest/gtest.h>
+
+namespace xcluster {
+namespace {
+
+/// Root with three valued leaves: a numeric histogram, a string PST, and a
+/// text term histogram.
+GraphSynopsis MakeValuedSynopsis() {
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+
+  SynNodeId numeric = synopsis.AddNode("year", ValueType::kNumeric, 40.0);
+  synopsis.AddEdge(root, numeric, 40.0);
+  std::vector<int64_t> values;
+  for (int64_t v = 0; v < 40; ++v) values.push_back(v % 20);
+  synopsis.node(numeric).vsumm = ValueSummary::FromNumeric(values, 64);
+
+  SynNodeId str = synopsis.AddNode("title", ValueType::kString, 3.0);
+  synopsis.AddEdge(root, str, 3.0);
+  synopsis.node(str).vsumm =
+      ValueSummary::FromStrings({"golden ring", "silver coin", "gold dust"}, 4);
+
+  SynNodeId text = synopsis.AddNode("plot", ValueType::kText, 4.0);
+  synopsis.AddEdge(root, text, 4.0);
+  synopsis.node(text).vsumm =
+      ValueSummary::FromTexts({{1, 2, 3}, {1, 4}, {2, 5}, {1, 2, 6}});
+  return synopsis;
+}
+
+TEST(CompressTest, MeetsBudget) {
+  GraphSynopsis synopsis = MakeValuedSynopsis();
+  size_t before = synopsis.ValueBytes();
+  size_t budget = before / 2;
+  size_t after = CompressValueSummaries(&synopsis, budget, CompressOptions());
+  EXPECT_LE(after, budget);
+  EXPECT_EQ(after, synopsis.ValueBytes());
+}
+
+TEST(CompressTest, NoOpWhenUnderBudget) {
+  GraphSynopsis synopsis = MakeValuedSynopsis();
+  size_t before = synopsis.ValueBytes();
+  size_t after =
+      CompressValueSummaries(&synopsis, before + 1000, CompressOptions());
+  EXPECT_EQ(after, before);
+}
+
+TEST(CompressTest, StopsAtIncompressibleFloor) {
+  GraphSynopsis synopsis = MakeValuedSynopsis();
+  // Budget 0 is unreachable: histograms keep one bucket, PSTs keep their
+  // depth-1 symbols, term histograms keep the uniform bucket.
+  size_t after = CompressValueSummaries(&synopsis, 0, CompressOptions());
+  EXPECT_GT(after, 0u);
+  // Every summary was compressed as far as possible.
+  for (SynNodeId id : synopsis.AliveNodes()) {
+    const ValueSummary& vsumm = synopsis.node(id).vsumm;
+    if (vsumm.empty()) continue;
+    ValueSummary copy = vsumm;
+    size_t saved = copy.Compress(1);
+    EXPECT_EQ(saved, 0u) << "node " << id;
+  }
+}
+
+TEST(CompressTest, SummariesRemainUsable) {
+  GraphSynopsis synopsis = MakeValuedSynopsis();
+  CompressValueSummaries(&synopsis, synopsis.ValueBytes() / 3,
+                         CompressOptions());
+  for (SynNodeId id : synopsis.AliveNodes()) {
+    const ValueSummary& vsumm = synopsis.node(id).vsumm;
+    switch (vsumm.type()) {
+      case ValueType::kNumeric:
+        EXPECT_NEAR(vsumm.histogram().total(), 40.0, 1e-9);
+        break;
+      case ValueType::kString:
+        EXPECT_GT(vsumm.pst().Selectivity("g"), 0.0);
+        break;
+      case ValueType::kText: {
+        double mass = 0.0;
+        for (TermId t = 0; t < 8; ++t) mass += vsumm.terms().Frequency(t);
+        EXPECT_GT(mass, 0.0);
+        break;
+      }
+      case ValueType::kNone:
+        break;
+    }
+  }
+}
+
+TEST(CompressTest, PrefersCheapOperations) {
+  // Two numeric nodes: one with redundant buckets (uniform), one with a
+  // highly informative distribution. Compressing to remove exactly a few
+  // buckets should prefer the redundant histogram.
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId uniform = synopsis.AddNode("u", ValueType::kNumeric, 16.0);
+  SynNodeId skewed = synopsis.AddNode("s", ValueType::kNumeric, 16.0);
+  synopsis.AddEdge(root, uniform, 16.0);
+  synopsis.AddEdge(root, skewed, 16.0);
+  std::vector<int64_t> uniform_values;
+  for (int64_t v = 0; v < 16; ++v) uniform_values.push_back(v);
+  std::vector<int64_t> skewed_values = {0, 0, 0, 0, 0, 0, 0, 0,
+                                        1000, 2000, 4000, 8000,
+                                        16000, 32000, 64000, 128000};
+  synopsis.node(uniform).vsumm = ValueSummary::FromNumeric(uniform_values, 64);
+  synopsis.node(skewed).vsumm = ValueSummary::FromNumeric(skewed_values, 64);
+
+  size_t uniform_before = synopsis.node(uniform).vsumm.SizeBytes();
+  size_t budget = synopsis.ValueBytes() - 24;  // force ~3 bucket merges
+  CompressOptions options;
+  options.step = 1;
+  CompressValueSummaries(&synopsis, budget, options);
+  // The uniform histogram absorbed the compression.
+  EXPECT_LT(synopsis.node(uniform).vsumm.SizeBytes(), uniform_before);
+  EXPECT_EQ(synopsis.node(skewed).vsumm.histogram().bucket_count(), 9u);
+}
+
+TEST(CompressTest, VOptimalHistogramOption) {
+  GraphSynopsis synopsis = MakeValuedSynopsis();
+  CompressOptions options;
+  options.voptimal_histograms = true;
+  size_t budget = synopsis.ValueBytes() / 2;
+  size_t after = CompressValueSummaries(&synopsis, budget, options);
+  EXPECT_LE(after, budget);
+  // The numeric summary remains a valid histogram with its total intact.
+  for (SynNodeId id : synopsis.AliveNodes()) {
+    const ValueSummary& vsumm = synopsis.node(id).vsumm;
+    if (vsumm.type() == ValueType::kNumeric) {
+      EXPECT_NEAR(vsumm.histogram().total(), 40.0, 1e-9);
+    }
+  }
+}
+
+TEST(CompressTest, EmptySynopsisIsFine) {
+  GraphSynopsis synopsis;
+  EXPECT_EQ(CompressValueSummaries(&synopsis, 100, CompressOptions()), 0u);
+}
+
+TEST(CompressTest, LargerStepCompressesFaster) {
+  GraphSynopsis a = MakeValuedSynopsis();
+  GraphSynopsis b = MakeValuedSynopsis();
+  CompressOptions coarse;
+  coarse.step = 8;
+  size_t budget = a.ValueBytes() / 2;
+  size_t after_fine = CompressValueSummaries(&a, budget, CompressOptions());
+  size_t after_coarse = CompressValueSummaries(&b, budget, coarse);
+  EXPECT_LE(after_fine, budget);
+  EXPECT_LE(after_coarse, budget);
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,86 @@
+#include "core/xcluster.h"
+
+#include <gtest/gtest.h>
+
+#include "data/imdb.h"
+
+namespace xcluster {
+namespace {
+
+class CoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ImdbOptions options;
+    options.scale = 0.05;
+    dataset_ = GenerateImdb(options);
+  }
+
+  XCluster::Options DefaultOptions() {
+    XCluster::Options options;
+    options.reference.value_paths = dataset_.value_paths;
+    options.build.structural_budget = 4096;
+    options.build.value_budget = 32768;
+    return options;
+  }
+
+  GeneratedDataset dataset_;
+};
+
+TEST_F(CoreTest, BuildRespectsBudgets) {
+  XCluster xc = XCluster::Build(dataset_.doc, DefaultOptions());
+  EXPECT_LE(xc.synopsis().StructuralBytes(), 4096u);
+  EXPECT_LE(xc.synopsis().ValueBytes(), 32768u);
+  EXPECT_EQ(xc.SizeBytes(),
+            xc.synopsis().StructuralBytes() + xc.synopsis().ValueBytes());
+}
+
+TEST_F(CoreTest, BuildStatsExposed) {
+  XCluster xc = XCluster::Build(dataset_.doc, DefaultOptions());
+  EXPECT_GT(xc.build_stats().reference_nodes, 0u);
+  EXPECT_GT(xc.build_stats().merges_applied, 0u);
+}
+
+TEST_F(CoreTest, EstimateFromQueryString) {
+  XCluster xc = XCluster::Build(dataset_.doc, DefaultOptions());
+  Result<double> estimate = xc.EstimateSelectivity("/movie/title");
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GT(estimate.value(), 0.0);
+}
+
+TEST_F(CoreTest, EstimateParseErrorPropagates) {
+  XCluster xc = XCluster::Build(dataset_.doc, DefaultOptions());
+  Result<double> estimate = xc.EstimateSelectivity("not a query");
+  EXPECT_FALSE(estimate.ok());
+  EXPECT_EQ(estimate.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(CoreTest, EstimateStructuralCountsRoughlyCorrect) {
+  // With a generous budget the synopsis preserves the per-label counts, so
+  // single-step structural estimates match the document exactly.
+  XCluster::Options options = DefaultOptions();
+  options.build.structural_budget = 1 << 30;
+  options.build.value_budget = 1 << 30;
+  XCluster xc = XCluster::Build(dataset_.doc, options);
+  size_t movies = 0;
+  for (NodeId child : dataset_.doc.children(dataset_.doc.root())) {
+    if (dataset_.doc.label_name(child) == "movie") ++movies;
+  }
+  Result<double> estimate = xc.EstimateSelectivity("/movie");
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate.value(), static_cast<double>(movies), 1e-6);
+}
+
+TEST_F(CoreTest, WrapExistingSynopsis) {
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("r", ValueType::kNone, 1.0);
+  SynNodeId a = synopsis.AddNode("a", ValueType::kNone, 5.0);
+  synopsis.AddEdge(root, a, 5.0);
+  synopsis.set_term_dictionary(std::make_shared<TermDictionary>());
+  XCluster xc(std::move(synopsis));
+  Result<double> estimate = xc.EstimateSelectivity("/a");
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate.value(), 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,96 @@
+#include "text/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "text/tokenizer.h"
+
+namespace xcluster {
+namespace {
+
+TEST(CorpusTest, WordListIsLargeAndStable) {
+  const auto& words = CorpusWords();
+  EXPECT_GT(words.size(), 300u);
+  EXPECT_EQ(&CorpusWords(), &words);  // same instance
+}
+
+TEST(CorpusTest, WordsAreTokenizerClean) {
+  // Every corpus word must survive tokenization unchanged, so that term
+  // dictionaries built from generated text match query terms drawn from
+  // the corpus.
+  for (const std::string& word : CorpusWords()) {
+    std::vector<std::string> tokens = Tokenize(word);
+    ASSERT_EQ(tokens.size(), 1u) << word;
+    EXPECT_EQ(tokens[0], word);
+  }
+}
+
+TEST(TextGeneratorTest, GeneratesRequestedWordCount) {
+  TextGenerator gen(0.8);
+  Rng rng(1);
+  std::string text = gen.Generate(&rng, 12);
+  EXPECT_EQ(Tokenize(text).size(), 12u);
+}
+
+TEST(TextGeneratorTest, ZeroWordsIsEmpty) {
+  TextGenerator gen(0.8);
+  Rng rng(1);
+  EXPECT_EQ(gen.Generate(&rng, 0), "");
+}
+
+TEST(TextGeneratorTest, DeterministicGivenSeed) {
+  TextGenerator gen(0.8);
+  Rng a(5);
+  Rng b(5);
+  EXPECT_EQ(gen.Generate(&a, 20), gen.Generate(&b, 20));
+}
+
+TEST(TextGeneratorTest, SkewedTowardHeadWords) {
+  TextGenerator gen(1.0);
+  Rng rng(9);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 5000; ++i) ++counts[gen.Word(&rng)];
+  // The most frequent word should appear far more often than average.
+  int max_count = 0;
+  for (const auto& [word, count] : counts) max_count = std::max(max_count, count);
+  EXPECT_GT(max_count, 5000 / 50);
+}
+
+TEST(TextGeneratorTest, TopicsShiftVocabulary) {
+  TextGenerator gen(1.2);
+  Rng a(3);
+  Rng b(3);
+  // The head word under topic 0 and topic 5 must differ (rank rotation).
+  std::map<std::string, int> topic0;
+  std::map<std::string, int> topic5;
+  for (int i = 0; i < 2000; ++i) {
+    ++topic0[gen.Word(&a, 0)];
+    ++topic5[gen.Word(&b, 5)];
+  }
+  auto argmax = [](const std::map<std::string, int>& counts) {
+    std::string best;
+    int best_count = -1;
+    for (const auto& [word, count] : counts) {
+      if (count > best_count) {
+        best = word;
+        best_count = count;
+      }
+    }
+    return best;
+  };
+  EXPECT_NE(argmax(topic0), argmax(topic5));
+}
+
+TEST(TextGeneratorTest, AllWordsFromCorpus) {
+  TextGenerator gen(0.5);
+  Rng rng(11);
+  std::set<std::string> corpus(CorpusWords().begin(), CorpusWords().end());
+  for (const std::string& token : Tokenize(gen.Generate(&rng, 200, 3))) {
+    EXPECT_TRUE(corpus.count(token) > 0) << token;
+  }
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,178 @@
+#include "build/delta.h"
+
+#include <gtest/gtest.h>
+
+#include "synopsis/size_model.h"
+
+namespace xcluster {
+namespace {
+
+/// Root with two same-label children u, v that in turn share a child c.
+struct Pair {
+  GraphSynopsis synopsis;
+  SynNodeId root, u, v, c;
+
+  Pair(double cu, double cv, double uc, double vc) {
+    root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+    u = synopsis.AddNode("A", ValueType::kNone, cu);
+    v = synopsis.AddNode("A", ValueType::kNone, cv);
+    c = synopsis.AddNode("C", ValueType::kNone, cu * uc + cv * vc);
+    synopsis.AddEdge(root, u, cu);
+    synopsis.AddEdge(root, v, cv);
+    if (uc > 0) synopsis.AddEdge(u, c, uc);
+    if (vc > 0) synopsis.AddEdge(v, c, vc);
+  }
+};
+
+TEST(DeltaTest, IdenticalCentroidsHaveZeroDelta) {
+  Pair p(4.0, 4.0, 3.0, 3.0);
+  EXPECT_NEAR(MergeDelta(p.synopsis, p.u, p.v, DeltaOptions()), 0.0, 1e-12);
+}
+
+TEST(DeltaTest, StructuralDivergenceIsCharged) {
+  Pair p(4.0, 4.0, 2.0, 6.0);
+  // Merged count(w, c) = 4; per the formula each side contributes
+  // |x| * (count(x,c) - 4)^2 = 4 * 4 = 16, total 32.
+  EXPECT_NEAR(MergeDelta(p.synopsis, p.u, p.v, DeltaOptions()), 32.0, 1e-9);
+}
+
+TEST(DeltaTest, DeltaGrowsWithDivergence) {
+  Pair small(4.0, 4.0, 3.0, 4.0);
+  Pair large(4.0, 4.0, 1.0, 9.0);
+  DeltaOptions options;
+  EXPECT_LT(MergeDelta(small.synopsis, small.u, small.v, options),
+            MergeDelta(large.synopsis, large.u, large.v, options));
+}
+
+TEST(DeltaTest, ExtentWeightsMatter) {
+  // Same centroid divergence, bigger extents => bigger delta.
+  Pair light(1.0, 1.0, 2.0, 6.0);
+  Pair heavy(10.0, 10.0, 2.0, 6.0);
+  DeltaOptions options;
+  EXPECT_LT(MergeDelta(light.synopsis, light.u, light.v, options),
+            MergeDelta(heavy.synopsis, heavy.u, heavy.v, options));
+}
+
+TEST(DeltaTest, ValueDivergenceIsCharged) {
+  // Structurally identical nodes whose value summaries differ: the delta
+  // must be positive through the value term.
+  Pair p(4.0, 4.0, 3.0, 3.0);
+  p.synopsis.node(p.u).type = ValueType::kNumeric;
+  p.synopsis.node(p.v).type = ValueType::kNumeric;
+  p.synopsis.node(p.u).vsumm = ValueSummary::FromNumeric({1, 1, 1, 1}, 8);
+  p.synopsis.node(p.v).vsumm = ValueSummary::FromNumeric({9, 9, 9, 9}, 8);
+  double delta = MergeDelta(p.synopsis, p.u, p.v, DeltaOptions());
+  EXPECT_GT(delta, 0.0);
+
+  // With use_value_summaries disabled the same pair costs nothing.
+  DeltaOptions structural_only;
+  structural_only.use_value_summaries = false;
+  EXPECT_NEAR(MergeDelta(p.synopsis, p.u, p.v, structural_only), 0.0, 1e-12);
+}
+
+TEST(DeltaTest, IdenticalValueSummariesCostNothing) {
+  Pair p(4.0, 4.0, 3.0, 3.0);
+  p.synopsis.node(p.u).type = ValueType::kNumeric;
+  p.synopsis.node(p.v).type = ValueType::kNumeric;
+  p.synopsis.node(p.u).vsumm = ValueSummary::FromNumeric({1, 5, 9}, 8);
+  p.synopsis.node(p.v).vsumm = ValueSummary::FromNumeric({1, 5, 9}, 8);
+  EXPECT_NEAR(MergeDelta(p.synopsis, p.u, p.v, DeltaOptions()), 0.0, 1e-9);
+}
+
+TEST(DeltaTest, LeafValueNodesStillCharged) {
+  // Leaf nodes (no children) with diverging values: the implicit self
+  // target must charge the drift.
+  GraphSynopsis synopsis;
+  synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId u = synopsis.AddNode("Y", ValueType::kNumeric, 4.0);
+  SynNodeId v = synopsis.AddNode("Y", ValueType::kNumeric, 4.0);
+  synopsis.AddEdge(0, u, 4.0);
+  synopsis.AddEdge(0, v, 4.0);
+  synopsis.node(u).vsumm = ValueSummary::FromNumeric({0, 0, 0, 0}, 8);
+  synopsis.node(v).vsumm = ValueSummary::FromNumeric({100, 100, 100, 100}, 8);
+  EXPECT_GT(MergeDelta(synopsis, u, v, DeltaOptions()), 0.0);
+}
+
+TEST(DeltaTest, MergeSavingsSharedChildAndParent) {
+  Pair p(4.0, 4.0, 3.0, 3.0);
+  // Nodes: one saved (9B). Edges: root->u/root->v collapse (1 edge saved),
+  // u->c/v->c collapse (1 edge saved) => 16B.
+  EXPECT_EQ(MergeSavings(p.synopsis, p.u, p.v),
+            SizeModel::kNodeBytes + 2 * SizeModel::kEdgeBytes);
+}
+
+TEST(DeltaTest, MergeSavingsDisjointChildren) {
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId u = synopsis.AddNode("A", ValueType::kNone, 1.0);
+  SynNodeId v = synopsis.AddNode("A", ValueType::kNone, 1.0);
+  SynNodeId x = synopsis.AddNode("X", ValueType::kNone, 1.0);
+  SynNodeId y = synopsis.AddNode("Y", ValueType::kNone, 1.0);
+  synopsis.AddEdge(root, u, 1.0);
+  synopsis.AddEdge(root, v, 1.0);
+  synopsis.AddEdge(u, x, 1.0);
+  synopsis.AddEdge(v, y, 1.0);
+  // Only the parent edges collapse; children are disjoint.
+  EXPECT_EQ(MergeSavings(synopsis, u, v),
+            SizeModel::kNodeBytes + 1 * SizeModel::kEdgeBytes);
+}
+
+TEST(DeltaTest, MergeSavingsAdjacentPair) {
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId u = synopsis.AddNode("P", ValueType::kNone, 2.0);
+  SynNodeId v = synopsis.AddNode("P", ValueType::kNone, 2.0);
+  synopsis.AddEdge(root, u, 2.0);
+  synopsis.AddEdge(u, v, 1.0);
+  // Before: 2 edges. After: root->w and w->w = 2 edges. Only the node is
+  // saved.
+  EXPECT_EQ(MergeSavings(synopsis, u, v), SizeModel::kNodeBytes);
+}
+
+TEST(DeltaTest, CompressionDeltaZeroForLosslessCompression) {
+  GraphSynopsis synopsis;
+  synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId u = synopsis.AddNode("Y", ValueType::kNumeric, 4.0);
+  synopsis.AddEdge(0, u, 4.0);
+  // Uniform adjacent values: merging buckets loses nothing at the
+  // boundaries that remain.
+  synopsis.node(u).vsumm = ValueSummary::FromNumeric({1, 2, 3, 4}, 8);
+  ValueSummary compressed = synopsis.node(u).vsumm.Compressed(1);
+  double delta = CompressionDelta(synopsis, u, compressed, DeltaOptions());
+  EXPECT_GE(delta, 0.0);
+  EXPECT_LT(delta, 1.0);
+}
+
+TEST(DeltaTest, CompressionDeltaGrowsWithCoarsening) {
+  GraphSynopsis synopsis;
+  synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId u = synopsis.AddNode("Y", ValueType::kNumeric, 8.0);
+  synopsis.AddEdge(0, u, 8.0);
+  synopsis.node(u).vsumm =
+      ValueSummary::FromNumeric({1, 1, 1, 50, 90, 90, 95, 100}, 16);
+  ValueSummary mild = synopsis.node(u).vsumm.Compressed(1);
+  ValueSummary severe = synopsis.node(u).vsumm.Compressed(4);
+  DeltaOptions options;
+  EXPECT_LE(CompressionDelta(synopsis, u, mild, options),
+            CompressionDelta(synopsis, u, severe, options) + 1e-12);
+}
+
+TEST(DeltaTest, AtomicPredicateCapBoundsWork) {
+  GraphSynopsis synopsis;
+  synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId u = synopsis.AddNode("Y", ValueType::kNumeric, 50.0);
+  SynNodeId v = synopsis.AddNode("Y", ValueType::kNumeric, 50.0);
+  synopsis.AddEdge(0, u, 50.0);
+  synopsis.AddEdge(0, v, 50.0);
+  std::vector<int64_t> wide;
+  for (int64_t i = 0; i < 50; ++i) wide.push_back(i);
+  synopsis.node(u).vsumm = ValueSummary::FromNumeric(wide, 64);
+  synopsis.node(v).vsumm = ValueSummary::FromNumeric(wide, 64);
+  DeltaOptions tight;
+  tight.atomic_pred_cap = 4;
+  // Identical summaries: still zero under any cap.
+  EXPECT_NEAR(MergeDelta(synopsis, u, v, tight), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace xcluster

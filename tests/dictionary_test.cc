@@ -1,0 +1,68 @@
+#include "text/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace xcluster {
+namespace {
+
+TEST(DictionaryTest, InternTextReturnsSortedUniqueTerms) {
+  TermDictionary dict;
+  TermSet terms = dict.InternText("xml employs a tree model xml");
+  EXPECT_EQ(terms.size(), 5u);  // "xml" deduplicated
+  for (size_t i = 1; i < terms.size(); ++i) {
+    EXPECT_LT(terms[i - 1], terms[i]);
+  }
+}
+
+TEST(DictionaryTest, InternIsStable) {
+  TermDictionary dict;
+  TermId a = dict.Intern("synopsis");
+  TermId b = dict.Intern("synopsis");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.Get(a), "synopsis");
+}
+
+TEST(DictionaryTest, LookupTextDropsUnknownTerms) {
+  TermDictionary dict;
+  dict.Intern("xml");
+  bool all_known = true;
+  TermSet terms = dict.LookupText("xml quantum", &all_known);
+  EXPECT_EQ(terms.size(), 1u);
+  EXPECT_FALSE(all_known);
+}
+
+TEST(DictionaryTest, LookupTextAllKnown) {
+  TermDictionary dict;
+  dict.InternText("alpha beta");
+  bool all_known = false;
+  TermSet terms = dict.LookupText("beta alpha", &all_known);
+  EXPECT_EQ(terms.size(), 2u);
+  EXPECT_TRUE(all_known);
+}
+
+TEST(DictionaryTest, LookupMissingTerm) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.Lookup("nothing"), kInvalidSymbol);
+}
+
+TEST(DictionaryTest, CaseInsensitiveThroughTokenizer) {
+  TermDictionary dict;
+  TermSet a = dict.InternText("Tree");
+  TermSet b = dict.InternText("tree");
+  EXPECT_EQ(a, b);
+}
+
+TEST(DictionaryTest, SizeCountsDistinctTerms) {
+  TermDictionary dict;
+  dict.InternText("a b c a b");
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(DictionaryTest, NullAllKnownPointerAccepted) {
+  TermDictionary dict;
+  dict.Intern("x");
+  EXPECT_EQ(dict.LookupText("x y").size(), 1u);
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,118 @@
+#include "xml/document.h"
+
+#include <gtest/gtest.h>
+
+namespace xcluster {
+namespace {
+
+TEST(DocumentTest, EmptyDocument) {
+  XmlDocument doc;
+  EXPECT_EQ(doc.root(), kNoNode);
+  EXPECT_EQ(doc.size(), 0u);
+  EXPECT_EQ(doc.Depth(), 0u);
+}
+
+TEST(DocumentTest, RootCreation) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("site");
+  EXPECT_EQ(root, 0u);
+  EXPECT_EQ(doc.root(), root);
+  EXPECT_EQ(doc.label_name(root), "site");
+  EXPECT_EQ(doc.type(root), ValueType::kNone);
+  EXPECT_EQ(doc.Depth(), 1u);
+}
+
+TEST(DocumentTest, ChildrenPreserveOrder) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  NodeId a = doc.AddChild(root, "a");
+  NodeId b = doc.AddChild(root, "b");
+  NodeId c = doc.AddChild(root, "a");
+  ASSERT_EQ(doc.children(root).size(), 3u);
+  EXPECT_EQ(doc.children(root)[0], a);
+  EXPECT_EQ(doc.children(root)[1], b);
+  EXPECT_EQ(doc.children(root)[2], c);
+  EXPECT_EQ(doc.node(a).parent, root);
+}
+
+TEST(DocumentTest, SharedLabelsShareSymbols) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  NodeId a = doc.AddChild(root, "item");
+  NodeId b = doc.AddChild(root, "item");
+  EXPECT_EQ(doc.label(a), doc.label(b));
+}
+
+TEST(DocumentTest, NumericValue) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  NodeId year = doc.AddChild(root, "year");
+  doc.SetNumeric(year, 2005);
+  EXPECT_EQ(doc.type(year), ValueType::kNumeric);
+  EXPECT_EQ(doc.node(year).numeric, 2005);
+}
+
+TEST(DocumentTest, StringValue) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  NodeId title = doc.AddChild(root, "title");
+  doc.SetString(title, "Counting Twigs");
+  EXPECT_EQ(doc.type(title), ValueType::kString);
+  EXPECT_EQ(doc.node(title).text, "Counting Twigs");
+}
+
+TEST(DocumentTest, TextValue) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  NodeId abs = doc.AddChild(root, "abstract");
+  doc.SetText(abs, "xml employs a tree model");
+  EXPECT_EQ(doc.type(abs), ValueType::kText);
+}
+
+TEST(DocumentTest, CountValued) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  NodeId a = doc.AddChild(root, "a");
+  NodeId b = doc.AddChild(root, "b");
+  doc.AddChild(root, "c");
+  doc.SetNumeric(a, 1);
+  doc.SetString(b, "x");
+  EXPECT_EQ(doc.CountValued(), 2u);
+}
+
+TEST(DocumentTest, DepthOfChain) {
+  XmlDocument doc;
+  NodeId current = doc.CreateRoot("l0");
+  for (int i = 1; i < 5; ++i) {
+    current = doc.AddChild(current, "l" + std::to_string(i));
+  }
+  EXPECT_EQ(doc.Depth(), 5u);
+}
+
+TEST(DocumentTest, PathOf) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("site");
+  NodeId people = doc.AddChild(root, "people");
+  NodeId person = doc.AddChild(people, "person");
+  EXPECT_EQ(doc.PathOf(root), "/site");
+  EXPECT_EQ(doc.PathOf(person), "/site/people/person");
+}
+
+TEST(DocumentTest, ValueTypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kNone), "none");
+  EXPECT_STREQ(ValueTypeName(ValueType::kNumeric), "numeric");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+  EXPECT_STREQ(ValueTypeName(ValueType::kText), "text");
+}
+
+TEST(DocumentTest, MoveSemantics) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  doc.AddChild(root, "a");
+  XmlDocument moved = std::move(doc);
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved.label_name(0), "r");
+}
+
+}  // namespace
+}  // namespace xcluster

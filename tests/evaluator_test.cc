@@ -1,0 +1,247 @@
+#include "eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "query/parser.h"
+
+namespace xcluster {
+namespace {
+
+/// The bibliographic example document of Figure 1 (paper), slightly
+/// simplified: authors with papers/books carrying years, titles, keywords,
+/// abstracts, forewords.
+struct Fixture {
+  XmlDocument doc;
+  std::shared_ptr<TermDictionary> dict = std::make_shared<TermDictionary>();
+
+  Fixture() {
+    NodeId root = doc.CreateRoot("dblp");
+    // Author 1 with two papers.
+    NodeId a1 = doc.AddChild(root, "author");
+    doc.SetString(doc.AddChild(a1, "name"), "ada writer");
+    NodeId p1 = doc.AddChild(a1, "paper");
+    doc.SetNumeric(doc.AddChild(p1, "year"), 2000);
+    doc.SetString(doc.AddChild(p1, "title"), "Counting Twig Matches");
+    SetText(doc.AddChild(p1, "keywords"), "xml summary");
+    NodeId p2 = doc.AddChild(a1, "paper");
+    doc.SetNumeric(doc.AddChild(p2, "year"), 2002);
+    doc.SetString(doc.AddChild(p2, "title"), "Holistic Joins");
+    SetText(doc.AddChild(p2, "abstract"), "xml employs a tree model");
+    // Author 2 with a paper and a book.
+    NodeId a2 = doc.AddChild(root, "author");
+    doc.SetString(doc.AddChild(a2, "name"), "bob scholar");
+    NodeId p3 = doc.AddChild(a2, "paper");
+    doc.SetNumeric(doc.AddChild(p3, "year"), 2002);
+    doc.SetString(doc.AddChild(p3, "title"), "Database Synopses");
+    SetText(doc.AddChild(p3, "abstract"), "synopsis models for xml data");
+    NodeId b1 = doc.AddChild(a2, "book");
+    doc.SetNumeric(doc.AddChild(b1, "year"), 1999);
+    doc.SetString(doc.AddChild(b1, "title"), "Database Systems");
+    SetText(doc.AddChild(b1, "foreword"), "database systems have evolved");
+  }
+
+  void SetText(NodeId node, std::string_view text) {
+    doc.SetText(node, text);
+    dict->InternText(text);
+  }
+
+  double Eval(std::string_view twig) {
+    Result<TwigQuery> query = ParseTwig(twig);
+    EXPECT_TRUE(query.ok()) << query.status().ToString();
+    query.value().ResolveTerms(*dict);
+    ExactEvaluator evaluator(doc, dict.get());
+    return evaluator.Selectivity(query.value());
+  }
+};
+
+TEST(EvaluatorTest, LinearChildPath) {
+  Fixture f;
+  EXPECT_EQ(f.Eval("/author"), 2.0);
+  EXPECT_EQ(f.Eval("/author/paper"), 3.0);
+  EXPECT_EQ(f.Eval("/author/paper/year"), 3.0);
+}
+
+TEST(EvaluatorTest, DescendantAxis) {
+  Fixture f;
+  EXPECT_EQ(f.Eval("//paper"), 3.0);
+  EXPECT_EQ(f.Eval("//year"), 4.0);  // 3 papers + 1 book
+  EXPECT_EQ(f.Eval("//author//year"), 4.0);
+}
+
+TEST(EvaluatorTest, WildcardStep) {
+  Fixture f;
+  // Children of author: name, paper, paper / name, paper, book.
+  EXPECT_EQ(f.Eval("/author/*"), 6.0);
+  EXPECT_EQ(f.Eval("/author/*/title"), 4.0);
+}
+
+TEST(EvaluatorTest, BindingTuplesMultiplyAcrossBranches) {
+  Fixture f;
+  // Binding tuples for //author[/paper]/paper: author1 contributes 2*2
+  // (both query vars bind to each paper), author2 contributes 1.
+  EXPECT_EQ(f.Eval("//author[/paper]/paper"), 5.0);
+}
+
+TEST(EvaluatorTest, RangePredicate) {
+  Fixture f;
+  EXPECT_EQ(f.Eval("//paper/year[range(2001,2005)]"), 2.0);
+  EXPECT_EQ(f.Eval("//paper/year[range(1990,1999)]"), 0.0);
+  EXPECT_EQ(f.Eval("//year[range(1999,2000)]"), 2.0);
+}
+
+TEST(EvaluatorTest, RangeBoundsInclusive) {
+  Fixture f;
+  EXPECT_EQ(f.Eval("//year[range(2000,2000)]"), 1.0);
+}
+
+TEST(EvaluatorTest, ContainsPredicate) {
+  Fixture f;
+  EXPECT_EQ(f.Eval("//title[contains(Database)]"), 2.0);
+  EXPECT_EQ(f.Eval("//title[contains(Twig)]"), 1.0);
+  EXPECT_EQ(f.Eval("//title[contains(zzz)]"), 0.0);
+}
+
+TEST(EvaluatorTest, ContainsIsCaseSensitive) {
+  Fixture f;
+  EXPECT_EQ(f.Eval("//title[contains(database)]"), 0.0);
+}
+
+TEST(EvaluatorTest, FtContainsPredicate) {
+  Fixture f;
+  EXPECT_EQ(f.Eval("//abstract[ftcontains(xml)]"), 2.0);
+  EXPECT_EQ(f.Eval("//abstract[ftcontains(xml,tree)]"), 1.0);
+  EXPECT_EQ(f.Eval("//abstract[ftcontains(xml,database)]"), 0.0);
+}
+
+TEST(EvaluatorTest, FtAnyDisjunction) {
+  Fixture f;
+  // "tree" in one abstract, "data" in the other -> union = 2.
+  EXPECT_EQ(f.Eval("//abstract[ftany(tree,data)]"), 2.0);
+  EXPECT_EQ(f.Eval("//abstract[ftany(tree)]"), 1.0);
+  // Unknown terms drop out of the disjunction without killing it.
+  EXPECT_EQ(f.Eval("//abstract[ftany(xml,unknownterm)]"), 2.0);
+  EXPECT_EQ(f.Eval("//abstract[ftany(unknownterm)]"), 0.0);
+}
+
+TEST(EvaluatorTest, FtSimilarThresholds) {
+  Fixture f;
+  // p3 abstract: {synopsis, models, for, xml, data}. Query terms
+  // {synopsis, xml, tree}: p3 matches 2/3 (67%), p2 matches 2/3
+  // ({xml, tree} of {synopsis, xml, tree} -> 2/3).
+  EXPECT_EQ(f.Eval("//abstract[ftsimilar(60,synopsis,xml,tree)]"), 2.0);
+  EXPECT_EQ(f.Eval("//abstract[ftsimilar(100,synopsis,xml,tree)]"), 0.0);
+  // At 30% one match suffices: both abstracts qualify.
+  EXPECT_EQ(f.Eval("//abstract[ftsimilar(30,synopsis,xml,tree)]"), 2.0);
+}
+
+TEST(EvaluatorTest, FtSimilarUnknownTermsLowerTheCeiling) {
+  Fixture f;
+  // Two of three terms unknown: at most 1/3 can match, so 60% required
+  // matches (2 of 3) is unsatisfiable.
+  EXPECT_EQ(f.Eval("//abstract[ftsimilar(60,xml,qq1,qq2)]"), 0.0);
+  EXPECT_EQ(f.Eval("//abstract[ftsimilar(30,xml,qq1,qq2)]"), 2.0);
+}
+
+TEST(EvaluatorTest, FtContainsUnknownTermIsZero) {
+  Fixture f;
+  EXPECT_EQ(f.Eval("//abstract[ftcontains(neverseen)]"), 0.0);
+}
+
+TEST(EvaluatorTest, PredicateOnWrongTypeIsZero) {
+  Fixture f;
+  EXPECT_EQ(f.Eval("//title[range(1,10)]"), 0.0);
+  EXPECT_EQ(f.Eval("//year[contains(20)]"), 0.0);
+}
+
+TEST(EvaluatorTest, PaperRunningExample) {
+  Fixture f;
+  // //paper[year > 2000][abstract ftcontains synopsis, xml]/title —
+  // only author2's 2002 paper qualifies.
+  EXPECT_EQ(f.Eval("//paper[/year[range(2001,9999)]]"
+                   "[/abstract[ftcontains(synopsis,xml)]]/title"),
+            1.0);
+}
+
+TEST(EvaluatorTest, CombinedStructuralAndValueBranches) {
+  Fixture f;
+  EXPECT_EQ(f.Eval("//author[/book]/paper/year[range(2002,2002)]"), 1.0);
+}
+
+TEST(EvaluatorTest, NonexistentLabel) {
+  Fixture f;
+  EXPECT_EQ(f.Eval("//inproceedings"), 0.0);
+}
+
+TEST(EvaluatorTest, EmptyDocument) {
+  XmlDocument doc;
+  ExactEvaluator evaluator(doc, nullptr);
+  TwigQuery query;
+  EXPECT_EQ(evaluator.Selectivity(query), 0.0);
+}
+
+TEST(EvaluatorTest, EnumerateBindingsMatchesSelectivity) {
+  Fixture f;
+  ExactEvaluator evaluator(f.doc, f.dict.get());
+  const char* queries[] = {
+      "/author/paper",
+      "//author[/paper]/paper",
+      "//paper[/year[range(2001,9999)]]/title",
+      "//title[contains(Database)]",
+  };
+  for (const char* text : queries) {
+    Result<TwigQuery> query = ParseTwig(text);
+    ASSERT_TRUE(query.ok());
+    query.value().ResolveTerms(*f.dict);
+    auto bindings = evaluator.EnumerateBindings(query.value(), 0);
+    EXPECT_EQ(static_cast<double>(bindings.size()),
+              evaluator.Selectivity(query.value()))
+        << text;
+    // Every tuple is fully assigned and structurally consistent.
+    for (const auto& tuple : bindings) {
+      ASSERT_EQ(tuple.size(), query.value().size());
+      for (NodeId element : tuple) EXPECT_NE(element, kNoNode);
+    }
+  }
+}
+
+TEST(EvaluatorTest, EnumerateBindingsRespectsLimit) {
+  Fixture f;
+  ExactEvaluator evaluator(f.doc, f.dict.get());
+  Result<TwigQuery> query = ParseTwig("//author[/paper]/paper");
+  ASSERT_TRUE(query.ok());
+  auto bindings = evaluator.EnumerateBindings(query.value(), 2);
+  EXPECT_EQ(bindings.size(), 2u);
+}
+
+TEST(EvaluatorTest, EnumerateBindingsTupleContents) {
+  Fixture f;
+  ExactEvaluator evaluator(f.doc, f.dict.get());
+  Result<TwigQuery> query = ParseTwig("//book/title");
+  ASSERT_TRUE(query.ok());
+  auto bindings = evaluator.EnumerateBindings(query.value(), 0);
+  ASSERT_EQ(bindings.size(), 1u);
+  // Var 1 = book, var 2 = title.
+  EXPECT_EQ(f.doc.label_name(bindings[0][1]), "book");
+  EXPECT_EQ(f.doc.label_name(bindings[0][2]), "title");
+  EXPECT_EQ(f.doc.node(bindings[0][2]).text, "Database Systems");
+}
+
+TEST(EvaluatorTest, SatisfiesDirectly) {
+  Fixture f;
+  // Find a year node.
+  NodeId year = kNoNode;
+  for (NodeId id = 0; id < f.doc.size(); ++id) {
+    if (f.doc.label_name(id) == "year" && f.doc.node(id).numeric == 2000) {
+      year = id;
+    }
+  }
+  ASSERT_NE(year, kNoNode);
+  ExactEvaluator evaluator(f.doc, f.dict.get());
+  EXPECT_TRUE(evaluator.Satisfies(year, ValuePredicate::Range(1999, 2001)));
+  EXPECT_FALSE(evaluator.Satisfies(year, ValuePredicate::Range(2001, 2005)));
+}
+
+}  // namespace
+}  // namespace xcluster

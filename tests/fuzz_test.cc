@@ -1,0 +1,112 @@
+// Robustness "fuzz-lite" tests: malformed and randomly mutated inputs to
+// the XML parser and the twig-query parser must produce Status errors (or
+// parse successfully) — never crash, hang, or corrupt state.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "query/parser.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xcluster {
+namespace {
+
+class XmlFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlFuzzTest, MutatedDocumentsNeverCrash) {
+  Rng rng(GetParam());
+  const std::string seed_doc =
+      "<site><people><person id=\"p0\"><name>ada</name>"
+      "<age>30</age></person></people>"
+      "<regions><europe><item><name>gold &amp; silver</name>"
+      "<desc><![CDATA[5 < 6]]></desc></item></europe></regions></site>";
+  XmlParser parser;
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = seed_doc;
+    size_t mutations = 1 + rng.Uniform(6);
+    for (size_t m = 0; m < mutations; ++m) {
+      if (mutated.empty()) break;
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(4)) {
+        case 0:  // flip to a random byte
+          mutated[pos] = static_cast<char>(rng.Uniform(256));
+          break;
+        case 1:  // delete
+          mutated.erase(pos, 1 + rng.Uniform(5));
+          break;
+        case 2:  // duplicate a slice
+          mutated.insert(pos, mutated.substr(pos, rng.Uniform(8)));
+          break;
+        case 3:  // inject syntax characters
+          mutated.insert(pos, "<>&\"[]/");
+          break;
+      }
+    }
+    XmlDocument doc;
+    Status status = parser.Parse(mutated, &doc);
+    if (status.ok()) {
+      // A successful parse must produce a usable tree.
+      XmlWriter writer;
+      EXPECT_GE(doc.size(), 1u);
+      writer.ToString(doc);
+    }
+  }
+}
+
+TEST_P(XmlFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam() ^ 0xfeed);
+  XmlParser parser;
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage;
+    size_t length = rng.Uniform(200);
+    for (size_t i = 0; i < length; ++i) {
+      garbage += static_cast<char>(rng.Uniform(256));
+    }
+    XmlDocument doc;
+    parser.Parse(garbage, &doc);  // outcome irrelevant; must not crash
+  }
+}
+
+class QueryFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryFuzzTest, MutatedQueriesNeverCrash) {
+  Rng rng(GetParam());
+  const std::string seed_query =
+      "//paper[/year[range(2001,9999)]]"
+      "[/abstract[ftcontains(synopsis,xml)]][ftsimilar(50,a,b)]"
+      "/title[contains(\"Tree Models\")]";
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = seed_query;
+    size_t mutations = 1 + rng.Uniform(5);
+    for (size_t m = 0; m < mutations; ++m) {
+      if (mutated.empty()) break;
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(32 + rng.Uniform(95));
+          break;
+        case 1:
+          mutated.erase(pos, 1 + rng.Uniform(4));
+          break;
+        case 2:
+          mutated.insert(pos, std::string(1, "[]()/,\"*"[rng.Uniform(8)]));
+          break;
+      }
+    }
+    Result<TwigQuery> result = ParseTwig(mutated);
+    if (result.ok()) {
+      // Parsed queries must render and re-parse.
+      EXPECT_TRUE(ParseTwig(result.value().ToString()).ok())
+          << mutated << " -> " << result.value().ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzzTest, ::testing::Values(1, 2, 3));
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzzTest, ::testing::Values(4, 5, 6));
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,236 @@
+#include "synopsis/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "synopsis/size_model.h"
+
+namespace xcluster {
+namespace {
+
+/// Builds the structure of Figure 3-style synopses for merge tests:
+/// root R -> u (count cu), root R -> v (count cv), u -> c, v -> c.
+struct Diamond {
+  GraphSynopsis synopsis;
+  SynNodeId root;
+  SynNodeId u;
+  SynNodeId v;
+  SynNodeId c;
+};
+
+Diamond MakeDiamond(double cu, double cv, double uc, double vc) {
+  Diamond d;
+  d.root = d.synopsis.AddNode("R", ValueType::kNone, 1.0);
+  d.u = d.synopsis.AddNode("A", ValueType::kNone, cu);
+  d.v = d.synopsis.AddNode("A", ValueType::kNone, cv);
+  d.c = d.synopsis.AddNode("C", ValueType::kNone, cu * uc + cv * vc);
+  d.synopsis.AddEdge(d.root, d.u, cu);
+  d.synopsis.AddEdge(d.root, d.v, cv);
+  d.synopsis.AddEdge(d.u, d.c, uc);
+  d.synopsis.AddEdge(d.v, d.c, vc);
+  return d;
+}
+
+TEST(GraphTest, AddNodeAndEdgeBasics) {
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId child = synopsis.AddNode("A", ValueType::kNumeric, 10.0);
+  synopsis.AddEdge(root, child, 10.0);
+  EXPECT_EQ(synopsis.root(), root);
+  EXPECT_EQ(synopsis.NodeCount(), 2u);
+  EXPECT_EQ(synopsis.EdgeCount(), 1u);
+  EXPECT_EQ(synopsis.EdgeCount(root, child), 10.0);
+  EXPECT_EQ(synopsis.EdgeCount(child, root), 0.0);
+  ASSERT_EQ(synopsis.node(child).parents.size(), 1u);
+  EXPECT_EQ(synopsis.node(child).parents[0], root);
+}
+
+TEST(GraphTest, LabelsInterned) {
+  GraphSynopsis synopsis;
+  SynNodeId a = synopsis.AddNode("item", ValueType::kNone, 1.0);
+  SynNodeId b = synopsis.AddNode("item", ValueType::kNone, 2.0);
+  EXPECT_EQ(synopsis.node(a).label, synopsis.node(b).label);
+}
+
+TEST(GraphTest, StructuralBytesFollowSizeModel) {
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId a = synopsis.AddNode("A", ValueType::kNone, 5.0);
+  synopsis.AddEdge(root, a, 5.0);
+  EXPECT_EQ(synopsis.StructuralBytes(),
+            2 * SizeModel::kNodeBytes + 1 * SizeModel::kEdgeBytes);
+}
+
+TEST(GraphTest, MergeCountsAreSummed) {
+  Diamond d = MakeDiamond(4.0, 6.0, 2.0, 3.0);
+  SynNodeId w = d.synopsis.MergeNodes(d.u, d.v);
+  EXPECT_EQ(d.synopsis.node(w).count, 10.0);
+  EXPECT_FALSE(d.synopsis.node(d.u).alive);
+  EXPECT_FALSE(d.synopsis.node(d.v).alive);
+  EXPECT_EQ(d.synopsis.NodeCount(), 3u);
+}
+
+TEST(GraphTest, MergeChildCountIsWeightedAverage) {
+  // count(w, c) = (|u| count(u,c) + |v| count(v,c)) / |w|
+  //            = (4*2 + 6*3) / 10 = 2.6
+  Diamond d = MakeDiamond(4.0, 6.0, 2.0, 3.0);
+  SynNodeId w = d.synopsis.MergeNodes(d.u, d.v);
+  EXPECT_NEAR(d.synopsis.EdgeCount(w, d.c), 2.6, 1e-12);
+}
+
+TEST(GraphTest, MergeParentCountIsSum) {
+  // count(p, w) = count(p, u) + count(p, v) = 4 + 6 = 10.
+  Diamond d = MakeDiamond(4.0, 6.0, 2.0, 3.0);
+  SynNodeId w = d.synopsis.MergeNodes(d.u, d.v);
+  EXPECT_NEAR(d.synopsis.EdgeCount(d.root, w), 10.0, 1e-12);
+  // The root has exactly one outgoing edge now.
+  EXPECT_EQ(d.synopsis.node(d.root).children.size(), 1u);
+}
+
+TEST(GraphTest, MergeRewiresParentLinks) {
+  Diamond d = MakeDiamond(1.0, 1.0, 1.0, 1.0);
+  SynNodeId w = d.synopsis.MergeNodes(d.u, d.v);
+  const auto& parents = d.synopsis.node(d.c).parents;
+  ASSERT_EQ(parents.size(), 1u);
+  EXPECT_EQ(parents[0], w);
+  ASSERT_EQ(d.synopsis.node(w).parents.size(), 1u);
+  EXPECT_EQ(d.synopsis.node(w).parents[0], d.root);
+}
+
+TEST(GraphTest, MergeDisjointChildrenKeepsBoth) {
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId u = synopsis.AddNode("A", ValueType::kNone, 2.0);
+  SynNodeId v = synopsis.AddNode("A", ValueType::kNone, 2.0);
+  SynNodeId x = synopsis.AddNode("X", ValueType::kNone, 4.0);
+  SynNodeId y = synopsis.AddNode("Y", ValueType::kNone, 6.0);
+  synopsis.AddEdge(root, u, 2.0);
+  synopsis.AddEdge(root, v, 2.0);
+  synopsis.AddEdge(u, x, 2.0);
+  synopsis.AddEdge(v, y, 3.0);
+  SynNodeId w = synopsis.MergeNodes(u, v);
+  // count(w, x) = (2*2 + 2*0)/4 = 1; count(w, y) = (2*0 + 2*3)/4 = 1.5.
+  EXPECT_NEAR(synopsis.EdgeCount(w, x), 1.0, 1e-12);
+  EXPECT_NEAR(synopsis.EdgeCount(w, y), 1.5, 1e-12);
+}
+
+TEST(GraphTest, MergeAdjacentNodesCreatesSelfLoop) {
+  // u -> v with matching labels (recursive schema): merging yields a
+  // self loop on w.
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId u = synopsis.AddNode("P", ValueType::kNone, 2.0);
+  SynNodeId v = synopsis.AddNode("P", ValueType::kNone, 4.0);
+  synopsis.AddEdge(root, u, 2.0);
+  synopsis.AddEdge(u, v, 2.0);
+  SynNodeId w = synopsis.MergeNodes(u, v);
+  // count(w, w) = (|u|*count(u,v) + |v|*0) / |w| = (2*2)/6.
+  EXPECT_NEAR(synopsis.EdgeCount(w, w), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(synopsis.NodeCount(), 2u);
+}
+
+TEST(GraphTest, MergePreservesExpectedChildPopulation) {
+  // Invariant: |w| * count(w, c) = |u| count(u,c) + |v| count(v,c) —
+  // the expected number of c-children across the merged extent.
+  Diamond d = MakeDiamond(3.0, 9.0, 5.0, 1.0);
+  double expected = 3.0 * 5.0 + 9.0 * 1.0;
+  SynNodeId w = d.synopsis.MergeNodes(d.u, d.v);
+  EXPECT_NEAR(d.synopsis.node(w).count * d.synopsis.EdgeCount(w, d.c),
+              expected, 1e-9);
+}
+
+TEST(GraphTest, MergeFusesValueSummaries) {
+  GraphSynopsis synopsis;
+  synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId u = synopsis.AddNode("Y", ValueType::kNumeric, 2.0);
+  SynNodeId v = synopsis.AddNode("Y", ValueType::kNumeric, 2.0);
+  synopsis.AddEdge(0, u, 2.0);
+  synopsis.AddEdge(0, v, 2.0);
+  synopsis.node(u).vsumm = ValueSummary::FromNumeric({1, 2}, 8);
+  synopsis.node(v).vsumm = ValueSummary::FromNumeric({3, 4}, 8);
+  SynNodeId w = synopsis.MergeNodes(u, v);
+  EXPECT_EQ(synopsis.node(w).vsumm.type(), ValueType::kNumeric);
+  EXPECT_NEAR(synopsis.node(w).vsumm.histogram().total(), 4.0, 1e-9);
+}
+
+TEST(GraphTest, MergeUpdatesRootWhenRootMerged) {
+  GraphSynopsis synopsis;
+  SynNodeId r1 = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId r2 = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId w = synopsis.MergeNodes(r1, r2);
+  EXPECT_EQ(synopsis.root(), w);
+}
+
+TEST(GraphTest, MergeBumpsNeighborVersions) {
+  Diamond d = MakeDiamond(1.0, 1.0, 1.0, 1.0);
+  uint32_t root_version = d.synopsis.node(d.root).version;
+  uint32_t c_version = d.synopsis.node(d.c).version;
+  d.synopsis.MergeNodes(d.u, d.v);
+  EXPECT_GT(d.synopsis.node(d.root).version, root_version);
+  EXPECT_GT(d.synopsis.node(d.c).version, c_version);
+}
+
+TEST(GraphTest, ComputeLevels) {
+  Diamond d = MakeDiamond(1.0, 1.0, 1.0, 1.0);
+  std::vector<uint32_t> levels = d.synopsis.ComputeLevels();
+  EXPECT_EQ(levels[d.c], 0u);
+  EXPECT_EQ(levels[d.u], 1u);
+  EXPECT_EQ(levels[d.v], 1u);
+  EXPECT_EQ(levels[d.root], 2u);
+}
+
+TEST(GraphTest, ComputeLevelsWithCycle) {
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId a = synopsis.AddNode("A", ValueType::kNone, 2.0);
+  SynNodeId leaf = synopsis.AddNode("L", ValueType::kNone, 2.0);
+  synopsis.AddEdge(root, a, 2.0);
+  synopsis.AddEdge(a, a, 0.5);  // self loop
+  synopsis.AddEdge(a, leaf, 1.0);
+  std::vector<uint32_t> levels = synopsis.ComputeLevels();
+  EXPECT_EQ(levels[leaf], 0u);
+  EXPECT_EQ(levels[a], 1u);
+  EXPECT_EQ(levels[root], 2u);
+}
+
+TEST(GraphTest, CompactRemapsIds) {
+  Diamond d = MakeDiamond(2.0, 2.0, 1.0, 1.0);
+  SynNodeId w = d.synopsis.MergeNodes(d.u, d.v);
+  double w_to_c = d.synopsis.EdgeCount(w, d.c);
+  std::vector<SynNodeId> remap = d.synopsis.Compact();
+  EXPECT_EQ(d.synopsis.NodeCount(), 3u);
+  EXPECT_EQ(d.synopsis.arena_size(), 3u);
+  EXPECT_EQ(remap[d.u], kNoSynNode);
+  SynNodeId new_w = remap[w];
+  SynNodeId new_c = remap[d.c];
+  EXPECT_NEAR(d.synopsis.EdgeCount(new_w, new_c), w_to_c, 1e-12);
+  EXPECT_EQ(d.synopsis.root(), remap[d.root]);
+}
+
+TEST(GraphTest, AliveNodesSkipsDead) {
+  Diamond d = MakeDiamond(1.0, 1.0, 1.0, 1.0);
+  d.synopsis.MergeNodes(d.u, d.v);
+  std::vector<SynNodeId> alive = d.synopsis.AliveNodes();
+  EXPECT_EQ(alive.size(), 3u);
+  for (SynNodeId id : alive) {
+    EXPECT_TRUE(d.synopsis.node(id).alive);
+  }
+}
+
+TEST(GraphTest, ValueBytesAndNodeCount) {
+  GraphSynopsis synopsis;
+  synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId y = synopsis.AddNode("Y", ValueType::kNumeric, 3.0);
+  synopsis.node(y).vsumm = ValueSummary::FromNumeric({1, 2, 3}, 8);
+  EXPECT_EQ(synopsis.ValueNodeCount(), 1u);
+  EXPECT_EQ(synopsis.ValueBytes(), synopsis.node(y).vsumm.SizeBytes());
+}
+
+TEST(GraphTest, DebugStringListsAliveNodes) {
+  Diamond d = MakeDiamond(1.0, 1.0, 1.0, 1.0);
+  std::string dump = d.synopsis.DebugString();
+  EXPECT_NE(dump.find("R(1)"), std::string::npos);
+  EXPECT_NE(dump.find("A(1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,269 @@
+#include "summaries/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace xcluster {
+namespace {
+
+std::vector<int64_t> MakeValues(std::initializer_list<int64_t> values) {
+  return std::vector<int64_t>(values);
+}
+
+TEST(HistogramTest, EmptyInput) {
+  Histogram hist = Histogram::Build({}, 16);
+  EXPECT_EQ(hist.total(), 0.0);
+  EXPECT_EQ(hist.bucket_count(), 0u);
+  EXPECT_EQ(hist.SizeBytes(), 0u);
+  EXPECT_EQ(hist.EstimateRange(0, 100), 0.0);
+  EXPECT_EQ(hist.Selectivity(0, 100), 0.0);
+}
+
+TEST(HistogramTest, DetailedBuildOneBucketPerDistinctValue) {
+  Histogram hist = Histogram::Build(MakeValues({5, 1, 5, 3, 1, 1}), 16);
+  EXPECT_EQ(hist.bucket_count(), 3u);
+  EXPECT_EQ(hist.total(), 6.0);
+  EXPECT_DOUBLE_EQ(hist.EstimateRange(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(hist.EstimateRange(3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(hist.EstimateRange(5, 5), 2.0);
+}
+
+TEST(HistogramTest, EquiDepthWhenOverBudget) {
+  std::vector<int64_t> values;
+  for (int64_t v = 0; v < 100; ++v) values.push_back(v);
+  Histogram hist = Histogram::Build(std::move(values), 10);
+  EXPECT_EQ(hist.bucket_count(), 10u);
+  EXPECT_DOUBLE_EQ(hist.total(), 100.0);
+  // Roughly equal mass per bucket.
+  for (const HistogramBucket& bucket : hist.buckets()) {
+    EXPECT_NEAR(bucket.count, 10.0, 1.0);
+  }
+}
+
+TEST(HistogramTest, EquiDepthKeepsDuplicatesTogether) {
+  std::vector<int64_t> values(50, 7);  // heavy duplicate
+  for (int64_t v = 0; v < 50; ++v) values.push_back(100 + v);
+  Histogram hist = Histogram::Build(std::move(values), 5);
+  // The value 7 must land in exactly one bucket.
+  double direct = hist.EstimateRange(7, 7);
+  EXPECT_GE(direct, 49.0);
+}
+
+TEST(HistogramTest, EstimateFullDomainIsTotal) {
+  Histogram hist = Histogram::Build(MakeValues({2, 4, 6, 8}), 2);
+  EXPECT_NEAR(hist.EstimateRange(hist.domain_lo(), hist.domain_hi()),
+              hist.total(), 1e-9);
+}
+
+TEST(HistogramTest, EstimateOutsideDomainIsZero) {
+  Histogram hist = Histogram::Build(MakeValues({10, 20}), 4);
+  EXPECT_EQ(hist.EstimateRange(30, 40), 0.0);
+  EXPECT_EQ(hist.EstimateRange(-5, 5), 0.0);
+}
+
+TEST(HistogramTest, InvertedRangeIsZero) {
+  Histogram hist = Histogram::Build(MakeValues({1, 2, 3}), 4);
+  EXPECT_EQ(hist.EstimateRange(3, 1), 0.0);
+}
+
+TEST(HistogramTest, PartialOverlapUsesUniformity) {
+  // One bucket [0, 9] with 10 values; querying [0, 4] should give ~5.
+  std::vector<int64_t> values;
+  for (int64_t v = 0; v < 10; ++v) values.push_back(v);
+  Histogram hist = Histogram::Build(std::move(values), 1);
+  ASSERT_EQ(hist.bucket_count(), 1u);
+  EXPECT_NEAR(hist.EstimateRange(0, 4), 5.0, 1e-9);
+}
+
+TEST(HistogramTest, SelectivityNormalized) {
+  Histogram hist = Histogram::Build(MakeValues({1, 1, 2, 3}), 8);
+  EXPECT_NEAR(hist.Selectivity(1, 1), 0.5, 1e-9);
+  EXPECT_NEAR(hist.Selectivity(hist.domain_lo(), hist.domain_hi()), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, MergePreservesTotal) {
+  Histogram a = Histogram::Build(MakeValues({1, 2, 3}), 8);
+  Histogram b = Histogram::Build(MakeValues({2, 3, 4, 5}), 8);
+  Histogram merged = Histogram::Merge(a, b);
+  EXPECT_NEAR(merged.total(), 7.0, 1e-9);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a = Histogram::Build(MakeValues({1, 2}), 8);
+  Histogram merged = Histogram::Merge(a, Histogram());
+  EXPECT_NEAR(merged.total(), a.total(), 1e-9);
+  EXPECT_EQ(merged.bucket_count(), a.bucket_count());
+}
+
+TEST(HistogramTest, MergeOfDetailedHistogramsIsExact) {
+  Histogram a = Histogram::Build(MakeValues({1, 1, 5}), 8);
+  Histogram b = Histogram::Build(MakeValues({1, 5, 9}), 8);
+  Histogram merged = Histogram::Merge(a, b);
+  EXPECT_NEAR(merged.EstimateRange(1, 1), 3.0, 1e-9);
+  EXPECT_NEAR(merged.EstimateRange(5, 5), 2.0, 1e-9);
+  EXPECT_NEAR(merged.EstimateRange(9, 9), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, MergeAlignmentSplitsProportionally) {
+  // a: single bucket [0, 9] count 10; b: single value 100.
+  std::vector<int64_t> values;
+  for (int64_t v = 0; v < 10; ++v) values.push_back(v);
+  Histogram a = Histogram::Build(std::move(values), 1);
+  Histogram b = Histogram::Build(MakeValues({100}), 1);
+  Histogram merged = Histogram::Merge(a, b);
+  EXPECT_NEAR(merged.EstimateRange(0, 4), 5.0, 1e-9);
+  EXPECT_NEAR(merged.EstimateRange(100, 100), 1.0, 1e-9);
+}
+
+TEST(HistogramTest, CompressReducesBuckets) {
+  Histogram hist = Histogram::Build(MakeValues({1, 2, 3, 4, 5}), 8);
+  ASSERT_EQ(hist.bucket_count(), 5u);
+  hist.Compress(2);
+  EXPECT_EQ(hist.bucket_count(), 3u);
+  EXPECT_NEAR(hist.total(), 5.0, 1e-9);
+}
+
+TEST(HistogramTest, CompressToOneBucketAndStop) {
+  Histogram hist = Histogram::Build(MakeValues({1, 2, 3}), 8);
+  hist.Compress(10);
+  EXPECT_EQ(hist.bucket_count(), 1u);
+  EXPECT_FALSE(hist.CanCompress());
+  hist.Compress(1);  // no-op
+  EXPECT_EQ(hist.bucket_count(), 1u);
+}
+
+TEST(HistogramTest, CompressMergesMostSimilarNeighbors) {
+  // Values: 1 and 2 have identical frequencies; 100 is far away with a
+  // different frequency. The first merge must pick (1, 2).
+  Histogram hist =
+      Histogram::Build(MakeValues({1, 2, 100, 100, 100, 100}), 8);
+  hist.Compress(1);
+  ASSERT_EQ(hist.bucket_count(), 2u);
+  EXPECT_EQ(hist.buckets()[0].lo, 1);
+  EXPECT_EQ(hist.buckets()[0].hi, 2);
+  EXPECT_NEAR(hist.buckets()[0].count, 2.0, 1e-9);
+}
+
+TEST(HistogramTest, CompressedCopyLeavesOriginalIntact) {
+  Histogram hist = Histogram::Build(MakeValues({1, 2, 3, 4}), 8);
+  Histogram compressed = hist.Compressed(2);
+  EXPECT_EQ(hist.bucket_count(), 4u);
+  EXPECT_EQ(compressed.bucket_count(), 2u);
+}
+
+TEST(HistogramTest, VOptimalRecoversStepFunction) {
+  // Two flat regions: the optimal 2-bucket partition splits exactly at the
+  // step.
+  std::vector<int64_t> values;
+  for (int64_t v = 0; v < 10; ++v) values.push_back(v);          // freq 1
+  for (int64_t v = 10; v < 20; ++v) {
+    for (int rep = 0; rep < 5; ++rep) values.push_back(v);       // freq 5
+  }
+  Histogram detailed = Histogram::Build(std::move(values), 64);
+  Histogram voptimal = detailed.VOptimal(2);
+  ASSERT_EQ(voptimal.bucket_count(), 2u);
+  EXPECT_EQ(voptimal.buckets()[0].hi, 9);
+  EXPECT_EQ(voptimal.buckets()[1].lo, 10);
+  EXPECT_NEAR(voptimal.total(), detailed.total(), 1e-9);
+}
+
+TEST(HistogramTest, VOptimalIdentityWhenBudgetSuffices) {
+  Histogram hist = Histogram::Build(MakeValues({1, 2, 3}), 8);
+  Histogram same = hist.VOptimal(5);
+  EXPECT_EQ(same.bucket_count(), hist.bucket_count());
+}
+
+TEST(HistogramTest, VOptimalNeverWorseThanGreedyOnSse) {
+  // Compare sum-squared prefix estimation error against the detailed
+  // distribution: the DP must be at least as good as greedy merging.
+  Rng rng(77);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 400; ++i) {
+    values.push_back(static_cast<int64_t>(rng.Uniform(40)) *
+                     (rng.Bernoulli(0.3) ? 3 : 1));
+  }
+  Histogram detailed = Histogram::Build(std::move(values), 128);
+  const size_t target = 8;
+  Histogram greedy = detailed.Compressed(detailed.bucket_count() - target);
+  Histogram voptimal = detailed.VOptimal(target);
+
+  auto sse = [&](const Histogram& h) {
+    double total = 0.0;
+    for (int64_t x = detailed.domain_lo(); x <= detailed.domain_hi(); ++x) {
+      double truth = detailed.EstimateRange(x, x);
+      double diff = h.EstimateRange(x, x) - truth;
+      total += diff * diff;
+    }
+    return total;
+  };
+  EXPECT_LE(sse(voptimal), sse(greedy) + 1e-6);
+}
+
+TEST(HistogramTest, BoundariesMatchBuckets) {
+  Histogram hist = Histogram::Build(MakeValues({3, 7, 11}), 8);
+  std::vector<int64_t> bounds = hist.Boundaries();
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_EQ(bounds[0], 3);
+  EXPECT_EQ(bounds[2], 11);
+}
+
+TEST(HistogramTest, SizeBytesFormula) {
+  Histogram hist = Histogram::Build(MakeValues({1, 2, 3}), 8);
+  EXPECT_EQ(hist.SizeBytes(), 4u + 3u * 8u);
+}
+
+TEST(HistogramTest, FromBucketsRoundTrip) {
+  Histogram hist = Histogram::Build(MakeValues({1, 5, 5, 9}), 8);
+  Histogram rebuilt = Histogram::FromBuckets(
+      std::vector<HistogramBucket>(hist.buckets()));
+  EXPECT_EQ(rebuilt.total(), hist.total());
+  EXPECT_NEAR(rebuilt.EstimateRange(5, 5), hist.EstimateRange(5, 5), 1e-12);
+}
+
+TEST(HistogramTest, NegativeValuesSupported) {
+  Histogram hist = Histogram::Build(MakeValues({-10, -5, 0, 5}), 8);
+  EXPECT_NEAR(hist.EstimateRange(-10, -5), 2.0, 1e-9);
+  EXPECT_EQ(hist.domain_lo(), -10);
+}
+
+/// Property sweep: for random inputs, merging preserves totals and
+/// full-domain estimates; compression preserves totals.
+class HistogramPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramPropertyTest, MergeAndCompressInvariants) {
+  Rng rng(GetParam());
+  auto random_values = [&](size_t n, int64_t domain) {
+    std::vector<int64_t> values;
+    for (size_t i = 0; i < n; ++i) {
+      values.push_back(static_cast<int64_t>(rng.Uniform(domain)));
+    }
+    return values;
+  };
+  Histogram a = Histogram::Build(random_values(200, 50), 16);
+  Histogram b = Histogram::Build(random_values(300, 80), 16);
+  Histogram merged = Histogram::Merge(a, b);
+  EXPECT_NEAR(merged.total(), 500.0, 1e-6);
+  EXPECT_NEAR(merged.EstimateRange(merged.domain_lo(), merged.domain_hi()),
+              500.0, 1e-6);
+
+  // Prefix-range estimates of the merged histogram equal the sum of the
+  // inputs' estimates (alignment is lossless at shared boundaries).
+  for (int64_t h : merged.Boundaries()) {
+    double split = a.EstimateRange(a.domain_lo(), h) +
+                   b.EstimateRange(b.domain_lo(), h);
+    EXPECT_NEAR(merged.EstimateRange(merged.domain_lo(), h), split, 1e-6);
+  }
+
+  Histogram compressed = merged.Compressed(merged.bucket_count() / 2);
+  EXPECT_NEAR(compressed.total(), 500.0, 1e-6);
+  EXPECT_LE(compressed.SizeBytes(), merged.SizeBytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,155 @@
+#include "data/imdb.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "synopsis/reference.h"
+
+namespace xcluster {
+namespace {
+
+ImdbOptions SmallOptions() {
+  ImdbOptions options;
+  options.scale = 0.05;
+  return options;
+}
+
+TEST(ImdbTest, GeneratesNonEmptyDocument) {
+  GeneratedDataset dataset = GenerateImdb(SmallOptions());
+  EXPECT_EQ(dataset.name, "IMDB");
+  EXPECT_GT(dataset.doc.size(), 500u);
+  EXPECT_GT(dataset.doc.CountValued(), 200u);
+}
+
+TEST(ImdbTest, DeterministicForSeed) {
+  GeneratedDataset a = GenerateImdb(SmallOptions());
+  GeneratedDataset b = GenerateImdb(SmallOptions());
+  EXPECT_EQ(a.doc.size(), b.doc.size());
+}
+
+TEST(ImdbTest, RootLabelAndCollections) {
+  GeneratedDataset dataset = GenerateImdb(SmallOptions());
+  const XmlDocument& doc = dataset.doc;
+  EXPECT_EQ(doc.label_name(doc.root()), "imdb");
+  std::map<std::string, size_t> kinds;
+  for (NodeId child : doc.children(doc.root())) {
+    ++kinds[doc.label_name(child)];
+  }
+  EXPECT_GT(kinds["movie"], 10u);
+  EXPECT_GT(kinds["series"], 2u);
+  EXPECT_GT(kinds["actor"], 10u);
+  EXPECT_GT(kinds["director"], 2u);
+}
+
+TEST(ImdbTest, ValuePathsExistInDocument) {
+  GeneratedDataset dataset = GenerateImdb(SmallOptions());
+  EXPECT_EQ(dataset.value_paths.size(), 8u);
+  std::set<std::string> doc_paths;
+  for (NodeId id = 0; id < dataset.doc.size(); ++id) {
+    if (dataset.doc.type(id) != ValueType::kNone) {
+      doc_paths.insert(dataset.doc.PathOf(id));
+    }
+  }
+  for (const std::string& path : dataset.value_paths) {
+    EXPECT_TRUE(doc_paths.count(path)) << path;
+  }
+}
+
+TEST(ImdbTest, YearsSpanBothEras) {
+  GeneratedDataset dataset = GenerateImdb(SmallOptions());
+  const XmlDocument& doc = dataset.doc;
+  bool old_era = false;
+  bool modern = false;
+  for (NodeId id = 0; id < dataset.doc.size(); ++id) {
+    if (doc.label_name(id) != "year" ||
+        doc.type(id) != ValueType::kNumeric) {
+      continue;
+    }
+    if (doc.node(id).numeric < 1950) old_era = true;
+    if (doc.node(id).numeric > 1985) modern = true;
+  }
+  EXPECT_TRUE(old_era);
+  EXPECT_TRUE(modern);
+}
+
+TEST(ImdbTest, EraCorrelations) {
+  // Old movies (year < 1955) never carry keywords; modern movies
+  // (year > 1975) mostly do — the planted structure-value correlation.
+  ImdbOptions options;
+  options.scale = 0.2;
+  GeneratedDataset dataset = GenerateImdb(options);
+  const XmlDocument& doc = dataset.doc;
+  size_t old_with_keywords = 0;
+  size_t old_total = 0;
+  size_t modern_with_keywords = 0;
+  size_t modern_total = 0;
+  for (NodeId id = 0; id < doc.size(); ++id) {
+    if (doc.label_name(id) != "movie") continue;
+    int64_t year = 0;
+    bool keywords = false;
+    for (NodeId child : doc.children(id)) {
+      if (doc.label_name(child) == "year") year = doc.node(child).numeric;
+      if (doc.label_name(child) == "keywords") keywords = true;
+    }
+    if (year < 1955) {
+      ++old_total;
+      if (keywords) ++old_with_keywords;
+    } else if (year > 1990) {
+      ++modern_total;
+      if (keywords) ++modern_with_keywords;
+    }
+  }
+  ASSERT_GT(old_total, 0u);
+  ASSERT_GT(modern_total, 0u);
+  EXPECT_EQ(old_with_keywords, 0u);
+  EXPECT_GT(static_cast<double>(modern_with_keywords) /
+                static_cast<double>(modern_total),
+            0.8);
+}
+
+TEST(ImdbTest, TitleLabelSharedAcrossPaths) {
+  // Movie, series, and episode titles all use the "title" label so that
+  // tag-level clustering mixes their distributions.
+  GeneratedDataset dataset = GenerateImdb(SmallOptions());
+  std::set<std::string> title_paths;
+  for (NodeId id = 0; id < dataset.doc.size(); ++id) {
+    if (dataset.doc.label_name(id) == "title") {
+      title_paths.insert(dataset.doc.PathOf(id));
+    }
+  }
+  EXPECT_GE(title_paths.size(), 3u);
+}
+
+TEST(ImdbTest, AllThreeValueTypesPresent) {
+  GeneratedDataset dataset = GenerateImdb(SmallOptions());
+  std::map<ValueType, size_t> counts;
+  for (NodeId id = 0; id < dataset.doc.size(); ++id) {
+    ++counts[dataset.doc.type(id)];
+  }
+  EXPECT_GT(counts[ValueType::kNumeric], 20u);
+  EXPECT_GT(counts[ValueType::kString], 50u);
+  EXPECT_GT(counts[ValueType::kText], 20u);
+}
+
+TEST(ImdbTest, ReferenceSynopsisHasEightValueClusters) {
+  GeneratedDataset dataset = GenerateImdb(SmallOptions());
+  ReferenceOptions options;
+  options.value_paths = dataset.value_paths;
+  GraphSynopsis synopsis = BuildReferenceSynopsis(dataset.doc, options);
+  EXPECT_EQ(synopsis.ValueNodeCount(), 8u);
+}
+
+TEST(ImdbTest, RatingsWithinBounds) {
+  GeneratedDataset dataset = GenerateImdb(SmallOptions());
+  const XmlDocument& doc = dataset.doc;
+  for (NodeId id = 0; id < doc.size(); ++id) {
+    if (doc.label_name(id) != "rating") continue;
+    EXPECT_GE(doc.node(id).numeric, 1);
+    EXPECT_LE(doc.node(id).numeric, 100);
+  }
+}
+
+}  // namespace
+}  // namespace xcluster

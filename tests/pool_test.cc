@@ -1,0 +1,148 @@
+#include "build/pool.h"
+
+#include <gtest/gtest.h>
+
+namespace xcluster {
+namespace {
+
+/// Root with several leaf children in two label groups.
+GraphSynopsis MakeSynopsis() {
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  for (int i = 0; i < 4; ++i) {
+    SynNodeId a = synopsis.AddNode("A", ValueType::kNone, 2.0 + i);
+    synopsis.AddEdge(root, a, 2.0 + i);
+  }
+  for (int i = 0; i < 3; ++i) {
+    SynNodeId b = synopsis.AddNode("B", ValueType::kNone, 5.0);
+    synopsis.AddEdge(root, b, 5.0);
+  }
+  return synopsis;
+}
+
+TEST(PoolTest, EnumeratesCompatiblePairsOnly) {
+  GraphSynopsis synopsis = MakeSynopsis();
+  std::vector<MergeCandidate> pool =
+      BuildPool(synopsis, 100, 0, DeltaOptions());
+  // A-pairs: C(4,2)=6; B-pairs: C(3,2)=3. The root (level 1) is excluded.
+  EXPECT_EQ(pool.size(), 9u);
+  for (const MergeCandidate& candidate : pool) {
+    EXPECT_EQ(synopsis.node(candidate.u).label,
+              synopsis.node(candidate.v).label);
+  }
+}
+
+TEST(PoolTest, LevelFilterExcludesHighNodes) {
+  GraphSynopsis synopsis = MakeSynopsis();
+  // Add a second root-level A so that level-1 nodes exist in group A.
+  SynNodeId root = synopsis.root();
+  SynNodeId mid = synopsis.AddNode("A", ValueType::kNone, 1.0);
+  SynNodeId leaf = synopsis.AddNode("L", ValueType::kNone, 1.0);
+  synopsis.AddEdge(root, mid, 1.0);
+  synopsis.AddEdge(mid, leaf, 1.0);
+  std::vector<MergeCandidate> level0 =
+      BuildPool(synopsis, 100, 0, DeltaOptions());
+  std::vector<MergeCandidate> level1 =
+      BuildPool(synopsis, 100, 1, DeltaOptions());
+  // At level 1 the extra A (level 1) pairs with the four leaf As.
+  EXPECT_EQ(level0.size(), 9u);
+  EXPECT_EQ(level1.size(), 13u);
+}
+
+TEST(PoolTest, PoolMaxKeepsBestCandidates) {
+  GraphSynopsis synopsis = MakeSynopsis();
+  std::vector<MergeCandidate> full =
+      BuildPool(synopsis, 100, 0, DeltaOptions());
+  std::vector<MergeCandidate> capped =
+      BuildPool(synopsis, 3, 0, DeltaOptions());
+  EXPECT_EQ(capped.size(), 3u);
+  // Every retained candidate is at least as good as the worst overall.
+  double worst_full = 0.0;
+  for (const MergeCandidate& candidate : full) {
+    worst_full = std::max(worst_full, candidate.ratio());
+  }
+  for (const MergeCandidate& candidate : capped) {
+    EXPECT_LE(candidate.ratio(), worst_full + 1e-12);
+  }
+}
+
+TEST(PoolTest, TypeMismatchExcluded) {
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId a1 = synopsis.AddNode("A", ValueType::kNumeric, 1.0);
+  SynNodeId a2 = synopsis.AddNode("A", ValueType::kString, 1.0);
+  synopsis.AddEdge(root, a1, 1.0);
+  synopsis.AddEdge(root, a2, 1.0);
+  EXPECT_TRUE(BuildPool(synopsis, 100, 0, DeltaOptions()).empty());
+}
+
+TEST(PoolTest, DeadNodesExcluded) {
+  GraphSynopsis synopsis = MakeSynopsis();
+  // Merge two As; the pool must not reference the dead originals.
+  std::vector<MergeCandidate> pool =
+      BuildPool(synopsis, 100, 0, DeltaOptions());
+  synopsis.MergeNodes(pool[0].u, pool[0].v);
+  std::vector<MergeCandidate> after =
+      BuildPool(synopsis, 100, 0, DeltaOptions());
+  for (const MergeCandidate& candidate : after) {
+    EXPECT_TRUE(synopsis.node(candidate.u).alive);
+    EXPECT_TRUE(synopsis.node(candidate.v).alive);
+  }
+  // A-group shrank to 3 members: C(3,2)=3 plus B's 3.
+  EXPECT_EQ(after.size(), 6u);
+}
+
+TEST(PoolTest, PairSamplingCapBoundsEvaluations) {
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  for (int i = 0; i < 40; ++i) {
+    SynNodeId a = synopsis.AddNode("A", ValueType::kNone, 1.0);
+    synopsis.AddEdge(root, a, 1.0);
+  }
+  // 780 possible pairs, sampled down to ~100.
+  std::vector<MergeCandidate> pool =
+      BuildPool(synopsis, 10000, 0, DeltaOptions(), 100);
+  EXPECT_LE(pool.size(), 150u);
+  EXPECT_GE(pool.size(), 50u);
+}
+
+TEST(PoolTest, EvaluateCandidateRecordsVersions) {
+  GraphSynopsis synopsis = MakeSynopsis();
+  std::vector<MergeCandidate> pool =
+      BuildPool(synopsis, 100, 0, DeltaOptions());
+  MergeCandidate refreshed =
+      EvaluateCandidate(synopsis, pool[0].u, pool[0].v, DeltaOptions());
+  EXPECT_EQ(refreshed.version_u, synopsis.node(pool[0].u).version);
+  EXPECT_EQ(refreshed.version_v, synopsis.node(pool[0].v).version);
+  EXPECT_GT(refreshed.savings, 0u);
+}
+
+TEST(PoolTest, IdenticalNodesRankFirst) {
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId c = synopsis.AddNode("C", ValueType::kNone, 40.0);
+  // Two identical As and one divergent A.
+  SynNodeId a1 = synopsis.AddNode("A", ValueType::kNone, 4.0);
+  SynNodeId a2 = synopsis.AddNode("A", ValueType::kNone, 4.0);
+  SynNodeId a3 = synopsis.AddNode("A", ValueType::kNone, 4.0);
+  synopsis.AddEdge(root, a1, 4.0);
+  synopsis.AddEdge(root, a2, 4.0);
+  synopsis.AddEdge(root, a3, 4.0);
+  synopsis.AddEdge(a1, c, 2.0);
+  synopsis.AddEdge(a2, c, 2.0);
+  synopsis.AddEdge(a3, c, 6.0);
+  std::vector<MergeCandidate> pool =
+      BuildPool(synopsis, 100, 1, DeltaOptions());
+  ASSERT_EQ(pool.size(), 3u);
+  auto best = std::min_element(
+      pool.begin(), pool.end(),
+      [](const MergeCandidate& x, const MergeCandidate& y) {
+        return x.ratio() < y.ratio();
+      });
+  EXPECT_TRUE((best->u == a1 && best->v == a2) ||
+              (best->u == a2 && best->v == a1));
+  EXPECT_NEAR(best->delta, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace xcluster

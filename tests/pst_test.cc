@@ -1,0 +1,264 @@
+#include "summaries/pst.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace xcluster {
+namespace {
+
+/// True number of strings containing `qs`.
+double TrueCount(const std::vector<std::string>& strings,
+                 std::string_view qs) {
+  double count = 0.0;
+  for (const std::string& s : strings) {
+    if (s.find(qs) != std::string::npos) count += 1.0;
+  }
+  return count;
+}
+
+TEST(PstTest, EmptyTree) {
+  Pst pst;
+  EXPECT_EQ(pst.total(), 0.0);
+  EXPECT_EQ(pst.node_count(), 0u);
+  EXPECT_EQ(pst.SizeBytes(), 0u);
+  EXPECT_EQ(pst.EstimateCount("x"), 0.0);
+}
+
+TEST(PstTest, NoStrings) {
+  Pst pst = Pst::Build({}, 4);
+  EXPECT_EQ(pst.total(), 0.0);
+  EXPECT_EQ(pst.Selectivity("a"), 0.0);
+}
+
+TEST(PstTest, ExactCountsForStoredSubstrings) {
+  std::vector<std::string> strings = {"abc", "abd", "bc"};
+  Pst pst = Pst::Build(strings, 4);
+  EXPECT_DOUBLE_EQ(pst.EstimateCount("a"), 2.0);
+  EXPECT_DOUBLE_EQ(pst.EstimateCount("b"), 3.0);
+  EXPECT_DOUBLE_EQ(pst.EstimateCount("bc"), 2.0);
+  EXPECT_DOUBLE_EQ(pst.EstimateCount("abc"), 1.0);
+  EXPECT_DOUBLE_EQ(pst.EstimateCount("abd"), 1.0);
+}
+
+TEST(PstTest, PresenceCountsNotOccurrenceCounts) {
+  // "aaa" contains "a" three times but counts once.
+  Pst pst = Pst::Build({"aaa"}, 3);
+  EXPECT_DOUBLE_EQ(pst.EstimateCount("a"), 1.0);
+  EXPECT_DOUBLE_EQ(pst.EstimateCount("aa"), 1.0);
+}
+
+TEST(PstTest, AbsentSymbolGivesZero) {
+  Pst pst = Pst::Build({"abc"}, 3);
+  EXPECT_EQ(pst.EstimateCount("xyz"), 0.0);
+  EXPECT_EQ(pst.EstimateCount("ax"), 0.0);
+}
+
+TEST(PstTest, EmptyQueryMatchesEverything) {
+  Pst pst = Pst::Build({"ab", "cd"}, 2);
+  EXPECT_DOUBLE_EQ(pst.EstimateCount(""), 2.0);
+  EXPECT_DOUBLE_EQ(pst.Selectivity(""), 1.0);
+}
+
+TEST(PstTest, MarkovEstimateForLongQueries) {
+  // Depth-2 tree; the query "abc" requires a Markov extension step.
+  std::vector<std::string> strings = {"abc", "abc", "abc", "abd"};
+  Pst pst = Pst::Build(strings, 2);
+  double estimate = pst.EstimateCount("abc");
+  // P(ab) = 1, P(c | b) = C(bc)/C(b) = 3/4 -> estimate = 3.
+  EXPECT_NEAR(estimate, 3.0, 1e-9);
+}
+
+TEST(PstTest, EstimateNeverExceedsTotal) {
+  std::vector<std::string> strings = {"aaaa", "aaab", "aaba"};
+  Pst pst = Pst::Build(strings, 2);
+  EXPECT_LE(pst.EstimateCount("aaaa"), 3.0 + 1e-9);
+}
+
+TEST(PstTest, MonotonicityParentAtLeastChild) {
+  std::vector<std::string> strings = {"hello", "help", "hold", "heap"};
+  Pst pst = Pst::Build(strings, 4);
+  EXPECT_GE(pst.EstimateCount("he"), pst.EstimateCount("hel"));
+  EXPECT_GE(pst.EstimateCount("h"), pst.EstimateCount("he"));
+}
+
+TEST(PstTest, MergeSumsCounts) {
+  Pst a = Pst::Build({"abc", "abd"}, 3);
+  Pst b = Pst::Build({"abc", "xyz"}, 3);
+  Pst merged = Pst::Merge(a, b);
+  EXPECT_DOUBLE_EQ(merged.total(), 4.0);
+  EXPECT_DOUBLE_EQ(merged.EstimateCount("abc"), 2.0);
+  EXPECT_DOUBLE_EQ(merged.EstimateCount("ab"), 3.0);
+  EXPECT_DOUBLE_EQ(merged.EstimateCount("xyz"), 1.0);
+}
+
+TEST(PstTest, MergeWithEmpty) {
+  Pst a = Pst::Build({"ab"}, 2);
+  Pst merged = Pst::Merge(a, Pst());
+  EXPECT_DOUBLE_EQ(merged.EstimateCount("ab"), 1.0);
+}
+
+TEST(PstTest, PruneReducesNodesButKeepsSymbols) {
+  std::vector<std::string> strings = {"abcdef", "abcxyz", "qrs"};
+  Pst pst = Pst::Build(strings, 5);
+  size_t before = pst.node_count();
+  pst.Prune(before / 2);
+  EXPECT_LT(pst.node_count(), before);
+  // Depth-1 nodes survive: every symbol still yields a non-zero estimate.
+  for (char c : std::string("abcdefxyzqrs")) {
+    EXPECT_GT(pst.EstimateCount(std::string(1, c)), 0.0) << c;
+  }
+}
+
+TEST(PstTest, PruneToMinimumLeavesDepthOne) {
+  Pst pst = Pst::Build({"abc"}, 3);
+  pst.Prune(1000);
+  EXPECT_FALSE(pst.CanPrune());
+  // Only depth-1 nodes remain: a, b, c.
+  EXPECT_EQ(pst.node_count(), 3u);
+}
+
+TEST(PstTest, PrunedCopyLeavesOriginalIntact) {
+  Pst pst = Pst::Build({"abcd", "abce"}, 4);
+  size_t before = pst.node_count();
+  Pst pruned = pst.Pruned(3);
+  EXPECT_EQ(pst.node_count(), before);
+  EXPECT_EQ(pruned.node_count(), before - 3);
+}
+
+TEST(PstTest, PrunePrefersRedundantLeaves) {
+  // Strings where "ab" always extends to "abc": pruning "abc"'s leaf is
+  // nearly free (the Markov estimate reconstructs it), while "xq" vs "xr"
+  // leaves carry real information.
+  std::vector<std::string> strings;
+  for (int i = 0; i < 10; ++i) strings.push_back("abc");
+  for (int i = 0; i < 5; ++i) strings.push_back("xq");
+  for (int i = 0; i < 5; ++i) strings.push_back("xr");
+  Pst pst = Pst::Build(strings, 3);
+  Pst pruned = pst.Pruned(1);
+  // After one pruning step, the estimate for "abc" should still be close.
+  EXPECT_NEAR(pruned.EstimateCount("abc"), 10.0, 1.0);
+}
+
+TEST(PstTest, PruneByCountRemovesLowCountLeavesFirst) {
+  std::vector<std::string> strings;
+  for (int i = 0; i < 20; ++i) strings.push_back("abc");
+  strings.push_back("xyz");  // low-count branch
+  Pst pst = Pst::Build(strings, 3);
+  Pst pruned = pst;
+  pruned.PruneByCount(2);
+  // The rare leaves ("xyz"-specific depth >= 2 nodes) go first; the
+  // heavily supported "abc" path survives intact.
+  EXPECT_DOUBLE_EQ(pruned.EstimateCount("abc"), 20.0);
+  EXPECT_LT(pruned.node_count(), pst.node_count());
+}
+
+TEST(PstTest, PruneByCountKeepsDepthOneNodes) {
+  Pst pst = Pst::Build({"abcd"}, 4);
+  pst.PruneByCount(1000);
+  EXPECT_EQ(pst.node_count(), 4u);  // a, b, c, d singles survive
+}
+
+TEST(PstTest, SampleSubstringsReturnsStoredStrings) {
+  Pst pst = Pst::Build({"abc"}, 3);
+  std::vector<std::string> sample = pst.SampleSubstrings(0);
+  std::set<std::string> set(sample.begin(), sample.end());
+  // All substrings of "abc" up to length 3.
+  EXPECT_TRUE(set.count("a"));
+  EXPECT_TRUE(set.count("ab"));
+  EXPECT_TRUE(set.count("abc"));
+  EXPECT_TRUE(set.count("bc"));
+  EXPECT_TRUE(set.count("c"));
+  EXPECT_EQ(set.size(), 6u);
+}
+
+TEST(PstTest, SampleSubstringsHonorsCap) {
+  Pst pst = Pst::Build({"abcdefgh", "ijklmnop"}, 4);
+  std::vector<std::string> sample = pst.SampleSubstrings(10);
+  EXPECT_EQ(sample.size(), 10u);
+}
+
+TEST(PstTest, SizeBytesTracksNodes) {
+  Pst pst = Pst::Build({"ab"}, 2);
+  // Nodes: a, ab, b -> 3 nodes.
+  EXPECT_EQ(pst.node_count(), 3u);
+  EXPECT_EQ(pst.SizeBytes(), 4u + 3u * 9u);
+}
+
+TEST(PstTest, MaxDepthLimitsSubstrings) {
+  Pst pst = Pst::Build({"abcdef"}, 2);
+  // Substrings of length <= 2 only: 6 singles + 5 bigrams.
+  EXPECT_EQ(pst.node_count(), 11u);
+  EXPECT_EQ(pst.max_depth(), 2u);
+}
+
+TEST(PstTest, DumpRoundTrip) {
+  Pst pst = Pst::Build({"abc", "abd", "xy"}, 3);
+  Pst rebuilt = Pst::FromDump(pst.Dump(), pst.total(), pst.max_depth());
+  EXPECT_EQ(rebuilt.node_count(), pst.node_count());
+  EXPECT_DOUBLE_EQ(rebuilt.EstimateCount("ab"), pst.EstimateCount("ab"));
+  EXPECT_DOUBLE_EQ(rebuilt.EstimateCount("abc"), pst.EstimateCount("abc"));
+  EXPECT_DOUBLE_EQ(rebuilt.EstimateCount("xy"), pst.EstimateCount("xy"));
+}
+
+/// Property sweep over random string collections: stored substrings are
+/// counted exactly; estimates stay within [0, total]; pruning degrades
+/// gracefully (never crashes, preserves monotonic bounds).
+class PstPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PstPropertyTest, ExactnessAndBounds) {
+  Rng rng(GetParam());
+  std::vector<std::string> strings;
+  const char alphabet[] = "abcd";
+  for (int i = 0; i < 60; ++i) {
+    std::string s;
+    size_t len = 1 + rng.Uniform(8);
+    for (size_t j = 0; j < len; ++j) {
+      s += alphabet[rng.Uniform(4)];
+    }
+    strings.push_back(std::move(s));
+  }
+  Pst pst = Pst::Build(strings, 4);
+
+  // Every substring of every string up to depth 4 is counted exactly.
+  std::set<std::string> checked;
+  for (const std::string& s : strings) {
+    for (size_t i = 0; i < s.size(); ++i) {
+      for (size_t len = 1; len <= 4 && i + len <= s.size(); ++len) {
+        std::string sub = s.substr(i, len);
+        if (!checked.insert(sub).second) continue;
+        EXPECT_DOUBLE_EQ(pst.EstimateCount(sub), TrueCount(strings, sub))
+            << sub;
+      }
+    }
+  }
+
+  // Longer queries: estimates bounded by [0, total].
+  for (int i = 0; i < 50; ++i) {
+    std::string q;
+    size_t len = 5 + rng.Uniform(4);
+    for (size_t j = 0; j < len; ++j) q += alphabet[rng.Uniform(4)];
+    double estimate = pst.EstimateCount(q);
+    EXPECT_GE(estimate, 0.0);
+    EXPECT_LE(estimate, pst.total() + 1e-9);
+  }
+
+  // Prune half the nodes; single symbols still estimated exactly (their
+  // depth-1 nodes are protected).
+  Pst pruned = pst.Pruned(pst.node_count() / 2);
+  for (char c : std::string("abcd")) {
+    std::string q(1, c);
+    EXPECT_DOUBLE_EQ(pruned.EstimateCount(q), TrueCount(strings, q));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PstPropertyTest,
+                         ::testing::Values(7, 11, 19, 23, 31, 43));
+
+}  // namespace
+}  // namespace xcluster

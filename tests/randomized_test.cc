@@ -1,0 +1,189 @@
+// Randomized whole-system invariants: random small documents, random merge
+// sequences, and random queries exercised against properties that must hold
+// regardless of the draw.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "build/builder.h"
+#include "build/delta.h"
+#include "common/rng.h"
+#include "core/xcluster.h"
+#include "estimate/estimator.h"
+#include "eval/evaluator.h"
+#include "synopsis/reference.h"
+#include "xml/document.h"
+
+namespace xcluster {
+namespace {
+
+/// Builds a random document: random branching, labels from a small pool,
+/// values of all three types sprinkled on leaves.
+XmlDocument RandomDocument(Rng* rng, size_t target_nodes) {
+  const char* labels[] = {"a", "b", "c", "d", "e"};
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("root");
+  std::vector<NodeId> frontier = {root};
+  while (doc.size() < target_nodes && !frontier.empty()) {
+    NodeId parent = frontier[rng->Uniform(frontier.size())];
+    NodeId child = doc.AddChild(parent, labels[rng->Uniform(5)]);
+    switch (rng->Uniform(5)) {
+      case 0:
+        doc.SetNumeric(child, static_cast<int64_t>(rng->Uniform(50)));
+        break;
+      case 1:
+        doc.SetString(child, std::string(1 + rng->Uniform(4), 'x') +
+                                 static_cast<char>('a' + rng->Uniform(4)));
+        break;
+      case 2:
+        doc.SetText(child, rng->Bernoulli(0.5) ? "red fox" : "blue fox");
+        break;
+      default:
+        frontier.push_back(child);  // interior node; can get children
+        break;
+    }
+  }
+  return doc;
+}
+
+/// A random structural twig query over the label pool.
+TwigQuery RandomStructuralQuery(Rng* rng) {
+  const char* labels[] = {"a", "b", "c", "d", "e"};
+  TwigQuery query;
+  QueryVarId current = 0;
+  size_t steps = 1 + rng->Uniform(3);
+  for (size_t i = 0; i < steps; ++i) {
+    TwigStep step;
+    step.axis = rng->Bernoulli(0.5) ? TwigStep::Axis::kChild
+                                    : TwigStep::Axis::kDescendant;
+    if (rng->Bernoulli(0.15)) {
+      step.wildcard = true;
+    } else {
+      step.label = labels[rng->Uniform(5)];
+    }
+    QueryVarId next = query.AddVar(current, step);
+    if (rng->Bernoulli(0.3) && i + 1 < steps) {
+      // Branch: attach one extra child var and keep extending the spine.
+      TwigStep branch;
+      branch.label = labels[rng->Uniform(5)];
+      query.AddVar(current, branch);
+    }
+    current = next;
+  }
+  return query;
+}
+
+class RandomizedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomizedTest, ReferenceEstimatesStructuralQueriesExactly) {
+  Rng rng(GetParam());
+  XmlDocument doc = RandomDocument(&rng, 150);
+  GraphSynopsis reference = BuildReferenceSynopsis(doc, ReferenceOptions());
+  ExactEvaluator evaluator(doc, reference.term_dictionary().get());
+  XClusterEstimator estimator(reference);
+  for (int i = 0; i < 40; ++i) {
+    TwigQuery query = RandomStructuralQuery(&rng);
+    double truth = evaluator.Selectivity(query);
+    double estimate = estimator.Estimate(query);
+    EXPECT_NEAR(estimate, truth, 1e-6 * (1.0 + truth)) << query.ToString();
+  }
+}
+
+TEST_P(RandomizedTest, MergeSequencePreservesInvariants) {
+  Rng rng(GetParam());
+  XmlDocument doc = RandomDocument(&rng, 200);
+  GraphSynopsis synopsis = BuildReferenceSynopsis(doc, ReferenceOptions());
+  const double doc_size = static_cast<double>(doc.size());
+
+  // Merge random compatible pairs until none remain.
+  for (int step = 0; step < 500; ++step) {
+    std::vector<SynNodeId> alive = synopsis.AliveNodes();
+    std::vector<std::pair<SynNodeId, SynNodeId>> compatible;
+    for (size_t i = 0; i < alive.size(); ++i) {
+      for (size_t j = i + 1; j < alive.size(); ++j) {
+        const SynNode& u = synopsis.node(alive[i]);
+        const SynNode& v = synopsis.node(alive[j]);
+        if (u.label == v.label && u.type == v.type) {
+          compatible.push_back({alive[i], alive[j]});
+        }
+      }
+    }
+    if (compatible.empty()) break;
+    auto [u, v] = compatible[rng.Uniform(compatible.size())];
+
+    // Invariant inputs before the merge.
+    const double mass_uv = synopsis.node(u).count + synopsis.node(v).count;
+    const size_t predicted_savings = MergeSavings(synopsis, u, v);
+    const size_t bytes_before = synopsis.StructuralBytes();
+    SynNodeId w = synopsis.MergeNodes(u, v);
+    EXPECT_NEAR(synopsis.node(w).count, mass_uv, 1e-9);
+    // The candidate evaluator's byte model matches reality.
+    EXPECT_EQ(bytes_before - synopsis.StructuralBytes(), predicted_savings);
+
+    // Total extent mass conserved.
+    double total = 0.0;
+    for (SynNodeId id : synopsis.AliveNodes()) {
+      total += synopsis.node(id).count;
+    }
+    EXPECT_NEAR(total, doc_size, 1e-6);
+
+    // Parent/child links consistent.
+    for (SynNodeId id : synopsis.AliveNodes()) {
+      for (const SynEdge& edge : synopsis.node(id).children) {
+        EXPECT_TRUE(synopsis.node(edge.target).alive);
+        const auto& parents = synopsis.node(edge.target).parents;
+        EXPECT_NE(std::find(parents.begin(), parents.end(), id),
+                  parents.end());
+      }
+      for (SynNodeId parent : synopsis.node(id).parents) {
+        EXPECT_TRUE(synopsis.node(parent).alive);
+        EXPECT_GT(synopsis.EdgeCount(parent, id), 0.0);
+      }
+    }
+  }
+}
+
+TEST_P(RandomizedTest, SerializationRoundTripAfterRandomBuild) {
+  Rng rng(GetParam());
+  XmlDocument doc = RandomDocument(&rng, 150);
+  XCluster::Options options;
+  options.build.structural_budget = 64 + rng.Uniform(512);
+  options.build.value_budget = 128 + rng.Uniform(1024);
+  XCluster built = XCluster::Build(doc, options);
+  std::string path = testing::TempDir() + "/randomized_" +
+                     std::to_string(GetParam()) + ".xcs";
+  ASSERT_TRUE(built.Save(path).ok());
+  Result<XCluster> loaded = XCluster::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().SizeBytes(), built.SizeBytes());
+  for (int i = 0; i < 20; ++i) {
+    TwigQuery query = RandomStructuralQuery(&rng);
+    EXPECT_NEAR(loaded.value().EstimateSelectivity(query),
+                built.EstimateSelectivity(query), 1e-9)
+        << query.ToString();
+  }
+}
+
+TEST_P(RandomizedTest, BudgetsAlwaysMet) {
+  Rng rng(GetParam());
+  XmlDocument doc = RandomDocument(&rng, 250);
+  GraphSynopsis reference = BuildReferenceSynopsis(doc, ReferenceOptions());
+  BuildOptions options;
+  options.structural_budget = rng.Uniform(reference.StructuralBytes() + 1);
+  options.value_budget = rng.Uniform(reference.ValueBytes() + 1);
+  GraphSynopsis synopsis = XClusterBuild(reference, options, nullptr);
+  // Structural budget can be unreachable below the tag floor; value budget
+  // below the incompressible floor likewise. Check against the floors.
+  GraphSynopsis tag = BuildTagSynopsis(doc, ReferenceOptions());
+  EXPECT_LE(synopsis.StructuralBytes(),
+            std::max(options.structural_budget, tag.StructuralBytes()));
+  EXPECT_GE(synopsis.NodeCount(), tag.NodeCount());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace xcluster

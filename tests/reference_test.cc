@@ -1,0 +1,248 @@
+#include "synopsis/reference.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+
+namespace xcluster {
+namespace {
+
+/// A small document with known clustering structure:
+///   root
+///   ├── a (2x with one b child each)
+///   ├── a (1x with two b children)
+///   └── c (with a numeric d child)
+XmlDocument MakeDocument() {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("root");
+  for (int i = 0; i < 2; ++i) {
+    NodeId a = doc.AddChild(root, "a");
+    doc.AddChild(a, "b");
+  }
+  NodeId a3 = doc.AddChild(root, "a");
+  doc.AddChild(a3, "b");
+  doc.AddChild(a3, "b");
+  NodeId c = doc.AddChild(root, "c");
+  NodeId d = doc.AddChild(c, "d");
+  doc.SetNumeric(d, 42);
+  return doc;
+}
+
+SynNodeId FindNode(const GraphSynopsis& synopsis, const std::string& label,
+                   double count) {
+  for (SynNodeId id : synopsis.AliveNodes()) {
+    if (synopsis.labels().Get(synopsis.node(id).label) == label &&
+        synopsis.node(id).count == count) {
+      return id;
+    }
+  }
+  return kNoSynNode;
+}
+
+TEST(ReferenceTest, EmptyDocument) {
+  XmlDocument doc;
+  GraphSynopsis synopsis = BuildReferenceSynopsis(doc, ReferenceOptions());
+  EXPECT_EQ(synopsis.root(), kNoSynNode);
+}
+
+TEST(ReferenceTest, CountStableSplitsByChildSignature) {
+  XmlDocument doc = MakeDocument();
+  GraphSynopsis synopsis = BuildReferenceSynopsis(doc, ReferenceOptions());
+  // Clusters: root, a-with-1-b, a-with-2-b, b, c, d => 6 nodes. The two
+  // one-b 'a' elements share a cluster; the two-b 'a' is separate.
+  EXPECT_EQ(synopsis.NodeCount(), 6u);
+  EXPECT_NE(FindNode(synopsis, "a", 2.0), kNoSynNode);
+  EXPECT_NE(FindNode(synopsis, "a", 1.0), kNoSynNode);
+}
+
+TEST(ReferenceTest, RootIsFirstNode) {
+  XmlDocument doc = MakeDocument();
+  GraphSynopsis synopsis = BuildReferenceSynopsis(doc, ReferenceOptions());
+  EXPECT_EQ(synopsis.root(), 0u);
+  EXPECT_EQ(synopsis.labels().Get(synopsis.node(synopsis.root()).label),
+            "root");
+  EXPECT_EQ(synopsis.node(synopsis.root()).count, 1.0);
+}
+
+TEST(ReferenceTest, EdgeCountsAreExactIntegers) {
+  XmlDocument doc = MakeDocument();
+  GraphSynopsis synopsis = BuildReferenceSynopsis(doc, ReferenceOptions());
+  SynNodeId a2 = FindNode(synopsis, "a", 1.0);  // the two-b cluster
+  ASSERT_NE(a2, kNoSynNode);
+  ASSERT_EQ(synopsis.node(a2).children.size(), 1u);
+  EXPECT_DOUBLE_EQ(synopsis.node(a2).children[0].avg_count, 2.0);
+}
+
+TEST(ReferenceTest, UniqueIncomingLabelPath) {
+  // Count-stability may split a cluster's parents into several clusters,
+  // but they must all lie on the same root label path (the "exactly one
+  // incoming path" property of Sec. 4.3).
+  XmlDocument doc = MakeDocument();
+  GraphSynopsis synopsis = BuildReferenceSynopsis(doc, ReferenceOptions());
+  std::function<std::string(SynNodeId)> path_of = [&](SynNodeId id) {
+    const SynNode& node = synopsis.node(id);
+    std::string path = node.parents.empty() ? "" : path_of(node.parents[0]);
+    path += '/';
+    path += synopsis.labels().Get(node.label);
+    return path;
+  };
+  for (SynNodeId id : synopsis.AliveNodes()) {
+    const SynNode& node = synopsis.node(id);
+    for (SynNodeId parent : node.parents) {
+      EXPECT_EQ(path_of(parent), path_of(node.parents[0]));
+    }
+  }
+}
+
+TEST(ReferenceTest, ExtentsPartitionTheDocument) {
+  XmlDocument doc = MakeDocument();
+  GraphSynopsis synopsis = BuildReferenceSynopsis(doc, ReferenceOptions());
+  double total = 0.0;
+  for (SynNodeId id : synopsis.AliveNodes()) {
+    total += synopsis.node(id).count;
+  }
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(doc.size()));
+}
+
+TEST(ReferenceTest, ValueSummariesBuiltForAllPathsByDefault) {
+  XmlDocument doc = MakeDocument();
+  GraphSynopsis synopsis = BuildReferenceSynopsis(doc, ReferenceOptions());
+  EXPECT_EQ(synopsis.ValueNodeCount(), 1u);
+  SynNodeId d = FindNode(synopsis, "d", 1.0);
+  ASSERT_NE(d, kNoSynNode);
+  EXPECT_EQ(synopsis.node(d).vsumm.type(), ValueType::kNumeric);
+  EXPECT_NEAR(synopsis.node(d).vsumm.histogram().EstimateRange(42, 42), 1.0,
+              1e-9);
+}
+
+TEST(ReferenceTest, ValuePathFilterExcludesOthers) {
+  XmlDocument doc = MakeDocument();
+  ReferenceOptions options;
+  options.value_paths = {"/root/nothing"};
+  GraphSynopsis synopsis = BuildReferenceSynopsis(doc, options);
+  EXPECT_EQ(synopsis.ValueNodeCount(), 0u);
+}
+
+TEST(ReferenceTest, ValuePathFilterSelectsExactPath) {
+  XmlDocument doc = MakeDocument();
+  ReferenceOptions options;
+  options.value_paths = {"/root/c/d"};
+  GraphSynopsis synopsis = BuildReferenceSynopsis(doc, options);
+  EXPECT_EQ(synopsis.ValueNodeCount(), 1u);
+}
+
+TEST(ReferenceTest, TypeRespectingSplitsMixedTypes) {
+  // Same label, different value types => separate clusters.
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  NodeId v1 = doc.AddChild(root, "v");
+  doc.SetNumeric(v1, 7);
+  NodeId v2 = doc.AddChild(root, "v");
+  doc.SetString(v2, "seven");
+  GraphSynopsis synopsis = BuildReferenceSynopsis(doc, ReferenceOptions());
+  EXPECT_EQ(synopsis.NodeCount(), 3u);
+}
+
+TEST(ReferenceTest, PathSplitsSameLabelDifferentContext) {
+  // "name" under a and under b must be distinct clusters even with
+  // identical child signatures (unique incoming path requirement).
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  NodeId a = doc.AddChild(root, "a");
+  NodeId b = doc.AddChild(root, "b");
+  doc.SetString(doc.AddChild(a, "name"), "x");
+  doc.SetString(doc.AddChild(b, "name"), "y");
+  GraphSynopsis synopsis = BuildReferenceSynopsis(doc, ReferenceOptions());
+  EXPECT_EQ(synopsis.NodeCount(), 5u);
+}
+
+TEST(ReferenceTest, SharedDictionaryUsed) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  NodeId t = doc.AddChild(root, "t");
+  doc.SetText(t, "alpha beta");
+  ReferenceOptions options;
+  options.dictionary = std::make_shared<TermDictionary>();
+  GraphSynopsis synopsis = BuildReferenceSynopsis(doc, options);
+  EXPECT_EQ(synopsis.term_dictionary().get(), options.dictionary.get());
+  EXPECT_NE(options.dictionary->Lookup("alpha"), kInvalidSymbol);
+  EXPECT_NE(options.dictionary->Lookup("beta"), kInvalidSymbol);
+}
+
+TEST(TagSynopsisTest, OneClusterPerLabelAndType) {
+  XmlDocument doc = MakeDocument();
+  GraphSynopsis synopsis = BuildTagSynopsis(doc, ReferenceOptions());
+  // Clusters: root, a, b, c, d => 5.
+  EXPECT_EQ(synopsis.NodeCount(), 5u);
+}
+
+TEST(TagSynopsisTest, AverageChildCounts) {
+  XmlDocument doc = MakeDocument();
+  GraphSynopsis synopsis = BuildTagSynopsis(doc, ReferenceOptions());
+  SynNodeId a = FindNode(synopsis, "a", 3.0);
+  ASSERT_NE(a, kNoSynNode);
+  // 3 'a' elements with 4 'b' children total.
+  ASSERT_EQ(synopsis.node(a).children.size(), 1u);
+  EXPECT_NEAR(synopsis.node(a).children[0].avg_count, 4.0 / 3.0, 1e-12);
+}
+
+TEST(TagSynopsisTest, ValueSummaryOverWholeTagExtent) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  NodeId a = doc.AddChild(root, "a");
+  NodeId b = doc.AddChild(root, "b");
+  NodeId n1 = doc.AddChild(a, "n");
+  doc.SetNumeric(n1, 1);
+  NodeId n2 = doc.AddChild(b, "n");
+  doc.SetNumeric(n2, 100);
+  GraphSynopsis synopsis = BuildTagSynopsis(doc, ReferenceOptions());
+  SynNodeId n = FindNode(synopsis, "n", 2.0);
+  ASSERT_NE(n, kNoSynNode);
+  EXPECT_NEAR(synopsis.node(n).vsumm.histogram().total(), 2.0, 1e-9);
+}
+
+TEST(PathSynopsisTest, OneClusterPerPath) {
+  XmlDocument doc = MakeDocument();
+  GraphSynopsis synopsis = BuildPathSynopsis(doc, ReferenceOptions());
+  // Paths: /root, /root/a, /root/a/b, /root/c, /root/c/d => 5 clusters
+  // (both 'a' variants share the path).
+  EXPECT_EQ(synopsis.NodeCount(), 5u);
+  SynNodeId a = FindNode(synopsis, "a", 3.0);
+  ASSERT_NE(a, kNoSynNode);
+  // 4 b-children over 3 a-elements.
+  EXPECT_NEAR(synopsis.node(a).children[0].avg_count, 4.0 / 3.0, 1e-12);
+}
+
+TEST(PathSynopsisTest, SplitsSameLabelAcrossPaths) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  NodeId a = doc.AddChild(root, "a");
+  NodeId b = doc.AddChild(root, "b");
+  doc.SetString(doc.AddChild(a, "name"), "x");
+  doc.SetString(doc.AddChild(b, "name"), "y");
+  GraphSynopsis path = BuildPathSynopsis(doc, ReferenceOptions());
+  GraphSynopsis tag = BuildTagSynopsis(doc, ReferenceOptions());
+  EXPECT_EQ(path.NodeCount(), 5u);  // name split by path
+  EXPECT_EQ(tag.NodeCount(), 4u);   // name merged by tag
+}
+
+TEST(PathSynopsisTest, GranularityLadderOrdering) {
+  XmlDocument doc = MakeDocument();
+  GraphSynopsis reference = BuildReferenceSynopsis(doc, ReferenceOptions());
+  GraphSynopsis path = BuildPathSynopsis(doc, ReferenceOptions());
+  GraphSynopsis tag = BuildTagSynopsis(doc, ReferenceOptions());
+  EXPECT_LE(tag.NodeCount(), path.NodeCount());
+  EXPECT_LE(path.NodeCount(), reference.NodeCount());
+}
+
+TEST(TagSynopsisTest, IsNeverLargerThanReference) {
+  XmlDocument doc = MakeDocument();
+  GraphSynopsis reference = BuildReferenceSynopsis(doc, ReferenceOptions());
+  GraphSynopsis tag = BuildTagSynopsis(doc, ReferenceOptions());
+  EXPECT_LE(tag.NodeCount(), reference.NodeCount());
+  EXPECT_LE(tag.StructuralBytes(), reference.StructuralBytes());
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,130 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace xcluster {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 30);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RngTest, UniformZeroIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.Uniform(0), 0u);
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliRespectsP) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(29);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / 20000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 20000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / 20000.0, 0.6, 0.02);
+}
+
+TEST(RngTest, WeightedIndexAllZeroReturnsZero) {
+  Rng rng(31);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_EQ(rng.WeightedIndex(weights), 0u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(37);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+}  // namespace
+}  // namespace xcluster

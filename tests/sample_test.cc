@@ -1,0 +1,110 @@
+#include "summaries/sample.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace xcluster {
+namespace {
+
+TEST(SampleTest, EmptyInput) {
+  SampleSummary summary = SampleSummary::Build({}, 16);
+  EXPECT_EQ(summary.total(), 0.0);
+  EXPECT_EQ(summary.SizeBytes(), 0u);
+  EXPECT_EQ(summary.EstimateRange(0, 10), 0.0);
+}
+
+TEST(SampleTest, SmallInputKeptExactly) {
+  SampleSummary summary = SampleSummary::Build({5, 1, 3}, 16);
+  EXPECT_EQ(summary.sample_size(), 3u);
+  EXPECT_DOUBLE_EQ(summary.EstimateRange(1, 3), 2.0);
+  EXPECT_DOUBLE_EQ(summary.EstimateRange(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(summary.EstimateRange(6, 10), 0.0);
+}
+
+TEST(SampleTest, ReservoirCapsSampleSize) {
+  std::vector<int64_t> values(1000, 7);
+  SampleSummary summary = SampleSummary::Build(values, 32);
+  EXPECT_EQ(summary.sample_size(), 32u);
+  EXPECT_DOUBLE_EQ(summary.total(), 1000.0);
+  EXPECT_DOUBLE_EQ(summary.EstimateRange(7, 7), 1000.0);
+}
+
+TEST(SampleTest, EstimateScalesByTotal) {
+  // Half the values below 50: the sampled estimate should be near half the
+  // total.
+  Rng rng(3);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(static_cast<int64_t>(rng.Uniform(100)));
+  }
+  SampleSummary summary = SampleSummary::Build(values, 200);
+  EXPECT_NEAR(summary.EstimateRange(0, 49), 1000.0, 150.0);
+}
+
+TEST(SampleTest, DeterministicBuild) {
+  Rng rng(5);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(static_cast<int64_t>(rng.Uniform(50)));
+  }
+  SampleSummary a = SampleSummary::Build(values, 64);
+  SampleSummary b = SampleSummary::Build(values, 64);
+  EXPECT_EQ(a.sample(), b.sample());
+}
+
+TEST(SampleTest, SelectivityNormalized) {
+  SampleSummary summary = SampleSummary::Build({1, 2, 3, 4}, 16);
+  EXPECT_NEAR(summary.Selectivity(1, 2), 0.5, 1e-12);
+}
+
+TEST(SampleTest, CompressShrinksSample) {
+  SampleSummary summary = SampleSummary::Build({1, 2, 3, 4, 5, 6}, 16);
+  summary.Compress(3);
+  EXPECT_EQ(summary.sample_size(), 3u);
+  EXPECT_DOUBLE_EQ(summary.total(), 6.0);  // the total is preserved
+  summary.Compress(100);
+  EXPECT_EQ(summary.sample_size(), 1u);
+  EXPECT_FALSE(summary.CanCompress());
+}
+
+TEST(SampleTest, MergeAddsTotals) {
+  SampleSummary a = SampleSummary::Build({1, 2, 3}, 8);
+  SampleSummary b = SampleSummary::Build({10, 20}, 8);
+  SampleSummary merged = SampleSummary::Merge(a, b);
+  EXPECT_DOUBLE_EQ(merged.total(), 5.0);
+  EXPECT_NEAR(merged.EstimateRange(0, 100), 5.0, 1e-9);
+}
+
+TEST(SampleTest, MergeWithEmptyIsIdentity) {
+  SampleSummary a = SampleSummary::Build({4, 5}, 8);
+  SampleSummary merged = SampleSummary::Merge(a, SampleSummary());
+  EXPECT_DOUBLE_EQ(merged.total(), 2.0);
+  EXPECT_EQ(merged.sample_size(), 2u);
+}
+
+TEST(SampleTest, MergeProportionalRepresentation) {
+  // Cluster a has 10x the mass of b; its values should dominate the
+  // merged sample and the estimates.
+  std::vector<int64_t> low(1000, 10);
+  std::vector<int64_t> high(100, 90);
+  SampleSummary a = SampleSummary::Build(low, 50);
+  SampleSummary b = SampleSummary::Build(high, 50);
+  SampleSummary merged = SampleSummary::Merge(a, b);
+  EXPECT_DOUBLE_EQ(merged.total(), 1100.0);
+  EXPECT_NEAR(merged.EstimateRange(0, 50), 1000.0, 120.0);
+}
+
+TEST(SampleTest, FromPartsRoundTrip) {
+  SampleSummary summary = SampleSummary::FromParts({3, 1, 2}, 30.0);
+  EXPECT_DOUBLE_EQ(summary.total(), 30.0);
+  EXPECT_DOUBLE_EQ(summary.EstimateRange(1, 1), 10.0);
+}
+
+TEST(SampleTest, SizeBytesFormula) {
+  SampleSummary summary = SampleSummary::Build({1, 2, 3}, 16);
+  EXPECT_EQ(summary.SizeBytes(), 3u * 4u + 4u);
+}
+
+}  // namespace
+}  // namespace xcluster

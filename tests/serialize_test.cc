@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/xcluster.h"
+#include "data/imdb.h"
+#include "query/parser.h"
+
+namespace xcluster {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ImdbOptions options;
+    options.scale = 0.05;
+    dataset_ = GenerateImdb(options);
+    XCluster::Options xc_options;
+    xc_options.reference.value_paths = dataset_.value_paths;
+    xc_options.build.structural_budget = 4096;
+    xc_options.build.value_budget = 24576;
+    built_ = std::make_unique<XCluster>(
+        XCluster::Build(dataset_.doc, xc_options));
+    path_ = testing::TempDir() + "/xcluster_serialize_test.xcs";
+  }
+
+  GeneratedDataset dataset_;
+  std::unique_ptr<XCluster> built_;
+  std::string path_;
+};
+
+TEST_F(SerializeTest, SaveThenLoadPreservesStructure) {
+  ASSERT_TRUE(built_->Save(path_).ok());
+  Result<XCluster> loaded = XCluster::Load(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().synopsis().NodeCount(),
+            built_->synopsis().NodeCount());
+  EXPECT_EQ(loaded.value().synopsis().EdgeCount(),
+            built_->synopsis().EdgeCount());
+  EXPECT_EQ(loaded.value().synopsis().StructuralBytes(),
+            built_->synopsis().StructuralBytes());
+  EXPECT_EQ(loaded.value().synopsis().ValueBytes(),
+            built_->synopsis().ValueBytes());
+}
+
+TEST_F(SerializeTest, LoadedSynopsisGivesIdenticalEstimates) {
+  ASSERT_TRUE(built_->Save(path_).ok());
+  Result<XCluster> loaded = XCluster::Load(path_);
+  ASSERT_TRUE(loaded.ok());
+  const char* queries[] = {
+      "/movie/title",
+      "//year[range(1950,1980)]",
+      "//movie[/cast]/rating[range(50,80)]",
+      "//plot[ftcontains(the)]",
+      "//title[contains(The)]",
+      "//actor/name",
+  };
+  for (const char* text : queries) {
+    Result<double> a = built_->EstimateSelectivity(text);
+    Result<double> b = loaded.value().EstimateSelectivity(text);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_NEAR(a.value(), b.value(), 1e-9 * (1.0 + a.value())) << text;
+  }
+}
+
+TEST_F(SerializeTest, RoundTripIsIdempotent) {
+  ASSERT_TRUE(built_->Save(path_).ok());
+  Result<XCluster> once = XCluster::Load(path_);
+  ASSERT_TRUE(once.ok());
+  std::string path2 = testing::TempDir() + "/xcluster_serialize_test2.xcs";
+  ASSERT_TRUE(once.value().Save(path2).ok());
+  std::ifstream f1(path_);
+  std::ifstream f2(path2);
+  std::string c1((std::istreambuf_iterator<char>(f1)),
+                 std::istreambuf_iterator<char>());
+  std::string c2((std::istreambuf_iterator<char>(f2)),
+                 std::istreambuf_iterator<char>());
+  EXPECT_EQ(c1, c2);
+}
+
+TEST_F(SerializeTest, LoadMissingFileFails) {
+  Result<XCluster> loaded = XCluster::Load("/nonexistent/synopsis.xcs");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kIOError);
+}
+
+TEST_F(SerializeTest, LoadGarbageFails) {
+  std::string garbage_path = testing::TempDir() + "/garbage.xcs";
+  std::ofstream out(garbage_path);
+  out << "this is not a synopsis";
+  out.close();
+  Result<XCluster> loaded = XCluster::Load(garbage_path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+}
+
+TEST_F(SerializeTest, LoadTruncatedFails) {
+  ASSERT_TRUE(built_->Save(path_).ok());
+  std::ifstream in(path_);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::string truncated_path = testing::TempDir() + "/truncated.xcs";
+  std::ofstream out(truncated_path);
+  out << content.substr(0, content.size() / 2);
+  out.close();
+  Result<XCluster> loaded = XCluster::Load(truncated_path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(SerializeTest, AlternativeNumericKindsRoundTrip) {
+  XCluster::Options options;
+  options.reference.value_paths = dataset_.value_paths;
+  options.build.structural_budget = 4096;
+  options.build.value_budget = 24576;
+  for (NumericSummaryKind kind :
+       {NumericSummaryKind::kWavelet, NumericSummaryKind::kSample}) {
+    options.reference.numeric_summary = kind;
+    XCluster built = XCluster::Build(dataset_.doc, options);
+    std::string path = testing::TempDir() + "/numeric_kind.xcs";
+    ASSERT_TRUE(built.Save(path).ok());
+    Result<XCluster> loaded = XCluster::Load(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    Result<double> a =
+        built.EstimateSelectivity("//year[range(1950,1980)]");
+    Result<double> b =
+        loaded.value().EstimateSelectivity("//year[range(1950,1980)]");
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_NEAR(a.value(), b.value(), 1e-6 * (1.0 + a.value()));
+  }
+}
+
+TEST_F(SerializeTest, DictionaryRestored) {
+  ASSERT_TRUE(built_->Save(path_).ok());
+  Result<XCluster> loaded = XCluster::Load(path_);
+  ASSERT_TRUE(loaded.ok());
+  auto original = built_->synopsis().term_dictionary();
+  auto restored = loaded.value().synopsis().term_dictionary();
+  ASSERT_NE(restored, nullptr);
+  ASSERT_EQ(restored->size(), original->size());
+  for (TermId id = 0; id < original->size(); ++id) {
+    EXPECT_EQ(restored->Get(id), original->Get(id));
+  }
+}
+
+}  // namespace
+}  // namespace xcluster

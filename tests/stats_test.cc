@@ -1,0 +1,86 @@
+#include "synopsis/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "data/treebank.h"
+#include "synopsis/reference.h"
+
+namespace xcluster {
+namespace {
+
+GraphSynopsis SmallSynopsis() {
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId a1 = synopsis.AddNode("a", ValueType::kNone, 5.0);
+  SynNodeId a2 = synopsis.AddNode("a", ValueType::kNone, 3.0);
+  SynNodeId y = synopsis.AddNode("y", ValueType::kNumeric, 8.0);
+  synopsis.AddEdge(root, a1, 5.0);
+  synopsis.AddEdge(root, a2, 3.0);
+  synopsis.AddEdge(a1, y, 1.0);
+  synopsis.AddEdge(a2, y, 1.0);
+  synopsis.node(y).vsumm = ValueSummary::FromNumeric({1, 2, 3}, 8);
+  return synopsis;
+}
+
+TEST(StatsTest, CountsNodesAndEdges) {
+  SynopsisStats stats = ComputeStats(SmallSynopsis());
+  EXPECT_EQ(stats.nodes, 4u);
+  EXPECT_EQ(stats.edges, 4u);
+  EXPECT_GT(stats.structural_bytes, 0u);
+  EXPECT_GT(stats.value_bytes, 0u);
+}
+
+TEST(StatsTest, PerLabelAggregation) {
+  SynopsisStats stats = ComputeStats(SmallSynopsis());
+  ASSERT_TRUE(stats.by_label.count("a"));
+  EXPECT_EQ(stats.by_label["a"].clusters, 2u);
+  EXPECT_DOUBLE_EQ(stats.by_label["a"].elements, 8.0);
+}
+
+TEST(StatsTest, PerTypeAggregation) {
+  SynopsisStats stats = ComputeStats(SmallSynopsis());
+  ASSERT_TRUE(stats.by_type.count(ValueType::kNumeric));
+  EXPECT_EQ(stats.by_type[ValueType::kNumeric].clusters, 1u);
+  EXPECT_DOUBLE_EQ(stats.by_type[ValueType::kNumeric].elements, 8.0);
+  EXPECT_FALSE(stats.by_type.count(ValueType::kString));
+}
+
+TEST(StatsTest, Degrees) {
+  SynopsisStats stats = ComputeStats(SmallSynopsis());
+  EXPECT_EQ(stats.max_out_degree, 2u);
+  EXPECT_EQ(stats.max_in_degree, 2u);  // y has two parents
+  EXPECT_NEAR(stats.avg_out_degree, 1.0, 1e-12);
+}
+
+TEST(StatsTest, ToStringMentionsKeyFigures) {
+  SynopsisStats stats = ComputeStats(SmallSynopsis());
+  std::string text = stats.ToString();
+  EXPECT_NE(text.find("nodes 4"), std::string::npos);
+  EXPECT_NE(text.find("numeric"), std::string::npos);
+  EXPECT_NE(text.find("label 'y'"), std::string::npos);
+}
+
+TEST(StatsTest, EmptySynopsis) {
+  SynopsisStats stats = ComputeStats(GraphSynopsis());
+  EXPECT_EQ(stats.nodes, 0u);
+  EXPECT_EQ(stats.avg_out_degree, 0.0);
+}
+
+TEST(StatsTest, OnGeneratedReference) {
+  TreebankOptions options;
+  options.scale = 0.05;
+  GeneratedDataset dataset = GenerateTreebank(options);
+  ReferenceOptions ref_options;
+  ref_options.value_paths = dataset.value_paths;
+  GraphSynopsis reference = BuildReferenceSynopsis(dataset.doc, ref_options);
+  SynopsisStats stats = ComputeStats(reference);
+  EXPECT_EQ(stats.nodes, reference.NodeCount());
+  double total_elements = 0.0;
+  for (const auto& [label, label_stats] : stats.by_label) {
+    total_elements += label_stats.elements;
+  }
+  EXPECT_NEAR(total_elements, static_cast<double>(dataset.doc.size()), 1e-6);
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,86 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace xcluster {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCodesAndMessages) {
+  Status status = Status::InvalidArgument("bad budget");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad budget");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad budget");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), Status::Code::kNotFound);
+  EXPECT_EQ(Status::Corruption("x").code(), Status::Code::kCorruption);
+  EXPECT_EQ(Status::OutOfRange("x").code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(Status::IOError("x").code(), Status::Code::kIOError);
+  EXPECT_EQ(Status::Unsupported("x").code(), Status::Code::kUnsupported);
+}
+
+TEST(StatusTest, ToStringWithoutMessage) {
+  EXPECT_EQ(Status::NotFound("").ToString(), "NotFound");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(ResultTest, NonDefaultConstructibleValue) {
+  struct NoDefault {
+    explicit NoDefault(int x) : value(x) {}
+    int value;
+  };
+  Result<NoDefault> result(NoDefault(3));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().value, 3);
+}
+
+TEST(ReturnIfErrorTest, PropagatesError) {
+  auto inner = []() { return Status::Corruption("inner"); };
+  auto outer = [&]() -> Status {
+    XC_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), Status::Code::kCorruption);
+}
+
+TEST(ReturnIfErrorTest, PassesThroughOk) {
+  auto outer = []() -> Status {
+    XC_RETURN_IF_ERROR(Status::OK());
+    return Status::InvalidArgument("reached");
+  };
+  EXPECT_EQ(outer().code(), Status::Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,61 @@
+#include "common/string_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace xcluster {
+namespace {
+
+TEST(StringPoolTest, InternAssignsDenseIds) {
+  StringPool pool;
+  EXPECT_EQ(pool.Intern("a"), 0u);
+  EXPECT_EQ(pool.Intern("b"), 1u);
+  EXPECT_EQ(pool.Intern("c"), 2u);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(StringPoolTest, InternIsIdempotent) {
+  StringPool pool;
+  SymbolId id = pool.Intern("movie");
+  EXPECT_EQ(pool.Intern("movie"), id);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(StringPoolTest, GetRoundTrips) {
+  StringPool pool;
+  SymbolId id = pool.Intern("open_auction");
+  EXPECT_EQ(pool.Get(id), "open_auction");
+}
+
+TEST(StringPoolTest, LookupFindsInterned) {
+  StringPool pool;
+  SymbolId id = pool.Intern("person");
+  EXPECT_EQ(pool.Lookup("person"), id);
+}
+
+TEST(StringPoolTest, LookupMissingReturnsInvalid) {
+  StringPool pool;
+  pool.Intern("x");
+  EXPECT_EQ(pool.Lookup("y"), kInvalidSymbol);
+}
+
+TEST(StringPoolTest, EmptyStringIsValid) {
+  StringPool pool;
+  SymbolId id = pool.Intern("");
+  EXPECT_EQ(pool.Get(id), "");
+  EXPECT_EQ(pool.Lookup(""), id);
+}
+
+TEST(StringPoolTest, ManyStringsStable) {
+  StringPool pool;
+  for (int i = 0; i < 1000; ++i) {
+    pool.Intern("label" + std::to_string(i));
+  }
+  EXPECT_EQ(pool.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    std::string s = "label" + std::to_string(i);
+    EXPECT_EQ(pool.Get(pool.Lookup(s)), s);
+  }
+}
+
+}  // namespace
+}  // namespace xcluster

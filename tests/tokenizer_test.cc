@@ -1,0 +1,51 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace xcluster {
+namespace {
+
+TEST(TokenizerTest, SimpleWords) {
+  EXPECT_EQ(Tokenize("hello world"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, Lowercases) {
+  EXPECT_EQ(Tokenize("XML Synopsis"),
+            (std::vector<std::string>{"xml", "synopsis"}));
+}
+
+TEST(TokenizerTest, PunctuationSplits) {
+  EXPECT_EQ(Tokenize("a,b;c.d!e"),
+            (std::vector<std::string>{"a", "b", "c", "d", "e"}));
+}
+
+TEST(TokenizerTest, DigitsKept) {
+  EXPECT_EQ(Tokenize("year 2005 was fine"),
+            (std::vector<std::string>{"year", "2005", "was", "fine"}));
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+}
+
+TEST(TokenizerTest, OnlyPunctuation) {
+  EXPECT_TRUE(Tokenize("... --- !!!").empty());
+}
+
+TEST(TokenizerTest, LeadingAndTrailingSeparators) {
+  EXPECT_EQ(Tokenize("  xml  "), (std::vector<std::string>{"xml"}));
+}
+
+TEST(TokenizerTest, DuplicatesPreserved) {
+  EXPECT_EQ(Tokenize("the the the"),
+            (std::vector<std::string>{"the", "the", "the"}));
+}
+
+TEST(TokenizerTest, MixedAlphanumericToken) {
+  EXPECT_EQ(Tokenize("mp3 player"),
+            (std::vector<std::string>{"mp3", "player"}));
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,79 @@
+#include "query/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace xcluster {
+namespace {
+
+TEST(TwigBuilderTest, LinearSpine) {
+  TwigQuery query =
+      TwigBuilder().Descendant("paper").Child("title").Build();
+  EXPECT_EQ(query.ToString(), "//paper/title");
+}
+
+TEST(TwigBuilderTest, BranchesAndPredicates) {
+  TwigQuery query = TwigBuilder()
+                        .Descendant("paper")
+                        .Branch("year")
+                        .Range(2001, 9999)
+                        .Up()
+                        .Branch("abstract")
+                        .FtContains({"synopsis", "xml"})
+                        .Up()
+                        .Child("title")
+                        .Contains("Tree")
+                        .Build();
+  EXPECT_EQ(query.size(), 5u);
+  EXPECT_EQ(query.PredicateCount(), 3u);
+  // Equivalent to the parsed form of the running example.
+  Result<TwigQuery> parsed = ParseTwig(
+      "//paper[/year[range(2001,9999)]]"
+      "[/abstract[ftcontains(synopsis,xml)]]/title[contains(Tree)]");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(query.ToString(), parsed.value().ToString());
+}
+
+TEST(TwigBuilderTest, WildcardStep) {
+  TwigQuery query = TwigBuilder().Child("a").AnyChild().Build();
+  EXPECT_EQ(query.ToString(), "/a/*");
+}
+
+TEST(TwigBuilderTest, UpAtRootIsSafe) {
+  TwigBuilder builder;
+  builder.Up().Up();
+  EXPECT_EQ(builder.cursor(), 0u);
+  TwigQuery query = builder.Child("x").Build();
+  EXPECT_EQ(query.ToString(), "/x");
+}
+
+TEST(TwigBuilderTest, DeepBranchNesting) {
+  TwigQuery query = TwigBuilder()
+                        .Descendant("item")
+                        .Branch("mailbox")
+                        .Branch("mail")
+                        .Child("text")
+                        .FtAny({"gold", "silver"})
+                        .Up()
+                        .Up()
+                        .Up()
+                        .Child("name")
+                        .Build();
+  Result<TwigQuery> reparsed = ParseTwig(query.ToString());
+  ASSERT_TRUE(reparsed.ok()) << query.ToString();
+  EXPECT_EQ(reparsed.value().size(), query.size());
+}
+
+TEST(TwigBuilderTest, FtSimilarPredicate) {
+  TwigQuery query = TwigBuilder()
+                        .Descendant("plot")
+                        .FtSimilar(50, {"love", "war"})
+                        .Build();
+  EXPECT_EQ(query.var(1).predicates[0].kind,
+            ValuePredicate::Kind::kFtSimilar);
+  EXPECT_EQ(query.var(1).predicates[0].RequiredMatches(), 1u);
+}
+
+}  // namespace
+}  // namespace xcluster

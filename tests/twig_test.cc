@@ -1,0 +1,122 @@
+#include "query/twig.h"
+
+#include <gtest/gtest.h>
+
+namespace xcluster {
+namespace {
+
+TEST(TwigTest, RootOnlyQuery) {
+  TwigQuery query;
+  EXPECT_EQ(query.size(), 1u);
+  EXPECT_EQ(query.PredicateCount(), 0u);
+}
+
+TEST(TwigTest, AddVarLinksParentAndChild) {
+  TwigQuery query;
+  TwigStep step;
+  step.label = "movie";
+  QueryVarId movie = query.AddVar(0, step);
+  EXPECT_EQ(query.var(movie).parent, 0u);
+  ASSERT_EQ(query.var(0).children.size(), 1u);
+  EXPECT_EQ(query.var(0).children[0], movie);
+}
+
+TEST(TwigTest, StepToString) {
+  TwigStep child;
+  child.label = "a";
+  EXPECT_EQ(child.ToString(), "/a");
+  TwigStep desc;
+  desc.axis = TwigStep::Axis::kDescendant;
+  desc.label = "b";
+  EXPECT_EQ(desc.ToString(), "//b");
+  TwigStep wild;
+  wild.wildcard = true;
+  EXPECT_EQ(wild.ToString(), "/*");
+}
+
+TEST(TwigTest, QueryToStringLinear) {
+  TwigQuery query;
+  TwigStep s1;
+  s1.axis = TwigStep::Axis::kDescendant;
+  s1.label = "paper";
+  QueryVarId paper = query.AddVar(0, s1);
+  TwigStep s2;
+  s2.label = "title";
+  query.AddVar(paper, s2);
+  EXPECT_EQ(query.ToString(), "//paper/title");
+}
+
+TEST(TwigTest, QueryToStringWithBranchAndPredicates) {
+  TwigQuery query;
+  TwigStep s1;
+  s1.axis = TwigStep::Axis::kDescendant;
+  s1.label = "paper";
+  QueryVarId paper = query.AddVar(0, s1);
+  query.AddPredicate(paper, ValuePredicate::Range(2000, 2005));
+  TwigStep spine;
+  spine.label = "title";
+  QueryVarId title = query.AddVar(paper, spine);
+  query.AddPredicate(title, ValuePredicate::Contains("Tree"));
+  TwigStep branch;
+  branch.label = "abstract";
+  query.AddVar(paper, branch);
+  EXPECT_EQ(query.ToString(),
+            "//paper[range(2000,2005)][/title[contains(Tree)]]/abstract");
+}
+
+TEST(TwigTest, PredicateCount) {
+  TwigQuery query;
+  TwigStep step;
+  step.label = "a";
+  QueryVarId a = query.AddVar(0, step);
+  query.AddPredicate(a, ValuePredicate::Range(1, 2));
+  query.AddPredicate(a, ValuePredicate::Contains("x"));
+  EXPECT_EQ(query.PredicateCount(), 2u);
+}
+
+TEST(TwigTest, ResolveTermsPopulatesIds) {
+  TermDictionary dict;
+  TermId xml = dict.Intern("xml");
+  TermId synopsis = dict.Intern("synopsis");
+  TwigQuery query;
+  TwigStep step;
+  step.label = "abstract";
+  QueryVarId abs = query.AddVar(0, step);
+  query.AddPredicate(abs, ValuePredicate::FtContains({"synopsis", "xml"}));
+  query.ResolveTerms(dict);
+  EXPECT_FALSE(query.has_unknown_terms());
+  const TermSet& ids = query.var(abs).predicates[0].term_ids;
+  ASSERT_EQ(ids.size(), 2u);
+  // Resolved ids are sorted (xml was interned first, so has the lower id).
+  EXPECT_EQ(ids[0], xml);
+  EXPECT_EQ(ids[1], synopsis);
+}
+
+TEST(TwigTest, ResolveTermsFlagsUnknown) {
+  TermDictionary dict;
+  dict.Intern("xml");
+  TwigQuery query;
+  TwigStep step;
+  step.label = "t";
+  QueryVarId t = query.AddVar(0, step);
+  query.AddPredicate(t, ValuePredicate::FtContains({"xml", "unseen"}));
+  query.ResolveTerms(dict);
+  EXPECT_TRUE(query.has_unknown_terms());
+  EXPECT_EQ(query.var(t).predicates[0].term_ids.size(), 1u);
+}
+
+TEST(TwigTest, ResolveTermsIdempotent) {
+  TermDictionary dict;
+  dict.Intern("a");
+  TwigQuery query;
+  TwigStep step;
+  step.label = "t";
+  QueryVarId t = query.AddVar(0, step);
+  query.AddPredicate(t, ValuePredicate::FtContains({"a"}));
+  query.ResolveTerms(dict);
+  query.ResolveTerms(dict);
+  EXPECT_EQ(query.var(t).predicates[0].term_ids.size(), 1u);
+}
+
+}  // namespace
+}  // namespace xcluster

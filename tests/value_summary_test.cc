@@ -1,0 +1,197 @@
+#include "summaries/value_summary.h"
+
+#include <gtest/gtest.h>
+
+namespace xcluster {
+namespace {
+
+ValueSummary NumericSummary() {
+  return ValueSummary::FromNumeric({1, 2, 2, 3, 10}, 16);
+}
+
+ValueSummary StringSummary() {
+  return ValueSummary::FromStrings({"tree", "trie", "twig"}, 4);
+}
+
+ValueSummary TextSummary() {
+  return ValueSummary::FromTexts({{1, 2}, {1}, {1, 3}});
+}
+
+TEST(ValueSummaryTest, EmptyByDefault) {
+  ValueSummary summary;
+  EXPECT_TRUE(summary.empty());
+  EXPECT_EQ(summary.SizeBytes(), 0u);
+  EXPECT_FALSE(summary.CanCompress());
+}
+
+TEST(ValueSummaryTest, NumericSelectivity) {
+  ValueSummary summary = NumericSummary();
+  EXPECT_EQ(summary.type(), ValueType::kNumeric);
+  EXPECT_NEAR(summary.Selectivity(ValuePredicate::Range(2, 3)), 0.6, 1e-9);
+}
+
+TEST(ValueSummaryTest, StringSelectivity) {
+  ValueSummary summary = StringSummary();
+  EXPECT_EQ(summary.type(), ValueType::kString);
+  EXPECT_NEAR(summary.Selectivity(ValuePredicate::Contains("tr")), 2.0 / 3.0,
+              1e-9);
+}
+
+TEST(ValueSummaryTest, TextSelectivity) {
+  ValueSummary summary = TextSummary();
+  ValuePredicate pred = ValuePredicate::FtContains({"ignored"});
+  pred.term_ids = {1};
+  EXPECT_NEAR(summary.Selectivity(pred), 1.0, 1e-9);
+  pred.term_ids = {2};
+  EXPECT_NEAR(summary.Selectivity(pred), 1.0 / 3.0, 1e-9);
+}
+
+TEST(ValueSummaryTest, MismatchedPredicateKindIsZero) {
+  ValueSummary summary = NumericSummary();
+  EXPECT_EQ(summary.Selectivity(ValuePredicate::Contains("x")), 0.0);
+  ValueSummary text = TextSummary();
+  EXPECT_EQ(text.Selectivity(ValuePredicate::Range(0, 10)), 0.0);
+}
+
+TEST(ValueSummaryTest, MergeRequiresMatchingOrEmpty) {
+  ValueSummary a = NumericSummary();
+  ValueSummary merged = ValueSummary::Merge(a, 5.0, ValueSummary(), 3.0);
+  EXPECT_EQ(merged.type(), ValueType::kNumeric);
+  EXPECT_NEAR(merged.histogram().total(), 5.0, 1e-9);
+}
+
+TEST(ValueSummaryTest, MergeNumericSumsHistograms) {
+  ValueSummary a = ValueSummary::FromNumeric({1, 2}, 8);
+  ValueSummary b = ValueSummary::FromNumeric({2, 3}, 8);
+  ValueSummary merged = ValueSummary::Merge(a, 2.0, b, 2.0);
+  EXPECT_NEAR(merged.histogram().total(), 4.0, 1e-9);
+  EXPECT_NEAR(merged.histogram().EstimateRange(2, 2), 2.0, 1e-9);
+}
+
+TEST(ValueSummaryTest, MergeTextUsesWeights) {
+  ValueSummary a = ValueSummary::FromTexts({{1}});
+  ValueSummary b = ValueSummary::FromTexts({{2}, {2}, {2}});
+  ValueSummary merged = ValueSummary::Merge(a, 1.0, b, 3.0);
+  EXPECT_NEAR(merged.terms().Frequency(2), 0.75, 1e-9);
+}
+
+TEST(ValueSummaryTest, AtomicPredicatesForNumeric) {
+  ValueSummary summary = NumericSummary();
+  std::vector<AtomicPredicate> preds = summary.AtomicPredicates(16);
+  ASSERT_FALSE(preds.empty());
+  for (const AtomicPredicate& p : preds) {
+    EXPECT_EQ(p.type, ValueType::kNumeric);
+    double sel = summary.AtomicSelectivity(p);
+    EXPECT_GE(sel, 0.0);
+    EXPECT_LE(sel, 1.0 + 1e-12);
+  }
+  // Last boundary is the domain max: prefix selectivity 1.
+  EXPECT_NEAR(summary.AtomicSelectivity(preds.back()), 1.0, 1e-9);
+}
+
+TEST(ValueSummaryTest, AtomicPredicatesCapRespected) {
+  std::vector<int64_t> values;
+  for (int64_t v = 0; v < 60; ++v) values.push_back(v);
+  ValueSummary summary = ValueSummary::FromNumeric(std::move(values), 64);
+  EXPECT_LE(summary.AtomicPredicates(8).size(), 8u);
+}
+
+TEST(ValueSummaryTest, AtomicPredicatesForString) {
+  ValueSummary summary = StringSummary();
+  std::vector<AtomicPredicate> preds = summary.AtomicPredicates(16);
+  ASSERT_FALSE(preds.empty());
+  for (const AtomicPredicate& p : preds) {
+    EXPECT_EQ(p.type, ValueType::kString);
+    EXPECT_GT(summary.AtomicSelectivity(p), 0.0);
+  }
+}
+
+TEST(ValueSummaryTest, AtomicPredicatesForText) {
+  ValueSummary summary = TextSummary();
+  std::vector<AtomicPredicate> preds = summary.AtomicPredicates(16);
+  ASSERT_EQ(preds.size(), 3u);
+  for (const AtomicPredicate& p : preds) {
+    EXPECT_EQ(p.type, ValueType::kText);
+  }
+}
+
+TEST(ValueSummaryTest, TrivialAtomicPredicateIsOne) {
+  AtomicPredicate trivial;  // type kNone
+  EXPECT_EQ(NumericSummary().AtomicSelectivity(trivial), 1.0);
+  EXPECT_EQ(ValueSummary().AtomicSelectivity(trivial), 1.0);
+}
+
+TEST(ValueSummaryTest, CompressDispatchesByType) {
+  ValueSummary numeric = NumericSummary();
+  size_t saved = numeric.Compress(1);
+  EXPECT_GT(saved, 0u);
+
+  ValueSummary text = TextSummary();
+  size_t before = text.SizeBytes();
+  text.Compress(1);
+  EXPECT_LE(text.SizeBytes(), before);
+
+  ValueSummary str = StringSummary();
+  size_t nodes_before = str.pst().node_count();
+  str.Compress(2);
+  EXPECT_LT(str.pst().node_count(), nodes_before);
+}
+
+TEST(ValueSummaryTest, CompressedCopyIndependent) {
+  ValueSummary summary = NumericSummary();
+  ValueSummary compressed = summary.Compressed(2);
+  EXPECT_GT(summary.histogram().bucket_count(),
+            compressed.histogram().bucket_count());
+}
+
+TEST(ValueSummaryTest, SizeBytesMatchesUnderlying) {
+  EXPECT_EQ(NumericSummary().SizeBytes(),
+            NumericSummary().histogram().SizeBytes());
+  EXPECT_EQ(StringSummary().SizeBytes(), StringSummary().pst().SizeBytes());
+  EXPECT_EQ(TextSummary().SizeBytes(), TextSummary().terms().SizeBytes());
+}
+
+TEST(ValueSummaryTest, WaveletNumericKind) {
+  ValueSummary summary = ValueSummary::FromNumeric(
+      {1, 2, 2, 3, 10}, 16, NumericSummaryKind::kWavelet);
+  EXPECT_EQ(summary.numeric_kind(), NumericSummaryKind::kWavelet);
+  EXPECT_NEAR(summary.Selectivity(ValuePredicate::Range(2, 3)), 0.6, 0.05);
+  EXPECT_GT(summary.SizeBytes(), 0u);
+  // Compression and atomic predicates work through the facade.
+  EXPECT_TRUE(summary.CanCompress());
+  std::vector<AtomicPredicate> preds = summary.AtomicPredicates(8);
+  EXPECT_FALSE(preds.empty());
+  for (const AtomicPredicate& p : preds) {
+    double sel = summary.AtomicSelectivity(p);
+    EXPECT_GE(sel, 0.0);
+    EXPECT_LE(sel, 1.0 + 1e-9);
+  }
+}
+
+TEST(ValueSummaryTest, SampleNumericKind) {
+  ValueSummary summary = ValueSummary::FromNumeric(
+      {1, 2, 2, 3, 10}, 16, NumericSummaryKind::kSample);
+  EXPECT_EQ(summary.numeric_kind(), NumericSummaryKind::kSample);
+  EXPECT_NEAR(summary.Selectivity(ValuePredicate::Range(2, 3)), 0.6, 1e-9);
+  EXPECT_NEAR(summary.NumericTotal(), 5.0, 1e-9);
+}
+
+TEST(ValueSummaryTest, MergePreservesNumericKind) {
+  ValueSummary a = ValueSummary::FromNumeric({1, 2}, 8,
+                                             NumericSummaryKind::kWavelet);
+  ValueSummary b = ValueSummary::FromNumeric({3, 4}, 8,
+                                             NumericSummaryKind::kWavelet);
+  ValueSummary merged = ValueSummary::Merge(a, 2.0, b, 2.0);
+  EXPECT_EQ(merged.numeric_kind(), NumericSummaryKind::kWavelet);
+  EXPECT_NEAR(merged.NumericTotal(), 4.0, 1e-6);
+}
+
+TEST(ValueSummaryTest, PredicateToString) {
+  EXPECT_EQ(ValuePredicate::Range(1, 9).ToString(), "range(1,9)");
+  EXPECT_EQ(ValuePredicate::Contains("ACM").ToString(), "contains(ACM)");
+  EXPECT_EQ(ValuePredicate::FtContains({"xml", "synopsis"}).ToString(),
+            "ftcontains(xml,synopsis)");
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,146 @@
+#include "summaries/wavelet.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace xcluster {
+namespace {
+
+TEST(WaveletTest, EmptyInput) {
+  WaveletSummary summary = WaveletSummary::Build({}, 16);
+  EXPECT_EQ(summary.total(), 0.0);
+  EXPECT_EQ(summary.SizeBytes(), 0u);
+  EXPECT_EQ(summary.EstimateRange(0, 10), 0.0);
+}
+
+TEST(WaveletTest, LosslessWhenAllCoefficientsKept) {
+  std::vector<int64_t> values = {0, 0, 1, 2, 2, 2, 3, 7};
+  WaveletSummary summary = WaveletSummary::Build(values, 0);  // keep all
+  EXPECT_DOUBLE_EQ(summary.total(), 8.0);
+  EXPECT_NEAR(summary.EstimateRange(0, 0), 2.0, 1e-9);
+  EXPECT_NEAR(summary.EstimateRange(2, 2), 3.0, 1e-9);
+  EXPECT_NEAR(summary.EstimateRange(7, 7), 1.0, 1e-9);
+  EXPECT_NEAR(summary.EstimateRange(4, 6), 0.0, 1e-9);
+}
+
+TEST(WaveletTest, FullDomainEstimateIsTotal) {
+  std::vector<int64_t> values;
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(static_cast<int64_t>(rng.Uniform(1000)));
+  }
+  WaveletSummary summary = WaveletSummary::Build(values, 32);
+  EXPECT_NEAR(summary.EstimateRange(summary.domain_lo(), summary.domain_hi()),
+              500.0, 500.0 * 0.02);
+}
+
+TEST(WaveletTest, SelectivityNormalized) {
+  std::vector<int64_t> values = {1, 1, 2, 3};
+  WaveletSummary summary = WaveletSummary::Build(values, 0);
+  EXPECT_NEAR(summary.Selectivity(1, 1), 0.5, 1e-9);
+}
+
+TEST(WaveletTest, ThresholdingKeepsLargestEffects) {
+  // A distribution with one dominant spike: few coefficients should
+  // suffice to place most mass correctly.
+  std::vector<int64_t> values;
+  for (int i = 0; i < 90; ++i) values.push_back(10);
+  for (int i = 0; i < 10; ++i) values.push_back(200 + i * 3);
+  WaveletSummary coarse = WaveletSummary::Build(values, 8);
+  EXPECT_NEAR(coarse.EstimateRange(0, 50), 90.0, 25.0);
+}
+
+TEST(WaveletTest, CompressDropsCoefficients) {
+  std::vector<int64_t> values;
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(static_cast<int64_t>(rng.Uniform(64)));
+  }
+  WaveletSummary summary = WaveletSummary::Build(values, 32);
+  size_t before = summary.coefficient_count();
+  size_t bytes_before = summary.SizeBytes();
+  summary.Compress(8);
+  EXPECT_EQ(summary.coefficient_count(), before - 8);
+  EXPECT_LT(summary.SizeBytes(), bytes_before);
+  // The overall average survives, so the full-domain estimate is stable.
+  EXPECT_NEAR(summary.EstimateRange(summary.domain_lo(), summary.domain_hi()),
+              200.0, 200.0 * 0.05);
+}
+
+TEST(WaveletTest, CompressKeepsAtLeastAverage) {
+  WaveletSummary summary = WaveletSummary::Build({1, 2, 3, 4}, 0);
+  summary.Compress(100);
+  EXPECT_EQ(summary.coefficient_count(), 1u);
+  EXPECT_FALSE(summary.CanCompress());
+}
+
+TEST(WaveletTest, MergePreservesTotal) {
+  WaveletSummary a = WaveletSummary::Build({1, 2, 3}, 8);
+  WaveletSummary b = WaveletSummary::Build({100, 101}, 8);
+  WaveletSummary merged = WaveletSummary::Merge(a, b);
+  EXPECT_NEAR(merged.total(), 5.0, 1e-6);
+  EXPECT_NEAR(merged.EstimateRange(merged.domain_lo(), merged.domain_hi()),
+              5.0, 0.1);
+  // Mass sits in the right halves of the merged domain.
+  EXPECT_NEAR(merged.EstimateRange(0, 50), 3.0, 0.5);
+  EXPECT_NEAR(merged.EstimateRange(90, 110), 2.0, 0.5);
+}
+
+TEST(WaveletTest, MergeWithEmptyIsIdentity) {
+  WaveletSummary a = WaveletSummary::Build({5, 6}, 8);
+  WaveletSummary merged = WaveletSummary::Merge(a, WaveletSummary());
+  EXPECT_DOUBLE_EQ(merged.total(), 2.0);
+}
+
+TEST(WaveletTest, SingleValueDomain) {
+  WaveletSummary summary = WaveletSummary::Build({42, 42, 42}, 4);
+  EXPECT_NEAR(summary.EstimateRange(42, 42), 3.0, 1e-9);
+  EXPECT_EQ(summary.EstimateRange(43, 100), 0.0);
+}
+
+TEST(WaveletTest, NegativeDomain) {
+  WaveletSummary summary = WaveletSummary::Build({-10, -5, 0}, 0);
+  EXPECT_NEAR(summary.EstimateRange(-10, -5), 2.0, 1e-9);
+}
+
+TEST(WaveletTest, FromCoefficientsRoundTrip) {
+  WaveletSummary summary = WaveletSummary::Build({1, 2, 2, 9, 9, 9}, 16);
+  WaveletSummary rebuilt = WaveletSummary::FromCoefficients(
+      std::vector<WaveletSummary::Coefficient>(summary.coefficients().begin(),
+                                               summary.coefficients().end()),
+      summary.domain_lo(), summary.cell_width(), summary.grid(),
+      summary.total());
+  EXPECT_NEAR(rebuilt.EstimateRange(2, 2), summary.EstimateRange(2, 2),
+              1e-9);
+  EXPECT_NEAR(rebuilt.EstimateRange(9, 9), summary.EstimateRange(9, 9),
+              1e-9);
+}
+
+/// Property: for random data, a generously-budgeted wavelet estimates
+/// prefix ranges within a modest relative error of the truth.
+class WaveletPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WaveletPropertyTest, PrefixRangeAccuracy) {
+  Rng rng(GetParam());
+  std::vector<int64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(static_cast<int64_t>(rng.Uniform(300)));
+  }
+  WaveletSummary summary = WaveletSummary::Build(values, 64);
+  for (int64_t h = 20; h < 300; h += 40) {
+    double truth = 0.0;
+    for (int64_t v : values) {
+      if (v <= h) truth += 1.0;
+    }
+    EXPECT_NEAR(summary.EstimateRange(summary.domain_lo(), h), truth,
+                std::max(20.0, truth * 0.15))
+        << "prefix " << h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaveletPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,163 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/imdb.h"
+#include "eval/evaluator.h"
+#include "query/parser.h"
+#include "synopsis/reference.h"
+
+namespace xcluster {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ImdbOptions options;
+    options.scale = 0.05;
+    dataset_ = GenerateImdb(options);
+    ReferenceOptions ref_options;
+    ref_options.value_paths = dataset_.value_paths;
+    reference_ = BuildReferenceSynopsis(dataset_.doc, ref_options);
+  }
+
+  Workload Generate(size_t n, bool positive = true) {
+    WorkloadOptions options;
+    options.num_queries = n;
+    options.positive = positive;
+    return GenerateWorkload(dataset_.doc, reference_, options);
+  }
+
+  GeneratedDataset dataset_;
+  GraphSynopsis reference_;
+};
+
+TEST_F(WorkloadTest, GeneratesRequestedCount) {
+  Workload workload = Generate(100);
+  EXPECT_EQ(workload.queries.size(), 100u);
+}
+
+TEST_F(WorkloadTest, PositiveQueriesHaveNonZeroSelectivity) {
+  Workload workload = Generate(150);
+  for (const WorkloadQuery& q : workload.queries) {
+    EXPECT_GT(q.true_selectivity, 0.0) << q.query.ToString();
+  }
+}
+
+TEST_F(WorkloadTest, TrueSelectivitiesMatchEvaluator) {
+  Workload workload = Generate(50);
+  ExactEvaluator evaluator(dataset_.doc, reference_.term_dictionary().get());
+  for (const WorkloadQuery& q : workload.queries) {
+    TwigQuery query = q.query;
+    query.ResolveTerms(*reference_.term_dictionary());
+    EXPECT_DOUBLE_EQ(evaluator.Selectivity(query), q.true_selectivity);
+  }
+}
+
+TEST_F(WorkloadTest, CoversAllQueryClasses) {
+  Workload workload = Generate(300);
+  std::map<ValueType, size_t> by_class;
+  for (const WorkloadQuery& q : workload.queries) {
+    ++by_class[q.pred_class];
+  }
+  EXPECT_GT(by_class[ValueType::kNone], 30u);
+  EXPECT_GT(by_class[ValueType::kNumeric], 20u);
+  EXPECT_GT(by_class[ValueType::kString], 20u);
+  EXPECT_GT(by_class[ValueType::kText], 20u);
+}
+
+TEST_F(WorkloadTest, PredClassMatchesPredicates) {
+  Workload workload = Generate(120);
+  for (const WorkloadQuery& q : workload.queries) {
+    size_t preds = q.query.PredicateCount();
+    if (q.pred_class == ValueType::kNone) {
+      EXPECT_EQ(preds, 0u);
+    } else {
+      EXPECT_GE(preds, 1u);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicForSeed) {
+  Workload a = Generate(40);
+  Workload b = Generate(40);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].query.ToString(), b.queries[i].query.ToString());
+    EXPECT_EQ(a.queries[i].true_selectivity, b.queries[i].true_selectivity);
+  }
+}
+
+TEST_F(WorkloadTest, SeedChangesWorkload) {
+  WorkloadOptions options;
+  options.num_queries = 40;
+  options.seed = 12345;
+  Workload a = GenerateWorkload(dataset_.doc, reference_, options);
+  Workload b = Generate(40);
+  bool differs = false;
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    if (a.queries[i].query.ToString() != b.queries[i].query.ToString()) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(WorkloadTest, NegativeWorkloadHasZeroSelectivity) {
+  Workload workload = Generate(60, /*positive=*/false);
+  EXPECT_GT(workload.queries.size(), 20u);  // best effort generation
+  for (const WorkloadQuery& q : workload.queries) {
+    EXPECT_EQ(q.true_selectivity, 0.0) << q.query.ToString();
+  }
+}
+
+TEST_F(WorkloadTest, StructFractionRespected) {
+  WorkloadOptions options;
+  options.num_queries = 300;
+  options.struct_fraction = 1.0;
+  Workload workload = GenerateWorkload(dataset_.doc, reference_, options);
+  for (const WorkloadQuery& q : workload.queries) {
+    EXPECT_EQ(q.pred_class, ValueType::kNone);
+  }
+}
+
+TEST_F(WorkloadTest, DescendantStepsAppear) {
+  WorkloadOptions options;
+  options.num_queries = 100;
+  options.descendant_prob = 0.9;
+  Workload workload = GenerateWorkload(dataset_.doc, reference_, options);
+  size_t with_descendant = 0;
+  for (const WorkloadQuery& q : workload.queries) {
+    if (q.query.ToString().find("//") != std::string::npos) ++with_descendant;
+  }
+  EXPECT_GT(with_descendant, 30u);
+}
+
+TEST_F(WorkloadTest, BranchesAppear) {
+  WorkloadOptions options;
+  options.num_queries = 100;
+  options.branch_prob = 1.0;
+  Workload workload = GenerateWorkload(dataset_.doc, reference_, options);
+  size_t with_branch = 0;
+  for (const WorkloadQuery& q : workload.queries) {
+    if (q.query.ToString().find('[') != std::string::npos) ++with_branch;
+  }
+  EXPECT_GT(with_branch, 50u);
+}
+
+TEST_F(WorkloadTest, StructuralQueriesParseBackFromToString) {
+  WorkloadOptions options;
+  options.num_queries = 60;
+  options.struct_fraction = 1.0;  // predicates may contain arbitrary bytes
+  Workload workload = GenerateWorkload(dataset_.doc, reference_, options);
+  for (const WorkloadQuery& q : workload.queries) {
+    std::string text = q.query.ToString();
+    EXPECT_TRUE(ParseTwig(text).ok()) << text;
+  }
+}
+
+}  // namespace
+}  // namespace xcluster

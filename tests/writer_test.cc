@@ -1,0 +1,108 @@
+#include "xml/writer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/imdb.h"
+#include "xml/parser.h"
+
+namespace xcluster {
+namespace {
+
+TEST(WriterTest, EmptyDocument) {
+  XmlDocument doc;
+  XmlWriter writer;
+  EXPECT_EQ(writer.ToString(doc), "");
+}
+
+TEST(WriterTest, SelfClosingElement) {
+  XmlDocument doc;
+  doc.CreateRoot("root");
+  XmlWriter writer;
+  EXPECT_EQ(writer.ToString(doc), "<root/>");
+}
+
+TEST(WriterTest, ValuesRendered) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  doc.SetNumeric(doc.AddChild(root, "year"), 2000);
+  doc.SetString(doc.AddChild(root, "title"), "Tree Counting");
+  XmlWriter writer;
+  EXPECT_EQ(writer.ToString(doc),
+            "<r><year>2000</year><title>Tree Counting</title></r>");
+}
+
+TEST(WriterTest, AttributeChildrenRenderAsAttributes) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("item");
+  doc.SetString(doc.AddChild(root, "@id"), "i3");
+  doc.SetString(doc.AddChild(root, "name"), "ring");
+  XmlWriter writer;
+  EXPECT_EQ(writer.ToString(doc),
+            "<item id=\"i3\"><name>ring</name></item>");
+}
+
+TEST(WriterTest, EscapesSpecialCharacters) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  doc.SetString(doc.AddChild(root, "t"), "a<b & \"c\">d");
+  XmlWriter writer;
+  EXPECT_EQ(writer.ToString(doc),
+            "<r><t>a&lt;b &amp; &quot;c&quot;&gt;d</t></r>");
+}
+
+TEST(WriterTest, XmlEscapeFunction) {
+  EXPECT_EQ(XmlEscape("plain"), "plain");
+  EXPECT_EQ(XmlEscape("<&>\""), "&lt;&amp;&gt;&quot;");
+}
+
+TEST(WriterTest, SerializedSizeMatchesToString) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  doc.SetString(doc.AddChild(root, "a"), "xyz");
+  XmlWriter writer;
+  EXPECT_EQ(writer.SerializedSize(doc), writer.ToString(doc).size());
+}
+
+TEST(WriterTest, IndentedOutputHasNewlines) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  doc.AddChild(root, "a");
+  XmlWriter::Options options;
+  options.indent = true;
+  XmlWriter writer(options);
+  std::string out = writer.ToString(doc);
+  EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+TEST(WriterTest, WriteFileRoundTrip) {
+  XmlDocument doc;
+  NodeId root = doc.CreateRoot("r");
+  doc.SetNumeric(doc.AddChild(root, "n"), 5);
+  XmlWriter writer;
+  std::string path = testing::TempDir() + "/writer_test.xml";
+  ASSERT_TRUE(writer.WriteFile(doc, path).ok());
+  XmlParser parser;
+  XmlDocument parsed;
+  ASSERT_TRUE(parser.ParseFile(path, &parsed).ok());
+  EXPECT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.node(parsed.children(parsed.root())[0]).numeric, 5);
+}
+
+/// Property: write(parse(write(doc))) is stable for generated data.
+TEST(WriterTest, GeneratedDatasetRoundTripPreservesShape) {
+  ImdbOptions options;
+  options.scale = 0.02;
+  GeneratedDataset dataset = GenerateImdb(options);
+  XmlWriter writer;
+  std::string once = writer.ToString(dataset.doc);
+
+  XmlParser parser;
+  XmlDocument reparsed;
+  ASSERT_TRUE(parser.Parse(once, &reparsed).ok());
+  EXPECT_EQ(reparsed.size(), dataset.doc.size());
+  EXPECT_EQ(reparsed.CountValued(), dataset.doc.CountValued());
+  EXPECT_EQ(writer.ToString(reparsed), once);
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,175 @@
+#include "data/xmark.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "synopsis/reference.h"
+
+namespace xcluster {
+namespace {
+
+XMarkOptions SmallOptions() {
+  XMarkOptions options;
+  options.scale = 0.05;
+  return options;
+}
+
+TEST(XMarkTest, GeneratesNonEmptyDocument) {
+  GeneratedDataset dataset = GenerateXMark(SmallOptions());
+  EXPECT_EQ(dataset.name, "XMark");
+  EXPECT_GT(dataset.doc.size(), 500u);
+  EXPECT_GT(dataset.doc.CountValued(), 100u);
+}
+
+TEST(XMarkTest, DeterministicForSeed) {
+  GeneratedDataset a = GenerateXMark(SmallOptions());
+  GeneratedDataset b = GenerateXMark(SmallOptions());
+  EXPECT_EQ(a.doc.size(), b.doc.size());
+  EXPECT_EQ(a.doc.CountValued(), b.doc.CountValued());
+}
+
+TEST(XMarkTest, DifferentSeedsDiffer) {
+  XMarkOptions other = SmallOptions();
+  other.seed = 999;
+  GeneratedDataset a = GenerateXMark(SmallOptions());
+  GeneratedDataset b = GenerateXMark(other);
+  // Same structure counts are possible but full value equality is not.
+  bool differs = a.doc.size() != b.doc.size();
+  if (!differs) {
+    for (NodeId id = 0; id < a.doc.size(); ++id) {
+      if (a.doc.node(id).text != b.doc.node(id).text ||
+          a.doc.node(id).numeric != b.doc.node(id).numeric) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(XMarkTest, ScaleGrowsDocument) {
+  XMarkOptions big = SmallOptions();
+  big.scale = 0.15;
+  EXPECT_GT(GenerateXMark(big).doc.size(),
+            GenerateXMark(SmallOptions()).doc.size() * 2);
+}
+
+TEST(XMarkTest, SchemaRootAndSections) {
+  GeneratedDataset dataset = GenerateXMark(SmallOptions());
+  const XmlDocument& doc = dataset.doc;
+  EXPECT_EQ(doc.label_name(doc.root()), "site");
+  std::set<std::string> sections;
+  for (NodeId child : doc.children(doc.root())) {
+    sections.insert(doc.label_name(child));
+  }
+  EXPECT_TRUE(sections.count("regions"));
+  EXPECT_TRUE(sections.count("categories"));
+  EXPECT_TRUE(sections.count("catgraph"));
+  EXPECT_TRUE(sections.count("people"));
+  EXPECT_TRUE(sections.count("open_auctions"));
+  EXPECT_TRUE(sections.count("closed_auctions"));
+}
+
+TEST(XMarkTest, AllSixRegionsPresent) {
+  GeneratedDataset dataset = GenerateXMark(SmallOptions());
+  const XmlDocument& doc = dataset.doc;
+  std::set<std::string> regions;
+  for (NodeId child : doc.children(doc.root())) {
+    if (doc.label_name(child) != "regions") continue;
+    for (NodeId region : doc.children(child)) {
+      regions.insert(doc.label_name(region));
+    }
+  }
+  EXPECT_EQ(regions.size(), 6u);
+  EXPECT_TRUE(regions.count("europe"));
+}
+
+TEST(XMarkTest, ValuePathsExistInDocument) {
+  GeneratedDataset dataset = GenerateXMark(SmallOptions());
+  EXPECT_EQ(dataset.value_paths.size(), 9u);
+  std::set<std::string> doc_paths;
+  for (NodeId id = 0; id < dataset.doc.size(); ++id) {
+    if (dataset.doc.type(id) != ValueType::kNone) {
+      doc_paths.insert(dataset.doc.PathOf(id));
+    }
+  }
+  for (const std::string& path : dataset.value_paths) {
+    EXPECT_TRUE(doc_paths.count(path)) << path;
+  }
+}
+
+TEST(XMarkTest, AllThreeValueTypesPresent) {
+  GeneratedDataset dataset = GenerateXMark(SmallOptions());
+  std::map<ValueType, size_t> counts;
+  for (NodeId id = 0; id < dataset.doc.size(); ++id) {
+    ++counts[dataset.doc.type(id)];
+  }
+  EXPECT_GT(counts[ValueType::kNumeric], 50u);
+  EXPECT_GT(counts[ValueType::kString], 50u);
+  EXPECT_GT(counts[ValueType::kText], 50u);
+}
+
+TEST(XMarkTest, RecursiveParlistsOccur) {
+  XMarkOptions options;
+  options.scale = 0.3;
+  GeneratedDataset dataset = GenerateXMark(options);
+  const XmlDocument& doc = dataset.doc;
+  bool nested = false;
+  for (NodeId id = 0; id < doc.size() && !nested; ++id) {
+    if (doc.label_name(id) != "parlist") continue;
+    // parlist -> listitem -> parlist?
+    for (NodeId li : doc.children(id)) {
+      for (NodeId inner : doc.children(li)) {
+        if (doc.label_name(inner) == "parlist") nested = true;
+      }
+    }
+  }
+  EXPECT_TRUE(nested);
+}
+
+TEST(XMarkTest, PopularityCorrelation) {
+  // Auctions with many bidders must have systematically lower initial
+  // prices than auctions with none — the planted structure-value
+  // correlation.
+  XMarkOptions options;
+  options.scale = 0.3;
+  GeneratedDataset dataset = GenerateXMark(options);
+  const XmlDocument& doc = dataset.doc;
+  double sum_no_bidders = 0.0;
+  double n_no = 0.0;
+  double sum_many = 0.0;
+  double n_many = 0.0;
+  for (NodeId id = 0; id < doc.size(); ++id) {
+    if (doc.label_name(id) != "open_auction") continue;
+    int bidders = 0;
+    int64_t initial = -1;
+    for (NodeId child : doc.children(id)) {
+      if (doc.label_name(child) == "bidder") ++bidders;
+      if (doc.label_name(child) == "initial") initial = doc.node(child).numeric;
+    }
+    ASSERT_GE(initial, 0);
+    if (bidders == 0) {
+      sum_no_bidders += static_cast<double>(initial);
+      n_no += 1.0;
+    } else if (bidders >= 3) {
+      sum_many += static_cast<double>(initial);
+      n_many += 1.0;
+    }
+  }
+  ASSERT_GT(n_no, 0.0);
+  ASSERT_GT(n_many, 0.0);
+  EXPECT_GT(sum_no_bidders / n_no, 2.0 * (sum_many / n_many));
+}
+
+TEST(XMarkTest, ReferenceSynopsisHasNineValueClusters) {
+  GeneratedDataset dataset = GenerateXMark(SmallOptions());
+  ReferenceOptions options;
+  options.value_paths = dataset.value_paths;
+  GraphSynopsis synopsis = BuildReferenceSynopsis(dataset.doc, options);
+  EXPECT_EQ(synopsis.ValueNodeCount(), 9u);
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,162 @@
+#include "xml/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace xcluster {
+namespace {
+
+XmlDocument MustParse(std::string_view input, ParseOptions options = {}) {
+  XmlParser parser(std::move(options));
+  XmlDocument doc;
+  Status status = parser.Parse(input, &doc);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return doc;
+}
+
+TEST(XmlParserTest, MinimalDocument) {
+  XmlDocument doc = MustParse("<root/>");
+  ASSERT_EQ(doc.size(), 1u);
+  EXPECT_EQ(doc.label_name(doc.root()), "root");
+}
+
+TEST(XmlParserTest, NestedElements) {
+  XmlDocument doc = MustParse("<a><b><c/></b><b/></a>");
+  ASSERT_EQ(doc.size(), 4u);
+  EXPECT_EQ(doc.children(doc.root()).size(), 2u);
+  NodeId b0 = doc.children(doc.root())[0];
+  EXPECT_EQ(doc.label_name(b0), "b");
+  EXPECT_EQ(doc.children(b0).size(), 1u);
+}
+
+TEST(XmlParserTest, NumericInference) {
+  XmlDocument doc = MustParse("<r><year>2005</year></r>");
+  NodeId year = doc.children(doc.root())[0];
+  EXPECT_EQ(doc.type(year), ValueType::kNumeric);
+  EXPECT_EQ(doc.node(year).numeric, 2005);
+}
+
+TEST(XmlParserTest, NegativeNumeric) {
+  XmlDocument doc = MustParse("<r><t>-17</t></r>");
+  NodeId t = doc.children(doc.root())[0];
+  EXPECT_EQ(doc.type(t), ValueType::kNumeric);
+  EXPECT_EQ(doc.node(t).numeric, -17);
+}
+
+TEST(XmlParserTest, StringInference) {
+  XmlDocument doc = MustParse("<r><title>Holistic Twig Joins</title></r>");
+  NodeId title = doc.children(doc.root())[0];
+  EXPECT_EQ(doc.type(title), ValueType::kString);
+  EXPECT_EQ(doc.node(title).text, "Holistic Twig Joins");
+}
+
+TEST(XmlParserTest, TextInferenceForLongContent) {
+  std::string body(200, 'x');
+  XmlDocument doc = MustParse("<r><abstract>" + body + "</abstract></r>");
+  NodeId abs = doc.children(doc.root())[0];
+  EXPECT_EQ(doc.type(abs), ValueType::kText);
+}
+
+TEST(XmlParserTest, TypeHintsOverrideInference) {
+  ParseOptions options;
+  options.type_hints["zipcode"] = ValueType::kString;
+  options.type_hints["abstract"] = ValueType::kText;
+  XmlDocument doc = MustParse(
+      "<r><zipcode>90210</zipcode><abstract>short</abstract></r>", options);
+  EXPECT_EQ(doc.type(doc.children(doc.root())[0]), ValueType::kString);
+  EXPECT_EQ(doc.type(doc.children(doc.root())[1]), ValueType::kText);
+}
+
+TEST(XmlParserTest, AttributesBecomeChildren) {
+  XmlDocument doc = MustParse("<item id=\"i7\" price=\"30\"/>");
+  ASSERT_EQ(doc.children(doc.root()).size(), 2u);
+  NodeId id = doc.children(doc.root())[0];
+  EXPECT_EQ(doc.label_name(id), "@id");
+  EXPECT_EQ(doc.node(id).text, "i7");
+  NodeId price = doc.children(doc.root())[1];
+  EXPECT_EQ(doc.type(price), ValueType::kNumeric);
+  EXPECT_EQ(doc.node(price).numeric, 30);
+}
+
+TEST(XmlParserTest, AttributesDisabled) {
+  ParseOptions options;
+  options.attributes_as_children = false;
+  XmlDocument doc = MustParse("<item id=\"i7\"/>", options);
+  EXPECT_EQ(doc.size(), 1u);
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  XmlDocument doc = MustParse("<r><t>a &lt;b&gt; &amp; &quot;c&quot; &#65;</t></r>");
+  EXPECT_EQ(doc.node(doc.children(doc.root())[0]).text, "a <b> & \"c\" A");
+}
+
+TEST(XmlParserTest, CdataSection) {
+  XmlDocument doc = MustParse("<r><t><![CDATA[5 < 6 & 7 > 2]]></t></r>");
+  EXPECT_EQ(doc.node(doc.children(doc.root())[0]).text, "5 < 6 & 7 > 2");
+}
+
+TEST(XmlParserTest, CommentsAndPisSkipped) {
+  XmlDocument doc = MustParse(
+      "<?xml version=\"1.0\"?><!-- hi --><r><!-- in --><a/><?pi data?></r>");
+  EXPECT_EQ(doc.size(), 2u);
+}
+
+TEST(XmlParserTest, DoctypeSkipped) {
+  XmlDocument doc = MustParse("<!DOCTYPE site SYSTEM \"x.dtd\"><r/>");
+  EXPECT_EQ(doc.size(), 1u);
+}
+
+TEST(XmlParserTest, DoctypeWithInternalSubsetSkipped) {
+  XmlDocument doc = MustParse("<!DOCTYPE r [ <!ELEMENT r EMPTY> ]><r/>");
+  EXPECT_EQ(doc.size(), 1u);
+}
+
+TEST(XmlParserTest, WhitespaceOnlyContentIgnored) {
+  XmlDocument doc = MustParse("<r>\n  <a/>\n</r>");
+  EXPECT_EQ(doc.type(doc.root()), ValueType::kNone);
+}
+
+TEST(XmlParserTest, MismatchedCloseTagFails) {
+  XmlParser parser;
+  XmlDocument doc;
+  Status status = parser.Parse("<a><b></a></b>", &doc);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kCorruption);
+}
+
+TEST(XmlParserTest, UnterminatedElementFails) {
+  XmlParser parser;
+  XmlDocument doc;
+  EXPECT_FALSE(parser.Parse("<a><b>", &doc).ok());
+}
+
+TEST(XmlParserTest, TrailingContentFails) {
+  XmlParser parser;
+  XmlDocument doc;
+  EXPECT_FALSE(parser.Parse("<a/><b/>", &doc).ok());
+}
+
+TEST(XmlParserTest, EmptyInputFails) {
+  XmlParser parser;
+  XmlDocument doc;
+  EXPECT_FALSE(parser.Parse("", &doc).ok());
+}
+
+TEST(XmlParserTest, MissingFileFails) {
+  XmlParser parser;
+  XmlDocument doc;
+  EXPECT_EQ(parser.ParseFile("/nonexistent/path.xml", &doc).code(),
+            Status::Code::kIOError);
+}
+
+TEST(XmlParserTest, SingleQuotedAttributes) {
+  XmlDocument doc = MustParse("<r a='x y'/>");
+  EXPECT_EQ(doc.node(doc.children(doc.root())[0]).text, "x y");
+}
+
+TEST(XmlParserTest, MixedContentConcatenated) {
+  XmlDocument doc = MustParse("<r>hello <b/> world</r>");
+  EXPECT_EQ(doc.node(doc.root()).text, "hello  world");
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,76 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace xcluster {
+namespace {
+
+TEST(ZipfTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double total = 0.0;
+  for (size_t i = 0; i < zipf.n(); ++i) total += zipf.Probability(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, ProbabilitiesDecreaseWithRank) {
+  ZipfSampler zipf(50, 0.9);
+  for (size_t i = 1; i < zipf.n(); ++i) {
+    EXPECT_LE(zipf.Probability(i), zipf.Probability(i - 1) + 1e-12);
+  }
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(zipf.Probability(i), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  ZipfSampler mild(100, 0.5);
+  ZipfSampler steep(100, 1.5);
+  EXPECT_GT(steep.Probability(0), mild.Probability(0));
+}
+
+TEST(ZipfTest, SampleMatchesDistribution) {
+  ZipfSampler zipf(5, 1.0);
+  Rng rng(99);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), zipf.Probability(i), 0.01)
+        << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, SampleAlwaysInRange) {
+  ZipfSampler zipf(7, 1.2);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 7u);
+  }
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(5);
+  EXPECT_EQ(zipf.Sample(&rng), 0u);
+  EXPECT_NEAR(zipf.Probability(0), 1.0, 1e-12);
+}
+
+TEST(ZipfTest, ZeroSizeClampedToOne) {
+  ZipfSampler zipf(0, 1.0);
+  EXPECT_EQ(zipf.n(), 1u);
+}
+
+TEST(ZipfTest, OutOfRangeProbabilityIsZero) {
+  ZipfSampler zipf(4, 1.0);
+  EXPECT_EQ(zipf.Probability(10), 0.0);
+}
+
+}  // namespace
+}  // namespace xcluster

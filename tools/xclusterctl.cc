@@ -1,0 +1,319 @@
+// xclusterctl — command-line front end for the XCluster library.
+//
+//   xclusterctl generate --dataset imdb|xmark [--scale S] [--seed N]
+//               --out data.xml [--paths data.paths]
+//       Generates a synthetic data set, writes it as XML, and (optionally)
+//       writes the value paths that should receive detailed summaries.
+//
+//   xclusterctl build --in data.xml --out synopsis.xcs
+//               [--bstr KB] [--bval KB] [--paths data.paths]
+//               [--numeric hist|wavelet|sample] [--verbose]
+//       Parses an XML file, builds an XCluster synopsis within the given
+//       budgets, and saves it.
+//
+//   xclusterctl estimate --synopsis synopsis.xcs --query "//a[range(1,9)]/b"
+//       Loads a synopsis and prints the estimated selectivity of a twig
+//       query (see query/parser.h for the syntax).
+//
+//   xclusterctl inspect --synopsis synopsis.xcs [--dump]
+//       Prints size/cluster statistics (and optionally the clustering).
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/xcluster.h"
+#include "data/imdb.h"
+#include "data/xmark.h"
+#include "estimate/estimator.h"
+#include "query/parser.h"
+#include "synopsis/reference.h"
+#include "synopsis/stats.h"
+#include "workload/generator.h"
+#include "workload/io.h"
+#include "workload/metrics.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace xcluster {
+namespace {
+
+/// Minimal --flag value parser. Flags with no following value get "".
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      std::string key = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string Get(const std::string& key, std::string fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+int Generate(const Args& args) {
+  const std::string kind = args.Get("dataset", "imdb");
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail("generate requires --out");
+  GeneratedDataset dataset;
+  if (kind == "imdb") {
+    ImdbOptions options;
+    options.scale = args.GetDouble("scale", 1.0);
+    options.seed = static_cast<uint64_t>(args.GetInt("seed", 11));
+    dataset = GenerateImdb(options);
+  } else if (kind == "xmark") {
+    XMarkOptions options;
+    options.scale = args.GetDouble("scale", 1.0);
+    options.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+    dataset = GenerateXMark(options);
+  } else {
+    return Fail("unknown --dataset '" + kind + "' (imdb|xmark)");
+  }
+
+  XmlWriter writer;
+  Status status = writer.WriteFile(dataset.doc, out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("wrote %s: %zu elements, %zu valued\n", out.c_str(),
+              dataset.doc.size(), dataset.doc.CountValued());
+
+  const std::string paths_out = args.Get("paths");
+  if (!paths_out.empty()) {
+    std::ofstream paths_file(paths_out);
+    for (const std::string& path : dataset.value_paths) {
+      paths_file << path << '\n';
+    }
+    std::printf("wrote %zu value paths to %s\n", dataset.value_paths.size(),
+                paths_out.c_str());
+  }
+  return 0;
+}
+
+int Build(const Args& args) {
+  const std::string in = args.Get("in");
+  const std::string out = args.Get("out");
+  if (in.empty() || out.empty()) return Fail("build requires --in and --out");
+
+  XmlParser parser;
+  XmlDocument doc;
+  Status status = parser.ParseFile(in, &doc);
+  if (!status.ok()) return Fail("parse: " + status.ToString());
+  std::printf("parsed %s: %zu elements\n", in.c_str(), doc.size());
+
+  XCluster::Options options;
+  options.build.structural_budget =
+      static_cast<size_t>(args.GetInt("bstr", 50)) * 1024;
+  options.build.value_budget =
+      static_cast<size_t>(args.GetInt("bval", 150)) * 1024;
+  options.build.verbose = args.Has("verbose");
+  const std::string paths = args.Get("paths");
+  if (!paths.empty()) options.reference.value_paths = ReadLines(paths);
+  const std::string numeric = args.Get("numeric", "hist");
+  if (numeric == "wavelet") {
+    options.reference.numeric_summary = NumericSummaryKind::kWavelet;
+  } else if (numeric == "sample") {
+    options.reference.numeric_summary = NumericSummaryKind::kSample;
+  } else if (numeric != "hist") {
+    return Fail("unknown --numeric '" + numeric + "' (hist|wavelet|sample)");
+  }
+
+  XCluster synopsis = XCluster::Build(doc, options);
+  status = synopsis.Save(out);
+  if (!status.ok()) return Fail("save: " + status.ToString());
+  std::printf(
+      "built %s: %zu clusters, %zu bytes (%zu structural + %zu value), "
+      "%zu merges from %zu reference clusters\n",
+      out.c_str(), synopsis.synopsis().NodeCount(), synopsis.SizeBytes(),
+      synopsis.synopsis().StructuralBytes(), synopsis.synopsis().ValueBytes(),
+      synopsis.build_stats().merges_applied,
+      synopsis.build_stats().reference_nodes);
+  return 0;
+}
+
+int Estimate(const Args& args) {
+  const std::string path = args.Get("synopsis");
+  const std::string query = args.Get("query");
+  if (path.empty() || query.empty()) {
+    return Fail("estimate requires --synopsis and --query");
+  }
+  Result<XCluster> synopsis = XCluster::Load(path);
+  if (!synopsis.ok()) return Fail("load: " + synopsis.status().ToString());
+  Result<double> estimate = synopsis.value().EstimateSelectivity(query);
+  if (!estimate.ok()) {
+    return Fail("query: " + estimate.status().ToString());
+  }
+  std::printf("%.3f\n", estimate.value());
+  if (args.Has("explain")) {
+    Result<TwigQuery> parsed = ParseTwig(query);
+    XClusterEstimator estimator(synopsis.value().synopsis());
+    std::printf("%s", estimator.Explain(parsed.value()).ToString().c_str());
+  }
+  return 0;
+}
+
+int Inspect(const Args& args) {
+  const std::string path = args.Get("synopsis");
+  if (path.empty()) return Fail("inspect requires --synopsis");
+  Result<XCluster> loaded = XCluster::Load(path);
+  if (!loaded.ok()) return Fail("load: " + loaded.status().ToString());
+  const GraphSynopsis& synopsis = loaded.value().synopsis();
+  std::printf("clusters:   %zu\n", synopsis.NodeCount());
+  std::printf("edges:      %zu\n", synopsis.EdgeCount());
+  std::printf("structural: %zu bytes\n", synopsis.StructuralBytes());
+  std::printf("value:      %zu bytes (%zu summarized clusters)\n",
+              synopsis.ValueBytes(), synopsis.ValueNodeCount());
+  auto dict = synopsis.term_dictionary();
+  std::printf("terms:      %zu\n", dict ? dict->size() : 0);
+  if (args.Has("detail")) {
+    std::printf("%s", ComputeStats(synopsis).ToString().c_str());
+  }
+  if (args.Has("dump")) {
+    std::printf("%s", synopsis.DebugString().c_str());
+  }
+  return 0;
+}
+
+GeneratedDataset GenerateByName(const Args& args, bool* ok) {
+  const std::string kind = args.Get("dataset", "imdb");
+  *ok = true;
+  if (kind == "imdb") {
+    ImdbOptions options;
+    options.scale = args.GetDouble("scale", 1.0);
+    options.seed = static_cast<uint64_t>(args.GetInt("seed", 11));
+    return GenerateImdb(options);
+  }
+  if (kind == "xmark") {
+    XMarkOptions options;
+    options.scale = args.GetDouble("scale", 1.0);
+    options.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+    return GenerateXMark(options);
+  }
+  *ok = false;
+  return GeneratedDataset();
+}
+
+int MakeWorkload(const Args& args) {
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail("workload requires --out");
+  bool ok = false;
+  GeneratedDataset dataset = GenerateByName(args, &ok);
+  if (!ok) return Fail("unknown --dataset (imdb|xmark)");
+  ReferenceOptions ref_options;
+  ref_options.value_paths = dataset.value_paths;
+  GraphSynopsis reference = BuildReferenceSynopsis(dataset.doc, ref_options);
+  WorkloadOptions wl_options;
+  wl_options.num_queries = static_cast<size_t>(args.GetInt("queries", 1000));
+  wl_options.seed = static_cast<uint64_t>(args.GetInt("seed", 17));
+  wl_options.positive = !args.Has("negative");
+  Workload workload = GenerateWorkload(dataset.doc, reference, wl_options);
+  Status status = SaveWorkload(workload, out);
+  if (!status.ok()) return Fail(status.ToString());
+  std::printf("wrote %zu queries to %s\n", workload.queries.size(),
+              out.c_str());
+  return 0;
+}
+
+int Evaluate(const Args& args) {
+  const std::string synopsis_path = args.Get("synopsis");
+  const std::string workload_path = args.Get("workload");
+  if (synopsis_path.empty() || workload_path.empty()) {
+    return Fail("evaluate requires --synopsis and --workload");
+  }
+  Result<XCluster> synopsis = XCluster::Load(synopsis_path);
+  if (!synopsis.ok()) return Fail("load: " + synopsis.status().ToString());
+  Result<Workload> workload = LoadWorkload(workload_path);
+  if (!workload.ok()) return Fail("workload: " + workload.status().ToString());
+
+  XClusterEstimator estimator(synopsis.value().synopsis());
+  std::vector<double> estimates;
+  estimates.reserve(workload.value().queries.size());
+  for (const WorkloadQuery& query : workload.value().queries) {
+    estimates.push_back(estimator.Estimate(query.query));
+  }
+  ErrorReport report = EvaluateErrors(workload.value(), estimates);
+  std::printf("queries:  %zu (sanity bound %.1f)\n", report.overall.count,
+              report.sanity_bound);
+  std::printf("overall:  %.1f%% avg rel error, %.2f avg abs error\n",
+              100.0 * report.overall.avg_rel_error,
+              report.overall.avg_abs_error);
+  for (const auto& [name, stats] : report.by_class) {
+    std::printf("%-8s  %.1f%% avg rel error (n=%zu)\n", name.c_str(),
+                100.0 * stats.avg_rel_error, stats.count);
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: xclusterctl <command> [flags]\n"
+      "  generate --dataset imdb|xmark [--scale S] [--seed N] --out f.xml\n"
+      "           [--paths f.paths]\n"
+      "  build    --in f.xml --out f.xcs [--bstr KB] [--bval KB]\n"
+      "           [--paths f.paths] [--numeric hist|wavelet|sample]\n"
+      "           [--verbose]\n"
+      "  estimate --synopsis f.xcs --query \"//a[range(1,9)]/b\" [--explain]\n"
+      "  inspect  --synopsis f.xcs [--detail] [--dump]\n"
+      "  workload --dataset imdb|xmark [--scale S] [--seed N]\n"
+      "           [--queries N] [--negative] --out f.tsv\n"
+      "  evaluate --synopsis f.xcs --workload f.tsv\n");
+  return 2;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Args args(argc, argv);
+  if (command == "generate") return Generate(args);
+  if (command == "build") return Build(args);
+  if (command == "estimate") return Estimate(args);
+  if (command == "inspect") return Inspect(args);
+  if (command == "workload") return MakeWorkload(args);
+  if (command == "evaluate") return Evaluate(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace xcluster
+
+int main(int argc, char** argv) { return xcluster::Run(argc, argv); }
