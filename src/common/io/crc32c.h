@@ -1,0 +1,39 @@
+#ifndef XCLUSTER_COMMON_IO_CRC32C_H_
+#define XCLUSTER_COMMON_IO_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace xcluster {
+namespace crc32c {
+
+/// Extends `crc` (the CRC32C of some prior byte string A) with the bytes of
+/// B, returning the CRC32C of A + B. Castagnoli polynomial (0x1EDC6F41,
+/// reflected 0x82F63B78), as used by iSCSI, ext4, and RocksDB.
+uint32_t Extend(uint32_t crc, const void* data, size_t n);
+
+/// CRC32C of `data`.
+inline uint32_t Value(const void* data, size_t n) { return Extend(0, data, n); }
+inline uint32_t Value(std::string_view data) {
+  return Extend(0, data.data(), data.size());
+}
+
+/// Masks a CRC that will itself be stored alongside the data it covers (a
+/// CRC of a string containing embedded CRCs is a poor integrity check, so
+/// stored checksums are rotated and offset first).
+constexpr uint32_t kMaskDelta = 0xa282ead8u;
+
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - kMaskDelta;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace crc32c
+}  // namespace xcluster
+
+#endif  // XCLUSTER_COMMON_IO_CRC32C_H_

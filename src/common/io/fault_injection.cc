@@ -1,0 +1,126 @@
+#include "common/io/fault_injection.h"
+
+#include <algorithm>
+
+namespace xcluster {
+
+namespace {
+
+Status InjectedError(const char* op, size_t offset) {
+  return Status::IOError(std::string("injected ") + op +
+                         " error at offset " + std::to_string(offset));
+}
+
+void Describe(std::string* out, const std::string& what) {
+  if (!out->empty()) *out += ", ";
+  *out += what;
+}
+
+}  // namespace
+
+FaultInjectingSource::FaultInjectingSource(std::string_view data,
+                                           const FaultOptions& options)
+    : data_(data) {
+  Rng rng(options.seed);
+  if (!data_.empty() && rng.Bernoulli(options.truncate_probability)) {
+    size_t cut = rng.Uniform(data_.size());
+    data_.resize(cut);
+    ++faults_armed_;
+    Describe(&description_, "truncate@" + std::to_string(cut));
+  }
+  if (!data_.empty() && rng.Bernoulli(options.bit_flip_probability)) {
+    size_t flips = 1 + rng.Uniform(std::max<size_t>(1, options.max_bit_flips));
+    for (size_t i = 0; i < flips; ++i) {
+      size_t bit = rng.Uniform(data_.size() * 8);
+      data_[bit / 8] = static_cast<char>(
+          static_cast<unsigned char>(data_[bit / 8]) ^ (1u << (bit % 8)));
+      Describe(&description_, "flip@" + std::to_string(bit));
+    }
+    ++faults_armed_;
+  }
+  if (rng.Bernoulli(options.io_error_probability)) {
+    error_armed_ = true;
+    error_at_ = rng.Uniform(data_.size() + 1);
+    ++faults_armed_;
+    Describe(&description_, "read-error@" + std::to_string(error_at_));
+  }
+}
+
+Status FaultInjectingSource::Read(void* out, size_t n) {
+  if (error_armed_ && pos_ + n > error_at_) {
+    return InjectedError("read", error_at_);
+  }
+  StringSource view(std::string_view(data_).substr(pos_));
+  XC_RETURN_IF_ERROR(view.Read(out, n));
+  pos_ += n;
+  return Status::OK();
+}
+
+Status FaultInjectingSource::Skip(size_t n) {
+  if (error_armed_ && pos_ + n > error_at_) {
+    return InjectedError("read", error_at_);
+  }
+  if (n > Remaining()) {
+    return Status::Corruption("unexpected end of input reading skipped bytes");
+  }
+  pos_ += n;
+  return Status::OK();
+}
+
+FaultInjectingSink::FaultInjectingSink(ByteSink* inner,
+                                       const FaultOptions& options)
+    : inner_(inner) {
+  Rng rng(options.seed);
+  // The final stream length is unknown when the schedule is drawn, so
+  // offsets are placed in a fixed window; ones past the actual stream end
+  // are armed but never fire (a legal no-op schedule).
+  const size_t kWindow = std::max<size_t>(1, options.sink_window_bytes);
+  if (rng.Bernoulli(options.truncate_probability)) {
+    truncate_armed_ = true;
+    truncate_at_ = rng.Uniform(kWindow);
+    ++faults_armed_;
+    Describe(&description_, "truncate@" + std::to_string(truncate_at_));
+  }
+  if (rng.Bernoulli(options.bit_flip_probability)) {
+    size_t flips = 1 + rng.Uniform(std::max<size_t>(1, options.max_bit_flips));
+    for (size_t i = 0; i < flips; ++i) {
+      size_t bit = rng.Uniform(kWindow * 8);
+      flip_offsets_.push_back(bit);
+      Describe(&description_, "flip@" + std::to_string(bit));
+    }
+    std::sort(flip_offsets_.begin(), flip_offsets_.end());
+    ++faults_armed_;
+  }
+  if (rng.Bernoulli(options.io_error_probability)) {
+    error_armed_ = true;
+    error_at_ = rng.Uniform(kWindow);
+    ++faults_armed_;
+    Describe(&description_, "write-error@" + std::to_string(error_at_));
+  }
+}
+
+Status FaultInjectingSink::Append(const void* data, size_t n) {
+  if (error_armed_ && written_ + n > error_at_) {
+    return InjectedError("write", error_at_);
+  }
+  std::string chunk(static_cast<const char*>(data), n);
+  // Apply any scheduled bit flips that land inside this chunk.
+  for (size_t bit : flip_offsets_) {
+    size_t byte = bit / 8;
+    if (byte >= written_ && byte < written_ + n) {
+      chunk[byte - written_] = static_cast<char>(
+          static_cast<unsigned char>(chunk[byte - written_]) ^
+          (1u << (bit % 8)));
+    }
+  }
+  size_t keep = n;
+  if (truncate_armed_ && written_ + n > truncate_at_) {
+    keep = truncate_at_ > written_ ? truncate_at_ - written_ : 0;
+  }
+  if (keep > 0) XC_RETURN_IF_ERROR(inner_->Append(chunk.data(), keep));
+  // A torn write: the caller believes all n bytes landed.
+  written_ += n;
+  return Status::OK();
+}
+
+}  // namespace xcluster

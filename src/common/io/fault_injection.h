@@ -1,0 +1,101 @@
+#ifndef XCLUSTER_COMMON_IO_FAULT_INJECTION_H_
+#define XCLUSTER_COMMON_IO_FAULT_INJECTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/io/bytes.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace xcluster {
+
+/// Parameters of a deterministic fault schedule. A given (options, seed)
+/// pair always injects the same faults at the same offsets, so a failing
+/// schedule reproduces exactly from its seed.
+struct FaultOptions {
+  uint64_t seed = 1;
+
+  /// Probability the payload is truncated at a uniformly random offset
+  /// (including 0: everything lost).
+  double truncate_probability = 0.25;
+
+  /// Probability that 1..max_bit_flips uniformly placed single-bit flips
+  /// are applied to the surviving payload.
+  double bit_flip_probability = 0.5;
+  size_t max_bit_flips = 4;
+
+  /// Probability of a persistent I/O error starting at a uniformly random
+  /// byte offset (a "bad sector": every read/write at or past it fails).
+  double io_error_probability = 0.15;
+
+  /// Offset window for FaultInjectingSink schedules. The sink draws fault
+  /// offsets before knowing the stream length, so they are placed uniformly
+  /// in [0, sink_window_bytes); set this near the expected stream size to
+  /// make armed faults likely to actually fire.
+  size_t sink_window_bytes = 256 * 1024;
+};
+
+/// ByteSource that replays `data` through a seeded fault schedule:
+/// truncation and bit flips are applied to a private copy up front, and an
+/// optional persistent read error fires once the read offset crosses the
+/// scheduled position. Deterministic given (data, options).
+class FaultInjectingSource : public ByteSource {
+ public:
+  FaultInjectingSource(std::string_view data, const FaultOptions& options);
+
+  Status Read(void* out, size_t n) override;
+  size_t Remaining() const override { return data_.size() - pos_; }
+  Status Skip(size_t n) override;
+
+  /// Number of faults the schedule armed (truncation, flip burst, and read
+  /// error each count once). 0 means the source behaves perfectly and the
+  /// consumer must succeed.
+  size_t faults_armed() const { return faults_armed_; }
+
+  /// Human-readable list of armed faults, for test diagnostics.
+  const std::string& fault_description() const { return description_; }
+
+ private:
+  std::string data_;
+  size_t pos_ = 0;
+  size_t error_at_ = 0;  ///< reads touching offsets >= this fail
+  bool error_armed_ = false;
+  size_t faults_armed_ = 0;
+  std::string description_;
+};
+
+/// ByteSink that forwards to an inner sink through the same seeded fault
+/// vocabulary: bit flips corrupt bytes in flight, truncation silently drops
+/// the tail (a torn write), and a persistent write error fires at a
+/// scheduled offset. Deterministic given options.
+class FaultInjectingSink : public ByteSink {
+ public:
+  /// `inner` must outlive the sink.
+  FaultInjectingSink(ByteSink* inner, const FaultOptions& options);
+
+  using ByteSink::Append;
+  Status Append(const void* data, size_t n) override;
+  size_t BytesWritten() const override { return written_; }
+
+  size_t faults_armed() const { return faults_armed_; }
+  const std::string& fault_description() const { return description_; }
+
+ private:
+  ByteSink* inner_;
+  size_t written_ = 0;    ///< logical bytes accepted from the caller
+  size_t truncate_at_ = 0;
+  bool truncate_armed_ = false;
+  size_t error_at_ = 0;
+  bool error_armed_ = false;
+  std::vector<size_t> flip_offsets_;  ///< bit positions (byte*8 + bit)
+  size_t faults_armed_ = 0;
+  std::string description_;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_COMMON_IO_FAULT_INJECTION_H_

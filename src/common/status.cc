@@ -20,6 +20,8 @@ const char* CodeName(Status::Code code) {
       return "IOError";
     case Status::Code::kUnsupported:
       return "Unsupported";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

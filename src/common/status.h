@@ -20,6 +20,7 @@ class Status {
     kOutOfRange,
     kIOError,
     kUnsupported,
+    kResourceExhausted,
   };
 
   Status() = default;
@@ -42,6 +43,9 @@ class Status {
   }
   static Status Unsupported(std::string msg) {
     return Status(Code::kUnsupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }
@@ -83,6 +87,25 @@ class Result {
     ::xcluster::Status _st = (expr);         \
     if (!_st.ok()) return _st;               \
   } while (0)
+
+/// Namespaced alias of XC_RETURN_IF_ERROR for code adopting the longer,
+/// collision-proof spelling.
+#define XCLUSTER_RETURN_IF_ERROR(expr) XC_RETURN_IF_ERROR(expr)
+
+#define XCLUSTER_STATUS_CONCAT_INNER_(a, b) a##b
+#define XCLUSTER_STATUS_CONCAT_(a, b) XCLUSTER_STATUS_CONCAT_INNER_(a, b)
+
+/// Evaluates `expr` (a Result<T> expression); on error returns its Status
+/// from the enclosing function, otherwise moves the value into `lhs`.
+/// `lhs` may declare a new variable: XCLUSTER_ASSIGN_OR_RETURN(auto v, F());
+#define XCLUSTER_ASSIGN_OR_RETURN(lhs, expr)                          \
+  XCLUSTER_ASSIGN_OR_RETURN_IMPL_(                                    \
+      XCLUSTER_STATUS_CONCAT_(_xc_result_, __LINE__), lhs, expr)
+
+#define XCLUSTER_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                                    \
+  if (!result.ok()) return result.status();                \
+  lhs = std::move(result).value()
 
 }  // namespace xcluster
 

@@ -1,0 +1,50 @@
+#ifndef XCLUSTER_CORE_SERIALIZE_H_
+#define XCLUSTER_CORE_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/io/bytes.h"
+#include "common/status.h"
+#include "synopsis/graph.h"
+
+namespace xcluster {
+
+/// Binary synopsis format (version 2, see docs/FORMAT.md):
+///
+///   magic "XCSB" | fixed32 version
+///   sections: fixed8 id | varint64 len | payload | fixed32 masked-CRC32C
+///   end:      fixed8 0  | fixed32 masked-CRC32C of every preceding byte
+///
+/// Files written by the version-1 text format (leading "XCLUSTER 1") are
+/// still readable through a legacy fallback in DecodeSynopsis.
+
+/// Serializes a compacted copy of `synopsis` to `sink`. Deterministic:
+/// equal synopses produce byte-identical output.
+Status EncodeSynopsis(const GraphSynopsis& synopsis, ByteSink* sink);
+
+/// Convenience: EncodeSynopsis into a fresh string.
+std::string EncodeSynopsisToString(const GraphSynopsis& synopsis);
+
+/// Decodes a synopsis from `src` (binary format only). Every section CRC
+/// and the whole-file CRC are verified; element counts are validated
+/// against the remaining byte budget before any allocation. Returns
+/// kCorruption for any malformed input, kIOError if the source fails.
+Result<GraphSynopsis> DecodeSynopsis(ByteSource* src);
+
+/// Decodes from an in-memory buffer, accepting both the binary format and
+/// the legacy version-1 text format (auto-detected by magic).
+Result<GraphSynopsis> DecodeSynopsisBytes(std::string_view bytes);
+
+/// Integrity check without constructing a synopsis graph: walks the section
+/// table, verifies every CRC, then fully decodes. When `report` is non-null
+/// it receives a human-readable per-section summary (used by
+/// `xclusterctl verify`).
+Status VerifySynopsisBytes(std::string_view bytes, std::string* report);
+
+/// VerifySynopsisBytes over a file's contents.
+Status VerifySynopsisFile(const std::string& path, std::string* report);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_CORE_SERIALIZE_H_

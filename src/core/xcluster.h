@@ -54,10 +54,12 @@ class XCluster {
     return synopsis_.StructuralBytes() + synopsis_.ValueBytes();
   }
 
-  /// Persists the synopsis to `path` (versioned text format).
+  /// Persists the synopsis to `path` in the checksummed binary format
+  /// (see docs/FORMAT.md). The write is atomic: temp file + fsync + rename.
   Status Save(const std::string& path) const;
 
-  /// Loads a synopsis previously written by Save().
+  /// Loads a synopsis previously written by Save(). Files in the legacy
+  /// version-1 text format are still accepted (read-only fallback).
   static Result<XCluster> Load(const std::string& path);
 
  private:

@@ -50,13 +50,19 @@ class ParserImpl {
       : in_(input), options_(options), doc_(doc) {}
 
   Status Run() {
+    if (options_.limits.max_input_bytes != 0 &&
+        in_.size() > options_.limits.max_input_bytes) {
+      return Status::ResourceExhausted(
+          "input of " + std::to_string(in_.size()) +
+          " bytes exceeds limit of " +
+          std::to_string(options_.limits.max_input_bytes));
+    }
     SkipProlog();
     if (eof()) return Status::InvalidArgument("empty document");
-    XC_RETURN_IF_ERROR(ParseElement(kNoNode));
+    XC_RETURN_IF_ERROR(ParseElement(kNoNode, 1));
     SkipMisc();
     if (!eof()) {
-      return Status::Corruption("trailing content after root element at byte " +
-                                std::to_string(pos_));
+      return Corrupt("trailing content after root element");
     }
     return Status::OK();
   }
@@ -64,6 +70,34 @@ class ParserImpl {
  private:
   bool eof() const { return pos_ >= in_.size(); }
   char peek() const { return in_[pos_]; }
+
+  /// "line L, column C" of the current position (1-based). Computed by
+  /// scanning, so only the error paths pay for it.
+  std::string Here() const { return At(pos_); }
+
+  std::string At(size_t offset) const {
+    if (offset > in_.size()) offset = in_.size();
+    size_t line = 1;
+    size_t column = 1;
+    for (size_t i = 0; i < offset; ++i) {
+      if (in_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    return "line " + std::to_string(line) + ", column " +
+           std::to_string(column);
+  }
+
+  Status Corrupt(const std::string& what) const {
+    return Status::Corruption(what + " at " + Here());
+  }
+
+  Status Exhausted(const std::string& what) const {
+    return Status::ResourceExhausted(what + " at " + Here());
+  }
   bool StartsWith(std::string_view s) const {
     return in_.compare(pos_, s.size(), s) == 0;
   }
@@ -120,39 +154,44 @@ class ParserImpl {
 
   Result<std::string> ParseName() {
     if (eof() || !IsNameStart(peek())) {
-      return Status::Corruption("expected name at byte " +
-                                std::to_string(pos_));
+      return Corrupt("expected name");
     }
     size_t start = pos_;
     while (!eof() && IsNameChar(peek())) ++pos_;
     return std::string(in_.substr(start, pos_ - start));
   }
 
-  /// Decodes predefined entities and numeric character references in `raw`.
-  std::string DecodeEntities(std::string_view raw) {
-    std::string out;
-    out.reserve(raw.size());
+  /// Decodes predefined entities and numeric character references in `raw`
+  /// into `*out`, charging each expansion against the document-wide limit.
+  Status DecodeEntities(std::string_view raw, std::string* out) {
+    out->reserve(out->size() + raw.size());
     for (size_t i = 0; i < raw.size();) {
       if (raw[i] != '&') {
-        out += raw[i++];
+        *out += raw[i++];
         continue;
       }
       size_t semi = raw.find(';', i);
       if (semi == std::string_view::npos || semi - i > 10) {
-        out += raw[i++];
+        *out += raw[i++];
         continue;
+      }
+      if (++entity_expansions_ > options_.limits.max_entity_expansions) {
+        return Exhausted("entity expansion limit of " +
+                         std::to_string(
+                             options_.limits.max_entity_expansions) +
+                         " exceeded");
       }
       std::string_view ent = raw.substr(i + 1, semi - i - 1);
       if (ent == "lt") {
-        out += '<';
+        *out += '<';
       } else if (ent == "gt") {
-        out += '>';
+        *out += '>';
       } else if (ent == "amp") {
-        out += '&';
+        *out += '&';
       } else if (ent == "quot") {
-        out += '"';
+        *out += '"';
       } else if (ent == "apos") {
-        out += '\'';
+        *out += '\'';
       } else if (!ent.empty() && ent[0] == '#') {
         long code = 0;
         if (ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X')) {
@@ -161,41 +200,48 @@ class ParserImpl {
           code = std::strtol(std::string(ent.substr(1)).c_str(), nullptr, 10);
         }
         if (code > 0 && code < 128) {
-          out += static_cast<char>(code);
+          *out += static_cast<char>(code);
         } else {
-          out += '?';  // non-ASCII reference: placeholder
+          *out += '?';  // non-ASCII reference: placeholder
         }
       } else {
         // Unknown entity: keep literally.
-        out.append(raw.substr(i, semi - i + 1));
+        out->append(raw.substr(i, semi - i + 1));
       }
       i = semi + 1;
     }
-    return out;
+    return Status::OK();
   }
 
   Status ParseAttributes(NodeId element) {
+    size_t attribute_count = 0;
     for (;;) {
       SkipSpace();
-      if (eof()) return Status::Corruption("unterminated start tag");
+      if (eof()) return Corrupt("unterminated start tag");
       if (peek() == '>' || peek() == '/' || peek() == '?') return Status::OK();
+      if (++attribute_count > options_.limits.max_attribute_count) {
+        return Exhausted(
+            "attribute count exceeds limit of " +
+            std::to_string(options_.limits.max_attribute_count));
+      }
       Result<std::string> name = ParseName();
       if (!name.ok()) return name.status();
       SkipSpace();
       if (eof() || peek() != '=') {
-        return Status::Corruption("expected '=' in attribute at byte " +
-                                  std::to_string(pos_));
+        return Corrupt("expected '=' in attribute");
       }
       ++pos_;
       SkipSpace();
       if (eof() || (peek() != '"' && peek() != '\'')) {
-        return Status::Corruption("expected quoted attribute value");
+        return Corrupt("expected quoted attribute value");
       }
       char quote = in_[pos_++];
       size_t start = pos_;
       while (!eof() && peek() != quote) ++pos_;
-      if (eof()) return Status::Corruption("unterminated attribute value");
-      std::string value = DecodeEntities(in_.substr(start, pos_ - start));
+      if (eof()) return Corrupt("unterminated attribute value");
+      std::string value;
+      XC_RETURN_IF_ERROR(
+          DecodeEntities(in_.substr(start, pos_ - start), &value));
       ++pos_;
       if (options_.attributes_as_children && element != kNoNode) {
         NodeId attr = doc_->AddChild(element, "@" + name.value());
@@ -242,9 +288,13 @@ class ParserImpl {
     }
   }
 
-  Status ParseElement(NodeId parent) {
+  Status ParseElement(NodeId parent, size_t depth) {
+    if (depth > options_.limits.max_depth) {
+      return Exhausted("element nesting exceeds depth limit of " +
+                       std::to_string(options_.limits.max_depth));
+    }
     if (eof() || peek() != '<') {
-      return Status::Corruption("expected '<' at byte " + std::to_string(pos_));
+      return Corrupt("expected '<'");
     }
     ++pos_;
     Result<std::string> name = ParseName();
@@ -259,22 +309,20 @@ class ParserImpl {
       return Status::OK();
     }
     if (eof() || peek() != '>') {
-      return Status::Corruption("malformed start tag for <" + name.value() +
-                                ">");
+      return Corrupt("malformed start tag for <" + name.value() + ">");
     }
     ++pos_;
 
     std::string char_data;
     for (;;) {
       if (eof()) {
-        return Status::Corruption("unterminated element <" + name.value() +
-                                  ">");
+        return Corrupt("unterminated element <" + name.value() + ">");
       }
       if (StartsWith("<![CDATA[")) {
         pos_ += 9;
         size_t end = in_.find("]]>", pos_);
         if (end == std::string_view::npos) {
-          return Status::Corruption("unterminated CDATA section");
+          return Corrupt("unterminated CDATA section");
         }
         char_data.append(in_.substr(pos_, end - pos_));
         pos_ = end + 3;
@@ -287,21 +335,22 @@ class ParserImpl {
         Result<std::string> close = ParseName();
         if (!close.ok()) return close.status();
         if (close.value() != name.value()) {
-          return Status::Corruption("mismatched close tag </" + close.value() +
-                                    "> for <" + name.value() + ">");
+          return Corrupt("mismatched close tag </" + close.value() +
+                         "> for <" + name.value() + ">");
         }
         SkipSpace();
         if (eof() || peek() != '>') {
-          return Status::Corruption("malformed close tag");
+          return Corrupt("malformed close tag");
         }
         ++pos_;
         break;
       } else if (peek() == '<') {
-        XC_RETURN_IF_ERROR(ParseElement(node));
+        XC_RETURN_IF_ERROR(ParseElement(node, depth + 1));
       } else {
         size_t start = pos_;
         while (!eof() && peek() != '<') ++pos_;
-        char_data += DecodeEntities(in_.substr(start, pos_ - start));
+        XC_RETURN_IF_ERROR(
+            DecodeEntities(in_.substr(start, pos_ - start), &char_data));
       }
     }
 
@@ -311,6 +360,7 @@ class ParserImpl {
 
   std::string_view in_;
   size_t pos_ = 0;
+  size_t entity_expansions_ = 0;
   const ParseOptions& options_;
   XmlDocument* doc_;
 };

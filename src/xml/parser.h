@@ -10,6 +10,25 @@
 
 namespace xcluster {
 
+/// Resource guards applied while parsing untrusted input. Exceeding any
+/// limit aborts the parse with Status::ResourceExhausted carrying the
+/// line/column where the limit tripped.
+struct ParseLimits {
+  /// Maximum element nesting depth (the parser recurses per level).
+  size_t max_depth = 256;
+
+  /// Maximum input size in bytes; 0 disables the check.
+  size_t max_input_bytes = size_t{1} << 30;
+
+  /// Maximum attributes on a single element.
+  size_t max_attribute_count = 256;
+
+  /// Maximum entity / character-reference expansions across the document
+  /// (an expansion bound, not a declaration bound — internal DTD entity
+  /// declarations are rejected outright).
+  size_t max_entity_expansions = 1u << 20;
+};
+
 /// Options controlling how parsed character data is typed.
 struct ParseOptions {
   /// Explicit element-label -> value-type assignments. Labels not listed
@@ -23,6 +42,9 @@ struct ParseOptions {
   /// When true, attributes become child elements labeled "@name" carrying a
   /// STRING value (the paper's data model is element-only).
   bool attributes_as_children = true;
+
+  /// Resource guards; see ParseLimits.
+  ParseLimits limits;
 };
 
 /// Self-contained, non-validating XML parser producing an XmlDocument.
@@ -34,6 +56,9 @@ struct ParseOptions {
 ///
 /// Mixed content: all character data directly under an element is
 /// concatenated; an element receives a value only if it has character data.
+///
+/// Malformed input and tripped ParseLimits never crash the parser: every
+/// failure is a Status whose message carries 1-based line/column context.
 class XmlParser {
  public:
   explicit XmlParser(ParseOptions options = {}) : options_(std::move(options)) {}

@@ -1,0 +1,63 @@
+#include "common/io/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace xcluster {
+namespace {
+
+// Reference vectors from the iSCSI specification (RFC 3720 B.4) and the
+// canonical "123456789" check value.
+TEST(Crc32cTest, CheckValue) {
+  EXPECT_EQ(crc32c::Value("123456789"), 0xe3069283u);
+}
+
+TEST(Crc32cTest, ThirtyTwoZeros) {
+  std::string zeros(32, '\0');
+  EXPECT_EQ(crc32c::Value(zeros), 0x8a9136aau);
+}
+
+TEST(Crc32cTest, ThirtyTwoOnes) {
+  std::string ones(32, '\xff');
+  EXPECT_EQ(crc32c::Value(ones), 0x62a8ab43u);
+}
+
+TEST(Crc32cTest, AscendingBytes) {
+  std::string data(32, '\0');
+  for (int i = 0; i < 32; ++i) data[i] = static_cast<char>(i);
+  EXPECT_EQ(crc32c::Value(data), 0x46dd794eu);
+}
+
+TEST(Crc32cTest, EmptyIsZero) { EXPECT_EQ(crc32c::Value(""), 0u); }
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = crc32c::Extend(0, data.data(), split);
+    crc = crc32c::Extend(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, crc32c::Value(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SensitiveToSingleBitFlips) {
+  std::string data = "some synopsis payload bytes";
+  const uint32_t clean = crc32c::Value(data);
+  for (size_t bit = 0; bit < data.size() * 8; ++bit) {
+    data[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(data[bit / 8]) ^ (1u << (bit % 8)));
+    EXPECT_NE(crc32c::Value(data), clean) << "bit " << bit;
+    data[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(data[bit / 8]) ^ (1u << (bit % 8)));
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xdeadbeefu, 0xffffffffu, 0xe3069283u}) {
+    EXPECT_EQ(crc32c::Unmask(crc32c::Mask(crc)), crc);
+    EXPECT_NE(crc32c::Mask(crc), crc);
+  }
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/io/bytes.h"
+#include "common/io/fault_injection.h"
+#include "common/io/file_io.h"
+
+namespace xcluster {
+namespace {
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  std::string buf;
+  StringSink sink(&buf);
+  PutFixed8(&sink, 0xab);
+  PutFixed32(&sink, 0xdeadbeefu);
+  PutFixed64(&sink, 0x0123456789abcdefull);
+  PutDouble(&sink, 3.14159);
+  PutDouble(&sink, -0.0);
+
+  StringSource src(buf);
+  uint8_t a = 0;
+  uint32_t b = 0;
+  uint64_t c = 0;
+  double d = 0.0;
+  double e = 1.0;
+  ASSERT_TRUE(GetFixed8(&src, &a).ok());
+  ASSERT_TRUE(GetFixed32(&src, &b).ok());
+  ASSERT_TRUE(GetFixed64(&src, &c).ok());
+  ASSERT_TRUE(GetDouble(&src, &d).ok());
+  ASSERT_TRUE(GetDouble(&src, &e).ok());
+  EXPECT_EQ(a, 0xab);
+  EXPECT_EQ(b, 0xdeadbeefu);
+  EXPECT_EQ(c, 0x0123456789abcdefull);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_EQ(e, 0.0);
+  EXPECT_TRUE(std::signbit(e));
+  EXPECT_EQ(src.Remaining(), 0u);
+}
+
+TEST(BytesTest, FixedEncodingIsLittleEndian) {
+  std::string buf;
+  StringSink sink(&buf);
+  PutFixed32(&sink, 0x04030201u);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 2);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(BytesTest, VarintRoundTrip) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             300,
+                             16383,
+                             16384,
+                             (1ull << 32) - 1,
+                             1ull << 32,
+                             std::numeric_limits<uint64_t>::max()};
+  std::string buf;
+  StringSink sink(&buf);
+  for (uint64_t v : values) PutVarint64(&sink, v);
+  StringSource src(buf);
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(&src, &got).ok());
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_EQ(src.Remaining(), 0u);
+}
+
+TEST(BytesTest, TruncatedVarintFails) {
+  std::string buf;
+  StringSink sink(&buf);
+  PutVarint64(&sink, 1ull << 40);
+  buf.resize(buf.size() - 1);
+  StringSource src(buf);
+  uint64_t v = 0;
+  EXPECT_EQ(GetVarint64(&src, &v).code(), Status::Code::kCorruption);
+}
+
+TEST(BytesTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  StringSink sink(&buf);
+  PutLengthPrefixed(&sink, "hello");
+  PutLengthPrefixed(&sink, "");
+  PutLengthPrefixed(&sink, std::string(1000, 'x'));
+  StringSource src(buf);
+  std::string s;
+  ASSERT_TRUE(GetLengthPrefixed(&src, &s).ok());
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(GetLengthPrefixed(&src, &s).ok());
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(GetLengthPrefixed(&src, &s).ok());
+  EXPECT_EQ(s, std::string(1000, 'x'));
+}
+
+TEST(BytesTest, LengthPrefixWithHugeLengthIsRejectedBeforeAllocating) {
+  std::string buf;
+  StringSink sink(&buf);
+  PutVarint64(&sink, std::numeric_limits<uint64_t>::max());
+  sink.Append("short");
+  StringSource src(buf);
+  std::string s;
+  EXPECT_EQ(GetLengthPrefixed(&src, &s).code(), Status::Code::kCorruption);
+}
+
+TEST(BytesTest, ReadPastEndFails) {
+  StringSource src("ab");
+  char out[4];
+  EXPECT_EQ(src.Read(out, 4).code(), Status::Code::kCorruption);
+}
+
+TEST(BytesTest, CheckCountRespectsBudget) {
+  StringSource src(std::string(100, 'x'));
+  EXPECT_TRUE(CheckCount(10, 10, src, "elem").ok());
+  EXPECT_TRUE(CheckCount(100, 1, src, "elem").ok());
+  EXPECT_EQ(CheckCount(101, 1, src, "elem").code(),
+            Status::Code::kCorruption);
+  EXPECT_EQ(CheckCount(11, 10, src, "elem").code(),
+            Status::Code::kCorruption);
+  // A count that would overflow count * elem_bytes must still be rejected.
+  EXPECT_EQ(
+      CheckCount(std::numeric_limits<uint64_t>::max(), 8, src, "elem").code(),
+      Status::Code::kCorruption);
+}
+
+TEST(BoundedReaderTest, CapsReads) {
+  StringSource inner("abcdefghij");
+  BoundedReader bounded(&inner, 4);
+  EXPECT_EQ(bounded.Remaining(), 4u);
+  char out[8];
+  ASSERT_TRUE(bounded.Read(out, 3).ok());
+  EXPECT_EQ(bounded.Remaining(), 1u);
+  EXPECT_EQ(bounded.Read(out, 2).code(), Status::Code::kCorruption);
+  ASSERT_TRUE(bounded.Read(out, 1).ok());
+  EXPECT_EQ(bounded.Remaining(), 0u);
+  // The inner source is only advanced by what the bounded reader consumed.
+  EXPECT_EQ(inner.Remaining(), 6u);
+}
+
+TEST(BoundedReaderTest, LimitClampedToInnerRemaining) {
+  StringSource inner("abc");
+  BoundedReader bounded(&inner, 100);
+  EXPECT_EQ(bounded.Remaining(), 3u);
+}
+
+TEST(BoundedReaderTest, SkipHonorsLimit) {
+  StringSource inner("abcdefghij");
+  BoundedReader bounded(&inner, 4);
+  ASSERT_TRUE(bounded.Skip(4).ok());
+  EXPECT_EQ(bounded.Skip(1).code(), Status::Code::kCorruption);
+}
+
+TEST(FileIoTest, AtomicWriteThenRead) {
+  const std::string path = testing::TempDir() + "/io_test_atomic.bin";
+  const std::string payload = "payload \0 with NUL and \xff bytes";
+  ASSERT_TRUE(WriteFileAtomic(path, payload).ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), payload);
+}
+
+TEST(FileIoTest, AtomicWriteReplacesExisting) {
+  const std::string path = testing::TempDir() + "/io_test_replace.bin";
+  ASSERT_TRUE(WriteFileAtomic(path, "old contents").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "new").ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "new");
+}
+
+TEST(FileIoTest, MissingFileIsIOError) {
+  Result<std::string> read = ReadFileToString("/nonexistent/file.bin");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), Status::Code::kIOError);
+}
+
+TEST(FileIoTest, WriteToBadDirectoryFails) {
+  EXPECT_EQ(WriteFileAtomic("/nonexistent/dir/file.bin", "x").code(),
+            Status::Code::kIOError);
+}
+
+TEST(FaultInjectionTest, DeterministicGivenSeed) {
+  const std::string data(4096, 'q');
+  FaultOptions options;
+  options.seed = 42;
+  FaultInjectingSource a(data, options);
+  FaultInjectingSource b(data, options);
+  EXPECT_EQ(a.faults_armed(), b.faults_armed());
+  EXPECT_EQ(a.fault_description(), b.fault_description());
+  std::string ra(a.Remaining(), '\0');
+  std::string rb(b.Remaining(), '\0');
+  Status sa = a.Read(ra.data(), ra.size());
+  Status sb = b.Read(rb.data(), rb.size());
+  EXPECT_EQ(sa.ToString(), sb.ToString());
+  EXPECT_EQ(ra, rb);
+}
+
+TEST(FaultInjectionTest, NoFaultsMeansPerfectPassthrough) {
+  const std::string data = "precious bytes";
+  FaultOptions options;
+  options.truncate_probability = 0.0;
+  options.bit_flip_probability = 0.0;
+  options.io_error_probability = 0.0;
+  FaultInjectingSource source(data, options);
+  EXPECT_EQ(source.faults_armed(), 0u);
+  std::string out(data.size(), '\0');
+  ASSERT_TRUE(source.Read(out.data(), out.size()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(FaultInjectionTest, SomeSeedsInjectFaults) {
+  const std::string data(1024, 'z');
+  size_t with_faults = 0;
+  for (uint64_t seed = 0; seed < 100; ++seed) {
+    FaultOptions options;
+    options.seed = seed;
+    FaultInjectingSource source(data, options);
+    if (source.faults_armed() > 0) ++with_faults;
+  }
+  // Default rates arm a fault in well over a third of schedules.
+  EXPECT_GT(with_faults, 30u);
+  EXPECT_LT(with_faults, 100u);  // and some schedules stay clean
+}
+
+TEST(FaultInjectionTest, SinkNoFaultsPassesThrough) {
+  std::string out;
+  StringSink inner(&out);
+  FaultOptions options;
+  options.truncate_probability = 0.0;
+  options.bit_flip_probability = 0.0;
+  options.io_error_probability = 0.0;
+  FaultInjectingSink sink(&inner, options);
+  EXPECT_EQ(sink.faults_armed(), 0u);
+  ASSERT_TRUE(sink.Append("hello ").ok());
+  ASSERT_TRUE(sink.Append("world").ok());
+  EXPECT_EQ(out, "hello world");
+}
+
+TEST(FaultInjectionTest, SinkTruncationDropsTail) {
+  // Find a seed whose schedule truncates early, and check the sink reports
+  // success while the inner sink holds fewer bytes (a torn write).
+  for (uint64_t seed = 0; seed < 1000; ++seed) {
+    FaultOptions options;
+    options.seed = seed;
+    options.truncate_probability = 1.0;
+    options.bit_flip_probability = 0.0;
+    options.io_error_probability = 0.0;
+    std::string out;
+    StringSink inner(&out);
+    FaultInjectingSink sink(&inner, options);
+    std::string payload(64 * 1024, 'p');
+    if (!sink.Append(payload).ok()) continue;
+    if (out.size() < payload.size()) {
+      EXPECT_EQ(sink.BytesWritten(), payload.size());
+      return;
+    }
+  }
+  FAIL() << "no schedule truncated a 64 KiB write";
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -1,0 +1,128 @@
+// Resource-guard and malformed-input tests for XmlParser: every document in
+// the corpus must be rejected with a clean Status (never a crash), and
+// parse errors must carry line/column context.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "xml/parser.h"
+
+namespace xcluster {
+namespace {
+
+Status ParseWith(std::string_view input, ParseOptions options = {}) {
+  XmlParser parser(std::move(options));
+  XmlDocument doc;
+  return parser.Parse(input, &doc);
+}
+
+TEST(XmlLimitsTest, WellFormedStillParses) {
+  EXPECT_TRUE(ParseWith("<a><b x='1'>7</b><c>text &amp; more</c></a>").ok());
+}
+
+TEST(XmlLimitsTest, MalformedCorpusRejectedWithPosition) {
+  const std::string_view corpus[] = {
+      "<a>",                          // unterminated element
+      "<a><b></a>",                   // mismatched close tag
+      "<a x=></a>",                   // missing attribute value
+      "<a x='1></a>",                 // unterminated attribute value
+      "<a 1bad='v'></a>",             // attribute name starts with a digit
+      "<1a></1a>",                    // element name starts with a digit
+      "<a></a><b></b>",               // two roots
+      "<a><![CDATA[never closed</a>", // unterminated CDATA
+      "<a",                           // truncated start tag
+      "</a>",                         // close tag with no open
+  };
+  for (std::string_view doc : corpus) {
+    Status status = ParseWith(doc);
+    ASSERT_FALSE(status.ok()) << doc;
+    EXPECT_NE(status.message().find("line "), std::string::npos)
+        << doc << " -> " << status.ToString();
+    EXPECT_NE(status.message().find("column "), std::string::npos)
+        << doc << " -> " << status.ToString();
+  }
+}
+
+TEST(XmlLimitsTest, PositionsAreOneBasedAndTrackNewlines) {
+  // The mismatched close tag is on line 3.
+  Status status = ParseWith("<a>\n  <b>\n  </c>\n</a>");
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 3"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(XmlLimitsTest, DepthLimitEnforced) {
+  ParseOptions options;
+  options.limits.max_depth = 16;
+  std::string deep;
+  for (int i = 0; i < 32; ++i) deep += "<d>";
+  for (int i = 0; i < 32; ++i) deep += "</d>";
+  Status status = ParseWith(deep, options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kResourceExhausted);
+  EXPECT_NE(status.message().find("depth"), std::string::npos);
+
+  std::string shallow = "<d><d><d>ok</d></d></d>";
+  EXPECT_TRUE(ParseWith(shallow, options).ok());
+}
+
+TEST(XmlLimitsTest, DeepNestingWithDefaultLimitsDoesNotOverflowStack) {
+  std::string deep;
+  for (int i = 0; i < 100000; ++i) deep += "<d>";
+  for (int i = 0; i < 100000; ++i) deep += "</d>";
+  Status status = ParseWith(deep);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kResourceExhausted);
+}
+
+TEST(XmlLimitsTest, InputSizeLimitEnforced) {
+  ParseOptions options;
+  options.limits.max_input_bytes = 64;
+  std::string big = "<a>" + std::string(100, 'x') + "</a>";
+  Status status = ParseWith(big, options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kResourceExhausted);
+  EXPECT_TRUE(ParseWith("<a>small</a>", options).ok());
+}
+
+TEST(XmlLimitsTest, AttributeCountLimitEnforced) {
+  ParseOptions options;
+  options.limits.max_attribute_count = 8;
+  std::string tag = "<a";
+  for (int i = 0; i < 20; ++i) {
+    tag += " a" + std::to_string(i) + "='v'";
+  }
+  tag += "></a>";
+  Status status = ParseWith(tag, options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kResourceExhausted);
+  EXPECT_NE(status.message().find("attribute"), std::string::npos);
+
+  EXPECT_TRUE(ParseWith("<a x='1' y='2' z='3'></a>", options).ok());
+}
+
+TEST(XmlLimitsTest, EntityExpansionLimitEnforced) {
+  ParseOptions options;
+  options.limits.max_entity_expansions = 10;
+  std::string body;
+  for (int i = 0; i < 50; ++i) body += "&amp;";
+  Status status = ParseWith("<a>" + body + "</a>", options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kResourceExhausted);
+  EXPECT_NE(status.message().find("entity"), std::string::npos);
+
+  EXPECT_TRUE(ParseWith("<a>&lt;ten&gt; &amp; fewer</a>", options).ok());
+}
+
+TEST(XmlLimitsTest, EntityLimitAppliesToAttributes) {
+  ParseOptions options;
+  options.limits.max_entity_expansions = 4;
+  Status status =
+      ParseWith("<a v='&amp;&amp;&amp;&amp;&amp;&amp;'></a>", options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), Status::Code::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace xcluster

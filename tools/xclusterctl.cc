@@ -17,6 +17,10 @@
 //
 //   xclusterctl inspect --synopsis synopsis.xcs [--dump]
 //       Prints size/cluster statistics (and optionally the clustering).
+//
+//   xclusterctl verify --synopsis synopsis.xcs [--quiet]
+//       fsck for synopsis files: walks the section table, checks every
+//       CRC32C, and fully decodes. Exits non-zero on any corruption.
 
 #include <cstdio>
 #include <fstream>
@@ -24,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "core/serialize.h"
 #include "core/xcluster.h"
 #include "data/imdb.h"
 #include "data/xmark.h"
@@ -283,6 +288,21 @@ int Evaluate(const Args& args) {
   return 0;
 }
 
+int Verify(const Args& args) {
+  const std::string path = args.Get("synopsis");
+  if (path.empty()) return Fail("verify requires --synopsis");
+  std::string report;
+  Status status = VerifySynopsisFile(path, &report);
+  if (!args.Has("quiet") && !report.empty()) {
+    std::printf("%s", report.c_str());
+  }
+  if (!status.ok()) {
+    return Fail(path + ": " + status.ToString());
+  }
+  std::printf("%s: OK\n", path.c_str());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -296,7 +316,8 @@ int Usage() {
       "  inspect  --synopsis f.xcs [--detail] [--dump]\n"
       "  workload --dataset imdb|xmark [--scale S] [--seed N]\n"
       "           [--queries N] [--negative] --out f.tsv\n"
-      "  evaluate --synopsis f.xcs --workload f.tsv\n");
+      "  evaluate --synopsis f.xcs --workload f.tsv\n"
+      "  verify   --synopsis f.xcs [--quiet]\n");
   return 2;
 }
 
@@ -310,6 +331,7 @@ int Run(int argc, char** argv) {
   if (command == "inspect") return Inspect(args);
   if (command == "workload") return MakeWorkload(args);
   if (command == "evaluate") return Evaluate(args);
+  if (command == "verify") return Verify(args);
   return Usage();
 }
 
