@@ -1,0 +1,110 @@
+#ifndef XCLUSTER_BENCH_BENCH_JSON_H_
+#define XCLUSTER_BENCH_BENCH_JSON_H_
+
+/// Machine-readable result files for the google-benchmark micro-benches.
+///
+/// JsonBenchReporter wraps ConsoleReporter (so the usual table still
+/// prints) and collects every run; WriteBenchJson then writes a
+/// `BENCH_<name>.json` file pairing the per-benchmark timings with a
+/// snapshot of the telemetry registry, so a bench run records not just
+/// how fast it went but what the instrumented hot paths actually did.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/io/file_io.h"
+#include "common/json.h"
+#include "common/telemetry/metrics.h"
+
+namespace xcluster {
+namespace bench {
+
+class JsonBenchReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      runs_.push_back(run);
+    }
+  }
+
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+/// Writes `BENCH_<name>.json` into the working directory: one entry per
+/// benchmark run (iterations, per-iteration real/CPU nanoseconds, user
+/// counters) plus the global metrics snapshot accumulated over the whole
+/// bench process.
+inline void WriteBenchJson(const std::string& name,
+                           const JsonBenchReporter& reporter) {
+  JsonValue entries = JsonValue::Array();
+  for (const benchmark::BenchmarkReporter::Run& run : reporter.runs()) {
+    JsonValue entry = JsonValue::Object();
+    entry.members()["name"] = JsonValue::String(run.benchmark_name());
+    entry.members()["iterations"] =
+        JsonValue::Number(static_cast<double>(run.iterations));
+    const double iters =
+        run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+    entry.members()["real_ns_per_iter"] =
+        JsonValue::Number(run.real_accumulated_time * 1e9 / iters);
+    entry.members()["cpu_ns_per_iter"] =
+        JsonValue::Number(run.cpu_accumulated_time * 1e9 / iters);
+    if (!run.counters.empty()) {
+      JsonValue counters = JsonValue::Object();
+      for (const auto& [counter_name, counter] : run.counters) {
+        counters.members()[counter_name] =
+            JsonValue::Number(static_cast<double>(counter));
+      }
+      entry.members()["counters"] = std::move(counters);
+    }
+    entries.items().push_back(std::move(entry));
+  }
+
+  JsonValue report = JsonValue::Object();
+  report.members()["benchmark"] = JsonValue::String(name);
+  report.members()["entries"] = std::move(entries);
+
+  // The registry snapshot JSON reparses cleanly by construction; embed it
+  // so the timings stay paired with the hot-path activity behind them.
+  Result<JsonValue> metrics = ParseJson(
+      telemetry::MetricsRegistry::Global().Snapshot().ToJson());
+  if (metrics.ok()) {
+    report.members()["metrics"] = std::move(metrics.value());
+  }
+
+  const std::string path = "BENCH_" + name + ".json";
+  Status status = WriteFileAtomic(path, report.Dump(2) + "\n");
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+  } else {
+    std::fprintf(stderr, "wrote %s (%zu entries)\n", path.c_str(),
+                 reporter.runs().size());
+  }
+}
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also writes
+/// BENCH_<name>.json after the run.
+inline int RunBenchmarksWithJson(const std::string& name, int argc,
+                                 char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonBenchReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  WriteBenchJson(name, reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace xcluster
+
+#endif  // XCLUSTER_BENCH_BENCH_JSON_H_

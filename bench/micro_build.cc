@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "build/builder.h"
 #include "data/imdb.h"
 #include "estimate/estimator.h"
@@ -102,4 +103,6 @@ BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace xcluster
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return xcluster::bench::RunBenchmarksWithJson("micro_build", argc, argv);
+}

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
+
 #include "common/rng.h"
 #include "summaries/histogram.h"
 #include "summaries/pst.h"
@@ -151,4 +153,7 @@ BENCHMARK(BM_TermHistogramMerge);
 }  // namespace
 }  // namespace xcluster
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return xcluster::bench::RunBenchmarksWithJson("micro_summaries", argc,
+                                                argv);
+}

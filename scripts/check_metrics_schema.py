@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate a metrics snapshot (and optionally a trace file) exported by
+xclusterctl.
+
+Usage:
+    check_metrics_schema.py METRICS_JSON [--trace TRACE_JSON]
+
+Checks that the metrics file matches the schema documented in
+docs/OBSERVABILITY.md, that the build-phase counters a real build must
+produce are present and non-zero, and that histograms carry sane
+quantiles. With --trace, also checks the trace file is well-formed Chrome
+trace format JSON with at least one complete event. Exits non-zero with a
+diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_NONZERO_COUNTERS = [
+    "build.builds",
+    "build.reference_nodes",
+    "parse.documents",
+    "parse.nodes",
+    "serialize.bytes.total",
+]
+
+REQUIRED_HISTOGRAMS = [
+    "build.phase1_ns",
+    "build.phase2_ns",
+    "parse.latency_ns",
+    "serialize.encode_ns",
+]
+
+
+def fail(message):
+    print(f"check_metrics_schema: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_histogram(name, hist):
+    if not isinstance(hist, dict):
+        fail(f"histogram {name}: must be an object")
+    for field in ("count", "sum_ns", "min_ns", "max_ns"):
+        if not isinstance(hist.get(field), int) or hist[field] < 0:
+            fail(f"histogram {name}: '{field}' must be a non-negative int")
+    for field in ("p50_ns", "p95_ns", "p99_ns"):
+        if not isinstance(hist.get(field), (int, float)):
+            fail(f"histogram {name}: '{field}' must be a number")
+    if not isinstance(hist.get("buckets"), list):
+        fail(f"histogram {name}: 'buckets' must be an array")
+    total = 0
+    previous_bound = -1
+    for bucket in hist["buckets"]:
+        le = bucket.get("le_ns")
+        count = bucket.get("count")
+        if le == "+Inf":
+            bound = float("inf")
+        elif isinstance(le, int) and le > 0:
+            bound = le
+        else:
+            fail(f"histogram {name}: bad bucket bound {le!r}")
+        if bound <= previous_bound:
+            fail(f"histogram {name}: bucket bounds not increasing")
+        previous_bound = bound
+        if not isinstance(count, int) or count <= 0:
+            fail(f"histogram {name}: buckets must have positive counts")
+        total += count
+    if total != hist["count"]:
+        fail(
+            f"histogram {name}: bucket counts sum to {total}, "
+            f"'count' says {hist['count']}"
+        )
+    if hist["count"] > 0:
+        if hist["min_ns"] > hist["max_ns"]:
+            fail(f"histogram {name}: min_ns > max_ns")
+        if not (hist["p50_ns"] <= hist["p95_ns"] <= hist["p99_ns"]):
+            fail(f"histogram {name}: quantiles not monotone")
+
+
+def check_metrics(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if not isinstance(snapshot, dict):
+        fail("top-level value must be an object")
+    for key in ("counters", "gauges", "histograms"):
+        if not isinstance(snapshot.get(key), dict):
+            fail(f"top-level key '{key}' must be an object keyed by name")
+
+    for name, value in snapshot["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"counter {name}: value must be a non-negative int")
+    for name, value in snapshot["gauges"].items():
+        if not isinstance(value, int):
+            fail(f"gauge {name}: value must be an int")
+    for name, hist in snapshot["histograms"].items():
+        check_histogram(name, hist)
+
+    counters = snapshot["counters"]
+    histograms = snapshot["histograms"]
+    for name in REQUIRED_NONZERO_COUNTERS:
+        if name not in counters:
+            fail(f"required counter '{name}' missing")
+        if counters[name] == 0:
+            fail(f"required counter '{name}' is zero")
+    for name in REQUIRED_HISTOGRAMS:
+        if name not in histograms:
+            fail(f"required histogram '{name}' missing")
+        if histograms[name]["count"] == 0:
+            fail(f"required histogram '{name}' has no samples")
+    return len(counters), len(histograms)
+
+
+def check_trace(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        trace = json.load(handle)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("trace: 'traceEvents' must be a non-empty array")
+    for event in events:
+        for field in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
+            if field not in event:
+                fail(f"trace event missing '{field}': {event!r}")
+        if event["ph"] != "X":
+            fail(f"trace event is not a complete event: {event!r}")
+        if event["ts"] < 0 or event["dur"] < 0:
+            fail(f"trace event has negative time: {event!r}")
+    return len(events)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics_json", help="metrics snapshot to validate")
+    parser.add_argument("--trace", help="Chrome trace file to validate")
+    args = parser.parse_args()
+
+    num_counters, num_histograms = check_metrics(args.metrics_json)
+    print(
+        f"check_metrics_schema: OK: {args.metrics_json} "
+        f"({num_counters} counters, {num_histograms} histograms)"
+    )
+    if args.trace:
+        num_events = check_trace(args.trace)
+        print(f"check_metrics_schema: OK: {args.trace} ({num_events} events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#ifndef XCLUSTER_BUILD_AUTO_BUDGET_H_
+#define XCLUSTER_BUILD_AUTO_BUDGET_H_
+
+#include <cstddef>
+
+#include "build/builder.h"
+#include "synopsis/graph.h"
+#include "workload/generator.h"
+#include "xml/document.h"
+
+namespace xcluster {
+
+/// Options for the automatic Bstr/Bval split (the Sec. 4.3 future-work
+/// item): probe candidate splits of a unified budget against a sample
+/// workload and keep the best.
+struct AutoBudgetOptions {
+  /// Total synopsis budget B = Bstr + Bval, in bytes.
+  size_t total_budget = 64 * 1024;
+
+  /// Sample workload the probes are scored on (generated from the document
+  /// and reference synopsis; seed it differently from any held-out
+  /// evaluation workload).
+  WorkloadOptions sample_workload;
+
+  /// Number of evenly spaced structural fractions probed in the coarse
+  /// sweep, then refined around the coarse winner.
+  size_t coarse_points = 5;
+  size_t refine_points = 3;
+
+  /// Base build options; the budgets are overwritten per probe.
+  BuildOptions build;
+};
+
+struct AutoBudgetResult {
+  GraphSynopsis synopsis;          ///< best-probe synopsis
+  size_t structural_budget = 0;    ///< chosen Bstr (Bstr + Bval == total)
+  size_t value_budget = 0;         ///< chosen Bval
+  double sample_error = 0.0;       ///< avg rel error on the sample workload
+  size_t probes = 0;               ///< number of builds performed
+};
+
+/// Splits `options.total_budget` into Bstr + Bval by probing
+/// coarse_points + refine_points splits, building each, and scoring it on
+/// the sample workload. Deterministic given the workload seed.
+AutoBudgetResult AutoBudgetBuild(const XmlDocument& doc,
+                                 const GraphSynopsis& reference,
+                                 const AutoBudgetOptions& options);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_BUILD_AUTO_BUDGET_H_

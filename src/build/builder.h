@@ -1,0 +1,81 @@
+#ifndef XCLUSTER_BUILD_BUILDER_H_
+#define XCLUSTER_BUILD_BUILDER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "build/compress.h"
+#include "build/delta.h"
+#include "synopsis/graph.h"
+#include "synopsis/reference.h"
+#include "xml/document.h"
+
+namespace xcluster {
+
+/// How phase 1 selects merge pairs.
+enum class MergePolicy : uint8_t {
+  kLocalizedDelta = 0,  ///< the paper's marginal-loss guided greedy (default)
+  kCountOnly = 1,       ///< structure-only metric (TreeSketch-style ablation)
+  kRandom = 2,          ///< random compatible pairs (ablation baseline)
+};
+
+/// Parameters of the two-phase XCLUSTERBUILD algorithm (Fig. 5).
+struct BuildOptions {
+  /// Bstr: byte budget for nodes + edges under the size model.
+  size_t structural_budget = 50 * 1024;
+
+  /// Bval: byte budget for value summaries.
+  size_t value_budget = 150 * 1024;
+
+  MergePolicy policy = MergePolicy::kLocalizedDelta;
+
+  /// Seed for the kRandom policy (ignored otherwise).
+  uint64_t seed = 1;
+
+  /// Candidate-pool bounds Hm / Hl (Sec. 4.3): the pool keeps at most
+  /// `pool_max` candidates and is rebuilt when it drains below `pool_min`.
+  size_t pool_max = 10000;
+  size_t pool_min = 500;
+
+  /// Pair-enumeration cap per pool rebuild; pairs beyond it are
+  /// stride-sampled. 0 disables sampling.
+  size_t pair_sample_cap = 20000;
+
+  /// Delta-metric parameters (phase 1 scoring).
+  DeltaOptions delta;
+
+  /// Phase-2 compression parameters.
+  CompressOptions compress;
+
+  /// Print per-phase progress to stderr.
+  bool verbose = false;
+};
+
+/// Construction telemetry.
+struct BuildStats {
+  size_t reference_nodes = 0;  ///< alive nodes in the input reference
+  size_t reference_bytes = 0;  ///< structural + value bytes of the reference
+  size_t merges_applied = 0;
+  size_t candidates_evaluated = 0;
+  size_t pool_rebuilds = 0;
+  size_t value_bytes_compressed = 0;
+  size_t final_structural_bytes = 0;
+  size_t final_value_bytes = 0;
+};
+
+/// Runs XCLUSTERBUILD on (a copy of) `reference`: phase-1 structure-value
+/// merges until the structural budget is met (or the per-(label, type) merge
+/// floor is reached), then phase-2 value compression to the value budget.
+/// The result is compacted. `stats` may be null.
+GraphSynopsis XClusterBuild(const GraphSynopsis& reference,
+                            const BuildOptions& options, BuildStats* stats);
+
+/// Convenience wrapper: builds the reference synopsis for `doc`, then runs
+/// XClusterBuild on it.
+GraphSynopsis BuildXCluster(const XmlDocument& doc,
+                            const ReferenceOptions& ref_options,
+                            const BuildOptions& options, BuildStats* stats);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_BUILD_BUILDER_H_

@@ -1,0 +1,35 @@
+#ifndef XCLUSTER_BUILD_COMPRESS_H_
+#define XCLUSTER_BUILD_COMPRESS_H_
+
+#include <cstddef>
+
+#include "build/delta.h"
+#include "synopsis/graph.h"
+
+namespace xcluster {
+
+/// Options for phase 2 of XCLUSTERBUILD (Sec. 4.2): value-summary
+/// compression under the Bval budget.
+struct CompressOptions {
+  /// Units of compression applied per candidate application (bucket merges /
+  /// PST leaf prunes / term demotions). 0 = auto-scale so the phase finishes
+  /// in roughly 256 applications regardless of the byte excess.
+  size_t step = 0;
+
+  /// Rebuild numeric histograms V-Optimally instead of greedy adjacent
+  /// bucket merging (ablation A6).
+  bool voptimal_histograms = false;
+
+  /// Scoring parameters for the marginal-loss ranking.
+  DeltaOptions delta;
+};
+
+/// Compresses value summaries (lowest marginal loss per byte first) until
+/// the synopsis' ValueBytes() fits `value_budget` or nothing can shrink
+/// further. Returns the final ValueBytes().
+size_t CompressValueSummaries(GraphSynopsis* synopsis, size_t value_budget,
+                              const CompressOptions& options);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_BUILD_COMPRESS_H_

@@ -1,0 +1,375 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace xcluster {
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::String(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string JsonEscape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumberToString(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    if (std::strtod(shorter, nullptr) == value) return shorter;
+  }
+  return buf;
+}
+
+namespace {
+
+void DumpTo(const JsonValue& v, int indent, int depth, std::string* out) {
+  const bool pretty = indent >= 0;
+  const std::string pad = pretty ? std::string(indent * (depth + 1), ' ') : "";
+  const std::string close_pad = pretty ? std::string(indent * depth, ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  const char* sp = pretty ? " " : "";
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      *out += v.as_bool() ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber:
+      *out += JsonNumberToString(v.as_number());
+      return;
+    case JsonValue::Kind::kString:
+      *out += '"';
+      *out += JsonEscape(v.as_string());
+      *out += '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      if (v.items().empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += '[';
+      *out += nl;
+      bool first = true;
+      for (const JsonValue& item : v.items()) {
+        if (!first) {
+          *out += ',';
+          *out += nl;
+        }
+        first = false;
+        *out += pad;
+        DumpTo(item, indent, depth + 1, out);
+      }
+      *out += nl;
+      *out += close_pad;
+      *out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      if (v.members().empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += '{';
+      *out += nl;
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) {
+          *out += ',';
+          *out += nl;
+        }
+        first = false;
+        *out += pad;
+        *out += '"';
+        *out += JsonEscape(key);
+        *out += "\":";
+        *out += sp;
+        DumpTo(member, indent, depth + 1, out);
+      }
+      *out += nl;
+      *out += close_pad;
+      *out += '}';
+      return;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    XCLUSTER_RETURN_IF_ERROR(ParseValue(0, &value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at byte " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(int depth, JsonValue* out) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(depth, out);
+      case '[': return ParseArray(depth, out);
+      case '"': {
+        std::string s;
+        XCLUSTER_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue::String(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          *out = JsonValue::Bool(true);
+          return Status::OK();
+        }
+        return Error("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          *out = JsonValue::Bool(false);
+          return Status::OK();
+        }
+        return Error("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          *out = JsonValue();
+          return Status::OK();
+        }
+        return Error("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(int depth, JsonValue* out) {
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      XCLUSTER_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipWhitespace();
+      JsonValue member;
+      XCLUSTER_RETURN_IF_ERROR(ParseValue(depth + 1, &member));
+      out->members()[std::move(key)] = std::move(member);
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(int depth, JsonValue* out) {
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      JsonValue item;
+      XCLUSTER_RETURN_IF_ERROR(ParseValue(depth + 1, &item));
+      out->items().push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<uint32_t>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<uint32_t>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<uint32_t>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are passed
+          // through as two separately-encoded halves; the telemetry
+          // formats never emit them).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return Error("bad number");
+    *out = JsonValue::Number(value);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(*this, indent, 0, &out);
+  return out;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace xcluster

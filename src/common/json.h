@@ -1,0 +1,82 @@
+#ifndef XCLUSTER_COMMON_JSON_H_
+#define XCLUSTER_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xcluster {
+
+/// A parsed JSON document: the usual null / bool / number / string / array /
+/// object variant. Objects keep their members in sorted (std::map) order, so
+/// Dump() of a value is deterministic regardless of input order.
+///
+/// This is deliberately a small, strict parser for the telemetry formats the
+/// repo itself emits (metrics snapshots, Chrome trace files, bench entries)
+/// and for validating them in tests — not a general-purpose JSON library.
+/// Numbers are held as doubles; integers up to 2^53 round-trip exactly.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue String(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  std::vector<JsonValue>& items() { return array_; }
+  const std::vector<JsonValue>& items() const { return array_; }
+  std::map<std::string, JsonValue>& members() { return object_; }
+  const std::map<std::string, JsonValue>& members() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Serializes back to JSON text. `indent` < 0 renders compactly on one
+  /// line; otherwise nested values are pretty-printed with `indent` spaces
+  /// per level.
+  std::string Dump(int indent = -1) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses `text` (one JSON value plus optional trailing whitespace).
+/// Rejects trailing garbage, unterminated constructs, bad escapes, and
+/// nesting deeper than an internal guard. Errors are kInvalidArgument with
+/// byte-offset context.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Escapes `raw` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(std::string_view raw);
+
+/// Formats a double the way Dump() does: integral values without a
+/// fractional part, everything else with enough digits to round-trip.
+std::string JsonNumberToString(double value);
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_COMMON_JSON_H_

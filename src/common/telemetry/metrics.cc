@@ -1,0 +1,388 @@
+#include "common/telemetry/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace xcluster {
+namespace telemetry {
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t LatencyHistogram::BucketUpperBoundNs(size_t i) {
+  if (i == 0) return uint64_t{1} << kFirstBucketLog2;
+  if (i >= kNumBuckets - 1) return UINT64_MAX;
+  return uint64_t{1} << (kFirstBucketLog2 + i);
+}
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  size_t index = 0;
+  if (nanos >= (uint64_t{1} << kFirstBucketLog2)) {
+    const size_t log2 = static_cast<size_t>(std::bit_width(nanos)) - 1;
+    index = std::min(log2 - kFirstBucketLog2 + 1, kNumBuckets - 1);
+  }
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(nanos, std::memory_order_relaxed);
+  // min/max via CAS loops (rare retries; updates are monotone).
+  uint64_t seen = min_ns_.load(std::memory_order_relaxed);
+  while (nanos < seen &&
+         !min_ns_.compare_exchange_weak(seen, nanos,
+                                        std::memory_order_relaxed)) {
+  }
+  seen = max_ns_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_ns_.compare_exchange_weak(seen, nanos,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::min_ns() const {
+  uint64_t v = min_ns_.load(std::memory_order_relaxed);
+  return v == UINT64_MAX ? 0 : v;
+}
+
+double LatencyHistogram::QuantileNs(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (cumulative + static_cast<double>(in_bucket) >= target) {
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(BucketUpperBoundNs(i - 1));
+      // The open-ended last bucket is capped at the observed maximum.
+      const double upper =
+          i == kNumBuckets - 1
+              ? static_cast<double>(max_ns_.load(std::memory_order_relaxed))
+              : static_cast<double>(BucketUpperBoundNs(i));
+      const double fraction =
+          std::clamp((target - cumulative) / static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      const double value = lower + fraction * (std::max(upper, lower) - lower);
+      return std::clamp(value, static_cast<double>(min_ns()),
+                        static_cast<double>(max_ns()));
+    }
+    cumulative += static_cast<double>(in_bucket);
+  }
+  return static_cast<double>(max_ns());
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramValue value;
+    value.name = name;
+    value.count = histogram->count();
+    value.sum_ns = histogram->sum_ns();
+    value.min_ns = histogram->min_ns();
+    value.max_ns = histogram->max_ns();
+    value.p50_ns = histogram->QuantileNs(0.50);
+    value.p95_ns = histogram->QuantileNs(0.95);
+    value.p99_ns = histogram->QuantileNs(0.99);
+    for (size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      const uint64_t count = histogram->bucket_count(i);
+      if (count == 0) continue;
+      value.buckets.push_back({LatencyHistogram::BucketUpperBoundNs(i), count});
+    }
+    snapshot.histograms.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+namespace {
+
+JsonValue HistogramToJson(const MetricsSnapshot::HistogramValue& h) {
+  JsonValue obj = JsonValue::Object();
+  obj.members()["count"] = JsonValue::Number(static_cast<double>(h.count));
+  obj.members()["sum_ns"] = JsonValue::Number(static_cast<double>(h.sum_ns));
+  obj.members()["min_ns"] = JsonValue::Number(static_cast<double>(h.min_ns));
+  obj.members()["max_ns"] = JsonValue::Number(static_cast<double>(h.max_ns));
+  obj.members()["p50_ns"] = JsonValue::Number(h.p50_ns);
+  obj.members()["p95_ns"] = JsonValue::Number(h.p95_ns);
+  obj.members()["p99_ns"] = JsonValue::Number(h.p99_ns);
+  JsonValue buckets = JsonValue::Array();
+  for (const auto& bucket : h.buckets) {
+    JsonValue b = JsonValue::Object();
+    // The open-ended bucket's bound renders as a string so the JSON stays
+    // within double-exact integer range.
+    if (bucket.upper_bound_ns == UINT64_MAX) {
+      b.members()["le_ns"] = JsonValue::String("+Inf");
+    } else {
+      b.members()["le_ns"] =
+          JsonValue::Number(static_cast<double>(bucket.upper_bound_ns));
+    }
+    b.members()["count"] = JsonValue::Number(static_cast<double>(bucket.count));
+    buckets.items().push_back(std::move(b));
+  }
+  obj.members()["buckets"] = std::move(buckets);
+  return obj;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:] only.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "xcluster_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string FormatNs(double ns) {
+  char buf[64];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  JsonValue counters_obj = JsonValue::Object();
+  for (const CounterValue& c : counters) {
+    counters_obj.members()[c.name] =
+        JsonValue::Number(static_cast<double>(c.value));
+  }
+  JsonValue gauges_obj = JsonValue::Object();
+  for (const GaugeValue& g : gauges) {
+    gauges_obj.members()[g.name] =
+        JsonValue::Number(static_cast<double>(g.value));
+  }
+  JsonValue histograms_obj = JsonValue::Object();
+  for (const HistogramValue& h : histograms) {
+    histograms_obj.members()[h.name] = HistogramToJson(h);
+  }
+  root.members()["counters"] = std::move(counters_obj);
+  root.members()["gauges"] = std::move(gauges_obj);
+  root.members()["histograms"] = std::move(histograms_obj);
+  std::string out = root.Dump(2);
+  out += '\n';
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  for (const CounterValue& c : counters) {
+    const std::string name = PrometheusName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeValue& g : gauges) {
+    const std::string name = PrometheusName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + std::to_string(g.value) + "\n";
+  }
+  for (const HistogramValue& h : histograms) {
+    // Latency histograms are recorded in nanoseconds; Prometheus convention
+    // is base-unit seconds, so `<name>_ns` exports as `<name>_seconds`.
+    std::string base = h.name;
+    if (base.size() > 3 && base.compare(base.size() - 3, 3, "_ns") == 0) {
+      base.resize(base.size() - 3);
+    }
+    const std::string name = PrometheusName(base + "_seconds");
+    out += "# TYPE " + name + " histogram\n";
+    uint64_t cumulative = 0;
+    for (const HistogramValue::Bucket& bucket : h.buckets) {
+      cumulative += bucket.count;
+      if (bucket.upper_bound_ns == UINT64_MAX) continue;  // folded into +Inf
+      char le[32];
+      std::snprintf(le, sizeof(le), "%.9g",
+                    static_cast<double>(bucket.upper_bound_ns) / 1e9);
+      out += name + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += name + "_sum " +
+           JsonNumberToString(static_cast<double>(h.sum_ns) / 1e9) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+Result<MetricsSnapshot> SnapshotFromJson(std::string_view json) {
+  XCLUSTER_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("metrics snapshot: not a JSON object");
+  }
+  MetricsSnapshot snapshot;
+  if (const JsonValue* counters = root.Find("counters")) {
+    if (!counters->is_object()) {
+      return Status::InvalidArgument("metrics snapshot: counters not object");
+    }
+    for (const auto& [name, value] : counters->members()) {
+      if (!value.is_number()) {
+        return Status::InvalidArgument("metrics snapshot: counter " + name +
+                                       " not numeric");
+      }
+      snapshot.counters.push_back(
+          {name, static_cast<uint64_t>(value.as_number())});
+    }
+  }
+  if (const JsonValue* gauges = root.Find("gauges")) {
+    if (!gauges->is_object()) {
+      return Status::InvalidArgument("metrics snapshot: gauges not object");
+    }
+    for (const auto& [name, value] : gauges->members()) {
+      if (!value.is_number()) {
+        return Status::InvalidArgument("metrics snapshot: gauge " + name +
+                                       " not numeric");
+      }
+      snapshot.gauges.push_back(
+          {name, static_cast<int64_t>(value.as_number())});
+    }
+  }
+  if (const JsonValue* histograms = root.Find("histograms")) {
+    if (!histograms->is_object()) {
+      return Status::InvalidArgument("metrics snapshot: histograms not object");
+    }
+    for (const auto& [name, value] : histograms->members()) {
+      if (!value.is_object()) {
+        return Status::InvalidArgument("metrics snapshot: histogram " + name +
+                                       " not object");
+      }
+      MetricsSnapshot::HistogramValue h;
+      h.name = name;
+      auto number = [&value](const char* field, double* out) -> Status {
+        const JsonValue* member = value.Find(field);
+        if (member == nullptr || !member->is_number()) {
+          return Status::InvalidArgument(
+              std::string("metrics snapshot: histogram missing ") + field);
+        }
+        *out = member->as_number();
+        return Status::OK();
+      };
+      double count = 0, sum = 0, min = 0, max = 0;
+      XCLUSTER_RETURN_IF_ERROR(number("count", &count));
+      XCLUSTER_RETURN_IF_ERROR(number("sum_ns", &sum));
+      XCLUSTER_RETURN_IF_ERROR(number("min_ns", &min));
+      XCLUSTER_RETURN_IF_ERROR(number("max_ns", &max));
+      XCLUSTER_RETURN_IF_ERROR(number("p50_ns", &h.p50_ns));
+      XCLUSTER_RETURN_IF_ERROR(number("p95_ns", &h.p95_ns));
+      XCLUSTER_RETURN_IF_ERROR(number("p99_ns", &h.p99_ns));
+      h.count = static_cast<uint64_t>(count);
+      h.sum_ns = static_cast<uint64_t>(sum);
+      h.min_ns = static_cast<uint64_t>(min);
+      h.max_ns = static_cast<uint64_t>(max);
+      const JsonValue* buckets = value.Find("buckets");
+      if (buckets == nullptr || !buckets->is_array()) {
+        return Status::InvalidArgument(
+            "metrics snapshot: histogram missing buckets");
+      }
+      for (const JsonValue& bucket : buckets->items()) {
+        const JsonValue* le = bucket.Find("le_ns");
+        const JsonValue* bucket_count = bucket.Find("count");
+        if (le == nullptr || bucket_count == nullptr ||
+            !bucket_count->is_number()) {
+          return Status::InvalidArgument("metrics snapshot: malformed bucket");
+        }
+        MetricsSnapshot::HistogramValue::Bucket b;
+        if (le->is_string() && le->as_string() == "+Inf") {
+          b.upper_bound_ns = UINT64_MAX;
+        } else if (le->is_number()) {
+          b.upper_bound_ns = static_cast<uint64_t>(le->as_number());
+        } else {
+          return Status::InvalidArgument("metrics snapshot: malformed le_ns");
+        }
+        b.count = static_cast<uint64_t>(bucket_count->as_number());
+        h.buckets.push_back(b);
+      }
+      snapshot.histograms.push_back(std::move(h));
+    }
+  }
+  return snapshot;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char line[256];
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const CounterValue& c : counters) {
+      std::snprintf(line, sizeof(line), "  %-40s %20llu\n", c.name.c_str(),
+                    static_cast<unsigned long long>(c.value));
+      out += line;
+    }
+  }
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    for (const GaugeValue& g : gauges) {
+      std::snprintf(line, sizeof(line), "  %-40s %20lld\n", g.name.c_str(),
+                    static_cast<long long>(g.value));
+      out += line;
+    }
+  }
+  if (!histograms.empty()) {
+    out += "histograms:\n";
+    for (const HistogramValue& h : histograms) {
+      std::snprintf(line, sizeof(line),
+                    "  %-40s count=%llu p50=%s p95=%s p99=%s max=%s\n",
+                    h.name.c_str(), static_cast<unsigned long long>(h.count),
+                    FormatNs(h.p50_ns).c_str(), FormatNs(h.p95_ns).c_str(),
+                    FormatNs(h.p99_ns).c_str(),
+                    FormatNs(static_cast<double>(h.max_ns)).c_str());
+      out += line;
+    }
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace xcluster

@@ -1,0 +1,169 @@
+#ifndef XCLUSTER_COMMON_TELEMETRY_METRICS_H_
+#define XCLUSTER_COMMON_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xcluster {
+namespace telemetry {
+
+/// Monotonic wall-clock in nanoseconds (steady_clock).
+uint64_t MonotonicNowNs();
+
+/// A monotonically increasing counter. Lock-free; safe to update from any
+/// thread. Pointers handed out by the registry stay valid for the
+/// registry's lifetime, so call sites may cache them.
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A last-write-wins signed gauge. Lock-free.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A latency histogram over exponential (powers-of-two) nanosecond buckets.
+///
+/// Bucket `i` counts samples in [2^i, 2^(i+1)) ns for i in
+/// [kFirstBucketLog2, kLastBucketLog2]; one underflow bucket catches
+/// everything below 2^kFirstBucketLog2 and the last bucket is open-ended.
+/// Every slot is an independent relaxed atomic, so concurrent Record calls
+/// never contend on a lock. Quantiles are extracted by a cumulative walk
+/// with linear interpolation inside the winning bucket.
+class LatencyHistogram {
+ public:
+  /// 2^8 = 256 ns: finest boundary worth resolving above clock overhead.
+  static constexpr size_t kFirstBucketLog2 = 8;
+  /// 2^36 ns ~= 69 s: anything slower lands in the open-ended last bucket.
+  static constexpr size_t kLastBucketLog2 = 36;
+  /// Underflow bucket + one per power of two in the resolved range.
+  static constexpr size_t kNumBuckets = kLastBucketLog2 - kFirstBucketLog2 + 2;
+
+  /// Upper bound (exclusive) of bucket `i`; UINT64_MAX for the last bucket.
+  static uint64_t BucketUpperBoundNs(size_t i);
+
+  void Record(uint64_t nanos);
+
+  /// Quantile in nanoseconds, q in [0, 1]. Returns 0 for an empty
+  /// histogram. Interpolated within the winning bucket, so the result lies
+  /// inside that bucket's bounds (clamped to the observed max).
+  double QuantileNs(double q) const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_ns() const { return sum_ns_.load(std::memory_order_relaxed); }
+  uint64_t min_ns() const;
+  uint64_t max_ns() const { return max_ns_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+  std::atomic<uint64_t> min_ns_{UINT64_MAX};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+/// A point-in-time copy of every registered metric, sorted by name (the
+/// registry stores metrics in ordered maps, so two snapshots of the same
+/// state render byte-identically).
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramValue {
+    struct Bucket {
+      uint64_t upper_bound_ns = 0;  ///< UINT64_MAX = open-ended
+      uint64_t count = 0;
+    };
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum_ns = 0;
+    uint64_t min_ns = 0;
+    uint64_t max_ns = 0;
+    double p50_ns = 0.0;
+    double p95_ns = 0.0;
+    double p99_ns = 0.0;
+    std::vector<Bucket> buckets;  ///< only buckets with non-zero counts
+  };
+
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Machine-readable JSON (see docs/OBSERVABILITY.md for the schema).
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format (metric names sanitized, latency
+  /// histograms exported in seconds with cumulative `le` buckets).
+  std::string ToPrometheus() const;
+
+  /// Human-readable rendering for `xclusterctl stats`.
+  std::string ToText() const;
+};
+
+/// Inverse of MetricsSnapshot::ToJson — parses a previously exported
+/// snapshot (e.g. for `xclusterctl stats --in m.json`). Strict about the
+/// schema: unknown histogram fields error rather than silently dropping.
+Result<MetricsSnapshot> SnapshotFromJson(std::string_view json);
+
+/// A process-wide registry of named metrics.
+///
+/// Metric names use the `<subsystem>.<name>[_<unit>]` scheme (e.g.
+/// `build.merges_applied`, `estimate.latency_ns`). Registration takes a
+/// mutex; returned pointers are stable for the registry's lifetime, so hot
+/// call sites register once (via a static local) and then update lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry used by the instrumentation macros.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace telemetry
+}  // namespace xcluster
+
+#endif  // XCLUSTER_COMMON_TELEMETRY_METRICS_H_

@@ -1,0 +1,117 @@
+#ifndef XCLUSTER_COMMON_TELEMETRY_TELEMETRY_H_
+#define XCLUSTER_COMMON_TELEMETRY_TELEMETRY_H_
+
+/// Umbrella header for hot-path instrumentation.
+///
+/// All instrumentation in library code goes through the macros below so the
+/// whole layer compiles to nothing under `-DXCLUSTER_TELEMETRY=OFF` (the
+/// CMake option defines XCLUSTER_TELEMETRY_ENABLED=0): no registry lookups,
+/// no clock reads, no symbols referenced. With telemetry ON but no exporter
+/// attached, counters are single relaxed atomic adds, scoped timers are two
+/// clock reads plus a handful of atomics, and trace spans are one relaxed
+/// atomic load.
+///
+/// Metric naming scheme (see docs/OBSERVABILITY.md):
+///   <subsystem>.<metric>[_<unit>]     e.g. build.merges_applied,
+///                                          estimate.latency_ns
+/// Latency histograms always carry the `_ns` suffix and record nanoseconds.
+
+#ifndef XCLUSTER_TELEMETRY_ENABLED
+#define XCLUSTER_TELEMETRY_ENABLED 1
+#endif
+
+#if XCLUSTER_TELEMETRY_ENABLED
+
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
+
+namespace xcluster {
+namespace telemetry {
+
+/// RAII timer recording its scope's wall time into a LatencyHistogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* histogram)
+      : histogram_(histogram), start_ns_(MonotonicNowNs()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { histogram_->Record(MonotonicNowNs() - start_ns_); }
+
+ private:
+  LatencyHistogram* histogram_;
+  uint64_t start_ns_;
+};
+
+}  // namespace telemetry
+}  // namespace xcluster
+
+#define XCLUSTER_TELEMETRY_CONCAT_INNER_(a, b) a##b
+#define XCLUSTER_TELEMETRY_CONCAT_(a, b) XCLUSTER_TELEMETRY_CONCAT_INNER_(a, b)
+
+/// Adds `delta` to the named process-global counter. The registry lookup
+/// happens once per call site (static local), after which updates are a
+/// relaxed atomic add.
+#define XCLUSTER_COUNTER_ADD(name, delta)                                  \
+  do {                                                                     \
+    static ::xcluster::telemetry::Counter* _xc_counter =                   \
+        ::xcluster::telemetry::MetricsRegistry::Global().GetCounter(name); \
+    _xc_counter->Add(static_cast<uint64_t>(delta));                        \
+  } while (0)
+
+#define XCLUSTER_COUNTER_INC(name) XCLUSTER_COUNTER_ADD(name, 1)
+
+/// Sets the named process-global gauge.
+#define XCLUSTER_GAUGE_SET(name, value)                                  \
+  do {                                                                   \
+    static ::xcluster::telemetry::Gauge* _xc_gauge =                     \
+        ::xcluster::telemetry::MetricsRegistry::Global().GetGauge(name); \
+    _xc_gauge->Set(static_cast<int64_t>(value));                         \
+  } while (0)
+
+/// Records one nanosecond sample into the named latency histogram.
+#define XCLUSTER_HISTOGRAM_RECORD_NS(name, nanos)                            \
+  do {                                                                       \
+    static ::xcluster::telemetry::LatencyHistogram* _xc_histogram =          \
+        ::xcluster::telemetry::MetricsRegistry::Global().GetHistogram(name); \
+    _xc_histogram->Record(static_cast<uint64_t>(nanos));                     \
+  } while (0)
+
+/// Times the rest of the enclosing scope into the named latency histogram.
+#define XCLUSTER_SCOPED_TIMER_NS(name)                                        \
+  static ::xcluster::telemetry::LatencyHistogram*                             \
+      XCLUSTER_TELEMETRY_CONCAT_(_xc_timer_hist_, __LINE__) =                 \
+          ::xcluster::telemetry::MetricsRegistry::Global().GetHistogram(      \
+              name);                                                          \
+  ::xcluster::telemetry::ScopedTimer XCLUSTER_TELEMETRY_CONCAT_(_xc_timer_,   \
+                                                                __LINE__)(    \
+      XCLUSTER_TELEMETRY_CONCAT_(_xc_timer_hist_, __LINE__))
+
+/// Emits a complete event to the installed TraceRecorder (if any) covering
+/// the rest of the enclosing scope.
+#define XCLUSTER_TRACE_SPAN(name) \
+  ::xcluster::telemetry::TraceSpan XCLUSTER_TELEMETRY_CONCAT_( \
+      _xc_span_, __LINE__)(name)
+
+#else  // !XCLUSTER_TELEMETRY_ENABLED
+
+#define XCLUSTER_COUNTER_ADD(name, delta) \
+  do {                                    \
+    (void)sizeof(delta);                  \
+  } while (0)
+#define XCLUSTER_COUNTER_INC(name) ((void)0)
+#define XCLUSTER_GAUGE_SET(name, value) \
+  do {                                  \
+    (void)sizeof(value);                \
+  } while (0)
+#define XCLUSTER_HISTOGRAM_RECORD_NS(name, nanos) \
+  do {                                            \
+    (void)sizeof(nanos);                          \
+  } while (0)
+#define XCLUSTER_SCOPED_TIMER_NS(name) ((void)0)
+#define XCLUSTER_TRACE_SPAN(name) ((void)0)
+
+#endif  // XCLUSTER_TELEMETRY_ENABLED
+
+#endif  // XCLUSTER_COMMON_TELEMETRY_TELEMETRY_H_

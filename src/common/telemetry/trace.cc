@@ -1,0 +1,84 @@
+#include "common/telemetry/trace.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/io/file_io.h"
+#include "common/json.h"
+#include "common/telemetry/metrics.h"
+
+namespace xcluster {
+namespace telemetry {
+
+namespace {
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+std::atomic<uint64_t> g_next_thread_id{1};
+}  // namespace
+
+void InstallGlobalTraceRecorder(TraceRecorder* recorder) {
+  g_recorder.store(recorder, std::memory_order_release);
+}
+
+TraceRecorder* GlobalTraceRecorder() {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+uint64_t CurrentThreadId() {
+  thread_local uint64_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+uint64_t TraceSpan::NowNs() { return MonotonicNowNs(); }
+
+void TraceRecorder::Add(Event event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceRecorder::ToJson() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+  }
+  uint64_t epoch_ns = UINT64_MAX;
+  for (const Event& event : events) {
+    epoch_ns = std::min(epoch_ns, event.start_ns);
+  }
+  if (events.empty()) epoch_ns = 0;
+
+  JsonValue trace_events = JsonValue::Array();
+  for (const Event& event : events) {
+    JsonValue e = JsonValue::Object();
+    e.members()["name"] = JsonValue::String(event.name);
+    e.members()["cat"] = JsonValue::String(event.category);
+    e.members()["ph"] = JsonValue::String("X");
+    // Chrome trace timestamps/durations are microseconds (fractions kept).
+    e.members()["ts"] =
+        JsonValue::Number(static_cast<double>(event.start_ns - epoch_ns) / 1e3);
+    e.members()["dur"] =
+        JsonValue::Number(static_cast<double>(event.duration_ns) / 1e3);
+    e.members()["pid"] = JsonValue::Number(1);
+    e.members()["tid"] = JsonValue::Number(static_cast<double>(event.thread_id));
+    trace_events.items().push_back(std::move(e));
+  }
+  JsonValue root = JsonValue::Object();
+  root.members()["traceEvents"] = std::move(trace_events);
+  root.members()["displayTimeUnit"] = JsonValue::String("ms");
+  std::string out = root.Dump(1);
+  out += '\n';
+  return out;
+}
+
+Status TraceRecorder::WriteFile(const std::string& path) const {
+  return WriteFileAtomic(path, ToJson());
+}
+
+}  // namespace telemetry
+}  // namespace xcluster

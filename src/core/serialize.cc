@@ -8,6 +8,7 @@
 
 #include "common/io/crc32c.h"
 #include "common/io/file_io.h"
+#include "common/telemetry/telemetry.h"
 #include "core/xcluster.h"
 
 namespace xcluster {
@@ -264,12 +265,30 @@ Status DecodeSummary(ByteSource* src, ValueSummary* vsumm) {
   }
 }
 
+/// Per-section encoded-byte counters (ids are a closed set, so each maps to
+/// its own statically-registered counter).
+void CountSectionBytes(uint8_t id, size_t bytes) {
+  switch (id) {
+    case kLabels: XCLUSTER_COUNTER_ADD("serialize.bytes.labels", bytes); break;
+    case kTerms: XCLUSTER_COUNTER_ADD("serialize.bytes.terms", bytes); break;
+    case kNodes: XCLUSTER_COUNTER_ADD("serialize.bytes.nodes", bytes); break;
+    case kEdges: XCLUSTER_COUNTER_ADD("serialize.bytes.edges", bytes); break;
+    default: break;
+  }
+}
+
 /// Appends one section (id, length, payload, masked payload CRC) to `sink`.
 Status AppendSection(ByteSink* sink, SectionId id, std::string_view payload) {
   PutFixed8(sink, id);
   PutVarint64(sink, payload.size());
   XCLUSTER_RETURN_IF_ERROR(sink->Append(payload));
-  PutFixed32(sink, crc32c::Mask(crc32c::Value(payload)));
+  uint32_t crc = 0;
+  {
+    XCLUSTER_SCOPED_TIMER_NS("serialize.crc_ns");
+    crc = crc32c::Value(payload);
+  }
+  CountSectionBytes(id, payload.size());
+  PutFixed32(sink, crc32c::Mask(crc));
   return Status::OK();
 }
 
@@ -654,6 +673,8 @@ Result<GraphSynopsis> DecodeLegacyText(std::string_view bytes) {
 }  // namespace
 
 Status EncodeSynopsis(const GraphSynopsis& input, ByteSink* sink) {
+  XCLUSTER_TRACE_SPAN("serialize.encode");
+  XCLUSTER_SCOPED_TIMER_NS("serialize.encode_ns");
   // Serialize a compacted copy so ids are dense.
   GraphSynopsis synopsis = input;
   synopsis.Compact();
@@ -722,7 +743,13 @@ Status EncodeSynopsis(const GraphSynopsis& input, ByteSink* sink) {
   XCLUSTER_RETURN_IF_ERROR(AppendSection(&fs, kNodes, nodes));
   XCLUSTER_RETURN_IF_ERROR(AppendSection(&fs, kEdges, edges));
   PutFixed8(&fs, kEnd);
-  PutFixed32(&fs, crc32c::Mask(crc32c::Value(file)));
+  uint32_t file_crc = 0;
+  {
+    XCLUSTER_SCOPED_TIMER_NS("serialize.crc_ns");
+    file_crc = crc32c::Value(file);
+  }
+  PutFixed32(&fs, crc32c::Mask(file_crc));
+  XCLUSTER_COUNTER_ADD("serialize.bytes.total", file.size() + 4);
   return sink->Append(file);
 }
 
@@ -734,6 +761,8 @@ std::string EncodeSynopsisToString(const GraphSynopsis& synopsis) {
 }
 
 Result<GraphSynopsis> DecodeSynopsis(ByteSource* src) {
+  XCLUSTER_TRACE_SPAN("serialize.decode");
+  XCLUSTER_SCOPED_TIMER_NS("serialize.decode_ns");
   GraphSynopsis synopsis;
   std::vector<std::string> labels;
   bool saw_labels = false;

@@ -1,10 +1,12 @@
 #include "core/xcluster.h"
 
+#include "common/telemetry/telemetry.h"
 #include "query/parser.h"
 
 namespace xcluster {
 
 XCluster XCluster::Build(const XmlDocument& doc, const Options& options) {
+  XCLUSTER_TRACE_SPAN("xcluster.build");
   BuildStats stats;
   GraphSynopsis synopsis =
       BuildXCluster(doc, options.reference, options.build, &stats);

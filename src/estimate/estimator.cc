@@ -1,7 +1,10 @@
 #include "estimate/estimator.h"
 
+#include <cstdio>
 #include <map>
 #include <string>
+
+#include "common/telemetry/telemetry.h"
 
 namespace xcluster {
 
@@ -33,9 +36,11 @@ void XClusterEstimator::Reach(
   if (!step.wildcard && key.label == kInvalidSymbol) return;  // unknown tag
   auto cached = descendant_cache_.find(key);
   if (cached != descendant_cache_.end()) {
+    XCLUSTER_COUNTER_INC("estimate.reach_cache.hits");
     out->insert(out->end(), cached->second.begin(), cached->second.end());
     return;
   }
+  XCLUSTER_COUNTER_INC("estimate.reach_cache.misses");
   std::map<SynNodeId, double> frontier{{source, 1.0}};
   std::map<SynNodeId, double> reached;
   for (size_t hop = 0; hop < options_.max_descendant_hops; ++hop) {
@@ -123,20 +128,27 @@ double XClusterEstimator::TuplesPerElement(
 }
 
 std::string EstimateExplanation::ToString() const {
-  std::string out = "estimate: " + std::to_string(selectivity) + "\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "estimate: %.6g\n", selectivity);
+  std::string out = line;
+  if (!vars.empty()) {
+    std::snprintf(line, sizeof(line), "  %-28s %14s %12s\n", "var",
+                  "expected", "sigma");
+    out += line;
+  }
   for (const VarStats& var : vars) {
-    out += "  q" + std::to_string(var.var) + " " +
-           (var.step.empty() ? "(root)" : var.step) + ": " +
-           std::to_string(var.expected_bindings) + " expected";
-    if (var.predicate_selectivity != 1.0) {
-      out += " (sigma=" + std::to_string(var.predicate_selectivity) + ")";
-    }
-    out += "\n";
+    const std::string name = "q" + std::to_string(var.var) + " " +
+                             (var.step.empty() ? "(root)" : var.step);
+    std::snprintf(line, sizeof(line), "  %-28s %14.6g %12.6g\n", name.c_str(),
+                  var.expected_bindings, var.predicate_selectivity);
+    out += line;
   }
   return out;
 }
 
 EstimateExplanation XClusterEstimator::Explain(const TwigQuery& query) const {
+  XCLUSTER_TRACE_SPAN("estimate.explain");
+  XCLUSTER_SCOPED_TIMER_NS("estimate.explain_latency_ns");
   EstimateExplanation explanation;
   if (synopsis_.root() == kNoSynNode) return explanation;
   TwigQuery resolved = query;
@@ -184,6 +196,9 @@ EstimateExplanation XClusterEstimator::Explain(const TwigQuery& query) const {
 }
 
 double XClusterEstimator::Estimate(const TwigQuery& query) const {
+  XCLUSTER_TRACE_SPAN("estimate.query");
+  XCLUSTER_SCOPED_TIMER_NS("estimate.latency_ns");
+  XCLUSTER_COUNTER_INC("estimate.queries");
   if (synopsis_.root() == kNoSynNode) return 0.0;
   TwigQuery resolved = query;
   if (synopsis_.term_dictionary() != nullptr) {

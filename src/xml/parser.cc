@@ -6,6 +6,8 @@
 #include <sstream>
 #include <vector>
 
+#include "common/telemetry/telemetry.h"
+
 namespace xcluster {
 
 namespace {
@@ -52,6 +54,7 @@ class ParserImpl {
   Status Run() {
     if (options_.limits.max_input_bytes != 0 &&
         in_.size() > options_.limits.max_input_bytes) {
+      XCLUSTER_COUNTER_INC("parse.limit_trips");
       return Status::ResourceExhausted(
           "input of " + std::to_string(in_.size()) +
           " bytes exceeds limit of " +
@@ -96,6 +99,7 @@ class ParserImpl {
   }
 
   Status Exhausted(const std::string& what) const {
+    XCLUSTER_COUNTER_INC("parse.limit_trips");
     return Status::ResourceExhausted(what + " at " + Here());
   }
   bool StartsWith(std::string_view s) const {
@@ -368,9 +372,21 @@ class ParserImpl {
 }  // namespace
 
 Status XmlParser::Parse(std::string_view input, XmlDocument* doc) {
+  XCLUSTER_TRACE_SPAN("parse.document");
+  XCLUSTER_SCOPED_TIMER_NS("parse.latency_ns");
   *doc = XmlDocument();
   ParserImpl impl(input, options_, doc);
-  return impl.Run();
+  Status status = impl.Run();
+  XCLUSTER_COUNTER_INC("parse.documents");
+  XCLUSTER_COUNTER_ADD("parse.bytes", input.size());
+  if (status.ok()) {
+    // parse.nodes / parse.latency_ns together give the nodes-per-second
+    // ingest rate without a derived metric.
+    XCLUSTER_COUNTER_ADD("parse.nodes", doc->size());
+  } else {
+    XCLUSTER_COUNTER_INC("parse.errors");
+  }
+  return status;
 }
 
 Status XmlParser::ParseFile(const std::string& path, XmlDocument* doc) {

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "common/json.h"
+
+namespace xcluster {
+namespace {
+
+TEST(JsonParseTest, ParsesScalars) {
+  ASSERT_TRUE(ParseJson("null").ok());
+  EXPECT_TRUE(ParseJson("null").value().is_null());
+  EXPECT_EQ(ParseJson("true").value().as_bool(), true);
+  EXPECT_EQ(ParseJson("false").value().as_bool(), false);
+  EXPECT_DOUBLE_EQ(ParseJson("42").value().as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-3.25e2").value().as_number(), -325.0);
+  EXPECT_EQ(ParseJson("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(JsonParseTest, ParsesNestedContainers) {
+  Result<JsonValue> parsed =
+      ParseJson("{\"a\": [1, 2, {\"b\": null}], \"c\": \"x\"}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* a = parsed.value().Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[1].as_number(), 2.0);
+  ASSERT_NE(a->items()[2].Find("b"), nullptr);
+  EXPECT_TRUE(a->items()[2].Find("b")->is_null());
+}
+
+TEST(JsonParseTest, DecodesEscapes) {
+  Result<JsonValue> parsed = ParseJson("\"a\\n\\t\\\"\\\\\\u0041\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().as_string(), "a\n\t\"\\A");
+}
+
+TEST(JsonParseTest, DecodesNonAsciiUnicodeEscape) {
+  Result<JsonValue> parsed = ParseJson("\"\\u00e9\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().as_string(), "\xc3\xa9");  // UTF-8 for e-acute
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1, 2,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("1 trailing").ok());
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonDumpTest, RoundTripsThroughParse) {
+  JsonValue object = JsonValue::Object();
+  object.members()["name"] = JsonValue::String("x\"y\n");
+  object.members()["count"] = JsonValue::Number(3);
+  object.members()["ratio"] = JsonValue::Number(0.125);
+  JsonValue array = JsonValue::Array();
+  array.items().push_back(JsonValue::Bool(true));
+  array.items().push_back(JsonValue());
+  object.members()["list"] = std::move(array);
+
+  const std::string compact = object.Dump();
+  const std::string pretty = object.Dump(2);
+  Result<JsonValue> reparsed_compact = ParseJson(compact);
+  Result<JsonValue> reparsed_pretty = ParseJson(pretty);
+  ASSERT_TRUE(reparsed_compact.ok()) << compact;
+  ASSERT_TRUE(reparsed_pretty.ok()) << pretty;
+  EXPECT_EQ(reparsed_compact.value().Dump(), compact);
+  EXPECT_EQ(reparsed_pretty.value().Dump(), compact);
+}
+
+TEST(JsonDumpTest, ObjectKeysAreSorted) {
+  JsonValue object = JsonValue::Object();
+  object.members()["zebra"] = JsonValue::Number(1);
+  object.members()["apple"] = JsonValue::Number(2);
+  const std::string dumped = object.Dump();
+  EXPECT_LT(dumped.find("apple"), dumped.find("zebra"));
+}
+
+TEST(JsonDumpTest, IntegersHaveNoFraction) {
+  EXPECT_EQ(JsonValue::Number(1851).Dump(), "1851");
+  EXPECT_EQ(JsonValue::Number(-3).Dump(), "-3");
+  EXPECT_EQ(JsonNumberToString(0.0), "0");
+}
+
+TEST(JsonEscapeTest, EscapesControlCharacters) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01""b")), "a\\u0001b");
+}
+
+}  // namespace
+}  // namespace xcluster

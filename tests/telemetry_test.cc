@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/telemetry.h"
+#include "common/telemetry/trace.h"
+
+namespace xcluster {
+namespace telemetry {
+namespace {
+
+TEST(LatencyHistogramTest, BucketBoundariesArePowersOfTwo) {
+  // Bucket 0 is the underflow bucket [0, 2^kFirstBucketLog2).
+  EXPECT_EQ(LatencyHistogram::BucketUpperBoundNs(0),
+            uint64_t{1} << LatencyHistogram::kFirstBucketLog2);
+  for (size_t i = 1; i + 1 < LatencyHistogram::kNumBuckets; ++i) {
+    EXPECT_EQ(LatencyHistogram::BucketUpperBoundNs(i),
+              uint64_t{1} << (LatencyHistogram::kFirstBucketLog2 + i));
+  }
+  // Last bucket is open-ended.
+  EXPECT_EQ(
+      LatencyHistogram::BucketUpperBoundNs(LatencyHistogram::kNumBuckets - 1),
+      UINT64_MAX);
+}
+
+TEST(LatencyHistogramTest, RecordLandsInCorrectBucket) {
+  LatencyHistogram hist;
+  const uint64_t first = uint64_t{1} << LatencyHistogram::kFirstBucketLog2;
+  hist.Record(0);              // underflow bucket
+  hist.Record(first - 1);      // still underflow
+  hist.Record(first);          // bucket 1
+  hist.Record(2 * first - 1);  // bucket 1
+  hist.Record(2 * first);      // bucket 2
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 2u);
+  EXPECT_EQ(hist.bucket_count(2), 1u);
+  EXPECT_EQ(hist.count(), 5u);
+  EXPECT_EQ(hist.min_ns(), 0u);
+  EXPECT_EQ(hist.max_ns(), 2 * first);
+  EXPECT_EQ(hist.sum_ns(),
+            0 + (first - 1) + first + (2 * first - 1) + 2 * first);
+}
+
+TEST(LatencyHistogramTest, HugeValueLandsInOverflowBucket) {
+  LatencyHistogram hist;
+  hist.Record(UINT64_MAX);
+  EXPECT_EQ(hist.bucket_count(LatencyHistogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST(LatencyHistogramTest, QuantilesOfUniformSamples) {
+  LatencyHistogram hist;
+  // 1000 samples spread over [1us, 1ms); quantiles should be ordered and
+  // bracketed by the observed range.
+  for (uint64_t i = 0; i < 1000; ++i) {
+    hist.Record(1000 + i * 999);  // 1'000 .. 999'001 ns
+  }
+  const double p50 = hist.QuantileNs(0.50);
+  const double p95 = hist.QuantileNs(0.95);
+  const double p99 = hist.QuantileNs(0.99);
+  EXPECT_GE(p50, static_cast<double>(hist.min_ns()));
+  EXPECT_LE(p99, static_cast<double>(hist.max_ns()));
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // p50 of a uniform distribution over ~[1e3, 1e6] must land in the
+  // power-of-two bucket containing the true median (~5e5): [2^18, 2^19].
+  EXPECT_GE(p50, 1.0 * (1 << 18));
+  EXPECT_LE(p50, 1.0 * (1 << 19));
+}
+
+TEST(LatencyHistogramTest, QuantileOfSingleSampleIsThatSample) {
+  LatencyHistogram hist;
+  hist.Record(12345);
+  EXPECT_DOUBLE_EQ(hist.QuantileNs(0.50), 12345.0);
+  EXPECT_DOUBLE_EQ(hist.QuantileNs(0.99), 12345.0);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramQuantileIsZero) {
+  LatencyHistogram hist;
+  EXPECT_DOUBLE_EQ(hist.QuantileNs(0.50), 0.0);
+  EXPECT_EQ(hist.count(), 0u);
+}
+
+TEST(MetricsRegistryTest, CountersAndGaugesRoundTrip) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  counter->Add(41);
+  counter->Increment();
+  EXPECT_EQ(counter->value(), 42u);
+  // Same name returns the same instance.
+  EXPECT_EQ(registry.GetCounter("test.counter"), counter);
+
+  Gauge* gauge = registry.GetGauge("test.gauge");
+  gauge->Set(-7);
+  EXPECT_EQ(gauge->value(), -7);
+}
+
+TEST(MetricsRegistryTest, ConcurrentCounterIncrements) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter* counter = registry.GetCounter("concurrent.counter");
+      LatencyHistogram* hist = registry.GetHistogram("concurrent.hist_ns");
+      for (int i = 0; i < kIncrements; ++i) {
+        counter->Increment();
+        hist->Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("concurrent.counter")->value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+  EXPECT_EQ(registry.GetHistogram("concurrent.hist_ns")->count(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsDeterministic) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.counter")->Add(2);
+  registry.GetCounter("a.counter")->Add(1);
+  registry.GetGauge("z.gauge")->Set(9);
+  registry.GetHistogram("m.hist_ns")->Record(500);
+
+  MetricsSnapshot first = registry.Snapshot();
+  MetricsSnapshot second = registry.Snapshot();
+  EXPECT_EQ(first.ToJson(), second.ToJson());
+  EXPECT_EQ(first.ToPrometheus(), second.ToPrometheus());
+
+  // Registration order must not leak into the serialized form: names are
+  // sorted, so a registry populated in a different order serializes equal.
+  MetricsRegistry reordered;
+  reordered.GetHistogram("m.hist_ns")->Record(500);
+  reordered.GetGauge("z.gauge")->Set(9);
+  reordered.GetCounter("a.counter")->Add(1);
+  reordered.GetCounter("b.counter")->Add(2);
+  EXPECT_EQ(reordered.Snapshot().ToJson(), first.ToJson());
+}
+
+TEST(MetricsRegistryTest, SnapshotJsonRoundTrips) {
+  MetricsRegistry registry;
+  registry.GetCounter("round.counter")->Add(7);
+  registry.GetGauge("round.gauge")->Set(-3);
+  LatencyHistogram* hist = registry.GetHistogram("round.hist_ns");
+  for (uint64_t i = 1; i <= 100; ++i) hist->Record(i * 1000);
+
+  const std::string json = registry.Snapshot().ToJson();
+  Result<MetricsSnapshot> parsed = SnapshotFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().ToJson(), json);
+}
+
+TEST(MetricsRegistryTest, SnapshotFromJsonRejectsGarbage) {
+  EXPECT_FALSE(SnapshotFromJson("not json").ok());
+  EXPECT_FALSE(SnapshotFromJson("[]").ok());
+  EXPECT_FALSE(SnapshotFromJson("{\"counters\": 3}").ok());
+}
+
+TEST(MetricsRegistryTest, PrometheusOutputIsWellFormed) {
+  MetricsRegistry registry;
+  registry.GetCounter("prom.counter")->Add(5);
+  registry.GetHistogram("prom.latency_ns")->Record(1000000);
+  const std::string prom = registry.Snapshot().ToPrometheus();
+  EXPECT_NE(prom.find("xcluster_prom_counter 5"), std::string::npos);
+  // _ns histograms are exported in seconds with cumulative buckets.
+  EXPECT_NE(prom.find("xcluster_prom_latency_seconds_bucket"),
+            std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(prom.find("xcluster_prom_latency_seconds_count 1"),
+            std::string::npos);
+}
+
+TEST(TraceRecorderTest, ProducesWellFormedChromeTraceJson) {
+  TraceRecorder recorder;
+  recorder.Add({"phase1", "build", 2000, 500, 0});
+  recorder.Add({"phase2", "build", 1000, 250, 1});
+  EXPECT_EQ(recorder.event_count(), 2u);
+
+  const std::string json = recorder.ToJson();
+  Result<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->items().size(), 2u);
+  for (const JsonValue& event : events->items()) {
+    ASSERT_NE(event.Find("name"), nullptr);
+    ASSERT_NE(event.Find("ts"), nullptr);
+    ASSERT_NE(event.Find("dur"), nullptr);
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    EXPECT_EQ(ph->as_string(), "X");
+  }
+  // Timestamps are rebased to the earliest event: the event starting at
+  // 2000ns becomes ts=1us, the one at 1000ns becomes ts=0.
+  EXPECT_DOUBLE_EQ(events->items()[0].Find("ts")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(events->items()[1].Find("ts")->as_number(), 0.0);
+}
+
+TEST(TraceRecorderTest, SpanRecordsIntoInstalledRecorder) {
+  TraceRecorder recorder;
+  TraceRecorder* previous = GlobalTraceRecorder();
+  InstallGlobalTraceRecorder(&recorder);
+  {
+    TraceSpan span("unit.span");
+  }
+  InstallGlobalTraceRecorder(previous);
+  ASSERT_EQ(recorder.event_count(), 1u);
+  const std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("unit.span"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ConcurrentSpansAreAllRecorded) {
+  TraceRecorder recorder;
+  TraceRecorder* previous = GlobalTraceRecorder();
+  InstallGlobalTraceRecorder(&recorder);
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        TraceSpan span("concurrent.span");
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  InstallGlobalTraceRecorder(previous);
+  EXPECT_EQ(recorder.event_count(), static_cast<size_t>(kThreads) * kSpans);
+  Result<JsonValue> parsed = ParseJson(recorder.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+#if XCLUSTER_TELEMETRY_ENABLED
+TEST(TelemetryMacrosTest, MacrosUpdateGlobalRegistry) {
+  const uint64_t before =
+      MetricsRegistry::Global().GetCounter("macro.test.counter")->value();
+  XCLUSTER_COUNTER_ADD("macro.test.counter", 3);
+  XCLUSTER_COUNTER_INC("macro.test.counter");
+  EXPECT_EQ(
+      MetricsRegistry::Global().GetCounter("macro.test.counter")->value(),
+      before + 4);
+
+  XCLUSTER_GAUGE_SET("macro.test.gauge", 11);
+  EXPECT_EQ(MetricsRegistry::Global().GetGauge("macro.test.gauge")->value(),
+            11);
+
+  const uint64_t hist_before =
+      MetricsRegistry::Global().GetHistogram("macro.test.hist_ns")->count();
+  XCLUSTER_HISTOGRAM_RECORD_NS("macro.test.hist_ns", 4096);
+  {
+    XCLUSTER_SCOPED_TIMER_NS("macro.test.hist_ns");
+  }
+  EXPECT_EQ(
+      MetricsRegistry::Global().GetHistogram("macro.test.hist_ns")->count(),
+      hist_before + 2);
+}
+#else
+TEST(TelemetryMacrosTest, MacrosCompileToNoOpsWhenDisabled) {
+  // With XCLUSTER_TELEMETRY=OFF the macros must still be syntactically
+  // valid statements that evaluate nothing.
+  XCLUSTER_COUNTER_ADD("macro.off.counter", 3);
+  XCLUSTER_COUNTER_INC("macro.off.counter");
+  XCLUSTER_GAUGE_SET("macro.off.gauge", 11);
+  XCLUSTER_HISTOGRAM_RECORD_NS("macro.off.hist_ns", 4096);
+  { XCLUSTER_SCOPED_TIMER_NS("macro.off.hist_ns"); }
+  { XCLUSTER_TRACE_SPAN("macro.off.span"); }
+  SUCCEED();
+}
+#endif
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace xcluster

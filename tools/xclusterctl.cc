@@ -21,6 +21,17 @@
 //   xclusterctl verify --synopsis synopsis.xcs [--quiet]
 //       fsck for synopsis files: walks the section table, checks every
 //       CRC32C, and fully decodes. Exits non-zero on any corruption.
+//
+//   xclusterctl stats [--in metrics.json] [--format text|json|prom]
+//       Pretty-prints a metrics snapshot: the live process registry, or a
+//       snapshot previously exported with --metrics-json.
+//
+//   Global flags (any command):
+//     --metrics-json <path>   write a registry snapshot (JSON) on exit
+//     --metrics-prom <path>   write the snapshot in Prometheus text format
+//     --trace <path>          record trace spans, write Chrome trace JSON
+//       (see docs/OBSERVABILITY.md; all three are inert when the library
+//       was built with -DXCLUSTER_TELEMETRY=OFF)
 
 #include <cstdio>
 #include <fstream>
@@ -28,6 +39,10 @@
 #include <string>
 #include <vector>
 
+#include "common/io/file_io.h"
+#include "common/json.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 #include "core/serialize.h"
 #include "core/xcluster.h"
 #include "data/imdb.h"
@@ -143,7 +158,6 @@ int Build(const Args& args) {
   XmlDocument doc;
   Status status = parser.ParseFile(in, &doc);
   if (!status.ok()) return Fail("parse: " + status.ToString());
-  std::printf("parsed %s: %zu elements\n", in.c_str(), doc.size());
 
   XCluster::Options options;
   options.build.structural_budget =
@@ -165,13 +179,42 @@ int Build(const Args& args) {
   XCluster synopsis = XCluster::Build(doc, options);
   status = synopsis.Save(out);
   if (!status.ok()) return Fail("save: " + status.ToString());
-  std::printf(
-      "built %s: %zu clusters, %zu bytes (%zu structural + %zu value), "
-      "%zu merges from %zu reference clusters\n",
-      out.c_str(), synopsis.synopsis().NodeCount(), synopsis.SizeBytes(),
-      synopsis.synopsis().StructuralBytes(), synopsis.synopsis().ValueBytes(),
-      synopsis.build_stats().merges_applied,
-      synopsis.build_stats().reference_nodes);
+
+  // Structured build report: the full BuildStats plus budgets and final
+  // sizes, as one JSON object on stdout (machine-parseable; the bench
+  // harness and CI smoke test consume it).
+  const BuildStats& stats = synopsis.build_stats();
+  auto num = [](size_t v) { return JsonValue::Number(static_cast<double>(v)); };
+  JsonValue report = JsonValue::Object();
+  report.members()["input"] = JsonValue::String(in);
+  report.members()["output"] = JsonValue::String(out);
+  report.members()["elements"] = num(doc.size());
+  JsonValue budgets = JsonValue::Object();
+  budgets.members()["structural_bytes"] = num(options.build.structural_budget);
+  budgets.members()["value_bytes"] = num(options.build.value_budget);
+  report.members()["budgets"] = std::move(budgets);
+  JsonValue result = JsonValue::Object();
+  result.members()["clusters"] = num(synopsis.synopsis().NodeCount());
+  result.members()["edges"] = num(synopsis.synopsis().EdgeCount());
+  result.members()["total_bytes"] = num(synopsis.SizeBytes());
+  result.members()["structural_bytes"] =
+      num(synopsis.synopsis().StructuralBytes());
+  result.members()["value_bytes"] = num(synopsis.synopsis().ValueBytes());
+  report.members()["synopsis"] = std::move(result);
+  JsonValue build_stats = JsonValue::Object();
+  build_stats.members()["reference_nodes"] = num(stats.reference_nodes);
+  build_stats.members()["reference_bytes"] = num(stats.reference_bytes);
+  build_stats.members()["merges_applied"] = num(stats.merges_applied);
+  build_stats.members()["candidates_evaluated"] =
+      num(stats.candidates_evaluated);
+  build_stats.members()["pool_rebuilds"] = num(stats.pool_rebuilds);
+  build_stats.members()["value_bytes_compressed"] =
+      num(stats.value_bytes_compressed);
+  build_stats.members()["final_structural_bytes"] =
+      num(stats.final_structural_bytes);
+  build_stats.members()["final_value_bytes"] = num(stats.final_value_bytes);
+  report.members()["build_stats"] = std::move(build_stats);
+  std::printf("%s\n", report.Dump(2).c_str());
   return 0;
 }
 
@@ -187,11 +230,41 @@ int Estimate(const Args& args) {
   if (!estimate.ok()) {
     return Fail("query: " + estimate.status().ToString());
   }
-  std::printf("%.3f\n", estimate.value());
   if (args.Has("explain")) {
+    // The EXPLAIN rendering leads with the estimate, then the per-variable
+    // VarStats table (expected bindings and predicate selectivity).
     Result<TwigQuery> parsed = ParseTwig(query);
+    if (!parsed.ok()) return Fail("query: " + parsed.status().ToString());
     XClusterEstimator estimator(synopsis.value().synopsis());
     std::printf("%s", estimator.Explain(parsed.value()).ToString().c_str());
+  } else {
+    std::printf("%.6g\n", estimate.value());
+  }
+  return 0;
+}
+
+int Stats(const Args& args) {
+  telemetry::MetricsSnapshot snapshot;
+  const std::string in = args.Get("in");
+  if (!in.empty()) {
+    Result<std::string> bytes = ReadFileToString(in);
+    if (!bytes.ok()) return Fail("read: " + bytes.status().ToString());
+    Result<telemetry::MetricsSnapshot> parsed =
+        telemetry::SnapshotFromJson(bytes.value());
+    if (!parsed.ok()) return Fail(in + ": " + parsed.status().ToString());
+    snapshot = std::move(parsed).value();
+  } else {
+    snapshot = telemetry::MetricsRegistry::Global().Snapshot();
+  }
+  const std::string format = args.Get("format", "text");
+  if (format == "text") {
+    std::printf("%s", snapshot.ToText().c_str());
+  } else if (format == "json") {
+    std::printf("%s", snapshot.ToJson().c_str());
+  } else if (format == "prom") {
+    std::printf("%s", snapshot.ToPrometheus().c_str());
+  } else {
+    return Fail("unknown --format '" + format + "' (text|json|prom)");
   }
   return 0;
 }
@@ -317,14 +390,16 @@ int Usage() {
       "  workload --dataset imdb|xmark [--scale S] [--seed N]\n"
       "           [--queries N] [--negative] --out f.tsv\n"
       "  evaluate --synopsis f.xcs --workload f.tsv\n"
-      "  verify   --synopsis f.xcs [--quiet]\n");
+      "  verify   --synopsis f.xcs [--quiet]\n"
+      "  stats    [--in metrics.json] [--format text|json|prom]\n"
+      "global flags (any command):\n"
+      "  --metrics-json f.json   export a metrics snapshot on exit\n"
+      "  --metrics-prom f.prom   export Prometheus text format on exit\n"
+      "  --trace f.json          record spans as Chrome trace JSON\n");
   return 2;
 }
 
-int Run(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  Args args(argc, argv);
+int Dispatch(const std::string& command, const Args& args) {
   if (command == "generate") return Generate(args);
   if (command == "build") return Build(args);
   if (command == "estimate") return Estimate(args);
@@ -332,7 +407,48 @@ int Run(int argc, char** argv) {
   if (command == "workload") return MakeWorkload(args);
   if (command == "evaluate") return Evaluate(args);
   if (command == "verify") return Verify(args);
+  if (command == "stats") return Stats(args);
   return Usage();
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Args args(argc, argv);
+  for (const char* flag : {"metrics-json", "metrics-prom", "trace"}) {
+    if (args.Has(flag) && args.Get(flag).empty()) {
+      return Fail(std::string("--") + flag + " requires a path");
+    }
+  }
+
+  const std::string trace_path = args.Get("trace");
+  telemetry::TraceRecorder recorder;
+  if (!trace_path.empty()) telemetry::InstallGlobalTraceRecorder(&recorder);
+
+  int rc = Dispatch(command, args);
+
+  if (!trace_path.empty()) {
+    telemetry::InstallGlobalTraceRecorder(nullptr);
+    Status status = recorder.WriteFile(trace_path);
+    if (!status.ok()) {
+      rc = Fail("trace: " + status.ToString());
+    }
+  }
+  const std::string metrics_json = args.Get("metrics-json");
+  const std::string metrics_prom = args.Get("metrics-prom");
+  if (!metrics_json.empty() || !metrics_prom.empty()) {
+    telemetry::MetricsSnapshot snapshot =
+        telemetry::MetricsRegistry::Global().Snapshot();
+    if (!metrics_json.empty()) {
+      Status status = WriteFileAtomic(metrics_json, snapshot.ToJson());
+      if (!status.ok()) rc = Fail("metrics-json: " + status.ToString());
+    }
+    if (!metrics_prom.empty()) {
+      Status status = WriteFileAtomic(metrics_prom, snapshot.ToPrometheus());
+      if (!status.ok()) rc = Fail("metrics-prom: " + status.ToString());
+    }
+  }
+  return rc;
 }
 
 }  // namespace
