@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
 """Validate a metrics snapshot (and optionally a trace file) exported by
-xclusterctl.
+xclusterctl, or a BENCH_<name>.json result file written by the benches.
 
 Usage:
-    check_metrics_schema.py METRICS_JSON [--trace TRACE_JSON]
+    check_metrics_schema.py METRICS_OR_BENCH_JSON [--trace TRACE_JSON]
 
-Checks that the metrics file matches the schema documented in
-docs/OBSERVABILITY.md, that the build-phase counters a real build must
-produce are present and non-zero, and that histograms carry sane
-quantiles. With --trace, also checks the trace file is well-formed Chrome
-trace format JSON with at least one complete event. Exits non-zero with a
+Plain metrics snapshots are checked against the schema documented in
+docs/OBSERVABILITY.md: the build-phase counters a real build must produce
+are present and non-zero, and histograms carry sane quantiles.
+
+BENCH files (auto-detected by their top-level "benchmark"/"entries" keys)
+are checked for a non-empty entries array of named measurements plus a
+structurally valid embedded metrics snapshot; the "service" bench must
+additionally show serving activity (non-zero service.requests.ok and a
+populated service.request_latency_ns histogram).
+
+With --trace, also checks the trace file is well-formed Chrome trace
+format JSON with at least one complete event. Exits non-zero with a
 diagnostic on the first violation.
 """
 
@@ -78,15 +85,13 @@ def check_histogram(name, hist):
             fail(f"histogram {name}: quantiles not monotone")
 
 
-def check_metrics(path):
-    with open(path, "r", encoding="utf-8") as handle:
-        snapshot = json.load(handle)
+def check_snapshot_shape(snapshot):
+    """Structural checks shared by standalone snapshots and BENCH files."""
     if not isinstance(snapshot, dict):
-        fail("top-level value must be an object")
+        fail("metrics snapshot must be an object")
     for key in ("counters", "gauges", "histograms"):
         if not isinstance(snapshot.get(key), dict):
-            fail(f"top-level key '{key}' must be an object keyed by name")
-
+            fail(f"metrics key '{key}' must be an object keyed by name")
     for name, value in snapshot["counters"].items():
         if not isinstance(value, int) or value < 0:
             fail(f"counter {name}: value must be a non-negative int")
@@ -96,19 +101,73 @@ def check_metrics(path):
     for name, hist in snapshot["histograms"].items():
         check_histogram(name, hist)
 
+
+def require_nonzero_counter(snapshot, name):
     counters = snapshot["counters"]
+    if name not in counters:
+        fail(f"required counter '{name}' missing")
+    if counters[name] == 0:
+        fail(f"required counter '{name}' is zero")
+
+
+def require_populated_histogram(snapshot, name):
     histograms = snapshot["histograms"]
+    if name not in histograms:
+        fail(f"required histogram '{name}' missing")
+    if histograms[name]["count"] == 0:
+        fail(f"required histogram '{name}' has no samples")
+
+
+def check_metrics(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    check_snapshot_shape(snapshot)
     for name in REQUIRED_NONZERO_COUNTERS:
-        if name not in counters:
-            fail(f"required counter '{name}' missing")
-        if counters[name] == 0:
-            fail(f"required counter '{name}' is zero")
+        require_nonzero_counter(snapshot, name)
     for name in REQUIRED_HISTOGRAMS:
-        if name not in histograms:
-            fail(f"required histogram '{name}' missing")
-        if histograms[name]["count"] == 0:
-            fail(f"required histogram '{name}' has no samples")
-    return len(counters), len(histograms)
+        require_populated_histogram(snapshot, name)
+    return len(snapshot["counters"]), len(snapshot["histograms"])
+
+
+# Per-benchmark activity requirements for BENCH files: counters that must
+# be non-zero and histograms that must have samples, keyed by the file's
+# top-level "benchmark" name.
+BENCH_REQUIRED = {
+    "service": (
+        ["service.requests.ok", "service.batches"],
+        ["service.request_latency_ns", "service.batch_ns"],
+    ),
+}
+
+
+def check_bench(report):
+    entries = report.get("entries")
+    if not isinstance(entries, list) or not entries:
+        fail("bench: 'entries' must be a non-empty array")
+    for entry in entries:
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("name"), str
+        ):
+            fail(f"bench: entry must be an object with a 'name': {entry!r}")
+        numeric = [
+            key
+            for key, value in entry.items()
+            if key != "name" and isinstance(value, (int, float))
+        ]
+        if not numeric:
+            fail(f"bench: entry '{entry['name']}' has no measurements")
+    metrics = report.get("metrics")
+    if metrics is None:
+        fail("bench: embedded 'metrics' snapshot missing")
+    check_snapshot_shape(metrics)
+    required_counters, required_histograms = BENCH_REQUIRED.get(
+        report["benchmark"], ([], [])
+    )
+    for name in required_counters:
+        require_nonzero_counter(metrics, name)
+    for name in required_histograms:
+        require_populated_histogram(metrics, name)
+    return len(entries), len(metrics["counters"])
 
 
 def check_trace(path):
@@ -130,15 +189,27 @@ def check_trace(path):
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("metrics_json", help="metrics snapshot to validate")
+    parser.add_argument(
+        "metrics_json", help="metrics snapshot or BENCH file to validate"
+    )
     parser.add_argument("--trace", help="Chrome trace file to validate")
     args = parser.parse_args()
 
-    num_counters, num_histograms = check_metrics(args.metrics_json)
-    print(
-        f"check_metrics_schema: OK: {args.metrics_json} "
-        f"({num_counters} counters, {num_histograms} histograms)"
-    )
+    with open(args.metrics_json, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, dict) and "benchmark" in document:
+        num_entries, num_counters = check_bench(document)
+        print(
+            f"check_metrics_schema: OK: {args.metrics_json} "
+            f"(bench '{document['benchmark']}', {num_entries} entries, "
+            f"{num_counters} counters)"
+        )
+    else:
+        num_counters, num_histograms = check_metrics(args.metrics_json)
+        print(
+            f"check_metrics_schema: OK: {args.metrics_json} "
+            f"({num_counters} counters, {num_histograms} histograms)"
+        )
     if args.trace:
         num_events = check_trace(args.trace)
         print(f"check_metrics_schema: OK: {args.trace} ({num_events} events)")

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for `xclusterctl serve --stdin`: builds a synopsis
+# from the bundled example document, feeds a scripted request stream
+# through the serve protocol, and validates the responses (including the
+# batch framing: header + exactly k item lines). Also exercises the
+# multi-query estimate path through the synopsis store.
+#
+# Usage: scripts/service_smoke.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+XCLUSTERCTL="$BUILD_DIR/tools/xclusterctl"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+
+fail() {
+  echo "service_smoke: FAIL: $*" >&2
+  exit 1
+}
+
+[ -x "$XCLUSTERCTL" ] || fail "$XCLUSTERCTL not built"
+
+# 1. Build a synopsis to serve.
+"$XCLUSTERCTL" build --in examples/books.xml --bstr 0 \
+  --out "$WORKDIR/books.xcs" >/dev/null
+
+# 2. Scripted session through the line protocol.
+cat > "$WORKDIR/session.txt" <<'EOF'
+# smoke session
+help
+load books WORKDIR/books.xcs
+list
+estimate books //book
+estimate books ][not-a-query
+estimate missing //book
+batch books 3
+//book
+//book[/price]
+][broken
+stats
+drop books
+quit
+EOF
+sed -i "s#WORKDIR#$WORKDIR#" "$WORKDIR/session.txt"
+
+"$XCLUSTERCTL" serve --stdin --workers 2 \
+  < "$WORKDIR/session.txt" > "$WORKDIR/out.txt"
+
+echo "--- serve responses ---"
+cat "$WORKDIR/out.txt"
+
+expect_line() { # expect_line <lineno> <grep-pattern>
+  sed -n "${1}p" "$WORKDIR/out.txt" | grep -Eq "$2" \
+    || fail "line $1 !~ /$2/: $(sed -n "${1}p" "$WORKDIR/out.txt")"
+}
+
+expect_line 1 '^ok help'
+expect_line 2 '^ok load books gen=[0-9]+ clusters=[0-9]+'
+expect_line 3 '^ok list 1$'
+expect_line 4 '^synopsis books '
+expect_line 5 '^ok estimate [0-9.eE+-]+ us=[0-9]+'
+expect_line 6 '^err InvalidArgument'
+expect_line 7 '^err NotFound'
+expect_line 8 '^ok batch n=3 ok=2 err=1 us=[0-9]+'
+expect_line 9 '^0 ok [0-9.eE+-]+ us=[0-9]+'
+expect_line 10 '^1 ok [0-9.eE+-]+ us=[0-9]+'
+expect_line 11 '^2 err InvalidArgument'
+expect_line 12 '^ok stats synopses=1 workers=2 '
+expect_line 13 '^ok drop books$'
+expect_line 14 '^ok bye$'
+[ "$(wc -l < "$WORKDIR/out.txt")" -eq 14 ] \
+  || fail "expected exactly 14 response lines"
+
+# 3. Multi-query estimate through the synopsis store.
+printf '//book\n//book[/price]\n' > "$WORKDIR/queries.txt"
+"$XCLUSTERCTL" estimate --synopsis "$WORKDIR/books.xcs" \
+  --queries "$WORKDIR/queries.txt" --workers 2 > "$WORKDIR/multi.txt"
+echo "--- multi-query estimate ---"
+cat "$WORKDIR/multi.txt"
+[ "$(grep -c '//book' "$WORKDIR/multi.txt")" -eq 2 ] \
+  || fail "expected 2 per-query result lines"
+grep -q '^# 2 queries: ok=2 ' "$WORKDIR/multi.txt" \
+  || fail "missing latency summary line"
+
+echo "service_smoke: OK"

@@ -22,6 +22,8 @@ const char* CodeName(Status::Code code) {
       return "Unsupported";
     case Status::Code::kResourceExhausted:
       return "ResourceExhausted";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

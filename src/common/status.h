@@ -21,6 +21,7 @@ class Status {
     kIOError,
     kUnsupported,
     kResourceExhausted,
+    kDeadlineExceeded,
   };
 
   Status() = default;
@@ -46,6 +47,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

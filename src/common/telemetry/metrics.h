@@ -141,6 +141,16 @@ Result<MetricsSnapshot> SnapshotFromJson(std::string_view json);
 /// `build.merges_applied`, `estimate.latency_ns`). Registration takes a
 /// mutex; returned pointers are stable for the registry's lifetime, so hot
 /// call sites register once (via a static local) and then update lock-free.
+///
+/// First-use guarantee (audited for the concurrent serving workload):
+/// GetCounter/GetGauge/GetHistogram may race on the *same* name from any
+/// number of threads — the registry mutex serializes map insertion, the
+/// maps are node-based so previously returned pointers never move, and
+/// every racer gets the same pointer. The instrumentation macros cache
+/// that pointer in a function-local static, whose initialization C++11
+/// magic statics make safe under the same race: exactly one thread runs
+/// GetCounter, the rest block until the pointer is published. No update
+/// is ever lost on first use.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

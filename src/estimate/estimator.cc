@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <map>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 
 #include "common/telemetry/telemetry.h"
@@ -34,11 +37,14 @@ void XClusterEstimator::Reach(
                                  ? kInvalidSymbol
                                  : synopsis_.labels().Lookup(step.label)};
   if (!step.wildcard && key.label == kInvalidSymbol) return;  // unknown tag
-  auto cached = descendant_cache_.find(key);
-  if (cached != descendant_cache_.end()) {
-    XCLUSTER_COUNTER_INC("estimate.reach_cache.hits");
-    out->insert(out->end(), cached->second.begin(), cached->second.end());
-    return;
+  {
+    std::shared_lock<std::shared_mutex> lock(descendant_cache_mu_);
+    auto cached = descendant_cache_.find(key);
+    if (cached != descendant_cache_.end()) {
+      XCLUSTER_COUNTER_INC("estimate.reach_cache.hits");
+      out->insert(out->end(), cached->second.begin(), cached->second.end());
+      return;
+    }
   }
   XCLUSTER_COUNTER_INC("estimate.reach_cache.misses");
   std::map<SynNodeId, double> frontier{{source, 1.0}};
@@ -61,10 +67,31 @@ void XClusterEstimator::Reach(
   std::vector<std::pair<SynNodeId, double>> result(reached.begin(),
                                                    reached.end());
   out->insert(out->end(), result.begin(), result.end());
+  // The DP above runs outside the lock; a concurrent miss on the same key
+  // computes the same value, and emplace keeps whichever landed first.
+  std::unique_lock<std::shared_mutex> lock(descendant_cache_mu_);
   descendant_cache_.emplace(key, std::move(result));
 }
 
 namespace {
+
+/// Term resolution mutates the query, so estimation takes a defensive copy
+/// when (and only when) the query actually carries unresolved full-text
+/// terms and the synopsis has a dictionary to resolve them against.
+/// Pre-resolved (or term-free) queries estimate with zero copies, which is
+/// what lets the serving layer parse + resolve once and fan the same const
+/// query across worker threads.
+const TwigQuery* ResolveIfNeeded(const TwigQuery& query,
+                                 const GraphSynopsis& synopsis,
+                                 std::optional<TwigQuery>* storage) {
+  if (!query.has_term_predicates() || query.terms_resolved() ||
+      synopsis.term_dictionary() == nullptr) {
+    return &query;
+  }
+  storage->emplace(query);
+  (*storage)->ResolveTerms(*synopsis.term_dictionary());
+  return &storage->value();
+}
 
 /// True if a predicate of this kind can hold on values of `type` at all.
 bool KindMatchesType(ValuePredicate::Kind kind, ValueType type) {
@@ -151,11 +178,9 @@ EstimateExplanation XClusterEstimator::Explain(const TwigQuery& query) const {
   XCLUSTER_SCOPED_TIMER_NS("estimate.explain_latency_ns");
   EstimateExplanation explanation;
   if (synopsis_.root() == kNoSynNode) return explanation;
-  TwigQuery resolved = query;
-  if (synopsis_.term_dictionary() != nullptr) {
-    resolved.ResolveTerms(*synopsis_.term_dictionary());
-  }
-  explanation.selectivity = Estimate(query);
+  std::optional<TwigQuery> storage;
+  const TwigQuery& resolved = *ResolveIfNeeded(query, synopsis_, &storage);
+  explanation.selectivity = Estimate(resolved);
 
   // Forward pass: expected number of elements bound to each variable given
   // that the root-to-variable chain matched (sibling branches are NOT
@@ -200,10 +225,8 @@ double XClusterEstimator::Estimate(const TwigQuery& query) const {
   XCLUSTER_SCOPED_TIMER_NS("estimate.latency_ns");
   XCLUSTER_COUNTER_INC("estimate.queries");
   if (synopsis_.root() == kNoSynNode) return 0.0;
-  TwigQuery resolved = query;
-  if (synopsis_.term_dictionary() != nullptr) {
-    resolved.ResolveTerms(*synopsis_.term_dictionary());
-  }
+  std::optional<TwigQuery> storage;
+  const TwigQuery& resolved = *ResolveIfNeeded(query, synopsis_, &storage);
   if (resolved.has_unknown_terms()) return 0.0;
   std::vector<std::unordered_map<SynNodeId, double>> memo(resolved.size());
   const SynNodeId root = synopsis_.root();

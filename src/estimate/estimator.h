@@ -2,6 +2,7 @@
 #define XCLUSTER_ESTIMATE_ESTIMATOR_H_
 
 #include <cstddef>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -57,6 +58,12 @@ struct EstimateExplanation {
 /// of the query into the synopsis graph, the product of edge reach-counts
 /// and predicate selectivities — computed in factored form by dynamic
 /// programming over query variables.
+///
+/// Thread safety: one estimator instance may serve Estimate/Explain calls
+/// from any number of threads concurrently (the descendant reach cache is
+/// guarded internally; everything else is read-only). Estimates are
+/// deterministic regardless of thread interleaving — the cache only ever
+/// stores the deterministic result of a pure computation.
 class XClusterEstimator {
  public:
   /// `synopsis` must outlive the estimator.
@@ -99,7 +106,9 @@ class XClusterEstimator {
   /// to the final label filter, and queries repeatedly traverse the same
   /// synopsis, so the per-(source, label-or-wildcard) results are memoized
   /// for the estimator's lifetime. The synopsis must not change while an
-  /// estimator exists.
+  /// estimator exists. The cache is shared across threads: lookups take
+  /// `descendant_cache_mu_` shared, inserts take it exclusive; a lost
+  /// insert race recomputes the identical value, so first-writer-wins.
   struct ReachKey {
     SynNodeId source;
     SymbolId label;  // kInvalidSymbol encodes the wildcard
@@ -113,6 +122,7 @@ class XClusterEstimator {
           (static_cast<uint64_t>(key.source) << 32) ^ key.label);
     }
   };
+  mutable std::shared_mutex descendant_cache_mu_;
   mutable std::unordered_map<ReachKey,
                              std::vector<std::pair<SynNodeId, double>>,
                              ReachKeyHash>

@@ -25,11 +25,18 @@ QueryVarId TwigQuery::AddVar(QueryVarId parent, TwigStep step) {
 }
 
 void TwigQuery::AddPredicate(QueryVarId var, ValuePredicate pred) {
+  if (pred.kind == ValuePredicate::Kind::kFtContains ||
+      pred.kind == ValuePredicate::Kind::kFtAny ||
+      pred.kind == ValuePredicate::Kind::kFtSimilar) {
+    ++term_predicates_;
+    terms_resolved_ = false;  // the new predicate's terms are unresolved
+  }
   vars_[var].predicates.push_back(std::move(pred));
 }
 
 void TwigQuery::ResolveTerms(const TermDictionary& dict) {
   has_unknown_terms_ = false;
+  terms_resolved_ = true;
   for (QueryVar& var : vars_) {
     for (ValuePredicate& pred : var.predicates) {
       if (pred.kind != ValuePredicate::Kind::kFtContains &&

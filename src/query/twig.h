@@ -60,6 +60,17 @@ class TwigQuery {
   /// terms in an ftany disjunction do not set this; they simply drop out.
   bool has_unknown_terms() const { return has_unknown_terms_; }
 
+  /// True once ResolveTerms has run (and no term predicate was added
+  /// since). Estimation paths use this to accept a const, pre-resolved
+  /// query without taking a defensive copy — the serving hot path parses
+  /// and resolves once, then estimates from any thread. The caller must
+  /// resolve against the same dictionary the target synopsis carries.
+  bool terms_resolved() const { return terms_resolved_; }
+
+  /// True if any predicate carries full-text terms that need dictionary
+  /// resolution before estimation or evaluation.
+  bool has_term_predicates() const { return term_predicates_ > 0; }
+
   /// Number of value predicates across all variables.
   size_t PredicateCount() const;
 
@@ -71,6 +82,8 @@ class TwigQuery {
 
   std::vector<QueryVar> vars_;
   bool has_unknown_terms_ = false;
+  bool terms_resolved_ = false;
+  size_t term_predicates_ = 0;
 };
 
 }  // namespace xcluster

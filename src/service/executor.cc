@@ -1,0 +1,129 @@
+#include "service/executor.h"
+
+#include <utility>
+
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/telemetry.h"
+
+namespace xcluster {
+
+Executor::Executor(ExecutorOptions options) : options_(options) {
+  threads_.reserve(options_.num_threads);
+  for (size_t i = 0; i < options_.num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() { Shutdown(true); }
+
+Status Executor::Submit(Task task, uint64_t deadline_ns) {
+  if (threads_.empty()) {
+    // Inline mode: the submitting thread is the worker.
+    bool inline_accepting;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inline_accepting = accepting_;
+    }
+    if (!inline_accepting) {
+      return Status::Unsupported("executor is shut down");
+    }
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    QueuedTask queued{std::move(task), deadline_ns,
+                      telemetry::MonotonicNowNs()};
+    RunTask(std::move(queued), /*cancelled=*/false);
+    return Status::OK();
+  }
+
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) {
+      return Status::Unsupported("executor is shut down");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      XCLUSTER_COUNTER_INC("service.executor.rejected");
+      return Status::ResourceExhausted(
+          "request queue full (" + std::to_string(options_.queue_capacity) +
+          " queued)");
+    }
+    queue_.push_back(
+        QueuedTask{std::move(task), deadline_ns, telemetry::MonotonicNowNs()});
+    depth = queue_.size();
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  XCLUSTER_GAUGE_SET("service.queue_depth", depth);
+  work_available_.notify_one();
+  return Status::OK();
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    QueuedTask queued;
+    bool cancelled;
+    size_t depth;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return !queue_.empty() || !accepting_; });
+      if (queue_.empty()) {
+        if (!accepting_) return;
+        continue;
+      }
+      queued = std::move(queue_.front());
+      queue_.pop_front();
+      cancelled = abandon_;
+      depth = queue_.size();
+    }
+    XCLUSTER_GAUGE_SET("service.queue_depth", depth);
+    RunTask(std::move(queued), cancelled);
+  }
+}
+
+void Executor::RunTask(QueuedTask&& queued, bool cancelled) {
+  TaskContext context;
+  const uint64_t now = telemetry::MonotonicNowNs();
+  context.queue_ns = now > queued.enqueue_ns ? now - queued.enqueue_ns : 0;
+  context.cancelled = cancelled;
+  context.deadline_expired =
+      queued.deadline_ns != 0 && now > queued.deadline_ns;
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (context.deadline_expired) {
+    expired_.fetch_add(1, std::memory_order_relaxed);
+    XCLUSTER_COUNTER_INC("service.executor.expired");
+  }
+  if (context.cancelled) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  XCLUSTER_HISTOGRAM_RECORD_NS("service.queue_wait_ns", context.queue_ns);
+  queued.task(context);
+}
+
+void Executor::Shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    if (!drain) abandon_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+size_t Executor::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+Executor::Stats Executor::stats() const {
+  Stats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.executed = executed_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace xcluster

@@ -1,0 +1,115 @@
+#ifndef XCLUSTER_SERVICE_EXECUTOR_H_
+#define XCLUSTER_SERVICE_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xcluster {
+
+/// Tuning knobs for the estimation thread pool (see docs/SERVING.md).
+struct ExecutorOptions {
+  /// Worker threads. 0 means "run tasks inline on the submitting thread"
+  /// — no queue, no backpressure, useful for single-threaded tools and
+  /// for the 1-vs-N determinism tests.
+  size_t num_threads = 0;
+
+  /// Bounded MPMC request queue capacity. Submissions beyond this return
+  /// ResourceExhausted instead of growing memory without bound; callers
+  /// shed load or retry after completions free a slot.
+  size_t queue_capacity = 1024;
+};
+
+/// A fixed pool of workers draining a bounded queue.
+///
+/// Submit never blocks: a full queue is reported as ResourceExhausted so
+/// the caller — not the executor — decides whether to retry, shed, or
+/// fail the request (EstimationService::EstimateBatch retries after
+/// completions; the serve harness surfaces the error to the client).
+///
+/// Each task runs with a TaskContext describing what happened between
+/// submission and execution: whether its deadline expired in the queue
+/// (the task should fail fast without doing the work), whether the
+/// executor is abandoning the queue (shutdown without drain), and how
+/// long the task waited. Tasks are always *called* exactly once, even
+/// when expired or cancelled, so completion-counting callers never hang.
+class Executor {
+ public:
+  struct TaskContext {
+    bool deadline_expired = false;  ///< deadline passed while queued
+    bool cancelled = false;         ///< Shutdown(drain=false) dropped it
+    uint64_t queue_ns = 0;          ///< time spent queued
+  };
+  using Task = std::function<void(const TaskContext&)>;
+
+  /// Aggregate lifetime counters (monotone; readable from any thread).
+  struct Stats {
+    uint64_t submitted = 0;  ///< accepted into the queue (or run inline)
+    uint64_t rejected = 0;   ///< refused with ResourceExhausted
+    uint64_t executed = 0;   ///< run with a live context
+    uint64_t expired = 0;    ///< run with deadline_expired set
+    uint64_t cancelled = 0;  ///< run with cancelled set
+  };
+
+  explicit Executor(ExecutorOptions options = ExecutorOptions());
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Drains and joins (Shutdown(true)).
+  ~Executor();
+
+  /// Enqueues `task`. `deadline_ns` is an absolute telemetry::MonotonicNowNs
+  /// timestamp (0 = no deadline); a task still queued past its deadline is
+  /// invoked with deadline_expired set instead of silently dropped.
+  /// Returns ResourceExhausted when the queue is full and Unsupported
+  /// after Shutdown.
+  Status Submit(Task task, uint64_t deadline_ns = 0);
+
+  /// Stops accepting work. With `drain` (default) workers finish every
+  /// queued task before exiting; without it, queued tasks are invoked
+  /// immediately with `cancelled` set and workers exit as soon as the
+  /// queue empties. Idempotent; joins all workers before returning.
+  void Shutdown(bool drain = true);
+
+  size_t num_threads() const { return threads_.size(); }
+  size_t queue_depth() const;
+  Stats stats() const;
+
+ private:
+  struct QueuedTask {
+    Task task;
+    uint64_t deadline_ns = 0;
+    uint64_t enqueue_ns = 0;
+  };
+
+  void WorkerLoop();
+  void RunTask(QueuedTask&& queued, bool cancelled);
+
+  ExecutorOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<QueuedTask> queue_;
+  bool accepting_ = true;
+  bool abandon_ = false;  // Shutdown(drain=false): cancel queued tasks
+
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> cancelled_{0};
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_SERVICE_EXECUTOR_H_

@@ -1,0 +1,208 @@
+#include "service/harness.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+
+namespace xcluster {
+
+namespace {
+
+constexpr char kHelp[] =
+    "ok help commands: load <name> <path> | drop <name> | list | "
+    "estimate <name> <query> | "
+    "batch <name> <k> [deadline_us=N] [explain] | stats | help | quit";
+
+std::string FormatEstimate(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
+}
+
+/// Remainder of `line` after `prefix_words` whitespace-separated words.
+std::string RestOfLine(const std::string& line, int prefix_words) {
+  size_t pos = 0;
+  for (int word = 0; word < prefix_words; ++word) {
+    while (pos < line.size() && std::isspace(
+                                    static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    while (pos < line.size() && !std::isspace(
+                                    static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+  }
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos]))) {
+    ++pos;
+  }
+  return line.substr(pos);
+}
+
+void WriteItem(std::ostream& out, size_t index, const QueryResult& result,
+               bool explain) {
+  if (result.status.ok()) {
+    out << index << " ok " << FormatEstimate(result.estimate)
+        << " us=" << result.latency_ns / 1000 << "\n";
+    if (explain && !result.explanation.empty()) {
+      std::istringstream lines(result.explanation);
+      std::string line;
+      while (std::getline(lines, line)) out << "# " << line << "\n";
+    }
+  } else {
+    out << index << " err " << result.status.ToString() << "\n";
+  }
+}
+
+}  // namespace
+
+int ServiceHarness::Run(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!HandleLine(line, in, out)) break;
+    out.flush();
+  }
+  out.flush();
+  return 0;
+}
+
+bool ServiceHarness::HandleLine(const std::string& line, std::istream& in,
+                                std::ostream& out) {
+  std::istringstream tokens(line);
+  std::string command;
+  tokens >> command;
+  if (command.empty() || command[0] == '#') return true;  // blank / comment
+
+  if (command == "quit") {
+    out << "ok bye\n";
+    return false;
+  }
+  if (command == "help") {
+    out << kHelp << "\n";
+    return true;
+  }
+  if (command == "load") {
+    std::string name, path;
+    tokens >> name >> path;
+    if (name.empty() || path.empty()) {
+      out << "err load needs <name> <path>\n";
+      return true;
+    }
+    auto loaded = service_->store().LoadFile(name, path);
+    if (!loaded.ok()) {
+      out << "err " << loaded.status().ToString() << "\n";
+      return true;
+    }
+    const StoredSynopsis& snapshot = *loaded.value();
+    out << "ok load " << name << " gen=" << snapshot.generation()
+        << " clusters=" << snapshot.synopsis().NodeCount() << "\n";
+    return true;
+  }
+  if (command == "drop") {
+    std::string name;
+    tokens >> name;
+    if (name.empty()) {
+      out << "err drop needs <name>\n";
+      return true;
+    }
+    if (service_->store().Remove(name)) {
+      out << "ok drop " << name << "\n";
+    } else {
+      out << "err NotFound: no synopsis named '" << name << "'\n";
+    }
+    return true;
+  }
+  if (command == "list") {
+    std::vector<std::string> names = service_->store().List();
+    out << "ok list " << names.size() << "\n";
+    for (const std::string& name : names) {
+      auto snapshot = service_->store().Get(name);
+      if (snapshot == nullptr) continue;  // dropped between List and Get
+      out << "synopsis " << name << " gen=" << snapshot->generation()
+          << " clusters=" << snapshot->synopsis().NodeCount()
+          << " bytes=" << snapshot->xcluster().SizeBytes() << "\n";
+    }
+    return true;
+  }
+  if (command == "estimate") {
+    std::string name;
+    tokens >> name;
+    const std::string query = RestOfLine(line, 2);
+    if (name.empty() || query.empty()) {
+      out << "err estimate needs <name> <query>\n";
+      return true;
+    }
+    QueryResult result = service_->EstimateOne(name, query);
+    if (result.status.ok()) {
+      out << "ok estimate " << FormatEstimate(result.estimate)
+          << " us=" << result.latency_ns / 1000 << "\n";
+    } else {
+      out << "err " << result.status.ToString() << "\n";
+    }
+    return true;
+  }
+  if (command == "batch") {
+    std::string name;
+    long long count = -1;
+    tokens >> name >> count;
+    if (name.empty() || count < 0) {
+      out << "err batch needs <name> <count>\n";
+      return true;
+    }
+    BatchOptions options;
+    std::string extra;
+    while (tokens >> extra) {
+      if (extra == "explain") {
+        options.explain = true;
+      } else if (extra.rfind("deadline_us=", 0) == 0) {
+        options.deadline_ns =
+            std::strtoull(extra.c_str() + 12, nullptr, 10) * 1000;
+      } else {
+        out << "err unknown batch option '" << extra << "'\n";
+        return true;
+      }
+    }
+    std::vector<std::string> queries;
+    queries.reserve(static_cast<size_t>(count));
+    std::string query_line;
+    for (long long i = 0; i < count; ++i) {
+      if (!std::getline(in, query_line)) {
+        out << "err batch truncated: got " << i << " of " << count
+            << " queries\n";
+        return true;
+      }
+      queries.push_back(query_line);
+    }
+    BatchResult batch = service_->EstimateBatch(name, queries, options);
+    out << "ok batch n=" << batch.results.size()
+        << " ok=" << batch.stats.ok << " err=" << batch.stats.failed
+        << " us=" << batch.stats.wall_ns / 1000
+        << " p50_us=" << batch.stats.p50_latency_ns / 1000
+        << " p95_us=" << batch.stats.p95_latency_ns / 1000 << "\n";
+    for (size_t i = 0; i < batch.results.size(); ++i) {
+      WriteItem(out, i, batch.results[i], options.explain);
+    }
+    return true;
+  }
+  if (command == "stats") {
+    const Executor::Stats stats = service_->executor().stats();
+    out << "ok stats synopses=" << service_->store().size()
+        << " workers=" << service_->executor().num_threads()
+        << " queue_depth=" << service_->executor().queue_depth()
+        << " submitted=" << stats.submitted << " rejected=" << stats.rejected
+        << " executed=" << stats.executed << " expired=" << stats.expired
+        << "\n";
+    return true;
+  }
+  out << "err unknown command '" << command << "' (try help)\n";
+  return true;
+}
+
+}  // namespace xcluster

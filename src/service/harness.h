@@ -1,0 +1,51 @@
+#ifndef XCLUSTER_SERVICE_HARNESS_H_
+#define XCLUSTER_SERVICE_HARNESS_H_
+
+#include <iosfwd>
+#include <string>
+
+namespace xcluster {
+
+class EstimationService;
+
+/// Line-oriented driver for an EstimationService (the `xclusterctl serve
+/// --stdin` protocol; full grammar in docs/SERVING.md).
+///
+/// Requests, one per line (blank lines and `#` comments are ignored):
+///
+///   load <name> <path>             install a .xcs file under <name>
+///   drop <name>                    remove <name> from the catalog
+///   list                           catalog contents
+///   estimate <name> <query>        one inline estimate
+///   batch <name> <k> [deadline_us=N] [explain]
+///                                  then exactly <k> query lines; fans the
+///                                  batch across the worker pool
+///   stats                          store/executor counters
+///   help                           grammar summary
+///   quit                           exit
+///
+/// Every response line starts with `ok` or `err`; batch responses are an
+/// `ok batch` header followed by exactly <k> item lines `<i> ok|err ...`
+/// (plus `#`-prefixed explanation lines when `explain` was requested), so
+/// a scripted client can always parse responses without lookahead.
+class ServiceHarness {
+ public:
+  explicit ServiceHarness(EstimationService* service) : service_(service) {}
+
+  /// Serves requests from `in` until `quit` or EOF; responses (and
+  /// nothing else) go to `out`, flushed after every request. Returns the
+  /// process exit code (0 on clean quit/EOF).
+  int Run(std::istream& in, std::ostream& out);
+
+ private:
+  /// Handles one request line; `in` is consumed further only for the
+  /// query lines of a `batch` request. Returns false on `quit`.
+  bool HandleLine(const std::string& line, std::istream& in,
+                  std::ostream& out);
+
+  EstimationService* service_;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_SERVICE_HARNESS_H_

@@ -1,0 +1,186 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/telemetry.h"
+#include "query/parser.h"
+
+namespace xcluster {
+
+namespace {
+
+/// Parses, resolves, and estimates one query against a snapshot, writing
+/// the outcome into `result`. `deadline_ns` is absolute monotonic (0 =
+/// none); it is re-checked here so a query that reached a worker just
+/// under the wire still fails fast instead of burning the budget further.
+void ProcessQuery(const StoredSynopsis& snapshot, const std::string& query,
+                  bool explain, uint64_t deadline_ns, QueryResult* result) {
+  const uint64_t start_ns = telemetry::MonotonicNowNs();
+  if (deadline_ns != 0 && start_ns > deadline_ns) {
+    result->status = Status::DeadlineExceeded("batch deadline expired");
+    XCLUSTER_COUNTER_INC("service.requests.deadline_exceeded");
+    return;
+  }
+  Result<TwigQuery> parsed = ParseTwig(query);
+  if (!parsed.ok()) {
+    result->status = parsed.status();
+    XCLUSTER_COUNTER_INC("service.requests.invalid");
+    return;
+  }
+  TwigQuery twig = std::move(parsed).value();
+  if (twig.has_term_predicates() &&
+      snapshot.synopsis().term_dictionary() != nullptr) {
+    twig.ResolveTerms(*snapshot.synopsis().term_dictionary());
+  }
+  if (explain) {
+    EstimateExplanation explanation = snapshot.estimator().Explain(twig);
+    result->estimate = explanation.selectivity;
+    result->explanation = explanation.ToString();
+  } else {
+    result->estimate = snapshot.estimator().Estimate(twig);
+  }
+  result->status = Status::OK();
+  result->latency_ns = telemetry::MonotonicNowNs() - start_ns;
+  XCLUSTER_COUNTER_INC("service.requests.ok");
+  XCLUSTER_HISTOGRAM_RECORD_NS("service.request_latency_ns",
+                               result->latency_ns);
+}
+
+uint64_t LatencyQuantile(std::vector<uint64_t>& sorted_latencies, double q) {
+  if (sorted_latencies.empty()) return 0;
+  const size_t index = std::min(
+      sorted_latencies.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_latencies.size())));
+  return sorted_latencies[index];
+}
+
+}  // namespace
+
+EstimationService::EstimationService(ServiceOptions options)
+    : options_(options), store_(options.store_shards) {
+  executor_ = std::make_unique<Executor>(options_.executor);
+}
+
+EstimationService::~EstimationService() { Shutdown(); }
+
+void EstimationService::Shutdown() { executor_->Shutdown(true); }
+
+QueryResult EstimationService::EstimateOne(const std::string& collection,
+                                           const std::string& query,
+                                           bool explain) const {
+  QueryResult result;
+  std::shared_ptr<const StoredSynopsis> snapshot = store_.Get(collection);
+  if (snapshot == nullptr) {
+    result.status =
+        Status::NotFound("no synopsis named '" + collection + "'");
+    return result;
+  }
+  ProcessQuery(*snapshot, query, explain, /*deadline_ns=*/0, &result);
+  return result;
+}
+
+BatchResult EstimationService::EstimateBatch(
+    const std::string& collection, const std::vector<std::string>& queries,
+    const BatchOptions& options) {
+  XCLUSTER_TRACE_SPAN("service.batch");
+  XCLUSTER_SCOPED_TIMER_NS("service.batch_ns");
+  XCLUSTER_COUNTER_INC("service.batches");
+  const uint64_t start_ns = telemetry::MonotonicNowNs();
+  BatchResult batch;
+  batch.results.resize(queries.size());
+
+  // Resolve the snapshot once; every query in the batch sees the same
+  // generation even if the collection is hot-swapped mid-batch.
+  std::shared_ptr<const StoredSynopsis> snapshot = store_.Get(collection);
+  if (snapshot == nullptr) {
+    for (QueryResult& result : batch.results) {
+      result.status =
+          Status::NotFound("no synopsis named '" + collection + "'");
+    }
+    batch.stats.failed = batch.results.size();
+    batch.stats.wall_ns = telemetry::MonotonicNowNs() - start_ns;
+    return batch;
+  }
+
+  const uint64_t deadline_ns =
+      options.deadline_ns == 0 ? 0 : start_ns + options.deadline_ns;
+
+  // Slot-per-query completion tracking: tasks write disjoint slots, so
+  // only the done-counter needs the lock.
+  std::mutex mu;
+  std::condition_variable all_done;
+  size_t done = 0;
+
+  auto make_task = [&](QueryResult* slot, const std::string* query) {
+    return [&, slot, query](const Executor::TaskContext& ctx) {
+      slot->queue_ns = ctx.queue_ns;
+      if (ctx.cancelled) {
+        slot->status = Status::Unsupported("executor shut down mid-batch");
+      } else if (ctx.deadline_expired) {
+        slot->status =
+            Status::DeadlineExceeded("batch deadline expired in queue");
+        XCLUSTER_COUNTER_INC("service.requests.deadline_exceeded");
+      } else {
+        ProcessQuery(*snapshot, *query, options.explain, deadline_ns, slot);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      ++done;
+      all_done.notify_all();
+    };
+  };
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryResult* slot = &batch.results[i];
+    const std::string* query = &queries[i];
+    for (;;) {
+      Status submitted = executor_->Submit(make_task(slot, query), deadline_ns);
+      if (submitted.ok()) break;
+      if (submitted.code() != Status::Code::kResourceExhausted) {
+        // Shut down: fail the slot ourselves; the task never ran.
+        slot->status = std::move(submitted);
+        std::lock_guard<std::mutex> lock(mu);
+        ++done;
+        break;
+      }
+      // Queue full: batch-level flow control. Wait for one of our own
+      // completions to free a slot, then resubmit. The wait is bounded —
+      // the queue may be full of a *different* batch's tasks while none
+      // of ours are in flight, in which case only retrying can make
+      // progress. Raw Executor::Submit callers keep the hard
+      // ResourceExhausted; only the batch API absorbs it.
+      std::unique_lock<std::mutex> lock(mu);
+      const size_t seen = done;
+      all_done.wait_for(lock, std::chrono::milliseconds(1),
+                        [&] { return done > seen; });
+    }
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    all_done.wait(lock, [&] { return done == queries.size(); });
+  }
+
+  std::vector<uint64_t> latencies;
+  latencies.reserve(batch.results.size());
+  for (const QueryResult& result : batch.results) {
+    if (result.status.ok()) {
+      ++batch.stats.ok;
+      latencies.push_back(result.latency_ns);
+    } else {
+      ++batch.stats.failed;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  batch.stats.p50_latency_ns = LatencyQuantile(latencies, 0.50);
+  batch.stats.p95_latency_ns = LatencyQuantile(latencies, 0.95);
+  batch.stats.max_latency_ns = latencies.empty() ? 0 : latencies.back();
+  batch.stats.wall_ns = telemetry::MonotonicNowNs() - start_ns;
+  return batch;
+}
+
+}  // namespace xcluster

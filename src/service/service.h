@@ -1,0 +1,115 @@
+#ifndef XCLUSTER_SERVICE_SERVICE_H_
+#define XCLUSTER_SERVICE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/executor.h"
+#include "service/synopsis_store.h"
+
+namespace xcluster {
+
+/// Configuration for an EstimationService instance.
+struct ServiceOptions {
+  ExecutorOptions executor;
+  size_t store_shards = SynopsisStore::kDefaultShards;
+};
+
+/// Per-batch request options.
+struct BatchOptions {
+  /// Wall-clock budget for the whole batch, relative to submission
+  /// (nanoseconds; 0 = unbounded). Queries still queued or not yet
+  /// estimated when the budget runs out fail with DeadlineExceeded
+  /// instead of holding the batch open.
+  uint64_t deadline_ns = 0;
+
+  /// Attach the EXPLAIN-style per-variable breakdown to each successful
+  /// result (EstimateExplanation::ToString rendering).
+  bool explain = false;
+};
+
+/// Outcome of one query within a batch (slot order matches the request).
+struct QueryResult {
+  Status status;              ///< parse/validate/deadline/estimate outcome
+  double estimate = 0.0;      ///< valid when status.ok()
+  uint64_t latency_ns = 0;    ///< parse+estimate time on the worker
+  uint64_t queue_ns = 0;      ///< time spent in the executor queue
+  std::string explanation;    ///< filled when BatchOptions::explain
+};
+
+/// Aggregate view of a batch.
+struct BatchStats {
+  uint64_t wall_ns = 0;   ///< submission to last completion
+  size_t ok = 0;          ///< queries that produced an estimate
+  size_t failed = 0;      ///< everything else (parse errors, deadline, ...)
+  uint64_t p50_latency_ns = 0;  ///< per-query worker latency percentiles
+  uint64_t p95_latency_ns = 0;
+  uint64_t max_latency_ns = 0;
+};
+
+struct BatchResult {
+  std::vector<QueryResult> results;
+  BatchStats stats;
+};
+
+/// In-process estimation service: the serving layer over the library.
+///
+/// Holds a SynopsisStore (named, hot-swappable synopsis snapshots) and an
+/// Executor (bounded thread pool). EstimateBatch parses, validates, and
+/// fans a vector of twig-query strings across the workers, returning
+/// per-query results in request order plus aggregate latency stats.
+///
+/// Determinism: a batch estimated with 0, 1, or N worker threads produces
+/// bit-identical estimates and identical explanations — per-query work
+/// shares only the snapshot's estimator, whose cache stores pure results.
+///
+/// Thread safety: all public methods may be called from any thread.
+/// Batches hold the synopsis snapshot they resolved at submission, so a
+/// concurrent Install/Remove of the same collection never affects queries
+/// already in flight.
+class EstimationService {
+ public:
+  explicit EstimationService(ServiceOptions options = ServiceOptions());
+
+  /// Drains in-flight work (Shutdown) before destruction.
+  ~EstimationService();
+
+  EstimationService(const EstimationService&) = delete;
+  EstimationService& operator=(const EstimationService&) = delete;
+
+  SynopsisStore& store() { return store_; }
+  const SynopsisStore& store() const { return store_; }
+  const Executor& executor() const { return *executor_; }
+
+  /// Parses and estimates one query inline on the calling thread (no
+  /// executor round-trip; the protocol's `estimate` command and simple
+  /// embedders use this).
+  QueryResult EstimateOne(const std::string& collection,
+                          const std::string& query,
+                          bool explain = false) const;
+
+  /// Fans `queries` across the worker pool against the current snapshot
+  /// of `collection`. Applies flow control on top of the executor's
+  /// backpressure: when the bounded queue is full, submission waits for
+  /// completions rather than failing the remainder of the batch (raw
+  /// Executor::Submit users still get ResourceExhausted). An unknown
+  /// collection fails every query with NotFound.
+  BatchResult EstimateBatch(const std::string& collection,
+                            const std::vector<std::string>& queries,
+                            const BatchOptions& options = BatchOptions());
+
+  /// Stops accepting batches and drains the executor. Idempotent.
+  void Shutdown();
+
+ private:
+  ServiceOptions options_;
+  SynopsisStore store_;
+  std::unique_ptr<Executor> executor_;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_SERVICE_SERVICE_H_

@@ -1,0 +1,121 @@
+#include "service/synopsis_store.h"
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "common/telemetry/telemetry.h"
+
+namespace xcluster {
+
+StoredSynopsis::StoredSynopsis(std::string name, XCluster synopsis,
+                               uint64_t generation)
+    : name_(std::move(name)),
+      xcluster_(std::move(synopsis)),
+      generation_(generation) {
+  // Constructed after xcluster_ has reached its final address.
+  estimator_ = std::make_unique<XClusterEstimator>(xcluster_.synopsis());
+}
+
+std::shared_ptr<const StoredSynopsis> StoredSynopsis::Make(
+    std::string name, XCluster synopsis, uint64_t generation) {
+  return std::shared_ptr<const StoredSynopsis>(new StoredSynopsis(
+      std::move(name), std::move(synopsis), generation));
+}
+
+SynopsisStore::SynopsisStore(size_t num_shards) {
+  shards_.reserve(num_shards == 0 ? 1 : num_shards);
+  for (size_t i = 0; i < std::max<size_t>(num_shards, 1); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+SynopsisStore::Shard& SynopsisStore::ShardFor(const std::string& name) const {
+  return *shards_[std::hash<std::string>()(name) % shards_.size()];
+}
+
+std::shared_ptr<const StoredSynopsis> SynopsisStore::Install(
+    const std::string& name, XCluster synopsis) {
+  // Build the snapshot (estimator construction included) before touching
+  // the shard, so the lock covers only the pointer swap.
+  auto snapshot = StoredSynopsis::Make(
+      name, std::move(synopsis),
+      next_generation_.fetch_add(1, std::memory_order_relaxed));
+  Shard& shard = ShardFor(name);
+  std::shared_ptr<const StoredSynopsis> replaced;  // destroyed outside lock
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    for (auto& [entry_name, entry] : shard.entries) {
+      if (entry_name == name) {
+        replaced = std::move(entry);
+        entry = snapshot;
+        break;
+      }
+    }
+    if (replaced == nullptr) shard.entries.emplace_back(name, snapshot);
+  }
+  XCLUSTER_COUNTER_INC("service.store.installs");
+  XCLUSTER_GAUGE_SET("service.store.synopses", size());
+  return snapshot;
+}
+
+Result<std::shared_ptr<const StoredSynopsis>> SynopsisStore::LoadFile(
+    const std::string& name, const std::string& path) {
+  Result<XCluster> loaded = XCluster::Load(path);
+  if (!loaded.ok()) return loaded.status();
+  return Install(name, std::move(loaded).value());
+}
+
+std::shared_ptr<const StoredSynopsis> SynopsisStore::Get(
+    const std::string& name) const {
+  const Shard& shard = ShardFor(name);
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  for (const auto& [entry_name, entry] : shard.entries) {
+    if (entry_name == name) {
+      XCLUSTER_COUNTER_INC("service.store.hits");
+      return entry;
+    }
+  }
+  XCLUSTER_COUNTER_INC("service.store.misses");
+  return nullptr;
+}
+
+bool SynopsisStore::Remove(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::shared_ptr<const StoredSynopsis> removed;  // destroyed outside lock
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end(); ++it) {
+      if (it->first == name) {
+        removed = std::move(it->second);
+        shard.entries.erase(it);
+        break;
+      }
+    }
+  }
+  if (removed == nullptr) return false;
+  XCLUSTER_GAUGE_SET("service.store.synopses", size());
+  return true;
+}
+
+std::vector<std::string> SynopsisStore::List() const {
+  std::vector<std::string> names;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    for (const auto& [name, entry] : shard->entries) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t SynopsisStore::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    total += shard->entries.size();
+  }
+  return total;
+}
+
+}  // namespace xcluster

@@ -1,0 +1,109 @@
+#ifndef XCLUSTER_SERVICE_SYNOPSIS_STORE_H_
+#define XCLUSTER_SERVICE_SYNOPSIS_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/xcluster.h"
+#include "estimate/estimator.h"
+
+namespace xcluster {
+
+/// One immutable synopsis snapshot served by a SynopsisStore: the loaded
+/// XCluster plus a long-lived estimator over it (so the descendant reach
+/// cache warms across requests instead of being rebuilt per query).
+///
+/// Snapshots are shared out as `shared_ptr<const StoredSynopsis>`; a
+/// snapshot stays alive for as long as any in-flight request holds it,
+/// even after the store has swapped in a replacement or dropped the name.
+class StoredSynopsis {
+ public:
+  /// Wraps `synopsis`; heap-allocates so the estimator's reference into
+  /// the synopsis graph stays stable for the snapshot's lifetime.
+  static std::shared_ptr<const StoredSynopsis> Make(std::string name,
+                                                    XCluster synopsis,
+                                                    uint64_t generation);
+
+  const std::string& name() const { return name_; }
+  const XCluster& xcluster() const { return xcluster_; }
+  const GraphSynopsis& synopsis() const { return xcluster_.synopsis(); }
+
+  /// Thread-safe (see XClusterEstimator); shared across all requests that
+  /// hold this snapshot.
+  const XClusterEstimator& estimator() const { return *estimator_; }
+
+  /// Monotonically increasing across the owning store; a reload of the
+  /// same name yields a snapshot with a larger generation.
+  uint64_t generation() const { return generation_; }
+
+ private:
+  StoredSynopsis(std::string name, XCluster synopsis, uint64_t generation);
+
+  std::string name_;
+  XCluster xcluster_;
+  std::unique_ptr<XClusterEstimator> estimator_;  // references xcluster_
+  uint64_t generation_ = 0;
+};
+
+/// A named catalog of immutable synopsis snapshots with RCU-style hot
+/// swap: readers resolve a name to a `shared_ptr` snapshot and never block
+/// on (or observe a torn state from) a concurrent Install/Remove; writers
+/// publish a fully built replacement snapshot with one pointer swap.
+///
+/// The catalog is sharded by name hash so concurrent lookups of unrelated
+/// collections do not contend on one mutex; each shard's lock is held only
+/// for the map operation itself, never while loading or building.
+class SynopsisStore {
+ public:
+  static constexpr size_t kDefaultShards = 8;
+
+  explicit SynopsisStore(size_t num_shards = kDefaultShards);
+
+  SynopsisStore(const SynopsisStore&) = delete;
+  SynopsisStore& operator=(const SynopsisStore&) = delete;
+
+  /// Publishes `synopsis` under `name`, replacing any previous snapshot
+  /// (which stays alive until its last in-flight reader drops it).
+  /// Returns the installed snapshot.
+  std::shared_ptr<const StoredSynopsis> Install(const std::string& name,
+                                                XCluster synopsis);
+
+  /// Loads a `.xcs` file (full checksum verification happens in
+  /// XCluster::Load) and installs it under `name`. The load runs outside
+  /// all locks; a failed load leaves any existing snapshot untouched.
+  Result<std::shared_ptr<const StoredSynopsis>> LoadFile(
+      const std::string& name, const std::string& path);
+
+  /// Current snapshot for `name`, or nullptr if absent.
+  std::shared_ptr<const StoredSynopsis> Get(const std::string& name) const;
+
+  /// Drops `name` from the catalog. Returns false if it was absent.
+  bool Remove(const std::string& name);
+
+  /// Sorted names of all cataloged synopses.
+  std::vector<std::string> List() const;
+
+  /// Number of cataloged synopses.
+  size_t size() const;
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::vector<std::pair<std::string, std::shared_ptr<const StoredSynopsis>>>
+        entries;  // small per shard; linear scan beats map overhead
+  };
+
+  Shard& ShardFor(const std::string& name) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> next_generation_{1};
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_SERVICE_SYNOPSIS_STORE_H_

@@ -1,0 +1,187 @@
+#include "service/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+
+namespace xcluster {
+namespace {
+
+XCluster MakeFixture() {
+  GraphSynopsis synopsis;
+  SynNodeId r = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId a = synopsis.AddNode("A", ValueType::kNone, 10.0);
+  SynNodeId b = synopsis.AddNode("B", ValueType::kNone, 100.0);
+  synopsis.AddEdge(r, a, 10.0);
+  synopsis.AddEdge(a, b, 10.0);
+  synopsis.set_term_dictionary(std::make_shared<TermDictionary>());
+  return XCluster(std::move(synopsis));
+}
+
+/// Runs `script` through a fresh harness and returns the response lines.
+std::vector<std::string> RunScript(EstimationService* service,
+                                   const std::string& script) {
+  std::istringstream in(script);
+  std::ostringstream out;
+  ServiceHarness harness(service);
+  EXPECT_EQ(harness.Run(in, out), 0);
+  std::vector<std::string> lines;
+  std::istringstream reader(out.str());
+  std::string line;
+  while (std::getline(reader, line)) lines.push_back(line);
+  return lines;
+}
+
+bool StartsWith(const std::string& line, const std::string& prefix) {
+  return line.rfind(prefix, 0) == 0;
+}
+
+TEST(ServiceHarnessTest, EstimateAndListOverPreloadedSynopsis) {
+  EstimationService service;
+  service.store().Install("books", MakeFixture());
+
+  std::vector<std::string> lines = RunScript(
+      &service,
+      "list\n"
+      "estimate books /A\n"
+      "estimate books /A/B\n"
+      "estimate books ][broken\n"
+      "estimate missing /A\n"
+      "quit\n");
+  ASSERT_EQ(lines.size(), 7u);
+  EXPECT_EQ(lines[0], "ok list 1");
+  EXPECT_TRUE(StartsWith(lines[1], "synopsis books gen=")) << lines[1];
+  EXPECT_TRUE(StartsWith(lines[2], "ok estimate 10 us=")) << lines[2];
+  EXPECT_TRUE(StartsWith(lines[3], "ok estimate 100 us=")) << lines[3];
+  EXPECT_TRUE(StartsWith(lines[4], "err InvalidArgument")) << lines[4];
+  EXPECT_TRUE(StartsWith(lines[5], "err NotFound")) << lines[5];
+  EXPECT_EQ(lines[6], "ok bye");
+}
+
+TEST(ServiceHarnessTest, BatchEmitsHeaderAndExactlyKItems) {
+  ServiceOptions options;
+  options.executor.num_threads = 2;
+  EstimationService service(options);
+  service.store().Install("books", MakeFixture());
+
+  std::vector<std::string> lines = RunScript(
+      &service,
+      "batch books 3\n"
+      "/A\n"
+      "not a query ][\n"
+      "/A/B\n"
+      "quit\n");
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_TRUE(StartsWith(lines[0], "ok batch n=3 ok=2 err=1 us="))
+      << lines[0];
+  EXPECT_TRUE(StartsWith(lines[1], "0 ok 10 us=")) << lines[1];
+  EXPECT_TRUE(StartsWith(lines[2], "1 err InvalidArgument")) << lines[2];
+  EXPECT_TRUE(StartsWith(lines[3], "2 ok 100 us=")) << lines[3];
+}
+
+TEST(ServiceHarnessTest, BatchExplainAttachesCommentLines) {
+  EstimationService service;
+  service.store().Install("books", MakeFixture());
+
+  std::vector<std::string> lines = RunScript(&service,
+                                             "batch books 1 explain\n"
+                                             "/A\n"
+                                             "quit\n");
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_TRUE(StartsWith(lines[0], "ok batch n=1 ok=1 err=0")) << lines[0];
+  EXPECT_TRUE(StartsWith(lines[1], "0 ok 10 us=")) << lines[1];
+  // At least one explanation line, all `#`-prefixed, before `ok bye`.
+  size_t comments = 0;
+  for (size_t i = 2; i + 1 < lines.size(); ++i) {
+    EXPECT_TRUE(StartsWith(lines[i], "# ")) << lines[i];
+    ++comments;
+  }
+  EXPECT_GT(comments, 0u);
+  EXPECT_EQ(lines.back(), "ok bye");
+}
+
+TEST(ServiceHarnessTest, MalformedRequestsGetErrNotCrash) {
+  EstimationService service;
+  std::vector<std::string> lines = RunScript(
+      &service,
+      "\n"
+      "# a comment\n"
+      "bogus\n"
+      "load onlyname\n"
+      "drop nothere\n"
+      "estimate\n"
+      "batch books -1\n"
+      "batch books 2 frobnicate\n"
+      "quit\n");
+  ASSERT_EQ(lines.size(), 7u);
+  EXPECT_TRUE(StartsWith(lines[0], "err unknown command 'bogus'"));
+  EXPECT_EQ(lines[1], "err load needs <name> <path>");
+  EXPECT_TRUE(StartsWith(lines[2], "err NotFound"));
+  EXPECT_EQ(lines[3], "err estimate needs <name> <query>");
+  EXPECT_EQ(lines[4], "err batch needs <name> <count>");
+  EXPECT_TRUE(StartsWith(lines[5], "err unknown batch option"));
+  EXPECT_EQ(lines[6], "ok bye");
+}
+
+TEST(ServiceHarnessTest, TruncatedBatchReportsShortfall) {
+  EstimationService service;
+  service.store().Install("books", MakeFixture());
+  // EOF after one of three promised query lines.
+  std::vector<std::string> lines = RunScript(&service,
+                                             "batch books 3\n"
+                                             "/A\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "err batch truncated: got 1 of 3 queries");
+}
+
+TEST(ServiceHarnessTest, LoadDropRoundTripsThroughSaveFile) {
+  const std::string path =
+      ::testing::TempDir() + "/harness_roundtrip.xcs";
+  ASSERT_TRUE(MakeFixture().Save(path).ok());
+
+  EstimationService service;
+  std::vector<std::string> lines =
+      RunScript(&service,
+                "load books " + path +
+                    "\n"
+                    "estimate books /A/B\n"
+                    "stats\n"
+                    "drop books\n"
+                    "estimate books /A\n"
+                    "load books /nonexistent/file.xcs\n"
+                    "quit\n");
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(), 7u);
+  EXPECT_TRUE(StartsWith(lines[0], "ok load books gen=")) << lines[0];
+  EXPECT_TRUE(StartsWith(lines[1], "ok estimate 100 us=")) << lines[1];
+  EXPECT_TRUE(StartsWith(lines[2], "ok stats synopses=1 workers="))
+      << lines[2];
+  EXPECT_EQ(lines[3], "ok drop books");
+  EXPECT_TRUE(StartsWith(lines[4], "err NotFound")) << lines[4];
+  EXPECT_TRUE(StartsWith(lines[5], "err ")) << lines[5];
+  EXPECT_EQ(lines[6], "ok bye");
+}
+
+TEST(ServiceHarnessTest, DeadlineOptionParsesAndApplies) {
+  ServiceOptions options;
+  options.executor.num_threads = 1;
+  EstimationService service(options);
+  service.store().Install("books", MakeFixture());
+
+  // deadline_us=0 means unbounded — everything succeeds.
+  std::vector<std::string> lines = RunScript(&service,
+                                             "batch books 2 deadline_us=0\n"
+                                             "/A\n"
+                                             "/A/B\n"
+                                             "quit\n");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_TRUE(StartsWith(lines[0], "ok batch n=2 ok=2 err=0")) << lines[0];
+}
+
+}  // namespace
+}  // namespace xcluster

@@ -123,6 +123,47 @@ TEST(MetricsRegistryTest, ConcurrentCounterIncrements) {
             static_cast<uint64_t>(kThreads) * kIncrements);
 }
 
+// First-use registration race (audited for the serving path): when many
+// threads request the same not-yet-registered name at once, exactly one
+// Counter is created, every caller gets the same pointer, and no update
+// made through any of those pointers is lost. See the "First-use
+// guarantee" note on MetricsRegistry.
+TEST(MetricsRegistryTest, ConcurrentFirstUseRegistrationLosesNoUpdates) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kNames = 16;
+  std::vector<Counter*> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      // All threads race creation of the same fresh names; increment
+      // through the pointer handed back, immediately on first use.
+      for (int n = 0; n < kNames; ++n) {
+        Counter* counter =
+            registry.GetCounter("firstuse.c" + std::to_string(n));
+        counter->Increment();
+        registry.GetHistogram("firstuse.h" + std::to_string(n))
+            ->Record(static_cast<uint64_t>(n));
+        registry.GetGauge("firstuse.g" + std::to_string(n))->Set(n);
+        if (n == 0) seen[t] = counter;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t], seen[0]);  // one object per name, stable address
+  }
+  for (int n = 0; n < kNames; ++n) {
+    EXPECT_EQ(registry.GetCounter("firstuse.c" + std::to_string(n))->value(),
+              static_cast<uint64_t>(kThreads));
+    EXPECT_EQ(
+        registry.GetHistogram("firstuse.h" + std::to_string(n))->count(),
+        static_cast<uint64_t>(kThreads));
+  }
+}
+
 TEST(MetricsRegistryTest, SnapshotIsDeterministic) {
   MetricsRegistry registry;
   registry.GetCounter("b.counter")->Add(2);

@@ -12,8 +12,17 @@
 //       budgets, and saves it.
 //
 //   xclusterctl estimate --synopsis synopsis.xcs --query "//a[range(1,9)]/b"
+//   xclusterctl estimate --synopsis synopsis.xcs --queries queries.txt
 //       Loads a synopsis and prints the estimated selectivity of a twig
-//       query (see query/parser.h for the syntax).
+//       query (see query/parser.h for the syntax). With --queries, the
+//       synopsis is loaded once into a SynopsisStore and every line of the
+//       file is estimated against the shared snapshot, reporting per-query
+//       latency; --workers N fans the batch across a thread pool.
+//
+//   xclusterctl serve --stdin [--workers N] [--queue N]
+//               [--preload name=f.xcs ...]
+//       Runs the in-process estimation service on a line-oriented
+//       stdin/stdout protocol (see docs/SERVING.md for the grammar).
 //
 //   xclusterctl inspect --synopsis synopsis.xcs [--dump]
 //       Prints size/cluster statistics (and optionally the clustering).
@@ -35,8 +44,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/io/file_io.h"
@@ -49,6 +60,8 @@
 #include "data/xmark.h"
 #include "estimate/estimator.h"
 #include "query/parser.h"
+#include "service/harness.h"
+#include "service/service.h"
 #include "synopsis/reference.h"
 #include "synopsis/stats.h"
 #include "workload/generator.h"
@@ -218,11 +231,68 @@ int Build(const Args& args) {
   return 0;
 }
 
+/// Multi-query path: the synopsis is loaded (and checksum-verified) once
+/// into a SynopsisStore, then every query in the file is estimated against
+/// the shared snapshot — instead of the old reload-per-invocation loop.
+int EstimateFile(const std::string& synopsis_path,
+                 const std::string& queries_path, size_t workers,
+                 bool explain) {
+  ServiceOptions options;
+  options.executor.num_threads = workers;
+  EstimationService service(options);
+  auto loaded = service.store().LoadFile("default", synopsis_path);
+  if (!loaded.ok()) return Fail("load: " + loaded.status().ToString());
+
+  const std::vector<std::string> queries = ReadLines(queries_path);
+  if (queries.empty()) return Fail(queries_path + ": no queries");
+  BatchOptions batch_options;
+  batch_options.explain = explain;
+  BatchResult batch = service.EstimateBatch("default", queries, batch_options);
+
+  int rc = 0;
+  for (size_t i = 0; i < batch.results.size(); ++i) {
+    const QueryResult& result = batch.results[i];
+    if (result.status.ok()) {
+      std::printf("%-12.6g us=%-8llu %s\n", result.estimate,
+                  static_cast<unsigned long long>(result.latency_ns / 1000),
+                  queries[i].c_str());
+      if (explain && !result.explanation.empty()) {
+        std::printf("%s", result.explanation.c_str());
+      }
+    } else {
+      std::printf("error: %-12s %s\n", result.status.ToString().c_str(),
+                  queries[i].c_str());
+      rc = 1;
+    }
+  }
+  // Per-query latency summary straight from the telemetry histogram the
+  // estimator already records into.
+  telemetry::MetricsSnapshot snapshot =
+      telemetry::MetricsRegistry::Global().Snapshot();
+  for (const auto& histogram : snapshot.histograms) {
+    if (histogram.name != "estimate.latency_ns") continue;
+    std::printf(
+        "# %zu queries: ok=%zu err=%zu wall_us=%llu "
+        "estimate_p50_us=%.1f p95_us=%.1f p99_us=%.1f\n",
+        queries.size(), batch.stats.ok, batch.stats.failed,
+        static_cast<unsigned long long>(batch.stats.wall_ns / 1000),
+        histogram.p50_ns / 1000.0, histogram.p95_ns / 1000.0,
+        histogram.p99_ns / 1000.0);
+  }
+  return rc;
+}
+
 int Estimate(const Args& args) {
   const std::string path = args.Get("synopsis");
   const std::string query = args.Get("query");
-  if (path.empty() || query.empty()) {
-    return Fail("estimate requires --synopsis and --query");
+  const std::string queries = args.Get("queries");
+  if (path.empty() || (query.empty() && queries.empty())) {
+    return Fail("estimate requires --synopsis and --query or --queries");
+  }
+  if (!queries.empty()) {
+    return EstimateFile(path, queries,
+                        static_cast<size_t>(args.GetInt("workers", 0)),
+                        args.Has("explain"));
   }
   Result<XCluster> synopsis = XCluster::Load(path);
   if (!synopsis.ok()) return Fail("load: " + synopsis.status().ToString());
@@ -241,6 +311,38 @@ int Estimate(const Args& args) {
     std::printf("%.6g\n", estimate.value());
   }
   return 0;
+}
+
+int Serve(const Args& args) {
+  if (!args.Has("stdin")) {
+    return Fail("serve requires --stdin (the only transport so far)");
+  }
+  ServiceOptions options;
+  options.executor.num_threads = static_cast<size_t>(
+      args.GetInt("workers", std::thread::hardware_concurrency()));
+  options.executor.queue_capacity =
+      static_cast<size_t>(args.GetInt("queue", 1024));
+  EstimationService service(options);
+
+  // --preload name=path[,name=path...]: install synopses before serving.
+  std::string preload = args.Get("preload");
+  while (!preload.empty()) {
+    const size_t comma = preload.find(',');
+    const std::string spec = preload.substr(0, comma);
+    preload = comma == std::string::npos ? "" : preload.substr(comma + 1);
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos) {
+      return Fail("--preload expects name=path, got '" + spec + "'");
+    }
+    auto loaded =
+        service.store().LoadFile(spec.substr(0, eq), spec.substr(eq + 1));
+    if (!loaded.ok()) {
+      return Fail("preload " + spec + ": " + loaded.status().ToString());
+    }
+  }
+
+  ServiceHarness harness(&service);
+  return harness.Run(std::cin, std::cout);
 }
 
 int Stats(const Args& args) {
@@ -386,6 +488,8 @@ int Usage() {
       "           [--paths f.paths] [--numeric hist|wavelet|sample]\n"
       "           [--verbose]\n"
       "  estimate --synopsis f.xcs --query \"//a[range(1,9)]/b\" [--explain]\n"
+      "           (or --queries f.txt [--workers N] for a shared-load batch)\n"
+      "  serve    --stdin [--workers N] [--queue N] [--preload name=f.xcs]\n"
       "  inspect  --synopsis f.xcs [--detail] [--dump]\n"
       "  workload --dataset imdb|xmark [--scale S] [--seed N]\n"
       "           [--queries N] [--negative] --out f.tsv\n"
@@ -408,6 +512,7 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "evaluate") return Evaluate(args);
   if (command == "verify") return Verify(args);
   if (command == "stats") return Stats(args);
+  if (command == "serve") return Serve(args);
   return Usage();
 }
 
