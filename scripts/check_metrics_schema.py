@@ -137,6 +137,15 @@ BENCH_REQUIRED = {
         ["service.requests.ok", "service.batches"],
         ["service.request_latency_ns", "service.batch_ns"],
     ),
+    "estimator": (
+        [
+            "estimate.queries",
+            "estimator.plan_cache.hits",
+            "estimator.plan_cache.misses",
+            "estimator.reach_cache.hits",
+        ],
+        ["estimate.latency_ns"],
+    ),
 }
 
 

@@ -1,0 +1,37 @@
+#include "estimate/compiled_twig.h"
+
+#include <optional>
+
+namespace xcluster {
+
+CompiledTwig CompiledTwig::Compile(const TwigQuery& query,
+                                   const FlatSynopsis& synopsis) {
+  std::optional<TwigQuery> storage;
+  const TwigQuery* resolved = &query;
+  if (query.has_term_predicates() && !query.terms_resolved() &&
+      synopsis.term_dictionary() != nullptr) {
+    storage.emplace(query);
+    storage->ResolveTerms(*synopsis.term_dictionary());
+    resolved = &storage.value();
+  }
+
+  CompiledTwig plan;
+  plan.has_unknown_terms_ = resolved->has_unknown_terms();
+  plan.vars_.reserve(resolved->size());
+  for (QueryVarId id = 0; id < resolved->size(); ++id) {
+    const QueryVar& var = resolved->var(id);
+    CompiledVar compiled;
+    compiled.axis = var.step.axis;
+    compiled.wildcard = var.step.wildcard;
+    if (!var.step.wildcard) {
+      compiled.label = synopsis.LookupLabel(var.step.label);
+    }
+    compiled.predicates = var.predicates;
+    compiled.children.assign(var.children.begin(), var.children.end());
+    if (id != 0) compiled.step_string = var.step.ToString();
+    plan.vars_.push_back(std::move(compiled));
+  }
+  return plan;
+}
+
+}  // namespace xcluster

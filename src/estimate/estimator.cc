@@ -2,9 +2,7 @@
 
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 
 #include "common/telemetry/telemetry.h"
@@ -13,7 +11,10 @@ namespace xcluster {
 
 XClusterEstimator::XClusterEstimator(const GraphSynopsis& synopsis,
                                      EstimateOptions options)
-    : synopsis_(synopsis), options_(options) {}
+    : synopsis_(synopsis),
+      options_(options),
+      reach_cache_(ReachCache::Options{options.reach_cache_capacity,
+                                       options.reach_cache_shards}) {}
 
 bool XClusterEstimator::LabelMatches(SynNodeId node,
                                      const TwigStep& step) const {
@@ -32,21 +33,15 @@ void XClusterEstimator::Reach(
     }
     return;
   }
-  // Descendant axis: bounded-hop sparse DP, memoized per (source, label).
-  const ReachKey key{source, step.wildcard
-                                 ? kInvalidSymbol
-                                 : synopsis_.labels().Lookup(step.label)};
-  if (!step.wildcard && key.label == kInvalidSymbol) return;  // unknown tag
-  {
-    std::shared_lock<std::shared_mutex> lock(descendant_cache_mu_);
-    auto cached = descendant_cache_.find(key);
-    if (cached != descendant_cache_.end()) {
-      XCLUSTER_COUNTER_INC("estimate.reach_cache.hits");
-      out->insert(out->end(), cached->second.begin(), cached->second.end());
-      return;
-    }
-  }
-  XCLUSTER_COUNTER_INC("estimate.reach_cache.misses");
+  // Descendant axis: bounded-hop sparse DP, memoized per (source, label)
+  // in the bounded LRU. Unknown tags match nothing and must not be cached
+  // (their kInvalidSymbol slot would collide with the wildcard key).
+  const SymbolId label = step.wildcard
+                             ? kInvalidSymbol
+                             : synopsis_.labels().Lookup(step.label);
+  if (!step.wildcard && label == kInvalidSymbol) return;  // unknown tag
+  const uint64_t key = ReachCache::Key(source, label);
+  if (reach_cache_.Lookup(key, out)) return;
   std::map<SynNodeId, double> frontier{{source, 1.0}};
   std::map<SynNodeId, double> reached;
   for (size_t hop = 0; hop < options_.max_descendant_hops; ++hop) {
@@ -67,10 +62,9 @@ void XClusterEstimator::Reach(
   std::vector<std::pair<SynNodeId, double>> result(reached.begin(),
                                                    reached.end());
   out->insert(out->end(), result.begin(), result.end());
-  // The DP above runs outside the lock; a concurrent miss on the same key
-  // computes the same value, and emplace keeps whichever landed first.
-  std::unique_lock<std::shared_mutex> lock(descendant_cache_mu_);
-  descendant_cache_.emplace(key, std::move(result));
+  // The DP above runs outside any lock; a concurrent miss on the same key
+  // computes the same value, and the cache keeps whichever landed first.
+  reach_cache_.Insert(key, std::move(result));
 }
 
 namespace {
@@ -93,8 +87,9 @@ const TwigQuery* ResolveIfNeeded(const TwigQuery& query,
   return &storage->value();
 }
 
-/// True if a predicate of this kind can hold on values of `type` at all.
-bool KindMatchesType(ValuePredicate::Kind kind, ValueType type) {
+}  // namespace
+
+bool PredicateKindMatchesType(ValuePredicate::Kind kind, ValueType type) {
   switch (kind) {
     case ValuePredicate::Kind::kRange:
       return type == ValueType::kNumeric;
@@ -108,8 +103,6 @@ bool KindMatchesType(ValuePredicate::Kind kind, ValueType type) {
   return false;
 }
 
-}  // namespace
-
 double XClusterEstimator::PredicateSelectivity(const TwigQuery& query,
                                                QueryVarId var,
                                                SynNodeId node) const {
@@ -119,7 +112,7 @@ double XClusterEstimator::PredicateSelectivity(const TwigQuery& query,
     if (syn_node.vsumm.empty()) {
       // No summary on this cluster: fall back to the default constant for
       // type-compatible predicates (type-incompatible ones cannot match).
-      selectivity *= KindMatchesType(pred.kind, syn_node.type)
+      selectivity *= PredicateKindMatchesType(pred.kind, syn_node.type)
                          ? options_.default_selectivity
                          : 0.0;
     } else {

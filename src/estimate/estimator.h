@@ -2,12 +2,12 @@
 #define XCLUSTER_ESTIMATE_ESTIMATOR_H_
 
 #include <cstddef>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/string_pool.h"
+#include "estimate/reach_cache.h"
 #include "query/twig.h"
 #include "synopsis/graph.h"
 
@@ -32,7 +32,18 @@ struct EstimateOptions {
   /// arbitrary paths can set the classical "magic constant" (e.g. 0.1)
   /// instead. Type-incompatible predicates always estimate 0.
   double default_selectivity = 0.0;
+
+  /// Entry bound for the descendant reach cache (see ReachCache). The
+  /// memo used to grow without limit over an estimator's lifetime; it is
+  /// now a sharded LRU with this capacity. 0 disables caching.
+  size_t reach_cache_capacity = 1 << 16;
+  size_t reach_cache_shards = 8;
 };
+
+/// True if a predicate of this kind can hold on values of `type` at all
+/// (a range predicate can never hold on a TEXT element). Shared by the
+/// legacy and flat estimation paths.
+bool PredicateKindMatchesType(ValuePredicate::Kind kind, ValueType type);
 
 /// Per-variable breakdown of an estimate (see XClusterEstimator::Explain).
 struct EstimateExplanation {
@@ -99,34 +110,25 @@ class XClusterEstimator {
 
   bool LabelMatches(SynNodeId node, const TwigStep& step) const;
 
+ public:
+  /// The descendant reach cache, exposed for tests and capacity
+  /// introspection (hit/miss/eviction counts work even with telemetry
+  /// compiled out).
+  const ReachCache& reach_cache() const { return reach_cache_; }
+
+ private:
   const GraphSynopsis& synopsis_;
   EstimateOptions options_;
 
   /// Descendant-axis reach counts are label-independent per source node up
   /// to the final label filter, and queries repeatedly traverse the same
   /// synopsis, so the per-(source, label-or-wildcard) results are memoized
-  /// for the estimator's lifetime. The synopsis must not change while an
-  /// estimator exists. The cache is shared across threads: lookups take
-  /// `descendant_cache_mu_` shared, inserts take it exclusive; a lost
-  /// insert race recomputes the identical value, so first-writer-wins.
-  struct ReachKey {
-    SynNodeId source;
-    SymbolId label;  // kInvalidSymbol encodes the wildcard
-    bool operator==(const ReachKey& other) const {
-      return source == other.source && label == other.label;
-    }
-  };
-  struct ReachKeyHash {
-    size_t operator()(const ReachKey& key) const {
-      return std::hash<uint64_t>()(
-          (static_cast<uint64_t>(key.source) << 32) ^ key.label);
-    }
-  };
-  mutable std::shared_mutex descendant_cache_mu_;
-  mutable std::unordered_map<ReachKey,
-                             std::vector<std::pair<SynNodeId, double>>,
-                             ReachKeyHash>
-      descendant_cache_;
+  /// in a bounded sharded LRU (keys mixed with SplitMix64 — the previous
+  /// inline ReachKeyHash xor-folded small dense ids into colliding
+  /// buckets). The synopsis must not change while an estimator exists.
+  /// First-writer-wins inserts of pure values keep estimates
+  /// deterministic under any thread interleaving or eviction schedule.
+  mutable ReachCache reach_cache_;
 };
 
 }  // namespace xcluster

@@ -1,0 +1,71 @@
+#ifndef XCLUSTER_ESTIMATE_FLAT_ESTIMATOR_H_
+#define XCLUSTER_ESTIMATE_FLAT_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "estimate/compiled_twig.h"
+#include "estimate/estimator.h"
+#include "estimate/flat_synopsis.h"
+#include "estimate/reach_cache.h"
+
+namespace xcluster {
+
+/// Selectivity estimation over a FlatSynopsis from precompiled plans: the
+/// serving hot path. Implements exactly the query-embedding DP of
+/// XClusterEstimator (Sec. 5), with the per-call `unordered_map` memos
+/// replaced by dense `double` tables indexed by (variable, flat node id)
+/// and the descendant reach memo replaced by a shared bounded LRU
+/// (ReachCache).
+///
+/// Bit-identity: for any query, Estimate(Compile(q)) returns the same
+/// double as XClusterEstimator::Estimate(q) over the source synopsis —
+/// both paths add and multiply the identical values in the identical
+/// order (flat ids preserve arena order; the per-label child index is
+/// stable-sorted; the descendant DP sums sources ascending and children
+/// in stored order, exactly like the legacy std::map DP).
+/// tests/flat_estimator_test.cc enforces this with EXPECT_EQ on doubles
+/// across the fig8/table2 workload generators.
+///
+/// Thread safety: same contract as XClusterEstimator — any number of
+/// concurrent Estimate/Explain calls; the reach cache stores pure values
+/// first-writer-wins, and eviction only ever forces recomputation of an
+/// identical value, so results are deterministic under any interleaving.
+class FlatEstimator {
+ public:
+  /// `synopsis` must outlive the estimator.
+  explicit FlatEstimator(const FlatSynopsis& synopsis,
+                         EstimateOptions options = EstimateOptions());
+
+  /// Estimated selectivity of `plan` (compiled against the same
+  /// synopsis).
+  double Estimate(const CompiledTwig& plan) const;
+
+  /// Estimate plus the EXPLAIN-style per-variable breakdown. Deterministic
+  /// (dense tables are walked in ascending node order), though the
+  /// per-variable sums may differ from the legacy Explain by float
+  /// summation order (the legacy path iterates unordered_map order).
+  EstimateExplanation Explain(const CompiledTwig& plan) const;
+
+  const FlatSynopsis& synopsis() const { return synopsis_; }
+  const ReachCache& reach_cache() const { return reach_cache_; }
+
+ private:
+  double TuplesPerElement(const CompiledTwig& plan, uint32_t var,
+                          FlatNodeId node, double* memo) const;
+  double PredicateSelectivity(const CompiledTwig& plan, uint32_t var,
+                              FlatNodeId node) const;
+  void Reach(FlatNodeId source, const CompiledVar& var,
+             std::vector<std::pair<uint32_t, double>>* out) const;
+  bool LabelMatches(FlatNodeId node, const CompiledVar& var) const {
+    return var.wildcard || synopsis_.label(node) == var.label;
+  }
+
+  const FlatSynopsis& synopsis_;
+  EstimateOptions options_;
+  mutable ReachCache reach_cache_;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_ESTIMATE_FLAT_ESTIMATOR_H_

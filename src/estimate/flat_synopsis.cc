@@ -1,0 +1,101 @@
+#include "estimate/flat_synopsis.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace xcluster {
+
+FlatSynopsis::FlatSynopsis(const GraphSynopsis& synopsis)
+    : labels_pool_(&synopsis.labels()), dict_(synopsis.term_dictionary()) {
+  const size_t arena = synopsis.arena_size();
+  flat_of_.assign(arena, kNoFlatNode);
+  for (SynNodeId id = 0; id < arena; ++id) {
+    if (!synopsis.node(id).alive) continue;
+    flat_of_[id] = static_cast<FlatNodeId>(syn_of_.size());
+    syn_of_.push_back(id);
+  }
+  const size_t n = syn_of_.size();
+  labels_.resize(n);
+  types_.resize(n);
+  counts_.resize(n);
+  vsumms_.resize(n);
+  edge_offsets_.assign(n + 1, 0);
+
+  for (FlatNodeId f = 0; f < n; ++f) {
+    const SynNode& node = synopsis.node(syn_of_[f]);
+    labels_[f] = node.label;
+    types_[f] = node.type;
+    counts_[f] = node.count;
+    vsumms_[f] = node.vsumm.empty() ? nullptr : &node.vsumm;
+    for (const SynEdge& edge : node.children) {
+      if (flat_of_[edge.target] != kNoFlatNode) ++edge_offsets_[f + 1];
+    }
+  }
+  std::partial_sum(edge_offsets_.begin(), edge_offsets_.end(),
+                   edge_offsets_.begin());
+
+  const size_t m = edge_offsets_[n];
+  edge_targets_.resize(m);
+  edge_counts_.resize(m);
+  for (FlatNodeId f = 0; f < n; ++f) {
+    size_t e = edge_offsets_[f];
+    for (const SynEdge& edge : synopsis.node(syn_of_[f]).children) {
+      const FlatNodeId target = flat_of_[edge.target];
+      if (target == kNoFlatNode) continue;
+      edge_targets_[e] = target;
+      edge_counts_[e] = edge.avg_count;
+      ++e;
+    }
+  }
+
+  // Per-label index: each node's edge range stable-sorted by child label,
+  // so one label's children stay in original order (the summation order
+  // the legacy path uses).
+  sorted_edge_labels_.resize(m);
+  sorted_edge_targets_.resize(m);
+  sorted_edge_counts_.resize(m);
+  std::vector<uint32_t> order;
+  for (FlatNodeId f = 0; f < n; ++f) {
+    const size_t begin = edge_offsets_[f];
+    const size_t end = edge_offsets_[f + 1];
+    order.resize(end - begin);
+    std::iota(order.begin(), order.end(), static_cast<uint32_t>(begin));
+    std::stable_sort(order.begin(), order.end(),
+                     [this](uint32_t a, uint32_t b) {
+                       return labels_[edge_targets_[a]] <
+                              labels_[edge_targets_[b]];
+                     });
+    for (size_t i = 0; i < order.size(); ++i) {
+      const uint32_t e = order[i];
+      sorted_edge_labels_[begin + i] = labels_[edge_targets_[e]];
+      sorted_edge_targets_[begin + i] = edge_targets_[e];
+      sorted_edge_counts_[begin + i] = edge_counts_[e];
+    }
+  }
+
+  if (synopsis.root() != kNoSynNode && synopsis.root() < arena) {
+    root_ = flat_of_[synopsis.root()];
+  }
+}
+
+void FlatSynopsis::LabelRun(FlatNodeId n, SymbolId label, size_t* begin,
+                            size_t* end) const {
+  const SymbolId* first = sorted_edge_labels_.data() + edge_offsets_[n];
+  const SymbolId* last = sorted_edge_labels_.data() + edge_offsets_[n + 1];
+  const SymbolId* lo = std::lower_bound(first, last, label);
+  const SymbolId* hi = std::upper_bound(lo, last, label);
+  *begin = static_cast<size_t>(lo - sorted_edge_labels_.data());
+  *end = static_cast<size_t>(hi - sorted_edge_labels_.data());
+}
+
+size_t FlatSynopsis::MemoryBytes() const {
+  const size_t n = counts_.size();
+  const size_t m = edge_targets_.size();
+  return n * (sizeof(SymbolId) + sizeof(ValueType) + sizeof(double) +
+              sizeof(const ValueSummary*) + sizeof(SynNodeId)) +
+         flat_of_.size() * sizeof(FlatNodeId) +
+         (n + 1) * sizeof(uint32_t) +
+         m * (2 * sizeof(FlatNodeId) + 2 * sizeof(double) + sizeof(SymbolId));
+}
+
+}  // namespace xcluster

@@ -1,0 +1,121 @@
+#ifndef XCLUSTER_ESTIMATE_FLAT_SYNOPSIS_H_
+#define XCLUSTER_ESTIMATE_FLAT_SYNOPSIS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/string_pool.h"
+#include "summaries/value_summary.h"
+#include "synopsis/graph.h"
+#include "text/dictionary.h"
+
+namespace xcluster {
+
+/// Dense id of a node in a FlatSynopsis. Flat ids number the *alive*
+/// nodes of the source GraphSynopsis in arena order, so ascending flat id
+/// order equals ascending SynNodeId order — the property that keeps flat
+/// and legacy estimates bit-identical (both sum reach contributions in
+/// the same node order).
+using FlatNodeId = uint32_t;
+inline constexpr FlatNodeId kNoFlatNode = static_cast<FlatNodeId>(-1);
+
+/// An immutable, read-optimized compilation of a GraphSynopsis: the
+/// estimator hot path's view of the synopsis.
+///
+/// The pointer-chasing arena of SynNode structs (each with its own
+/// child/parent vectors and inline ValueSummary) is flattened into
+/// contiguous arrays:
+///
+///  * per-node columns — label symbol, value type, extent count, and the
+///    value-summary pointer resolved once at compile time (null for
+///    summary-less nodes);
+///  * CSR adjacency — `edge_offsets_[n] .. edge_offsets_[n+1]` indexes
+///    parallel target/count arrays in the original child order;
+///  * a per-label child index — the same edge ranges stable-sorted by
+///    child label, so a labeled child step binary-searches its label run
+///    instead of scanning every child (original relative order within a
+///    label is preserved, keeping summation order identical).
+///
+/// The source GraphSynopsis must outlive the FlatSynopsis: value-summary
+/// pointers and the label pool reference point into it. StoredSynopsis
+/// pins both for the serving layer.
+class FlatSynopsis {
+ public:
+  /// Compiles `synopsis`. Dead (merged-away) nodes are skipped; edges to
+  /// dead targets are dropped.
+  explicit FlatSynopsis(const GraphSynopsis& synopsis);
+
+  FlatSynopsis(const FlatSynopsis&) = delete;
+  FlatSynopsis& operator=(const FlatSynopsis&) = delete;
+
+  uint32_t num_nodes() const { return static_cast<uint32_t>(counts_.size()); }
+  size_t num_edges() const { return edge_targets_.size(); }
+  FlatNodeId root() const { return root_; }
+
+  SymbolId label(FlatNodeId n) const { return labels_[n]; }
+  ValueType type(FlatNodeId n) const { return types_[n]; }
+  double count(FlatNodeId n) const { return counts_[n]; }
+  /// Resolved once at compile time; null when the node has no summary.
+  const ValueSummary* vsumm(FlatNodeId n) const { return vsumms_[n]; }
+
+  /// Raw CSR children of `n` in original child order.
+  size_t edges_begin(FlatNodeId n) const { return edge_offsets_[n]; }
+  size_t edges_end(FlatNodeId n) const { return edge_offsets_[n + 1]; }
+  FlatNodeId edge_target(size_t e) const { return edge_targets_[e]; }
+  double edge_count(size_t e) const { return edge_counts_[e]; }
+
+  /// Label-sorted children of `n`: sets [*begin, *end) to the index range
+  /// (into sorted_edge_target/sorted_edge_count) of children labeled
+  /// `label`. Empty range when none.
+  void LabelRun(FlatNodeId n, SymbolId label, size_t* begin,
+                size_t* end) const;
+  FlatNodeId sorted_edge_target(size_t e) const {
+    return sorted_edge_targets_[e];
+  }
+  double sorted_edge_count(size_t e) const { return sorted_edge_counts_[e]; }
+
+  /// Resolves a query label against the synopsis label pool
+  /// (kInvalidSymbol when the tag never occurs in the synopsis).
+  SymbolId LookupLabel(std::string_view label) const {
+    return labels_pool_->Lookup(label);
+  }
+
+  std::shared_ptr<TermDictionary> term_dictionary() const { return dict_; }
+
+  /// Original arena id of flat node `n` (for diagnostics / tests).
+  SynNodeId syn_of(FlatNodeId n) const { return syn_of_[n]; }
+  /// Flat id of arena node `id`; kNoFlatNode for dead nodes.
+  FlatNodeId flat_of(SynNodeId id) const { return flat_of_[id]; }
+
+  /// Approximate resident bytes of the flat arrays (excludes the value
+  /// summaries, which are owned by the source synopsis).
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<SymbolId> labels_;
+  std::vector<ValueType> types_;
+  std::vector<double> counts_;
+  std::vector<const ValueSummary*> vsumms_;
+  std::vector<SynNodeId> syn_of_;
+  std::vector<FlatNodeId> flat_of_;
+
+  std::vector<uint32_t> edge_offsets_;  ///< num_nodes + 1
+  std::vector<FlatNodeId> edge_targets_;
+  std::vector<double> edge_counts_;
+
+  /// Same per-node ranges as edge_offsets_, stable-sorted by label.
+  std::vector<SymbolId> sorted_edge_labels_;
+  std::vector<FlatNodeId> sorted_edge_targets_;
+  std::vector<double> sorted_edge_counts_;
+
+  FlatNodeId root_ = kNoFlatNode;
+  const StringPool* labels_pool_ = nullptr;
+  std::shared_ptr<TermDictionary> dict_;
+};
+
+}  // namespace xcluster
+
+#endif  // XCLUSTER_ESTIMATE_FLAT_SYNOPSIS_H_

@@ -1,0 +1,75 @@
+#include "estimate/reach_cache.h"
+
+#include <algorithm>
+
+#include "common/telemetry/telemetry.h"
+
+namespace xcluster {
+
+ReachCache::ReachCache() : ReachCache(Options()) {}
+
+ReachCache::ReachCache(Options options) : capacity_(options.capacity) {
+  const size_t shards = std::max<size_t>(options.shards, 1);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  // Ceil-divide so shards * shard_capacity >= capacity; each shard keeps
+  // at least one slot so a tiny capacity still caches something.
+  shard_capacity_ = capacity_ == 0 ? 0 : std::max<size_t>(
+      (capacity_ + shards - 1) / shards, 1);
+}
+
+bool ReachCache::Lookup(uint64_t key, Value* out) const {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    XCLUSTER_COUNTER_INC("estimator.reach_cache.misses");
+    return false;
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    XCLUSTER_COUNTER_INC("estimator.reach_cache.misses");
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  const Value& value = it->second->value;
+  out->insert(out->end(), value.begin(), value.end());
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  XCLUSTER_COUNTER_INC("estimator.reach_cache.hits");
+  return true;
+}
+
+void ReachCache::Insert(uint64_t key, Value value) const {
+  if (capacity_ == 0) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // First writer wins: a racing miss computed the identical vector, so
+    // keeping the incumbent (just refreshed) preserves determinism.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, std::move(value)});
+  shard.index[key] = shard.lru.begin();
+  if (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    XCLUSTER_COUNTER_INC("estimator.reach_cache.evictions");
+  }
+}
+
+size_t ReachCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+}  // namespace xcluster

@@ -198,6 +198,9 @@ bool ServiceHarness::HandleLine(const std::string& line, std::istream& in,
         << " queue_depth=" << service_->executor().queue_depth()
         << " submitted=" << stats.submitted << " rejected=" << stats.rejected
         << " executed=" << stats.executed << " expired=" << stats.expired
+        << " plans=" << service_->plan_cache().size()
+        << " plan_hits=" << service_->plan_cache().hits()
+        << " plan_misses=" << service_->plan_cache().misses()
         << "\n";
     return true;
   }

@@ -14,35 +14,48 @@ namespace xcluster {
 
 namespace {
 
-/// Parses, resolves, and estimates one query against a snapshot, writing
-/// the outcome into `result`. `deadline_ns` is absolute monotonic (0 =
+/// Estimates one query against a snapshot through the compiled-plan path,
+/// writing the outcome into `result`. The plan cache is consulted under
+/// (snapshot generation, normalized text); on a miss the query is parsed
+/// and compiled against the snapshot's FlatSynopsis, then published for
+/// every later repeat — warm queries skip parse, label resolution, and
+/// term resolution entirely. `deadline_ns` is absolute monotonic (0 =
 /// none); it is re-checked here so a query that reached a worker just
 /// under the wire still fails fast instead of burning the budget further.
-void ProcessQuery(const StoredSynopsis& snapshot, const std::string& query,
-                  bool explain, uint64_t deadline_ns, QueryResult* result) {
+void ProcessQuery(const StoredSynopsis& snapshot, const PlanCache& plans,
+                  const std::string& query, bool explain,
+                  uint64_t deadline_ns, QueryResult* result) {
   const uint64_t start_ns = telemetry::MonotonicNowNs();
   if (deadline_ns != 0 && start_ns > deadline_ns) {
     result->status = Status::DeadlineExceeded("batch deadline expired");
     XCLUSTER_COUNTER_INC("service.requests.deadline_exceeded");
     return;
   }
-  Result<TwigQuery> parsed = ParseTwig(query);
-  if (!parsed.ok()) {
-    result->status = parsed.status();
-    XCLUSTER_COUNTER_INC("service.requests.invalid");
-    return;
-  }
-  TwigQuery twig = std::move(parsed).value();
-  if (twig.has_term_predicates() &&
-      snapshot.synopsis().term_dictionary() != nullptr) {
-    twig.ResolveTerms(*snapshot.synopsis().term_dictionary());
+  std::string trim_storage;
+  const std::string& normalized =
+      PlanCache::NormalizeQuery(query, &trim_storage);
+  std::shared_ptr<const CompiledTwig> plan =
+      plans.Get(snapshot.generation(), normalized);
+  if (plan == nullptr) {
+    Result<TwigQuery> parsed = ParseTwig(normalized);
+    if (!parsed.ok()) {
+      // Parse errors are not negative-cached: they are cheap to rediscover
+      // and caching them would let malformed input evict real plans.
+      result->status = parsed.status();
+      XCLUSTER_COUNTER_INC("service.requests.invalid");
+      return;
+    }
+    plan = std::make_shared<const CompiledTwig>(
+        CompiledTwig::Compile(parsed.value(), snapshot.flat()));
+    plans.Put(snapshot.generation(), normalized, plan);
   }
   if (explain) {
-    EstimateExplanation explanation = snapshot.estimator().Explain(twig);
+    EstimateExplanation explanation =
+        snapshot.flat_estimator().Explain(*plan);
     result->estimate = explanation.selectivity;
     result->explanation = explanation.ToString();
   } else {
-    result->estimate = snapshot.estimator().Estimate(twig);
+    result->estimate = snapshot.flat_estimator().Estimate(*plan);
   }
   result->status = Status::OK();
   result->latency_ns = telemetry::MonotonicNowNs() - start_ns;
@@ -62,7 +75,10 @@ uint64_t LatencyQuantile(std::vector<uint64_t>& sorted_latencies, double q) {
 }  // namespace
 
 EstimationService::EstimationService(ServiceOptions options)
-    : options_(options), store_(options.store_shards) {
+    : options_(options),
+      store_(options.store_shards, options.estimator),
+      plan_cache_(PlanCache::Options{options.plan_cache_capacity,
+                                     PlanCache::Options().shards}) {
   executor_ = std::make_unique<Executor>(options_.executor);
 }
 
@@ -80,7 +96,8 @@ QueryResult EstimationService::EstimateOne(const std::string& collection,
         Status::NotFound("no synopsis named '" + collection + "'");
     return result;
   }
-  ProcessQuery(*snapshot, query, explain, /*deadline_ns=*/0, &result);
+  ProcessQuery(*snapshot, plan_cache_, query, explain, /*deadline_ns=*/0,
+               &result);
   return result;
 }
 
@@ -126,7 +143,8 @@ BatchResult EstimationService::EstimateBatch(
             Status::DeadlineExceeded("batch deadline expired in queue");
         XCLUSTER_COUNTER_INC("service.requests.deadline_exceeded");
       } else {
-        ProcessQuery(*snapshot, *query, options.explain, deadline_ns, slot);
+        ProcessQuery(*snapshot, plan_cache_, *query, options.explain,
+                     deadline_ns, slot);
       }
       std::lock_guard<std::mutex> lock(mu);
       ++done;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "estimate/plan_cache.h"
 #include "service/executor.h"
 #include "service/synopsis_store.h"
 
@@ -16,6 +17,16 @@ namespace xcluster {
 struct ServiceOptions {
   ExecutorOptions executor;
   size_t store_shards = SynopsisStore::kDefaultShards;
+
+  /// Estimator settings baked into every snapshot the store installs
+  /// (notably reach_cache_capacity, the bound on each snapshot's
+  /// descendant reach memo).
+  EstimateOptions estimator;
+
+  /// Bound on the compiled-plan cache shared by all collections (keys
+  /// carry the snapshot generation, so entries never cross snapshots).
+  /// 0 disables plan caching: every query re-parses and re-compiles.
+  size_t plan_cache_capacity = 4096;
 };
 
 /// Per-batch request options.
@@ -84,6 +95,10 @@ class EstimationService {
   const SynopsisStore& store() const { return store_; }
   const Executor& executor() const { return *executor_; }
 
+  /// The shared compiled-plan cache (hit/miss/eviction counters work even
+  /// with telemetry compiled out).
+  const PlanCache& plan_cache() const { return plan_cache_; }
+
   /// Parses and estimates one query inline on the calling thread (no
   /// executor round-trip; the protocol's `estimate` command and simple
   /// embedders use this).
@@ -107,6 +122,7 @@ class EstimationService {
  private:
   ServiceOptions options_;
   SynopsisStore store_;
+  PlanCache plan_cache_;
   std::unique_ptr<Executor> executor_;
 };
 

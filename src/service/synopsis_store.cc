@@ -10,21 +10,28 @@
 namespace xcluster {
 
 StoredSynopsis::StoredSynopsis(std::string name, XCluster synopsis,
-                               uint64_t generation)
+                               uint64_t generation, EstimateOptions options)
     : name_(std::move(name)),
       xcluster_(std::move(synopsis)),
       generation_(generation) {
-  // Constructed after xcluster_ has reached its final address.
-  estimator_ = std::make_unique<XClusterEstimator>(xcluster_.synopsis());
+  // Constructed after xcluster_ has reached its final address: the
+  // estimators and the flat compilation all hold references into it.
+  estimator_ =
+      std::make_unique<XClusterEstimator>(xcluster_.synopsis(), options);
+  flat_ = std::make_unique<FlatSynopsis>(xcluster_.synopsis());
+  flat_estimator_ = std::make_unique<FlatEstimator>(*flat_, options);
 }
 
 std::shared_ptr<const StoredSynopsis> StoredSynopsis::Make(
-    std::string name, XCluster synopsis, uint64_t generation) {
+    std::string name, XCluster synopsis, uint64_t generation,
+    EstimateOptions options) {
   return std::shared_ptr<const StoredSynopsis>(new StoredSynopsis(
-      std::move(name), std::move(synopsis), generation));
+      std::move(name), std::move(synopsis), generation, options));
 }
 
-SynopsisStore::SynopsisStore(size_t num_shards) {
+SynopsisStore::SynopsisStore(size_t num_shards,
+                             EstimateOptions estimator_options)
+    : estimator_options_(estimator_options) {
   shards_.reserve(num_shards == 0 ? 1 : num_shards);
   for (size_t i = 0; i < std::max<size_t>(num_shards, 1); ++i) {
     shards_.push_back(std::make_unique<Shard>());
@@ -41,7 +48,8 @@ std::shared_ptr<const StoredSynopsis> SynopsisStore::Install(
   // the shard, so the lock covers only the pointer swap.
   auto snapshot = StoredSynopsis::Make(
       name, std::move(synopsis),
-      next_generation_.fetch_add(1, std::memory_order_relaxed));
+      next_generation_.fetch_add(1, std::memory_order_relaxed),
+      estimator_options_);
   Shard& shard = ShardFor(name);
   std::shared_ptr<const StoredSynopsis> replaced;  // destroyed outside lock
   {

@@ -11,30 +11,42 @@
 #include "common/status.h"
 #include "core/xcluster.h"
 #include "estimate/estimator.h"
+#include "estimate/flat_estimator.h"
+#include "estimate/flat_synopsis.h"
 
 namespace xcluster {
 
 /// One immutable synopsis snapshot served by a SynopsisStore: the loaded
-/// XCluster plus a long-lived estimator over it (so the descendant reach
-/// cache warms across requests instead of being rebuilt per query).
+/// XCluster, its read-optimized FlatSynopsis compilation, and long-lived
+/// estimators over both (so the descendant reach caches warm across
+/// requests instead of being rebuilt per query). The flat compilation
+/// happens once here, at install time — never on the request path.
 ///
 /// Snapshots are shared out as `shared_ptr<const StoredSynopsis>`; a
 /// snapshot stays alive for as long as any in-flight request holds it,
 /// even after the store has swapped in a replacement or dropped the name.
 class StoredSynopsis {
  public:
-  /// Wraps `synopsis`; heap-allocates so the estimator's reference into
-  /// the synopsis graph stays stable for the snapshot's lifetime.
-  static std::shared_ptr<const StoredSynopsis> Make(std::string name,
-                                                    XCluster synopsis,
-                                                    uint64_t generation);
+  /// Wraps `synopsis`; heap-allocates so the estimators' references into
+  /// the synopsis graph stay stable for the snapshot's lifetime.
+  static std::shared_ptr<const StoredSynopsis> Make(
+      std::string name, XCluster synopsis, uint64_t generation,
+      EstimateOptions options = EstimateOptions());
 
   const std::string& name() const { return name_; }
   const XCluster& xcluster() const { return xcluster_; }
   const GraphSynopsis& synopsis() const { return xcluster_.synopsis(); }
 
-  /// Thread-safe (see XClusterEstimator); shared across all requests that
-  /// hold this snapshot.
+  /// The read-optimized compilation of synopsis(), pinned for the
+  /// snapshot's lifetime.
+  const FlatSynopsis& flat() const { return *flat_; }
+
+  /// The serving hot path: estimates CompiledTwig plans over flat().
+  /// Thread-safe; shared across all requests that hold this snapshot.
+  const FlatEstimator& flat_estimator() const { return *flat_estimator_; }
+
+  /// Legacy tree-walking estimator (reference path; the flat estimator is
+  /// bit-identical to it). Thread-safe.
   const XClusterEstimator& estimator() const { return *estimator_; }
 
   /// Monotonically increasing across the owning store; a reload of the
@@ -42,11 +54,14 @@ class StoredSynopsis {
   uint64_t generation() const { return generation_; }
 
  private:
-  StoredSynopsis(std::string name, XCluster synopsis, uint64_t generation);
+  StoredSynopsis(std::string name, XCluster synopsis, uint64_t generation,
+                 EstimateOptions options);
 
   std::string name_;
   XCluster xcluster_;
-  std::unique_ptr<XClusterEstimator> estimator_;  // references xcluster_
+  std::unique_ptr<XClusterEstimator> estimator_;   // references xcluster_
+  std::unique_ptr<FlatSynopsis> flat_;             // references xcluster_
+  std::unique_ptr<FlatEstimator> flat_estimator_;  // references *flat_
   uint64_t generation_ = 0;
 };
 
@@ -62,7 +77,10 @@ class SynopsisStore {
  public:
   static constexpr size_t kDefaultShards = 8;
 
-  explicit SynopsisStore(size_t num_shards = kDefaultShards);
+  /// `estimator_options` configures the estimators built into every
+  /// snapshot this store installs (reach-cache capacity in particular).
+  explicit SynopsisStore(size_t num_shards = kDefaultShards,
+                         EstimateOptions estimator_options = EstimateOptions());
 
   SynopsisStore(const SynopsisStore&) = delete;
   SynopsisStore& operator=(const SynopsisStore&) = delete;
@@ -101,6 +119,7 @@ class SynopsisStore {
   Shard& ShardFor(const std::string& name) const;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  EstimateOptions estimator_options_;
   std::atomic<uint64_t> next_generation_{1};
 };
 

@@ -1,0 +1,209 @@
+// Bit-identity tests for the flat estimation path: for every query,
+// FlatEstimator::Estimate over the compiled plan must return the *same
+// double* (EXPECT_EQ, not EXPECT_NEAR) as XClusterEstimator::Estimate over
+// the source synopsis. Exercised on hand-built fixtures, on merged
+// (budget-built) synopses with dead arena nodes, and across the fig8-style
+// generated workload suites for both XMark and IMDB.
+#include "estimate/flat_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "build/builder.h"
+#include "data/imdb.h"
+#include "data/xmark.h"
+#include "estimate/compiled_twig.h"
+#include "estimate/estimator.h"
+#include "estimate/flat_synopsis.h"
+#include "query/parser.h"
+#include "synopsis/graph.h"
+#include "synopsis/reference.h"
+#include "workload/generator.h"
+
+namespace xcluster {
+namespace {
+
+TwigQuery MustParse(std::string_view input) {
+  Result<TwigQuery> result = ParseTwig(input);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+/// Asserts flat == legacy, bit for bit, for one query.
+void ExpectIdentical(const GraphSynopsis& synopsis,
+                     const std::string& query) {
+  XClusterEstimator legacy(synopsis);
+  FlatSynopsis flat(synopsis);
+  FlatEstimator estimator(flat);
+  const TwigQuery twig = MustParse(query);
+  const CompiledTwig plan = CompiledTwig::Compile(twig, flat);
+  EXPECT_EQ(estimator.Estimate(plan), legacy.Estimate(twig)) << query;
+}
+
+GraphSynopsis MakeFig7() {
+  GraphSynopsis synopsis;
+  SynNodeId r = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId a = synopsis.AddNode("A", ValueType::kNone, 10.0);
+  SynNodeId b = synopsis.AddNode("B", ValueType::kNone, 100.0);
+  SynNodeId c = synopsis.AddNode("C", ValueType::kNumeric, 500.0);
+  SynNodeId d = synopsis.AddNode("D", ValueType::kNone, 50.0);
+  SynNodeId e = synopsis.AddNode("E", ValueType::kNone, 100.0);
+  synopsis.AddEdge(r, a, 10.0);
+  synopsis.AddEdge(a, b, 10.0);
+  synopsis.AddEdge(b, c, 5.0);
+  synopsis.AddEdge(a, d, 5.0);
+  synopsis.AddEdge(d, e, 2.0);
+  std::vector<int64_t> values;
+  for (int64_t v = 0; v < 10; ++v) values.push_back(v);
+  synopsis.node(c).vsumm = ValueSummary::FromNumeric(std::move(values), 16);
+  synopsis.set_term_dictionary(std::make_shared<TermDictionary>());
+  return synopsis;
+}
+
+TEST(FlatSynopsisTest, PreservesNodesEdgesAndArenaOrder) {
+  GraphSynopsis synopsis = MakeFig7();
+  FlatSynopsis flat(synopsis);
+  EXPECT_EQ(flat.num_nodes(), 6u);
+  EXPECT_EQ(flat.num_edges(), 5u);
+  EXPECT_EQ(flat.root(), flat.flat_of(synopsis.root()));
+  // Alive nodes are numbered in arena order.
+  for (FlatNodeId f = 0; f + 1 < flat.num_nodes(); ++f) {
+    EXPECT_LT(flat.syn_of(f), flat.syn_of(f + 1));
+  }
+  // Counts and value-summary pointers resolve to the arena node's.
+  for (FlatNodeId f = 0; f < flat.num_nodes(); ++f) {
+    const SynNode& node = synopsis.node(flat.syn_of(f));
+    EXPECT_EQ(flat.count(f), node.count);
+    EXPECT_EQ(flat.label(f), node.label);
+    if (node.vsumm.empty()) {
+      EXPECT_EQ(flat.vsumm(f), nullptr);
+    } else {
+      EXPECT_EQ(flat.vsumm(f), &node.vsumm);
+    }
+  }
+  EXPECT_GT(flat.MemoryBytes(), 0u);
+}
+
+TEST(FlatSynopsisTest, LabelRunFindsExactlyTheLabeledChildren)
+{
+  GraphSynopsis synopsis = MakeFig7();
+  FlatSynopsis flat(synopsis);
+  const FlatNodeId a = flat.flat_of(1);  // node "A": children B and D
+  size_t begin = 0, end = 0;
+  flat.LabelRun(a, flat.LookupLabel("B"), &begin, &end);
+  ASSERT_EQ(end - begin, 1u);
+  EXPECT_EQ(flat.label(flat.sorted_edge_target(begin)),
+            flat.LookupLabel("B"));
+  flat.LabelRun(a, flat.LookupLabel("E"), &begin, &end);
+  EXPECT_EQ(begin, end);  // E is not a child of A
+  EXPECT_EQ(flat.LookupLabel("nosuchtag"), kInvalidSymbol);
+}
+
+TEST(FlatEstimatorTest, Fig7QueriesBitIdentical) {
+  GraphSynopsis synopsis = MakeFig7();
+  for (const char* query :
+       {"//A[/B/C[range(0,0)]]//E", "/A", "/A/B", "/A/B/C", "//C", "//E",
+        "/A/*", "//*", "/A/B/C[range(0,4)]", "/A[/B]/D", "/Z", "//A/Q",
+        "/A/B[range(0,100)]", "/A/B/C[contains(x)]"}) {
+    ExpectIdentical(synopsis, query);
+  }
+}
+
+TEST(FlatEstimatorTest, CyclicSynopsisBitIdentical) {
+  GraphSynopsis synopsis;
+  SynNodeId root = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId parlist = synopsis.AddNode("parlist", ValueType::kNone, 20.0);
+  SynNodeId text = synopsis.AddNode("text", ValueType::kNone, 40.0);
+  synopsis.AddEdge(root, parlist, 10.0);
+  synopsis.AddEdge(parlist, parlist, 0.5);
+  synopsis.AddEdge(parlist, text, 1.0);
+  synopsis.set_term_dictionary(std::make_shared<TermDictionary>());
+  for (const char* query : {"//text", "//parlist", "//parlist//text",
+                            "/parlist/parlist", "//*"}) {
+    ExpectIdentical(synopsis, query);
+  }
+}
+
+TEST(FlatEstimatorTest, EmptySynopsisAndEmptyPlan) {
+  GraphSynopsis synopsis;
+  FlatSynopsis flat(synopsis);
+  EXPECT_EQ(flat.num_nodes(), 0u);
+  EXPECT_EQ(flat.root(), kNoFlatNode);
+  FlatEstimator estimator(flat);
+  EXPECT_EQ(estimator.Estimate(CompiledTwig()), 0.0);
+}
+
+TEST(FlatEstimatorTest, ExplainSelectivityMatchesEstimate) {
+  GraphSynopsis synopsis = MakeFig7();
+  FlatSynopsis flat(synopsis);
+  FlatEstimator estimator(flat);
+  XClusterEstimator legacy(synopsis);
+  const TwigQuery twig = MustParse("/A/B/C[range(0,4)]");
+  const CompiledTwig plan = CompiledTwig::Compile(twig, flat);
+  EstimateExplanation explanation = estimator.Explain(plan);
+  EXPECT_EQ(explanation.selectivity, legacy.Estimate(twig));
+  ASSERT_EQ(explanation.vars.size(), 4u);
+  EXPECT_NEAR(explanation.vars[3].expected_bindings, 250.0, 1e-9);
+  EXPECT_EQ(explanation.vars[3].step, "/C");
+}
+
+/// Full pipeline comparison on a generated data set: reference synopsis
+/// plus a budget-built (merged — i.e. containing dead arena nodes)
+/// synopsis, across a generated fig8-style workload.
+void RunWorkloadSuite(const GeneratedDataset& dataset, size_t num_queries) {
+  ReferenceOptions ref_options;
+  ref_options.value_paths = dataset.value_paths;
+  GraphSynopsis reference = BuildReferenceSynopsis(dataset.doc, ref_options);
+  WorkloadOptions wl_options;
+  wl_options.num_queries = num_queries;
+  Workload workload = GenerateWorkload(dataset.doc, reference, wl_options);
+  ASSERT_GT(workload.queries.size(), 0u);
+
+  BuildOptions build_options;
+  build_options.structural_budget = 4 * 1024;
+  build_options.value_budget = 16 * 1024;
+  GraphSynopsis merged = XClusterBuild(reference, build_options, nullptr);
+
+  for (const GraphSynopsis* synopsis : {&reference, &merged}) {
+    XClusterEstimator legacy(*synopsis);
+    FlatSynopsis flat(*synopsis);
+    FlatEstimator estimator(flat);
+    for (const WorkloadQuery& query : workload.queries) {
+      const CompiledTwig plan = CompiledTwig::Compile(query.query, flat);
+      EXPECT_EQ(estimator.Estimate(plan), legacy.Estimate(query.query));
+    }
+  }
+}
+
+TEST(FlatEstimatorTest, XMarkWorkloadSuiteBitIdentical) {
+  XMarkOptions options;
+  options.scale = 0.05;
+  RunWorkloadSuite(GenerateXMark(options), 150);
+}
+
+TEST(FlatEstimatorTest, ImdbWorkloadSuiteBitIdentical) {
+  ImdbOptions options;
+  options.scale = 0.05;
+  RunWorkloadSuite(GenerateImdb(options), 150);
+}
+
+TEST(FlatEstimatorTest, BoundedCacheDoesNotChangeEstimates) {
+  GraphSynopsis synopsis = MakeFig7();
+  FlatSynopsis flat(synopsis);
+  EstimateOptions tiny;
+  tiny.reach_cache_capacity = 1;
+  tiny.reach_cache_shards = 1;
+  FlatEstimator thrashing(flat, tiny);
+  FlatEstimator roomy(flat);
+  for (const char* query : {"//C", "//E", "//C", "//E", "//*"}) {
+    const CompiledTwig plan = CompiledTwig::Compile(MustParse(query), flat);
+    EXPECT_EQ(thrashing.Estimate(plan), roomy.Estimate(plan)) << query;
+  }
+  EXPECT_LE(thrashing.reach_cache().size(), 1u);
+}
+
+}  // namespace
+}  // namespace xcluster

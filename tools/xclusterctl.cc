@@ -20,7 +20,8 @@
 //       latency; --workers N fans the batch across a thread pool.
 //
 //   xclusterctl serve --stdin [--workers N] [--queue N]
-//               [--preload name=f.xcs ...]
+//               [--preload name=f.xcs ...] [--reach-cache-capacity N]
+//               [--plan-cache-capacity N]
 //       Runs the in-process estimation service on a line-oriented
 //       stdin/stdout protocol (see docs/SERVING.md for the grammar).
 //
@@ -322,6 +323,12 @@ int Serve(const Args& args) {
       args.GetInt("workers", std::thread::hardware_concurrency()));
   options.executor.queue_capacity =
       static_cast<size_t>(args.GetInt("queue", 1024));
+  options.estimator.reach_cache_capacity = static_cast<size_t>(args.GetInt(
+      "reach-cache-capacity",
+      static_cast<int64_t>(options.estimator.reach_cache_capacity)));
+  options.plan_cache_capacity = static_cast<size_t>(args.GetInt(
+      "plan-cache-capacity",
+      static_cast<int64_t>(options.plan_cache_capacity)));
   EstimationService service(options);
 
   // --preload name=path[,name=path...]: install synopses before serving.
@@ -490,6 +497,7 @@ int Usage() {
       "  estimate --synopsis f.xcs --query \"//a[range(1,9)]/b\" [--explain]\n"
       "           (or --queries f.txt [--workers N] for a shared-load batch)\n"
       "  serve    --stdin [--workers N] [--queue N] [--preload name=f.xcs]\n"
+      "           [--reach-cache-capacity N] [--plan-cache-capacity N]\n"
       "  inspect  --synopsis f.xcs [--detail] [--dump]\n"
       "  workload --dataset imdb|xmark [--scale S] [--seed N]\n"
       "           [--queries N] [--negative] --out f.tsv\n"
