@@ -146,6 +146,17 @@ BENCH_REQUIRED = {
         ],
         ["estimate.latency_ns"],
     ),
+    "net": (
+        [
+            "net.frames.rx",
+            "net.frames.tx",
+            "net.bytes.rx",
+            "net.bytes.tx",
+            "net.batches",
+            "net.connections.accepted",
+        ],
+        ["net.request_latency_ns"],
+    ),
 }
 
 

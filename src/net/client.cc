@@ -1,0 +1,131 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace xcluster {
+namespace net {
+
+Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
+                                     NetClientOptions options) {
+  XCLUSTER_ASSIGN_OR_RETURN(ScopedFd fd, TcpConnect(host, port));
+  if (options.recv_timeout_ms > 0) {
+    XC_RETURN_IF_ERROR(SetRecvTimeout(fd.get(), options.recv_timeout_ms));
+  }
+  NetClient client(std::move(fd), options);
+  XC_RETURN_IF_ERROR(client.SendFrame(FrameType::kHello,
+                                      EncodeHello(HelloRequest{})));
+  Frame ack;
+  XC_RETURN_IF_ERROR(client.ReadFrame(&ack));
+  if (ack.type == FrameType::kError) {
+    // e.g. "server at connection capacity (N)" or a version-negotiation
+    // failure — pass the server's own message through.
+    return Status::Corruption("server error: " + ack.payload);
+  }
+  if (ack.type != FrameType::kHelloAck) {
+    return Status::Corruption("handshake: expected hello ack, got frame type " +
+                              std::to_string(static_cast<int>(ack.type)));
+  }
+  XCLUSTER_ASSIGN_OR_RETURN(client.version_, DecodeHelloAck(ack.payload));
+  return client;
+}
+
+NetClient::~NetClient() {
+  if (fd_.valid()) Close();  // best-effort goodbye
+}
+
+Status NetClient::SendFrame(FrameType type, const std::string& payload) {
+  if (!fd_.valid()) return Status::IOError("client is closed");
+  Frame frame;
+  frame.type = type;
+  frame.payload = payload;
+  std::string wire;
+  EncodeFrame(frame, &wire);
+  Status written = WriteAll(fd_.get(), wire.data(), wire.size());
+  if (!written.ok()) fd_.Reset();
+  return written;
+}
+
+Status NetClient::ReadFrame(Frame* frame) {
+  if (!fd_.valid()) return Status::IOError("client is closed");
+  for (;;) {
+    bool have_frame = false;
+    Status decoded = decoder_.Next(frame, &have_frame);
+    if (!decoded.ok()) {
+      fd_.Reset();
+      return decoded;
+    }
+    if (have_frame) return Status::OK();
+    char chunk[65536];
+    size_t got = 0;
+    Status read = ReadSome(fd_.get(), chunk, sizeof(chunk), &got);
+    if (!read.ok()) {
+      fd_.Reset();
+      return read;
+    }
+    if (got == 0) {
+      const size_t pending = decoder_.buffered_bytes();
+      fd_.Reset();
+      if (pending > 0) {
+        return Status::Corruption(
+            "server closed the connection mid-frame (" +
+            std::to_string(pending) + " bytes pending)");
+      }
+      return Status::IOError("server closed the connection");
+    }
+    decoder_.Feed(chunk, got);
+  }
+}
+
+Status NetClient::RoundTrip(FrameType request_type, const std::string& payload,
+                            FrameType want, Frame* reply) {
+  XC_RETURN_IF_ERROR(SendFrame(request_type, payload));
+  XC_RETURN_IF_ERROR(ReadFrame(reply));
+  if (reply->type == FrameType::kError) {
+    fd_.Reset();  // the server closes after an error frame
+    return Status::Corruption("server error: " + reply->payload);
+  }
+  if (reply->type != want) {
+    fd_.Reset();
+    return Status::Corruption(
+        "expected frame type " + std::to_string(static_cast<int>(want)) +
+        ", got " + std::to_string(static_cast<int>(reply->type)));
+  }
+  return Status::OK();
+}
+
+Result<std::string> NetClient::Command(const std::string& line) {
+  Frame reply;
+  XC_RETURN_IF_ERROR(
+      RoundTrip(FrameType::kCommand, line, FrameType::kResponse, &reply));
+  return std::move(reply.payload);
+}
+
+Result<BatchReplyFrame> NetClient::Batch(
+    const std::string& collection, const std::vector<std::string>& queries,
+    const BatchOptions& options) {
+  BatchRequestFrame request;
+  request.collection = collection;
+  request.options = options;
+  request.queries = queries;
+  Frame reply;
+  XC_RETURN_IF_ERROR(RoundTrip(FrameType::kBatch,
+                               EncodeBatchRequest(request),
+                               FrameType::kBatchReply, &reply));
+  return DecodeBatchReply(reply.payload);
+}
+
+Status NetClient::Close() {
+  if (!fd_.valid()) return Status::OK();
+  Status sent = SendFrame(FrameType::kGoodbye, "");
+  if (sent.ok()) {
+    Frame ack;
+    // The ack is advisory; a server that closed first is still a clean
+    // shutdown from the caller's point of view.
+    (void)ReadFrame(&ack);
+  }
+  fd_.Reset();
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace xcluster

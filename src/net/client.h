@@ -1,0 +1,89 @@
+#ifndef XCLUSTER_NET_CLIENT_H_
+#define XCLUSTER_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace xcluster {
+namespace net {
+
+struct NetClientOptions {
+  /// Per-read stall budget (SO_RCVTIMEO). A server that stops responding
+  /// surfaces as an IOError instead of hanging the caller. 0 disables.
+  uint64_t recv_timeout_ms = 30000;
+
+  /// Frame payload cap for responses (mirrors the server-side decoder).
+  size_t max_frame_bytes = kDefaultMaxPayloadBytes;
+};
+
+/// Blocking client for the NetServer wire protocol: connects, performs
+/// the hello/version handshake, then exchanges one frame per request.
+/// Not thread-safe; use one client per thread (connections are cheap and
+/// the server multiplexes).
+class NetClient {
+ public:
+  /// Connects and completes the handshake. Failures carry strerror or
+  /// negotiation context.
+  static Result<NetClient> Connect(const std::string& host, uint16_t port,
+                                   NetClientOptions options = {});
+
+  NetClient(NetClient&&) = default;
+  NetClient& operator=(NetClient&&) = default;
+
+  /// Closes with a goodbye handshake if still connected.
+  ~NetClient();
+
+  /// Sends one line of the harness grammar (no newline) and returns the
+  /// response text. Batches must go through Batch() — the server rejects
+  /// `batch` command lines on this transport.
+  Result<std::string> Command(const std::string& line);
+
+  /// Sends a packed batch and decodes the reply. Estimates come back as
+  /// IEEE-754 bit patterns: bit-identical to running the same batch
+  /// in-process.
+  Result<BatchReplyFrame> Batch(const std::string& collection,
+                                const std::vector<std::string>& queries,
+                                const BatchOptions& options = {});
+
+  /// Orderly close (kGoodbye handshake). Idempotent; the destructor calls
+  /// it best-effort.
+  Status Close();
+
+  /// Protocol version agreed during the handshake.
+  uint32_t negotiated_version() const { return version_; }
+
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  NetClient(ScopedFd fd, NetClientOptions options)
+      : fd_(std::move(fd)), options_(options),
+        decoder_(options.max_frame_bytes) {}
+
+  /// Writes one frame.
+  Status SendFrame(FrameType type, const std::string& payload);
+
+  /// Blocks until one complete frame arrives. A kError frame from the
+  /// server is surfaced as a non-OK Status (Corruption for protocol
+  /// errors carry the server's message).
+  Status ReadFrame(Frame* frame);
+
+  /// Sends `request`, expects a reply of `want` (kError → error status).
+  Status RoundTrip(FrameType request_type, const std::string& payload,
+                   FrameType want, Frame* reply);
+
+  ScopedFd fd_;
+  NetClientOptions options_;
+  FrameDecoder decoder_;
+  uint32_t version_ = 0;
+};
+
+}  // namespace net
+}  // namespace xcluster
+
+#endif  // XCLUSTER_NET_CLIENT_H_

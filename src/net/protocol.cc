@@ -1,0 +1,202 @@
+#include "net/protocol.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "common/io/bytes.h"
+#include "service/harness.h"
+
+namespace xcluster {
+namespace net {
+
+namespace {
+
+/// Wraps a payload string in a StringSource for the Get* primitives and
+/// fails decoding if trailing bytes remain (a length that disagrees with
+/// the content is corruption, not slack).
+Status ExpectFullyConsumed(const StringSource& source, const char* what) {
+  if (source.Remaining() != 0) {
+    return Status::Corruption(std::string(what) + ": " +
+                              std::to_string(source.Remaining()) +
+                              " trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeHello(const HelloRequest& hello) {
+  std::string payload;
+  StringSink sink(&payload);
+  sink.Append(std::string_view(kHelloMagic, sizeof(kHelloMagic)));
+  PutFixed32(&sink, hello.min_version);
+  PutFixed32(&sink, hello.max_version);
+  return payload;
+}
+
+Result<HelloRequest> DecodeHello(const std::string& payload) {
+  StringSource source(payload);
+  char magic[sizeof(kHelloMagic)];
+  XC_RETURN_IF_ERROR(source.Read(magic, sizeof(magic)));
+  if (std::memcmp(magic, kHelloMagic, sizeof(magic)) != 0) {
+    return Status::Corruption("hello magic mismatch (not an XNET peer)");
+  }
+  HelloRequest hello;
+  XC_RETURN_IF_ERROR(GetFixed32(&source, &hello.min_version));
+  XC_RETURN_IF_ERROR(GetFixed32(&source, &hello.max_version));
+  XC_RETURN_IF_ERROR(ExpectFullyConsumed(source, "hello"));
+  if (hello.min_version > hello.max_version) {
+    return Status::Corruption("hello version range is inverted");
+  }
+  return hello;
+}
+
+Result<uint32_t> NegotiateVersion(const HelloRequest& peer) {
+  const uint32_t lo = std::max(peer.min_version, kProtocolMinVersion);
+  const uint32_t hi = std::min(peer.max_version, kProtocolMaxVersion);
+  if (lo > hi) {
+    return Status::InvalidArgument(
+        "no common protocol version: peer speaks [" +
+        std::to_string(peer.min_version) + ", " +
+        std::to_string(peer.max_version) + "], this build [" +
+        std::to_string(kProtocolMinVersion) + ", " +
+        std::to_string(kProtocolMaxVersion) + "]");
+  }
+  return hi;
+}
+
+std::string EncodeHelloAck(uint32_t version) {
+  std::string payload;
+  StringSink sink(&payload);
+  PutFixed32(&sink, version);
+  return payload;
+}
+
+Result<uint32_t> DecodeHelloAck(const std::string& payload) {
+  StringSource source(payload);
+  uint32_t version = 0;
+  XC_RETURN_IF_ERROR(GetFixed32(&source, &version));
+  XC_RETURN_IF_ERROR(ExpectFullyConsumed(source, "hello ack"));
+  return version;
+}
+
+std::string EncodeBatchRequest(const BatchRequestFrame& request) {
+  std::string payload;
+  StringSink sink(&payload);
+  PutLengthPrefixed(&sink, request.collection);
+  PutFixed64(&sink, request.options.deadline_ns);
+  PutFixed8(&sink, request.options.explain ? 1 : 0);
+  PutVarint64(&sink, request.queries.size());
+  for (const std::string& query : request.queries) {
+    PutLengthPrefixed(&sink, query);
+  }
+  return payload;
+}
+
+Result<BatchRequestFrame> DecodeBatchRequest(const std::string& payload) {
+  StringSource source(payload);
+  BatchRequestFrame request;
+  XC_RETURN_IF_ERROR(GetLengthPrefixed(&source, &request.collection));
+  XC_RETURN_IF_ERROR(GetFixed64(&source, &request.options.deadline_ns));
+  uint8_t explain = 0;
+  XC_RETURN_IF_ERROR(GetFixed8(&source, &explain));
+  request.options.explain = explain != 0;
+  uint64_t count = 0;
+  XC_RETURN_IF_ERROR(GetVarint64(&source, &count));
+  // Every query costs at least its one-byte length prefix, so the count
+  // cannot exceed the remaining payload — checked before the reserve.
+  XC_RETURN_IF_ERROR(CheckCount(count, 1, source, "batch queries"));
+  request.queries.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string query;
+    XC_RETURN_IF_ERROR(GetLengthPrefixed(&source, &query));
+    request.queries.push_back(std::move(query));
+  }
+  XC_RETURN_IF_ERROR(ExpectFullyConsumed(source, "batch request"));
+  return request;
+}
+
+std::string EncodeBatchReply(const BatchResult& batch, bool explain) {
+  std::string payload;
+  StringSink sink(&payload);
+  PutVarint64(&sink, batch.results.size());
+  for (const QueryResult& result : batch.results) {
+    PutFixed8(&sink, result.status.ok() ? 1 : 0);
+    if (result.status.ok()) {
+      PutDouble(&sink, result.estimate);
+      PutFixed64(&sink, result.latency_ns);
+      PutLengthPrefixed(&sink, explain ? result.explanation : "");
+    } else {
+      PutLengthPrefixed(&sink, result.status.ToString());
+    }
+  }
+  PutFixed64(&sink, batch.stats.wall_ns);
+  PutVarint64(&sink, batch.stats.ok);
+  PutVarint64(&sink, batch.stats.failed);
+  PutFixed64(&sink, batch.stats.p50_latency_ns);
+  PutFixed64(&sink, batch.stats.p95_latency_ns);
+  PutFixed64(&sink, batch.stats.max_latency_ns);
+  return payload;
+}
+
+Result<BatchReplyFrame> DecodeBatchReply(const std::string& payload) {
+  StringSource source(payload);
+  BatchReplyFrame reply;
+  uint64_t count = 0;
+  XC_RETURN_IF_ERROR(GetVarint64(&source, &count));
+  XC_RETURN_IF_ERROR(CheckCount(count, 1, source, "batch reply items"));
+  reply.items.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    BatchReplyItem item;
+    uint8_t ok = 0;
+    XC_RETURN_IF_ERROR(GetFixed8(&source, &ok));
+    item.ok = ok != 0;
+    if (item.ok) {
+      XC_RETURN_IF_ERROR(GetDouble(&source, &item.estimate));
+      XC_RETURN_IF_ERROR(GetFixed64(&source, &item.latency_ns));
+      XC_RETURN_IF_ERROR(GetLengthPrefixed(&source, &item.explanation));
+    } else {
+      XC_RETURN_IF_ERROR(GetLengthPrefixed(&source, &item.error));
+    }
+    reply.items.push_back(std::move(item));
+  }
+  XC_RETURN_IF_ERROR(GetFixed64(&source, &reply.stats.wall_ns));
+  uint64_t ok_count = 0, failed_count = 0;
+  XC_RETURN_IF_ERROR(GetVarint64(&source, &ok_count));
+  XC_RETURN_IF_ERROR(GetVarint64(&source, &failed_count));
+  reply.stats.ok = static_cast<size_t>(ok_count);
+  reply.stats.failed = static_cast<size_t>(failed_count);
+  XC_RETURN_IF_ERROR(GetFixed64(&source, &reply.stats.p50_latency_ns));
+  XC_RETURN_IF_ERROR(GetFixed64(&source, &reply.stats.p95_latency_ns));
+  XC_RETURN_IF_ERROR(GetFixed64(&source, &reply.stats.max_latency_ns));
+  XC_RETURN_IF_ERROR(ExpectFullyConsumed(source, "batch reply"));
+  return reply;
+}
+
+std::string FormatBatchReply(const BatchReplyFrame& reply, bool explain) {
+  std::ostringstream out;
+  out << "ok batch n=" << reply.items.size()
+      << " ok=" << reply.stats.ok << " err=" << reply.stats.failed
+      << " us=" << reply.stats.wall_ns / 1000
+      << " p50_us=" << reply.stats.p50_latency_ns / 1000
+      << " p95_us=" << reply.stats.p95_latency_ns / 1000 << "\n";
+  for (size_t i = 0; i < reply.items.size(); ++i) {
+    const BatchReplyItem& item = reply.items[i];
+    if (item.ok) {
+      out << i << " ok " << FormatEstimate(item.estimate)
+          << " us=" << item.latency_ns / 1000 << "\n";
+      if (explain && !item.explanation.empty()) {
+        std::istringstream lines(item.explanation);
+        std::string line;
+        while (std::getline(lines, line)) out << "# " << line << "\n";
+      }
+    } else {
+      out << i << " err " << item.error << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace net
+}  // namespace xcluster

@@ -1,0 +1,84 @@
+#ifndef XCLUSTER_NET_PROTOCOL_H_
+#define XCLUSTER_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/frame.h"
+#include "service/service.h"
+
+namespace xcluster {
+namespace net {
+
+/// Protocol versions this build can speak. The hello handshake negotiates
+/// the highest version inside both peers' ranges; there is only v1 so far,
+/// but the handshake is what lets v2 add frame types without breaking old
+/// clients.
+inline constexpr uint32_t kProtocolMinVersion = 1;
+inline constexpr uint32_t kProtocolMaxVersion = 1;
+
+/// Leading magic of a kHello payload; rejects non-protocol peers (e.g. an
+/// HTTP client probing the port) before any further decoding.
+inline constexpr char kHelloMagic[4] = {'X', 'N', 'E', 'T'};
+
+/// kHello payload: magic + the sender's supported [min, max] version range.
+struct HelloRequest {
+  uint32_t min_version = kProtocolMinVersion;
+  uint32_t max_version = kProtocolMaxVersion;
+};
+
+std::string EncodeHello(const HelloRequest& hello);
+Result<HelloRequest> DecodeHello(const std::string& payload);
+
+/// Picks the version both ranges support (the highest), or InvalidArgument
+/// when the ranges are disjoint.
+Result<uint32_t> NegotiateVersion(const HelloRequest& peer);
+
+/// kHelloAck payload: the negotiated version.
+std::string EncodeHelloAck(uint32_t version);
+Result<uint32_t> DecodeHelloAck(const std::string& payload);
+
+/// kBatch payload: one whole batch request packed into a single frame —
+/// collection name, options, and every query string — so a 10k-query batch
+/// crosses the wire as one frame, not 10k protocol lines.
+struct BatchRequestFrame {
+  std::string collection;
+  BatchOptions options;
+  std::vector<std::string> queries;
+};
+
+std::string EncodeBatchRequest(const BatchRequestFrame& request);
+/// Count-vs-byte-budget validated: the declared query count is checked
+/// against the payload size before the vector is reserved.
+Result<BatchRequestFrame> DecodeBatchRequest(const std::string& payload);
+
+/// kBatchReply payload: per-query outcomes in slot order plus the batch
+/// aggregate stats. Estimates travel as IEEE-754 bit patterns (PutDouble),
+/// so a remote batch is bit-identical to the same batch run in-process.
+struct BatchReplyItem {
+  bool ok = false;
+  double estimate = 0.0;
+  uint64_t latency_ns = 0;
+  std::string explanation;  ///< only when the request asked for explain
+  std::string error;        ///< Status::ToString() when !ok
+};
+
+struct BatchReplyFrame {
+  std::vector<BatchReplyItem> items;
+  BatchStats stats;
+};
+
+std::string EncodeBatchReply(const BatchResult& batch, bool explain);
+Result<BatchReplyFrame> DecodeBatchReply(const std::string& payload);
+
+/// Renders a decoded reply in the exact text format the stdio harness
+/// prints for `batch`, so remote output can be diffed line-for-line
+/// against `serve --stdin` (only the us= latency fields differ per run).
+std::string FormatBatchReply(const BatchReplyFrame& reply, bool explain);
+
+}  // namespace net
+}  // namespace xcluster
+
+#endif  // XCLUSTER_NET_PROTOCOL_H_

@@ -1,0 +1,194 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace xcluster {
+namespace net {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + ::strerror(errno);
+}
+
+/// getaddrinfo wrapper; `passive` selects AI_PASSIVE for listeners.
+template <typename ApplyFn>
+Result<ScopedFd> ResolveAndApply(const std::string& host, uint16_t port,
+                                 bool passive, ApplyFn apply) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  const std::string port_text = std::to_string(port);
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port_text.c_str(), &hints, &results);
+  if (rc != 0) {
+    return Status::IOError("resolve " + host + ":" + port_text + ": " +
+                           ::gai_strerror(rc));
+  }
+  Status last_error = Status::IOError("resolve " + host + ":" + port_text +
+                                      ": no usable addresses");
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    ScopedFd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last_error = Status::IOError(Errno("socket"));
+      continue;
+    }
+    Status applied = apply(fd.get(), *ai);
+    if (applied.ok()) {
+      ::freeaddrinfo(results);
+      return fd;
+    }
+    last_error = std::move(applied);
+  }
+  ::freeaddrinfo(results);
+  return last_error;
+}
+
+std::string AddrToString(const addrinfo& ai) {
+  char host[NI_MAXHOST] = {0};
+  char service[NI_MAXSERV] = {0};
+  if (::getnameinfo(ai.ai_addr, ai.ai_addrlen, host, sizeof(host), service,
+                    sizeof(service), NI_NUMERICHOST | NI_NUMERICSERV) != 0) {
+    return "<unprintable address>";
+  }
+  return std::string(host) + ":" + service;
+}
+
+}  // namespace
+
+void ScopedFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Result<HostPort> ParseHostPort(const std::string& spec) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return Status::InvalidArgument("expected host:port, got '" + spec + "'");
+  }
+  HostPort parsed;
+  parsed.host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port > 65535) {
+    return Status::InvalidArgument("bad port '" + port_text + "' in '" +
+                                   spec + "'");
+  }
+  parsed.port = static_cast<uint16_t>(port);
+  return parsed;
+}
+
+Result<ScopedFd> TcpListen(const std::string& host, uint16_t port,
+                           int backlog) {
+  return ResolveAndApply(
+      host, port, /*passive=*/true, [backlog](int fd, const addrinfo& ai) {
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (::bind(fd, ai.ai_addr, ai.ai_addrlen) != 0) {
+          return Status::IOError(Errno("bind " + AddrToString(ai)));
+        }
+        if (::listen(fd, backlog) != 0) {
+          return Status::IOError(Errno("listen " + AddrToString(ai)));
+        }
+        return Status::OK();
+      });
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::IOError(Errno("getsockname"));
+  }
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<sockaddr_in6*>(&addr)->sin6_port);
+  }
+  return Status::IOError("getsockname: unexpected address family");
+}
+
+Result<ScopedFd> TcpConnect(const std::string& host, uint16_t port) {
+  return ResolveAndApply(
+      host, port, /*passive=*/false, [](int fd, const addrinfo& ai) {
+        int rc;
+        do {
+          rc = ::connect(fd, ai.ai_addr, ai.ai_addrlen);
+        } while (rc != 0 && errno == EINTR);
+        if (rc != 0) {
+          return Status::IOError(Errno("connect " + AddrToString(ai)));
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return Status::OK();
+      });
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(Errno("fcntl O_NONBLOCK"));
+  }
+  return Status::OK();
+}
+
+Status SetRecvTimeout(int fd, uint64_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::IOError(Errno("setsockopt SO_RCVTIMEO"));
+  }
+  return Status::OK();
+}
+
+Status WriteAll(int fd, const void* data, size_t n) {
+  const char* cursor = static_cast<const char*>(data);
+  size_t remaining = n;
+  while (remaining > 0) {
+    const ssize_t written = ::send(fd, cursor, remaining, MSG_NOSIGNAL);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("send"));
+    }
+    cursor += written;
+    remaining -= static_cast<size_t>(written);
+  }
+  return Status::OK();
+}
+
+Status ReadSome(int fd, void* out, size_t n, size_t* bytes_read) {
+  *bytes_read = 0;
+  for (;;) {
+    const ssize_t got = ::recv(fd, out, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::IOError("recv: timed out waiting for the peer");
+      }
+      return Status::IOError(Errno("recv"));
+    }
+    *bytes_read = static_cast<size_t>(got);
+    return Status::OK();
+  }
+}
+
+}  // namespace net
+}  // namespace xcluster

@@ -1,0 +1,86 @@
+#ifndef XCLUSTER_NET_SOCKET_H_
+#define XCLUSTER_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace xcluster {
+namespace net {
+
+/// RAII owner of a file descriptor (socket or pipe end).
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { Reset(); }
+
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.Release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Gives up ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the held fd (if any).
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// "host:port" -> parts. The port must be numeric in [0, 65535]; port 0
+/// asks the kernel for an ephemeral port (the listener reports the actual
+/// one).
+struct HostPort {
+  std::string host;
+  uint16_t port = 0;
+};
+Result<HostPort> ParseHostPort(const std::string& spec);
+
+/// Creates a listening TCP socket bound to host:port (SO_REUSEADDR,
+/// IPv4/IPv6 per getaddrinfo). Failures carry the failing call and
+/// strerror context, e.g. "bind 127.0.0.1:80: Permission denied".
+Result<ScopedFd> TcpListen(const std::string& host, uint16_t port,
+                           int backlog = 128);
+
+/// The port a listener actually bound (resolves port 0).
+Result<uint16_t> LocalPort(int fd);
+
+/// Blocking TCP connect to host:port, with strerror context on failure.
+Result<ScopedFd> TcpConnect(const std::string& host, uint16_t port);
+
+/// Marks `fd` non-blocking (O_NONBLOCK).
+Status SetNonBlocking(int fd);
+
+/// Sets a receive timeout so a stalled peer cannot hang a blocking reader
+/// forever (SO_RCVTIMEO; 0 disables).
+Status SetRecvTimeout(int fd, uint64_t timeout_ms);
+
+/// Writes all `n` bytes (blocking fd), retrying on EINTR and partial
+/// writes; SIGPIPE is suppressed (MSG_NOSIGNAL).
+Status WriteAll(int fd, const void* data, size_t n);
+
+/// Reads up to `n` bytes into `out`, retrying on EINTR. `*bytes_read` of 0
+/// with an OK status means orderly EOF.
+Status ReadSome(int fd, void* out, size_t n, size_t* bytes_read);
+
+}  // namespace net
+}  // namespace xcluster
+
+#endif  // XCLUSTER_NET_SOCKET_H_

@@ -9,8 +9,6 @@
 #include <string>
 #include <vector>
 
-#include "service/service.h"
-
 namespace xcluster {
 
 namespace {
@@ -19,12 +17,6 @@ constexpr char kHelp[] =
     "ok help commands: load <name> <path> | drop <name> | list | "
     "estimate <name> <query> | "
     "batch <name> <k> [deadline_us=N] [explain] | stats | help | quit";
-
-std::string FormatEstimate(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
-  return buffer;
-}
 
 /// Remainder of `line` after `prefix_words` whitespace-separated words.
 std::string RestOfLine(const std::string& line, int prefix_words) {
@@ -63,61 +55,169 @@ void WriteItem(std::ostream& out, size_t index, const QueryResult& result,
 
 }  // namespace
 
-int ServiceHarness::Run(std::istream& in, std::ostream& out) {
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!HandleLine(line, in, out)) break;
-    out.flush();
-  }
-  out.flush();
-  return 0;
+std::string FormatEstimate(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
 }
 
-bool ServiceHarness::HandleLine(const std::string& line, std::istream& in,
-                                std::ostream& out) {
+LineStatus ReadBoundedLine(std::istream& in, std::string* line,
+                           size_t max_bytes) {
+  line->clear();
+  std::streambuf* buf = in.rdbuf();
+  bool over_budget = false;
+  for (;;) {
+    const int ch = buf->sbumpc();
+    if (ch == std::char_traits<char>::eof()) {
+      in.setstate(std::ios::eofbit);
+      if (over_budget) return LineStatus::kTooLong;
+      return line->empty() ? LineStatus::kEof : LineStatus::kEofMidLine;
+    }
+    if (ch == '\n') {
+      return over_budget ? LineStatus::kTooLong : LineStatus::kOk;
+    }
+    if (line->size() >= max_bytes) {
+      // Discard the content but keep consuming to the newline so the
+      // stream stays line-aligned for the next request.
+      over_budget = true;
+      line->clear();
+      continue;
+    }
+    line->push_back(static_cast<char>(ch));
+  }
+}
+
+int ServiceHarness::Run(std::istream& in, std::ostream& out) {
+  std::string line;
+  for (;;) {
+    switch (ReadBoundedLine(in, &line, max_line_bytes_)) {
+      case LineStatus::kEof:
+        out.flush();
+        return 0;
+      case LineStatus::kEofMidLine:
+        out << "err truncated request: input ended before newline\n";
+        out.flush();
+        return 1;
+      case LineStatus::kTooLong:
+        out << "err line too long (exceeds " << max_line_bytes_
+            << " bytes)\n";
+        out.flush();
+        continue;
+      case LineStatus::kOk:
+        break;
+    }
+
+    // Batch is the one request that consumes further input lines, so the
+    // stdio loop handles it here; everything else goes through the shared
+    // ExecuteLine dispatch.
+    std::istringstream tokens(line);
+    std::string command;
+    tokens >> command;
+    if (command == "batch") {
+      std::string collection;
+      size_t count = 0;
+      BatchOptions options;
+      std::string error =
+          ParseBatchHeader(line, &collection, &count, &options);
+      if (!error.empty()) {
+        out << error;
+        out.flush();
+        continue;
+      }
+      std::vector<std::string> queries;
+      queries.reserve(count);
+      bool aborted = false;
+      std::string query_line;
+      for (size_t i = 0; i < count && !aborted; ++i) {
+        switch (ReadBoundedLine(in, &query_line, max_line_bytes_)) {
+          case LineStatus::kOk:
+            queries.push_back(query_line);
+            break;
+          case LineStatus::kTooLong:
+            // Consume the rest of the promised lines so the session stays
+            // parseable, then fail the whole batch: a truncated query
+            // must not silently estimate as something else.
+            for (size_t j = i + 1; j < count; ++j) {
+              if (ReadBoundedLine(in, &query_line, max_line_bytes_) !=
+                      LineStatus::kOk &&
+                  in.eof()) {
+                break;
+              }
+            }
+            out << "err batch aborted: query " << i << " exceeds "
+                << max_line_bytes_ << " bytes\n";
+            aborted = true;
+            break;
+          case LineStatus::kEof:
+          case LineStatus::kEofMidLine:
+            out << "err batch truncated: got " << i << " of " << count
+                << " queries\n";
+            aborted = true;
+            break;
+        }
+      }
+      if (!aborted) {
+        out << ExecuteBatch(collection, queries, options);
+      }
+      out.flush();
+      continue;
+    }
+
+    bool quit = false;
+    out << ExecuteLine(line, &quit);
+    out.flush();
+    if (quit) return 0;
+  }
+}
+
+std::string ServiceHarness::ExecuteLine(const std::string& line, bool* quit) {
+  *quit = false;
   std::istringstream tokens(line);
   std::string command;
   tokens >> command;
-  if (command.empty() || command[0] == '#') return true;  // blank / comment
+  if (command.empty() || command[0] == '#') return "";  // blank / comment
 
+  std::ostringstream out;
   if (command == "quit") {
-    out << "ok bye\n";
-    return false;
+    *quit = true;
+    return "ok bye\n";
   }
   if (command == "help") {
     out << kHelp << "\n";
-    return true;
+    return out.str();
+  }
+  if (command == "batch") {
+    return "err batch requires its query lines (stdio) or a batch frame "
+           "(socket transport)\n";
   }
   if (command == "load") {
     std::string name, path;
     tokens >> name >> path;
     if (name.empty() || path.empty()) {
-      out << "err load needs <name> <path>\n";
-      return true;
+      return "err load needs <name> <path>\n";
     }
     auto loaded = service_->store().LoadFile(name, path);
     if (!loaded.ok()) {
       out << "err " << loaded.status().ToString() << "\n";
-      return true;
+      return out.str();
     }
     const StoredSynopsis& snapshot = *loaded.value();
     out << "ok load " << name << " gen=" << snapshot.generation()
         << " clusters=" << snapshot.synopsis().NodeCount() << "\n";
-    return true;
+    return out.str();
   }
   if (command == "drop") {
     std::string name;
     tokens >> name;
     if (name.empty()) {
-      out << "err drop needs <name>\n";
-      return true;
+      return "err drop needs <name>\n";
     }
     if (service_->store().Remove(name)) {
       out << "ok drop " << name << "\n";
     } else {
       out << "err NotFound: no synopsis named '" << name << "'\n";
     }
-    return true;
+    return out.str();
   }
   if (command == "list") {
     std::vector<std::string> names = service_->store().List();
@@ -129,15 +229,14 @@ bool ServiceHarness::HandleLine(const std::string& line, std::istream& in,
           << " clusters=" << snapshot->synopsis().NodeCount()
           << " bytes=" << snapshot->xcluster().SizeBytes() << "\n";
     }
-    return true;
+    return out.str();
   }
   if (command == "estimate") {
     std::string name;
     tokens >> name;
     const std::string query = RestOfLine(line, 2);
     if (name.empty() || query.empty()) {
-      out << "err estimate needs <name> <query>\n";
-      return true;
+      return "err estimate needs <name> <query>\n";
     }
     QueryResult result = service_->EstimateOne(name, query);
     if (result.status.ok()) {
@@ -146,50 +245,7 @@ bool ServiceHarness::HandleLine(const std::string& line, std::istream& in,
     } else {
       out << "err " << result.status.ToString() << "\n";
     }
-    return true;
-  }
-  if (command == "batch") {
-    std::string name;
-    long long count = -1;
-    tokens >> name >> count;
-    if (name.empty() || count < 0) {
-      out << "err batch needs <name> <count>\n";
-      return true;
-    }
-    BatchOptions options;
-    std::string extra;
-    while (tokens >> extra) {
-      if (extra == "explain") {
-        options.explain = true;
-      } else if (extra.rfind("deadline_us=", 0) == 0) {
-        options.deadline_ns =
-            std::strtoull(extra.c_str() + 12, nullptr, 10) * 1000;
-      } else {
-        out << "err unknown batch option '" << extra << "'\n";
-        return true;
-      }
-    }
-    std::vector<std::string> queries;
-    queries.reserve(static_cast<size_t>(count));
-    std::string query_line;
-    for (long long i = 0; i < count; ++i) {
-      if (!std::getline(in, query_line)) {
-        out << "err batch truncated: got " << i << " of " << count
-            << " queries\n";
-        return true;
-      }
-      queries.push_back(query_line);
-    }
-    BatchResult batch = service_->EstimateBatch(name, queries, options);
-    out << "ok batch n=" << batch.results.size()
-        << " ok=" << batch.stats.ok << " err=" << batch.stats.failed
-        << " us=" << batch.stats.wall_ns / 1000
-        << " p50_us=" << batch.stats.p50_latency_ns / 1000
-        << " p95_us=" << batch.stats.p95_latency_ns / 1000 << "\n";
-    for (size_t i = 0; i < batch.results.size(); ++i) {
-      WriteItem(out, i, batch.results[i], options.explain);
-    }
-    return true;
+    return out.str();
   }
   if (command == "stats") {
     const Executor::Stats stats = service_->executor().stats();
@@ -202,10 +258,53 @@ bool ServiceHarness::HandleLine(const std::string& line, std::istream& in,
         << " plan_hits=" << service_->plan_cache().hits()
         << " plan_misses=" << service_->plan_cache().misses()
         << "\n";
-    return true;
+    return out.str();
   }
   out << "err unknown command '" << command << "' (try help)\n";
-  return true;
+  return out.str();
+}
+
+std::string ServiceHarness::ExecuteBatch(
+    const std::string& collection, const std::vector<std::string>& queries,
+    const BatchOptions& options) {
+  BatchResult batch = service_->EstimateBatch(collection, queries, options);
+  std::ostringstream out;
+  out << "ok batch n=" << batch.results.size()
+      << " ok=" << batch.stats.ok << " err=" << batch.stats.failed
+      << " us=" << batch.stats.wall_ns / 1000
+      << " p50_us=" << batch.stats.p50_latency_ns / 1000
+      << " p95_us=" << batch.stats.p95_latency_ns / 1000 << "\n";
+  for (size_t i = 0; i < batch.results.size(); ++i) {
+    WriteItem(out, i, batch.results[i], options.explain);
+  }
+  return out.str();
+}
+
+std::string ServiceHarness::ParseBatchHeader(const std::string& line,
+                                             std::string* collection,
+                                             size_t* count,
+                                             BatchOptions* options) {
+  std::istringstream tokens(line);
+  std::string command, name;
+  long long parsed_count = -1;
+  tokens >> command >> name >> parsed_count;
+  if (name.empty() || parsed_count < 0) {
+    return "err batch needs <name> <count>\n";
+  }
+  std::string extra;
+  while (tokens >> extra) {
+    if (extra == "explain") {
+      options->explain = true;
+    } else if (extra.rfind("deadline_us=", 0) == 0) {
+      options->deadline_ns =
+          std::strtoull(extra.c_str() + 12, nullptr, 10) * 1000;
+    } else {
+      return "err unknown batch option '" + extra + "'\n";
+    }
+  }
+  *collection = name;
+  *count = static_cast<size_t>(parsed_count);
+  return "";
 }
 
 }  // namespace xcluster

@@ -1,0 +1,225 @@
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/io/bytes.h"
+#include "common/io/crc32c.h"
+#include "common/rng.h"
+
+namespace xcluster {
+namespace net {
+namespace {
+
+Frame MakeFrame(FrameType type, std::string payload, uint8_t flags = 0) {
+  Frame frame;
+  frame.type = type;
+  frame.flags = flags;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+std::string Encode(const Frame& frame) {
+  std::string wire;
+  EncodeFrame(frame, &wire);
+  return wire;
+}
+
+/// Feeds `wire` and expects exactly one clean frame out.
+Frame DecodeOne(const std::string& wire) {
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  Frame frame;
+  bool have_frame = false;
+  Status status = decoder.Next(&frame, &have_frame);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(have_frame);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  return frame;
+}
+
+TEST(NetFrameTest, EmptyPayloadRoundTrips) {
+  Frame decoded = DecodeOne(Encode(MakeFrame(FrameType::kGoodbye, "")));
+  EXPECT_EQ(decoded.type, FrameType::kGoodbye);
+  EXPECT_EQ(decoded.flags, 0);
+  EXPECT_TRUE(decoded.payload.empty());
+}
+
+TEST(NetFrameTest, RoundTripPropertyOverRandomPayloads) {
+  // Random payloads (arbitrary bytes, length 0..4096) across all frame
+  // types, encoded back-to-back and fed to one decoder in random-sized
+  // chunks — the stream must reassemble to exactly the input sequence.
+  Rng rng(20260805);
+  std::vector<Frame> frames;
+  std::string wire;
+  for (int i = 0; i < 64; ++i) {
+    std::string payload(rng.Uniform(4097), '\0');
+    for (char& byte : payload) {
+      byte = static_cast<char>(rng.Uniform(256));
+    }
+    const FrameType type = static_cast<FrameType>(1 + rng.Uniform(8));
+    frames.push_back(
+        MakeFrame(type, std::move(payload),
+                  static_cast<uint8_t>(rng.Uniform(256))));
+    EncodeFrame(frames.back(), &wire);
+  }
+
+  FrameDecoder decoder;
+  size_t offset = 0;
+  size_t decoded_count = 0;
+  while (decoded_count < frames.size()) {
+    if (offset < wire.size()) {
+      const size_t chunk = 1 + rng.Uniform(1500);
+      const size_t n = std::min(chunk, wire.size() - offset);
+      decoder.Feed(wire.data() + offset, n);
+      offset += n;
+    }
+    for (;;) {
+      Frame frame;
+      bool have_frame = false;
+      ASSERT_TRUE(decoder.Next(&frame, &have_frame).ok());
+      if (!have_frame) break;
+      ASSERT_LT(decoded_count, frames.size());
+      EXPECT_EQ(frame.type, frames[decoded_count].type);
+      EXPECT_EQ(frame.flags, frames[decoded_count].flags);
+      EXPECT_EQ(frame.payload, frames[decoded_count].payload);
+      ++decoded_count;
+    }
+    ASSERT_TRUE(offset < wire.size() || decoded_count == frames.size())
+        << "decoder stalled with the full stream fed";
+  }
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(NetFrameTest, EveryBitFlipIsRejectedOrStalls) {
+  // The CRC covers the length field and the payload, so no single-bit
+  // corruption may ever yield a decoded frame. Two outcomes are legal:
+  // Corruption (CRC/reserved/type/length checks) or a stall (a flip that
+  // grows the length field makes the decoder wait for bytes that never
+  // come) — never a successful decode.
+  const std::string wire =
+      Encode(MakeFrame(FrameType::kCommand, "estimate db //movie/title"));
+  for (size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    std::string corrupt = wire;
+    corrupt[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(corrupt[bit / 8]) ^ (1u << (bit % 8)));
+    FrameDecoder decoder;
+    decoder.Feed(corrupt.data(), corrupt.size());
+    Frame frame;
+    bool have_frame = false;
+    Status status = decoder.Next(&frame, &have_frame);
+    EXPECT_FALSE(status.ok() && have_frame)
+        << "bit " << bit << " flipped yet a frame decoded";
+  }
+}
+
+TEST(NetFrameTest, TruncationAtEveryByteOffsetStallsCleanly) {
+  const std::string wire =
+      Encode(MakeFrame(FrameType::kResponse, "ok estimate 150 us=12\n"));
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.Feed(wire.data(), cut);
+    Frame frame;
+    bool have_frame = false;
+    Status status = decoder.Next(&frame, &have_frame);
+    ASSERT_TRUE(status.ok()) << "cut at " << cut << ": " << status.ToString();
+    EXPECT_FALSE(have_frame) << "cut at " << cut;
+    EXPECT_EQ(decoder.buffered_bytes(), cut);  // mid-frame close is visible
+
+    // The remainder completes the frame: truncation loses nothing.
+    decoder.Feed(wire.data() + cut, wire.size() - cut);
+    ASSERT_TRUE(decoder.Next(&frame, &have_frame).ok());
+    ASSERT_TRUE(have_frame) << "cut at " << cut;
+    EXPECT_EQ(frame.payload, "ok estimate 150 us=12\n");
+  }
+}
+
+TEST(NetFrameTest, OversizedFrameRejectedFromHeaderAlone) {
+  FrameDecoder decoder(/*max_payload_bytes=*/1024);
+  // Hand the decoder just the 4-byte length prefix declaring 2 MiB: it must
+  // reject from the declared length, before any payload is buffered.
+  std::string prefix;
+  StringSink sink(&prefix);
+  PutFixed32(&sink, 2u << 20);
+  decoder.Feed(prefix.data(), prefix.size());
+  Frame frame;
+  bool have_frame = false;
+  Status status = decoder.Next(&frame, &have_frame);
+  EXPECT_TRUE(status.code() == Status::Code::kCorruption) << status.ToString();
+  EXPECT_NE(status.ToString().find("exceeds"), std::string::npos)
+      << status.ToString();
+  EXPECT_FALSE(have_frame);
+
+  // Poisoned: even a valid frame is refused afterwards.
+  const std::string good = Encode(MakeFrame(FrameType::kHello, "x"));
+  decoder.Feed(good.data(), good.size());
+  EXPECT_TRUE(decoder.Next(&frame, &have_frame).code() == Status::Code::kCorruption);
+}
+
+TEST(NetFrameTest, NonzeroReservedFieldIsCorruption) {
+  // Craft a frame with reserved bytes set and a *valid* CRC over them, to
+  // exercise the reserved-field check itself rather than the CRC.
+  const std::string payload = "payload";
+  std::string wire;
+  StringSink sink(&wire);
+  PutFixed32(&sink, static_cast<uint32_t>(payload.size()));
+  PutFixed8(&sink, static_cast<uint8_t>(FrameType::kCommand));
+  PutFixed8(&sink, 0);  // flags
+  PutFixed8(&sink, 1);  // reserved, deliberately nonzero
+  PutFixed8(&sink, 0);
+  uint32_t crc = crc32c::Value(wire.data(), 8);
+  crc = crc32c::Extend(crc, payload.data(), payload.size());
+  PutFixed32(&sink, crc32c::Mask(crc));
+  sink.Append(payload);
+
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  Frame frame;
+  bool have_frame = false;
+  Status status = decoder.Next(&frame, &have_frame);
+  EXPECT_TRUE(status.code() == Status::Code::kCorruption) << status.ToString();
+  EXPECT_NE(status.ToString().find("reserved"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(NetFrameTest, UnknownFrameTypeIsCorruption) {
+  const std::string wire =
+      Encode(MakeFrame(static_cast<FrameType>(99), "mystery"));
+  FrameDecoder decoder;
+  decoder.Feed(wire.data(), wire.size());
+  Frame frame;
+  bool have_frame = false;
+  Status status = decoder.Next(&frame, &have_frame);
+  EXPECT_TRUE(status.code() == Status::Code::kCorruption) << status.ToString();
+  EXPECT_NE(status.ToString().find("unknown frame type"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(NetFrameTest, BufferedBytesTracksConsumedPrefix) {
+  const std::string first = Encode(MakeFrame(FrameType::kHello, "a"));
+  const std::string second = Encode(MakeFrame(FrameType::kGoodbye, "bb"));
+  FrameDecoder decoder;
+  decoder.Feed(first.data(), first.size());
+  decoder.Feed(second.data(), second.size() - 1);  // hold back one byte
+
+  Frame frame;
+  bool have_frame = false;
+  ASSERT_TRUE(decoder.Next(&frame, &have_frame).ok());
+  ASSERT_TRUE(have_frame);
+  EXPECT_EQ(frame.payload, "a");
+  // The incomplete second frame is still pending — that is exactly the
+  // "peer vanished mid-frame" signal the server counts.
+  EXPECT_EQ(decoder.buffered_bytes(), second.size() - 1);
+
+  decoder.Feed(second.data() + second.size() - 1, 1);
+  ASSERT_TRUE(decoder.Next(&frame, &have_frame).ok());
+  ASSERT_TRUE(have_frame);
+  EXPECT_EQ(frame.payload, "bb");
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace xcluster

@@ -139,6 +139,84 @@ TEST(ServiceHarnessTest, TruncatedBatchReportsShortfall) {
   EXPECT_EQ(lines[0], "err batch truncated: got 1 of 3 queries");
 }
 
+TEST(ServiceHarnessTest, OversizedLineIsAProtocolErrorNotATruncatedCommand) {
+  EstimationService service;
+  service.store().Install("books", MakeFixture());
+  ServiceHarness harness(&service, /*max_line_bytes=*/64);
+
+  // An over-budget line must never be silently truncated into a different
+  // command; it draws a clean protocol error and the session continues.
+  std::istringstream in("estimate books " + std::string(200, 'x') +
+                        "\n"
+                        "estimate books /A\n"
+                        "quit\n");
+  std::ostringstream out;
+  EXPECT_EQ(harness.Run(in, out), 0);
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream reader(out.str());
+  while (std::getline(reader, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "err line too long (exceeds 64 bytes)");
+  EXPECT_TRUE(StartsWith(lines[1], "ok estimate 10 us=")) << lines[1];
+  EXPECT_EQ(lines[2], "ok bye");
+}
+
+TEST(ServiceHarnessTest, InputEndingMidLineReportsTruncation) {
+  EstimationService service;
+  service.store().Install("books", MakeFixture());
+  ServiceHarness harness(&service);
+
+  // No trailing newline: a partial command must not execute.
+  std::istringstream in("estimate books /A\nestimate books /A/B");
+  std::ostringstream out;
+  EXPECT_EQ(harness.Run(in, out), 1);
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream reader(out.str());
+  while (std::getline(reader, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(StartsWith(lines[0], "ok estimate 10 us=")) << lines[0];
+  EXPECT_EQ(lines[1], "err truncated request: input ended before newline");
+}
+
+TEST(ServiceHarnessTest, OversizedBatchQueryAbortsTheWholeBatch) {
+  EstimationService service;
+  service.store().Install("books", MakeFixture());
+  ServiceHarness harness(&service, /*max_line_bytes=*/64);
+
+  // Query 1 of 3 blows the budget: the whole batch fails (a truncated
+  // query must not estimate as something else), the remaining promised
+  // lines are consumed, and the session stays parseable.
+  std::istringstream in("batch books 3\n"
+                        "/A\n" +
+                        std::string(200, 'q') +
+                        "\n"
+                        "/A/B\n"
+                        "estimate books /A\n"
+                        "quit\n");
+  std::ostringstream out;
+  EXPECT_EQ(harness.Run(in, out), 0);
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream reader(out.str());
+  while (std::getline(reader, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "err batch aborted: query 1 exceeds 64 bytes");
+  EXPECT_TRUE(StartsWith(lines[1], "ok estimate 10 us=")) << lines[1];
+  EXPECT_EQ(lines[2], "ok bye");
+}
+
+TEST(ServiceHarnessTest, ReadBoundedLineClassifiesEveryCase) {
+  std::istringstream in("short\n" + std::string(100, 'a') + "\nlast");
+  std::string line;
+  EXPECT_EQ(ReadBoundedLine(in, &line, 10), LineStatus::kOk);
+  EXPECT_EQ(line, "short");
+  EXPECT_EQ(ReadBoundedLine(in, &line, 10), LineStatus::kTooLong);
+  EXPECT_EQ(ReadBoundedLine(in, &line, 10), LineStatus::kEofMidLine);
+  EXPECT_EQ(ReadBoundedLine(in, &line, 10), LineStatus::kEof);
+}
+
 TEST(ServiceHarnessTest, LoadDropRoundTripsThroughSaveFile) {
   const std::string path =
       ::testing::TempDir() + "/harness_roundtrip.xcs";

@@ -25,6 +25,20 @@
 //       Runs the in-process estimation service on a line-oriented
 //       stdin/stdout protocol (see docs/SERVING.md for the grammar).
 //
+//   xclusterctl serve --listen host:port [--stdin] [--max-connections N]
+//               [--deadline-us N] [--drain-ms N] [...shared flags above]
+//       Additionally (or instead) serves the binary frame protocol on a
+//       TCP socket; stdio and socket clients share the same
+//       SynopsisStore and executor. Prints "listening host:port" once
+//       bound (port 0 picks an ephemeral port). SIGTERM/SIGINT trigger a
+//       graceful drain. Bind/listen failures exit with code 3.
+//
+//   xclusterctl remote <estimate|batch|load|stats> --connect host:port ...
+//       Client for a `serve --listen` daemon: estimate --name n --query q;
+//       batch --name n --queries f.txt [--deadline-us N] [--explain]
+//       (ships the whole file as one packed frame); load --name n
+//       --path f.xcs; stats.
+//
 //   xclusterctl inspect --synopsis synopsis.xcs [--dump]
 //       Prints size/cluster statistics (and optionally the clustering).
 //
@@ -43,10 +57,15 @@
 //       (see docs/OBSERVABILITY.md; all three are inert when the library
 //       was built with -DXCLUSTER_TELEMETRY=OFF)
 
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -60,6 +79,9 @@
 #include "data/imdb.h"
 #include "data/xmark.h"
 #include "estimate/estimator.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
 #include "query/parser.h"
 #include "service/harness.h"
 #include "service/service.h"
@@ -314,9 +336,27 @@ int Estimate(const Args& args) {
   return 0;
 }
 
+/// Exit code for bind/listen failures, distinct from the generic 1 so
+/// scripts can tell "the port is taken" from "the request was malformed".
+constexpr int kExitListenFailed = 3;
+
+/// Write end of the serving NetServer's wake pipe; the signal handler is a
+/// single async-signal-safe write(2) through it.
+std::atomic<int> g_drain_fd{-1};
+
+void HandleDrainSignal(int /*signo*/) {
+  const int fd = g_drain_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    ssize_t ignored = ::write(fd, &byte, 1);
+    (void)ignored;
+  }
+}
+
 int Serve(const Args& args) {
-  if (!args.Has("stdin")) {
-    return Fail("serve requires --stdin (the only transport so far)");
+  const std::string listen = args.Get("listen");
+  if (!args.Has("stdin") && listen.empty()) {
+    return Fail("serve requires --stdin and/or --listen <host:port>");
   }
   ServiceOptions options;
   options.executor.num_threads = static_cast<size_t>(
@@ -348,8 +388,127 @@ int Serve(const Args& args) {
     }
   }
 
-  ServiceHarness harness(&service);
-  return harness.Run(std::cin, std::cout);
+  std::unique_ptr<net::NetServer> server;
+  if (!listen.empty()) {
+    Result<net::HostPort> host_port = net::ParseHostPort(listen);
+    if (!host_port.ok()) {
+      std::fprintf(stderr, "error: --listen %s: %s\n", listen.c_str(),
+                   host_port.status().ToString().c_str());
+      return kExitListenFailed;
+    }
+    net::NetServerOptions net_options;
+    net_options.host = host_port.value().host;
+    net_options.port = host_port.value().port;
+    net_options.max_connections = static_cast<size_t>(args.GetInt(
+        "max-connections", static_cast<int64_t>(net_options.max_connections)));
+    net_options.default_deadline_ns =
+        static_cast<uint64_t>(args.GetInt("deadline-us", 0)) * 1000;
+    net_options.drain_timeout_ms = static_cast<uint64_t>(args.GetInt(
+        "drain-ms", static_cast<int64_t>(net_options.drain_timeout_ms)));
+    server = std::make_unique<net::NetServer>(&service, net_options);
+    Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+      return kExitListenFailed;
+    }
+    g_drain_fd.store(server->drain_fd(), std::memory_order_relaxed);
+    std::signal(SIGTERM, HandleDrainSignal);
+    std::signal(SIGINT, HandleDrainSignal);
+    // The bound port on stdout (port 0 resolves to the kernel's pick) so
+    // wrappers can scrape it; see scripts/net_smoke.sh.
+    std::printf("listening %s:%u\n", net_options.host.c_str(),
+                static_cast<unsigned>(server->port()));
+    std::fflush(stdout);
+  }
+
+  int rc = 0;
+  if (args.Has("stdin")) {
+    ServiceHarness harness(&service);
+    rc = harness.Run(std::cin, std::cout);
+    if (server) server->Stop();  // stdio EOF/quit shuts the daemon down too
+  } else {
+    server->AwaitTermination();
+  }
+  if (server) {
+    g_drain_fd.store(-1, std::memory_order_relaxed);
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+  }
+  return rc;
+}
+
+int Remote(const std::string& action, const Args& args) {
+  const std::string target = args.Get("connect");
+  if (target.empty()) {
+    return Fail("remote requires --connect host:port");
+  }
+  Result<net::HostPort> host_port = net::ParseHostPort(target);
+  if (!host_port.ok()) {
+    return Fail("--connect " + target + ": " +
+                host_port.status().ToString());
+  }
+  net::NetClientOptions client_options;
+  client_options.recv_timeout_ms =
+      static_cast<uint64_t>(args.GetInt("timeout-ms", 30000));
+  Result<net::NetClient> client = net::NetClient::Connect(
+      host_port.value().host, host_port.value().port, client_options);
+  if (!client.ok()) {
+    return Fail("connect " + target + ": " + client.status().ToString());
+  }
+
+  if (action == "estimate") {
+    const std::string name = args.Get("name");
+    const std::string query = args.Get("query");
+    if (name.empty() || query.empty()) {
+      return Fail("remote estimate requires --name and --query");
+    }
+    Result<std::string> reply =
+        client.value().Command("estimate " + name + " " + query);
+    if (!reply.ok()) return Fail(reply.status().ToString());
+    std::printf("%s", reply.value().c_str());
+    return reply.value().rfind("ok", 0) == 0 ? 0 : 1;
+  }
+  if (action == "batch") {
+    const std::string name = args.Get("name");
+    const std::string queries_path = args.Get("queries");
+    if (name.empty() || queries_path.empty()) {
+      return Fail("remote batch requires --name and --queries");
+    }
+    std::vector<std::string> queries = ReadLines(queries_path);
+    if (queries.empty()) return Fail(queries_path + ": no queries");
+    BatchOptions batch_options;
+    batch_options.explain = args.Has("explain");
+    batch_options.deadline_ns =
+        static_cast<uint64_t>(args.GetInt("deadline-us", 0)) * 1000;
+    Result<net::BatchReplyFrame> reply =
+        client.value().Batch(name, queries, batch_options);
+    if (!reply.ok()) return Fail(reply.status().ToString());
+    std::printf("%s",
+                net::FormatBatchReply(reply.value(), batch_options.explain)
+                    .c_str());
+    return reply.value().stats.failed == 0 ? 0 : 1;
+  }
+  if (action == "load") {
+    const std::string name = args.Get("name");
+    const std::string path = args.Get("path");
+    if (name.empty() || path.empty()) {
+      return Fail("remote load requires --name and --path");
+    }
+    // The path is resolved by the server process, not this client.
+    Result<std::string> reply =
+        client.value().Command("load " + name + " " + path);
+    if (!reply.ok()) return Fail(reply.status().ToString());
+    std::printf("%s", reply.value().c_str());
+    return reply.value().rfind("ok", 0) == 0 ? 0 : 1;
+  }
+  if (action == "stats") {
+    Result<std::string> reply = client.value().Command("stats");
+    if (!reply.ok()) return Fail(reply.status().ToString());
+    std::printf("%s", reply.value().c_str());
+    return reply.value().rfind("ok", 0) == 0 ? 0 : 1;
+  }
+  return Fail("unknown remote action '" + action +
+              "' (estimate|batch|load|stats)");
 }
 
 int Stats(const Args& args) {
@@ -498,6 +657,13 @@ int Usage() {
       "           (or --queries f.txt [--workers N] for a shared-load batch)\n"
       "  serve    --stdin [--workers N] [--queue N] [--preload name=f.xcs]\n"
       "           [--reach-cache-capacity N] [--plan-cache-capacity N]\n"
+      "           [--listen host:port [--max-connections N]\n"
+      "            [--deadline-us N] [--drain-ms N]]\n"
+      "  remote   estimate --connect host:port --name n --query q\n"
+      "  remote   batch    --connect host:port --name n --queries f.txt\n"
+      "           [--deadline-us N] [--explain]\n"
+      "  remote   load     --connect host:port --name n --path f.xcs\n"
+      "  remote   stats    --connect host:port\n"
       "  inspect  --synopsis f.xcs [--detail] [--dump]\n"
       "  workload --dataset imdb|xmark [--scale S] [--seed N]\n"
       "           [--queries N] [--negative] --out f.tsv\n"
@@ -511,7 +677,8 @@ int Usage() {
   return 2;
 }
 
-int Dispatch(const std::string& command, const Args& args) {
+int Dispatch(const std::string& command, const std::string& action,
+             const Args& args) {
   if (command == "generate") return Generate(args);
   if (command == "build") return Build(args);
   if (command == "estimate") return Estimate(args);
@@ -521,12 +688,20 @@ int Dispatch(const std::string& command, const Args& args) {
   if (command == "verify") return Verify(args);
   if (command == "stats") return Stats(args);
   if (command == "serve") return Serve(args);
+  if (command == "remote") return Remote(action, args);
   return Usage();
 }
 
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  // `remote` takes its action as a bare word (remote estimate --connect
+  // ...); the Args parser skips non-flag tokens, so lift it out here.
+  std::string action;
+  if (command == "remote" && argc >= 3 &&
+      std::string(argv[2]).rfind("--", 0) != 0) {
+    action = argv[2];
+  }
   Args args(argc, argv);
   for (const char* flag : {"metrics-json", "metrics-prom", "trace"}) {
     if (args.Has(flag) && args.Get(flag).empty()) {
@@ -538,7 +713,7 @@ int Run(int argc, char** argv) {
   telemetry::TraceRecorder recorder;
   if (!trace_path.empty()) telemetry::InstallGlobalTraceRecorder(&recorder);
 
-  int rc = Dispatch(command, args);
+  int rc = Dispatch(command, action, args);
 
   if (!trace_path.empty()) {
     telemetry::InstallGlobalTraceRecorder(nullptr);
