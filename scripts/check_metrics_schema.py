@@ -4,10 +4,19 @@ xclusterctl, or a BENCH_<name>.json result file written by the benches.
 
 Usage:
     check_metrics_schema.py METRICS_OR_BENCH_JSON [--trace TRACE_JSON]
+                            [--require-counter NAME]...
 
 Plain metrics snapshots are checked against the schema documented in
 docs/OBSERVABILITY.md: the build-phase counters a real build must produce
 are present and non-zero, and histograms carry sane quantiles.
+
+With --require-counter (repeatable), the named counters must additionally
+be present and non-zero. When at least one is given for a plain snapshot,
+the build-phase defaults above are NOT required — the caller is validating
+a snapshot from a process that served rather than built (e.g. the
+chaos-smoke daemon), and states its own activity requirements instead.
+Structural checks always run. For BENCH files the flag is additive on the
+embedded snapshot.
 
 BENCH files (auto-detected by their top-level "benchmark"/"entries" keys)
 are checked for a non-empty entries array of named measurements plus a
@@ -118,14 +127,18 @@ def require_populated_histogram(snapshot, name):
         fail(f"required histogram '{name}' has no samples")
 
 
-def check_metrics(path):
+def check_metrics(path, require_counters=()):
     with open(path, "r", encoding="utf-8") as handle:
         snapshot = json.load(handle)
     check_snapshot_shape(snapshot)
-    for name in REQUIRED_NONZERO_COUNTERS:
-        require_nonzero_counter(snapshot, name)
-    for name in REQUIRED_HISTOGRAMS:
-        require_populated_histogram(snapshot, name)
+    if require_counters:
+        for name in require_counters:
+            require_nonzero_counter(snapshot, name)
+    else:
+        for name in REQUIRED_NONZERO_COUNTERS:
+            require_nonzero_counter(snapshot, name)
+        for name in REQUIRED_HISTOGRAMS:
+            require_populated_histogram(snapshot, name)
     return len(snapshot["counters"]), len(snapshot["histograms"])
 
 
@@ -160,7 +173,7 @@ BENCH_REQUIRED = {
 }
 
 
-def check_bench(report):
+def check_bench(report, require_counters=()):
     entries = report.get("entries")
     if not isinstance(entries, list) or not entries:
         fail("bench: 'entries' must be a non-empty array")
@@ -187,6 +200,8 @@ def check_bench(report):
         require_nonzero_counter(metrics, name)
     for name in required_histograms:
         require_populated_histogram(metrics, name)
+    for name in require_counters:
+        require_nonzero_counter(metrics, name)
     return len(entries), len(metrics["counters"])
 
 
@@ -213,19 +228,31 @@ def main():
         "metrics_json", help="metrics snapshot or BENCH file to validate"
     )
     parser.add_argument("--trace", help="Chrome trace file to validate")
+    parser.add_argument(
+        "--require-counter",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="counter that must be present and non-zero (repeatable); "
+        "for plain snapshots this replaces the build-phase defaults",
+    )
     args = parser.parse_args()
 
     with open(args.metrics_json, "r", encoding="utf-8") as handle:
         document = json.load(handle)
     if isinstance(document, dict) and "benchmark" in document:
-        num_entries, num_counters = check_bench(document)
+        num_entries, num_counters = check_bench(
+            document, args.require_counter
+        )
         print(
             f"check_metrics_schema: OK: {args.metrics_json} "
             f"(bench '{document['benchmark']}', {num_entries} entries, "
             f"{num_counters} counters)"
         )
     else:
-        num_counters, num_histograms = check_metrics(args.metrics_json)
+        num_counters, num_histograms = check_metrics(
+            args.metrics_json, args.require_counter
+        )
         print(
             f"check_metrics_schema: OK: {args.metrics_json} "
             f"({num_counters} counters, {num_histograms} histograms)"

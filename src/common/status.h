@@ -22,6 +22,7 @@ class Status {
     kUnsupported,
     kResourceExhausted,
     kDeadlineExceeded,
+    kUnavailable,
   };
 
   Status() = default;
@@ -50,6 +51,14 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  /// The service is shedding load (quota exhausted, no deadline slack, or
+  /// over capacity). Unlike the other codes this one is retryable by
+  /// contract: the producer attaches a retry-after hint out of band
+  /// (BatchResult::retry_after_ms, the kShed frame) and a well-behaved
+  /// client backs off before resubmitting.
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

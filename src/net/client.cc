@@ -1,13 +1,39 @@
 #include "net/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
+
+#include "common/rng.h"
 
 namespace xcluster {
 namespace net {
 
+uint64_t BackoffDelayMs(const RetryOptions& options, int attempt,
+                        uint64_t retry_after_ms, uint64_t jitter_draw) {
+  uint64_t base;
+  if (retry_after_ms > 0) {
+    base = retry_after_ms;
+  } else {
+    const int shift = std::min(attempt - 1, 32);
+    base = options.initial_backoff_ms << shift;
+  }
+  base = std::max<uint64_t>(1, std::min(base, options.max_backoff_ms));
+  // Multiplicative jitter in [0.5, 1.0]: never sooner than half the hint,
+  // never later than the full cap.
+  const double factor =
+      0.5 + 0.5 * (static_cast<double>(jitter_draw >> 11) /
+                   static_cast<double>(1ull << 53));
+  const uint64_t delay = static_cast<uint64_t>(
+      static_cast<double>(base) * factor);
+  return std::max<uint64_t>(1, delay);
+}
+
 Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
                                      NetClientOptions options) {
-  XCLUSTER_ASSIGN_OR_RETURN(ScopedFd fd, TcpConnect(host, port));
+  XCLUSTER_ASSIGN_OR_RETURN(
+      ScopedFd fd, TcpConnect(host, port, options.connect_timeout_ms));
   if (options.recv_timeout_ms > 0) {
     XC_RETURN_IF_ERROR(SetRecvTimeout(fd.get(), options.recv_timeout_ms));
   }
@@ -17,8 +43,12 @@ Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
   Frame ack;
   XC_RETURN_IF_ERROR(client.ReadFrame(&ack));
   if (ack.type == FrameType::kError) {
-    // e.g. "server at connection capacity (N)" or a version-negotiation
-    // failure — pass the server's own message through.
+    // Capacity rejections are retryable by contract; everything else
+    // (e.g. version negotiation) passes the server's message through as
+    // a hard error.
+    if (ack.payload.find("connection capacity") != std::string::npos) {
+      return Status::Unavailable("server error: " + ack.payload);
+    }
     return Status::Corruption("server error: " + ack.payload);
   }
   if (ack.type != FrameType::kHelloAck) {
@@ -27,6 +57,24 @@ Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
   }
   XCLUSTER_ASSIGN_OR_RETURN(client.version_, DecodeHelloAck(ack.payload));
   return client;
+}
+
+Result<NetClient> NetClient::ConnectWithRetry(const std::string& host,
+                                              uint16_t port,
+                                              NetClientOptions options) {
+  Rng jitter(options.retry.jitter_seed);
+  const int attempts = std::max(1, options.retry.max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    Result<NetClient> client = Connect(host, port, options);
+    if (client.ok() ||
+        client.status().code() != Status::Code::kUnavailable ||
+        attempt >= attempts) {
+      return client;
+    }
+    const uint64_t delay =
+        BackoffDelayMs(options.retry, attempt, 0, jitter.Next());
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
 }
 
 NetClient::~NetClient() {
@@ -80,6 +128,18 @@ Status NetClient::RoundTrip(FrameType request_type, const std::string& payload,
                             FrameType want, Frame* reply) {
   XC_RETURN_IF_ERROR(SendFrame(request_type, payload));
   XC_RETURN_IF_ERROR(ReadFrame(reply));
+  if (reply->type == FrameType::kShed) {
+    // Admission shed: the request was refused but the connection is fine.
+    // Surface Unavailable + the retry-after hint; Batch() applies the
+    // retry policy on top.
+    Result<ShedFrame> shed = DecodeShed(reply->payload);
+    if (!shed.ok()) {
+      fd_.Reset();
+      return shed.status();
+    }
+    last_retry_after_ms_ = shed.value().retry_after_ms;
+    return Status::Unavailable(shed.value().message);
+  }
   if (reply->type == FrameType::kError) {
     fd_.Reset();  // the server closes after an error frame
     return Status::Corruption("server error: " + reply->payload);
@@ -107,11 +167,24 @@ Result<BatchReplyFrame> NetClient::Batch(
   request.collection = collection;
   request.options = options;
   request.queries = queries;
-  Frame reply;
-  XC_RETURN_IF_ERROR(RoundTrip(FrameType::kBatch,
-                               EncodeBatchRequest(request),
-                               FrameType::kBatchReply, &reply));
-  return DecodeBatchReply(reply.payload);
+  const std::string payload = EncodeBatchRequest(request, version_);
+  Rng jitter(options_.retry.jitter_seed);
+  const int attempts = std::max(1, options_.retry.max_attempts);
+  last_attempts_ = 0;
+  for (int attempt = 1;; ++attempt) {
+    last_attempts_ = attempt;
+    Frame reply;
+    Status sent =
+        RoundTrip(FrameType::kBatch, payload, FrameType::kBatchReply, &reply);
+    if (sent.ok()) return DecodeBatchReply(reply.payload);
+    if (sent.code() != Status::Code::kUnavailable || attempt >= attempts) {
+      return sent;
+    }
+    const uint64_t delay = BackoffDelayMs(options_.retry, attempt,
+                                          last_retry_after_ms_,
+                                          jitter.Next());
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  }
 }
 
 Status NetClient::Close() {

@@ -13,13 +13,48 @@
 namespace xcluster {
 namespace net {
 
+/// Client-side retry contract for retryable (Unavailable) refusals:
+/// connection-capacity rejections and admission sheds. Non-retryable
+/// errors (corruption, I/O, invalid requests) never retry.
+struct RetryOptions {
+  /// Total tries including the first; 1 disables retry.
+  int max_attempts = 1;
+
+  /// Exponential backoff base: attempt k (1-based failures) waits
+  /// initial << (k-1) ms, capped at max_backoff_ms — unless the server
+  /// sent a retry-after hint, which takes precedence as the base.
+  uint64_t initial_backoff_ms = 25;
+  uint64_t max_backoff_ms = 2000;
+
+  /// Seed for the deterministic jitter stream (xoshiro256**); jitter
+  /// multiplies the base by a uniform factor in [0.5, 1.0] so a thundering
+  /// herd of shed clients decorrelates.
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// The delay before retry number `attempt` (1-based count of failures so
+/// far): the server's `retry_after_ms` hint when nonzero, else the
+/// exponential schedule from `options`, jittered into [0.5x, 1.0x].
+/// Exposed for tests; NetClient::Batch and ConnectWithRetry use it.
+uint64_t BackoffDelayMs(const RetryOptions& options, int attempt,
+                        uint64_t retry_after_ms, uint64_t jitter_draw);
+
 struct NetClientOptions {
   /// Per-read stall budget (SO_RCVTIMEO). A server that stops responding
   /// surfaces as an IOError instead of hanging the caller. 0 disables.
   uint64_t recv_timeout_ms = 30000;
 
+  /// connect(2) budget: an unreachable or black-holed server surfaces as
+  /// DeadlineExceeded instead of hanging for the kernel SYN-retry budget.
+  /// 0 = unbounded blocking connect.
+  uint64_t connect_timeout_ms = 10000;
+
   /// Frame payload cap for responses (mirrors the server-side decoder).
   size_t max_frame_bytes = kDefaultMaxPayloadBytes;
+
+  /// Applied by Batch() to admission sheds and by ConnectWithRetry() to
+  /// capacity rejections.
+  RetryOptions retry;
 };
 
 /// Blocking client for the NetServer wire protocol: connects, performs
@@ -29,9 +64,17 @@ struct NetClientOptions {
 class NetClient {
  public:
   /// Connects and completes the handshake. Failures carry strerror or
-  /// negotiation context.
+  /// negotiation context. A connection-capacity rejection comes back as
+  /// Unavailable (retryable); a connect timeout as DeadlineExceeded.
   static Result<NetClient> Connect(const std::string& host, uint16_t port,
                                    NetClientOptions options = {});
+
+  /// Connect with the options' retry policy applied to Unavailable
+  /// (capacity) rejections: bounded attempts with exponential backoff +
+  /// jitter. Other failures return immediately.
+  static Result<NetClient> ConnectWithRetry(const std::string& host,
+                                            uint16_t port,
+                                            NetClientOptions options = {});
 
   NetClient(NetClient&&) = default;
   NetClient& operator=(NetClient&&) = default;
@@ -47,9 +90,21 @@ class NetClient {
   /// Sends a packed batch and decodes the reply. Estimates come back as
   /// IEEE-754 bit patterns: bit-identical to running the same batch
   /// in-process.
+  ///
+  /// When the server sheds the batch (kShed frame, v2+), the connection
+  /// stays open and the client retries per the options' RetryOptions,
+  /// honoring the server's retry-after hint with jittered backoff. Once
+  /// attempts are exhausted the Unavailable status is returned and
+  /// last_retry_after_ms() carries the hint.
   Result<BatchReplyFrame> Batch(const std::string& collection,
                                 const std::vector<std::string>& queries,
                                 const BatchOptions& options = {});
+
+  /// Retry-after hint (ms) from the most recent shed, 0 if none.
+  uint64_t last_retry_after_ms() const { return last_retry_after_ms_; }
+
+  /// Attempts consumed by the last Batch() call (1 = no retry needed).
+  int last_attempts() const { return last_attempts_; }
 
   /// Orderly close (kGoodbye handshake). Idempotent; the destructor calls
   /// it best-effort.
@@ -73,7 +128,8 @@ class NetClient {
   /// errors carry the server's message).
   Status ReadFrame(Frame* frame);
 
-  /// Sends `request`, expects a reply of `want` (kError → error status).
+  /// Sends `request`, expects a reply of `want` (kError → error status;
+  /// kShed → Unavailable without closing the connection).
   Status RoundTrip(FrameType request_type, const std::string& payload,
                    FrameType want, Frame* reply);
 
@@ -81,6 +137,8 @@ class NetClient {
   NetClientOptions options_;
   FrameDecoder decoder_;
   uint32_t version_ = 0;
+  uint64_t last_retry_after_ms_ = 0;
+  int last_attempts_ = 0;
 };
 
 }  // namespace net

@@ -21,6 +21,10 @@ enum class FrameType : uint8_t {
   kBatchReply = 6, ///< packed batch response
   kError = 7,      ///< protocol-level failure; the sender closes after this
   kGoodbye = 8,    ///< orderly close handshake (either direction)
+  kShed = 9,       ///< server -> client: batch shed by admission control
+                   ///  (protocol v2+; carries retry-after, connection stays
+                   ///  open — unlike kError this is not a failure of the
+                   ///  stream, just of the one request)
 };
 
 /// One decoded frame. `payload` is opaque at this layer; protocol.h gives

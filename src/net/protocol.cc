@@ -81,12 +81,20 @@ Result<uint32_t> DecodeHelloAck(const std::string& payload) {
   return version;
 }
 
-std::string EncodeBatchRequest(const BatchRequestFrame& request) {
+std::string EncodeBatchRequest(const BatchRequestFrame& request,
+                               uint32_t version) {
   std::string payload;
   StringSink sink(&payload);
   PutLengthPrefixed(&sink, request.collection);
   PutFixed64(&sink, request.options.deadline_ns);
-  PutFixed8(&sink, request.options.explain ? 1 : 0);
+  // Flags byte: bit0 = explain (the whole byte in v1), bit1 = bulk lane
+  // (v2+ only — a v1 peer would misread it as a nonzero explain).
+  uint8_t flags = request.options.explain ? 1 : 0;
+  if (version >= kProtocolVersionQos &&
+      request.options.lane == Lane::kBulk) {
+    flags |= 2;
+  }
+  PutFixed8(&sink, flags);
   PutVarint64(&sink, request.queries.size());
   for (const std::string& query : request.queries) {
     PutLengthPrefixed(&sink, query);
@@ -99,9 +107,13 @@ Result<BatchRequestFrame> DecodeBatchRequest(const std::string& payload) {
   BatchRequestFrame request;
   XC_RETURN_IF_ERROR(GetLengthPrefixed(&source, &request.collection));
   XC_RETURN_IF_ERROR(GetFixed64(&source, &request.options.deadline_ns));
-  uint8_t explain = 0;
-  XC_RETURN_IF_ERROR(GetFixed8(&source, &explain));
-  request.options.explain = explain != 0;
+  uint8_t flags = 0;
+  XC_RETURN_IF_ERROR(GetFixed8(&source, &flags));
+  if ((flags & ~uint8_t{3}) != 0) {
+    return Status::Corruption("batch request: unknown flags bits set");
+  }
+  request.options.explain = (flags & 1) != 0;
+  request.options.lane = (flags & 2) != 0 ? Lane::kBulk : Lane::kInteractive;
   uint64_t count = 0;
   XC_RETURN_IF_ERROR(GetVarint64(&source, &count));
   // Every query costs at least its one-byte length prefix, so the count
@@ -115,6 +127,23 @@ Result<BatchRequestFrame> DecodeBatchRequest(const std::string& payload) {
   }
   XC_RETURN_IF_ERROR(ExpectFullyConsumed(source, "batch request"));
   return request;
+}
+
+std::string EncodeShed(const ShedFrame& shed) {
+  std::string payload;
+  StringSink sink(&payload);
+  PutFixed32(&sink, shed.retry_after_ms);
+  PutLengthPrefixed(&sink, shed.message);
+  return payload;
+}
+
+Result<ShedFrame> DecodeShed(const std::string& payload) {
+  StringSource source(payload);
+  ShedFrame shed;
+  XC_RETURN_IF_ERROR(GetFixed32(&source, &shed.retry_after_ms));
+  XC_RETURN_IF_ERROR(GetLengthPrefixed(&source, &shed.message));
+  XC_RETURN_IF_ERROR(ExpectFullyConsumed(source, "shed"));
+  return shed;
 }
 
 std::string EncodeBatchReply(const BatchResult& batch, bool explain) {

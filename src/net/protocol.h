@@ -13,11 +13,16 @@ namespace xcluster {
 namespace net {
 
 /// Protocol versions this build can speak. The hello handshake negotiates
-/// the highest version inside both peers' ranges; there is only v1 so far,
-/// but the handshake is what lets v2 add frame types without breaking old
-/// clients.
+/// the highest version inside both peers' ranges. v1 is the original
+/// command/batch protocol; v2 adds the kShed typed error frame (admission
+/// shed + retry-after, connection stays open) and the priority-lane bit in
+/// the batch flags byte. A v2 server never sends kShed to a v1 client —
+/// it falls back to a kError frame — so old clients keep working.
 inline constexpr uint32_t kProtocolMinVersion = 1;
-inline constexpr uint32_t kProtocolMaxVersion = 1;
+inline constexpr uint32_t kProtocolMaxVersion = 2;
+
+/// First version with the kShed frame and the batch lane flag.
+inline constexpr uint32_t kProtocolVersionQos = 2;
 
 /// Leading magic of a kHello payload; rejects non-protocol peers (e.g. an
 /// HTTP client probing the port) before any further decoding.
@@ -49,10 +54,25 @@ struct BatchRequestFrame {
   std::vector<std::string> queries;
 };
 
-std::string EncodeBatchRequest(const BatchRequestFrame& request);
+/// `version` gates the v2 lane bit: a v1 encoder always writes the plain
+/// 0/1 explain byte a v1 server expects (the bulk tag is dropped, which
+/// only costs scheduling priority, never correctness).
+std::string EncodeBatchRequest(const BatchRequestFrame& request,
+                               uint32_t version = kProtocolMaxVersion);
 /// Count-vs-byte-budget validated: the declared query count is checked
 /// against the payload size before the vector is reserved.
 Result<BatchRequestFrame> DecodeBatchRequest(const std::string& payload);
+
+/// kShed payload (v2+): the admission layer refused the batch. The
+/// connection remains usable; the client should back off `retry_after_ms`
+/// before resubmitting.
+struct ShedFrame {
+  uint32_t retry_after_ms = 0;
+  std::string message;  ///< Status message (quota/deadline context)
+};
+
+std::string EncodeShed(const ShedFrame& shed);
+Result<ShedFrame> DecodeShed(const std::string& payload);
 
 /// kBatchReply payload: per-query outcomes in slot order plus the batch
 /// aggregate stats. Estimates travel as IEEE-754 bit patterns (PutDouble),

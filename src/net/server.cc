@@ -76,6 +76,7 @@ NetServer::Stats NetServer::stats() const {
   stats.midframe_disconnects =
       midframe_disconnects_.load(std::memory_order_relaxed);
   stats.write_overflows = write_overflows_.load(std::memory_order_relaxed);
+  stats.sheds = sheds_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -128,6 +129,7 @@ void NetServer::DispatchFrame(Connection* conn, Frame&& frame) {
       return;
     }
     conn->hello_done = true;
+    conn->version = version.value();
     SendFrame(conn, FrameType::kHelloAck, EncodeHelloAck(version.value()));
     return;
   }
@@ -166,6 +168,26 @@ void NetServer::DispatchFrame(Connection* conn, Frame&& frame) {
       XCLUSTER_COUNTER_INC("net.batches");
       BatchResult batch = service_->EstimateBatch(
           request.value().collection, request.value().queries, options);
+      if (!batch.admission.ok() &&
+          batch.admission.code() == Status::Code::kUnavailable) {
+        // Admission shed: a typed, retryable refusal — not a protocol
+        // error, so the connection stays open. v1 clients predate kShed
+        // and get the closing kError fallback instead.
+        sheds_.fetch_add(1, std::memory_order_relaxed);
+        XCLUSTER_COUNTER_INC("net.sheds");
+        if (conn->version >= kProtocolVersionQos) {
+          ShedFrame shed;
+          shed.retry_after_ms =
+              static_cast<uint32_t>(batch.retry_after_ms);
+          shed.message = batch.admission.message();
+          SendFrame(conn, FrameType::kShed, EncodeShed(shed));
+        } else {
+          SendError(conn, batch.admission.ToString());
+        }
+        XCLUSTER_HISTOGRAM_RECORD_NS("net.request_latency_ns",
+                                     telemetry::MonotonicNowNs() - start_ns);
+        return;
+      }
       SendFrame(conn, FrameType::kBatchReply,
                 EncodeBatchReply(batch, options.explain));
       XCLUSTER_HISTOGRAM_RECORD_NS("net.request_latency_ns",

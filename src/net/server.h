@@ -73,6 +73,7 @@ class NetServer {
     uint64_t protocol_errors = 0;     ///< bad frames / handshake violations
     uint64_t midframe_disconnects = 0;///< peer vanished inside a frame
     uint64_t write_overflows = 0;     ///< slow clients disconnected
+    uint64_t sheds = 0;               ///< batches refused by admission
   };
 
   NetServer(EstimationService* service, NetServerOptions options);
@@ -120,6 +121,7 @@ class NetServer {
     size_t outbuf_pos = 0;
     bool hello_done = false;
     bool closing = false;  ///< flush pending writes, then close
+    uint32_t version = 0;  ///< negotiated protocol version (post-hello)
   };
 
   void Loop();
@@ -162,6 +164,7 @@ class NetServer {
   std::atomic<uint64_t> protocol_errors_{0};
   std::atomic<uint64_t> midframe_disconnects_{0};
   std::atomic<uint64_t> write_overflows_{0};
+  std::atomic<uint64_t> sheds_{0};
 };
 
 }  // namespace net

@@ -5,6 +5,7 @@
 #include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <netinet/tcp.h>
 #include <string.h>
 #include <sys/socket.h>
@@ -125,15 +126,69 @@ Result<uint16_t> LocalPort(int fd) {
   return Status::IOError("getsockname: unexpected address family");
 }
 
-Result<ScopedFd> TcpConnect(const std::string& host, uint16_t port) {
+namespace {
+
+/// Bounded connect: O_NONBLOCK + connect + poll(POLLOUT) + SO_ERROR, then
+/// back to blocking mode. EINPROGRESS is the expected non-blocking path;
+/// an immediate success (localhost) skips the poll entirely.
+Status ConnectWithTimeout(int fd, const addrinfo& ai, uint64_t timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(Errno("fcntl O_NONBLOCK"));
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, ai.ai_addr, ai.ai_addrlen);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      return Status::IOError(Errno("connect " + AddrToString(ai)));
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    do {
+      rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+      return Status::IOError(Errno("poll connect " + AddrToString(ai)));
+    }
+    if (rc == 0) {
+      return Status::DeadlineExceeded("connect " + AddrToString(ai) +
+                                      ": timed out after " +
+                                      std::to_string(timeout_ms) + "ms");
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+      return Status::IOError(Errno("getsockopt SO_ERROR"));
+    }
+    if (so_error != 0) {
+      errno = so_error;
+      return Status::IOError(Errno("connect " + AddrToString(ai)));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {  // restore blocking mode
+    return Status::IOError(Errno("fcntl restore flags"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ScopedFd> TcpConnect(const std::string& host, uint16_t port,
+                            uint64_t timeout_ms) {
   return ResolveAndApply(
-      host, port, /*passive=*/false, [](int fd, const addrinfo& ai) {
-        int rc;
-        do {
-          rc = ::connect(fd, ai.ai_addr, ai.ai_addrlen);
-        } while (rc != 0 && errno == EINTR);
-        if (rc != 0) {
-          return Status::IOError(Errno("connect " + AddrToString(ai)));
+      host, port, /*passive=*/false,
+      [timeout_ms](int fd, const addrinfo& ai) {
+        if (timeout_ms > 0) {
+          XC_RETURN_IF_ERROR(ConnectWithTimeout(fd, ai, timeout_ms));
+        } else {
+          int rc;
+          do {
+            rc = ::connect(fd, ai.ai_addr, ai.ai_addrlen);
+          } while (rc != 0 && errno == EINTR);
+          if (rc != 0) {
+            return Status::IOError(Errno("connect " + AddrToString(ai)));
+          }
         }
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

@@ -62,8 +62,14 @@ Result<ScopedFd> TcpListen(const std::string& host, uint16_t port,
 /// The port a listener actually bound (resolves port 0).
 Result<uint16_t> LocalPort(int fd);
 
-/// Blocking TCP connect to host:port, with strerror context on failure.
-Result<ScopedFd> TcpConnect(const std::string& host, uint16_t port);
+/// TCP connect to host:port, with strerror context on failure. With
+/// `timeout_ms` > 0 the connect is attempted non-blocking and bounded by a
+/// poll(2) wait: an unresponsive peer (e.g. a black-holed address) returns
+/// DeadlineExceeded instead of hanging for the kernel's SYN-retry budget.
+/// The returned fd is back in blocking mode either way. 0 keeps the
+/// historical unbounded blocking connect.
+Result<ScopedFd> TcpConnect(const std::string& host, uint16_t port,
+                            uint64_t timeout_ms = 0);
 
 /// Marks `fd` non-blocking (O_NONBLOCK).
 Status SetNonBlocking(int fd);

@@ -27,7 +27,7 @@ Status Executor::Submit(Task task, uint64_t deadline_ns) {
     if (!inline_accepting) {
       return Status::Unsupported("executor is shut down");
     }
-    submitted_.fetch_add(1, std::memory_order_relaxed);
+    submitted_.fetch_add(1, std::memory_order_release);
     QueuedTask queued{std::move(task), deadline_ns,
                       telemetry::MonotonicNowNs()};
     RunTask(std::move(queued), /*cancelled=*/false);
@@ -50,8 +50,12 @@ Status Executor::Submit(Task task, uint64_t deadline_ns) {
     queue_.push_back(
         QueuedTask{std::move(task), deadline_ns, telemetry::MonotonicNowNs()});
     depth = queue_.size();
+    // Counted inside the critical section that publishes the task: a
+    // worker can only bump executed_ for a task whose submitted_
+    // increment already happened, so snapshots never see
+    // executed > submitted (see stats()).
+    submitted_.fetch_add(1, std::memory_order_release);
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
   XCLUSTER_GAUGE_SET("service.queue_depth", depth);
   work_available_.notify_one();
   return Status::OK();
@@ -87,13 +91,16 @@ void Executor::RunTask(QueuedTask&& queued, bool cancelled) {
   context.cancelled = cancelled;
   context.deadline_expired =
       queued.deadline_ns != 0 && now > queued.deadline_ns;
-  executed_.fetch_add(1, std::memory_order_relaxed);
+  // Writer order executed -> expired/cancelled (all release) pairs with
+  // the inverse acquire reads in stats(): every expired/cancelled
+  // increment a snapshot observes has its executed increment visible too.
+  executed_.fetch_add(1, std::memory_order_release);
   if (context.deadline_expired) {
-    expired_.fetch_add(1, std::memory_order_relaxed);
+    expired_.fetch_add(1, std::memory_order_release);
     XCLUSTER_COUNTER_INC("service.executor.expired");
   }
   if (context.cancelled) {
-    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    cancelled_.fetch_add(1, std::memory_order_release);
   }
   XCLUSTER_HISTOGRAM_RECORD_NS("service.queue_wait_ns", context.queue_ns);
   queued.task(context);
@@ -117,12 +124,17 @@ size_t Executor::queue_depth() const {
 }
 
 Executor::Stats Executor::stats() const {
+  // One consistent pass: counters are read in the *inverse* of the order
+  // writers bump them (expired/cancelled before executed before
+  // submitted, all acquire against the writers' release increments), so
+  // every snapshot satisfies expired <= executed, cancelled <= executed,
+  // and executed <= submitted even while tasks are racing through.
   Stats stats;
-  stats.submitted = submitted_.load(std::memory_order_relaxed);
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
-  stats.executed = executed_.load(std::memory_order_relaxed);
-  stats.expired = expired_.load(std::memory_order_relaxed);
-  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_acquire);
+  stats.cancelled = cancelled_.load(std::memory_order_acquire);
+  stats.executed = executed_.load(std::memory_order_acquire);
+  stats.rejected = rejected_.load(std::memory_order_acquire);
+  stats.submitted = submitted_.load(std::memory_order_acquire);
   return stats;
 }
 

@@ -51,6 +51,11 @@ class Executor {
   using Task = std::function<void(const TaskContext&)>;
 
   /// Aggregate lifetime counters (monotone; readable from any thread).
+  /// stats() returns a consistent snapshot: counters are written with
+  /// release ordering in a defined order (submitted before executed
+  /// before expired/cancelled) and read back in the inverse order with
+  /// acquire loads, so every snapshot satisfies the invariants
+  /// expired <= executed, cancelled <= executed, executed <= submitted.
   struct Stats {
     uint64_t submitted = 0;  ///< accepted into the queue (or run inline)
     uint64_t rejected = 0;   ///< refused with ResourceExhausted

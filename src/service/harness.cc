@@ -16,7 +16,8 @@ namespace {
 constexpr char kHelp[] =
     "ok help commands: load <name> <path> | drop <name> | list | "
     "estimate <name> <query> | "
-    "batch <name> <k> [deadline_us=N] [explain] | stats | help | quit";
+    "batch <name> <k> [deadline_us=N] [priority=interactive|bulk] [explain] "
+    "| quota <name> <rate_qps> <burst>|off | stats | help | quit";
 
 /// Remainder of `line` after `prefix_words` whitespace-separated words.
 std::string RestOfLine(const std::string& line, int prefix_words) {
@@ -247,8 +248,43 @@ std::string ServiceHarness::ExecuteLine(const std::string& line, bool* quit) {
     }
     return out.str();
   }
+  if (command == "quota") {
+    std::string name, rate_text;
+    tokens >> name >> rate_text;
+    if (name.empty() || rate_text.empty()) {
+      return "err quota needs <name> <rate_qps> <burst> (or <name> off)\n";
+    }
+    if (rate_text == "off") {
+      if (service_->admission().RemoveQuota(name)) {
+        out << "ok quota " << name << " off\n";
+      } else {
+        out << "err NotFound: no quota on '" << name << "'\n";
+      }
+      return out.str();
+    }
+    std::string burst_text;
+    tokens >> burst_text;
+    char* end = nullptr;
+    const double rate = std::strtod(rate_text.c_str(), &end);
+    const bool rate_ok = end != rate_text.c_str() && *end == '\0' && rate > 0;
+    end = nullptr;
+    const double burst =
+        burst_text.empty() ? 0 : std::strtod(burst_text.c_str(), &end);
+    const bool burst_ok =
+        !burst_text.empty() && end != burst_text.c_str() && *end == '\0' &&
+        burst > 0;
+    if (!rate_ok || !burst_ok) {
+      return "err quota needs positive numeric <rate_qps> <burst>\n";
+    }
+    service_->admission().SetQuota(name, rate, burst);
+    out << "ok quota " << name << " rate=" << FormatEstimate(rate)
+        << " burst=" << FormatEstimate(burst) << "\n";
+    return out.str();
+  }
   if (command == "stats") {
     const Executor::Stats stats = service_->executor().stats();
+    const AdmissionController::Stats admission =
+        service_->admission().stats();
     out << "ok stats synopses=" << service_->store().size()
         << " workers=" << service_->executor().num_threads()
         << " queue_depth=" << service_->executor().queue_depth()
@@ -257,6 +293,10 @@ std::string ServiceHarness::ExecuteLine(const std::string& line, bool* quit) {
         << " plans=" << service_->plan_cache().size()
         << " plan_hits=" << service_->plan_cache().hits()
         << " plan_misses=" << service_->plan_cache().misses()
+        << " admitted=" << admission.admitted
+        << " shed_quota=" << admission.shed_quota
+        << " shed_deadline=" << admission.shed_deadline
+        << " admission_pending=" << service_->admission().pending()
         << "\n";
     return out.str();
   }
@@ -298,6 +338,11 @@ std::string ServiceHarness::ParseBatchHeader(const std::string& line,
     } else if (extra.rfind("deadline_us=", 0) == 0) {
       options->deadline_ns =
           std::strtoull(extra.c_str() + 12, nullptr, 10) * 1000;
+    } else if (extra.rfind("priority=", 0) == 0) {
+      if (!ParseLane(extra.substr(9), &options->lane)) {
+        return "err bad priority '" + extra.substr(9) +
+               "' (interactive|bulk)\n";
+      }
     } else {
       return "err unknown batch option '" + extra + "'\n";
     }

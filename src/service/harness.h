@@ -40,10 +40,13 @@ LineStatus ReadBoundedLine(std::istream& in, std::string* line,
 ///   drop <name>                    remove <name> from the catalog
 ///   list                           catalog contents
 ///   estimate <name> <query>        one inline estimate
-///   batch <name> <k> [deadline_us=N] [explain]
+///   batch <name> <k> [deadline_us=N] [priority=interactive|bulk] [explain]
 ///                                  then exactly <k> query lines; fans the
-///                                  batch across the worker pool
-///   stats                          store/executor counters
+///                                  batch across the worker pool through
+///                                  the admission/QoS layer
+///   quota <name> <rate_qps> <burst>  install a token-bucket quota
+///   quota <name> off               remove it
+///   stats                          store/executor/admission counters
 ///   help                           grammar summary
 ///   quit                           exit
 ///
@@ -86,7 +89,8 @@ class ServiceHarness {
                            const std::vector<std::string>& queries,
                            const BatchOptions& options);
 
-  /// Parses a "batch <name> <k> [deadline_us=N] [explain]" header line.
+  /// Parses a "batch <name> <k> [deadline_us=N] [priority=interactive|bulk]
+  /// [explain]" header line.
   /// Returns "" and fills the outputs on success, or the `err ...`
   /// response text on failure.
   static std::string ParseBatchHeader(const std::string& line,

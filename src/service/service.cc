@@ -80,11 +80,18 @@ EstimationService::EstimationService(ServiceOptions options)
       plan_cache_(PlanCache::Options{options.plan_cache_capacity,
                                      PlanCache::Options().shards}) {
   executor_ = std::make_unique<Executor>(options_.executor);
+  admission_ = std::make_unique<AdmissionController>(executor_.get(),
+                                                     options_.admission);
 }
 
 EstimationService::~EstimationService() { Shutdown(); }
 
-void EstimationService::Shutdown() { executor_->Shutdown(true); }
+void EstimationService::Shutdown() {
+  // Cancel everything still queued in the admission layer first, then
+  // drain what already reached the executor.
+  admission_->Shutdown();
+  executor_->Shutdown(true);
+}
 
 QueryResult EstimationService::EstimateOne(const std::string& collection,
                                            const std::string& query,
@@ -127,6 +134,24 @@ BatchResult EstimationService::EstimateBatch(
   const uint64_t deadline_ns =
       options.deadline_ns == 0 ? 0 : start_ns + options.deadline_ns;
 
+  // Admission: quota charge + deadline-slack check before any work is
+  // queued. A shed batch fails as a unit with Unavailable and a
+  // retry-after hint — cheaper for everyone than expiring query by query.
+  uint64_t retry_after_ms = 0;
+  Status admitted = admission_->AdmitBatch(
+      collection, options.lane, queries.size(), deadline_ns, &retry_after_ms);
+  if (!admitted.ok()) {
+    for (QueryResult& result : batch.results) {
+      result.status = admitted;
+    }
+    batch.admission = std::move(admitted);
+    batch.retry_after_ms = retry_after_ms;
+    batch.stats.failed = batch.results.size();
+    batch.stats.wall_ns = telemetry::MonotonicNowNs() - start_ns;
+    return batch;
+  }
+  const uint64_t batch_id = admission_->BeginBatch(options.lane);
+
   // Slot-per-query completion tracking: tasks write disjoint slots, so
   // only the done-counter needs the lock.
   std::mutex mu;
@@ -155,8 +180,24 @@ BatchResult EstimationService::EstimateBatch(
   for (size_t i = 0; i < queries.size(); ++i) {
     QueryResult* slot = &batch.results[i];
     const std::string* query = &queries[i];
+    // Fail fast once the batch deadline has passed: every remaining
+    // queued query is marked deadline_expired here, without paying
+    // per-task dispatch overhead or invoking the estimator.
+    if (deadline_ns != 0 && telemetry::MonotonicNowNs() > deadline_ns) {
+      size_t expired = 0;
+      for (size_t j = i; j < queries.size(); ++j) {
+        batch.results[j].status =
+            Status::DeadlineExceeded("batch deadline expired");
+        ++expired;
+      }
+      XCLUSTER_COUNTER_ADD("service.requests.deadline_exceeded", expired);
+      std::lock_guard<std::mutex> lock(mu);
+      done += expired;
+      break;
+    }
     for (;;) {
-      Status submitted = executor_->Submit(make_task(slot, query), deadline_ns);
+      Status submitted =
+          admission_->Submit(batch_id, make_task(slot, query), deadline_ns);
       if (submitted.ok()) break;
       if (submitted.code() != Status::Code::kResourceExhausted) {
         // Shut down: fail the slot ourselves; the task never ran.
@@ -182,6 +223,7 @@ BatchResult EstimationService::EstimateBatch(
     std::unique_lock<std::mutex> lock(mu);
     all_done.wait(lock, [&] { return done == queries.size(); });
   }
+  admission_->EndBatch(batch_id);
 
   std::vector<uint64_t> latencies;
   latencies.reserve(batch.results.size());

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "estimate/plan_cache.h"
+#include "service/admission.h"
 #include "service/executor.h"
 #include "service/synopsis_store.h"
 
@@ -27,6 +28,10 @@ struct ServiceOptions {
   /// carry the snapshot generation, so entries never cross snapshots).
   /// 0 disables plan caching: every query re-parses and re-compiles.
   size_t plan_cache_capacity = 4096;
+
+  /// Admission-control and QoS knobs (lanes, quotas, deadline shedding);
+  /// see AdmissionOptions and docs/SERVING.md "QoS and overload behavior".
+  AdmissionOptions admission;
 };
 
 /// Per-batch request options.
@@ -40,6 +45,11 @@ struct BatchOptions {
   /// Attach the EXPLAIN-style per-variable breakdown to each successful
   /// result (EstimateExplanation::ToString rendering).
   bool explain = false;
+
+  /// Priority lane for the fair-queueing scheduler. Interactive (the
+  /// default) gets the high WFQ weight; large offline batches should tag
+  /// themselves bulk so they never starve point queries.
+  Lane lane = Lane::kInteractive;
 };
 
 /// Outcome of one query within a batch (slot order matches the request).
@@ -64,6 +74,13 @@ struct BatchStats {
 struct BatchResult {
   std::vector<QueryResult> results;
   BatchStats stats;
+
+  /// Admission outcome. OK when the batch ran (results may still carry
+  /// per-query errors); Unavailable when the whole batch was shed before
+  /// any query executed — then every slot holds the same status and
+  /// retry_after_ms carries the backoff hint.
+  Status admission;
+  uint64_t retry_after_ms = 0;
 };
 
 /// In-process estimation service: the serving layer over the library.
@@ -95,6 +112,11 @@ class EstimationService {
   const SynopsisStore& store() const { return store_; }
   const Executor& executor() const { return *executor_; }
 
+  /// The admission/QoS layer (mutable so embedders and the harness can
+  /// install per-collection quotas at runtime).
+  AdmissionController& admission() { return *admission_; }
+  const AdmissionController& admission() const { return *admission_; }
+
   /// The shared compiled-plan cache (hit/miss/eviction counters work even
   /// with telemetry compiled out).
   const PlanCache& plan_cache() const { return plan_cache_; }
@@ -123,6 +145,10 @@ class EstimationService {
   ServiceOptions options_;
   SynopsisStore store_;
   PlanCache plan_cache_;
+  // Declared before executor_ so it is destroyed after: tasks the
+  // executor drains during shutdown re-enter the admission controller on
+  // completion.
+  std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<Executor> executor_;
 };
 

@@ -1,0 +1,423 @@
+#include "service/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/telemetry/metrics.h"
+#include "net/client.h"
+#include "service/executor.h"
+
+namespace xcluster {
+namespace {
+
+using telemetry::MonotonicNowNs;
+
+constexpr uint64_t kMs = 1'000'000;    // ns per millisecond
+constexpr uint64_t kSec = 1'000'000'000;
+
+TEST(LaneTest, NamesRoundTrip) {
+  EXPECT_STREQ(LaneName(Lane::kInteractive), "interactive");
+  EXPECT_STREQ(LaneName(Lane::kBulk), "bulk");
+  Lane lane = Lane::kBulk;
+  EXPECT_TRUE(ParseLane("interactive", &lane));
+  EXPECT_EQ(lane, Lane::kInteractive);
+  EXPECT_TRUE(ParseLane("bulk", &lane));
+  EXPECT_EQ(lane, Lane::kBulk);
+  EXPECT_FALSE(ParseLane("batch", &lane));
+  EXPECT_FALSE(ParseLane("", &lane));
+}
+
+// The bucket takes its clock as a parameter, so refill arithmetic is
+// testable exactly: 10 tokens/sec, burst 5, starting full at t=0.
+TEST(TokenBucketTest, BurstThenRefillMath) {
+  TokenBucket bucket(10.0, 5.0, 0);
+  uint64_t retry_after_ms = 0;
+  EXPECT_TRUE(bucket.TryCharge(5.0, 0, &retry_after_ms));
+  EXPECT_DOUBLE_EQ(bucket.TokensAt(0), 0.0);
+
+  // Empty: one token is 1/10 s away.
+  EXPECT_FALSE(bucket.TryCharge(1.0, 0, &retry_after_ms));
+  EXPECT_EQ(retry_after_ms, 100u);
+
+  // After exactly that wait the same charge succeeds.
+  EXPECT_TRUE(bucket.TryCharge(1.0, 100 * kMs, &retry_after_ms));
+
+  // The bucket never refills past its burst.
+  EXPECT_DOUBLE_EQ(bucket.TokensAt(60 * kSec), 5.0);
+}
+
+// An oversized request (cost > burst) is admitted when the bucket is full
+// and drives it into debt, so it pays the long-run rate instead of being
+// unadmittable forever.
+TEST(TokenBucketTest, OversizedChargeGoesIntoDebt) {
+  TokenBucket bucket(10.0, 5.0, 0);
+  uint64_t retry_after_ms = 0;
+  EXPECT_TRUE(bucket.TryCharge(50.0, 0, &retry_after_ms));
+  EXPECT_DOUBLE_EQ(bucket.TokensAt(0), -45.0);
+
+  // Until the debt is repaid even a single-token charge waits:
+  // (1 - (-45)) / 10 per sec = 4.6 s.
+  EXPECT_FALSE(bucket.TryCharge(1.0, 0, &retry_after_ms));
+  EXPECT_EQ(retry_after_ms, 4600u);
+
+  // Five seconds of refill clears the debt and caps at the burst.
+  EXPECT_DOUBLE_EQ(bucket.TokensAt(5 * kSec + 500 * kMs), 5.0);
+}
+
+TEST(BackoffTest, RetryAfterHintTakesPrecedence) {
+  net::RetryOptions options;
+  options.initial_backoff_ms = 25;
+  options.max_backoff_ms = 2000;
+  // jitter_draw with all-ones mantissa bits: factor rounds to exactly 1.0,
+  // so the delay is the undamped base — the easiest point to pin down.
+  const uint64_t kFullDraw = ~uint64_t{0};
+  // No hint: exponential 25, 50, 100, ... capped at max.
+  EXPECT_EQ(net::BackoffDelayMs(options, 1, 0, kFullDraw), 25u);
+  EXPECT_EQ(net::BackoffDelayMs(options, 2, 0, kFullDraw), 50u);
+  EXPECT_EQ(net::BackoffDelayMs(options, 3, 0, kFullDraw), 100u);
+  EXPECT_LE(net::BackoffDelayMs(options, 30, 0, kFullDraw),
+            options.max_backoff_ms);
+  // A server hint replaces the schedule as the base.
+  EXPECT_EQ(net::BackoffDelayMs(options, 1, 500, kFullDraw), 500u);
+}
+
+TEST(BackoffTest, JitterStaysWithinHalfToFull) {
+  net::RetryOptions options;
+  // Draw 0: factor exactly 0.5. The full draw lands within 1ms of the base.
+  EXPECT_EQ(net::BackoffDelayMs(options, 1, 1000, 0), 500u);
+  for (uint64_t draw : {uint64_t{1}, uint64_t{1} << 40, ~uint64_t{0}}) {
+    const uint64_t delay = net::BackoffDelayMs(options, 1, 1000, draw);
+    EXPECT_GE(delay, 500u);
+    EXPECT_LE(delay, 1000u);
+    // Deterministic: the same draw always produces the same delay.
+    EXPECT_EQ(delay, net::BackoffDelayMs(options, 1, 1000, draw));
+  }
+}
+
+TEST(AdmissionTest, QuotaShedsWholeBatchWithRetryAfter) {
+  Executor executor;  // inline; quotas apply regardless of pool mode
+  AdmissionOptions options;
+  AdmissionController admission(&executor, options);
+  admission.SetQuota("books", 1000.0, 8.0);
+
+  uint64_t retry_after_ms = 0;
+  EXPECT_TRUE(admission
+                  .AdmitBatch("books", Lane::kInteractive, 8, 0,
+                              &retry_after_ms)
+                  .ok());
+  Status shed = admission.AdmitBatch("books", Lane::kInteractive, 8, 0,
+                                     &retry_after_ms);
+  EXPECT_EQ(shed.code(), Status::Code::kUnavailable);
+  EXPECT_GE(retry_after_ms, options.min_retry_after_ms);
+
+  // Collections without a quota are never quota-shed.
+  EXPECT_TRUE(admission
+                  .AdmitBatch("other", Lane::kBulk, 1000, 0, &retry_after_ms)
+                  .ok());
+
+  const AdmissionController::Stats stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.shed_quota, 1u);
+  EXPECT_EQ(stats.shed_deadline, 0u);
+  EXPECT_EQ(stats.lane_admitted[static_cast<size_t>(Lane::kInteractive)], 8u);
+  EXPECT_EQ(stats.lane_shed[static_cast<size_t>(Lane::kInteractive)], 8u);
+  EXPECT_EQ(stats.lane_admitted[static_cast<size_t>(Lane::kBulk)], 1000u);
+
+  EXPECT_TRUE(admission.RemoveQuota("books"));
+  EXPECT_FALSE(admission.RemoveQuota("books"));
+  // Quota gone: the formerly exhausted collection admits freely.
+  EXPECT_TRUE(admission
+                  .AdmitBatch("books", Lane::kInteractive, 64, 0,
+                              &retry_after_ms)
+                  .ok());
+}
+
+// Weighted fair queueing: with one worker pinned, a freshly arrived
+// interactive batch must overtake a bulk batch's deep backlog instead of
+// queueing behind all of it.
+TEST(AdmissionTest, InteractiveOvertakesBulkBacklog) {
+  ExecutorOptions executor_options;
+  executor_options.num_threads = 1;
+  executor_options.queue_capacity = 1024;
+  Executor executor(executor_options);
+  AdmissionOptions options;  // weights 8:1, window 2x1 worker
+  AdmissionController admission(&executor, options);
+
+  // Pin the worker (raw executor submit, outside the admission layer).
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool worker_busy = false;
+  ASSERT_TRUE(executor
+                  .Submit([&](const Executor::TaskContext&) {
+                    std::unique_lock<std::mutex> lock(mu);
+                    worker_busy = true;
+                    cv.notify_all();
+                    cv.wait(lock, [&] { return release; });
+                  })
+                  .ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return worker_busy; });
+  }
+
+  constexpr int kBulk = 32;
+  constexpr int kInteractive = 8;
+  std::mutex order_mu;
+  std::vector<std::string> completion_order;
+  std::atomic<int> done{0};
+  auto record = [&](const char* label) {
+    return [&, label](const Executor::TaskContext&) {
+      {
+        std::lock_guard<std::mutex> lock(order_mu);
+        completion_order.push_back(label);
+      }
+      ++done;
+    };
+  };
+
+  const uint64_t bulk_id = admission.BeginBatch(Lane::kBulk);
+  for (int i = 0; i < kBulk; ++i) {
+    ASSERT_TRUE(admission.Submit(bulk_id, record("bulk"), 0).ok());
+  }
+  const uint64_t interactive_id = admission.BeginBatch(Lane::kInteractive);
+  for (int i = 0; i < kInteractive; ++i) {
+    ASSERT_TRUE(
+        admission.Submit(interactive_id, record("interactive"), 0).ok());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  while (done.load() < kBulk + kInteractive) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  admission.EndBatch(bulk_id);
+  admission.EndBatch(interactive_id);
+  executor.Shutdown(true);
+
+  // Only the small inflight window's worth of bulk work (plus one DRR
+  // round) may finish ahead of the interactive batch.
+  size_t last_interactive = 0;
+  for (size_t i = 0; i < completion_order.size(); ++i) {
+    if (completion_order[i] == "interactive") last_interactive = i;
+  }
+  EXPECT_LT(last_interactive, 16u)
+      << "interactive batch queued behind the bulk backlog";
+  EXPECT_EQ(admission.stats().dispatched,
+            static_cast<uint64_t>(kBulk + kInteractive));
+}
+
+// Deadline-slack shedding: once the EWMA has seen slow queries and a
+// backlog exists, a batch whose deadline is already unreachable is shed at
+// admission instead of expiring query by query in the queue.
+TEST(AdmissionTest, UnreachableDeadlineIsShedAfterWarmup) {
+  ExecutorOptions executor_options;
+  executor_options.num_threads = 1;
+  Executor executor(executor_options);
+  AdmissionOptions options;
+  AdmissionController admission(&executor, options);
+
+  // Cold controller: no samples, never sheds on slack.
+  uint64_t retry_after_ms = 0;
+  EXPECT_EQ(admission.EstimatedBacklogWaitNs(), 0u);
+  EXPECT_TRUE(admission
+                  .AdmitBatch("c", Lane::kInteractive, 1,
+                              MonotonicNowNs() + 1, &retry_after_ms)
+                  .ok());
+
+  // Warm the EWMA with one deliberately slow query.
+  std::atomic<int> done{0};
+  const uint64_t warm_id = admission.BeginBatch(Lane::kInteractive);
+  ASSERT_TRUE(admission
+                  .Submit(warm_id,
+                          [&](const Executor::TaskContext&) {
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(50));
+                            ++done;
+                          },
+                          0)
+                  .ok());
+  while (done.load() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  admission.EndBatch(warm_id);
+
+  // Pin the worker and build a backlog so the slack estimate is real.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ASSERT_TRUE(executor
+                  .Submit([&](const Executor::TaskContext&) {
+                    std::unique_lock<std::mutex> lock(mu);
+                    cv.wait(lock, [&] { return release; });
+                  })
+                  .ok());
+  const uint64_t backlog_id = admission.BeginBatch(Lane::kBulk);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(admission
+                    .Submit(backlog_id,
+                            [&](const Executor::TaskContext&) { ++done; }, 0)
+                    .ok());
+  }
+  EXPECT_GT(admission.EstimatedBacklogWaitNs(), 0u);
+
+  // ~50ms EWMA x 5 backlogged queries: a 1ns-slack deadline cannot be met.
+  Status shed = admission.AdmitBatch("c", Lane::kInteractive, 4,
+                                     MonotonicNowNs() + 1, &retry_after_ms);
+  EXPECT_EQ(shed.code(), Status::Code::kUnavailable);
+  EXPECT_GE(retry_after_ms, options.min_retry_after_ms);
+  EXPECT_EQ(admission.stats().shed_deadline, 1u);
+
+  // A deadline-free batch is never slack-shed, whatever the backlog.
+  EXPECT_TRUE(
+      admission.AdmitBatch("c", Lane::kBulk, 4, 0, &retry_after_ms).ok());
+  // And a generous deadline clears the estimate.
+  EXPECT_TRUE(admission
+                  .AdmitBatch("c", Lane::kInteractive, 4,
+                              MonotonicNowNs() + 60 * kSec, &retry_after_ms)
+                  .ok());
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  while (done.load() < 5) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  admission.EndBatch(backlog_id);
+  executor.Shutdown(true);
+}
+
+// Shutdown with work still queued in the fair queue: every submitted task
+// is invoked exactly once, with `cancelled` set, so completion-counting
+// callers never hang.
+TEST(AdmissionTest, ShutdownCancelsQueuedTasksExactlyOnce) {
+  ExecutorOptions executor_options;
+  executor_options.num_threads = 1;
+  Executor executor(executor_options);
+  AdmissionController admission(&executor, AdmissionOptions{});
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool worker_busy = false;
+  ASSERT_TRUE(executor
+                  .Submit([&](const Executor::TaskContext&) {
+                    std::unique_lock<std::mutex> lock(mu);
+                    worker_busy = true;
+                    cv.notify_all();
+                    cv.wait(lock, [&] { return release; });
+                  })
+                  .ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return worker_busy; });
+  }
+
+  std::atomic<int> invoked{0};
+  std::atomic<int> cancelled{0};
+  const uint64_t id = admission.BeginBatch(Lane::kBulk);
+  constexpr int kTasks = 64;
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_TRUE(admission
+                    .Submit(id,
+                            [&](const Executor::TaskContext& ctx) {
+                              ++invoked;
+                              if (ctx.cancelled) ++cancelled;
+                            },
+                            0)
+                    .ok());
+  }
+  EXPECT_GT(admission.pending(), 0u);
+  admission.Shutdown();
+  EXPECT_EQ(admission.pending(), 0u);
+
+  // Post-shutdown traffic is refused, not queued.
+  uint64_t retry_after_ms = 0;
+  EXPECT_EQ(admission.AdmitBatch("c", Lane::kBulk, 1, 0, &retry_after_ms)
+                .code(),
+            Status::Code::kUnsupported);
+  EXPECT_EQ(admission
+                .Submit(id, [](const Executor::TaskContext&) {}, 0)
+                .code(),
+            Status::Code::kUnsupported);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  executor.Shutdown(true);
+
+  // The inflight window's tasks ran normally; everything still queued in
+  // the controller was invoked with `cancelled` set. Exactly once each.
+  EXPECT_EQ(invoked.load(), kTasks);
+  EXPECT_GT(cancelled.load(), 0);
+}
+
+// max_pending caps the fair queue the same way queue_capacity caps the
+// executor: ResourceExhausted, caller flow-controls.
+TEST(AdmissionTest, PendingCapReturnsResourceExhausted) {
+  ExecutorOptions executor_options;
+  executor_options.num_threads = 1;
+  Executor executor(executor_options);
+  AdmissionOptions options;
+  options.max_pending = 4;
+  AdmissionController admission(&executor, options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool worker_busy = false;
+  ASSERT_TRUE(executor
+                  .Submit([&](const Executor::TaskContext&) {
+                    std::unique_lock<std::mutex> lock(mu);
+                    worker_busy = true;
+                    cv.notify_all();
+                    cv.wait(lock, [&] { return release; });
+                  })
+                  .ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return worker_busy; });
+  }
+
+  std::atomic<int> done{0};
+  auto task = [&](const Executor::TaskContext&) { ++done; };
+  const uint64_t id = admission.BeginBatch(Lane::kBulk);
+  // Window (2) drains into the executor; 4 more fill max_pending.
+  int accepted = 0;
+  Status status = Status::OK();
+  while (status.ok()) {
+    status = admission.Submit(id, task, 0);
+    if (status.ok()) ++accepted;
+  }
+  EXPECT_EQ(status.code(), Status::Code::kResourceExhausted);
+  EXPECT_EQ(admission.pending(), options.max_pending);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  while (done.load() < accepted) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  admission.EndBatch(id);
+  executor.Shutdown(true);
+  EXPECT_EQ(done.load(), accepted);
+}
+
+}  // namespace
+}  // namespace xcluster

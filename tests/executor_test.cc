@@ -255,5 +255,58 @@ TEST(ExecutorTest, MpmcStress) {
   EXPECT_EQ(stats.executed, static_cast<uint64_t>(accepted.load()));
 }
 
+// A reader hammering stats() while producers submit tasks (some with
+// already-expired deadlines) must only ever observe consistent snapshots:
+// the documented invariants hold in every read, and counters are monotone
+// across consecutive reads.
+TEST(ExecutorTest, StatsSnapshotsAreConsistentAndMonotone) {
+  ExecutorOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 64;
+  Executor executor(options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread reader([&] {
+    Executor::Stats prev;
+    while (!stop.load(std::memory_order_acquire)) {
+      const Executor::Stats stats = executor.stats();
+      if (stats.executed > stats.submitted) ++violations;
+      if (stats.expired > stats.executed) ++violations;
+      if (stats.cancelled > stats.executed) ++violations;
+      if (stats.submitted < prev.submitted || stats.executed < prev.executed ||
+          stats.expired < prev.expired || stats.rejected < prev.rejected ||
+          stats.cancelled < prev.cancelled) {
+        ++violations;
+      }
+      prev = stats;
+    }
+  });
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Every third task carries an elapsed deadline so expired_ moves.
+        const uint64_t deadline =
+            (i % 3 == 0) ? MonotonicNowNs() - 1 : uint64_t{0};
+        (void)executor.Submit([](const Executor::TaskContext&) {}, deadline);
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  executor.Shutdown(true);
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  const Executor::Stats stats = executor.stats();
+  EXPECT_EQ(stats.executed, stats.submitted);
+  EXPECT_GT(stats.expired, 0u);
+}
+
 }  // namespace
 }  // namespace xcluster

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "service/service.h"
@@ -259,6 +262,108 @@ TEST(ServiceHarnessTest, DeadlineOptionParsesAndApplies) {
                                              "quit\n");
   ASSERT_EQ(lines.size(), 4u);
   EXPECT_TRUE(StartsWith(lines[0], "ok batch n=2 ok=2 err=0")) << lines[0];
+}
+
+TEST(ServiceHarnessTest, QuotaCommandInstallsAndClearsBuckets) {
+  EstimationService service;
+  service.store().Install("books", MakeFixture());
+
+  std::vector<std::string> lines = RunScript(
+      &service,
+      "quota books 1 4\n"
+      "batch books 2\n"
+      "/A\n"
+      "/A/B\n"
+      "batch books 3\n"  // bucket has 2 of 4 tokens left: whole batch shed
+      "/A\n"
+      "/A\n"
+      "/A\n"
+      "quota books off\n"
+      "quota books off\n"
+      "quota books -5 2\n"
+      "quota books\n"
+      "stats\n"
+      "quit\n");
+  ASSERT_EQ(lines.size(), 14u);
+  EXPECT_EQ(lines[0], "ok quota books rate=1 burst=4");
+  EXPECT_TRUE(StartsWith(lines[1], "ok batch n=2 ok=2 err=0")) << lines[1];
+  // The shed batch still answers one line per query, all Unavailable.
+  EXPECT_TRUE(StartsWith(lines[4], "ok batch n=3 ok=0 err=3")) << lines[4];
+  EXPECT_TRUE(StartsWith(lines[5], "0 err Unavailable")) << lines[5];
+  EXPECT_EQ(lines[8], "ok quota books off");
+  EXPECT_EQ(lines[9], "err NotFound: no quota on 'books'");
+  EXPECT_EQ(lines[10], "err quota needs positive numeric <rate_qps> <burst>");
+  EXPECT_EQ(lines[11],
+            "err quota needs <name> <rate_qps> <burst> (or <name> off)");
+  EXPECT_TRUE(lines[12].find(" admitted=") != std::string::npos) << lines[12];
+  EXPECT_TRUE(lines[12].find(" shed_quota=1") != std::string::npos)
+      << lines[12];
+  EXPECT_TRUE(lines[12].find(" shed_deadline=0") != std::string::npos)
+      << lines[12];
+  EXPECT_TRUE(lines[12].find(" admission_pending=0") != std::string::npos)
+      << lines[12];
+}
+
+TEST(ServiceHarnessTest, BatchPriorityOptionParses) {
+  EstimationService service;
+  service.store().Install("books", MakeFixture());
+
+  std::vector<std::string> lines = RunScript(&service,
+                                             "batch books 1 priority=bulk\n"
+                                             "/A\n"
+                                             "batch books 1 priority=nope\n"
+                                             "quit\n");
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_TRUE(StartsWith(lines[0], "ok batch n=1 ok=1 err=0")) << lines[0];
+  EXPECT_EQ(lines[2], "err bad priority 'nope' (interactive|bulk)");
+  const AdmissionController::Stats stats = service.admission().stats();
+  EXPECT_EQ(stats.lane_admitted[static_cast<size_t>(Lane::kBulk)], 1u);
+}
+
+// `stats` raced against concurrent load/drop churn and batch traffic must
+// keep answering well-formed lines (run under TSan in CI: this is the
+// torn-read probe for the stats plumbing end to end).
+TEST(ServiceHarnessTest, StatsStaysConsistentUnderConcurrentChurn) {
+  const std::string path = ::testing::TempDir() + "/harness_churn.xcs";
+  ASSERT_TRUE(MakeFixture().Save(path).ok());
+
+  ServiceOptions options;
+  options.executor.num_threads = 2;
+  EstimationService service(options);
+  service.store().Install("books", MakeFixture());
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)service.store().LoadFile("churn", path);
+      service.store().Remove("churn");
+    }
+  });
+  std::thread traffic([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)service.EstimateBatch("books", {"/A", "/A/B"}, BatchOptions{});
+    }
+  });
+
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::string> lines = RunScript(&service, "stats\nquit\n");
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_TRUE(StartsWith(lines[0], "ok stats synopses=")) << lines[0];
+    // Executed never outruns submitted in any observed snapshot.
+    const size_t sub_pos = lines[0].find(" submitted=");
+    const size_t exe_pos = lines[0].find(" executed=");
+    ASSERT_NE(sub_pos, std::string::npos);
+    ASSERT_NE(exe_pos, std::string::npos);
+    const uint64_t submitted =
+        std::strtoull(lines[0].c_str() + sub_pos + 11, nullptr, 10);
+    const uint64_t executed =
+        std::strtoull(lines[0].c_str() + exe_pos + 10, nullptr, 10);
+    EXPECT_LE(executed, submitted) << lines[0];
+  }
+  stop.store(true, std::memory_order_release);
+  churn.join();
+  traffic.join();
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -21,9 +21,12 @@
 //
 //   xclusterctl serve --stdin [--workers N] [--queue N]
 //               [--preload name=f.xcs ...] [--reach-cache-capacity N]
-//               [--plan-cache-capacity N]
+//               [--plan-cache-capacity N] [--quota name=rate:burst,...]
+//               [--lane-weights I:B]
 //       Runs the in-process estimation service on a line-oriented
 //       stdin/stdout protocol (see docs/SERVING.md for the grammar).
+//       --quota installs per-collection admission token buckets;
+//       --lane-weights tunes the interactive:bulk fair-queueing shares.
 //
 //   xclusterctl serve --listen host:port [--stdin] [--max-connections N]
 //               [--deadline-us N] [--drain-ms N] [...shared flags above]
@@ -36,8 +39,11 @@
 //   xclusterctl remote <estimate|batch|load|stats> --connect host:port ...
 //       Client for a `serve --listen` daemon: estimate --name n --query q;
 //       batch --name n --queries f.txt [--deadline-us N] [--explain]
-//       (ships the whole file as one packed frame); load --name n
-//       --path f.xcs; stats.
+//       [--priority interactive|bulk] (ships the whole file as one packed
+//       frame); load --name n --path f.xcs; stats. Shared client flags:
+//       --timeout-ms N, --connect-timeout-ms N, and --retries N (bounded
+//       exponential-backoff retry of admission sheds and capacity
+//       rejections, honoring the server's retry-after hint).
 //
 //   xclusterctl inspect --synopsis synopsis.xcs [--dump]
 //       Prints size/cluster statistics (and optionally the clustering).
@@ -62,6 +68,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -369,7 +376,49 @@ int Serve(const Args& args) {
   options.plan_cache_capacity = static_cast<size_t>(args.GetInt(
       "plan-cache-capacity",
       static_cast<int64_t>(options.plan_cache_capacity)));
+  // --lane-weights I:B — weighted-fair-queueing shares for the interactive
+  // and bulk admission lanes (default 8:1).
+  const std::string lane_weights = args.Get("lane-weights");
+  if (!lane_weights.empty()) {
+    const size_t colon = lane_weights.find(':');
+    char* end = nullptr;
+    const long interactive =
+        std::strtol(lane_weights.c_str(), &end, 10);
+    long bulk = 0;
+    if (colon != std::string::npos) {
+      bulk = std::strtol(lane_weights.c_str() + colon + 1, &end, 10);
+    }
+    if (colon == std::string::npos || interactive <= 0 || bulk <= 0) {
+      return Fail("--lane-weights expects I:B with positive integers, got '" +
+                  lane_weights + "'");
+    }
+    options.admission.lane_weights[static_cast<size_t>(Lane::kInteractive)] =
+        static_cast<uint32_t>(interactive);
+    options.admission.lane_weights[static_cast<size_t>(Lane::kBulk)] =
+        static_cast<uint32_t>(bulk);
+  }
   EstimationService service(options);
+
+  // --quota name=rate:burst[,name=rate:burst...]: per-collection admission
+  // token buckets (queries/sec and burst size), installed before serving.
+  std::string quota = args.Get("quota");
+  while (!quota.empty()) {
+    const size_t comma = quota.find(',');
+    const std::string spec = quota.substr(0, comma);
+    quota = comma == std::string::npos ? "" : quota.substr(comma + 1);
+    const size_t eq = spec.find('=');
+    const size_t colon = spec.find(':', eq == std::string::npos ? 0 : eq);
+    if (eq == std::string::npos || colon == std::string::npos) {
+      return Fail("--quota expects name=rate:burst, got '" + spec + "'");
+    }
+    char* end = nullptr;
+    const double rate = std::strtod(spec.c_str() + eq + 1, &end);
+    const double burst = std::strtod(spec.c_str() + colon + 1, &end);
+    if (!(rate > 0) || !(burst > 0)) {
+      return Fail("--quota " + spec + ": rate and burst must be positive");
+    }
+    service.admission().SetQuota(spec.substr(0, eq), rate, burst);
+  }
 
   // --preload name=path[,name=path...]: install synopses before serving.
   std::string preload = args.Get("preload");
@@ -450,7 +499,14 @@ int Remote(const std::string& action, const Args& args) {
   net::NetClientOptions client_options;
   client_options.recv_timeout_ms =
       static_cast<uint64_t>(args.GetInt("timeout-ms", 30000));
-  Result<net::NetClient> client = net::NetClient::Connect(
+  client_options.connect_timeout_ms = static_cast<uint64_t>(args.GetInt(
+      "connect-timeout-ms",
+      static_cast<int64_t>(client_options.connect_timeout_ms)));
+  // --retries N: total attempts for retryable (Unavailable) refusals —
+  // connection-capacity rejections at connect and admission sheds on batch.
+  client_options.retry.max_attempts =
+      static_cast<int>(args.GetInt("retries", 1));
+  Result<net::NetClient> client = net::NetClient::ConnectWithRetry(
       host_port.value().host, host_port.value().port, client_options);
   if (!client.ok()) {
     return Fail("connect " + target + ": " + client.status().ToString());
@@ -480,9 +536,23 @@ int Remote(const std::string& action, const Args& args) {
     batch_options.explain = args.Has("explain");
     batch_options.deadline_ns =
         static_cast<uint64_t>(args.GetInt("deadline-us", 0)) * 1000;
+    const std::string priority = args.Get("priority", "interactive");
+    if (!ParseLane(priority, &batch_options.lane)) {
+      return Fail("unknown --priority '" + priority +
+                  "' (interactive|bulk)");
+    }
     Result<net::BatchReplyFrame> reply =
         client.value().Batch(name, queries, batch_options);
-    if (!reply.ok()) return Fail(reply.status().ToString());
+    if (!reply.ok()) {
+      if (reply.status().code() == Status::Code::kUnavailable) {
+        return Fail(reply.status().ToString() + " (after " +
+                    std::to_string(client.value().last_attempts()) +
+                    " attempts; retry_after_ms=" +
+                    std::to_string(client.value().last_retry_after_ms()) +
+                    ")");
+      }
+      return Fail(reply.status().ToString());
+    }
     std::printf("%s",
                 net::FormatBatchReply(reply.value(), batch_options.explain)
                     .c_str());
@@ -657,13 +727,17 @@ int Usage() {
       "           (or --queries f.txt [--workers N] for a shared-load batch)\n"
       "  serve    --stdin [--workers N] [--queue N] [--preload name=f.xcs]\n"
       "           [--reach-cache-capacity N] [--plan-cache-capacity N]\n"
+      "           [--quota name=rate:burst,...] [--lane-weights I:B]\n"
       "           [--listen host:port [--max-connections N]\n"
       "            [--deadline-us N] [--drain-ms N]]\n"
       "  remote   estimate --connect host:port --name n --query q\n"
       "  remote   batch    --connect host:port --name n --queries f.txt\n"
       "           [--deadline-us N] [--explain]\n"
+      "           [--priority interactive|bulk]\n"
       "  remote   load     --connect host:port --name n --path f.xcs\n"
       "  remote   stats    --connect host:port\n"
+      "  remote flags: [--timeout-ms N] [--connect-timeout-ms N]\n"
+      "           [--retries N]\n"
       "  inspect  --synopsis f.xcs [--detail] [--dump]\n"
       "  workload --dataset imdb|xmark [--scale S] [--seed N]\n"
       "           [--queries N] [--negative] --out f.tsv\n"
