@@ -12,6 +12,12 @@
 //
 // Defaults: 10000 queries per batch, XMark scale 0.1, connections 1 and 8,
 // 2 rounds per connection, 8 executor workers.
+//
+// A final run repeats the widest fan-out with a 64Ki ring recorder
+// installed and every batch carrying a sampled trace context — the
+// always-on daemon tracing configuration — so BENCH_net.json records the
+// traced loopback throughput, the v3 trace-id echo count, and the number
+// of spans the ring absorbed.
 
 #include <chrono>
 #include <cstdio>
@@ -24,6 +30,7 @@
 #include "common/io/file_io.h"
 #include "common/json.h"
 #include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 #include "data/xmark.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -61,13 +68,15 @@ struct ConnRun {
   size_t ok = 0;
   size_t failed = 0;
   size_t errors = 0;  ///< transport-level failures (should stay 0)
+  size_t trace_echoes = 0;  ///< batches whose reply echoed a trace id
   double wall_ms = 0.0;
   double qps = 0.0;
   double batch_ms_avg = 0.0;
 };
 
 ConnRun RunConnections(uint16_t port, const std::vector<std::string>& queries,
-                       size_t connections, size_t rounds) {
+                       size_t connections, size_t rounds,
+                       bool traced = false) {
   ConnRun run;
   run.connections = connections;
   std::vector<std::thread> threads;
@@ -84,8 +93,13 @@ ConnRun RunConnections(uint16_t port, const std::vector<std::string>& queries,
         return;
       }
       for (size_t round = 0; round < rounds; ++round) {
+        BatchOptions options;
+        if (traced) {
+          options.trace.trace_id = telemetry::GenerateTraceId();
+          options.trace.sampled = true;
+        }
         Result<net::BatchReplyFrame> reply =
-            client.value().Batch("xmark", queries, {});
+            client.value().Batch("xmark", queries, options);
         if (!reply.ok()) {
           ++mine.errors;
           return;
@@ -94,6 +108,7 @@ ConnRun RunConnections(uint16_t port, const std::vector<std::string>& queries,
         mine.queries_total += reply.value().items.size();
         mine.ok += reply.value().stats.ok;
         mine.failed += reply.value().stats.failed;
+        if (client.value().last_trace_id() != 0) ++mine.trace_echoes;
       }
       (void)client.value().Close();
     });
@@ -107,6 +122,7 @@ ConnRun RunConnections(uint16_t port, const std::vector<std::string>& queries,
     run.ok += partial.ok;
     run.failed += partial.failed;
     run.errors += partial.errors;
+    run.trace_echoes += partial.trace_echoes;
   }
   run.wall_ms =
       std::chrono::duration_cast<std::chrono::microseconds>(end - start)
@@ -220,6 +236,11 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
+  // Declared while the server is up but destroyed only after Stop() joins
+  // its threads: a server-side span that loaded the recorder pointer just
+  // before the traced block uninstalls it must still have a live ring.
+  telemetry::TraceRecorder ring(65536);
+
   JsonValue entries = JsonValue::Array();
   {
     JsonValue entry = JsonValue::Object();
@@ -249,6 +270,39 @@ int Main(int argc, char** argv) {
                  run.errors);
     if (run.errors > 0) rc = 1;
     entries.items().push_back(ConnEntry(run));
+  }
+
+  // Ring-traced repeat of the widest fan-out: every batch samples its
+  // trace, spans land in a bounded ring, and every v3 reply must echo the
+  // id back.
+  {
+    const size_t connections = config.connections.back();
+    std::fprintf(stderr,
+                 "bench_net: traced %zu connection(s) x %zu round(s) ...\n",
+                 connections, config.rounds);
+    telemetry::TraceRecorder* previous = telemetry::GlobalTraceRecorder();
+    telemetry::InstallGlobalTraceRecorder(&ring);
+    ConnRun run = RunConnections(server.port(), queries, connections,
+                                 config.rounds, /*traced=*/true);
+    telemetry::InstallGlobalTraceRecorder(previous);
+    std::fprintf(stderr,
+                 "  qps=%.0f wall_ms=%.1f batches=%zu trace_echoes=%zu "
+                 "spans=%llu transport_errors=%zu\n",
+                 run.qps, run.wall_ms, run.batches, run.trace_echoes,
+                 static_cast<unsigned long long>(ring.total_added()),
+                 run.errors);
+    if (run.errors > 0 || run.trace_echoes != run.batches) {
+      std::fprintf(stderr, "bench_net: traced run lost replies or echoes\n");
+      rc = 1;
+    }
+    JsonValue entry = ConnEntry(run);
+    entry.members()["name"] = JsonValue::String(
+        "net_batch_traced/connections:" + std::to_string(connections));
+    entry.members()["trace_echoes"] =
+        JsonValue::Number(static_cast<double>(run.trace_echoes));
+    entry.members()["spans_recorded"] =
+        JsonValue::Number(static_cast<double>(ring.total_added()));
+    entries.items().push_back(std::move(entry));
   }
 
   server.Stop();

@@ -11,6 +11,12 @@
 // Defaults: 10000 queries, XMark scale 0.15, worker counts 1 and 8.
 // Throughput is reported honestly from wall clock — on a single-core
 // host the speedup hovers near 1; the >=3x target needs real cores.
+//
+// The run ends with a trace-overhead A/B/A: baseline, then the same pool
+// with a 64Ki ring recorder installed and every batch sampled (the
+// always-on daemon tracing configuration), then a second baseline. The
+// traced run must hold >= 97% of the slower baseline's throughput or the
+// bench exits nonzero — always-on tracing is budgeted at <3%.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +27,7 @@
 #include "common/io/file_io.h"
 #include "common/json.h"
 #include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 #include "data/xmark.h"
 #include "service/service.h"
 #include "synopsis/reference.h"
@@ -55,7 +62,8 @@ struct PoolRun {
 };
 
 PoolRun RunPool(const XCluster& synopsis,
-                const std::vector<std::string>& queries, size_t workers) {
+                const std::vector<std::string>& queries, size_t workers,
+                bool traced = false) {
   ServiceOptions options;
   options.executor.num_threads = workers;
   options.executor.queue_capacity = 4096;
@@ -69,10 +77,16 @@ PoolRun RunPool(const XCluster& synopsis,
                                       std::min<size_t>(queries.size(), 256));
   service.EstimateBatch("xmark", warmup);
 
+  BatchOptions batch_options;
+  if (traced) {
+    batch_options.trace.trace_id = telemetry::GenerateTraceId();
+    batch_options.trace.sampled = true;
+  }
+
   PoolRun run;
   run.workers = workers;
   run.queries = queries.size();
-  BatchResult batch = service.EstimateBatch("xmark", queries);
+  BatchResult batch = service.EstimateBatch("xmark", queries, batch_options);
   run.stats = batch.stats;
   if (batch.stats.wall_ns > 0) {
     run.qps = static_cast<double>(queries.size()) * 1e9 /
@@ -193,6 +207,56 @@ int Main(int argc, char** argv) {
     entries.items().push_back(std::move(entry));
   }
 
+  // Trace-overhead A/B/A at the widest pool: baseline, ring-traced with
+  // every batch sampled, baseline again. Gating against the slower of the
+  // two baselines absorbs run-to-run drift on a shared host.
+  int rc = 0;
+  {
+    const size_t workers = config.workers.back();
+    std::fprintf(stderr, "bench_service: trace overhead A/B/A, workers=%zu "
+                 "...\n", workers);
+    PoolRun baseline_a = RunPool(synopsis, queries, workers);
+    telemetry::TraceRecorder ring(65536);
+    telemetry::TraceRecorder* previous = telemetry::GlobalTraceRecorder();
+    telemetry::InstallGlobalTraceRecorder(&ring);
+    PoolRun traced = RunPool(synopsis, queries, workers, /*traced=*/true);
+    telemetry::InstallGlobalTraceRecorder(previous);
+    PoolRun baseline_b = RunPool(synopsis, queries, workers);
+
+    const double floor_qps =
+        0.97 * std::min(baseline_a.qps, baseline_b.qps);
+    const double overhead_pct =
+        std::min(baseline_a.qps, baseline_b.qps) > 0.0
+            ? 100.0 * (1.0 - traced.qps /
+                                 std::min(baseline_a.qps, baseline_b.qps))
+            : 0.0;
+    std::fprintf(stderr,
+                 "  baseline_a=%.0f traced=%.0f baseline_b=%.0f qps "
+                 "(overhead %.2f%%, spans=%llu) -> %s\n",
+                 baseline_a.qps, traced.qps, baseline_b.qps, overhead_pct,
+                 static_cast<unsigned long long>(ring.total_added()),
+                 traced.qps >= floor_qps ? "ok" : "FAIL");
+    if (traced.qps < floor_qps) {
+      std::fprintf(stderr,
+                   "bench_service: ring tracing costs more than 3%% "
+                   "(%.0f < %.0f qps)\n", traced.qps, floor_qps);
+      rc = 1;
+    }
+
+    JsonValue entry = JsonValue::Object();
+    entry.members()["name"] = JsonValue::String(
+        "trace_overhead/workers:" + std::to_string(workers));
+    entry.members()["baseline_a_qps"] = JsonValue::Number(baseline_a.qps);
+    entry.members()["traced_qps"] = JsonValue::Number(traced.qps);
+    entry.members()["baseline_b_qps"] = JsonValue::Number(baseline_b.qps);
+    entry.members()["overhead_pct"] = JsonValue::Number(overhead_pct);
+    entry.members()["spans_recorded"] =
+        JsonValue::Number(static_cast<double>(ring.total_added()));
+    entry.members()["gate_pass"] =
+        JsonValue::Number(traced.qps >= floor_qps ? 1.0 : 0.0);
+    entries.items().push_back(std::move(entry));
+  }
+
   JsonValue report = JsonValue::Object();
   report.members()["benchmark"] = JsonValue::String("service");
   report.members()["entries"] = std::move(entries);
@@ -210,7 +274,7 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr, "wrote %s\n", path.c_str());
-  return 0;
+  return rc;
 }
 
 }  // namespace

@@ -9,7 +9,11 @@
 #      against an unlimited one: every interactive batch must succeed while
 #      the admission stats report bulk sheds;
 #   3. protocol garbage  — raw junk must not take the daemon down;
-#   4. graceful drain    — SIGTERM exits 0 with nothing left behind;
+#   4. request tracing   — a traced batch's id must surface in the flight
+#      recorder (`remote flight`), SIGQUIT must write valid flight + Chrome
+#      trace dumps without stopping the daemon, and `remote stats --prom`
+#      and the per-lane latency fields must answer;
+#   5. graceful drain    — SIGTERM exits 0 with nothing left behind;
 # and finally validates the exported metrics snapshot, requiring the
 # service.admission.* counters the scenarios must have moved.
 #
@@ -78,7 +82,9 @@ printf '//book\n//book[/price]\n//book\n//book\n//book\n//book\n//book\n//book\n
 
 start_daemon --workers 8 \
   --preload books="$WORKDIR/books.xcs",bulkdata="$WORKDIR/books.xcs" \
-  --quota bulkdata=50:8 --metrics-json "$WORKDIR/metrics.json"
+  --quota bulkdata=50:8 --metrics-json "$WORKDIR/metrics.json" \
+  --trace-sample 1.0 --dump-prefix "$WORKDIR/dump" \
+  --slow-query-ms 1 --slow-query-log "$WORKDIR/slow.jsonl"
 echo "--- daemon on port $PORT ---"
 
 # 2. Quota exhaustion: the first 8-query batch drains the bucket; the
@@ -167,7 +173,82 @@ kill -0 "$DAEMON_PID" || fail "daemon died on protocol garbage"
   --name books --query '//book' >/dev/null \
   || fail "daemon unhealthy after protocol garbage"
 
-# 5. Graceful drain, then the admission counters must be in the exported
+# 5. Request tracing: a traced batch's id must surface in the flight
+# recorder and in the SIGQUIT debug dump, and the dump must not stop the
+# daemon. The flood above ran with --trace-sample 1.0, so the ring also
+# holds admission/executor/estimation spans for every batch.
+"$XCLUSTERCTL" remote batch --connect 127.0.0.1:"$PORT" \
+  --name books --queries "$WORKDIR/queries.txt" --trace \
+  > "$WORKDIR/traced.txt" \
+  || fail "traced batch refused: $(cat "$WORKDIR/traced.txt")"
+TRACE_ID="$(sed -n 's/^trace_id=\([0-9a-f]\{16\}\)$/\1/p' "$WORKDIR/traced.txt")"
+[ -n "$TRACE_ID" ] \
+  || fail "batch --trace printed no trace id: $(cat "$WORKDIR/traced.txt")"
+
+# The flight scrape is the same JSON document the SIGQUIT dump writes, so
+# the schema checker validates it wholesale (per-record lanes, statuses,
+# queue/service breakdown) and pins the traced batch's id.
+"$XCLUSTERCTL" remote flight --connect 127.0.0.1:"$PORT" \
+  > "$WORKDIR/flight.json" || fail "remote flight refused"
+python3 scripts/check_metrics_schema.py "$WORKDIR/flight.json" \
+  --require-trace-id "$TRACE_ID" \
+  || fail "live flight scrape lost trace $TRACE_ID"
+
+# Live scrapes: Prometheus text must carry metric metadata, and the
+# per-lane latency fields must have counted the interactive traffic above.
+"$XCLUSTERCTL" remote stats --prom --connect 127.0.0.1:"$PORT" \
+  > "$WORKDIR/prom.txt" || fail "remote stats --prom refused"
+grep -q '^# TYPE ' "$WORKDIR/prom.txt" \
+  || fail "Prometheus scrape has no TYPE metadata: $(head -3 "$WORKDIR/prom.txt")"
+[ "$(stats_field lane_interactive_n)" -gt 0 ] \
+  || fail "stats lost the per-lane interactive latency counter"
+[ "$(stats_field lane_bulk_n)" -gt 0 ] \
+  || fail "stats lost the per-lane bulk latency counter"
+
+# SIGQUIT writes flight + Chrome-trace dumps while the daemon keeps serving.
+kill -QUIT "$DAEMON_PID"
+for _ in $(seq 100); do
+  [ "$(grep -c '^dump: wrote ' "$WORKDIR/daemon.err" 2>/dev/null)" -ge 2 ] \
+    && break
+  sleep 0.1
+done
+FLIGHT_DUMP="$(ls "$WORKDIR"/dump-*.flight.json 2>/dev/null | head -1)"
+TRACE_DUMP="$(ls "$WORKDIR"/dump-*.trace.json 2>/dev/null | head -1)"
+[ -n "$FLIGHT_DUMP" ] || fail "SIGQUIT wrote no flight dump: \
+$(cat "$WORKDIR/daemon.err")"
+[ -n "$TRACE_DUMP" ] || fail "SIGQUIT wrote no trace dump"
+kill -0 "$DAEMON_PID" || fail "daemon died while writing the debug dump"
+"$XCLUSTERCTL" remote estimate --connect 127.0.0.1:"$PORT" \
+  --name books --query '//book' >/dev/null \
+  || fail "daemon unhealthy after the debug dump"
+
+# Span recording compiles out under -DXCLUSTER_TELEMETRY=OFF; flight
+# records are product behavior and must validate either way.
+if python3 -c \
+    'import json,sys; sys.exit(0 if json.load(open(sys.argv[1]))["traceEvents"] else 1)' \
+    "$TRACE_DUMP"; then
+  python3 scripts/check_metrics_schema.py "$FLIGHT_DUMP" \
+    --trace "$TRACE_DUMP" --require-trace-id "$TRACE_ID" \
+    || fail "SIGQUIT dump schema check failed"
+else
+  echo "chaos_smoke: telemetry compiled out; skipping span dump check"
+  python3 scripts/check_metrics_schema.py "$FLIGHT_DUMP" \
+    --require-trace-id "$TRACE_ID" \
+    || fail "flight dump schema check failed for $FLIGHT_DUMP"
+fi
+
+# Slow-query log: optional at a 1ms threshold, but if anything was logged
+# every line must be a JSON object naming its trace and lane.
+if [ -s "$WORKDIR/slow.jsonl" ]; then
+  python3 - "$WORKDIR/slow.jsonl" <<'PY' || fail "slow-query log is not JSONL"
+import json, sys
+for line in open(sys.argv[1]):
+    record = json.loads(line)
+    assert "trace_id" in record and "lane" in record and "wall_us" in record
+PY
+fi
+
+# 6. Graceful drain, then the admission counters must be in the exported
 # snapshot: admitted and quota-shed traffic both happened above.
 stop_daemon
 if python3 -c \

@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
 """Validate a metrics snapshot (and optionally a trace file) exported by
-xclusterctl, or a BENCH_<name>.json result file written by the benches.
+xclusterctl, a BENCH_<name>.json result file written by the benches, or a
+flight-recorder dump (SIGQUIT / `remote flight`).
 
 Usage:
-    check_metrics_schema.py METRICS_OR_BENCH_JSON [--trace TRACE_JSON]
+    check_metrics_schema.py METRICS_BENCH_OR_FLIGHT_JSON
+                            [--trace TRACE_JSON]
                             [--require-counter NAME]...
+                            [--require-histogram NAME]...
+                            [--require-trace-id HEXID]
 
 Plain metrics snapshots are checked against the schema documented in
 docs/OBSERVABILITY.md: the build-phase counters a real build must produce
@@ -24,9 +28,17 @@ structurally valid embedded metrics snapshot; the "service" bench must
 additionally show serving activity (non-zero service.requests.ok and a
 populated service.request_latency_ns histogram).
 
+Flight dumps (auto-detected by their top-level "flight_records" key) are
+checked record by record: hex trace ids, known lanes and statuses, and
+counts that add up. --require-trace-id additionally demands a record with
+that exact trace id — the chaos-smoke uses it to prove a traced request
+landed in the ring.
+
 With --trace, also checks the trace file is well-formed Chrome trace
-format JSON with at least one complete event. Exits non-zero with a
-diagnostic on the first violation.
+format JSON with at least one complete event, timestamps sorted
+non-decreasing (the recorder serializes in stable start order), and any
+"args" trace ids well-formed. Exits non-zero with a diagnostic on the
+first violation.
 """
 
 import argparse
@@ -127,13 +139,15 @@ def require_populated_histogram(snapshot, name):
         fail(f"required histogram '{name}' has no samples")
 
 
-def check_metrics(path, require_counters=()):
+def check_metrics(path, require_counters=(), require_histograms=()):
     with open(path, "r", encoding="utf-8") as handle:
         snapshot = json.load(handle)
     check_snapshot_shape(snapshot)
-    if require_counters:
+    if require_counters or require_histograms:
         for name in require_counters:
             require_nonzero_counter(snapshot, name)
+        for name in require_histograms:
+            require_populated_histogram(snapshot, name)
     else:
         for name in REQUIRED_NONZERO_COUNTERS:
             require_nonzero_counter(snapshot, name)
@@ -173,7 +187,7 @@ BENCH_REQUIRED = {
 }
 
 
-def check_bench(report, require_counters=()):
+def check_bench(report, require_counters=(), require_histograms=()):
     entries = report.get("entries")
     if not isinstance(entries, list) or not entries:
         fail("bench: 'entries' must be a non-empty array")
@@ -202,15 +216,27 @@ def check_bench(report, require_counters=()):
         require_populated_histogram(metrics, name)
     for name in require_counters:
         require_nonzero_counter(metrics, name)
+    for name in require_histograms:
+        require_populated_histogram(metrics, name)
     return len(entries), len(metrics["counters"])
 
 
-def check_trace(path):
+def is_hex_trace_id(value):
+    return (
+        isinstance(value, str)
+        and len(value) == 16
+        and all(c in "0123456789abcdef" for c in value)
+    )
+
+
+def check_trace(path, require_trace_id=None):
     with open(path, "r", encoding="utf-8") as handle:
         trace = json.load(handle)
     events = trace.get("traceEvents")
     if not isinstance(events, list) or not events:
         fail("trace: 'traceEvents' must be a non-empty array")
+    previous_ts = -1
+    seen_ids = set()
     for event in events:
         for field in ("name", "cat", "ph", "ts", "dur", "pid", "tid"):
             if field not in event:
@@ -219,7 +245,86 @@ def check_trace(path):
             fail(f"trace event is not a complete event: {event!r}")
         if event["ts"] < 0 or event["dur"] < 0:
             fail(f"trace event has negative time: {event!r}")
+        # The recorder sorts by start time before serializing; a dump that
+        # violates that order points at a torn snapshot.
+        if event["ts"] < previous_ts:
+            fail(f"trace event timestamps not sorted at: {event!r}")
+        previous_ts = event["ts"]
+        args = event.get("args")
+        if args is not None:
+            if not isinstance(args, dict):
+                fail(f"trace event 'args' must be an object: {event!r}")
+            if "trace_id" in args:
+                if not is_hex_trace_id(args["trace_id"]):
+                    fail(f"trace event has malformed trace_id: {event!r}")
+                seen_ids.add(args["trace_id"])
+    if require_trace_id is not None:
+        wanted = require_trace_id.lower().zfill(16)
+        if wanted not in seen_ids:
+            fail(f"trace: no span carries required trace id {wanted}")
     return len(events)
+
+
+FLIGHT_LANES = ("interactive", "bulk")
+FLIGHT_STATUSES = (
+    "ok",
+    "partial_error",
+    "not_found",
+    "shed_quota",
+    "shed_deadline",
+    "shed_other",
+    "shutdown",
+)
+
+
+def check_flight(document, require_trace_id=None):
+    records = document.get("flight_records")
+    if not isinstance(records, list):
+        fail("flight: 'flight_records' must be an array")
+    capacity = document.get("capacity")
+    recorded = document.get("recorded")
+    if not isinstance(capacity, int) or capacity <= 0:
+        fail("flight: 'capacity' must be a positive int")
+    if not isinstance(recorded, int) or recorded < len(records):
+        fail("flight: 'recorded' must be an int >= retained record count")
+    seen_ids = set()
+    for record in records:
+        if not isinstance(record, dict):
+            fail(f"flight record must be an object: {record!r}")
+        if not is_hex_trace_id(record.get("trace_id")):
+            fail(f"flight record has malformed trace_id: {record!r}")
+        seen_ids.add(record["trace_id"])
+        if not isinstance(record.get("collection"), str):
+            fail(f"flight record missing 'collection': {record!r}")
+        if record.get("lane") not in FLIGHT_LANES:
+            fail(f"flight record has unknown lane: {record!r}")
+        if record.get("status") not in FLIGHT_STATUSES:
+            fail(f"flight record has unknown status: {record!r}")
+        for field in (
+            "queries",
+            "ok",
+            "end_ns",
+            "wall_ns",
+            "queue_ns",
+            "service_ns",
+            "bytes",
+            "retry_after_ms",
+        ):
+            if not isinstance(record.get(field), int) or record[field] < 0:
+                fail(
+                    f"flight record '{field}' must be a non-negative int: "
+                    f"{record!r}"
+                )
+        if record["ok"] > record["queries"]:
+            fail(f"flight record has ok > queries: {record!r}")
+    if require_trace_id is not None:
+        wanted = require_trace_id.lower().zfill(16)
+        if wanted not in seen_ids:
+            fail(
+                f"flight: required trace id {wanted} not found among "
+                f"{len(records)} records"
+            )
+    return len(records)
 
 
 def main():
@@ -236,13 +341,33 @@ def main():
         help="counter that must be present and non-zero (repeatable); "
         "for plain snapshots this replaces the build-phase defaults",
     )
+    parser.add_argument(
+        "--require-histogram",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="histogram that must be present with samples (repeatable); "
+        "for plain snapshots this replaces the build-phase defaults",
+    )
+    parser.add_argument(
+        "--require-trace-id",
+        metavar="HEXID",
+        help="a flight record (and, with --trace, a span) with this "
+        "trace id must exist",
+    )
     args = parser.parse_args()
 
     with open(args.metrics_json, "r", encoding="utf-8") as handle:
         document = json.load(handle)
-    if isinstance(document, dict) and "benchmark" in document:
+    if isinstance(document, dict) and "flight_records" in document:
+        num_records = check_flight(document, args.require_trace_id)
+        print(
+            f"check_metrics_schema: OK: {args.metrics_json} "
+            f"(flight dump, {num_records} records)"
+        )
+    elif isinstance(document, dict) and "benchmark" in document:
         num_entries, num_counters = check_bench(
-            document, args.require_counter
+            document, args.require_counter, args.require_histogram
         )
         print(
             f"check_metrics_schema: OK: {args.metrics_json} "
@@ -251,14 +376,14 @@ def main():
         )
     else:
         num_counters, num_histograms = check_metrics(
-            args.metrics_json, args.require_counter
+            args.metrics_json, args.require_counter, args.require_histogram
         )
         print(
             f"check_metrics_schema: OK: {args.metrics_json} "
             f"({num_counters} counters, {num_histograms} histograms)"
         )
     if args.trace:
-        num_events = check_trace(args.trace)
+        num_events = check_trace(args.trace, args.require_trace_id)
         print(f"check_metrics_schema: OK: {args.trace} ({num_events} events)")
 
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 
 #include "common/io/file_io.h"
 #include "common/json.h"
@@ -11,9 +12,79 @@ namespace xcluster {
 namespace telemetry {
 
 namespace {
+
 std::atomic<TraceRecorder*> g_recorder{nullptr};
 std::atomic<uint64_t> g_next_thread_id{1};
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_trace_id_counter{1};
+
+thread_local TraceContext t_trace_context;
+thread_local uint64_t t_current_span_id = 0;
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+char HexDigit(uint64_t nibble) {
+  return static_cast<char>(nibble < 10 ? '0' + nibble : 'a' + (nibble - 10));
+}
+
 }  // namespace
+
+uint64_t MixTraceId(uint64_t x) {
+  // SplitMix64 finalizer (Steele/Lea/Flood): full-avalanche 64-bit mix.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool SampleTrace(uint64_t trace_id, double rate) {
+  if (trace_id == 0 || rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  // Compare the mixed id against rate·2^64: uniform, deterministic, and
+  // monotone in the rate (a higher rate keeps every previously sampled id).
+  const double threshold = rate * 18446744073709551616.0;  // 2^64
+  return static_cast<double>(MixTraceId(trace_id)) < threshold;
+}
+
+uint64_t GenerateTraceId() {
+  uint64_t id = 0;
+  while (id == 0) {
+    const uint64_t counter =
+        g_trace_id_counter.fetch_add(1, std::memory_order_relaxed);
+    id = MixTraceId(MonotonicNowNs() ^ (counter << 32) ^ counter);
+  }
+  return id;
+}
+
+TraceContext CurrentTraceContext() { return t_trace_context; }
+
+uint64_t NextSpanId() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t ExchangeCurrentSpanId(uint64_t span_id) {
+  const uint64_t previous = t_current_span_id;
+  t_current_span_id = span_id;
+  return previous;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext& context)
+    : previous_context_(t_trace_context),
+      previous_span_id_(t_current_span_id) {
+  t_trace_context = context;
+  // A new request scope starts a fresh span stack: spans opened inside must
+  // not parent to whatever happened to be open on this thread before.
+  t_current_span_id = 0;
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  t_trace_context = previous_context_;
+  t_current_span_id = previous_span_id_;
+}
 
 void InstallGlobalTraceRecorder(TraceRecorder* recorder) {
   g_recorder.store(recorder, std::memory_order_release);
@@ -31,22 +102,89 @@ uint64_t CurrentThreadId() {
 
 uint64_t TraceSpan::NowNs() { return MonotonicNowNs(); }
 
-void TraceRecorder::Add(Event event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  events_.push_back(std::move(event));
+TraceRecorder::TraceRecorder() = default;
+
+TraceRecorder::TraceRecorder(size_t ring_capacity)
+    : ring_(RoundUpPowerOfTwo(ring_capacity)) {
+  ring_mask_ = ring_.size() - 1;
+}
+
+void TraceRecorder::Add(const Event& event) {
+  total_added_.fetch_add(1, std::memory_order_relaxed);
+  if (ring_.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(event);
+    return;
+  }
+  // Per-slot seqlock write: claim a ticket, mark the slot odd (in flight),
+  // store the fields, publish even. Readers that race see an odd or changed
+  // seq and discard the slot; no writer ever blocks.
+  const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring_[ticket & ring_mask_];
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.name.store(event.name, std::memory_order_relaxed);
+  slot.category.store(event.category, std::memory_order_relaxed);
+  slot.start_ns.store(event.start_ns, std::memory_order_relaxed);
+  slot.duration_ns.store(event.duration_ns, std::memory_order_relaxed);
+  slot.thread_id.store(event.thread_id, std::memory_order_relaxed);
+  slot.trace_id.store(event.trace_id, std::memory_order_relaxed);
+  slot.span_id.store(event.span_id, std::memory_order_relaxed);
+  slot.parent_span_id.store(event.parent_span_id, std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
 }
 
 size_t TraceRecorder::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return events_.size();
+  if (ring_.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+  const uint64_t total = total_added_.load(std::memory_order_relaxed);
+  return static_cast<size_t>(std::min<uint64_t>(total, ring_.size()));
+}
+
+uint64_t TraceRecorder::total_added() const {
+  return total_added_.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::SnapshotEvents() const {
+  if (ring_.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+  std::vector<Event> events;
+  events.reserve(ring_.size());
+  for (const Slot& slot : ring_) {
+    const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before == 0 || (seq_before & 1) != 0) continue;
+    Event event;
+    event.name = slot.name.load(std::memory_order_relaxed);
+    event.category = slot.category.load(std::memory_order_relaxed);
+    event.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+    event.duration_ns = slot.duration_ns.load(std::memory_order_relaxed);
+    event.thread_id = slot.thread_id.load(std::memory_order_relaxed);
+    event.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    event.span_id = slot.span_id.load(std::memory_order_relaxed);
+    event.parent_span_id = slot.parent_span_id.load(std::memory_order_relaxed);
+    // Order the field loads before the seq re-check, then discard the slot
+    // if a writer touched it in between.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq_before) continue;
+    events.push_back(event);
+  }
+  return events;
 }
 
 std::string TraceRecorder::ToJson() const {
-  std::vector<Event> events;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    events = events_;
-  }
+  std::vector<Event> events = SnapshotEvents();
+  // Stable order regardless of how threads interleaved their Adds: sort by
+  // timestamp with span id / thread id / name as deterministic tiebreaks.
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.span_id != b.span_id) return a.span_id < b.span_id;
+              if (a.thread_id != b.thread_id) return a.thread_id < b.thread_id;
+              return std::strcmp(a.name, b.name) < 0;
+            });
   uint64_t epoch_ns = UINT64_MAX;
   for (const Event& event : events) {
     epoch_ns = std::min(epoch_ns, event.start_ns);
@@ -66,6 +204,15 @@ std::string TraceRecorder::ToJson() const {
         JsonValue::Number(static_cast<double>(event.duration_ns) / 1e3);
     e.members()["pid"] = JsonValue::Number(1);
     e.members()["tid"] = JsonValue::Number(static_cast<double>(event.thread_id));
+    if (event.trace_id != 0 || event.span_id != 0) {
+      JsonValue args = JsonValue::Object();
+      args.members()["trace_id"] = JsonValue::String(TraceIdHex(event.trace_id));
+      args.members()["span_id"] =
+          JsonValue::Number(static_cast<double>(event.span_id));
+      args.members()["parent_span_id"] =
+          JsonValue::Number(static_cast<double>(event.parent_span_id));
+      e.members()["args"] = std::move(args);
+    }
     trace_events.items().push_back(std::move(e));
   }
   JsonValue root = JsonValue::Object();
@@ -78,6 +225,37 @@ std::string TraceRecorder::ToJson() const {
 
 Status TraceRecorder::WriteFile(const std::string& path) const {
   return WriteFileAtomic(path, ToJson());
+}
+
+std::string TraceIdHex(uint64_t trace_id) {
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = HexDigit(trace_id & 0xf);
+    trace_id >>= 4;
+  }
+  return out;
+}
+
+Status ParseTraceIdHex(const std::string& text, uint64_t* trace_id) {
+  if (text.empty() || text.size() > 16) {
+    return Status::InvalidArgument("trace id: want 1..16 hex digits");
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return Status::InvalidArgument("trace id: invalid hex digit");
+    }
+    value = (value << 4) | nibble;
+  }
+  *trace_id = value;
+  return Status::OK();
 }
 
 }  // namespace telemetry

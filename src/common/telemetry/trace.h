@@ -1,6 +1,7 @@
 #ifndef XCLUSTER_COMMON_TELEMETRY_TRACE_H_
 #define XCLUSTER_COMMON_TELEMETRY_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -11,39 +12,149 @@
 namespace xcluster {
 namespace telemetry {
 
+/// Request-scoped trace identity. A zero trace id means "no request context":
+/// spans record unconditionally (the legacy `--trace` file-dump behavior).
+/// With a nonzero id, spans record only when `sampled` is set, so a daemon
+/// can keep the recorder installed permanently and pay for span bookkeeping
+/// only on sampled requests.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  bool sampled = false;
+};
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mix used both to
+/// generate trace ids and to derive the sampling decision from one.
+uint64_t MixTraceId(uint64_t x);
+
+/// Deterministic hash-based sampling: the decision is a pure function of
+/// (trace_id, rate), so every process that sees the same trace id at the
+/// same rate agrees. rate <= 0 (or a zero id) never samples; rate >= 1
+/// always samples; rates in between are monotone (raising the rate only
+/// adds trace ids to the sampled set).
+bool SampleTrace(uint64_t trace_id, double rate);
+
+/// A fresh nonzero trace id (time ⊕ process-local counter, mixed).
+uint64_t GenerateTraceId();
+
+/// Fixed-width lowercase hex rendering of a trace id ("00c49ae21f3b9d70").
+std::string TraceIdHex(uint64_t trace_id);
+
+/// Parses 1..16 hex digits (either case) into a trace id.
+Status ParseTraceIdHex(const std::string& text, uint64_t* trace_id);
+
+/// The calling thread's current trace context ({0, false} when none).
+TraceContext CurrentTraceContext();
+
+/// Process-unique span id (never 0).
+uint64_t NextSpanId();
+
+/// Installs `context` as the calling thread's trace context for the scope's
+/// lifetime and restores the previous context (and span parent) on exit.
+/// Spans opened inside the scope inherit the context; parenting does not
+/// leak across scope boundaries.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& context);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext previous_context_;
+  uint64_t previous_span_id_;
+};
+
+/// Swaps the calling thread's current span id (the parent for the next span
+/// opened on this thread) and returns the previous value. Used by TraceSpan;
+/// exposed for tests.
+uint64_t ExchangeCurrentSpanId(uint64_t span_id);
+
 /// Collects trace spans and writes them as Chrome trace format JSON — the
 /// `{"traceEvents": [...]}` object form with complete ("ph":"X") events —
 /// loadable in chrome://tracing and Perfetto.
 ///
-/// Appending takes a mutex (spans end at most a few hundred thousand times
-/// per second on instrumented paths, far below contention range); the
-/// common case where no recorder is installed costs one relaxed atomic
-/// load per span.
+/// Two storage modes:
+///  - default-constructed: unbounded vector under a mutex — right for
+///    short-lived tools that dump the whole trace at exit;
+///  - `TraceRecorder(ring_capacity)`: a bounded lock-free ring that
+///    overwrites the oldest events, so a daemon can leave tracing always
+///    on and snapshot the recent window on demand (SIGQUIT, slow-query
+///    log). Writers never block; a snapshot taken while writers are active
+///    simply skips slots that are mid-write.
 class TraceRecorder {
  public:
-  /// A closed span. Times come from MonotonicNowNs.
+  /// A closed span. Times come from MonotonicNowNs. `name` and `category`
+  /// must be string literals (or otherwise outlive the recorder): the ring
+  /// mode stores the pointers, not copies.
   struct Event {
-    std::string name;
+    const char* name = "";
     const char* category = "xcluster";
     uint64_t start_ns = 0;
     uint64_t duration_ns = 0;
     uint64_t thread_id = 0;
+    uint64_t trace_id = 0;
+    uint64_t span_id = 0;
+    uint64_t parent_span_id = 0;
   };
 
-  void Add(Event event);
+  /// Unbounded mode.
+  TraceRecorder();
 
+  /// Bounded ring mode. Capacity is rounded up to a power of two (min 2).
+  /// The ring stays torn-write-free as long as fewer than `capacity`
+  /// threads are inside Add concurrently — trivially true for real
+  /// capacities (thousands) vs. writer counts (cores).
+  explicit TraceRecorder(size_t ring_capacity);
+
+  void Add(const Event& event);
+
+  /// Events currently retained (ring mode: min(total_added, capacity)).
   size_t event_count() const;
 
-  /// Serializes every event recorded so far. Timestamps are rebased to the
-  /// earliest event so traces start near t=0.
+  /// Events ever added, including ones the ring has overwritten.
+  uint64_t total_added() const;
+
+  /// 0 in unbounded mode.
+  size_t ring_capacity() const { return ring_.size(); }
+
+  /// A consistent copy of the retained events, unordered.
+  std::vector<Event> SnapshotEvents() const;
+
+  /// Serializes every retained event in stable (ts, span id, tid, name)
+  /// order — deterministic output regardless of recording interleaving.
+  /// Timestamps are rebased to the earliest event so traces start near t=0.
   std::string ToJson() const;
 
-  /// ToJson written atomically to `path`.
+  /// ToJson written atomically (temp file + rename) to `path`.
   Status WriteFile(const std::string& path) const;
 
  private:
+  // One ring slot; a seqlock guards each slot individually. All fields are
+  // atomics so concurrent overwrite + snapshot is race-free: a reader that
+  // observes `seq` change across its field loads discards the slot.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // 0 = never written; odd = write in flight
+    std::atomic<const char*> name{""};
+    std::atomic<const char*> category{""};
+    std::atomic<uint64_t> start_ns{0};
+    std::atomic<uint64_t> duration_ns{0};
+    std::atomic<uint64_t> thread_id{0};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint64_t> span_id{0};
+    std::atomic<uint64_t> parent_span_id{0};
+  };
+
+  // Unbounded mode.
   mutable std::mutex mu_;
   std::vector<Event> events_;
+
+  // Ring mode (empty `ring_` selects unbounded mode).
+  std::vector<Slot> ring_;
+  size_t ring_mask_ = 0;
+  std::atomic<uint64_t> head_{0};
+
+  std::atomic<uint64_t> total_added_{0};
 };
 
 /// Installs `recorder` as the process-global span sink (nullptr uninstalls).
@@ -61,11 +172,23 @@ uint64_t CurrentThreadId();
 /// RAII span: records a complete event on the global recorder between
 /// construction and destruction. When no recorder is installed the
 /// constructor is a single relaxed atomic load and the destructor a branch.
+/// Under a trace context (ScopedTraceContext) the span additionally carries
+/// the trace id and a span id parented to the enclosing span on this
+/// thread — and is suppressed entirely when the context is unsampled.
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) : name_(name) {
     recorder_ = GlobalTraceRecorder();
-    if (recorder_ != nullptr) start_ns_ = NowNs();
+    if (recorder_ == nullptr) return;
+    const TraceContext context = CurrentTraceContext();
+    if (context.trace_id != 0 && !context.sampled) {
+      recorder_ = nullptr;
+      return;
+    }
+    trace_id_ = context.trace_id;
+    span_id_ = NextSpanId();
+    parent_span_id_ = ExchangeCurrentSpanId(span_id_);
+    start_ns_ = NowNs();
   }
 
   TraceSpan(const TraceSpan&) = delete;
@@ -73,12 +196,16 @@ class TraceSpan {
 
   ~TraceSpan() {
     if (recorder_ == nullptr) return;
+    ExchangeCurrentSpanId(parent_span_id_);
     TraceRecorder::Event event;
     event.name = name_;
     event.start_ns = start_ns_;
     event.duration_ns = NowNs() - start_ns_;
     event.thread_id = CurrentThreadId();
-    recorder_->Add(std::move(event));
+    event.trace_id = trace_id_;
+    event.span_id = span_id_;
+    event.parent_span_id = parent_span_id_;
+    recorder_->Add(event);
   }
 
  private:
@@ -87,6 +214,9 @@ class TraceSpan {
   const char* name_;
   TraceRecorder* recorder_;
   uint64_t start_ns_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
 };
 
 }  // namespace telemetry

@@ -176,7 +176,11 @@ Result<BatchReplyFrame> NetClient::Batch(
     Frame reply;
     Status sent =
         RoundTrip(FrameType::kBatch, payload, FrameType::kBatchReply, &reply);
-    if (sent.ok()) return DecodeBatchReply(reply.payload);
+    if (sent.ok()) {
+      Result<BatchReplyFrame> decoded = DecodeBatchReply(reply.payload);
+      if (decoded.ok()) last_trace_id_ = decoded.value().trace_id;
+      return decoded;
+    }
     if (sent.code() != Status::Code::kUnavailable || attempt >= attempts) {
       return sent;
     }
@@ -185,6 +189,31 @@ Result<BatchReplyFrame> NetClient::Batch(
                                           jitter.Next());
     std::this_thread::sleep_for(std::chrono::milliseconds(delay));
   }
+}
+
+Result<std::string> NetClient::StatsScrape(StatsFormat format) {
+  if (version_ < kProtocolVersionTrace) {
+    return Status::Unsupported(
+        "stats scrape requires protocol v3 (server negotiated v" +
+        std::to_string(version_) + ")");
+  }
+  Frame reply;
+  XC_RETURN_IF_ERROR(RoundTrip(FrameType::kStats, EncodeStatsRequest(format),
+                               FrameType::kStatsReply, &reply));
+  return std::move(reply.payload);
+}
+
+Result<std::string> NetClient::FlightDump(uint32_t max_records) {
+  if (version_ < kProtocolVersionTrace) {
+    return Status::Unsupported(
+        "flight dump requires protocol v3 (server negotiated v" +
+        std::to_string(version_) + ")");
+  }
+  Frame reply;
+  XC_RETURN_IF_ERROR(RoundTrip(FrameType::kFlight,
+                               EncodeFlightRequest(max_records),
+                               FrameType::kFlightReply, &reply));
+  return std::move(reply.payload);
 }
 
 Status NetClient::Close() {

@@ -100,6 +100,20 @@ class NetClient {
                                 const std::vector<std::string>& queries,
                                 const BatchOptions& options = {});
 
+  /// Typed metrics scrape (v3+): the server's metrics snapshot rendered in
+  /// `format` (Prometheus text, JSON, or the harness text table). Returns
+  /// Unsupported against a v1/v2 server.
+  Result<std::string> StatsScrape(StatsFormat format);
+
+  /// Flight-recorder dump (v3+): the server's newest `max_records` batch
+  /// completion records as JSON (0 = the whole retained ring). Returns
+  /// Unsupported against a v1/v2 server.
+  Result<std::string> FlightDump(uint32_t max_records = 0);
+
+  /// Trace id echoed by the last successful Batch() against a v3 server
+  /// (server-assigned when the request carried none); 0 otherwise.
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
   /// Retry-after hint (ms) from the most recent shed, 0 if none.
   uint64_t last_retry_after_ms() const { return last_retry_after_ms_; }
 
@@ -138,6 +152,7 @@ class NetClient {
   FrameDecoder decoder_;
   uint32_t version_ = 0;
   uint64_t last_retry_after_ms_ = 0;
+  uint64_t last_trace_id_ = 0;
   int last_attempts_ = 0;
 };
 

@@ -25,6 +25,12 @@ enum class FrameType : uint8_t {
                    ///  (protocol v2+; carries retry-after, connection stays
                    ///  open — unlike kError this is not a failure of the
                    ///  stream, just of the one request)
+  kStats = 10,     ///< client -> server (v3+): typed metrics scrape request
+                   ///  (format byte: prometheus / json / harness text)
+  kStatsReply = 11,///< server -> client: rendered metrics text
+  kFlight = 12,    ///< client -> server (v3+): flight-recorder dump request
+                   ///  (max-records count; 0 = whole ring)
+  kFlightReply = 13,///< server -> client: flight ring as JSON
 };
 
 /// One decoded frame. `payload` is opaque at this layer; protocol.h gives

@@ -88,13 +88,21 @@ std::string EncodeBatchRequest(const BatchRequestFrame& request,
   PutLengthPrefixed(&sink, request.collection);
   PutFixed64(&sink, request.options.deadline_ns);
   // Flags byte: bit0 = explain (the whole byte in v1), bit1 = bulk lane
-  // (v2+ only — a v1 peer would misread it as a nonzero explain).
+  // (v2+ only — a v1 peer would misread it as a nonzero explain), bit2 =
+  // trace context present (v3+ only; inserts the id/sampled fields below).
   uint8_t flags = request.options.explain ? 1 : 0;
   if (version >= kProtocolVersionQos &&
       request.options.lane == Lane::kBulk) {
     flags |= 2;
   }
+  const bool send_trace = version >= kProtocolVersionTrace &&
+                          request.options.trace.trace_id != 0;
+  if (send_trace) flags |= 4;
   PutFixed8(&sink, flags);
+  if (send_trace) {
+    PutFixed64(&sink, request.options.trace.trace_id);
+    PutFixed8(&sink, request.options.trace.sampled ? 1 : 0);
+  }
   PutVarint64(&sink, request.queries.size());
   for (const std::string& query : request.queries) {
     PutLengthPrefixed(&sink, query);
@@ -109,11 +117,20 @@ Result<BatchRequestFrame> DecodeBatchRequest(const std::string& payload) {
   XC_RETURN_IF_ERROR(GetFixed64(&source, &request.options.deadline_ns));
   uint8_t flags = 0;
   XC_RETURN_IF_ERROR(GetFixed8(&source, &flags));
-  if ((flags & ~uint8_t{3}) != 0) {
+  if ((flags & ~uint8_t{7}) != 0) {
     return Status::Corruption("batch request: unknown flags bits set");
   }
   request.options.explain = (flags & 1) != 0;
   request.options.lane = (flags & 2) != 0 ? Lane::kBulk : Lane::kInteractive;
+  if ((flags & 4) != 0) {
+    XC_RETURN_IF_ERROR(GetFixed64(&source, &request.options.trace.trace_id));
+    uint8_t sampled = 0;
+    XC_RETURN_IF_ERROR(GetFixed8(&source, &sampled));
+    request.options.trace.sampled = sampled != 0;
+    if (request.options.trace.trace_id == 0) {
+      return Status::Corruption("batch request: trace flag with zero id");
+    }
+  }
   uint64_t count = 0;
   XC_RETURN_IF_ERROR(GetVarint64(&source, &count));
   // Every query costs at least its one-byte length prefix, so the count
@@ -146,7 +163,8 @@ Result<ShedFrame> DecodeShed(const std::string& payload) {
   return shed;
 }
 
-std::string EncodeBatchReply(const BatchResult& batch, bool explain) {
+std::string EncodeBatchReply(const BatchResult& batch, bool explain,
+                             uint64_t trace_id) {
   std::string payload;
   StringSink sink(&payload);
   PutVarint64(&sink, batch.results.size());
@@ -166,6 +184,10 @@ std::string EncodeBatchReply(const BatchResult& batch, bool explain) {
   PutFixed64(&sink, batch.stats.p50_latency_ns);
   PutFixed64(&sink, batch.stats.p95_latency_ns);
   PutFixed64(&sink, batch.stats.max_latency_ns);
+  // v3 trailing trace-id echo. Strictly additive: a v3 decoder reads it
+  // when present, and it is never sent to v1/v2 peers (their decoders
+  // reject trailing bytes).
+  if (trace_id != 0) PutFixed64(&sink, trace_id);
   return payload;
 }
 
@@ -199,8 +221,45 @@ Result<BatchReplyFrame> DecodeBatchReply(const std::string& payload) {
   XC_RETURN_IF_ERROR(GetFixed64(&source, &reply.stats.p50_latency_ns));
   XC_RETURN_IF_ERROR(GetFixed64(&source, &reply.stats.p95_latency_ns));
   XC_RETURN_IF_ERROR(GetFixed64(&source, &reply.stats.max_latency_ns));
+  if (source.Remaining() != 0) {
+    XC_RETURN_IF_ERROR(GetFixed64(&source, &reply.trace_id));
+  }
   XC_RETURN_IF_ERROR(ExpectFullyConsumed(source, "batch reply"));
   return reply;
+}
+
+std::string EncodeStatsRequest(StatsFormat format) {
+  std::string payload;
+  StringSink sink(&payload);
+  PutFixed8(&sink, static_cast<uint8_t>(format));
+  return payload;
+}
+
+Result<StatsFormat> DecodeStatsRequest(const std::string& payload) {
+  StringSource source(payload);
+  uint8_t format = 0;
+  XC_RETURN_IF_ERROR(GetFixed8(&source, &format));
+  XC_RETURN_IF_ERROR(ExpectFullyConsumed(source, "stats request"));
+  if (format > static_cast<uint8_t>(StatsFormat::kText)) {
+    return Status::Corruption("stats request: unknown format " +
+                              std::to_string(format));
+  }
+  return static_cast<StatsFormat>(format);
+}
+
+std::string EncodeFlightRequest(uint32_t max_records) {
+  std::string payload;
+  StringSink sink(&payload);
+  PutFixed32(&sink, max_records);
+  return payload;
+}
+
+Result<uint32_t> DecodeFlightRequest(const std::string& payload) {
+  StringSource source(payload);
+  uint32_t max_records = 0;
+  XC_RETURN_IF_ERROR(GetFixed32(&source, &max_records));
+  XC_RETURN_IF_ERROR(ExpectFullyConsumed(source, "flight request"));
+  return max_records;
 }
 
 std::string FormatBatchReply(const BatchReplyFrame& reply, bool explain) {

@@ -17,12 +17,18 @@ namespace net {
 /// command/batch protocol; v2 adds the kShed typed error frame (admission
 /// shed + retry-after, connection stays open) and the priority-lane bit in
 /// the batch flags byte. A v2 server never sends kShed to a v1 client —
-/// it falls back to a kError frame — so old clients keep working.
+/// it falls back to a kError frame — so old clients keep working. v3 adds
+/// the trace-context batch extension (flags bit2 + trace id/sampled fields,
+/// echoed on the reply) and the typed kStats/kFlight observability frames;
+/// v2/v1 peers never see any of it.
 inline constexpr uint32_t kProtocolMinVersion = 1;
-inline constexpr uint32_t kProtocolMaxVersion = 2;
+inline constexpr uint32_t kProtocolMaxVersion = 3;
 
 /// First version with the kShed frame and the batch lane flag.
 inline constexpr uint32_t kProtocolVersionQos = 2;
+
+/// First version with trace contexts and the kStats/kFlight frames.
+inline constexpr uint32_t kProtocolVersionTrace = 3;
 
 /// Leading magic of a kHello payload; rejects non-protocol peers (e.g. an
 /// HTTP client probing the port) before any further decoding.
@@ -88,10 +94,34 @@ struct BatchReplyItem {
 struct BatchReplyFrame {
   std::vector<BatchReplyItem> items;
   BatchStats stats;
+  /// Trace id echo (v3+): nonzero iff the request carried a trace context,
+  /// so a client learns the id under which the server filed the batch in
+  /// its flight ring even when the server generated it.
+  uint64_t trace_id = 0;
 };
 
-std::string EncodeBatchReply(const BatchResult& batch, bool explain);
+/// `trace_id` nonzero appends the v3 trailing echo — pass 0 for v1/v2
+/// peers, whose decoder treats trailing bytes as corruption.
+std::string EncodeBatchReply(const BatchResult& batch, bool explain,
+                             uint64_t trace_id = 0);
 Result<BatchReplyFrame> DecodeBatchReply(const std::string& payload);
+
+/// kStats payload (v3+): which rendering of the metrics snapshot to return
+/// in the kStatsReply text payload.
+enum class StatsFormat : uint8_t {
+  kPrometheus = 0,
+  kJson = 1,
+  kText = 2,
+};
+
+std::string EncodeStatsRequest(StatsFormat format);
+Result<StatsFormat> DecodeStatsRequest(const std::string& payload);
+
+/// kFlight payload (v3+): at most `max_records` newest flight records
+/// (0 = the whole retained ring). The kFlightReply payload is the
+/// FlightRecorder::ToJson rendering.
+std::string EncodeFlightRequest(uint32_t max_records);
+Result<uint32_t> DecodeFlightRequest(const std::string& payload);
 
 /// Renders a decoded reply in the exact text format the stdio harness
 /// prints for `batch`, so remote output can be diffed line-for-line

@@ -165,7 +165,20 @@ void NetServer::DispatchFrame(Connection* conn, Frame&& frame) {
       if (options.deadline_ns == 0) {
         options.deadline_ns = options_.default_deadline_ns;
       }
+      // Every batch flies under a trace id (server-generated when the
+      // client sent none, any protocol version) so its flight record is
+      // addressable; the sampling decision decides span recording only.
+      if (options.trace.trace_id == 0) {
+        options.trace.trace_id = telemetry::GenerateTraceId();
+      }
+      options.trace.sampled =
+          options.trace.sampled ||
+          telemetry::SampleTrace(options.trace.trace_id,
+                                 options_.trace_sample);
+      options.wire_bytes = frame.payload.size();
       XCLUSTER_COUNTER_INC("net.batches");
+      telemetry::ScopedTraceContext trace_scope(options.trace);
+      XCLUSTER_TRACE_SPAN("net.batch");
       BatchResult batch = service_->EstimateBatch(
           request.value().collection, request.value().queries, options);
       if (!batch.admission.ok() &&
@@ -189,9 +202,47 @@ void NetServer::DispatchFrame(Connection* conn, Frame&& frame) {
         return;
       }
       SendFrame(conn, FrameType::kBatchReply,
-                EncodeBatchReply(batch, options.explain));
+                EncodeBatchReply(batch, options.explain,
+                                 conn->version >= kProtocolVersionTrace
+                                     ? options.trace.trace_id
+                                     : 0));
       XCLUSTER_HISTOGRAM_RECORD_NS("net.request_latency_ns",
                                    telemetry::MonotonicNowNs() - start_ns);
+      return;
+    }
+    case FrameType::kStats: {
+      if (conn->version < kProtocolVersionTrace) {
+        SendError(conn, "stats frame requires protocol v3");
+        return;
+      }
+      Result<StatsFormat> format = DecodeStatsRequest(frame.payload);
+      if (!format.ok()) {
+        SendError(conn, format.status().ToString());
+        return;
+      }
+      const telemetry::MetricsSnapshot snapshot =
+          telemetry::MetricsRegistry::Global().Snapshot();
+      std::string text;
+      switch (format.value()) {
+        case StatsFormat::kPrometheus: text = snapshot.ToPrometheus(); break;
+        case StatsFormat::kJson: text = snapshot.ToJson(); break;
+        case StatsFormat::kText: text = snapshot.ToText(); break;
+      }
+      SendFrame(conn, FrameType::kStatsReply, std::move(text));
+      return;
+    }
+    case FrameType::kFlight: {
+      if (conn->version < kProtocolVersionTrace) {
+        SendError(conn, "flight frame requires protocol v3");
+        return;
+      }
+      Result<uint32_t> max_records = DecodeFlightRequest(frame.payload);
+      if (!max_records.ok()) {
+        SendError(conn, max_records.status().ToString());
+        return;
+      }
+      SendFrame(conn, FrameType::kFlightReply,
+                service_->flight().ToJson(max_records.value()));
       return;
     }
     case FrameType::kGoodbye:

@@ -44,6 +44,14 @@ struct NetServerOptions {
   /// How long a graceful drain waits for responses to flush before
   /// force-closing the stragglers.
   uint64_t drain_timeout_ms = 5000;
+
+  /// Deterministic trace-sampling rate for batches that arrive without a
+  /// client sampling decision (hash of the trace id vs. this rate; see
+  /// telemetry::SampleTrace). Every batch gets a trace id — server-
+  /// generated when the client sent none — so flight records are always
+  /// identifiable; this rate only governs span recording. A client that
+  /// sent sampled=1 is honored regardless.
+  double trace_sample = 0.0;
 };
 
 /// Socket front end for an EstimationService: a single-threaded poll event

@@ -1,0 +1,114 @@
+#include "service/flight_recorder.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json.h"
+#include "common/telemetry/trace.h"
+
+namespace xcluster {
+
+const char* FlightStatusName(FlightStatus status) {
+  switch (status) {
+    case FlightStatus::kOk: return "ok";
+    case FlightStatus::kPartialError: return "partial_error";
+    case FlightStatus::kNotFound: return "not_found";
+    case FlightStatus::kShedQuota: return "shed_quota";
+    case FlightStatus::kShedDeadline: return "shed_deadline";
+    case FlightStatus::kShedOther: return "shed_other";
+    case FlightStatus::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::Record(const FlightRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[total_ % capacity_] = record;
+  }
+  ++total_;
+}
+
+std::vector<FlightRecord> FlightRecorder::Snapshot(size_t max) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t retained = ring_.size();
+  const size_t want = (max == 0 || max > retained) ? retained : max;
+  std::vector<FlightRecord> out;
+  out.reserve(want);
+  // Insertion order assigns logical index i to ring_[i % capacity_]; the
+  // retained window is [total_ - retained, total_).
+  for (uint64_t i = total_ - want; i < total_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  return out;
+}
+
+uint64_t FlightRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string FlightRecorder::ToJson(size_t max) const {
+  std::vector<FlightRecord> records = Snapshot(max);
+  JsonValue array = JsonValue::Array();
+  for (const FlightRecord& r : records) {
+    JsonValue e = JsonValue::Object();
+    e.members()["trace_id"] =
+        JsonValue::String(telemetry::TraceIdHex(r.trace_id));
+    e.members()["collection"] = JsonValue::String(r.collection);
+    e.members()["lane"] = JsonValue::String(LaneName(r.lane));
+    e.members()["queries"] = JsonValue::Number(r.queries);
+    e.members()["ok"] = JsonValue::Number(r.ok);
+    e.members()["end_ns"] = JsonValue::Number(static_cast<double>(r.end_ns));
+    e.members()["wall_ns"] = JsonValue::Number(static_cast<double>(r.wall_ns));
+    e.members()["queue_ns"] =
+        JsonValue::Number(static_cast<double>(r.queue_ns));
+    e.members()["service_ns"] =
+        JsonValue::Number(static_cast<double>(r.service_ns));
+    e.members()["bytes"] = JsonValue::Number(static_cast<double>(r.bytes));
+    e.members()["status"] = JsonValue::String(FlightStatusName(r.status));
+    e.members()["retry_after_ms"] = JsonValue::Number(r.retry_after_ms);
+    array.items().push_back(std::move(e));
+  }
+  JsonValue root = JsonValue::Object();
+  root.members()["flight_records"] = std::move(array);
+  root.members()["capacity"] = JsonValue::Number(static_cast<double>(capacity_));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    root.members()["recorded"] = JsonValue::Number(static_cast<double>(total_));
+  }
+  std::string out = root.Dump(1);
+  out += '\n';
+  return out;
+}
+
+std::string FlightRecorder::ToText(size_t max) const {
+  std::vector<FlightRecord> records = Snapshot(max);
+  std::string out;
+  char line[320];
+  // Newest first: the record you are looking for is almost always recent.
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    const FlightRecord& r = *it;
+    std::snprintf(line, sizeof(line),
+                  "trace=%s collection=%s lane=%s n=%u ok=%u status=%s "
+                  "wall_us=%" PRIu64 " queue_us=%" PRIu64 " service_us=%" PRIu64
+                  " bytes=%" PRIu64 " retry_after_ms=%u\n",
+                  telemetry::TraceIdHex(r.trace_id).c_str(),
+                  r.collection.c_str(), LaneName(r.lane), r.queries, r.ok,
+                  FlightStatusName(r.status), r.wall_ns / 1000,
+                  r.queue_ns / 1000, r.service_ns / 1000, r.bytes,
+                  r.retry_after_ms);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace xcluster

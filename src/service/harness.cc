@@ -17,7 +17,8 @@ constexpr char kHelp[] =
     "ok help commands: load <name> <path> | drop <name> | list | "
     "estimate <name> <query> | "
     "batch <name> <k> [deadline_us=N] [priority=interactive|bulk] [explain] "
-    "| quota <name> <rate_qps> <burst>|off | stats | help | quit";
+    "| quota <name> <rate_qps> <burst>|off | stats | flight [n] | help | "
+    "quit";
 
 /// Remainder of `line` after `prefix_words` whitespace-separated words.
 std::string RestOfLine(const std::string& line, int prefix_words) {
@@ -296,8 +297,32 @@ std::string ServiceHarness::ExecuteLine(const std::string& line, bool* quit) {
         << " admitted=" << admission.admitted
         << " shed_quota=" << admission.shed_quota
         << " shed_deadline=" << admission.shed_deadline
-        << " admission_pending=" << service_->admission().pending()
-        << "\n";
+        << " admission_pending=" << service_->admission().pending();
+    // Per-lane tail latency: the QoS contract is that bulk load must not
+    // move interactive percentiles, so both lanes are always shown.
+    for (size_t i = 0; i < kNumLanes; ++i) {
+      const Lane lane = static_cast<Lane>(i);
+      const telemetry::LatencyHistogram& hist = service_->lane_latency(lane);
+      out << " lane_" << LaneName(lane) << "_n=" << hist.count()
+          << " lane_" << LaneName(lane) << "_p50_us="
+          << static_cast<uint64_t>(hist.QuantileNs(0.50)) / 1000
+          << " lane_" << LaneName(lane) << "_p95_us="
+          << static_cast<uint64_t>(hist.QuantileNs(0.95)) / 1000;
+    }
+    out << "\n";
+    return out.str();
+  }
+  if (command == "flight") {
+    long long max = 0;
+    tokens >> max;
+    if (max < 0) return "err flight needs a non-negative count\n";
+    const FlightRecorder& flight = service_->flight();
+    const std::vector<FlightRecord> records =
+        flight.Snapshot(static_cast<size_t>(max));
+    out << "ok flight n=" << records.size()
+        << " recorded=" << flight.total_recorded()
+        << " capacity=" << flight.capacity() << "\n";
+    out << flight.ToText(static_cast<size_t>(max));
     return out.str();
   }
   out << "err unknown command '" << command << "' (try help)\n";

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <fstream>
 #include <mutex>
 #include <utility>
 
+#include "common/json.h"
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/telemetry.h"
 #include "query/parser.h"
@@ -24,7 +26,10 @@ namespace {
 /// under the wire still fails fast instead of burning the budget further.
 void ProcessQuery(const StoredSynopsis& snapshot, const PlanCache& plans,
                   const std::string& query, bool explain,
-                  uint64_t deadline_ns, QueryResult* result) {
+                  uint64_t deadline_ns,
+                  telemetry::LatencyHistogram* lane_latency,
+                  QueryResult* result) {
+  XCLUSTER_TRACE_SPAN("service.query");
   const uint64_t start_ns = telemetry::MonotonicNowNs();
   if (deadline_ns != 0 && start_ns > deadline_ns) {
     result->status = Status::DeadlineExceeded("batch deadline expired");
@@ -37,6 +42,9 @@ void ProcessQuery(const StoredSynopsis& snapshot, const PlanCache& plans,
   std::shared_ptr<const CompiledTwig> plan =
       plans.Get(snapshot.generation(), normalized);
   if (plan == nullptr) {
+    // A plan-cache miss shows up in a sampled trace as this compile span;
+    // hits go straight to estimation with no span between.
+    XCLUSTER_TRACE_SPAN("plan.compile");
     Result<TwigQuery> parsed = ParseTwig(normalized);
     if (!parsed.ok()) {
       // Parse errors are not negative-cached: they are cheap to rediscover
@@ -59,6 +67,7 @@ void ProcessQuery(const StoredSynopsis& snapshot, const PlanCache& plans,
   }
   result->status = Status::OK();
   result->latency_ns = telemetry::MonotonicNowNs() - start_ns;
+  if (lane_latency != nullptr) lane_latency->Record(result->latency_ns);
   XCLUSTER_COUNTER_INC("service.requests.ok");
   XCLUSTER_HISTOGRAM_RECORD_NS("service.request_latency_ns",
                                result->latency_ns);
@@ -72,13 +81,57 @@ uint64_t LatencyQuantile(std::vector<uint64_t>& sorted_latencies, double q) {
   return sorted_latencies[index];
 }
 
+#if XCLUSTER_TELEMETRY_ENABLED
+/// Synthesizes the queue-wait span for a task that just left the executor
+/// queue: the wait already happened (the span cannot bracket it live), so
+/// the event is back-dated by the measured queue time. Suppressed exactly
+/// like TraceSpan when the context is unsampled.
+void EmitQueueWaitEvent(uint64_t queue_ns) {
+  if (queue_ns == 0) return;
+  telemetry::TraceRecorder* recorder = telemetry::GlobalTraceRecorder();
+  if (recorder == nullptr) return;
+  const telemetry::TraceContext context = telemetry::CurrentTraceContext();
+  if (context.trace_id != 0 && !context.sampled) return;
+  telemetry::TraceRecorder::Event event;
+  event.name = "admission.queue";
+  event.category = "admission";
+  const uint64_t now_ns = telemetry::MonotonicNowNs();
+  event.start_ns = now_ns - std::min(queue_ns, now_ns);
+  event.duration_ns = queue_ns;
+  event.thread_id = telemetry::CurrentThreadId();
+  event.trace_id = context.trace_id;
+  event.span_id = telemetry::NextSpanId();
+  recorder->Add(event);
+}
+#endif  // XCLUSTER_TELEMETRY_ENABLED
+
+FlightStatus ClassifyShed(const Status& admission) {
+  const std::string& message = admission.message();
+  if (message.find("quota exhausted") != std::string::npos) {
+    return FlightStatus::kShedQuota;
+  }
+  if (message.find("deadline unreachable") != std::string::npos) {
+    return FlightStatus::kShedDeadline;
+  }
+  if (admission.code() == Status::Code::kUnavailable) {
+    return FlightStatus::kShedOther;
+  }
+  return FlightStatus::kShutdown;
+}
+
 }  // namespace
 
 EstimationService::EstimationService(ServiceOptions options)
     : options_(options),
       store_(options.store_shards, options.estimator),
       plan_cache_(PlanCache::Options{options.plan_cache_capacity,
-                                     PlanCache::Options().shards}) {
+                                     PlanCache::Options().shards}),
+      flight_(options.flight_recorder_capacity) {
+  for (size_t i = 0; i < kNumLanes; ++i) {
+    lane_latency_[i] = telemetry::MetricsRegistry::Global().GetHistogram(
+        std::string("service.lane.") + LaneName(static_cast<Lane>(i)) +
+        ".latency_ns");
+  }
   executor_ = std::make_unique<Executor>(options_.executor);
   admission_ = std::make_unique<AdmissionController>(executor_.get(),
                                                      options_.admission);
@@ -104,13 +157,90 @@ QueryResult EstimationService::EstimateOne(const std::string& collection,
     return result;
   }
   ProcessQuery(*snapshot, plan_cache_, query, explain, /*deadline_ns=*/0,
+               lane_latency_[static_cast<size_t>(Lane::kInteractive)],
                &result);
   return result;
+}
+
+void EstimationService::RecordFlight(const std::string& collection,
+                                     const BatchOptions& options,
+                                     const BatchResult& batch) {
+  FlightRecord record;
+  record.trace_id = options.trace.trace_id;
+  record.collection = collection;
+  record.lane = options.lane;
+  record.queries = static_cast<uint32_t>(batch.results.size());
+  record.ok = static_cast<uint32_t>(batch.stats.ok);
+  record.end_ns = telemetry::MonotonicNowNs();
+  record.wall_ns = batch.stats.wall_ns;
+  record.bytes = options.wire_bytes;
+  record.retry_after_ms = static_cast<uint32_t>(batch.retry_after_ms);
+  for (const QueryResult& result : batch.results) {
+    record.queue_ns = std::max(record.queue_ns, result.queue_ns);
+    record.service_ns += result.latency_ns;
+  }
+  if (!batch.admission.ok()) {
+    record.status = ClassifyShed(batch.admission);
+  } else if (batch.stats.ok == batch.results.size()) {
+    record.status = FlightStatus::kOk;
+  } else if (batch.stats.ok == 0 && !batch.results.empty() &&
+             batch.results[0].status.code() == Status::Code::kNotFound) {
+    record.status = FlightStatus::kNotFound;
+  } else {
+    record.status = FlightStatus::kPartialError;
+  }
+  flight_.Record(record);
+
+  if (options_.slow_query_ns == 0 || options_.slow_query_log_path.empty() ||
+      record.wall_ns < options_.slow_query_ns) {
+    return;
+  }
+  // One compact JSON line per slow batch: identity plus the breakdown a
+  // responder needs before reaching for the full trace.
+  JsonValue line = JsonValue::Object();
+  line.members()["trace_id"] =
+      JsonValue::String(telemetry::TraceIdHex(record.trace_id));
+  line.members()["collection"] = JsonValue::String(collection);
+  line.members()["lane"] = JsonValue::String(LaneName(options.lane));
+  line.members()["status"] = JsonValue::String(FlightStatusName(record.status));
+  line.members()["queries"] = JsonValue::Number(record.queries);
+  line.members()["ok"] = JsonValue::Number(record.ok);
+  line.members()["wall_us"] =
+      JsonValue::Number(static_cast<double>(record.wall_ns) / 1e3);
+  line.members()["queue_us"] =
+      JsonValue::Number(static_cast<double>(record.queue_ns) / 1e3);
+  line.members()["service_us"] =
+      JsonValue::Number(static_cast<double>(record.service_ns) / 1e3);
+  line.members()["p95_us"] =
+      JsonValue::Number(static_cast<double>(batch.stats.p95_latency_ns) / 1e3);
+  // The slowest query, truncated: usually the culprit, never unbounded.
+  size_t slowest = 0;
+  for (size_t i = 1; i < batch.results.size(); ++i) {
+    if (batch.results[i].latency_ns > batch.results[slowest].latency_ns) {
+      slowest = i;
+    }
+  }
+  if (!batch.results.empty()) {
+    line.members()["slowest_us"] = JsonValue::Number(
+        static_cast<double>(batch.results[slowest].latency_ns) / 1e3);
+    line.members()["slowest_index"] =
+        JsonValue::Number(static_cast<double>(slowest));
+  }
+  std::string text = line.Dump(-1);
+  text += '\n';
+  std::lock_guard<std::mutex> lock(slow_log_mu_);
+  std::ofstream out(options_.slow_query_log_path,
+                    std::ios::app | std::ios::binary);
+  if (out) out << text;
 }
 
 BatchResult EstimationService::EstimateBatch(
     const std::string& collection, const std::vector<std::string>& queries,
     const BatchOptions& options) {
+  // The request's trace context governs every span below (and in worker
+  // tasks, which re-install it): unsampled requests skip span recording
+  // entirely, so always-on ring tracing prices in only sampled traffic.
+  telemetry::ScopedTraceContext trace_scope(options.trace);
   XCLUSTER_TRACE_SPAN("service.batch");
   XCLUSTER_SCOPED_TIMER_NS("service.batch_ns");
   XCLUSTER_COUNTER_INC("service.batches");
@@ -128,6 +258,7 @@ BatchResult EstimationService::EstimateBatch(
     }
     batch.stats.failed = batch.results.size();
     batch.stats.wall_ns = telemetry::MonotonicNowNs() - start_ns;
+    RecordFlight(collection, options, batch);
     return batch;
   }
 
@@ -138,8 +269,13 @@ BatchResult EstimationService::EstimateBatch(
   // queued. A shed batch fails as a unit with Unavailable and a
   // retry-after hint — cheaper for everyone than expiring query by query.
   uint64_t retry_after_ms = 0;
-  Status admitted = admission_->AdmitBatch(
-      collection, options.lane, queries.size(), deadline_ns, &retry_after_ms);
+  Status admitted;
+  {
+    XCLUSTER_TRACE_SPAN("admission.admit");
+    admitted = admission_->AdmitBatch(collection, options.lane,
+                                      queries.size(), deadline_ns,
+                                      &retry_after_ms);
+  }
   if (!admitted.ok()) {
     for (QueryResult& result : batch.results) {
       result.status = admitted;
@@ -148,9 +284,13 @@ BatchResult EstimationService::EstimateBatch(
     batch.retry_after_ms = retry_after_ms;
     batch.stats.failed = batch.results.size();
     batch.stats.wall_ns = telemetry::MonotonicNowNs() - start_ns;
+    RecordFlight(collection, options, batch);
     return batch;
   }
   const uint64_t batch_id = admission_->BeginBatch(options.lane);
+
+  telemetry::LatencyHistogram* lane_latency =
+      lane_latency_[static_cast<size_t>(options.lane)];
 
   // Slot-per-query completion tracking: tasks write disjoint slots, so
   // only the done-counter needs the lock.
@@ -160,7 +300,13 @@ BatchResult EstimationService::EstimateBatch(
 
   auto make_task = [&](QueryResult* slot, const std::string* query) {
     return [&, slot, query](const Executor::TaskContext& ctx) {
+      // Worker threads carry no context of their own; adopt the request's
+      // for the duration of this task so spans attribute correctly.
+      telemetry::ScopedTraceContext task_scope(options.trace);
       slot->queue_ns = ctx.queue_ns;
+#if XCLUSTER_TELEMETRY_ENABLED
+      EmitQueueWaitEvent(ctx.queue_ns);
+#endif
       if (ctx.cancelled) {
         slot->status = Status::Unsupported("executor shut down mid-batch");
       } else if (ctx.deadline_expired) {
@@ -168,8 +314,9 @@ BatchResult EstimationService::EstimateBatch(
             Status::DeadlineExceeded("batch deadline expired in queue");
         XCLUSTER_COUNTER_INC("service.requests.deadline_exceeded");
       } else {
+        XCLUSTER_TRACE_SPAN("executor.task");
         ProcessQuery(*snapshot, plan_cache_, *query, options.explain,
-                     deadline_ns, slot);
+                     deadline_ns, lane_latency, slot);
       }
       std::lock_guard<std::mutex> lock(mu);
       ++done;
@@ -240,6 +387,7 @@ BatchResult EstimationService::EstimateBatch(
   batch.stats.p95_latency_ns = LatencyQuantile(latencies, 0.95);
   batch.stats.max_latency_ns = latencies.empty() ? 0 : latencies.back();
   batch.stats.wall_ns = telemetry::MonotonicNowNs() - start_ns;
+  RecordFlight(collection, options, batch);
   return batch;
 }
 

@@ -7,9 +7,12 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/trace.h"
 #include "estimate/plan_cache.h"
 #include "service/admission.h"
 #include "service/executor.h"
+#include "service/flight_recorder.h"
 #include "service/synopsis_store.h"
 
 namespace xcluster {
@@ -32,6 +35,18 @@ struct ServiceOptions {
   /// Admission-control and QoS knobs (lanes, quotas, deadline shedding);
   /// see AdmissionOptions and docs/SERVING.md "QoS and overload behavior".
   AdmissionOptions admission;
+
+  /// Capacity of the per-batch flight-recorder ring (one completion record
+  /// per EstimateBatch, shed or not). Minimum 1.
+  size_t flight_recorder_capacity = 4096;
+
+  /// Slow-query threshold: a batch whose wall time exceeds this writes one
+  /// JSON line (trace id, lane, per-stage breakdown, slowest queries) to
+  /// `slow_query_log_path`. 0 disables the log.
+  uint64_t slow_query_ns = 0;
+
+  /// Destination for slow-query JSON lines (appended; empty = disabled).
+  std::string slow_query_log_path;
 };
 
 /// Per-batch request options.
@@ -50,6 +65,14 @@ struct BatchOptions {
   /// default) gets the high WFQ weight; large offline batches should tag
   /// themselves bulk so they never starve point queries.
   Lane lane = Lane::kInteractive;
+
+  /// Request trace context. A zero trace id records a flight entry with no
+  /// trace identity; a nonzero id is carried through admission, executor,
+  /// and estimation spans (when sampled) and into the flight ring.
+  telemetry::TraceContext trace;
+
+  /// Request wire size for the flight record (0 when not from the network).
+  uint64_t wire_bytes = 0;
 };
 
 /// Outcome of one query within a batch (slot order matches the request).
@@ -121,6 +144,17 @@ class EstimationService {
   /// with telemetry compiled out).
   const PlanCache& plan_cache() const { return plan_cache_; }
 
+  /// The per-batch flight ring (always on; works with telemetry compiled
+  /// out — flight records are product behavior, not instrumentation).
+  const FlightRecorder& flight() const { return flight_; }
+
+  /// Per-lane request-latency histograms (indexed by Lane), recorded for
+  /// every query that executes. Registered in the global metrics registry
+  /// as service.lane.{interactive,bulk}.latency_ns.
+  const telemetry::LatencyHistogram& lane_latency(Lane lane) const {
+    return *lane_latency_[static_cast<size_t>(lane)];
+  }
+
   /// Parses and estimates one query inline on the calling thread (no
   /// executor round-trip; the protocol's `estimate` command and simple
   /// embedders use this).
@@ -142,9 +176,15 @@ class EstimationService {
   void Shutdown();
 
  private:
+  void RecordFlight(const std::string& collection, const BatchOptions& options,
+                    const BatchResult& batch);
+
   ServiceOptions options_;
   SynopsisStore store_;
   PlanCache plan_cache_;
+  FlightRecorder flight_;
+  telemetry::LatencyHistogram* lane_latency_[kNumLanes];
+  std::mutex slow_log_mu_;
   // Declared before executor_ so it is destroyed after: tasks the
   // executor drains during shutdown re-enter the admission controller on
   // completion.

@@ -366,5 +366,68 @@ TEST(ServiceHarnessTest, StatsStaysConsistentUnderConcurrentChurn) {
   std::remove(path.c_str());
 }
 
+/// Parses the integer following `key` in a harness stats line.
+uint64_t StatsField(const std::string& line, const std::string& key) {
+  const size_t pos = line.find(key);
+  EXPECT_NE(pos, std::string::npos) << key << " missing from: " << line;
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + pos + key.size(), nullptr, 10);
+}
+
+TEST(ServiceHarnessTest, StatsReportsPerLaneLatencyFields) {
+  // The lane histograms live in the process-global metrics registry, so
+  // other tests in this binary contribute — assert on the delta.
+  EstimationService service;
+  service.store().Install("books", MakeFixture());
+  std::vector<std::string> before = RunScript(&service, "stats\nquit\n");
+  ASSERT_EQ(before.size(), 2u);
+  const uint64_t interactive0 =
+      StatsField(before[0], " lane_interactive_n=");
+  const uint64_t bulk0 = StatsField(before[0], " lane_bulk_n=");
+
+  BatchOptions bulk;
+  bulk.lane = Lane::kBulk;
+  service.EstimateBatch("books", {"/A", "/A/B"}, BatchOptions{});
+  service.EstimateBatch("books", {"/A"}, bulk);
+
+  std::vector<std::string> lines = RunScript(&service, "stats\nquit\n");
+  ASSERT_EQ(lines.size(), 2u);
+  // Two more interactive queries, one more bulk; every lane always
+  // exports count + p50/p95 fields.
+  EXPECT_EQ(StatsField(lines[0], " lane_interactive_n="), interactive0 + 2)
+      << lines[0];
+  EXPECT_EQ(StatsField(lines[0], " lane_bulk_n="), bulk0 + 1) << lines[0];
+  EXPECT_NE(lines[0].find(" lane_interactive_p50_us="), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find(" lane_bulk_p95_us="), std::string::npos)
+      << lines[0];
+}
+
+TEST(ServiceHarnessTest, FlightCommandDumpsTheRing) {
+  EstimationService service;
+  service.store().Install("books", MakeFixture());
+  BatchOptions options;
+  options.trace.trace_id = 0xf11e;
+  service.EstimateBatch("books", {"/A"}, options);
+  service.EstimateBatch("books", {"/A/B"});
+
+  std::vector<std::string> lines =
+      RunScript(&service, "flight\nflight 1\nflight -1\nquit\n");
+  // Header + 2 records, header + 1 record, error, goodbye.
+  ASSERT_EQ(lines.size(), 7u);
+  EXPECT_TRUE(StartsWith(lines[0], "ok flight n=2 recorded=2 capacity="))
+      << lines[0];
+  // Newest first; the traced batch is the older of the two.
+  EXPECT_NE(lines[1].find("trace=0000000000000000"), std::string::npos)
+      << lines[1];
+  EXPECT_NE(lines[2].find("trace=000000000000f11e"), std::string::npos)
+      << lines[2];
+  EXPECT_NE(lines[2].find("status=ok"), std::string::npos) << lines[2];
+  EXPECT_TRUE(StartsWith(lines[3], "ok flight n=1")) << lines[3];
+  EXPECT_NE(lines[4].find("trace=0000000000000000"), std::string::npos)
+      << lines[4];
+  EXPECT_TRUE(StartsWith(lines[5], "err flight")) << lines[5];
+}
+
 }  // namespace
 }  // namespace xcluster

@@ -240,10 +240,14 @@ TEST(TraceRecorderTest, ProducesWellFormedChromeTraceJson) {
     ASSERT_NE(ph, nullptr);
     EXPECT_EQ(ph->as_string(), "X");
   }
-  // Timestamps are rebased to the earliest event: the event starting at
-  // 2000ns becomes ts=1us, the one at 1000ns becomes ts=0.
-  EXPECT_DOUBLE_EQ(events->items()[0].Find("ts")->as_number(), 1.0);
-  EXPECT_DOUBLE_EQ(events->items()[1].Find("ts")->as_number(), 0.0);
+  // Timestamps are rebased to the earliest event and the output is sorted
+  // by start time (ring snapshots are unordered, so ToJson imposes the
+  // order): the 1000ns event leads with ts=0, the 2000ns one follows at
+  // ts=1us — even though they were added in the opposite order.
+  EXPECT_EQ(events->items()[0].Find("name")->as_string(), "phase2");
+  EXPECT_DOUBLE_EQ(events->items()[0].Find("ts")->as_number(), 0.0);
+  EXPECT_EQ(events->items()[1].Find("name")->as_string(), "phase1");
+  EXPECT_DOUBLE_EQ(events->items()[1].Find("ts")->as_number(), 1.0);
 }
 
 TEST(TraceRecorderTest, SpanRecordsIntoInstalledRecorder) {

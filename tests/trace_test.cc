@@ -1,0 +1,278 @@
+// Request tracing: trace ids and deterministic sampling, the bounded
+// seqlock ring recorder, span parenting under a ScopedTraceContext, and
+// the sorted Chrome-trace serialization. Complements telemetry_test.cc,
+// which covers the unbounded recorder and the metrics registry.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/telemetry/trace.h"
+
+namespace xcluster {
+namespace telemetry {
+namespace {
+
+TEST(TraceIdTest, GenerateIsNonZeroAndDistinct) {
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t id = GenerateTraceId();
+    EXPECT_NE(id, 0u);
+    seen.insert(id);
+  }
+  // Ids mix a counter in, so collisions within one process are impossible.
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(TraceIdTest, HexRoundTrips) {
+  for (const uint64_t id :
+       {uint64_t{1}, uint64_t{0xdeadbeef}, uint64_t{0xffffffffffffffffull},
+        GenerateTraceId()}) {
+    const std::string hex = TraceIdHex(id);
+    EXPECT_EQ(hex.size(), 16u);
+    uint64_t parsed = 0;
+    ASSERT_TRUE(ParseTraceIdHex(hex, &parsed).ok());
+    EXPECT_EQ(parsed, id);
+  }
+  // Short and uppercase forms parse too.
+  uint64_t parsed = 0;
+  ASSERT_TRUE(ParseTraceIdHex("DEADbeef", &parsed).ok());
+  EXPECT_EQ(parsed, 0xdeadbeefu);
+  EXPECT_FALSE(ParseTraceIdHex("", &parsed).ok());
+  EXPECT_FALSE(ParseTraceIdHex("xyz", &parsed).ok());
+  EXPECT_FALSE(ParseTraceIdHex("0123456789abcdef0", &parsed).ok());
+}
+
+TEST(TraceSamplingTest, DecisionIsDeterministic) {
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t id = GenerateTraceId();
+    const bool first = SampleTrace(id, 0.5);
+    for (int j = 0; j < 10; ++j) {
+      EXPECT_EQ(SampleTrace(id, 0.5), first) << "id=" << TraceIdHex(id);
+    }
+  }
+}
+
+TEST(TraceSamplingTest, EdgeRates) {
+  const uint64_t id = GenerateTraceId();
+  EXPECT_FALSE(SampleTrace(id, 0.0));
+  EXPECT_FALSE(SampleTrace(id, -1.0));
+  EXPECT_TRUE(SampleTrace(id, 1.0));
+  EXPECT_TRUE(SampleTrace(id, 2.0));
+  EXPECT_FALSE(SampleTrace(0, 1.0));  // zero id = no context, never sampled
+}
+
+TEST(TraceSamplingTest, RateIsMonotoneAndRoughlyProportional) {
+  // Raising the rate may only add ids to the sampled set, and the hit
+  // count over many ids should track the rate.
+  int hits25 = 0, hits75 = 0;
+  constexpr int kIds = 4000;
+  for (int i = 0; i < kIds; ++i) {
+    const uint64_t id = GenerateTraceId();
+    const bool at25 = SampleTrace(id, 0.25);
+    const bool at75 = SampleTrace(id, 0.75);
+    if (at25) {
+      EXPECT_TRUE(at75) << "sampling must be monotone in rate";
+    }
+    hits25 += at25 ? 1 : 0;
+    hits75 += at75 ? 1 : 0;
+  }
+  EXPECT_GT(hits25, kIds / 8);
+  EXPECT_LT(hits25, kIds * 3 / 8);
+  EXPECT_GT(hits75, kIds * 5 / 8);
+  EXPECT_LT(hits75, kIds * 7 / 8);
+}
+
+TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo) {
+  TraceRecorder recorder(100);
+  EXPECT_EQ(recorder.ring_capacity(), 128u);
+  TraceRecorder tiny(1);
+  EXPECT_EQ(tiny.ring_capacity(), 2u);
+  TraceRecorder unbounded;
+  EXPECT_EQ(unbounded.ring_capacity(), 0u);
+}
+
+TEST(TraceRingTest, OverwritesOldestAndCountsTotal) {
+  TraceRecorder recorder(4);  // capacity 4
+  for (uint64_t i = 1; i <= 10; ++i) {
+    TraceRecorder::Event event;
+    event.name = "ring.event";
+    event.start_ns = i * 1000;
+    recorder.Add(event);
+  }
+  EXPECT_EQ(recorder.total_added(), 10u);
+  EXPECT_EQ(recorder.event_count(), 4u);
+  // The retained window is the newest four events (7..10).
+  std::set<uint64_t> starts;
+  for (const TraceRecorder::Event& event : recorder.SnapshotEvents()) {
+    starts.insert(event.start_ns);
+  }
+  EXPECT_EQ(starts, (std::set<uint64_t>{7000, 8000, 9000, 10000}));
+}
+
+TEST(TraceRingTest, ConcurrentAddNeverTearsOrDropsSlots) {
+  // Hammer a small ring from several threads, snapshotting concurrently.
+  // Every snapshot must parse and every retained event must be internally
+  // consistent (the seqlock discards torn slots instead of surfacing them).
+  TraceRecorder recorder(256);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&recorder, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const TraceRecorder::Event& event : recorder.SnapshotEvents()) {
+        // A torn slot could pair one writer's start with another's
+        // duration; writers encode start == duration so tearing is
+        // detectable.
+        ASSERT_EQ(event.start_ns, event.duration_ns);
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceRecorder::Event event;
+        event.name = "stress.event";
+        const uint64_t stamp =
+            (static_cast<uint64_t>(t) << 32) | static_cast<uint64_t>(i);
+        event.start_ns = stamp;
+        event.duration_ns = stamp;
+        recorder.Add(event);
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(recorder.total_added(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(recorder.event_count(), 256u);
+  Result<JsonValue> parsed = ParseJson(recorder.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+}
+
+TEST(TraceRingTest, ToJsonIsSortedByStartTime) {
+  TraceRecorder recorder(8);
+  const uint64_t starts[] = {5000, 1000, 3000, 2000, 4000};
+  for (const uint64_t start : starts) {
+    TraceRecorder::Event event;
+    event.name = "sorted.event";
+    event.start_ns = start;
+    recorder.Add(event);
+  }
+  Result<JsonValue> parsed = ParseJson(recorder.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* events = parsed.value().Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items().size(), 5u);
+  double previous = -1.0;
+  for (const JsonValue& event : events->items()) {
+    const double ts = event.Find("ts")->as_number();
+    EXPECT_GE(ts, previous);
+    previous = ts;
+  }
+  EXPECT_DOUBLE_EQ(events->items()[0].Find("ts")->as_number(), 0.0);
+}
+
+TEST(TraceContextTest, ScopedContextInstallsAndRestores) {
+  EXPECT_EQ(CurrentTraceContext().trace_id, 0u);
+  {
+    TraceContext context;
+    context.trace_id = 0x1234;
+    context.sampled = true;
+    ScopedTraceContext scope(context);
+    EXPECT_EQ(CurrentTraceContext().trace_id, 0x1234u);
+    EXPECT_TRUE(CurrentTraceContext().sampled);
+    {
+      TraceContext inner;
+      inner.trace_id = 0x5678;
+      ScopedTraceContext inner_scope(inner);
+      EXPECT_EQ(CurrentTraceContext().trace_id, 0x5678u);
+      EXPECT_FALSE(CurrentTraceContext().sampled);
+    }
+    EXPECT_EQ(CurrentTraceContext().trace_id, 0x1234u);
+  }
+  EXPECT_EQ(CurrentTraceContext().trace_id, 0u);
+}
+
+TEST(TraceContextTest, SpansCarryContextAndParenting) {
+  TraceRecorder recorder;
+  TraceRecorder* previous = GlobalTraceRecorder();
+  InstallGlobalTraceRecorder(&recorder);
+  {
+    TraceContext context;
+    context.trace_id = 0xabc;
+    context.sampled = true;
+    ScopedTraceContext scope(context);
+    TraceSpan outer("parenting.outer");
+    { TraceSpan inner("parenting.inner"); }
+  }
+  InstallGlobalTraceRecorder(previous);
+  ASSERT_EQ(recorder.event_count(), 2u);
+  const std::vector<TraceRecorder::Event> events = recorder.SnapshotEvents();
+  // Spans close inner-first, so events[0] is the inner span.
+  const TraceRecorder::Event& inner = events[0];
+  const TraceRecorder::Event& outer = events[1];
+  EXPECT_STREQ(inner.name, "parenting.inner");
+  EXPECT_STREQ(outer.name, "parenting.outer");
+  EXPECT_EQ(inner.trace_id, 0xabcu);
+  EXPECT_EQ(outer.trace_id, 0xabcu);
+  EXPECT_NE(outer.span_id, 0u);
+  EXPECT_EQ(inner.parent_span_id, outer.span_id);
+  EXPECT_EQ(outer.parent_span_id, 0u);  // root span of this scope
+}
+
+TEST(TraceContextTest, UnsampledContextSuppressesSpans) {
+  TraceRecorder recorder;
+  TraceRecorder* previous = GlobalTraceRecorder();
+  InstallGlobalTraceRecorder(&recorder);
+  {
+    TraceContext context;
+    context.trace_id = 0xdef;
+    context.sampled = false;
+    ScopedTraceContext scope(context);
+    TraceSpan span("suppressed.span");
+  }
+  {
+    // No context at all (trace_id 0) keeps the legacy always-record path.
+    TraceSpan span("legacy.span");
+  }
+  InstallGlobalTraceRecorder(previous);
+  ASSERT_EQ(recorder.event_count(), 1u);
+  EXPECT_STREQ(recorder.SnapshotEvents()[0].name, "legacy.span");
+}
+
+TEST(TraceContextTest, ToJsonEmitsTraceArgs) {
+  TraceRecorder recorder;
+  TraceRecorder* previous = GlobalTraceRecorder();
+  InstallGlobalTraceRecorder(&recorder);
+  {
+    TraceContext context;
+    context.trace_id = 0xfeedface;
+    context.sampled = true;
+    ScopedTraceContext scope(context);
+    TraceSpan span("args.span");
+  }
+  InstallGlobalTraceRecorder(previous);
+  Result<JsonValue> parsed = ParseJson(recorder.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& event = parsed.value().Find("traceEvents")->items()[0];
+  const JsonValue* traced_args = event.Find("args");
+  ASSERT_NE(traced_args, nullptr);
+  EXPECT_EQ(traced_args->Find("trace_id")->as_string(),
+            TraceIdHex(0xfeedface));
+  EXPECT_NE(traced_args->Find("span_id"), nullptr);
+  EXPECT_NE(traced_args->Find("parent_span_id"), nullptr);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace xcluster

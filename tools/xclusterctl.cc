@@ -36,14 +36,34 @@
 //       bound (port 0 picks an ephemeral port). SIGTERM/SIGINT trigger a
 //       graceful drain. Bind/listen failures exit with code 3.
 //
-//   xclusterctl remote <estimate|batch|load|stats> --connect host:port ...
+//       Observability knobs (docs/OBSERVABILITY.md):
+//         --trace-sample R     deterministic span-sampling rate [0,1] for
+//                              batches without a client sampling decision
+//         --trace-ring N       always-on ring TraceRecorder capacity
+//                              (default 65536 spans; 0 disables; ignored
+//                              when --trace <path> installs the unbounded
+//                              recorder instead)
+//         --flight-ring N      flight-recorder capacity (default 4096)
+//         --slow-query-ms N    batches slower than N ms append a JSON
+//                              line to --slow-query-log (required with it)
+//         --dump-prefix P      SIGQUIT writes <P>-<unixtime>.flight.json
+//                              and <P>-<unixtime>.trace.json while the
+//                              daemon keeps serving (default
+//                              xcluster-dump)
+//
+//   xclusterctl remote <estimate|batch|load|stats|flight> --connect ...
 //       Client for a `serve --listen` daemon: estimate --name n --query q;
 //       batch --name n --queries f.txt [--deadline-us N] [--explain]
-//       [--priority interactive|bulk] (ships the whole file as one packed
-//       frame); load --name n --path f.xcs; stats. Shared client flags:
-//       --timeout-ms N, --connect-timeout-ms N, and --retries N (bounded
-//       exponential-backoff retry of admission sheds and capacity
-//       rejections, honoring the server's retry-after hint).
+//       [--priority interactive|bulk] [--trace [hexid]] (ships the whole
+//       file as one packed frame; --trace attaches a sampled trace
+//       context — a 16-digit hex id, or server/client-generated when the
+//       value is omitted — and prints the trace_id echoed by a v3
+//       server); load --name n --path f.xcs; stats [--prom|--json]
+//       (typed v3 scrape frame; plain text falls back to the v1 command
+//       path); flight [--limit N] (flight-recorder JSON dump, v3+).
+//       Shared client flags: --timeout-ms N, --connect-timeout-ms N, and
+//       --retries N (bounded exponential-backoff retry of admission sheds
+//       and capacity rejections, honoring the server's retry-after hint).
 //
 //   xclusterctl inspect --synopsis synopsis.xcs [--dump]
 //       Prints size/cluster statistics (and optionally the clustering).
@@ -56,12 +76,13 @@
 //       Pretty-prints a metrics snapshot: the live process registry, or a
 //       snapshot previously exported with --metrics-json.
 //
-//   Global flags (any command):
+//   Global flags (any command except `remote`, where --trace is the
+//   batch trace-context flag above):
 //     --metrics-json <path>   write a registry snapshot (JSON) on exit
 //     --metrics-prom <path>   write the snapshot in Prometheus text format
 //     --trace <path>          record trace spans, write Chrome trace JSON
-//       (see docs/OBSERVABILITY.md; all three are inert when the library
-//       was built with -DXCLUSTER_TELEMETRY=OFF)
+//       (see docs/OBSERVABILITY.md; span recording is inert when the
+//       library was built with -DXCLUSTER_TELEMETRY=OFF)
 
 #include <unistd.h>
 
@@ -69,6 +90,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -360,6 +382,86 @@ void HandleDrainSignal(int /*signo*/) {
   }
 }
 
+/// Write end of the SIGQUIT dump pipe. The handler writes one byte; a
+/// dedicated thread does the actual file I/O so the daemon keeps serving
+/// and the handler stays async-signal-safe.
+std::atomic<int> g_dump_fd{-1};
+
+void HandleDumpSignal(int /*signo*/) {
+  const int fd = g_dump_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    ssize_t ignored = ::write(fd, &byte, 1);
+    (void)ignored;
+  }
+}
+
+/// Flight-ring + trace-ring dump to <prefix>-<unixtime>.{flight,trace}.json.
+/// Runs on the dump thread (never in signal context). Prints the written
+/// paths on stderr so wrappers (scripts/chaos_smoke.sh) can find them.
+void WriteDebugDump(const EstimationService* service,
+                    telemetry::TraceRecorder* recorder,
+                    const std::string& prefix) {
+  const std::string stamp = std::to_string(
+      static_cast<long long>(::time(nullptr)));
+  const std::string flight_path = prefix + "-" + stamp + ".flight.json";
+  Status status = WriteFileAtomic(flight_path, service->flight().ToJson());
+  if (status.ok()) {
+    std::fprintf(stderr, "dump: wrote %s\n", flight_path.c_str());
+  } else {
+    std::fprintf(stderr, "dump: %s: %s\n", flight_path.c_str(),
+                 status.ToString().c_str());
+  }
+  if (recorder != nullptr) {
+    const std::string trace_path = prefix + "-" + stamp + ".trace.json";
+    status = recorder->WriteFile(trace_path);
+    if (status.ok()) {
+      std::fprintf(stderr, "dump: wrote %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "dump: %s: %s\n", trace_path.c_str(),
+                   status.ToString().c_str());
+    }
+  }
+  std::fflush(stderr);
+}
+
+/// Owns the serve-mode ring recorder and its global registration.
+/// Declared before the EstimationService so it is destroyed after it:
+/// worker threads are joined first, then the recorder is uninstalled and
+/// freed.
+struct RingTraceGuard {
+  std::unique_ptr<telemetry::TraceRecorder> recorder;
+
+  ~RingTraceGuard() {
+    if (recorder != nullptr &&
+        telemetry::GlobalTraceRecorder() == recorder.get()) {
+      telemetry::InstallGlobalTraceRecorder(nullptr);
+    }
+  }
+};
+
+/// Owns the SIGQUIT dump plumbing (self-pipe + worker thread). Declared
+/// after the EstimationService so the dump thread — which reads the
+/// service's flight ring — is stopped before the service dies, on every
+/// Serve() exit path including the early Fail returns.
+struct DumpPipeGuard {
+  int pipe_read = -1;
+  int pipe_write = -1;
+  std::thread dump_thread;
+
+  ~DumpPipeGuard() {
+    if (pipe_write < 0) return;
+    std::signal(SIGQUIT, SIG_DFL);
+    g_dump_fd.store(-1, std::memory_order_relaxed);
+    const char sentinel = 0;
+    ssize_t ignored = ::write(pipe_write, &sentinel, 1);
+    (void)ignored;
+    if (dump_thread.joinable()) dump_thread.join();
+    ::close(pipe_write);
+    ::close(pipe_read);
+  }
+};
+
 int Serve(const Args& args) {
   const std::string listen = args.Get("listen");
   if (!args.Has("stdin") && listen.empty()) {
@@ -376,6 +478,16 @@ int Serve(const Args& args) {
   options.plan_cache_capacity = static_cast<size_t>(args.GetInt(
       "plan-cache-capacity",
       static_cast<int64_t>(options.plan_cache_capacity)));
+  options.flight_recorder_capacity = static_cast<size_t>(args.GetInt(
+      "flight-ring",
+      static_cast<int64_t>(options.flight_recorder_capacity)));
+  const int64_t slow_query_ms = args.GetInt("slow-query-ms", 0);
+  if (slow_query_ms < 0) return Fail("--slow-query-ms must be >= 0");
+  options.slow_query_ns = static_cast<uint64_t>(slow_query_ms) * 1000000;
+  options.slow_query_log_path = args.Get("slow-query-log");
+  if (slow_query_ms > 0 && options.slow_query_log_path.empty()) {
+    return Fail("--slow-query-ms requires --slow-query-log <path>");
+  }
   // --lane-weights I:B — weighted-fair-queueing shares for the interactive
   // and bulk admission lanes (default 8:1).
   const std::string lane_weights = args.Get("lane-weights");
@@ -397,7 +509,45 @@ int Serve(const Args& args) {
     options.admission.lane_weights[static_cast<size_t>(Lane::kBulk)] =
         static_cast<uint32_t>(bulk);
   }
+  // Always-on bounded tracing for the daemon: a seqlock ring recorder that
+  // overwrites the oldest spans instead of growing. --trace <path> (handled
+  // in Run) installs the unbounded recorder instead and wins; --trace-ring 0
+  // disables ring tracing entirely.
+  const int64_t trace_ring = args.GetInt("trace-ring", 65536);
+  if (trace_ring < 0) return Fail("--trace-ring must be >= 0");
+  RingTraceGuard ring_trace;
+  if (trace_ring > 0 && telemetry::GlobalTraceRecorder() == nullptr) {
+    ring_trace.recorder = std::make_unique<telemetry::TraceRecorder>(
+        static_cast<size_t>(trace_ring));
+    telemetry::InstallGlobalTraceRecorder(ring_trace.recorder.get());
+  }
+
   EstimationService service(options);
+
+  // SIGQUIT → debug dump (flight ring + trace ring) without stopping the
+  // daemon. The handler pokes a self-pipe; the dump thread owns the file
+  // I/O so the handler stays down to one async-signal-safe write(2).
+  DumpPipeGuard dump;
+  {
+    int dump_pipe[2] = {-1, -1};
+    const std::string dump_prefix = args.Get("dump-prefix", "xcluster-dump");
+    if (::pipe(dump_pipe) == 0) {
+      dump.pipe_read = dump_pipe[0];
+      dump.pipe_write = dump_pipe[1];
+      g_dump_fd.store(dump.pipe_write, std::memory_order_relaxed);
+      dump.dump_thread = std::thread([&service, read_fd = dump.pipe_read,
+                                      dump_prefix] {
+        for (;;) {
+          char byte = 0;
+          const ssize_t got = ::read(read_fd, &byte, 1);
+          if (got <= 0 || byte == 0) break;  // shutdown sentinel / pipe gone
+          WriteDebugDump(&service, telemetry::GlobalTraceRecorder(),
+                         dump_prefix);
+        }
+      });
+      std::signal(SIGQUIT, HandleDumpSignal);
+    }
+  }
 
   // --quota name=rate:burst[,name=rate:burst...]: per-collection admission
   // token buckets (queries/sec and burst size), installed before serving.
@@ -454,6 +604,10 @@ int Serve(const Args& args) {
         static_cast<uint64_t>(args.GetInt("deadline-us", 0)) * 1000;
     net_options.drain_timeout_ms = static_cast<uint64_t>(args.GetInt(
         "drain-ms", static_cast<int64_t>(net_options.drain_timeout_ms)));
+    net_options.trace_sample = args.GetDouble("trace-sample", 0.0);
+    if (net_options.trace_sample < 0.0 || net_options.trace_sample > 1.0) {
+      return Fail("--trace-sample must be in [0, 1]");
+    }
     server = std::make_unique<net::NetServer>(&service, net_options);
     Status started = server->Start();
     if (!started.ok()) {
@@ -541,6 +695,22 @@ int Remote(const std::string& action, const Args& args) {
       return Fail("unknown --priority '" + priority +
                   "' (interactive|bulk)");
     }
+    // --trace [hexid]: attach a sampled trace context. With no value the
+    // client mints the id, so the trace is identifiable even before the
+    // server echoes it back.
+    if (args.Has("trace")) {
+      const std::string hex = args.Get("trace");
+      if (hex.empty()) {
+        batch_options.trace.trace_id = telemetry::GenerateTraceId();
+      } else {
+        Status parsed =
+            telemetry::ParseTraceIdHex(hex, &batch_options.trace.trace_id);
+        if (!parsed.ok()) {
+          return Fail("--trace " + hex + ": " + parsed.ToString());
+        }
+      }
+      batch_options.trace.sampled = true;
+    }
     Result<net::BatchReplyFrame> reply =
         client.value().Batch(name, queries, batch_options);
     if (!reply.ok()) {
@@ -556,6 +726,16 @@ int Remote(const std::string& action, const Args& args) {
     std::printf("%s",
                 net::FormatBatchReply(reply.value(), batch_options.explain)
                     .c_str());
+    // Only --trace requests print the id: batch output must stay
+    // byte-identical to serve --stdin (net_smoke diffs them), and a v3
+    // server echoes a minted id for every batch. Prefer the echo; fall
+    // back to the sent id against a pre-v3 server.
+    if (args.Has("trace")) {
+      const uint64_t trace_id = client.value().last_trace_id() != 0
+                                    ? client.value().last_trace_id()
+                                    : batch_options.trace.trace_id;
+      std::printf("trace_id=%s\n", telemetry::TraceIdHex(trace_id).c_str());
+    }
     return reply.value().stats.failed == 0 ? 0 : 1;
   }
   if (action == "load") {
@@ -572,13 +752,34 @@ int Remote(const std::string& action, const Args& args) {
     return reply.value().rfind("ok", 0) == 0 ? 0 : 1;
   }
   if (action == "stats") {
+    // --prom/--json use the typed v3 scrape frame (machine formats straight
+    // off the metrics registry); the plain form keeps the v1 command path
+    // so old servers still answer.
+    if (args.Has("prom") || args.Has("json")) {
+      const net::StatsFormat format = args.Has("prom")
+                                          ? net::StatsFormat::kPrometheus
+                                          : net::StatsFormat::kJson;
+      Result<std::string> scrape = client.value().StatsScrape(format);
+      if (!scrape.ok()) return Fail(scrape.status().ToString());
+      std::printf("%s", scrape.value().c_str());
+      return 0;
+    }
     Result<std::string> reply = client.value().Command("stats");
     if (!reply.ok()) return Fail(reply.status().ToString());
     std::printf("%s", reply.value().c_str());
     return reply.value().rfind("ok", 0) == 0 ? 0 : 1;
   }
+  if (action == "flight") {
+    const int64_t limit = args.GetInt("limit", 0);
+    if (limit < 0) return Fail("--limit must be >= 0");
+    Result<std::string> dump =
+        client.value().FlightDump(static_cast<uint32_t>(limit));
+    if (!dump.ok()) return Fail(dump.status().ToString());
+    std::printf("%s", dump.value().c_str());
+    return 0;
+  }
   return Fail("unknown remote action '" + action +
-              "' (estimate|batch|load|stats)");
+              "' (estimate|batch|load|stats|flight)");
 }
 
 int Stats(const Args& args) {
@@ -728,14 +929,18 @@ int Usage() {
       "  serve    --stdin [--workers N] [--queue N] [--preload name=f.xcs]\n"
       "           [--reach-cache-capacity N] [--plan-cache-capacity N]\n"
       "           [--quota name=rate:burst,...] [--lane-weights I:B]\n"
+      "           [--trace-sample R] [--trace-ring N] [--flight-ring N]\n"
+      "           [--slow-query-ms N --slow-query-log f.log]\n"
+      "           [--dump-prefix P]   (SIGQUIT writes flight+trace dumps)\n"
       "           [--listen host:port [--max-connections N]\n"
       "            [--deadline-us N] [--drain-ms N]]\n"
       "  remote   estimate --connect host:port --name n --query q\n"
       "  remote   batch    --connect host:port --name n --queries f.txt\n"
-      "           [--deadline-us N] [--explain]\n"
+      "           [--deadline-us N] [--explain] [--trace [hexid]]\n"
       "           [--priority interactive|bulk]\n"
       "  remote   load     --connect host:port --name n --path f.xcs\n"
-      "  remote   stats    --connect host:port\n"
+      "  remote   stats    --connect host:port [--prom|--json]\n"
+      "  remote   flight   --connect host:port [--limit N]\n"
       "  remote flags: [--timeout-ms N] [--connect-timeout-ms N]\n"
       "           [--retries N]\n"
       "  inspect  --synopsis f.xcs [--detail] [--dump]\n"
@@ -778,12 +983,16 @@ int Run(int argc, char** argv) {
   }
   Args args(argc, argv);
   for (const char* flag : {"metrics-json", "metrics-prom", "trace"}) {
+    // For `remote`, --trace is the batch trace-context flag (optional hex
+    // id, no path) — it never names an output file there.
+    if (command == "remote" && std::string(flag) == "trace") continue;
     if (args.Has(flag) && args.Get(flag).empty()) {
       return Fail(std::string("--") + flag + " requires a path");
     }
   }
 
-  const std::string trace_path = args.Get("trace");
+  const std::string trace_path =
+      command == "remote" ? "" : args.Get("trace");
   telemetry::TraceRecorder recorder;
   if (!trace_path.empty()) telemetry::InstallGlobalTraceRecorder(&recorder);
 
