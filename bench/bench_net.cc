@@ -8,10 +8,16 @@
 // throughput plus the in-process baseline for the transport overhead.
 //
 //   bench_net [--queries N] [--scale S] [--connections C1,C2,...]
-//             [--rounds R] [--workers W]
+//             [--rounds R] [--workers W] [--router]
 //
 // Defaults: 10000 queries per batch, XMark scale 0.1, connections 1 and 8,
 // 2 rounds per connection, 8 executor workers.
+//
+// --router additionally stands up a cluster::Router in front of the
+// server and repeats every fan-out through it (entries named
+// net_batch_routed/...), plus a slot-by-slot bit-identity comparison of
+// one routed batch against the same batch sent directly — quantifying the
+// router hop's overhead and proving it never perturbs an estimate.
 //
 // A final run repeats the widest fan-out with a 64Ki ring recorder
 // installed and every batch carrying a sampled trace context — the
@@ -27,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/router.h"
 #include "common/io/file_io.h"
 #include "common/json.h"
 #include "common/telemetry/metrics.h"
@@ -47,6 +54,7 @@ struct BenchConfig {
   std::vector<size_t> connections = {1, 8};
   size_t rounds = 2;
   size_t workers = 8;
+  bool router = false;
 };
 
 std::vector<size_t> ParseSizeList(const char* arg) {
@@ -172,10 +180,13 @@ int Main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       config.workers =
           static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--router") == 0) {
+      config.router = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_net [--queries N] [--scale S] "
-                   "[--connections C1,C2,...] [--rounds R] [--workers W]\n");
+                   "[--connections C1,C2,...] [--rounds R] [--workers W] "
+                   "[--router]\n");
       return 1;
     }
   }
@@ -303,6 +314,90 @@ int Main(int argc, char** argv) {
     entry.members()["spans_recorded"] =
         JsonValue::Number(static_cast<double>(ring.total_added()));
     entries.items().push_back(std::move(entry));
+  }
+
+  // --router: the same fan-outs again, but through a cluster router in
+  // front of the server — the extra hop (decode, HRW, re-encode) is the
+  // measured cost, and one routed batch is checked slot-by-slot against a
+  // direct batch for exact IEEE-754 bit identity.
+  if (config.router) {
+    cluster::RouterOptions router_options;
+    router_options.server.host = "127.0.0.1";
+    router_options.server.port = 0;
+    router_options.server.max_connections = 64;
+    router_options.peers = {"127.0.0.1:" + std::to_string(server.port())};
+    router_options.replicas.probe_interval_ms = 500;
+    router_options.workers = config.workers;
+    router_options.queue_capacity = 4096;
+    cluster::Router router(std::move(router_options));
+    Status router_started = router.Start();
+    if (!router_started.ok()) {
+      std::fprintf(stderr, "bench_net: router: %s\n",
+                   router_started.ToString().c_str());
+      return 1;
+    }
+
+    // Bit-identity gate: routed and direct replies must agree exactly.
+    {
+      Result<net::NetClient> direct =
+          net::NetClient::Connect("127.0.0.1", server.port());
+      Result<net::NetClient> routed =
+          net::NetClient::Connect("127.0.0.1", router.port());
+      if (!direct.ok() || !routed.ok()) {
+        std::fprintf(stderr, "bench_net: router connect failed\n");
+        return 1;
+      }
+      Result<net::BatchReplyFrame> direct_reply =
+          direct.value().Batch("xmark", queries, {});
+      Result<net::BatchReplyFrame> routed_reply =
+          routed.value().Batch("xmark", queries, {});
+      size_t mismatches = 0;
+      if (!direct_reply.ok() || !routed_reply.ok() ||
+          direct_reply.value().items.size() !=
+              routed_reply.value().items.size()) {
+        mismatches = queries.size();
+      } else {
+        for (size_t i = 0; i < direct_reply.value().items.size(); ++i) {
+          const net::BatchReplyItem& a = direct_reply.value().items[i];
+          const net::BatchReplyItem& b = routed_reply.value().items[i];
+          if (a.ok != b.ok || a.estimate != b.estimate) ++mismatches;
+        }
+      }
+      std::fprintf(stderr, "bench_net: routed bit-identity mismatches=%zu\n",
+                   mismatches);
+      if (mismatches > 0) {
+        std::fprintf(stderr,
+                     "bench_net: routed batch diverges from direct batch\n");
+        rc = 1;
+      }
+      JsonValue entry = JsonValue::Object();
+      entry.members()["name"] = JsonValue::String("routed_bit_identity");
+      entry.members()["queries"] =
+          JsonValue::Number(static_cast<double>(queries.size()));
+      entry.members()["mismatches"] =
+          JsonValue::Number(static_cast<double>(mismatches));
+      entries.items().push_back(std::move(entry));
+    }
+
+    for (size_t connections : config.connections) {
+      std::fprintf(stderr,
+                   "bench_net: routed %zu connection(s) x %zu round(s) x "
+                   "%zu queries ...\n",
+                   connections, config.rounds, config.queries);
+      ConnRun run = RunConnections(router.port(), queries, connections,
+                                   config.rounds);
+      std::fprintf(stderr,
+                   "  qps=%.0f wall_ms=%.1f batches=%zu ok=%zu failed=%zu "
+                   "transport_errors=%zu\n",
+                   run.qps, run.wall_ms, run.batches, run.ok, run.failed,
+                   run.errors);
+      if (run.errors > 0) rc = 1;
+      JsonValue entry = ConnEntry(run);
+      entry.members()["name"] = JsonValue::String(
+          "net_batch_routed/connections:" + std::to_string(run.connections));
+      entries.items().push_back(std::move(entry));
+    }
+    router.Stop();
   }
 
   server.Stop();

@@ -15,7 +15,10 @@ docs/OBSERVABILITY.md: the build-phase counters a real build must produce
 are present and non-zero, and histograms carry sane quantiles.
 
 With --require-counter (repeatable), the named counters must additionally
-be present and non-zero. When at least one is given for a plain snapshot,
+be present and non-zero. A name containing glob characters (fnmatch:
+`cluster.*`) requires the family to exist with at least one non-zero
+member — the cluster smoke uses it to prove the routing layer counted
+without enumerating every counter. When at least one is given for a plain snapshot,
 the build-phase defaults above are NOT required — the caller is validating
 a snapshot from a process that served rather than built (e.g. the
 chaos-smoke daemon), and states its own activity requirements instead.
@@ -42,6 +45,7 @@ first violation.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -123,8 +127,25 @@ def check_snapshot_shape(snapshot):
         check_histogram(name, hist)
 
 
+def is_glob(name):
+    return any(c in name for c in "*?[")
+
+
 def require_nonzero_counter(snapshot, name):
     counters = snapshot["counters"]
+    if is_glob(name):
+        # Wildcard semantics: the family must exist, and at least one
+        # member must have counted — `--require-counter 'cluster.*'` proves
+        # the cluster layer was exercised without naming every counter.
+        matches = fnmatch.filter(counters.keys(), name)
+        if not matches:
+            fail(f"no counter matches required pattern '{name}'")
+        if not any(counters[match] > 0 for match in matches):
+            fail(
+                f"all {len(matches)} counters matching '{name}' are zero: "
+                f"{sorted(matches)}"
+            )
+        return
     if name not in counters:
         fail(f"required counter '{name}' missing")
     if counters[name] == 0:
@@ -133,6 +154,16 @@ def require_nonzero_counter(snapshot, name):
 
 def require_populated_histogram(snapshot, name):
     histograms = snapshot["histograms"]
+    if is_glob(name):
+        matches = fnmatch.filter(histograms.keys(), name)
+        if not matches:
+            fail(f"no histogram matches required pattern '{name}'")
+        if not any(histograms[match]["count"] > 0 for match in matches):
+            fail(
+                f"all {len(matches)} histograms matching '{name}' are "
+                f"empty: {sorted(matches)}"
+            )
+        return
     if name not in histograms:
         fail(f"required histogram '{name}' missing")
     if histograms[name]["count"] == 0:

@@ -1,0 +1,91 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+
+namespace xcluster {
+namespace cluster {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mixing of a 64-bit value.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+uint64_t CollectionHash(std::string_view name) {
+  return Mix64(Fnv1a64(name));
+}
+
+uint64_t ReplicaSeed(std::string_view address) {
+  // A distinct stream from CollectionHash, so "a" the collection and "a"
+  // the (pathological) replica address never produce correlated scores.
+  return Mix64(Fnv1a64(address) ^ 0x5851f42d4c957f2dull);
+}
+
+uint64_t HrwScore(uint64_t collection_hash, uint64_t replica_seed) {
+  return Mix64(collection_hash ^ replica_seed);
+}
+
+std::vector<size_t> RankReplicas(uint64_t collection_hash,
+                                 const std::vector<uint64_t>& replica_seeds) {
+  std::vector<size_t> order(replica_seeds.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const uint64_t sa = HrwScore(collection_hash, replica_seeds[a]);
+    const uint64_t sb = HrwScore(collection_hash, replica_seeds[b]);
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  return order;
+}
+
+ShardSpec ParseShardSpec(const std::string& collection, uint32_t max_shards) {
+  ShardSpec spec;
+  spec.base = collection;
+  const size_t at = collection.rfind('@');
+  if (at == std::string::npos || at == 0 ||
+      at + 1 >= collection.size()) {
+    return spec;  // no '@', empty base, or trailing '@': literal
+  }
+  const std::string base = collection.substr(0, at);
+  if (base.find('@') != std::string::npos) return spec;  // "a@b@2": literal
+  const std::string digits = collection.substr(at + 1);
+  if (digits.size() > 1 && digits[0] == '0') return spec;  // "base@007"
+  uint64_t count = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return spec;
+    count = count * 10 + static_cast<uint64_t>(c - '0');
+    if (count > max_shards) return spec;
+  }
+  if (count < 2) return spec;  // nothing to fan out
+  spec.base = base;
+  spec.shard_count = static_cast<uint32_t>(count);
+  return spec;
+}
+
+std::vector<std::string> ShardNames(const ShardSpec& spec) {
+  if (!spec.sharded()) return {spec.base};
+  std::vector<std::string> names;
+  names.reserve(spec.shard_count);
+  for (uint32_t i = 0; i < spec.shard_count; ++i) {
+    names.push_back(spec.base + "@" + std::to_string(i));
+  }
+  return names;
+}
+
+}  // namespace cluster
+}  // namespace xcluster

@@ -1,0 +1,61 @@
+#ifndef XCLUSTER_CLUSTER_HASH_RING_H_
+#define XCLUSTER_CLUSTER_HASH_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xcluster {
+namespace cluster {
+
+/// Stable 64-bit hash of a collection name (FNV-1a with a splitmix64
+/// finalizer). Every router in a fleet computes the same hash for the same
+/// name, so routing is consistent across processes and restarts — never
+/// use std::hash here, whose value is implementation-defined.
+uint64_t CollectionHash(std::string_view name);
+
+/// Stable seed for one replica, derived from its address ("host:port").
+uint64_t ReplicaSeed(std::string_view address);
+
+/// Rendezvous (highest-random-weight) score of one replica for one
+/// collection. The replica with the highest score owns the collection;
+/// sorting by descending score yields the failover preference order.
+uint64_t HrwScore(uint64_t collection_hash, uint64_t replica_seed);
+
+/// Indices into `replica_seeds` ordered by descending HRW score for
+/// `collection_hash` (ties broken by index, so the order is total).
+/// Removing one replica reshuffles only the collections it owned — the
+/// property that makes HRW the right ring for a small static replica set.
+std::vector<size_t> RankReplicas(uint64_t collection_hash,
+                                 const std::vector<uint64_t>& replica_seeds);
+
+/// A scatter-gather shard spec parsed from a routed collection name.
+/// Through the router, `base@N` (N >= 2, base itself containing no '@')
+/// fans one batch across the per-shard synopses `base@0` .. `base@N-1`;
+/// any other name routes as a single collection. `shard_count` is 0 for
+/// an unsharded name.
+struct ShardSpec {
+  std::string base;
+  uint32_t shard_count = 0;
+
+  bool sharded() const { return shard_count >= 2; }
+};
+
+/// Parses the `base@N` convention. Caps N at `max_shards` (a larger count
+/// parses as unsharded, i.e. a literal name). `base@0`, `base@1`,
+/// `base@007`, and names whose base contains '@' are literal names. Shard
+/// members ("books@2") are syntactically indistinguishable from a 2-way
+/// fan-out, so through the router `name@N` always means fan-out — query a
+/// single shard member at its replica directly (docs/CLUSTER.md).
+ShardSpec ParseShardSpec(const std::string& collection,
+                         uint32_t max_shards = 4096);
+
+/// The member collection names of a sharded spec ("books", 4 -> books@0,
+/// books@1, books@2, books@3); for an unsharded spec, just the base.
+std::vector<std::string> ShardNames(const ShardSpec& spec);
+
+}  // namespace cluster
+}  // namespace xcluster
+
+#endif  // XCLUSTER_CLUSTER_HASH_RING_H_

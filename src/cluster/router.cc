@@ -1,0 +1,716 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "cluster/hash_ring.h"
+#include "cluster/merge.h"
+#include "common/io/crc32c.h"
+#include "common/io/file_io.h"
+#include "common/telemetry/metrics.h"
+#include "common/telemetry/telemetry.h"
+#include "core/serialize.h"
+
+namespace xcluster {
+namespace cluster {
+
+namespace {
+
+constexpr char kRouterHelp[] =
+    "ok help router commands: estimate <name> <query> | load <name> <path> "
+    "| replicate <name> <path> | drop <name> | quota ... | list | stats | "
+    "help | quit; batches route by collection hash, base@N scatter-gathers";
+
+bool Contains(const std::vector<size_t>& haystack, size_t needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) !=
+         haystack.end();
+}
+
+}  // namespace
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      replicas_(options_.peers, options_.replicas),
+      flight_(std::max<size_t>(1, options_.flight_capacity)) {
+  net::NetServerOptions server_options = options_.server;
+  server_options.role = "router";
+  server_ = std::make_unique<net::NetServer>(nullptr, server_options);
+  server_->set_frame_handler(this);
+}
+
+Router::~Router() { Stop(); }
+
+Status Router::Start() {
+  XC_RETURN_IF_ERROR(replicas_.Start());
+  ExecutorOptions pool_options;
+  pool_options.num_threads = std::max<size_t>(1, options_.workers);
+  pool_options.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  pool_ = std::make_unique<Executor>(pool_options);
+  return server_->Start();
+}
+
+void Router::AwaitTermination() {
+  server_->AwaitTermination();
+  if (pool_ != nullptr) pool_->Shutdown();
+  replicas_.Stop();
+}
+
+void Router::Stop() {
+  server_->Stop();
+  if (pool_ != nullptr) pool_->Shutdown();
+  replicas_.Stop();
+}
+
+void Router::Post(uint64_t conn_id, net::FrameType type, std::string payload,
+                  bool close) {
+  net::Frame frame;
+  frame.type = type;
+  frame.payload = std::move(payload);
+  std::vector<net::Frame> frames;
+  frames.push_back(std::move(frame));
+  server_->PostFrames(conn_id, std::move(frames), close);
+}
+
+void Router::PostError(uint64_t conn_id, const std::string& message) {
+  XCLUSTER_COUNTER_INC("cluster.protocol_errors");
+  Post(conn_id, net::FrameType::kError, message, /*close=*/true);
+}
+
+void Router::PostShed(uint64_t conn_id, uint32_t version,
+                      uint64_t retry_after_ms, const std::string& message) {
+  XCLUSTER_COUNTER_INC("cluster.sheds");
+  if (version >= net::kProtocolVersionQos) {
+    net::ShedFrame shed;
+    shed.retry_after_ms = static_cast<uint32_t>(
+        retry_after_ms == 0 ? 50 : std::min<uint64_t>(retry_after_ms, ~0u));
+    shed.message = message;
+    Post(conn_id, net::FrameType::kShed, net::EncodeShed(shed));
+  } else {
+    // v1 clients predate kShed; fall back to the closing error frame,
+    // mirroring NetServer's own downlevel behavior.
+    Post(conn_id, net::FrameType::kError, "Unavailable: " + message,
+         /*close=*/true);
+  }
+}
+
+void Router::OnFrame(uint64_t conn_id, const std::string& peer,
+                     uint32_t version, net::Frame frame) {
+  switch (frame.type) {
+    case net::FrameType::kInstall:
+      // Reassembly is ordering-sensitive, so it stays on the loop thread;
+      // only the completed snapshot's fan-out runs on the pool.
+      HandleInstallChunk(conn_id, version, std::move(frame));
+      return;
+    case net::FrameType::kCommand: {
+      Status submitted = pool_->Submit(
+          [this, conn_id, version, line = std::move(frame.payload),
+           peer](const Executor::TaskContext& context) {
+            if (context.cancelled) return;
+            HandleCommand(conn_id, version, line, peer);
+          });
+      if (!submitted.ok()) {
+        PostError(conn_id, "router overloaded: " + submitted.message());
+      }
+      return;
+    }
+    case net::FrameType::kBatch: {
+      Status submitted = pool_->Submit(
+          [this, conn_id, version, payload = std::move(frame.payload)](
+              const Executor::TaskContext& context) {
+            if (context.cancelled) return;
+            HandleBatch(conn_id, version, payload);
+          });
+      if (!submitted.ok()) {
+        // Queue full is load, not corruption: shed with a hint.
+        PostShed(conn_id, version, 50,
+                 "router forwarding queue full: " + submitted.message());
+      }
+      return;
+    }
+    case net::FrameType::kStats: {
+      Status submitted = pool_->Submit(
+          [this, conn_id, payload = std::move(frame.payload)](
+              const Executor::TaskContext& context) {
+            if (context.cancelled) return;
+            HandleStats(conn_id, payload);
+          });
+      if (!submitted.ok()) {
+        PostError(conn_id, "router overloaded: " + submitted.message());
+      }
+      return;
+    }
+    case net::FrameType::kFlight: {
+      Status submitted = pool_->Submit(
+          [this, conn_id, payload = std::move(frame.payload)](
+              const Executor::TaskContext& context) {
+            if (context.cancelled) return;
+            HandleFlight(conn_id, payload);
+          });
+      if (!submitted.ok()) {
+        PostError(conn_id, "router overloaded: " + submitted.message());
+      }
+      return;
+    }
+    default:
+      PostError(conn_id, "unexpected frame type " +
+                             std::to_string(static_cast<int>(frame.type)));
+      return;
+  }
+}
+
+void Router::OnDisconnect(uint64_t conn_id) { installs_.erase(conn_id); }
+
+uint64_t Router::NextGeneration(uint64_t floor) {
+  std::lock_guard<std::mutex> lock(generation_mu_);
+  generation_counter_ =
+      std::max({generation_counter_, floor, replicas_.MaxKnownGeneration()}) +
+      1;
+  return generation_counter_;
+}
+
+Result<std::string> Router::ForwardCommand(const std::string& key,
+                                           const std::string& line) {
+  const std::vector<size_t> healthy = replicas_.HealthyIndices();
+  const std::vector<size_t> order =
+      RankReplicas(CollectionHash(key), replicas_.seeds());
+  Status last = Status::Unavailable("no healthy replica for " + key);
+  bool preferred = true;
+  for (const size_t index : order) {
+    if (!Contains(healthy, index)) continue;
+    if (!preferred) XCLUSTER_COUNTER_INC("cluster.failovers");
+    preferred = false;
+    Result<net::NetClient> client = replicas_.Acquire(index);
+    if (!client.ok()) {
+      last = client.status();
+      continue;  // Acquire already marked it unhealthy
+    }
+    net::NetClient connection = std::move(client).value();
+    Result<std::string> response = connection.Command(line);
+    if (response.ok()) {
+      replicas_.Release(index, std::move(connection), /*reusable=*/true);
+      return response;
+    }
+    // Any command failure is a transport/protocol fault (a replica's
+    // "err ..." answer arrives as a *successful* response string).
+    last = Status::WithContext(response.status(),
+                               "replica " + replicas_.address(index));
+    replicas_.MarkUnhealthy(index);
+    replicas_.Release(index, std::move(connection), /*reusable=*/false);
+  }
+  return last;
+}
+
+std::vector<std::pair<std::string, std::string>> Router::ForwardToAll(
+    const std::string& line) {
+  std::vector<std::pair<std::string, std::string>> outcomes;
+  for (const size_t index : replicas_.HealthyIndices()) {
+    Result<net::NetClient> client = replicas_.Acquire(index);
+    if (!client.ok()) {
+      outcomes.emplace_back(replicas_.address(index),
+                            "err " + client.status().ToString() + "\n");
+      continue;
+    }
+    net::NetClient connection = std::move(client).value();
+    Result<std::string> response = connection.Command(line);
+    if (response.ok()) {
+      replicas_.Release(index, std::move(connection), /*reusable=*/true);
+      outcomes.emplace_back(replicas_.address(index), response.value());
+    } else {
+      replicas_.MarkUnhealthy(index);
+      replicas_.Release(index, std::move(connection), /*reusable=*/false);
+      outcomes.emplace_back(replicas_.address(index),
+                            "err " + response.status().ToString() + "\n");
+    }
+  }
+  return outcomes;
+}
+
+std::string Router::RouterStatsText() const {
+  const std::vector<ReplicaStatus> statuses = replicas_.Snapshot();
+  size_t healthy = 0;
+  for (const ReplicaStatus& status : statuses) {
+    if (status.healthy) ++healthy;
+  }
+  std::ostringstream out;
+  out << "ok stats role=router replicas=" << statuses.size()
+      << " healthy=" << healthy << "\n";
+  for (const ReplicaStatus& status : statuses) {
+    out << "replica " << status.address << " healthy=" << (status.healthy ? 1 : 0)
+        << " version=" << status.version
+        << " role=" << (status.role.empty() ? "unknown" : status.role)
+        << " synopses=" << status.generations.size()
+        << " gen=" << status.max_generation << " probes=" << status.probes
+        << " failures=" << status.probe_failures << "\n";
+  }
+  return out.str();
+}
+
+std::string Router::AggregatedListText() {
+  // Live fan-out (not the probe cache): `list` right after a load must
+  // already see it.
+  std::vector<std::pair<std::string, uint64_t>> merged;  // name -> max gen
+  std::vector<std::pair<std::string, size_t>> counts;
+  for (const auto& [address, response] : ForwardToAll("list")) {
+    (void)address;
+    if (response.rfind("ok list", 0) != 0) continue;
+    for (const auto& [name, generation] : ParseListGenerations(response)) {
+      bool found = false;
+      for (size_t i = 0; i < merged.size(); ++i) {
+        if (merged[i].first == name) {
+          merged[i].second = std::max(merged[i].second, generation);
+          ++counts[i].second;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        merged.emplace_back(name, generation);
+        counts.emplace_back(name, 1);
+      }
+    }
+  }
+  std::sort(merged.begin(), merged.end());
+  std::sort(counts.begin(), counts.end());
+  std::ostringstream out;
+  out << "ok list " << merged.size() << "\n";
+  for (size_t i = 0; i < merged.size(); ++i) {
+    out << "synopsis " << merged[i].first << " gen=" << merged[i].second
+        << " replicas=" << counts[i].second << "\n";
+  }
+  return out.str();
+}
+
+net::InstallReplyFrame Router::ReplicateBytes(const std::string& name,
+                                              const std::string& bytes,
+                                              uint64_t pinned) {
+  net::InstallReplyFrame aggregate;
+  const std::vector<size_t> healthy = replicas_.HealthyIndices();
+  if (healthy.empty()) {
+    aggregate.message = "no healthy replicas to install " + name;
+    XCLUSTER_COUNTER_INC("cluster.installs.failed");
+    return aggregate;
+  }
+  const uint64_t generation = pinned != 0 ? pinned : NextGeneration(0);
+  size_t installed = 0;
+  std::string first_error;
+  for (const size_t index : healthy) {
+    Result<net::NetClient> client = replicas_.Acquire(index);
+    std::string error;
+    if (!client.ok()) {
+      error = client.status().ToString();
+    } else {
+      net::NetClient connection = std::move(client).value();
+      Result<net::InstallReplyFrame> reply =
+          connection.Install(name, bytes, generation);
+      if (reply.ok() && reply.value().ok) {
+        ++installed;
+        replicas_.Release(index, std::move(connection), /*reusable=*/true);
+        XCLUSTER_COUNTER_INC("cluster.installs.ok");
+        continue;
+      }
+      if (reply.ok()) {
+        error = reply.value().message;
+        replicas_.Release(index, std::move(connection), /*reusable=*/true);
+      } else {
+        error = reply.status().ToString();
+        replicas_.MarkUnhealthy(index);
+        replicas_.Release(index, std::move(connection), /*reusable=*/false);
+      }
+    }
+    XCLUSTER_COUNTER_INC("cluster.installs.failed");
+    if (first_error.empty()) {
+      first_error = "replica " + replicas_.address(index) + ": " + error;
+    }
+  }
+  aggregate.generation = generation;
+  if (installed == healthy.size()) {
+    aggregate.ok = true;
+    aggregate.message = "installed " + name + " gen=" +
+                        std::to_string(generation) + " on " +
+                        std::to_string(installed) + " replicas";
+  } else {
+    aggregate.message = std::to_string(healthy.size() - installed) + " of " +
+                        std::to_string(healthy.size()) +
+                        " replicas failed; first: " + first_error;
+  }
+  return aggregate;
+}
+
+void Router::HandleCommand(uint64_t conn_id, uint32_t version,
+                           std::string line, std::string peer) {
+  (void)version;
+  std::istringstream tokens(line);
+  std::string command;
+  tokens >> command;
+  if (command.empty() || command[0] == '#') {
+    Post(conn_id, net::FrameType::kResponse, "");
+    return;
+  }
+  if (command == "quit") {
+    Post(conn_id, net::FrameType::kResponse, "ok bye\n", /*close=*/true);
+    return;
+  }
+  if (command == "help") {
+    Post(conn_id, net::FrameType::kResponse, std::string(kRouterHelp) + "\n");
+    return;
+  }
+  if (command == "stats") {
+    Post(conn_id, net::FrameType::kResponse, RouterStatsText());
+    return;
+  }
+  if (command == "list") {
+    Post(conn_id, net::FrameType::kResponse, AggregatedListText());
+    return;
+  }
+  if (command == "replicate") {
+    std::string name, path;
+    tokens >> name >> path;
+    if (name.empty() || path.empty()) {
+      Post(conn_id, net::FrameType::kResponse,
+           "err replicate needs <name> <path>\n");
+      return;
+    }
+    Result<std::string> bytes = ReadFileToString(path);
+    if (!bytes.ok()) {
+      Post(conn_id, net::FrameType::kResponse,
+           "err " +
+               Status::WithContext(bytes.status(),
+                                   "replicate requested by " + peer)
+                   .ToString() +
+               "\n");
+      return;
+    }
+    std::string report;
+    Status verified = VerifySynopsisBytes(bytes.value(), &report);
+    if (!verified.ok()) {
+      Post(conn_id, net::FrameType::kResponse,
+           "err " + verified.ToString() + "\n");
+      return;
+    }
+    const net::InstallReplyFrame outcome =
+        ReplicateBytes(name, bytes.value(), /*pinned=*/0);
+    if (outcome.ok) {
+      Post(conn_id, net::FrameType::kResponse,
+           "ok replicate " + name + " gen=" +
+               std::to_string(outcome.generation) + " " + outcome.message +
+               "\n");
+    } else {
+      Post(conn_id, net::FrameType::kResponse,
+           "err replicate " + name + ": " + outcome.message + "\n");
+    }
+    return;
+  }
+  if (command == "estimate" || command == "load") {
+    std::string name;
+    tokens >> name;
+    if (name.empty()) {
+      Post(conn_id, net::FrameType::kResponse,
+           "err " + command + " needs a collection name\n");
+      return;
+    }
+    Result<std::string> response = ForwardCommand(name, line);
+    if (response.ok()) {
+      Post(conn_id, net::FrameType::kResponse, std::move(response).value());
+    } else {
+      Post(conn_id, net::FrameType::kResponse,
+           "err " + response.status().ToString() + "\n");
+    }
+    return;
+  }
+  if (command == "drop" || command == "quota") {
+    const auto outcomes = ForwardToAll(line);
+    if (outcomes.empty()) {
+      Post(conn_id, net::FrameType::kResponse,
+           "err Unavailable: no healthy replicas\n");
+      return;
+    }
+    size_t succeeded = 0;
+    std::string first_error;
+    for (const auto& [address, response] : outcomes) {
+      if (response.rfind("ok", 0) == 0) {
+        ++succeeded;
+      } else if (first_error.empty()) {
+        std::string trimmed = response;
+        while (!trimmed.empty() && trimmed.back() == '\n') trimmed.pop_back();
+        first_error = address + ": " + trimmed;
+      }
+    }
+    if (succeeded == outcomes.size()) {
+      Post(conn_id, net::FrameType::kResponse,
+           "ok " + command + " replicas=" + std::to_string(succeeded) + "\n");
+    } else {
+      Post(conn_id, net::FrameType::kResponse,
+           "err " + command + " failed on " +
+               std::to_string(outcomes.size() - succeeded) + " of " +
+               std::to_string(outcomes.size()) +
+               " replicas; first: " + first_error + "\n");
+    }
+    return;
+  }
+  Post(conn_id, net::FrameType::kResponse,
+       "err unknown router command '" + command + "' (try help)\n");
+}
+
+Result<net::BatchReplyFrame> Router::RouteShard(
+    const std::string& shard, const net::BatchRequestFrame& request,
+    uint64_t* retry_after_ms) {
+  const std::vector<size_t> healthy = replicas_.HealthyIndices();
+  const std::vector<size_t> order =
+      RankReplicas(CollectionHash(shard), replicas_.seeds());
+  Status last = Status::Unavailable("no healthy replica for " + shard);
+  bool preferred = true;
+  for (const size_t index : order) {
+    if (!Contains(healthy, index)) continue;
+    if (!preferred) XCLUSTER_COUNTER_INC("cluster.failovers");
+    preferred = false;
+    Result<net::NetClient> client = replicas_.Acquire(index);
+    if (!client.ok()) {
+      last = client.status();
+      continue;
+    }
+    net::NetClient connection = std::move(client).value();
+    Result<net::BatchReplyFrame> reply =
+        connection.Batch(shard, request.queries, request.options);
+    if (connection.last_attempts() > 1) {
+      XCLUSTER_COUNTER_ADD("cluster.retries",
+                           connection.last_attempts() - 1);
+    }
+    if (reply.ok()) {
+      replicas_.Release(index, std::move(connection), /*reusable=*/true);
+      return reply;
+    }
+    last = Status::WithContext(reply.status(),
+                               "replica " + replicas_.address(index));
+    if (reply.status().code() == Status::Code::kUnavailable) {
+      // Shed even after the client-side retry budget: the connection is
+      // healthy, the replica is just loaded. Fail over with the hint.
+      *retry_after_ms =
+          std::max(*retry_after_ms, connection.last_retry_after_ms());
+      replicas_.Release(index, std::move(connection), /*reusable=*/true);
+    } else {
+      replicas_.MarkUnhealthy(index);
+      replicas_.Release(index, std::move(connection), /*reusable=*/false);
+    }
+  }
+  return last;
+}
+
+void Router::HandleBatch(uint64_t conn_id, uint32_t version,
+                         std::string payload) {
+  const uint64_t start_ns = telemetry::MonotonicNowNs();
+  Result<net::BatchRequestFrame> decoded = net::DecodeBatchRequest(payload);
+  if (!decoded.ok()) {
+    PostError(conn_id, decoded.status().ToString());
+    return;
+  }
+  net::BatchRequestFrame request = std::move(decoded).value();
+  // One trace id spans router -> replica: mint when the client sent none,
+  // forward either way.
+  if (request.options.trace.trace_id == 0) {
+    request.options.trace.trace_id = telemetry::GenerateTraceId();
+  }
+  request.options.trace.sampled =
+      request.options.trace.sampled ||
+      telemetry::SampleTrace(request.options.trace.trace_id,
+                             options_.trace_sample);
+  request.options.wire_bytes = payload.size();
+  telemetry::ScopedTraceContext trace_scope(request.options.trace);
+  XCLUSTER_TRACE_SPAN("cluster.route");
+
+  const ShardSpec spec = ParseShardSpec(request.collection,
+                                        options_.max_shards);
+  const std::vector<std::string> shards = ShardNames(spec);
+  uint64_t retry_after_ms = 0;
+  std::vector<ShardReply> replies;
+  replies.reserve(shards.size());
+  Status failure = Status::OK();
+  for (const std::string& shard : shards) {
+    Result<net::BatchReplyFrame> reply =
+        RouteShard(shard, request, &retry_after_ms);
+    if (!reply.ok()) {
+      failure = reply.status();
+      break;
+    }
+    ShardReply shard_reply;
+    shard_reply.shard = shard;
+    shard_reply.reply = std::move(reply).value();
+    replies.push_back(std::move(shard_reply));
+  }
+
+  FlightRecord record;
+  record.trace_id = request.options.trace.trace_id;
+  record.collection = request.collection;
+  record.lane = request.options.lane;
+  record.queries = static_cast<uint32_t>(request.queries.size());
+  record.bytes = payload.size();
+
+  if (!failure.ok()) {
+    if (failure.code() == Status::Code::kUnavailable) {
+      record.status = FlightStatus::kShedOther;
+      record.retry_after_ms = static_cast<uint32_t>(
+          std::min<uint64_t>(retry_after_ms, ~0u));
+      PostShed(conn_id, version, retry_after_ms, failure.message());
+    } else {
+      record.status = FlightStatus::kPartialError;
+      PostError(conn_id, failure.ToString());
+    }
+    record.end_ns = telemetry::MonotonicNowNs();
+    record.wall_ns = record.end_ns - start_ns;
+    flight_.Record(record);
+    return;
+  }
+
+  net::BatchReplyFrame merged;
+  if (!spec.sharded()) {
+    // Single-collection pass-through: the replica's reply is re-encoded
+    // field for field, estimates keeping their exact bit patterns.
+    merged = std::move(replies[0].reply);
+  } else {
+    Result<net::BatchReplyFrame> gathered = MergeShardReplies(replies);
+    if (!gathered.ok()) {
+      PostError(conn_id, gathered.status().ToString());
+      return;
+    }
+    merged = std::move(gathered).value();
+    XCLUSTER_COUNTER_INC("cluster.batches.scatter");
+  }
+  merged.trace_id = version >= net::kProtocolVersionTrace
+                        ? request.options.trace.trace_id
+                        : 0;
+  Post(conn_id, net::FrameType::kBatchReply,
+       net::EncodeBatchReplyFrame(merged));
+  XCLUSTER_COUNTER_INC("cluster.batches.routed");
+  record.ok = static_cast<uint32_t>(merged.stats.ok);
+  record.status = merged.stats.failed == 0 ? FlightStatus::kOk
+                                           : FlightStatus::kPartialError;
+  record.end_ns = telemetry::MonotonicNowNs();
+  record.wall_ns = record.end_ns - start_ns;
+  flight_.Record(record);
+  XCLUSTER_HISTOGRAM_RECORD_NS("cluster.route_latency_ns",
+                               record.wall_ns);
+}
+
+void Router::HandleStats(uint64_t conn_id, std::string payload) {
+  Result<net::StatsFormat> format = net::DecodeStatsRequest(payload);
+  if (!format.ok()) {
+    PostError(conn_id, format.status().ToString());
+    return;
+  }
+  const telemetry::MetricsSnapshot snapshot =
+      telemetry::MetricsRegistry::Global().Snapshot();
+  std::string text;
+  switch (format.value()) {
+    case net::StatsFormat::kPrometheus:
+      text = snapshot.ToPrometheus();
+      break;
+    case net::StatsFormat::kJson:
+      text = snapshot.ToJson();
+      break;
+    case net::StatsFormat::kText:
+      text = snapshot.ToText();
+      break;
+  }
+  Post(conn_id, net::FrameType::kStatsReply, std::move(text));
+}
+
+void Router::HandleFlight(uint64_t conn_id, std::string payload) {
+  Result<uint32_t> max_records = net::DecodeFlightRequest(payload);
+  if (!max_records.ok()) {
+    PostError(conn_id, max_records.status().ToString());
+    return;
+  }
+  Post(conn_id, net::FrameType::kFlightReply,
+       flight_.ToJson(max_records.value()));
+}
+
+void Router::HandleInstallChunk(uint64_t conn_id, uint32_t version,
+                                net::Frame frame) {
+  if (version < net::kProtocolVersionCluster) {
+    PostError(conn_id, "install frame requires protocol v4");
+    return;
+  }
+  Result<net::InstallFrame> decoded = net::DecodeInstall(frame.payload);
+  if (!decoded.ok()) {
+    PostError(conn_id, decoded.status().ToString());
+    return;
+  }
+  net::InstallFrame install = std::move(decoded).value();
+  InstallState& state = installs_[conn_id];
+  if (state.name.empty()) {
+    if (install.chunk_index != 0) {
+      installs_.erase(conn_id);
+      PostError(conn_id, "install chunk " +
+                             std::to_string(install.chunk_index) + " of " +
+                             install.name + " without a first chunk");
+      return;
+    }
+    if (install.total_bytes >
+        static_cast<uint64_t>(install.chunk_count) *
+            options_.server.max_frame_bytes) {
+      installs_.erase(conn_id);
+      PostError(conn_id, "install of " + install.name + " declares " +
+                             std::to_string(install.total_bytes) +
+                             " bytes, more than its chunks can carry");
+      return;
+    }
+    state.name = install.name;
+    state.generation = install.generation;
+    state.total_bytes = install.total_bytes;
+    state.chunk_count = install.chunk_count;
+    state.snapshot_crc = install.snapshot_crc;
+    state.next_chunk = 0;
+    state.buffer.reserve(install.total_bytes);
+  } else if (install.name != state.name ||
+             install.generation != state.generation ||
+             install.total_bytes != state.total_bytes ||
+             install.chunk_count != state.chunk_count ||
+             install.snapshot_crc != state.snapshot_crc ||
+             install.chunk_index != state.next_chunk) {
+    installs_.erase(conn_id);
+    PostError(conn_id,
+              "install chunk sequence violation for " + install.name);
+    return;
+  }
+  if (state.buffer.size() + install.chunk.size() > state.total_bytes) {
+    installs_.erase(conn_id);
+    PostError(conn_id, "install chunks for " + install.name +
+                           " overflow the declared snapshot size");
+    return;
+  }
+  state.buffer.append(install.chunk);
+  state.next_chunk++;
+  if (state.next_chunk < state.chunk_count) return;
+
+  InstallState completed = std::move(state);
+  installs_.erase(conn_id);
+  if (completed.buffer.size() != completed.total_bytes) {
+    PostError(conn_id, "install of " + completed.name + " reassembled " +
+                           std::to_string(completed.buffer.size()) +
+                           " bytes, expected " +
+                           std::to_string(completed.total_bytes));
+    return;
+  }
+  if (crc32c::Mask(crc32c::Value(completed.buffer.data(),
+                                 completed.buffer.size())) !=
+      completed.snapshot_crc) {
+    PostError(conn_id,
+              "install of " + completed.name + " failed snapshot checksum");
+    return;
+  }
+  Status submitted = pool_->Submit(
+      [this, conn_id, name = std::move(completed.name),
+       bytes = std::move(completed.buffer),
+       pinned = completed.generation](const Executor::TaskContext& context) {
+        if (context.cancelled) return;
+        net::InstallReplyFrame outcome = ReplicateBytes(name, bytes, pinned);
+        Post(conn_id, net::FrameType::kInstallReply,
+             net::EncodeInstallReply(outcome));
+      });
+  if (!submitted.ok()) {
+    PostError(conn_id, "router overloaded: " + submitted.message());
+  }
+}
+
+}  // namespace cluster
+}  // namespace xcluster

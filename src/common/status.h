@@ -61,6 +61,14 @@ class Status {
     return Status(Code::kUnavailable, std::move(msg));
   }
 
+  /// Same code, message prefixed with `context` — for layers adding
+  /// attribution (e.g. which peer requested the failing operation)
+  /// without flattening a typed error into a generic one. OK stays OK.
+  static Status WithContext(const Status& base, const std::string& context) {
+    if (base.ok()) return base;
+    return Status(base.code_, context + ": " + base.message_);
+  }
+
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

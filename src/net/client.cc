@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/io/crc32c.h"
 #include "common/rng.h"
 
 namespace xcluster {
@@ -38,8 +39,11 @@ Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
     XC_RETURN_IF_ERROR(SetRecvTimeout(fd.get(), options.recv_timeout_ms));
   }
   NetClient client(std::move(fd), options);
-  XC_RETURN_IF_ERROR(client.SendFrame(FrameType::kHello,
-                                      EncodeHello(HelloRequest{})));
+  HelloRequest hello;
+  hello.max_version =
+      std::max(kProtocolMinVersion,
+               std::min(options.max_protocol_version, kProtocolMaxVersion));
+  XC_RETURN_IF_ERROR(client.SendFrame(FrameType::kHello, EncodeHello(hello)));
   Frame ack;
   XC_RETURN_IF_ERROR(client.ReadFrame(&ack));
   if (ack.type == FrameType::kError) {
@@ -55,7 +59,12 @@ Result<NetClient> NetClient::Connect(const std::string& host, uint16_t port,
     return Status::Corruption("handshake: expected hello ack, got frame type " +
                               std::to_string(static_cast<int>(ack.type)));
   }
-  XCLUSTER_ASSIGN_OR_RETURN(client.version_, DecodeHelloAck(ack.payload));
+  Result<HelloAckFrame> decoded = DecodeHelloAckFrame(ack.payload);
+  if (!decoded.ok()) return decoded.status();
+  HelloAckFrame ack_frame = std::move(decoded).value();
+  client.version_ = ack_frame.version;
+  client.server_role_ = std::move(ack_frame.role);
+  client.server_description_ = std::move(ack_frame.server);
   return client;
 }
 
@@ -214,6 +223,55 @@ Result<std::string> NetClient::FlightDump(uint32_t max_records) {
                                EncodeFlightRequest(max_records),
                                FrameType::kFlightReply, &reply));
   return std::move(reply.payload);
+}
+
+Result<InstallReplyFrame> NetClient::Install(const std::string& name,
+                                             const std::string& bytes,
+                                             uint64_t generation,
+                                             size_t chunk_bytes) {
+  if (version_ < kProtocolVersionCluster) {
+    return Status::Unsupported(
+        "install requires protocol v4 (server negotiated v" +
+        std::to_string(version_) + ")");
+  }
+  // Headroom for the install header fields inside the frame payload cap.
+  const size_t overhead = name.size() + 64;
+  const size_t max_chunk = options_.max_frame_bytes > overhead
+                               ? options_.max_frame_bytes - overhead
+                               : 1;
+  if (chunk_bytes == 0) chunk_bytes = 1u << 20;
+  chunk_bytes = std::min(chunk_bytes, max_chunk);
+
+  InstallFrame frame;
+  frame.name = name;
+  frame.generation = generation;
+  frame.total_bytes = bytes.size();
+  frame.chunk_count = static_cast<uint32_t>(
+      bytes.empty() ? 1 : (bytes.size() + chunk_bytes - 1) / chunk_bytes);
+  frame.snapshot_crc =
+      crc32c::Mask(crc32c::Value(bytes.data(), bytes.size()));
+  for (uint32_t i = 0; i < frame.chunk_count; ++i) {
+    frame.chunk_index = i;
+    const size_t offset = static_cast<size_t>(i) * chunk_bytes;
+    frame.chunk = bytes.substr(
+        offset, std::min(chunk_bytes, bytes.size() - offset));
+    XC_RETURN_IF_ERROR(SendFrame(FrameType::kInstall, EncodeInstall(frame)));
+  }
+  // The server replies only after the final chunk (an error aborts the
+  // sequence with a closing kError frame, which surfaces here too).
+  Frame reply;
+  XC_RETURN_IF_ERROR(ReadFrame(&reply));
+  if (reply.type == FrameType::kError) {
+    fd_.Reset();
+    return Status::Corruption("server error: " + reply.payload);
+  }
+  if (reply.type != FrameType::kInstallReply) {
+    fd_.Reset();
+    return Status::Corruption(
+        "expected install reply, got frame type " +
+        std::to_string(static_cast<int>(reply.type)));
+  }
+  return DecodeInstallReply(reply.payload);
 }
 
 Status NetClient::Close() {

@@ -52,6 +52,12 @@ struct NetClientOptions {
   /// Frame payload cap for responses (mirrors the server-side decoder).
   size_t max_frame_bytes = kDefaultMaxPayloadBytes;
 
+  /// Highest protocol version offered in the hello (clamped into the
+  /// build's supported range). Pinning below kProtocolMaxVersion exercises
+  /// a downlevel client against a newer server — the compatibility story
+  /// the versioned handshake exists for.
+  uint32_t max_protocol_version = kProtocolMaxVersion;
+
   /// Applied by Batch() to admission sheds and by ConnectWithRetry() to
   /// capacity rejections.
   RetryOptions retry;
@@ -110,6 +116,18 @@ class NetClient {
   /// Unsupported against a v1/v2 server.
   Result<std::string> FlightDump(uint32_t max_records = 0);
 
+  /// Pushes an XCSB-encoded snapshot into the server's catalog under
+  /// `name` (v4+), chunked to fit the frame payload cap, CRC'd over the
+  /// whole byte stream. A nonzero `generation` pins the store generation
+  /// the snapshot lands under (how a router keeps a fleet in lockstep);
+  /// 0 lets the server assign. `chunk_bytes` 0 picks a default.
+  /// Returns the server's install outcome; Unsupported against a pre-v4
+  /// server.
+  Result<InstallReplyFrame> Install(const std::string& name,
+                                    const std::string& bytes,
+                                    uint64_t generation = 0,
+                                    size_t chunk_bytes = 0);
+
   /// Trace id echoed by the last successful Batch() against a v3 server
   /// (server-assigned when the request carried none); 0 otherwise.
   uint64_t last_trace_id() const { return last_trace_id_; }
@@ -126,6 +144,12 @@ class NetClient {
 
   /// Protocol version agreed during the handshake.
   uint32_t negotiated_version() const { return version_; }
+
+  /// Server self-description from a v4 hello ack ("replica" | "router"
+  /// and a free-form server string); empty when the server negotiated v3
+  /// or older.
+  const std::string& server_role() const { return server_role_; }
+  const std::string& server_description() const { return server_description_; }
 
   bool connected() const { return fd_.valid(); }
 
@@ -151,6 +175,8 @@ class NetClient {
   NetClientOptions options_;
   FrameDecoder decoder_;
   uint32_t version_ = 0;
+  std::string server_role_;
+  std::string server_description_;
   uint64_t last_retry_after_ms_ = 0;
   uint64_t last_trace_id_ = 0;
   int last_attempts_ = 0;

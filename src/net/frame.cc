@@ -12,7 +12,7 @@ namespace {
 
 bool KnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kFlightReply);
+         type <= static_cast<uint8_t>(FrameType::kInstallReply);
 }
 
 uint32_t DecodeFixed32(const char* p) {

@@ -31,6 +31,12 @@ enum class FrameType : uint8_t {
   kFlight = 12,    ///< client -> server (v3+): flight-recorder dump request
                    ///  (max-records count; 0 = whole ring)
   kFlightReply = 13,///< server -> client: flight ring as JSON
+  kInstall = 14,   ///< client -> server (v4+): one chunk of an XCSB
+                   ///  snapshot being pushed for installation (replication;
+                   ///  see protocol.h InstallFrame). The receiver replies
+                   ///  only after the final chunk.
+  kInstallReply = 15,///< server -> client: install outcome + the generation
+                   ///  the snapshot was installed under
 };
 
 /// One decoded frame. `payload` is opaque at this layer; protocol.h gives

@@ -81,6 +81,27 @@ Result<uint32_t> DecodeHelloAck(const std::string& payload) {
   return version;
 }
 
+std::string EncodeHelloAckV4(const HelloAckFrame& ack) {
+  std::string payload;
+  StringSink sink(&payload);
+  PutFixed32(&sink, ack.version);
+  PutLengthPrefixed(&sink, ack.role);
+  PutLengthPrefixed(&sink, ack.server);
+  return payload;
+}
+
+Result<HelloAckFrame> DecodeHelloAckFrame(const std::string& payload) {
+  StringSource source(payload);
+  HelloAckFrame ack;
+  XC_RETURN_IF_ERROR(GetFixed32(&source, &ack.version));
+  if (source.Remaining() != 0) {
+    XC_RETURN_IF_ERROR(GetLengthPrefixed(&source, &ack.role));
+    XC_RETURN_IF_ERROR(GetLengthPrefixed(&source, &ack.server));
+  }
+  XC_RETURN_IF_ERROR(ExpectFullyConsumed(source, "hello ack"));
+  return ack;
+}
+
 std::string EncodeBatchRequest(const BatchRequestFrame& request,
                                uint32_t version) {
   std::string payload;
@@ -226,6 +247,92 @@ Result<BatchReplyFrame> DecodeBatchReply(const std::string& payload) {
   }
   XC_RETURN_IF_ERROR(ExpectFullyConsumed(source, "batch reply"));
   return reply;
+}
+
+std::string EncodeInstall(const InstallFrame& install) {
+  std::string payload;
+  StringSink sink(&payload);
+  PutLengthPrefixed(&sink, install.name);
+  PutFixed64(&sink, install.generation);
+  PutFixed64(&sink, install.total_bytes);
+  PutFixed32(&sink, install.chunk_index);
+  PutFixed32(&sink, install.chunk_count);
+  PutFixed32(&sink, install.snapshot_crc);
+  PutLengthPrefixed(&sink, install.chunk);
+  return payload;
+}
+
+Result<InstallFrame> DecodeInstall(const std::string& payload) {
+  StringSource source(payload);
+  InstallFrame install;
+  XC_RETURN_IF_ERROR(GetLengthPrefixed(&source, &install.name));
+  XC_RETURN_IF_ERROR(GetFixed64(&source, &install.generation));
+  XC_RETURN_IF_ERROR(GetFixed64(&source, &install.total_bytes));
+  XC_RETURN_IF_ERROR(GetFixed32(&source, &install.chunk_index));
+  XC_RETURN_IF_ERROR(GetFixed32(&source, &install.chunk_count));
+  XC_RETURN_IF_ERROR(GetFixed32(&source, &install.snapshot_crc));
+  XC_RETURN_IF_ERROR(GetLengthPrefixed(&source, &install.chunk));
+  XC_RETURN_IF_ERROR(ExpectFullyConsumed(source, "install"));
+  if (install.name.empty()) {
+    return Status::Corruption("install: empty collection name");
+  }
+  if (install.chunk_count == 0) {
+    return Status::Corruption("install: zero chunk count");
+  }
+  if (install.chunk_index >= install.chunk_count) {
+    return Status::Corruption(
+        "install: chunk index " + std::to_string(install.chunk_index) +
+        " out of range (count " + std::to_string(install.chunk_count) + ")");
+  }
+  if (install.chunk.size() > install.total_bytes) {
+    return Status::Corruption("install: chunk larger than declared snapshot");
+  }
+  return install;
+}
+
+std::string EncodeInstallReply(const InstallReplyFrame& reply) {
+  std::string payload;
+  StringSink sink(&payload);
+  PutFixed8(&sink, reply.ok ? 1 : 0);
+  PutFixed64(&sink, reply.generation);
+  PutLengthPrefixed(&sink, reply.message);
+  return payload;
+}
+
+Result<InstallReplyFrame> DecodeInstallReply(const std::string& payload) {
+  StringSource source(payload);
+  InstallReplyFrame reply;
+  uint8_t ok = 0;
+  XC_RETURN_IF_ERROR(GetFixed8(&source, &ok));
+  reply.ok = ok != 0;
+  XC_RETURN_IF_ERROR(GetFixed64(&source, &reply.generation));
+  XC_RETURN_IF_ERROR(GetLengthPrefixed(&source, &reply.message));
+  XC_RETURN_IF_ERROR(ExpectFullyConsumed(source, "install reply"));
+  return reply;
+}
+
+std::string EncodeBatchReplyFrame(const BatchReplyFrame& reply) {
+  std::string payload;
+  StringSink sink(&payload);
+  PutVarint64(&sink, reply.items.size());
+  for (const BatchReplyItem& item : reply.items) {
+    PutFixed8(&sink, item.ok ? 1 : 0);
+    if (item.ok) {
+      PutDouble(&sink, item.estimate);
+      PutFixed64(&sink, item.latency_ns);
+      PutLengthPrefixed(&sink, item.explanation);
+    } else {
+      PutLengthPrefixed(&sink, item.error);
+    }
+  }
+  PutFixed64(&sink, reply.stats.wall_ns);
+  PutVarint64(&sink, reply.stats.ok);
+  PutVarint64(&sink, reply.stats.failed);
+  PutFixed64(&sink, reply.stats.p50_latency_ns);
+  PutFixed64(&sink, reply.stats.p95_latency_ns);
+  PutFixed64(&sink, reply.stats.max_latency_ns);
+  if (reply.trace_id != 0) PutFixed64(&sink, reply.trace_id);
+  return payload;
 }
 
 std::string EncodeStatsRequest(StatsFormat format) {

@@ -20,15 +20,22 @@ namespace net {
 /// it falls back to a kError frame — so old clients keep working. v3 adds
 /// the trace-context batch extension (flags bit2 + trace id/sampled fields,
 /// echoed on the reply) and the typed kStats/kFlight observability frames;
-/// v2/v1 peers never see any of it.
+/// v2/v1 peers never see any of it. v4 adds the cluster layer: the
+/// kInstall/kInstallReply replication frames and server metadata
+/// (role + description) appended to the hello ack so a router can tell
+/// replicas from other routers; v3-and-older peers get the bare ack.
 inline constexpr uint32_t kProtocolMinVersion = 1;
-inline constexpr uint32_t kProtocolMaxVersion = 3;
+inline constexpr uint32_t kProtocolMaxVersion = 4;
 
 /// First version with the kShed frame and the batch lane flag.
 inline constexpr uint32_t kProtocolVersionQos = 2;
 
 /// First version with trace contexts and the kStats/kFlight frames.
 inline constexpr uint32_t kProtocolVersionTrace = 3;
+
+/// First version with synopsis replication (kInstall/kInstallReply) and
+/// hello-ack server metadata.
+inline constexpr uint32_t kProtocolVersionCluster = 4;
 
 /// Leading magic of a kHello payload; rejects non-protocol peers (e.g. an
 /// HTTP client probing the port) before any further decoding.
@@ -47,9 +54,26 @@ Result<HelloRequest> DecodeHello(const std::string& payload);
 /// when the ranges are disjoint.
 Result<uint32_t> NegotiateVersion(const HelloRequest& peer);
 
-/// kHelloAck payload: the negotiated version.
+/// kHelloAck payload: the negotiated version, plus — iff the negotiated
+/// version is v4+ — the server's self-description (role + free-form
+/// server string). The v3-and-older ack is exactly the fixed32 version;
+/// those decoders reject trailing bytes, so the metadata is appended only
+/// when the peer negotiated v4.
+struct HelloAckFrame {
+  uint32_t version = 0;
+  std::string role;    ///< "replica" | "router" (empty from a pre-v4 server)
+  std::string server;  ///< free-form description (empty from a pre-v4 server)
+};
+
 std::string EncodeHelloAck(uint32_t version);
 Result<uint32_t> DecodeHelloAck(const std::string& payload);
+
+/// v4 ack with metadata. Only valid once the hello negotiated v4+.
+std::string EncodeHelloAckV4(const HelloAckFrame& ack);
+
+/// Decodes either ack form: metadata fields are filled when present
+/// (v4 server) and left empty otherwise.
+Result<HelloAckFrame> DecodeHelloAckFrame(const std::string& payload);
 
 /// kBatch payload: one whole batch request packed into a single frame —
 /// collection name, options, and every query string — so a 10k-query batch
@@ -105,6 +129,44 @@ struct BatchReplyFrame {
 std::string EncodeBatchReply(const BatchResult& batch, bool explain,
                              uint64_t trace_id = 0);
 Result<BatchReplyFrame> DecodeBatchReply(const std::string& payload);
+
+/// kInstall payload (v4+): one chunk of an XCSB-encoded synopsis snapshot
+/// being pushed to the receiver's SynopsisStore (replication). A snapshot
+/// crosses as `chunk_count` kInstall frames sharing the same name,
+/// generation, total size, and whole-snapshot CRC; chunks must arrive in
+/// order on one connection. The receiver reassembles, verifies the CRC
+/// against the complete byte stream, decodes (XCSB section CRCs verify
+/// again inside), installs — pinning `generation` when nonzero, store-
+/// assigned otherwise — and answers the final chunk with kInstallReply.
+struct InstallFrame {
+  std::string name;          ///< collection to install under
+  uint64_t generation = 0;   ///< pinned store generation (0 = auto-assign)
+  uint64_t total_bytes = 0;  ///< size of the whole encoded snapshot
+  uint32_t chunk_index = 0;  ///< 0-based position of this chunk
+  uint32_t chunk_count = 0;  ///< total chunks (>= 1)
+  uint32_t snapshot_crc = 0; ///< masked CRC32C over the complete snapshot
+  std::string chunk;         ///< this chunk's bytes
+};
+
+std::string EncodeInstall(const InstallFrame& install);
+Result<InstallFrame> DecodeInstall(const std::string& payload);
+
+/// kInstallReply payload: outcome of a completed install push.
+struct InstallReplyFrame {
+  bool ok = false;
+  uint64_t generation = 0;  ///< generation the snapshot landed under
+  std::string message;      ///< error context, or per-replica fan-out report
+};
+
+std::string EncodeInstallReply(const InstallReplyFrame& reply);
+Result<InstallReplyFrame> DecodeInstallReply(const std::string& payload);
+
+/// Re-encodes an already-decoded reply byte-for-byte compatibly with
+/// EncodeBatchReply — estimates keep their exact IEEE-754 bit patterns —
+/// so a router can merge or forward replica replies without an estimate
+/// ever passing through text. The trailing v3 trace echo is appended iff
+/// `reply.trace_id` is nonzero (zero it for v1/v2 clients).
+std::string EncodeBatchReplyFrame(const BatchReplyFrame& reply);
 
 /// kStats payload (v3+): which rendering of the metrics snapshot to return
 /// in the kStatsReply text payload.

@@ -1,5 +1,6 @@
 #include "net/server.h"
 
+#include <arpa/inet.h>
 #include <errno.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -11,12 +12,43 @@
 #include <utility>
 #include <vector>
 
+#include "common/io/crc32c.h"
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/telemetry.h"
 #include "net/protocol.h"
 
 namespace xcluster {
 namespace net {
+
+namespace {
+
+/// Best-effort "host:port" for an accepted peer (empty on failure; the
+/// address is attribution metadata, never load-bearing).
+std::string FormatPeer(const sockaddr_storage& addr, socklen_t addr_len) {
+  char host[INET6_ADDRSTRLEN] = {0};
+  uint16_t port = 0;
+  if (addr.ss_family == AF_INET &&
+      addr_len >= static_cast<socklen_t>(sizeof(sockaddr_in))) {
+    const auto* in4 = reinterpret_cast<const sockaddr_in*>(&addr);
+    if (::inet_ntop(AF_INET, &in4->sin_addr, host, sizeof(host)) == nullptr) {
+      return "";
+    }
+    port = ntohs(in4->sin_port);
+  } else if (addr.ss_family == AF_INET6 &&
+             addr_len >= static_cast<socklen_t>(sizeof(sockaddr_in6))) {
+    const auto* in6 = reinterpret_cast<const sockaddr_in6*>(&addr);
+    if (::inet_ntop(AF_INET6, &in6->sin6_addr, host, sizeof(host)) ==
+        nullptr) {
+      return "";
+    }
+    port = ntohs(in6->sin6_port);
+  } else {
+    return "";
+  }
+  return std::string(host) + ":" + std::to_string(port);
+}
+
+}  // namespace
 
 NetServer::NetServer(EstimationService* service, NetServerOptions options)
     : service_(service), options_(std::move(options)), harness_(service) {}
@@ -51,6 +83,17 @@ void NetServer::RequestDrain() {
   const uint8_t byte = 1;
   // The only syscall here is write(2), so signal handlers may call this
   // directly (or write to drain_fd() themselves).
+  [[maybe_unused]] ssize_t ignored = ::write(wake_write_.get(), &byte, 1);
+}
+
+void NetServer::PostFrames(uint64_t conn_id, std::vector<Frame> frames,
+                           bool close) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(PostedReply{conn_id, std::move(frames), close});
+  }
+  // Wake byte 2 = posted replies pending (1 = drain; see Loop).
+  const uint8_t byte = 2;
   [[maybe_unused]] ssize_t ignored = ::write(wake_write_.get(), &byte, 1);
 }
 
@@ -130,7 +173,34 @@ void NetServer::DispatchFrame(Connection* conn, Frame&& frame) {
     }
     conn->hello_done = true;
     conn->version = version.value();
-    SendFrame(conn, FrameType::kHelloAck, EncodeHelloAck(version.value()));
+    if (conn->version >= kProtocolVersionCluster) {
+      // v4 ack carries self-description so a peer can tell a replica from
+      // a router. Older decoders reject trailing bytes, so the metadata
+      // only appears when the negotiated version permits it.
+      HelloAckFrame ack;
+      ack.version = conn->version;
+      ack.role = options_.role;
+      ack.server = options_.server_description;
+      SendFrame(conn, FrameType::kHelloAck, EncodeHelloAckV4(ack));
+    } else {
+      SendFrame(conn, FrameType::kHelloAck, EncodeHelloAck(version.value()));
+    }
+    return;
+  }
+
+  // Router mode: a FrameHandler takes over all content frames, replying
+  // asynchronously via PostFrames. Handshake/lifecycle frames (handled
+  // below) never reach it.
+  if (handler_ != nullptr &&
+      (frame.type == FrameType::kCommand || frame.type == FrameType::kBatch ||
+       frame.type == FrameType::kStats || frame.type == FrameType::kFlight ||
+       frame.type == FrameType::kInstall)) {
+    handler_->OnFrame(conn->id, conn->peer, conn->version, std::move(frame));
+    return;
+  }
+  if (service_ == nullptr && frame.type != FrameType::kGoodbye &&
+      frame.type != FrameType::kHello) {
+    SendError(conn, "server has no estimation service");
     return;
   }
 
@@ -146,7 +216,7 @@ void NetServer::DispatchFrame(Connection* conn, Frame&& frame) {
       } else if (frame.payload.find('\n') != std::string::npos) {
         response = "err command must be a single line\n";
       } else {
-        response = harness_.ExecuteLine(frame.payload, &quit);
+        response = harness_.ExecuteLine(frame.payload, &quit, conn->peer);
       }
       SendFrame(conn, FrameType::kResponse, std::move(response));
       if (quit) conn->closing = true;
@@ -245,6 +315,9 @@ void NetServer::DispatchFrame(Connection* conn, Frame&& frame) {
                 service_->flight().ToJson(max_records.value()));
       return;
     }
+    case FrameType::kInstall:
+      HandleInstall(conn, std::move(frame));
+      return;
     case FrameType::kGoodbye:
       SendFrame(conn, FrameType::kGoodbye, "");
       conn->closing = true;
@@ -256,6 +329,123 @@ void NetServer::DispatchFrame(Connection* conn, Frame&& frame) {
       SendError(conn, "unexpected frame type " +
                           std::to_string(static_cast<int>(frame.type)));
       return;
+  }
+}
+
+void NetServer::HandleInstall(Connection* conn, Frame&& frame) {
+  if (conn->version < kProtocolVersionCluster) {
+    SendError(conn, "install frame requires protocol v4");
+    return;
+  }
+  Result<InstallFrame> decoded = DecodeInstall(frame.payload);
+  if (!decoded.ok()) {
+    SendError(conn, decoded.status().ToString());
+    return;
+  }
+  InstallFrame install = std::move(decoded).value();
+  auto reset_install = [conn] {
+    conn->install_name.clear();
+    conn->install_buffer.clear();
+    conn->install_buffer.shrink_to_fit();
+  };
+  if (conn->install_name.empty()) {
+    if (install.chunk_index != 0) {
+      SendError(conn, "install chunk " + std::to_string(install.chunk_index) +
+                          " of " + install.name + " without a first chunk");
+      return;
+    }
+    // Each chunk travels in its own frame, so a consistent snapshot can
+    // never need more than chunk_count frame payloads.
+    if (install.total_bytes >
+        static_cast<uint64_t>(install.chunk_count) * options_.max_frame_bytes) {
+      SendError(conn, "install of " + install.name + " declares " +
+                          std::to_string(install.total_bytes) +
+                          " bytes, more than its chunks can carry");
+      return;
+    }
+    conn->install_name = install.name;
+    conn->install_generation = install.generation;
+    conn->install_total_bytes = install.total_bytes;
+    conn->install_chunk_count = install.chunk_count;
+    conn->install_crc = install.snapshot_crc;
+    conn->install_next_chunk = 0;
+    conn->install_buffer.clear();
+    conn->install_buffer.reserve(install.total_bytes);
+  } else if (install.name != conn->install_name ||
+             install.generation != conn->install_generation ||
+             install.total_bytes != conn->install_total_bytes ||
+             install.chunk_count != conn->install_chunk_count ||
+             install.snapshot_crc != conn->install_crc ||
+             install.chunk_index != conn->install_next_chunk) {
+    reset_install();
+    SendError(conn, "install chunk sequence violation for " + install.name);
+    return;
+  }
+  if (conn->install_buffer.size() + install.chunk.size() >
+      conn->install_total_bytes) {
+    reset_install();
+    SendError(conn, "install chunks for " + install.name +
+                        " overflow the declared snapshot size");
+    return;
+  }
+  conn->install_buffer.append(install.chunk);
+  conn->install_next_chunk++;
+  XCLUSTER_COUNTER_INC("net.install.chunks");
+  if (conn->install_next_chunk < conn->install_chunk_count) return;
+
+  // Final chunk: verify the whole-snapshot checksum before decoding, so a
+  // chunking bug or in-flight corruption is named as such rather than as
+  // an XCSB parse error.
+  InstallReplyFrame reply;
+  if (conn->install_buffer.size() != conn->install_total_bytes) {
+    reply.message = "install of " + conn->install_name + " reassembled " +
+                    std::to_string(conn->install_buffer.size()) +
+                    " bytes, expected " +
+                    std::to_string(conn->install_total_bytes);
+  } else if (crc32c::Mask(crc32c::Value(conn->install_buffer.data(),
+                                        conn->install_buffer.size())) !=
+             conn->install_crc) {
+    reply.message =
+        "install of " + conn->install_name + " failed snapshot checksum";
+  } else {
+    Result<std::shared_ptr<const StoredSynopsis>> installed =
+        service_->store().InstallFromWire(conn->install_name,
+                                          conn->install_buffer, conn->peer,
+                                          conn->install_generation);
+    if (installed.ok()) {
+      reply.ok = true;
+      reply.generation = installed.value()->generation();
+      XCLUSTER_COUNTER_INC("net.install.ok");
+    } else {
+      reply.message = installed.status().ToString();
+    }
+  }
+  if (!reply.ok) XCLUSTER_COUNTER_INC("net.install.failed");
+  reset_install();
+  SendFrame(conn, FrameType::kInstallReply, EncodeInstallReply(reply));
+}
+
+void NetServer::DrainPostedReplies() {
+  std::vector<PostedReply> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    batch.swap(posted_);
+  }
+  for (PostedReply& posted : batch) {
+    for (Connection& conn : connections_) {
+      if (conn.id != posted.conn_id) continue;
+      for (Frame& frame : posted.frames) {
+        SendFrame(&conn, frame.type, std::move(frame.payload));
+      }
+      if (posted.close) conn.closing = true;
+      break;  // ids are unique; replies to dead connections drop silently
+    }
+  }
+}
+
+void NetServer::NotifyDisconnect(const Connection& conn) {
+  if (handler_ != nullptr && conn.hello_done) {
+    handler_->OnDisconnect(conn.id);
   }
 }
 
@@ -326,7 +516,10 @@ bool NetServer::FlushWrites(Connection* conn) {
 
 void NetServer::AcceptPending(int listen_fd) {
   for (;;) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    sockaddr_storage addr;
+    socklen_t addr_len = sizeof(addr);
+    const int fd =
+        ::accept(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // EAGAIN (or transient error): try again next poll round
@@ -334,6 +527,8 @@ void NetServer::AcceptPending(int listen_fd) {
     Connection conn;
     conn.fd = ScopedFd(fd);
     conn.decoder = FrameDecoder(options_.max_frame_bytes);
+    conn.id = next_conn_id_++;
+    conn.peer = FormatPeer(addr, addr_len);
     if (!SetNonBlocking(fd).ok()) continue;  // ScopedFd closes it
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -403,10 +598,27 @@ void NetServer::Loop() {
     if (ready < 0 && errno != EINTR) break;  // poll itself failed: bail out
 
     if (pollfds[0].revents & POLLIN) {
-      char drain_bytes[64];
-      while (::read(wake_read_.get(), drain_bytes, sizeof(drain_bytes)) > 0) {
+      // Wake bytes are commands: 2 = posted replies pending, anything else
+      // (1, and whatever a legacy signal handler writes) = drain.
+      char wake_bytes[64];
+      bool drain = false;
+      bool posted = false;
+      ssize_t got;
+      while ((got = ::read(wake_read_.get(), wake_bytes,
+                           sizeof(wake_bytes))) > 0) {
+        for (ssize_t i = 0; i < got; ++i) {
+          if (wake_bytes[i] == 2) {
+            posted = true;
+          } else {
+            drain = true;
+          }
+        }
       }
-      BeginDrain();
+      // Posted replies land in connection outbufs here; the per-connection
+      // pass below flushes any non-empty outbuf, so they go out this same
+      // loop round.
+      if (posted) DrainPostedReplies();
+      if (drain) BeginDrain();
     }
     if (listen_index >= 0 && !draining_ &&
         (pollfds[listen_index].revents & POLLIN)) {
@@ -430,6 +642,7 @@ void NetServer::Loop() {
       }
       if (alive && (revents & POLLHUP) && !(revents & POLLIN)) alive = false;
       if (!alive) {
+        NotifyDisconnect(*it);
         connections_.erase(it);
         SetConnectionGauge();
       }
@@ -438,6 +651,7 @@ void NetServer::Loop() {
     if (draining_ &&
         telemetry::MonotonicNowNs() >= drain_deadline_ns_) {
       // Stragglers kept the drain past its budget; force-close them.
+      for (const Connection& conn : connections_) NotifyDisconnect(conn);
       connections_.clear();
       SetConnectionGauge();
     }

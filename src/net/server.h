@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/status.h"
 #include "net/frame.h"
@@ -52,6 +53,33 @@ struct NetServerOptions {
   /// identifiable; this rate only governs span recording. A client that
   /// sent sampled=1 is honored regardless.
   double trace_sample = 0.0;
+
+  /// Self-description carried in the v4 hello ack so peers can tell what
+  /// they connected to: a replica daemon or a cluster router.
+  std::string role = "replica";
+  std::string server_description = "xclusterd";
+};
+
+/// Hook that takes over post-hello content frames (kCommand, kBatch,
+/// kStats, kFlight, kInstall) — the cluster router implements this to
+/// reuse NetServer's poll machinery while supplying its own dispatch.
+/// Handshake and lifecycle frames (kHello, kGoodbye) stay in NetServer.
+///
+/// OnFrame runs on the event-loop thread: implementations must not block
+/// (hand work to their own pool) and reply asynchronously through
+/// NetServer::PostFrames, which is safe from any thread.
+class FrameHandler {
+ public:
+  virtual ~FrameHandler() = default;
+
+  /// One decoded content frame from connection `conn_id` (`peer` is its
+  /// remote address, `version` the negotiated protocol).
+  virtual void OnFrame(uint64_t conn_id, const std::string& peer,
+                       uint32_t version, Frame frame) = 0;
+
+  /// The connection is gone (orderly or not); pending PostFrames for it
+  /// will be dropped silently.
+  virtual void OnDisconnect(uint64_t conn_id) { (void)conn_id; }
 };
 
 /// Socket front end for an EstimationService: a single-threaded poll event
@@ -84,7 +112,20 @@ class NetServer {
     uint64_t sheds = 0;               ///< batches refused by admission
   };
 
+  /// `service` may be nullptr when a FrameHandler supplies all dispatch
+  /// (router mode); with a null service and no handler every content
+  /// frame is answered with an error.
   NetServer(EstimationService* service, NetServerOptions options);
+
+  /// Installs the router-mode dispatch hook. Must be called before
+  /// Start().
+  void set_frame_handler(FrameHandler* handler) { handler_ = handler; }
+
+  /// Queues `frames` for connection `conn_id` and wakes the event loop to
+  /// write them; with `close` the connection is closed after the flush.
+  /// Thread-safe; frames for an already-gone connection are dropped.
+  void PostFrames(uint64_t conn_id, std::vector<Frame> frames,
+                  bool close = false);
 
   /// Drains and joins.
   ~NetServer();
@@ -130,6 +171,27 @@ class NetServer {
     bool hello_done = false;
     bool closing = false;  ///< flush pending writes, then close
     uint32_t version = 0;  ///< negotiated protocol version (post-hello)
+    uint64_t id = 0;       ///< stable handle for PostFrames/FrameHandler
+    std::string peer;      ///< remote address "host:port" (best effort)
+
+    /// In-progress chunked kInstall reassembly (v4+). `install_name` is
+    /// empty between installs; chunks must arrive in order on the one
+    /// connection.
+    std::string install_name;
+    uint64_t install_generation = 0;
+    uint64_t install_total_bytes = 0;
+    uint32_t install_chunk_count = 0;
+    uint32_t install_next_chunk = 0;
+    uint32_t install_crc = 0;
+    std::string install_buffer;
+  };
+
+  /// Completed work queued from other threads (router pool completions),
+  /// drained by the event loop on a wake.
+  struct PostedReply {
+    uint64_t conn_id = 0;
+    std::vector<Frame> frames;
+    bool close = false;
   };
 
   void Loop();
@@ -141,14 +203,22 @@ class NetServer {
   /// destroyed (flushed a closing connection, write error, or overflow).
   bool FlushWrites(Connection* conn);
   void DispatchFrame(Connection* conn, Frame&& frame);
+  void HandleInstall(Connection* conn, Frame&& frame);
   void SendFrame(Connection* conn, FrameType type, std::string payload);
   void SendError(Connection* conn, const std::string& message);
   void BeginDrain();
+  void DrainPostedReplies();
+  void NotifyDisconnect(const Connection& conn);
   void SetConnectionGauge();
 
   EstimationService* service_;
   NetServerOptions options_;
   ServiceHarness harness_;
+  FrameHandler* handler_ = nullptr;
+
+  std::mutex posted_mu_;
+  std::vector<PostedReply> posted_;
+  uint64_t next_conn_id_ = 1;  // loop-thread only
 
   ScopedFd listen_fd_;
   ScopedFd wake_read_;

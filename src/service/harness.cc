@@ -172,7 +172,8 @@ int ServiceHarness::Run(std::istream& in, std::ostream& out) {
   }
 }
 
-std::string ServiceHarness::ExecuteLine(const std::string& line, bool* quit) {
+std::string ServiceHarness::ExecuteLine(const std::string& line, bool* quit,
+                                        const std::string& source) {
   *quit = false;
   std::istringstream tokens(line);
   std::string command;
@@ -198,7 +199,7 @@ std::string ServiceHarness::ExecuteLine(const std::string& line, bool* quit) {
     if (name.empty() || path.empty()) {
       return "err load needs <name> <path>\n";
     }
-    auto loaded = service_->store().LoadFile(name, path);
+    auto loaded = service_->store().LoadFile(name, path, source);
     if (!loaded.ok()) {
       out << "err " << loaded.status().ToString() << "\n";
       return out.str();
@@ -229,7 +230,13 @@ std::string ServiceHarness::ExecuteLine(const std::string& line, bool* quit) {
       if (snapshot == nullptr) continue;  // dropped between List and Get
       out << "synopsis " << name << " gen=" << snapshot->generation()
           << " clusters=" << snapshot->synopsis().NodeCount()
-          << " bytes=" << snapshot->xcluster().SizeBytes() << "\n";
+          << " bytes=" << snapshot->xcluster().SizeBytes();
+      // Provenance/staleness metadata (appended so existing prefix-match
+      // consumers keep working; routers aggregate this per replica).
+      if (!snapshot->source().empty()) {
+        out << " source=" << snapshot->source();
+      }
+      out << "\n";
     }
     return out.str();
   }

@@ -80,7 +80,13 @@ class ServiceHarness {
   /// return "". Sets `*quit` on a `quit` request. A `batch` line is
   /// rejected here — its query lines live outside the line — the stdio
   /// loop and the binary batch frame each supply them their own way.
-  std::string ExecuteLine(const std::string& line, bool* quit);
+  ///
+  /// A non-empty `source` identifies the requesting peer (the socket
+  /// server passes the connection's remote address); `load` failures then
+  /// name that peer, so a bad replication or remote load is attributable
+  /// beyond the server-side file path.
+  std::string ExecuteLine(const std::string& line, bool* quit,
+                          const std::string& source = "");
 
   /// Runs one batch and renders the protocol text: the `ok batch` header
   /// plus exactly one item line per query (and `#` explanation lines when

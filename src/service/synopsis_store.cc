@@ -6,14 +6,18 @@
 #include <utility>
 
 #include "common/telemetry/telemetry.h"
+#include "core/serialize.h"
 
 namespace xcluster {
 
 StoredSynopsis::StoredSynopsis(std::string name, XCluster synopsis,
-                               uint64_t generation, EstimateOptions options)
+                               uint64_t generation, EstimateOptions options,
+                               std::string source)
     : name_(std::move(name)),
       xcluster_(std::move(synopsis)),
-      generation_(generation) {
+      generation_(generation),
+      source_(std::move(source)),
+      installed_ns_(telemetry::MonotonicNowNs()) {
   // Constructed after xcluster_ has reached its final address: the
   // estimators and the flat compilation all hold references into it.
   estimator_ =
@@ -24,9 +28,10 @@ StoredSynopsis::StoredSynopsis(std::string name, XCluster synopsis,
 
 std::shared_ptr<const StoredSynopsis> StoredSynopsis::Make(
     std::string name, XCluster synopsis, uint64_t generation,
-    EstimateOptions options) {
-  return std::shared_ptr<const StoredSynopsis>(new StoredSynopsis(
-      std::move(name), std::move(synopsis), generation, options));
+    EstimateOptions options, std::string source) {
+  return std::shared_ptr<const StoredSynopsis>(
+      new StoredSynopsis(std::move(name), std::move(synopsis), generation,
+                         options, std::move(source)));
 }
 
 SynopsisStore::SynopsisStore(size_t num_shards,
@@ -43,13 +48,24 @@ SynopsisStore::Shard& SynopsisStore::ShardFor(const std::string& name) const {
 }
 
 std::shared_ptr<const StoredSynopsis> SynopsisStore::Install(
-    const std::string& name, XCluster synopsis) {
+    const std::string& name, XCluster synopsis, uint64_t generation,
+    std::string source) {
+  if (generation == 0) {
+    generation = next_generation_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Pinned (replicated) generation: keep the local counter strictly
+    // above it so a later auto-assigned install never reuses or
+    // undercuts a fleet-assigned number.
+    uint64_t next = next_generation_.load(std::memory_order_relaxed);
+    while (next <= generation &&
+           !next_generation_.compare_exchange_weak(
+               next, generation + 1, std::memory_order_relaxed)) {
+    }
+  }
   // Build the snapshot (estimator construction included) before touching
   // the shard, so the lock covers only the pointer swap.
-  auto snapshot = StoredSynopsis::Make(
-      name, std::move(synopsis),
-      next_generation_.fetch_add(1, std::memory_order_relaxed),
-      estimator_options_);
+  auto snapshot = StoredSynopsis::Make(name, std::move(synopsis), generation,
+                                       estimator_options_, std::move(source));
   Shard& shard = ShardFor(name);
   std::shared_ptr<const StoredSynopsis> replaced;  // destroyed outside lock
   {
@@ -69,10 +85,30 @@ std::shared_ptr<const StoredSynopsis> SynopsisStore::Install(
 }
 
 Result<std::shared_ptr<const StoredSynopsis>> SynopsisStore::LoadFile(
-    const std::string& name, const std::string& path) {
+    const std::string& name, const std::string& path,
+    const std::string& source) {
   Result<XCluster> loaded = XCluster::Load(path);
-  if (!loaded.ok()) return loaded.status();
-  return Install(name, std::move(loaded).value());
+  if (!loaded.ok()) {
+    if (source.empty()) return loaded.status();
+    // A load requested over the wire: the failure must name the peer
+    // that asked for it, not just the server-side path.
+    return Status::WithContext(loaded.status(),
+                               "load requested by " + source);
+  }
+  return Install(name, std::move(loaded).value(), /*generation=*/0,
+                 source.empty() ? path : source);
+}
+
+Result<std::shared_ptr<const StoredSynopsis>> SynopsisStore::InstallFromWire(
+    const std::string& name, std::string_view bytes,
+    const std::string& source, uint64_t generation) {
+  Result<GraphSynopsis> decoded = DecodeSynopsisBytes(bytes);
+  if (!decoded.ok()) {
+    return Status::WithContext(decoded.status(), "install from " + source);
+  }
+  XCLUSTER_COUNTER_INC("service.store.wire_installs");
+  return Install(name, XCluster(std::move(decoded).value()), generation,
+                 "wire:" + source);
 }
 
 std::shared_ptr<const StoredSynopsis> SynopsisStore::Get(

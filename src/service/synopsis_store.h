@@ -6,6 +6,7 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -31,7 +32,7 @@ class StoredSynopsis {
   /// the synopsis graph stay stable for the snapshot's lifetime.
   static std::shared_ptr<const StoredSynopsis> Make(
       std::string name, XCluster synopsis, uint64_t generation,
-      EstimateOptions options = EstimateOptions());
+      EstimateOptions options = EstimateOptions(), std::string source = "");
 
   const std::string& name() const { return name_; }
   const XCluster& xcluster() const { return xcluster_; }
@@ -50,12 +51,24 @@ class StoredSynopsis {
   const XClusterEstimator& estimator() const { return *estimator_; }
 
   /// Monotonically increasing across the owning store; a reload of the
-  /// same name yields a snapshot with a larger generation.
+  /// same name yields a snapshot with a larger generation. Replication
+  /// installs (InstallFromWire with a nonzero generation) pin the
+  /// router-assigned value instead, so every replica in a fleet reports
+  /// the same generation for the same pushed snapshot.
   uint64_t generation() const { return generation_; }
+
+  /// Provenance of this snapshot: the file path it was loaded from, a
+  /// "wire:<peer>" tag for replicated installs, or "" for direct
+  /// Install() calls. Staleness metadata for cluster stats.
+  const std::string& source() const { return source_; }
+
+  /// Monotonic install timestamp (telemetry::MonotonicNowNs at install),
+  /// so age-since-install is computable within the serving process.
+  uint64_t installed_ns() const { return installed_ns_; }
 
  private:
   StoredSynopsis(std::string name, XCluster synopsis, uint64_t generation,
-                 EstimateOptions options);
+                 EstimateOptions options, std::string source);
 
   std::string name_;
   XCluster xcluster_;
@@ -63,6 +76,8 @@ class StoredSynopsis {
   std::unique_ptr<FlatSynopsis> flat_;             // references xcluster_
   std::unique_ptr<FlatEstimator> flat_estimator_;  // references *flat_
   uint64_t generation_ = 0;
+  std::string source_;
+  uint64_t installed_ns_ = 0;
 };
 
 /// A named catalog of immutable synopsis snapshots with RCU-style hot
@@ -88,14 +103,35 @@ class SynopsisStore {
   /// Publishes `synopsis` under `name`, replacing any previous snapshot
   /// (which stays alive until its last in-flight reader drops it).
   /// Returns the installed snapshot.
+  ///
+  /// `generation` 0 (the default) auto-assigns the store's next
+  /// generation; a nonzero value pins it — replication pushes carry the
+  /// router-assigned generation so a whole fleet lands in lockstep — and
+  /// bumps the store's counter past it, keeping later local installs
+  /// strictly newer. `source` is recorded as provenance (see
+  /// StoredSynopsis::source()).
   std::shared_ptr<const StoredSynopsis> Install(const std::string& name,
-                                                XCluster synopsis);
+                                                XCluster synopsis,
+                                                uint64_t generation = 0,
+                                                std::string source = "");
 
   /// Loads a `.xcs` file (full checksum verification happens in
   /// XCluster::Load) and installs it under `name`. The load runs outside
   /// all locks; a failed load leaves any existing snapshot untouched.
+  /// A non-empty `source` is prepended to failure messages (and recorded
+  /// as the snapshot's provenance) so a load requested over the wire is
+  /// attributable to the requesting peer, not just the server-side path.
   Result<std::shared_ptr<const StoredSynopsis>> LoadFile(
-      const std::string& name, const std::string& path);
+      const std::string& name, const std::string& path,
+      const std::string& source = "");
+
+  /// Decodes an XCSB-encoded snapshot received over the wire (every
+  /// section CRC verified by the decoder) and installs it under `name`
+  /// with the given pinned generation (0 = auto). Failures carry `source`
+  /// (the pushing peer's address) so replication errors are attributable.
+  Result<std::shared_ptr<const StoredSynopsis>> InstallFromWire(
+      const std::string& name, std::string_view bytes,
+      const std::string& source, uint64_t generation = 0);
 
   /// Current snapshot for `name`, or nullptr if absent.
   std::shared_ptr<const StoredSynopsis> Get(const std::string& name) const;

@@ -1,0 +1,570 @@
+#include "cluster/router.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "cluster/merge.h"
+#include "cluster/replica_set.h"
+#include "core/serialize.h"
+#include "core/xcluster.h"
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "service/service.h"
+
+namespace xcluster {
+namespace cluster {
+namespace {
+
+XCluster MakeFixture() {
+  GraphSynopsis synopsis;
+  SynNodeId r = synopsis.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId a = synopsis.AddNode("A", ValueType::kNone, 10.0);
+  SynNodeId b = synopsis.AddNode("B", ValueType::kNone, 100.0);
+  synopsis.AddEdge(r, a, 10.0);
+  synopsis.AddEdge(a, b, 10.0);
+  synopsis.set_term_dictionary(std::make_shared<TermDictionary>());
+  return XCluster(std::move(synopsis));
+}
+
+bool WaitFor(const std::function<bool()>& done) {
+  for (int i = 0; i < 5000; ++i) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return done();
+}
+
+// ---------------------------------------------------------------------------
+// hash_ring
+
+TEST(HashRing, CollectionHashIsStableAndSpreads) {
+  // The routing hash must be process-invariant: a literal expectation would
+  // overfit, but determinism and dispersion are the contract.
+  EXPECT_EQ(CollectionHash("books"), CollectionHash("books"));
+  EXPECT_NE(CollectionHash("books"), CollectionHash("book"));
+  EXPECT_NE(CollectionHash("books"), CollectionHash("books@0"));
+  EXPECT_NE(CollectionHash(""), CollectionHash("a"));
+}
+
+TEST(HashRing, RankReplicasIsATotalOrderAndMinimallyDisruptive) {
+  std::vector<uint64_t> seeds;
+  for (int i = 0; i < 5; ++i) {
+    seeds.push_back(ReplicaSeed("10.0.0." + std::to_string(i) + ":9000"));
+  }
+  const uint64_t hash = CollectionHash("books");
+  std::vector<size_t> order = RankReplicas(hash, seeds);
+  ASSERT_EQ(order.size(), seeds.size());
+  // A permutation of all indices.
+  std::vector<size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  // Deterministic.
+  EXPECT_EQ(order, RankReplicas(hash, seeds));
+
+  // HRW's minimal-disruption property: dropping one replica preserves the
+  // relative order of the survivors.
+  const size_t removed = order[0];
+  std::vector<uint64_t> remaining_seeds;
+  std::vector<size_t> index_map;  // position in `seeds` for each survivor
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    if (i == removed) continue;
+    index_map.push_back(i);
+    remaining_seeds.push_back(seeds[i]);
+  }
+  std::vector<size_t> reranked = RankReplicas(hash, remaining_seeds);
+  std::vector<size_t> survivors;
+  for (size_t index : order) {
+    if (index != removed) survivors.push_back(index);
+  }
+  ASSERT_EQ(reranked.size(), survivors.size());
+  for (size_t i = 0; i < reranked.size(); ++i) {
+    EXPECT_EQ(index_map[reranked[i]], survivors[i]) << i;
+  }
+}
+
+TEST(HashRing, DifferentCollectionsSpreadAcrossReplicas) {
+  std::vector<uint64_t> seeds;
+  for (int i = 0; i < 4; ++i) {
+    seeds.push_back(ReplicaSeed("host" + std::to_string(i) + ":1"));
+  }
+  std::vector<size_t> owner_counts(seeds.size(), 0);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t hash = CollectionHash("col" + std::to_string(i));
+    ++owner_counts[RankReplicas(hash, seeds)[0]];
+  }
+  // Every replica owns something — the hash isn't collapsing.
+  for (size_t count : owner_counts) EXPECT_GT(count, 0u);
+}
+
+TEST(HashRing, ParseShardSpecGrammar) {
+  EXPECT_FALSE(ParseShardSpec("books").sharded());
+  EXPECT_FALSE(ParseShardSpec("books@0").sharded());
+  EXPECT_FALSE(ParseShardSpec("books@1").sharded());
+  EXPECT_FALSE(ParseShardSpec("books@007").sharded());  // leading zeros
+  EXPECT_FALSE(ParseShardSpec("books@").sharded());     // trailing @
+  EXPECT_FALSE(ParseShardSpec("@4").sharded());         // empty base
+  EXPECT_FALSE(ParseShardSpec("a@b@4").sharded());      // base contains @
+  EXPECT_FALSE(ParseShardSpec("books@4x").sharded());   // non-digit
+  EXPECT_FALSE(ParseShardSpec("books@9", 8).sharded()); // above max_shards
+
+  ShardSpec spec = ParseShardSpec("books@4");
+  EXPECT_TRUE(spec.sharded());
+  EXPECT_EQ(spec.base, "books");
+  EXPECT_EQ(spec.shard_count, 4u);
+
+  std::vector<std::string> names = ShardNames(spec);
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "books@0");
+  EXPECT_EQ(names[3], "books@3");
+
+  names = ShardNames(ParseShardSpec("books"));
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "books");
+}
+
+// ---------------------------------------------------------------------------
+// merge
+
+net::BatchReplyFrame MakeReply(std::vector<net::BatchReplyItem> items) {
+  net::BatchReplyFrame reply;
+  reply.items = std::move(items);
+  reply.stats.ok = 0;
+  for (const net::BatchReplyItem& item : reply.items) {
+    if (item.ok) {
+      ++reply.stats.ok;
+    } else {
+      ++reply.stats.failed;
+    }
+  }
+  return reply;
+}
+
+net::BatchReplyItem OkItem(double estimate, uint64_t latency_ns = 1000) {
+  net::BatchReplyItem item;
+  item.ok = true;
+  item.estimate = estimate;
+  item.latency_ns = latency_ns;
+  return item;
+}
+
+net::BatchReplyItem ErrItem(const std::string& error) {
+  net::BatchReplyItem item;
+  item.ok = false;
+  item.error = error;
+  return item;
+}
+
+TEST(Merge, SumsEstimatesInShardOrderAndMaxesLatency) {
+  std::vector<ShardReply> shards(2);
+  shards[0].shard = "books@0";
+  shards[0].reply = MakeReply({OkItem(1.5, 2000), OkItem(10.0, 500)});
+  shards[0].reply.stats.wall_ns = 9000;
+  shards[1].shard = "books@1";
+  shards[1].reply = MakeReply({OkItem(2.25, 1000), OkItem(30.0, 800)});
+  shards[1].reply.stats.wall_ns = 4000;
+
+  Result<net::BatchReplyFrame> merged = MergeShardReplies(shards);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged.value().items.size(), 2u);
+  EXPECT_EQ(merged.value().items[0].estimate, 3.75);  // exact in binary
+  EXPECT_EQ(merged.value().items[1].estimate, 40.0);
+  EXPECT_EQ(merged.value().items[0].latency_ns, 2000u);
+  EXPECT_EQ(merged.value().items[1].latency_ns, 800u);
+  EXPECT_EQ(merged.value().stats.ok, 2u);
+  EXPECT_EQ(merged.value().stats.failed, 0u);
+  EXPECT_EQ(merged.value().stats.wall_ns, 9000u);
+  EXPECT_EQ(merged.value().trace_id, 0u);
+}
+
+TEST(Merge, SlotFailsWhenAnyShardFailsWithAttributedError) {
+  std::vector<ShardReply> shards(2);
+  shards[0].shard = "books@0";
+  shards[0].reply = MakeReply({OkItem(1.0), ErrItem("Parse: broken")});
+  shards[1].shard = "books@1";
+  shards[1].reply = MakeReply({OkItem(2.0), OkItem(5.0)});
+
+  Result<net::BatchReplyFrame> merged = MergeShardReplies(shards);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged.value().items.size(), 2u);
+  EXPECT_TRUE(merged.value().items[0].ok);
+  EXPECT_FALSE(merged.value().items[1].ok);
+  EXPECT_EQ(merged.value().items[1].error, "shard books@0: Parse: broken");
+  EXPECT_EQ(merged.value().stats.ok, 1u);
+  EXPECT_EQ(merged.value().stats.failed, 1u);
+}
+
+TEST(Merge, SlotCountMismatchIsARoutingBugNotAPartialMerge) {
+  std::vector<ShardReply> shards(2);
+  shards[0].shard = "books@0";
+  shards[0].reply = MakeReply({OkItem(1.0)});
+  shards[1].shard = "books@1";
+  shards[1].reply = MakeReply({OkItem(1.0), OkItem(2.0)});
+  EXPECT_FALSE(MergeShardReplies(shards).ok());
+  EXPECT_FALSE(MergeShardReplies({}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// replica_set parsing
+
+TEST(ReplicaSetParsing, ParsesHarnessListOutput) {
+  const std::string response =
+      "ok list 3\n"
+      "synopsis alpha gen=4 clusters=3 bytes=512\n"
+      "synopsis beta gen=7 clusters=3 bytes=512 source=wire:1.2.3.4\n"
+      "garbage line\n"
+      "synopsis gamma notgen=9\n";
+  std::vector<std::pair<std::string, uint64_t>> generations =
+      ParseListGenerations(response);
+  ASSERT_EQ(generations.size(), 2u);
+  EXPECT_EQ(generations[0].first, "alpha");
+  EXPECT_EQ(generations[0].second, 4u);
+  EXPECT_EQ(generations[1].first, "beta");
+  EXPECT_EQ(generations[1].second, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// end-to-end: router + replicas on loopback
+
+/// One in-process replica daemon: an EstimationService with the fixture
+/// installed under "books", served on an ephemeral loopback port.
+struct Replica {
+  std::unique_ptr<EstimationService> service;
+  std::unique_ptr<net::NetServer> server;
+
+  std::string address() const {
+    return "127.0.0.1:" + std::to_string(server->port());
+  }
+};
+
+Replica StartReplica(size_t workers = 2) {
+  Replica replica;
+  ServiceOptions options;
+  options.executor.num_threads = workers;
+  replica.service = std::make_unique<EstimationService>(options);
+  replica.service->store().Install("books", MakeFixture());
+  net::NetServerOptions net_options;
+  net_options.host = "127.0.0.1";
+  net_options.port = 0;
+  replica.server =
+      std::make_unique<net::NetServer>(replica.service.get(), net_options);
+  Status started = replica.server->Start();
+  EXPECT_TRUE(started.ok()) << started.ToString();
+  return replica;
+}
+
+/// An address that is guaranteed closed: bind an ephemeral listener, note
+/// the port, shut it down.
+std::string DeadAddress() {
+  Replica ghost = StartReplica(1);
+  const std::string address = ghost.address();
+  ghost.server->Stop();
+  return address;
+}
+
+std::unique_ptr<Router> StartRouter(const std::vector<std::string>& peers,
+                                    uint64_t probe_ms = 100) {
+  RouterOptions options;
+  options.server.host = "127.0.0.1";
+  options.server.port = 0;
+  options.peers = peers;
+  options.replicas.probe_interval_ms = probe_ms;
+  options.replicas.client.recv_timeout_ms = 5000;
+  options.replicas.client.connect_timeout_ms = 2000;
+  options.workers = 2;
+  auto router = std::make_unique<Router>(std::move(options));
+  Status started = router->Start();
+  EXPECT_TRUE(started.ok()) << started.ToString();
+  return router;
+}
+
+net::NetClient ConnectOrDie(uint16_t port, net::NetClientOptions options = {}) {
+  Result<net::NetClient> client =
+      net::NetClient::Connect("127.0.0.1", port, options);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).value();
+}
+
+TEST(ClusterE2E, RoutedBatchIsBitIdenticalToDirectAcrossWorkerCounts) {
+  // One narrow and one wide replica: the determinism gate must hold both
+  // through the router and regardless of replica parallelism.
+  Replica narrow = StartReplica(1);
+  Replica wide = StartReplica(8);
+  std::unique_ptr<Router> router =
+      StartRouter({narrow.address(), wide.address()});
+
+  std::vector<std::string> queries;
+  for (int i = 0; i < 100; ++i) {
+    queries.push_back(i % 3 == 2 ? "][broken" : (i % 2 == 0 ? "/A" : "/A/B"));
+  }
+
+  net::NetClient routed = ConnectOrDie(router->port());
+  EXPECT_EQ(routed.server_role(), "router");
+  Result<net::BatchReplyFrame> via_router = routed.Batch("books", queries, {});
+  ASSERT_TRUE(via_router.ok()) << via_router.status().ToString();
+
+  for (Replica* replica : {&narrow, &wide}) {
+    net::NetClient direct = ConnectOrDie(replica->server->port());
+    EXPECT_EQ(direct.server_role(), "replica");
+    Result<net::BatchReplyFrame> expected = direct.Batch("books", queries, {});
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    ASSERT_EQ(via_router.value().items.size(), expected.value().items.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const net::BatchReplyItem& routed_item = via_router.value().items[i];
+      const net::BatchReplyItem& direct_item = expected.value().items[i];
+      EXPECT_EQ(routed_item.ok, direct_item.ok) << queries[i];
+      // Exact IEEE-754 bit equality, not approximate: the router forwards
+      // the replica's encoded estimate without a text round-trip.
+      EXPECT_EQ(routed_item.estimate, direct_item.estimate) << queries[i];
+      if (!routed_item.ok) {
+        EXPECT_EQ(routed_item.error, direct_item.error) << queries[i];
+      }
+    }
+    EXPECT_EQ(via_router.value().stats.ok, expected.value().stats.ok);
+    EXPECT_EQ(via_router.value().stats.failed, expected.value().stats.failed);
+  }
+}
+
+TEST(ClusterE2E, RouterStatsAndAggregatedListSeeTheFleet) {
+  Replica first = StartReplica();
+  Replica second = StartReplica();
+  std::unique_ptr<Router> router =
+      StartRouter({first.address(), second.address()});
+
+  net::NetClient client = ConnectOrDie(router->port());
+  Result<std::string> stats = client.Command("stats");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().rfind("ok stats role=router replicas=2 healthy=2", 0),
+            0u)
+      << stats.value();
+  EXPECT_NE(stats.value().find("role=replica"), std::string::npos)
+      << stats.value();
+
+  Result<std::string> list = client.Command("list");
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list.value().rfind("ok list 1\n", 0), 0u) << list.value();
+  EXPECT_NE(list.value().find("synopsis books gen="), std::string::npos)
+      << list.value();
+  EXPECT_NE(list.value().find("replicas=2"), std::string::npos)
+      << list.value();
+
+  // Routed single-command estimate.
+  Result<std::string> estimate = client.Command("estimate books /A");
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate.value().rfind("ok estimate 10 us=", 0), 0u)
+      << estimate.value();
+}
+
+TEST(ClusterE2E, ReplicaDownAtStartupIsRoutedAround) {
+  Replica alive = StartReplica();
+  const std::string dead = DeadAddress();
+  // Start() runs a synchronous probe round, so the dead peer is unhealthy
+  // before the first request routes — no lost first batch.
+  std::unique_ptr<Router> router = StartRouter({dead, alive.address()});
+  EXPECT_EQ(router->replicas().HealthyIndices(), std::vector<size_t>{1});
+
+  net::NetClient client = ConnectOrDie(router->port());
+  Result<net::BatchReplyFrame> reply =
+      client.Batch("books", {"/A", "/A/B"}, {});
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply.value().items.size(), 2u);
+  EXPECT_EQ(reply.value().items[0].estimate, 10.0);
+  EXPECT_EQ(reply.value().items[1].estimate, 100.0);
+}
+
+TEST(ClusterE2E, ReplicaDeathMidStreamFailsOverWithoutLosingBatches) {
+  Replica first = StartReplica();
+  Replica second = StartReplica();
+  std::unique_ptr<Router> router =
+      StartRouter({first.address(), second.address()});
+  net::NetClient client = ConnectOrDie(router->port());
+
+  // Warm the routed path (also warms the router's connection pool, so the
+  // kill below poisons a pooled connection — the interesting case).
+  Result<net::BatchReplyFrame> before = client.Batch("books", {"/A"}, {});
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  // Kill whichever replica owns "books"; the router must fail over and
+  // every accepted batch must still come back complete, exactly once.
+  const uint64_t hash = CollectionHash("books");
+  const size_t owner = RankReplicas(hash, router->replicas().seeds())[0];
+  (owner == 0 ? first : second).server->Stop();
+
+  for (int round = 0; round < 3; ++round) {
+    Result<net::BatchReplyFrame> after =
+        client.Batch("books", {"/A", "/A/B", "/A"}, {});
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    ASSERT_EQ(after.value().items.size(), 3u) << "lost or duplicated slots";
+    EXPECT_EQ(after.value().items[0].estimate, 10.0);
+    EXPECT_EQ(after.value().items[1].estimate, 100.0);
+    EXPECT_EQ(after.value().items[2].estimate, 10.0);
+  }
+
+  // The data-path failure is enough to deprioritize the dead replica; the
+  // prober eventually agrees.
+  EXPECT_TRUE(WaitFor([&] {
+    return router->replicas().HealthyIndices() ==
+           std::vector<size_t>{owner == 0 ? size_t{1} : size_t{0}};
+  }));
+}
+
+TEST(ClusterE2E, AllReplicasDeadShedsInsteadOfHanging) {
+  const std::string dead = DeadAddress();
+  std::unique_ptr<Router> router = StartRouter({dead});
+  EXPECT_TRUE(router->replicas().HealthyIndices().empty());
+
+  net::NetClient client = ConnectOrDie(router->port());
+  Result<net::BatchReplyFrame> reply = client.Batch("books", {"/A"}, {});
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), Status::Code::kUnavailable)
+      << reply.status().ToString();
+  // The shed frame keeps the connection usable — a later request (after
+  // hypothetical recovery) reuses it.
+  Result<std::string> stats = client.Command("stats");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().rfind("ok stats role=router", 0), 0u);
+}
+
+TEST(ClusterE2E, InstallThroughRouterLeavesFleetAtSameGeneration) {
+  Replica first = StartReplica();
+  Replica second = StartReplica();
+  std::unique_ptr<Router> router =
+      StartRouter({first.address(), second.address()});
+
+  const std::string bytes = EncodeSynopsisToString(MakeFixture().synopsis());
+  net::NetClient client = ConnectOrDie(router->port());
+  // Tiny chunk size forces the multi-chunk reassembly path end to end.
+  Result<net::InstallReplyFrame> reply =
+      client.Install("catalog", bytes, /*generation=*/0, /*chunk_bytes=*/64);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(reply.value().ok) << reply.value().message;
+  const uint64_t generation = reply.value().generation;
+  EXPECT_GT(generation, 0u);
+
+  // Both replicas hot-swapped the same snapshot under the same pinned
+  // generation — the fleet is in lockstep.
+  for (Replica* replica : {&first, &second}) {
+    auto stored = replica->service->store().Get("catalog");
+    ASSERT_NE(stored, nullptr) << replica->address();
+    EXPECT_EQ(stored->generation(), generation) << replica->address();
+    EXPECT_EQ(stored->source().rfind("wire:", 0), 0u) << stored->source();
+  }
+
+  // A second install moves the whole fleet forward, again in lockstep.
+  Result<net::InstallReplyFrame> again = client.Install("catalog", bytes);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_TRUE(again.value().ok) << again.value().message;
+  EXPECT_GT(again.value().generation, generation);
+  EXPECT_EQ(first.service->store().Get("catalog")->generation(),
+            second.service->store().Get("catalog")->generation());
+
+  // The replicated collection serves through the router.
+  Result<std::string> estimate = client.Command("estimate catalog /A");
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_EQ(estimate.value().rfind("ok estimate 10 us=", 0), 0u)
+      << estimate.value();
+}
+
+TEST(ClusterE2E, CorruptInstallPushIsRejectedWithoutInstalling) {
+  Replica replica = StartReplica();
+  std::unique_ptr<Router> router = StartRouter({replica.address()});
+
+  std::string bytes = EncodeSynopsisToString(MakeFixture().synopsis());
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one bit mid-snapshot
+
+  net::NetClient client = ConnectOrDie(router->port());
+  Result<net::InstallReplyFrame> reply = client.Install("broken", bytes);
+  // The router's whole-snapshot CRC check fires before any replica sees a
+  // byte (surfaced as a reply with ok=false or a decode error).
+  if (reply.ok()) {
+    EXPECT_FALSE(reply.value().ok) << reply.value().message;
+  }
+  EXPECT_EQ(replica.service->store().Get("broken"), nullptr);
+}
+
+TEST(ClusterE2E, ScatterGatherSumsShardsAndMatchesDirectMath) {
+  Replica first = StartReplica();
+  Replica second = StartReplica();
+  // Per-shard synopses installed directly (each replica holds every shard,
+  // so HRW may send each shard anywhere).
+  for (Replica* replica : {&first, &second}) {
+    replica->service->store().Install("part@0", MakeFixture());
+    replica->service->store().Install("part@1", MakeFixture());
+  }
+  std::unique_ptr<Router> router =
+      StartRouter({first.address(), second.address()});
+
+  net::NetClient client = ConnectOrDie(router->port());
+  Result<net::BatchReplyFrame> reply =
+      client.Batch("part@2", {"/A", "/A/B", "][broken"}, {});
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply.value().items.size(), 3u);
+  EXPECT_TRUE(reply.value().items[0].ok);
+  EXPECT_EQ(reply.value().items[0].estimate, 20.0);   // 10 + 10
+  EXPECT_EQ(reply.value().items[1].estimate, 200.0);  // 100 + 100
+  EXPECT_FALSE(reply.value().items[2].ok);
+  EXPECT_EQ(reply.value().items[2].error.rfind("shard part@", 0), 0u)
+      << reply.value().items[2].error;
+  EXPECT_EQ(reply.value().stats.ok, 2u);
+  EXPECT_EQ(reply.value().stats.failed, 1u);
+
+  // A missing shard fails the whole batch (never a silent partial sum).
+  Result<net::BatchReplyFrame> missing = client.Batch("part@3", {"/A"}, {});
+  if (missing.ok()) {
+    ASSERT_EQ(missing.value().items.size(), 1u);
+    EXPECT_FALSE(missing.value().items[0].ok);
+  }
+}
+
+TEST(ClusterE2E, V3PinnedClientFallsBackAgainstRouter) {
+  Replica replica = StartReplica();
+  std::unique_ptr<Router> router = StartRouter({replica.address()});
+
+  net::NetClientOptions pinned;
+  pinned.max_protocol_version = net::kProtocolVersionTrace;  // v3
+  net::NetClient client = ConnectOrDie(router->port(), pinned);
+  EXPECT_EQ(client.negotiated_version(), net::kProtocolVersionTrace);
+  // v4 hello-ack metadata is absent below v4.
+  EXPECT_TRUE(client.server_role().empty());
+  EXPECT_TRUE(client.server_description().empty());
+
+  // The data path still routes.
+  Result<net::BatchReplyFrame> reply = client.Batch("books", {"/A"}, {});
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply.value().items[0].estimate, 10.0);
+
+  // Install frames are v4-only; the pinned client refuses locally instead
+  // of poisoning the stream.
+  Result<net::InstallReplyFrame> install = client.Install("books", "x");
+  ASSERT_FALSE(install.ok());
+  EXPECT_EQ(install.status().code(), Status::Code::kUnsupported)
+      << install.status().ToString();
+}
+
+TEST(ClusterE2E, RouterTraceIdSpansRouterAndReplica) {
+  Replica replica = StartReplica();
+  std::unique_ptr<Router> router = StartRouter({replica.address()});
+
+  net::NetClient client = ConnectOrDie(router->port());
+  BatchOptions options;
+  options.trace.trace_id = 0xabcdef12345678ull;
+  options.trace.sampled = true;
+  Result<net::BatchReplyFrame> reply =
+      client.Batch("books", {"/A"}, options);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  // The router echoes the client's id, and files the batch under it in its
+  // own flight ring; the replica leg carried the same id.
+  EXPECT_EQ(reply.value().trace_id, options.trace.trace_id);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace xcluster

@@ -51,6 +51,17 @@
 //                              daemon keeps serving (default
 //                              xcluster-dump)
 //
+//   xclusterctl route --listen host:port --peer host:port [--peer ...]
+//               [--probe-ms N] [--workers N] [--queue N] [--retries N]
+//               [--trace-sample R] [--flight-ring N] [--max-shards N]
+//       Runs the cluster router (docs/CLUSTER.md): an XNET daemon that
+//       rendezvous-hashes each collection over the static --peer fleet,
+//       retries sheds per the --retries budget, fails over to the next
+//       healthy replica, scatter-gathers `base@N` sharded collections,
+//       and fans kInstall replication pushes to every healthy replica
+//       under one generation. Same daemon conventions as serve --listen
+//       (listening line, SIGTERM/SIGINT drain, exit 3 on bind failure).
+//
 //   xclusterctl remote <estimate|batch|load|stats|flight> --connect ...
 //       Client for a `serve --listen` daemon: estimate --name n --query q;
 //       batch --name n --queries f.txt [--deadline-us N] [--explain]
@@ -58,7 +69,10 @@
 //       file as one packed frame; --trace attaches a sampled trace
 //       context — a 16-digit hex id, or server/client-generated when the
 //       value is omitted — and prints the trace_id echoed by a v3
-//       server); load --name n --path f.xcs; stats [--prom|--json]
+//       server); load --name n --path f.xcs (server-side path), or with
+//       --replicate [--generation N] read the file here and push its
+//       bytes as a chunked v4 install frame — through a router this
+//       replicates to every healthy replica; stats [--prom|--json]
 //       (typed v3 scrape frame; plain text falls back to the v1 command
 //       path); flight [--limit N] (flight-recorder JSON dump, v3+).
 //       Shared client flags: --timeout-ms N, --connect-timeout-ms N, and
@@ -99,6 +113,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/router.h"
 #include "common/io/file_io.h"
 #include "common/json.h"
 #include "common/telemetry/metrics.h"
@@ -126,6 +141,8 @@ namespace xcluster {
 namespace {
 
 /// Minimal --flag value parser. Flags with no following value get "".
+/// Repeated flags accumulate (GetAll); the single-value accessors return
+/// the last occurrence, preserving the old last-wins behavior.
 class Args {
  public:
   Args(int argc, char** argv) {
@@ -134,9 +151,9 @@ class Args {
       if (arg.rfind("--", 0) != 0) continue;
       std::string key = arg.substr(2);
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        values_[key] = argv[++i];
+        values_[key].push_back(argv[++i]);
       } else {
-        values_[key] = "";
+        values_[key].push_back("");
       }
     }
   }
@@ -145,21 +162,27 @@ class Args {
 
   std::string Get(const std::string& key, std::string fallback = "") const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
+    return it == values_.end() ? fallback : it->second.back();
+  }
+
+  /// Every occurrence of a repeatable flag (e.g. route --peer), in order.
+  std::vector<std::string> GetAll(const std::string& key) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? std::vector<std::string>() : it->second;
   }
 
   double GetDouble(const std::string& key, double fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    return it == values_.end() ? fallback : std::stod(it->second.back());
   }
 
   int64_t GetInt(const std::string& key, int64_t fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stoll(it->second);
+    return it == values_.end() ? fallback : std::stoll(it->second.back());
   }
 
  private:
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> values_;
 };
 
 int Fail(const std::string& message) {
@@ -640,6 +663,79 @@ int Serve(const Args& args) {
   return rc;
 }
 
+/// `xclusterctl route --listen host:port --peer host:port [--peer ...]`
+/// — the cluster router daemon (docs/CLUSTER.md): same XNET protocol on
+/// both sides, rendezvous-hash routing with failover, kInstall fan-out
+/// replication, and `base@N` scatter-gather. Same daemon conventions as
+/// serve --listen: "listening host:port" on stdout once bound, SIGTERM/
+/// SIGINT drain, exit 3 on bind failure.
+int Route(const Args& args) {
+  const std::string listen = args.Get("listen");
+  if (listen.empty()) return Fail("route requires --listen host:port");
+  const std::vector<std::string> peers = args.GetAll("peer");
+  if (peers.empty()) return Fail("route requires at least one --peer host:port");
+  for (const std::string& peer : peers) {
+    if (peer.empty()) return Fail("--peer requires host:port");
+  }
+  Result<net::HostPort> host_port = net::ParseHostPort(listen);
+  if (!host_port.ok()) {
+    std::fprintf(stderr, "error: --listen %s: %s\n", listen.c_str(),
+                 host_port.status().ToString().c_str());
+    return kExitListenFailed;
+  }
+
+  cluster::RouterOptions options;
+  options.server.host = host_port.value().host;
+  options.server.port = host_port.value().port;
+  options.server.max_connections = static_cast<size_t>(
+      args.GetInt("max-connections",
+                  static_cast<int64_t>(options.server.max_connections)));
+  options.server.drain_timeout_ms = static_cast<uint64_t>(args.GetInt(
+      "drain-ms", static_cast<int64_t>(options.server.drain_timeout_ms)));
+  options.peers = peers;
+  options.replicas.probe_interval_ms = static_cast<uint64_t>(
+      args.GetInt("probe-ms",
+                  static_cast<int64_t>(options.replicas.probe_interval_ms)));
+  options.replicas.client.recv_timeout_ms =
+      static_cast<uint64_t>(args.GetInt("timeout-ms", 30000));
+  options.replicas.client.connect_timeout_ms = static_cast<uint64_t>(
+      args.GetInt("connect-timeout-ms",
+                  static_cast<int64_t>(
+                      options.replicas.client.connect_timeout_ms)));
+  // Shed-retry budget *per replica* before the router fails a batch over
+  // to the next replica in HRW order.
+  options.replicas.client.retry.max_attempts =
+      static_cast<int>(args.GetInt("retries", 2));
+  options.workers = static_cast<size_t>(args.GetInt("workers", 4));
+  options.queue_capacity = static_cast<size_t>(args.GetInt("queue", 256));
+  options.trace_sample = args.GetDouble("trace-sample", 0.0);
+  if (options.trace_sample < 0.0 || options.trace_sample > 1.0) {
+    return Fail("--trace-sample must be in [0, 1]");
+  }
+  options.flight_capacity = static_cast<size_t>(args.GetInt(
+      "flight-ring", static_cast<int64_t>(options.flight_capacity)));
+  options.max_shards = static_cast<uint32_t>(
+      args.GetInt("max-shards", static_cast<int64_t>(options.max_shards)));
+
+  cluster::Router router(std::move(options));
+  Status started = router.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return kExitListenFailed;
+  }
+  g_drain_fd.store(router.drain_fd(), std::memory_order_relaxed);
+  std::signal(SIGTERM, HandleDrainSignal);
+  std::signal(SIGINT, HandleDrainSignal);
+  std::printf("listening %s:%u\n", host_port.value().host.c_str(),
+              static_cast<unsigned>(router.port()));
+  std::fflush(stdout);
+  router.AwaitTermination();
+  g_drain_fd.store(-1, std::memory_order_relaxed);
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  return 0;
+}
+
 int Remote(const std::string& action, const Args& args) {
   const std::string target = args.Get("connect");
   if (target.empty()) {
@@ -744,6 +840,35 @@ int Remote(const std::string& action, const Args& args) {
     if (name.empty() || path.empty()) {
       return Fail("remote load requires --name and --path");
     }
+    if (args.Has("replicate")) {
+      // --replicate reads the .xcs here and ships the bytes as a chunked
+      // kInstall push (v4). Against a router that fans the snapshot out to
+      // every healthy replica under one generation; against a single
+      // replica it is a plain wire install. Either way the file only has
+      // to exist on the *client* machine.
+      Result<std::string> bytes = ReadFileToString(path);
+      if (!bytes.ok()) {
+        return Fail("read " + path + ": " + bytes.status().ToString());
+      }
+      Status verified = VerifySynopsisBytes(bytes.value(), nullptr);
+      if (!verified.ok()) {
+        return Fail(path + ": " + verified.ToString());
+      }
+      const uint64_t generation =
+          static_cast<uint64_t>(args.GetInt("generation", 0));
+      Result<net::InstallReplyFrame> reply =
+          client.value().Install(name, bytes.value(), generation);
+      if (!reply.ok()) return Fail(reply.status().ToString());
+      if (reply.value().ok) {
+        std::printf("ok install %s gen=%llu %s\n", name.c_str(),
+                    static_cast<unsigned long long>(reply.value().generation),
+                    reply.value().message.c_str());
+        return 0;
+      }
+      std::printf("err install %s: %s\n", name.c_str(),
+                  reply.value().message.c_str());
+      return 1;
+    }
     // The path is resolved by the server process, not this client.
     Result<std::string> reply =
         client.value().Command("load " + name + " " + path);
@@ -767,6 +892,17 @@ int Remote(const std::string& action, const Args& args) {
     Result<std::string> reply = client.value().Command("stats");
     if (!reply.ok()) return Fail(reply.status().ToString());
     std::printf("%s", reply.value().c_str());
+    // Hello-handshake metadata as a trailing comment line: the negotiated
+    // protocol version always, plus the v4 role/description when the
+    // server sent them (a pre-v4 server has neither).
+    std::printf("# server version=%u", client.value().negotiated_version());
+    if (!client.value().server_role().empty()) {
+      std::printf(" role=%s", client.value().server_role().c_str());
+    }
+    if (!client.value().server_description().empty()) {
+      std::printf(" description=%s", client.value().server_description().c_str());
+    }
+    std::printf("\n");
     return reply.value().rfind("ok", 0) == 0 ? 0 : 1;
   }
   if (action == "flight") {
@@ -934,11 +1070,18 @@ int Usage() {
       "           [--dump-prefix P]   (SIGQUIT writes flight+trace dumps)\n"
       "           [--listen host:port [--max-connections N]\n"
       "            [--deadline-us N] [--drain-ms N]]\n"
+      "  route    --listen host:port --peer host:port [--peer ...]\n"
+      "           [--probe-ms N] [--workers N] [--queue N] [--retries N]\n"
+      "           [--timeout-ms N] [--connect-timeout-ms N]\n"
+      "           [--trace-sample R] [--flight-ring N] [--max-shards N]\n"
+      "           [--max-connections N] [--drain-ms N]\n"
       "  remote   estimate --connect host:port --name n --query q\n"
       "  remote   batch    --connect host:port --name n --queries f.txt\n"
       "           [--deadline-us N] [--explain] [--trace [hexid]]\n"
       "           [--priority interactive|bulk]\n"
       "  remote   load     --connect host:port --name n --path f.xcs\n"
+      "           [--replicate [--generation N]]  (push bytes over the\n"
+      "           wire; via a router, fan out to every healthy replica)\n"
       "  remote   stats    --connect host:port [--prom|--json]\n"
       "  remote   flight   --connect host:port [--limit N]\n"
       "  remote flags: [--timeout-ms N] [--connect-timeout-ms N]\n"
@@ -967,6 +1110,7 @@ int Dispatch(const std::string& command, const std::string& action,
   if (command == "verify") return Verify(args);
   if (command == "stats") return Stats(args);
   if (command == "serve") return Serve(args);
+  if (command == "route") return Route(args);
   if (command == "remote") return Remote(action, args);
   return Usage();
 }
