@@ -139,8 +139,31 @@ python3 -c "import sys; s, d = float(sys.argv[1]), float(sys.argv[2]); \
 sys.exit(0 if d == 2 * s else 1)" "$SINGLE" "$DOUBLE" \
   || fail "scatter-gather sum: part@2 gave $DOUBLE, expected 2 x $SINGLE"
 
-# 6. Failover: SIGKILL one replica; routed batches must keep succeeding.
-kill -9 "$R1_PID"
+# 6. Failover: SIGKILL the replica that owns `books`; routed batches must
+# keep succeeding, and the router must count the failover. HRW ownership
+# depends on the ephemeral ports, so detect the owner empirically: exactly
+# one replica estimates a routed query while both are healthy. The counter
+# must be one only the estimate path touches — the router's background
+# `list` probes bump store hit counters on BOTH replicas every probe
+# period, so those cannot tell the owner apart.
+served_queries() {
+  "$XCLUSTERCTL" remote stats --connect 127.0.0.1:"$1" --json \
+    | python3 -c 'import json, sys; \
+print(json.load(sys.stdin)["counters"].get("service.requests.ok", 0))'
+}
+Q1="$(served_queries "$R1_PORT")"
+Q2="$(served_queries "$R2_PORT")"
+"$XCLUSTERCTL" remote estimate --connect 127.0.0.1:"$RT_PORT" \
+  --name books --query '//book' >/dev/null \
+  || fail "routed estimate before failover failed"
+if [ "$(served_queries "$R1_PORT")" -gt "$Q1" ]; then
+  OWNER_PID="$R1_PID"; SURVIVOR_PID="$R2_PID"
+elif [ "$(served_queries "$R2_PORT")" -gt "$Q2" ]; then
+  OWNER_PID="$R2_PID"; SURVIVOR_PID="$R1_PID"
+else
+  fail "no replica served the routed books estimate"
+fi
+kill -9 "$OWNER_PID"
 "$XCLUSTERCTL" remote batch --connect 127.0.0.1:"$RT_PORT" \
   --name books --queries "$WORKDIR/one.txt" > "$WORKDIR/failover.txt" \
   || fail "routed batch failed after killing one replica: \
@@ -150,7 +173,7 @@ grep -Eq '^ok batch n=1 ok=1 err=0' "$WORKDIR/failover.txt" \
 
 # 7. Both replicas dead: the router must shed (non-zero exit, Unavailable)
 # and keep answering stats itself.
-kill -9 "$R2_PID"
+kill -9 "$SURVIVOR_PID"
 sleep 0.3
 set +e
 "$XCLUSTERCTL" remote batch --connect 127.0.0.1:"$RT_PORT" \

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include <cctype>
+
 #include "cluster/hash_ring.h"
 #include "cluster/merge.h"
 #include "common/io/crc32c.h"
@@ -11,6 +13,7 @@
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/telemetry.h"
 #include "core/serialize.h"
+#include "service/harness.h"
 
 namespace xcluster {
 namespace cluster {
@@ -20,11 +23,44 @@ namespace {
 constexpr char kRouterHelp[] =
     "ok help router commands: estimate <name> <query> | load <name> <path> "
     "| replicate <name> <path> | drop <name> | quota ... | list | stats | "
-    "help | quit; batches route by collection hash, base@N scatter-gathers";
+    "help | quit; batches and estimates of base@N scatter-gather across "
+    "shards, other names route by collection hash (load rejects sharded "
+    "names — use replicate or load each shard)";
 
 bool Contains(const std::vector<size_t>& haystack, size_t needle) {
   return std::find(haystack.begin(), haystack.end(), needle) !=
          haystack.end();
+}
+
+/// Remainder of `line` after `words` whitespace-separated words (the query
+/// text of "estimate <name> <query...>"; mirrors the harness grammar).
+std::string RestAfterWords(const std::string& line, int words) {
+  size_t pos = 0;
+  for (int word = 0; word < words; ++word) {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+    while (pos < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+  }
+  while (pos < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[pos]))) {
+    ++pos;
+  }
+  return line.substr(pos);
+}
+
+/// "a, b, c" for error messages naming skipped replicas.
+std::string JoinAddresses(const std::vector<std::string>& addresses) {
+  std::string joined;
+  for (const std::string& address : addresses) {
+    if (!joined.empty()) joined += ", ";
+    joined += address;
+  }
+  return joined;
 }
 
 }  // namespace
@@ -177,7 +213,14 @@ Result<std::string> Router::ForwardCommand(const std::string& key,
   Status last = Status::Unavailable("no healthy replica for " + key);
   bool preferred = true;
   for (const size_t index : order) {
-    if (!Contains(healthy, index)) continue;
+    if (!Contains(healthy, index)) {
+      // Skipping a ranked-out replica is a failover even though no request
+      // ever reached it: the prober can demote a dead replica before the
+      // data path does, and the key's traffic still moves down the
+      // preference order either way.
+      preferred = false;
+      continue;
+    }
     if (!preferred) XCLUSTER_COUNTER_INC("cluster.failovers");
     preferred = false;
     Result<net::NetClient> client = replicas_.Acquire(index);
@@ -202,9 +245,17 @@ Result<std::string> Router::ForwardCommand(const std::string& key,
 }
 
 std::vector<std::pair<std::string, std::string>> Router::ForwardToAll(
-    const std::string& line) {
+    const std::string& line, std::vector<std::string>* skipped_unhealthy) {
   std::vector<std::pair<std::string, std::string>> outcomes;
-  for (const size_t index : replicas_.HealthyIndices()) {
+  const std::vector<size_t> healthy = replicas_.HealthyIndices();
+  if (skipped_unhealthy != nullptr) {
+    for (size_t index = 0; index < replicas_.size(); ++index) {
+      if (!Contains(healthy, index)) {
+        skipped_unhealthy->push_back(replicas_.address(index));
+      }
+    }
+  }
+  for (const size_t index : healthy) {
     Result<net::NetClient> client = replicas_.Acquire(index);
     if (!client.ok()) {
       outcomes.emplace_back(replicas_.address(index),
@@ -286,8 +337,13 @@ net::InstallReplyFrame Router::ReplicateBytes(const std::string& name,
                                               uint64_t pinned) {
   net::InstallReplyFrame aggregate;
   const std::vector<size_t> healthy = replicas_.HealthyIndices();
+  std::vector<std::string> skipped;
+  for (size_t index = 0; index < replicas_.size(); ++index) {
+    if (!Contains(healthy, index)) skipped.push_back(replicas_.address(index));
+  }
   if (healthy.empty()) {
-    aggregate.message = "no healthy replicas to install " + name;
+    aggregate.message = "no healthy replicas to install " + name +
+                        " (unhealthy: " + JoinAddresses(skipped) + ")";
     XCLUSTER_COUNTER_INC("cluster.installs.failed");
     return aggregate;
   }
@@ -324,15 +380,31 @@ net::InstallReplyFrame Router::ReplicateBytes(const std::string& name,
     }
   }
   aggregate.generation = generation;
-  if (installed == healthy.size()) {
+  if (installed == healthy.size() && skipped.empty()) {
     aggregate.ok = true;
     aggregate.message = "installed " + name + " gen=" +
                         std::to_string(generation) + " on " +
                         std::to_string(installed) + " replicas";
+  } else if (installed == healthy.size()) {
+    // Every healthy replica landed it, but an unhealthy one missed the
+    // push and will serve the old generation once a probe re-admits it —
+    // not lockstep, so the fan-out as a whole did not succeed.
+    aggregate.message = "installed " + name + " gen=" +
+                        std::to_string(generation) + " on " +
+                        std::to_string(installed) +
+                        " healthy replicas, but skipped " +
+                        std::to_string(skipped.size()) + " unhealthy (" +
+                        JoinAddresses(skipped) +
+                        "); re-replicate once they recover";
   } else {
     aggregate.message = std::to_string(healthy.size() - installed) + " of " +
                         std::to_string(healthy.size()) +
                         " replicas failed; first: " + first_error;
+    if (!skipped.empty()) {
+      aggregate.message += "; also skipped " +
+                           std::to_string(skipped.size()) + " unhealthy (" +
+                           JoinAddresses(skipped) + ")";
+    }
   }
   return aggregate;
 }
@@ -409,6 +481,24 @@ void Router::HandleCommand(uint64_t conn_id, uint32_t version,
            "err " + command + " needs a collection name\n");
       return;
     }
+    // A sharded name has no single home replica, so routing it by the
+    // literal name's hash would answer "unknown collection" for data a
+    // kBatch against the same name serves fine. Estimates scatter-gather
+    // like batches do; a load (server-side file read) has no meaningful
+    // fan-out and is rejected toward the per-shard / replicate paths.
+    const ShardSpec spec = ParseShardSpec(name, options_.max_shards);
+    if (spec.sharded()) {
+      if (command == "load") {
+        Post(conn_id, net::FrameType::kResponse,
+             "err load of sharded name '" + name + "' is not routable; load " +
+                 spec.base + "@0.." + spec.base + "@" +
+                 std::to_string(spec.shard_count - 1) +
+                 " individually or push snapshots with 'replicate'\n");
+        return;
+      }
+      HandleShardedEstimate(conn_id, spec, line);
+      return;
+    }
     Result<std::string> response = ForwardCommand(name, line);
     if (response.ok()) {
       Post(conn_id, net::FrameType::kResponse, std::move(response).value());
@@ -419,10 +509,15 @@ void Router::HandleCommand(uint64_t conn_id, uint32_t version,
     return;
   }
   if (command == "drop" || command == "quota") {
-    const auto outcomes = ForwardToAll(line);
+    std::vector<std::string> skipped;
+    const auto outcomes = ForwardToAll(line, &skipped);
     if (outcomes.empty()) {
       Post(conn_id, net::FrameType::kResponse,
-           "err Unavailable: no healthy replicas\n");
+           "err Unavailable: no healthy replicas" +
+               (skipped.empty()
+                    ? std::string()
+                    : " (unhealthy: " + JoinAddresses(skipped) + ")") +
+               "\n");
       return;
     }
     size_t succeeded = 0;
@@ -436,9 +531,22 @@ void Router::HandleCommand(uint64_t conn_id, uint32_t version,
         first_error = address + ": " + trimmed;
       }
     }
-    if (succeeded == outcomes.size()) {
+    if (succeeded == outcomes.size() && skipped.empty()) {
       Post(conn_id, net::FrameType::kResponse,
            "ok " + command + " replicas=" + std::to_string(succeeded) + "\n");
+    } else if (!skipped.empty()) {
+      // The mutation cannot have reached the whole fleet: a replica that
+      // missed it serves stale (or undropped) data once a probe re-admits
+      // it, and there is no anti-entropy to reconcile — so the command
+      // fails loudly instead of reporting an unqualified ok.
+      std::string detail = "err " + command + " did not reach " +
+                           std::to_string(skipped.size()) +
+                           " unhealthy replica(s) (" + JoinAddresses(skipped) +
+                           "); applied on " + std::to_string(succeeded) +
+                           " of " + std::to_string(outcomes.size()) +
+                           " healthy replicas";
+      if (!first_error.empty()) detail += "; first error: " + first_error;
+      Post(conn_id, net::FrameType::kResponse, detail + "\n");
     } else {
       Post(conn_id, net::FrameType::kResponse,
            "err " + command + " failed on " +
@@ -452,6 +560,58 @@ void Router::HandleCommand(uint64_t conn_id, uint32_t version,
        "err unknown router command '" + command + "' (try help)\n");
 }
 
+void Router::HandleShardedEstimate(uint64_t conn_id, const ShardSpec& spec,
+                                   const std::string& line) {
+  const std::string query = RestAfterWords(line, 2);
+  if (query.empty()) {
+    Post(conn_id, net::FrameType::kResponse,
+         "err estimate needs <name> <query>\n");
+    return;
+  }
+  // One logical estimate becomes a one-query batch per shard, merged with
+  // the same machinery (and the same summed-estimate semantics) as a
+  // routed kBatch against the sharded name.
+  net::BatchRequestFrame request;
+  request.collection = spec.base + "@" + std::to_string(spec.shard_count);
+  request.queries.push_back(query);
+  uint64_t retry_after_ms = 0;
+  std::vector<ShardReply> replies;
+  for (const std::string& shard : ShardNames(spec)) {
+    Result<net::BatchReplyFrame> reply =
+        RouteShard(shard, request, &retry_after_ms);
+    if (!reply.ok()) {
+      Post(conn_id, net::FrameType::kResponse,
+           "err " + reply.status().ToString() + "\n");
+      return;
+    }
+    ShardReply shard_reply;
+    shard_reply.shard = shard;
+    shard_reply.reply = std::move(reply).value();
+    replies.push_back(std::move(shard_reply));
+  }
+  Result<net::BatchReplyFrame> merged = MergeShardReplies(replies);
+  if (!merged.ok() || merged.value().items.size() != 1) {
+    Post(conn_id, net::FrameType::kResponse,
+         "err " +
+             (merged.ok() ? "sharded estimate merged to " +
+                                std::to_string(merged.value().items.size()) +
+                                " slots, expected 1"
+                          : merged.status().ToString()) +
+         "\n");
+    return;
+  }
+  const net::BatchReplyItem& item = merged.value().items[0];
+  if (item.ok) {
+    std::ostringstream out;
+    out << "ok estimate " << FormatEstimate(item.estimate)
+        << " us=" << item.latency_ns / 1000 << "\n";
+    Post(conn_id, net::FrameType::kResponse, out.str());
+    XCLUSTER_COUNTER_INC("cluster.estimates.scatter");
+  } else {
+    Post(conn_id, net::FrameType::kResponse, "err " + item.error + "\n");
+  }
+}
+
 Result<net::BatchReplyFrame> Router::RouteShard(
     const std::string& shard, const net::BatchRequestFrame& request,
     uint64_t* retry_after_ms) {
@@ -461,7 +621,12 @@ Result<net::BatchReplyFrame> Router::RouteShard(
   Status last = Status::Unavailable("no healthy replica for " + shard);
   bool preferred = true;
   for (const size_t index : order) {
-    if (!Contains(healthy, index)) continue;
+    if (!Contains(healthy, index)) {
+      // See ForwardCommand: a prober-demoted preferred replica still means
+      // this shard's traffic failed over to a lower-ranked one.
+      preferred = false;
+      continue;
+    }
     if (!preferred) XCLUSTER_COUNTER_INC("cluster.failovers");
     preferred = false;
     Result<net::NetClient> client = replicas_.Acquire(index);
@@ -654,13 +819,24 @@ void Router::HandleInstallChunk(uint64_t conn_id, uint32_t version,
                              " bytes, more than its chunks can carry");
       return;
     }
+    if (install.total_bytes > options_.server.max_install_bytes) {
+      installs_.erase(conn_id);
+      PostError(conn_id,
+                "install of " + install.name + " declares " +
+                    std::to_string(install.total_bytes) +
+                    " bytes, above the " +
+                    std::to_string(options_.server.max_install_bytes) +
+                    "-byte install cap");
+      return;
+    }
     state.name = install.name;
     state.generation = install.generation;
     state.total_bytes = install.total_bytes;
     state.chunk_count = install.chunk_count;
     state.snapshot_crc = install.snapshot_crc;
     state.next_chunk = 0;
-    state.buffer.reserve(install.total_bytes);
+    // No upfront reserve: total_bytes is peer-declared; the buffer grows
+    // only with bytes actually received, bounded by the overflow check.
   } else if (install.name != state.name ||
              install.generation != state.generation ||
              install.total_bytes != state.total_bytes ||

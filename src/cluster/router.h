@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/hash_ring.h"
 #include "cluster/replica_set.h"
 #include "common/status.h"
 #include "net/protocol.h"
@@ -114,6 +115,10 @@ class Router : public net::FrameHandler {
   /// Pool-thread handlers.
   void HandleCommand(uint64_t conn_id, uint32_t version, std::string line,
                      std::string peer);
+  /// Text `estimate base@N <query>`: one-query batch per shard, merged
+  /// like a routed kBatch, rendered back in the harness text format.
+  void HandleShardedEstimate(uint64_t conn_id, const ShardSpec& spec,
+                             const std::string& line);
   void HandleBatch(uint64_t conn_id, uint32_t version, std::string payload);
   void HandleStats(uint64_t conn_id, std::string payload);
   void HandleFlight(uint64_t conn_id, std::string payload);
@@ -125,7 +130,10 @@ class Router : public net::FrameHandler {
 
   /// Fans an XCSB snapshot to every healthy replica under one generation
   /// (`pinned` 0 assigns the next fleet generation). Returns the
-  /// aggregated outcome.
+  /// aggregated outcome; ok only when every fleet member (not just every
+  /// healthy one) landed the snapshot — skipped unhealthy replicas are
+  /// named in the message, since they would otherwise resurface serving
+  /// an older generation.
   net::InstallReplyFrame ReplicateBytes(const std::string& name,
                                         const std::string& bytes,
                                         uint64_t pinned);
@@ -142,9 +150,13 @@ class Router : public net::FrameHandler {
                                      const std::string& line);
 
   /// Forwards `line` to every healthy replica; returns per-replica
-  /// (address, response-or-error) pairs.
+  /// (address, response-or-error) pairs. When `skipped_unhealthy` is
+  /// non-null it receives the addresses of replicas the fan-out skipped
+  /// because they were unhealthy — mutations use it to refuse reporting
+  /// an unqualified ok when part of the fleet missed the change.
   std::vector<std::pair<std::string, std::string>> ForwardToAll(
-      const std::string& line);
+      const std::string& line,
+      std::vector<std::string>* skipped_unhealthy = nullptr);
 
   std::string RouterStatsText() const;
   std::string AggregatedListText();

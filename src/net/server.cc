@@ -363,14 +363,24 @@ void NetServer::HandleInstall(Connection* conn, Frame&& frame) {
                           " bytes, more than its chunks can carry");
       return;
     }
+    if (install.total_bytes > options_.max_install_bytes) {
+      SendError(conn, "install of " + install.name + " declares " +
+                          std::to_string(install.total_bytes) +
+                          " bytes, above the " +
+                          std::to_string(options_.max_install_bytes) +
+                          "-byte install cap");
+      return;
+    }
     conn->install_name = install.name;
     conn->install_generation = install.generation;
     conn->install_total_bytes = install.total_bytes;
     conn->install_chunk_count = install.chunk_count;
     conn->install_crc = install.snapshot_crc;
     conn->install_next_chunk = 0;
+    // No upfront reserve: total_bytes is peer-declared, so the buffer only
+    // grows with bytes actually received (the overflow check above each
+    // append bounds it by total_bytes, itself bounded by the cap).
     conn->install_buffer.clear();
-    conn->install_buffer.reserve(install.total_bytes);
   } else if (install.name != conn->install_name ||
              install.generation != conn->install_generation ||
              install.total_bytes != conn->install_total_bytes ||

@@ -33,6 +33,13 @@ struct NetServerOptions {
   /// buffered (see FrameDecoder).
   size_t max_frame_bytes = kDefaultMaxPayloadBytes;
 
+  /// Cap on the declared size of a chunked kInstall snapshot. The first
+  /// chunk's `total_bytes` is checked against this before any chunk is
+  /// buffered, so a peer cannot commit the server to an allocation it
+  /// never backs with real bytes (chunk_count alone bounds nothing — a
+  /// uint32 count times the frame cap is petabytes).
+  size_t max_install_bytes = 256u << 20;
+
   /// Per-connection pending-write cap. A client that stops reading while
   /// responses accumulate past this is disconnected rather than allowed
   /// to pin server memory.

@@ -50,7 +50,8 @@ SynopsisStore::Shard& SynopsisStore::ShardFor(const std::string& name) const {
 std::shared_ptr<const StoredSynopsis> SynopsisStore::Install(
     const std::string& name, XCluster synopsis, uint64_t generation,
     std::string source) {
-  if (generation == 0) {
+  const bool pinned = generation != 0;
+  if (!pinned) {
     generation = next_generation_.fetch_add(1, std::memory_order_relaxed);
   } else {
     // Pinned (replicated) generation: keep the local counter strictly
@@ -72,6 +73,16 @@ std::shared_ptr<const StoredSynopsis> SynopsisStore::Install(
     std::unique_lock<std::shared_mutex> lock(shard.mu);
     for (auto& [entry_name, entry] : shard.entries) {
       if (entry_name == name) {
+        // A pinned (replicated) install must move the name forward: two
+        // concurrent or retried pushes can arrive in either order on
+        // different replicas, and letting an older generation overwrite a
+        // newer one would leave the fleet serving different snapshots
+        // while stats claim lockstep. The generation decides, not arrival
+        // order.
+        if (pinned && entry->generation() >= generation) {
+          XCLUSTER_COUNTER_INC("service.store.stale_installs");
+          return nullptr;
+        }
         replaced = std::move(entry);
         entry = snapshot;
         break;
@@ -106,9 +117,18 @@ Result<std::shared_ptr<const StoredSynopsis>> SynopsisStore::InstallFromWire(
   if (!decoded.ok()) {
     return Status::WithContext(decoded.status(), "install from " + source);
   }
+  std::shared_ptr<const StoredSynopsis> installed = Install(
+      name, XCluster(std::move(decoded).value()), generation, "wire:" + source);
+  if (installed == nullptr) {
+    const std::shared_ptr<const StoredSynopsis> current = Get(name);
+    return Status::InvalidArgument(
+        "stale install of " + name + " from " + source + ": pinned generation " +
+        std::to_string(generation) + " <= installed generation " +
+        (current != nullptr ? std::to_string(current->generation())
+                            : std::string("?")));
+  }
   XCLUSTER_COUNTER_INC("service.store.wire_installs");
-  return Install(name, XCluster(std::move(decoded).value()), generation,
-                 "wire:" + source);
+  return installed;
 }
 
 std::shared_ptr<const StoredSynopsis> SynopsisStore::Get(

@@ -108,8 +108,11 @@ class SynopsisStore {
   /// generation; a nonzero value pins it — replication pushes carry the
   /// router-assigned generation so a whole fleet lands in lockstep — and
   /// bumps the store's counter past it, keeping later local installs
-  /// strictly newer. `source` is recorded as provenance (see
-  /// StoredSynopsis::source()).
+  /// strictly newer. A pinned install whose generation is <= the currently
+  /// installed snapshot's generation is rejected (returns nullptr, catalog
+  /// untouched): stale or reordered replication pushes must never roll a
+  /// replica backwards. Auto-assigned installs never return nullptr.
+  /// `source` is recorded as provenance (see StoredSynopsis::source()).
   std::shared_ptr<const StoredSynopsis> Install(const std::string& name,
                                                 XCluster synopsis,
                                                 uint64_t generation = 0,
@@ -127,8 +130,11 @@ class SynopsisStore {
 
   /// Decodes an XCSB-encoded snapshot received over the wire (every
   /// section CRC verified by the decoder) and installs it under `name`
-  /// with the given pinned generation (0 = auto). Failures carry `source`
-  /// (the pushing peer's address) so replication errors are attributable.
+  /// with the given pinned generation (0 = auto). A pinned generation that
+  /// does not exceed the installed snapshot's is rejected as a stale
+  /// install (InvalidArgument naming both generations). Failures carry
+  /// `source` (the pushing peer's address) so replication errors are
+  /// attributable.
   Result<std::shared_ptr<const StoredSynopsis>> InstallFromWire(
       const std::string& name, std::string_view bytes,
       const std::string& source, uint64_t generation = 0);

@@ -245,7 +245,7 @@ struct Replica {
   }
 };
 
-Replica StartReplica(size_t workers = 2) {
+Replica StartReplica(size_t workers = 2, size_t max_install_bytes = 0) {
   Replica replica;
   ServiceOptions options;
   options.executor.num_threads = workers;
@@ -254,6 +254,9 @@ Replica StartReplica(size_t workers = 2) {
   net::NetServerOptions net_options;
   net_options.host = "127.0.0.1";
   net_options.port = 0;
+  if (max_install_bytes != 0) {
+    net_options.max_install_bytes = max_install_bytes;
+  }
   replica.server =
       std::make_unique<net::NetServer>(replica.service.get(), net_options);
   Status started = replica.server->Start();
@@ -522,6 +525,127 @@ TEST(ClusterE2E, ScatterGatherSumsShardsAndMatchesDirectMath) {
     ASSERT_EQ(missing.value().items.size(), 1u);
     EXPECT_FALSE(missing.value().items[0].ok);
   }
+}
+
+TEST(ClusterE2E, StaleReplicatedInstallIsRejectedByReplica) {
+  Replica replica = StartReplica();
+  const std::string bytes = EncodeSynopsisToString(MakeFixture().synopsis());
+
+  net::NetClient client = ConnectOrDie(replica.server->port());
+  Result<net::InstallReplyFrame> fresh =
+      client.Install("catalog", bytes, /*generation=*/20);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  ASSERT_TRUE(fresh.value().ok) << fresh.value().message;
+  EXPECT_EQ(fresh.value().generation, 20u);
+
+  // A delayed or retried push with the same (or an older) pinned
+  // generation must not roll the replica backwards — or sideways onto a
+  // different snapshot of the same generation.
+  for (const uint64_t stale : {uint64_t{20}, uint64_t{7}}) {
+    Result<net::InstallReplyFrame> reply =
+        client.Install("catalog", bytes, stale);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_FALSE(reply.value().ok) << "generation " << stale;
+    EXPECT_NE(reply.value().message.find("stale install"), std::string::npos)
+        << reply.value().message;
+  }
+  EXPECT_EQ(replica.service->store().Get("catalog")->generation(), 20u);
+
+  // A strictly newer pinned generation still lands.
+  Result<net::InstallReplyFrame> newer =
+      client.Install("catalog", bytes, /*generation=*/21);
+  ASSERT_TRUE(newer.ok()) << newer.status().ToString();
+  EXPECT_TRUE(newer.value().ok) << newer.value().message;
+  EXPECT_EQ(replica.service->store().Get("catalog")->generation(), 21u);
+}
+
+TEST(ClusterE2E, OversizedInstallDeclarationIsRejectedUpFront) {
+  // A 64-byte install cap: the first chunk's declared total must be
+  // refused before any buffering, so a hostile declaration can never
+  // commit the daemon to an allocation it cannot afford.
+  Replica replica = StartReplica(/*workers=*/2, /*max_install_bytes=*/64);
+  const std::string bytes = EncodeSynopsisToString(MakeFixture().synopsis());
+  ASSERT_GT(bytes.size(), 64u);
+
+  net::NetClient client = ConnectOrDie(replica.server->port());
+  Result<net::InstallReplyFrame> reply = client.Install("big", bytes);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_NE(reply.status().ToString().find("install cap"), std::string::npos)
+      << reply.status().ToString();
+  EXPECT_EQ(replica.service->store().Get("big"), nullptr);
+
+  // The daemon survived and still serves (fresh connection — the server
+  // closes the offending one with the error frame).
+  net::NetClient again = ConnectOrDie(replica.server->port());
+  Result<std::string> estimate = again.Command("estimate books /A");
+  ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+  EXPECT_EQ(estimate.value().rfind("ok estimate 10 us=", 0), 0u);
+}
+
+TEST(ClusterE2E, MutationsFailLoudlyWhenReplicasAreUnhealthy) {
+  Replica alive = StartReplica();
+  const std::string dead = DeadAddress();
+  std::unique_ptr<Router> router = StartRouter({alive.address(), dead});
+  EXPECT_EQ(router->replicas().HealthyIndices(), std::vector<size_t>{0});
+
+  // drop fans out to the healthy replica but must not claim fleet-wide
+  // success: the dead replica missed the mutation and would serve
+  // undropped data once a probe re-admits it.
+  net::NetClient client = ConnectOrDie(router->port());
+  Result<std::string> drop = client.Command("drop books");
+  ASSERT_TRUE(drop.ok()) << drop.status().ToString();
+  EXPECT_EQ(drop.value().rfind("err drop did not reach 1 unhealthy", 0), 0u)
+      << drop.value();
+  EXPECT_NE(drop.value().find(dead), std::string::npos) << drop.value();
+  // The healthy replica did apply it.
+  EXPECT_EQ(alive.service->store().Get("books"), nullptr);
+
+  // Replication through the router likewise refuses an unqualified ok.
+  const std::string bytes = EncodeSynopsisToString(MakeFixture().synopsis());
+  Result<net::InstallReplyFrame> install = client.Install("books", bytes);
+  ASSERT_TRUE(install.ok()) << install.status().ToString();
+  EXPECT_FALSE(install.value().ok);
+  EXPECT_NE(install.value().message.find("skipped 1 unhealthy"),
+            std::string::npos)
+      << install.value().message;
+  // ... while still landing the snapshot on every healthy replica.
+  ASSERT_NE(alive.service->store().Get("books"), nullptr);
+}
+
+TEST(ClusterE2E, ShardedNamesOnTheCommandPathMatchBatchSemantics) {
+  Replica first = StartReplica();
+  Replica second = StartReplica();
+  for (Replica* replica : {&first, &second}) {
+    replica->service->store().Install("part@0", MakeFixture());
+    replica->service->store().Install("part@1", MakeFixture());
+  }
+  std::unique_ptr<Router> router =
+      StartRouter({first.address(), second.address()});
+
+  // A single text estimate against the sharded name scatter-gathers like
+  // a kBatch would (sum across shards), instead of hashing the literal
+  // name to one replica and answering "unknown collection".
+  net::NetClient client = ConnectOrDie(router->port());
+  Result<std::string> estimate = client.Command("estimate part@2 /A");
+  ASSERT_TRUE(estimate.ok()) << estimate.status().ToString();
+  EXPECT_EQ(estimate.value().rfind("ok estimate 20 us=", 0), 0u)
+      << estimate.value();
+  Result<std::string> deep = client.Command("estimate part@2 /A/B");
+  ASSERT_TRUE(deep.ok());
+  EXPECT_EQ(deep.value().rfind("ok estimate 200 us=", 0), 0u) << deep.value();
+
+  // A missing shard fails the estimate — never a silent partial sum.
+  Result<std::string> missing = client.Command("estimate part@3 /A");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing.value().rfind("err", 0), 0u) << missing.value();
+
+  // load of a sharded name has no single home; the rejection points at
+  // the per-shard and replicate paths instead of "unknown collection".
+  Result<std::string> load = client.Command("load part@2 /tmp/x.xcs");
+  ASSERT_TRUE(load.ok());
+  EXPECT_EQ(load.value().rfind("err load of sharded name", 0), 0u)
+      << load.value();
+  EXPECT_NE(load.value().find("replicate"), std::string::npos) << load.value();
 }
 
 TEST(ClusterE2E, V3PinnedClientFallsBackAgainstRouter) {

@@ -60,6 +60,29 @@ TEST(SynopsisStoreTest, GenerationsIncreaseAcrossReinstalls) {
   EXPECT_EQ(store.Get("c")->generation(), second->generation());
 }
 
+TEST(SynopsisStoreTest, StalePinnedInstallIsRejected) {
+  SynopsisStore store;
+  auto current = store.Install("c", MakeSynopsis(1.0), /*generation=*/10);
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->generation(), 10u);
+
+  // A pinned install that does not move the generation forward must not
+  // replace the snapshot — delayed or reordered replication pushes would
+  // otherwise roll a replica backwards.
+  EXPECT_EQ(store.Install("c", MakeSynopsis(2.0), /*generation=*/10), nullptr);
+  EXPECT_EQ(store.Install("c", MakeSynopsis(2.0), /*generation=*/7), nullptr);
+  EXPECT_EQ(store.Get("c").get(), current.get());
+
+  // A newer pinned generation still lands, and auto-assigned installs are
+  // never rejected (they always draw a fresh, larger generation).
+  auto newer = store.Install("c", MakeSynopsis(3.0), /*generation=*/11);
+  ASSERT_NE(newer, nullptr);
+  EXPECT_EQ(newer->generation(), 11u);
+  auto autogen = store.Install("c", MakeSynopsis(4.0));
+  ASSERT_NE(autogen, nullptr);
+  EXPECT_GT(autogen->generation(), 11u);
+}
+
 TEST(SynopsisStoreTest, ListIsSortedAcrossShards) {
   SynopsisStore store(4);
   for (const char* name : {"zeta", "alpha", "mid", "beta"}) {

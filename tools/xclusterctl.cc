@@ -29,7 +29,8 @@
 //       --lane-weights tunes the interactive:bulk fair-queueing shares.
 //
 //   xclusterctl serve --listen host:port [--stdin] [--max-connections N]
-//               [--deadline-us N] [--drain-ms N] [...shared flags above]
+//               [--deadline-us N] [--drain-ms N] [--max-install-bytes N]
+//               [...shared flags above]
 //       Additionally (or instead) serves the binary frame protocol on a
 //       TCP socket; stdio and socket clients share the same
 //       SynopsisStore and executor. Prints "listening host:port" once
@@ -54,6 +55,7 @@
 //   xclusterctl route --listen host:port --peer host:port [--peer ...]
 //               [--probe-ms N] [--workers N] [--queue N] [--retries N]
 //               [--trace-sample R] [--flight-ring N] [--max-shards N]
+//               [--max-install-bytes N]
 //       Runs the cluster router (docs/CLUSTER.md): an XNET daemon that
 //       rendezvous-hashes each collection over the static --peer fleet,
 //       retries sheds per the --retries budget, fails over to the next
@@ -631,6 +633,10 @@ int Serve(const Args& args) {
     if (net_options.trace_sample < 0.0 || net_options.trace_sample > 1.0) {
       return Fail("--trace-sample must be in [0, 1]");
     }
+    const int64_t max_install = args.GetInt(
+        "max-install-bytes", static_cast<int64_t>(net_options.max_install_bytes));
+    if (max_install <= 0) return Fail("--max-install-bytes must be positive");
+    net_options.max_install_bytes = static_cast<size_t>(max_install);
     server = std::make_unique<net::NetServer>(&service, net_options);
     Status started = server->Start();
     if (!started.ok()) {
@@ -716,6 +722,11 @@ int Route(const Args& args) {
       "flight-ring", static_cast<int64_t>(options.flight_capacity)));
   options.max_shards = static_cast<uint32_t>(
       args.GetInt("max-shards", static_cast<int64_t>(options.max_shards)));
+  const int64_t max_install = args.GetInt(
+      "max-install-bytes",
+      static_cast<int64_t>(options.server.max_install_bytes));
+  if (max_install <= 0) return Fail("--max-install-bytes must be positive");
+  options.server.max_install_bytes = static_cast<size_t>(max_install);
 
   cluster::Router router(std::move(options));
   Status started = router.Start();
@@ -1069,12 +1080,13 @@ int Usage() {
       "           [--slow-query-ms N --slow-query-log f.log]\n"
       "           [--dump-prefix P]   (SIGQUIT writes flight+trace dumps)\n"
       "           [--listen host:port [--max-connections N]\n"
-      "            [--deadline-us N] [--drain-ms N]]\n"
+      "            [--deadline-us N] [--drain-ms N] [--max-install-bytes N]]\n"
       "  route    --listen host:port --peer host:port [--peer ...]\n"
       "           [--probe-ms N] [--workers N] [--queue N] [--retries N]\n"
       "           [--timeout-ms N] [--connect-timeout-ms N]\n"
       "           [--trace-sample R] [--flight-ring N] [--max-shards N]\n"
       "           [--max-connections N] [--drain-ms N]\n"
+      "           [--max-install-bytes N]\n"
       "  remote   estimate --connect host:port --name n --query q\n"
       "  remote   batch    --connect host:port --name n --queries f.txt\n"
       "           [--deadline-us N] [--explain] [--trace [hexid]]\n"
