@@ -130,6 +130,61 @@ JsonValue ServiceEntry(const std::string& name, const ServiceRun& run) {
   return entry;
 }
 
+/// Batch-size sweep: drives the workload through EstimateBatch in batches
+/// of `batch_size` (vectorized path, inline executor) and reports the
+/// amortization curve — qps plus the average group/lane shape per batch.
+/// `plan_capacity` 0 = cold plans (every batch re-parses, re-compiles,
+/// re-groups); 4096 = warm (grouping runs over cached plan pointers).
+struct SweepRun {
+  double qps = 0.0;
+  double avg_batch_groups = 0.0;
+  double avg_lanes_per_group = 0.0;
+};
+
+SweepRun RunBatchSweep(const XCluster& synopsis,
+                       const std::vector<std::string>& queries,
+                       size_t batch_size, size_t plan_capacity) {
+  ServiceOptions options;
+  options.executor.num_threads = 0;
+  options.plan_cache_capacity = plan_capacity;
+  EstimationService service(options);
+  service.store().Install("xmark", XCluster(synopsis));
+
+  // Reach caches are pre-warmed in both configurations so the sweep
+  // isolates per-batch compile + grouping + lane amortization, not
+  // first-touch DP cost. With plan_capacity > 0 this also warms plans.
+  for (const std::string& query : queries) {
+    service.EstimateOne("xmark", query);
+  }
+
+  double total_groups = 0.0;
+  double total_lanes = 0.0;
+  size_t batches = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (size_t begin = 0; begin < queries.size(); begin += batch_size) {
+    const size_t end = std::min(queries.size(), begin + batch_size);
+    const std::vector<std::string> slice(queries.begin() + begin,
+                                         queries.begin() + end);
+    BatchResult result = service.EstimateBatch("xmark", slice);
+    total_groups += static_cast<double>(result.stats.batch_groups);
+    total_lanes += static_cast<double>(result.stats.vector_lanes);
+    ++batches;
+  }
+  const double seconds = SecondsSince(start);
+
+  SweepRun run;
+  run.qps = seconds > 0.0
+                ? static_cast<double>(queries.size()) / seconds
+                : 0.0;
+  if (batches > 0) {
+    run.avg_batch_groups = total_groups / static_cast<double>(batches);
+  }
+  if (total_groups > 0.0) {
+    run.avg_lanes_per_group = total_lanes / total_groups;
+  }
+  return run;
+}
+
 int Main(int argc, char** argv) {
   BenchConfig config;
   for (int i = 1; i < argc; ++i) {
@@ -266,6 +321,66 @@ int Main(int argc, char** argv) {
   compare.members()["warm_p50_below_cold_p50"] =
       JsonValue::Number(warm.p50_ns < cold.p50_ns ? 1.0 : 0.0);
   entries.items().push_back(std::move(compare));
+
+  // --- 3. Batch-mode bit identity + batch-size sweep -------------------
+  // Hard gate first: one vectorized EstimateBatch over the whole query
+  // vector must match the scalar-mode batch slot for slot, bit for bit.
+  {
+    ServiceOptions service_options;
+    service_options.executor.num_threads = 0;
+    EstimationService service(service_options);
+    service.store().Install("xmark", XCluster(synopsis));
+    BatchOptions vectorized;
+    BatchOptions scalar_mode;
+    scalar_mode.vectorize = false;
+    BatchResult batched =
+        service.EstimateBatch("xmark", query_strings, vectorized);
+    BatchResult scalar =
+        service.EstimateBatch("xmark", query_strings, scalar_mode);
+    size_t batch_mismatches = 0;
+    for (size_t i = 0; i < query_strings.size(); ++i) {
+      if (batched.results[i].estimate != scalar.results[i].estimate ||
+          batched.results[i].status.ok() != scalar.results[i].status.ok()) {
+        ++batch_mismatches;
+      }
+    }
+    if (batch_mismatches > 0) {
+      std::fprintf(stderr,
+                   "bench_estimator: FAIL: %zu batch-vs-scalar mismatches\n",
+                   batch_mismatches);
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "bench_estimator: batch mode bit-identical on %zu slots "
+                 "(%zu groups, %zu lanes)\n",
+                 query_strings.size(), batched.stats.batch_groups,
+                 batched.stats.vector_lanes);
+  }
+
+  for (const size_t batch_size : {size_t{1}, size_t{8}, size_t{64},
+                                  size_t{512}}) {
+    for (const bool warm_plans : {false, true}) {
+      SweepRun sweep = RunBatchSweep(synopsis, query_strings, batch_size,
+                                     warm_plans ? 4096 : 0);
+      std::fprintf(stderr,
+                   "bench_estimator: batch_sweep size=%zu plans=%s "
+                   "qps=%.0f groups/batch=%.1f lanes/group=%.1f\n",
+                   batch_size, warm_plans ? "warm" : "cold", sweep.qps,
+                   sweep.avg_batch_groups, sweep.avg_lanes_per_group);
+      JsonValue entry = JsonValue::Object();
+      entry.members()["name"] = JsonValue::String(
+          "batch_sweep/size:" + std::to_string(batch_size) +
+          (warm_plans ? "/plans:warm" : "/plans:cold"));
+      entry.members()["batch_size"] =
+          JsonValue::Number(static_cast<double>(batch_size));
+      entry.members()["qps"] = JsonValue::Number(sweep.qps);
+      entry.members()["batch_groups"] =
+          JsonValue::Number(sweep.avg_batch_groups);
+      entry.members()["lanes_per_group"] =
+          JsonValue::Number(sweep.avg_lanes_per_group);
+      entries.items().push_back(std::move(entry));
+    }
+  }
 
   JsonValue report = JsonValue::Object();
   report.members()["benchmark"] = JsonValue::String("estimator");

@@ -57,40 +57,51 @@ std::vector<size_t> ParseWorkerList(const char* arg) {
 struct PoolRun {
   size_t workers = 0;
   size_t queries = 0;
+  bool vectorize = true;
   BatchStats stats;
   double qps = 0.0;
+  /// Per-slot estimates (0.0 for failed slots), kept so scalar and batch
+  /// runs over the same query vector can be compared bit for bit.
+  std::vector<double> estimates;
 };
 
 PoolRun RunPool(const XCluster& synopsis,
                 const std::vector<std::string>& queries, size_t workers,
-                bool traced = false) {
+                bool vectorize = true, bool traced = false) {
   ServiceOptions options;
   options.executor.num_threads = workers;
   options.executor.queue_capacity = 4096;
   EstimationService service(options);
   service.store().Install("xmark", XCluster(synopsis));
 
-  // Closed-loop warmup primes the estimator's reach cache so every pool
-  // measures steady-state serving, not first-touch DP cost.
-  std::vector<std::string> warmup(queries.begin(),
-                                  queries.begin() +
-                                      std::min<size_t>(queries.size(), 256));
-  service.EstimateBatch("xmark", warmup);
-
   BatchOptions batch_options;
+  batch_options.vectorize = vectorize;
   if (traced) {
     batch_options.trace.trace_id = telemetry::GenerateTraceId();
     batch_options.trace.sampled = true;
   }
 
+  // Closed-loop warmup primes the estimator's reach cache and the plan
+  // cache so every pool measures steady-state serving, not first-touch
+  // DP/compile cost.
+  std::vector<std::string> warmup(queries.begin(),
+                                  queries.begin() +
+                                      std::min<size_t>(queries.size(), 256));
+  service.EstimateBatch("xmark", warmup, batch_options);
+
   PoolRun run;
   run.workers = workers;
   run.queries = queries.size();
+  run.vectorize = vectorize;
   BatchResult batch = service.EstimateBatch("xmark", queries, batch_options);
   run.stats = batch.stats;
   if (batch.stats.wall_ns > 0) {
     run.qps = static_cast<double>(queries.size()) * 1e9 /
               static_cast<double>(batch.stats.wall_ns);
+  }
+  run.estimates.reserve(batch.results.size());
+  for (const QueryResult& result : batch.results) {
+    run.estimates.push_back(result.status.ok() ? result.estimate : 0.0);
   }
   if (batch.stats.failed > 0) {
     std::fprintf(stderr, "bench_service: %zu of %zu queries failed\n",
@@ -101,9 +112,9 @@ PoolRun RunPool(const XCluster& synopsis,
 
 JsonValue PoolEntry(const PoolRun& run) {
   JsonValue entry = JsonValue::Object();
-  entry.members()["name"] =
-      JsonValue::String("estimate_batch/workers:" +
-                        std::to_string(run.workers));
+  entry.members()["name"] = JsonValue::String(
+      std::string(run.vectorize ? "estimate_batch" : "estimate_scalar") +
+      "/workers:" + std::to_string(run.workers));
   entry.members()["workers"] =
       JsonValue::Number(static_cast<double>(run.workers));
   entry.members()["queries"] =
@@ -118,6 +129,15 @@ JsonValue PoolEntry(const PoolRun& run) {
       static_cast<double>(run.stats.p50_latency_ns) / 1e3);
   entry.members()["p95_latency_us"] = JsonValue::Number(
       static_cast<double>(run.stats.p95_latency_ns) / 1e3);
+  if (run.vectorize) {
+    entry.members()["batch_groups"] =
+        JsonValue::Number(static_cast<double>(run.stats.batch_groups));
+    entry.members()["lanes_per_group"] = JsonValue::Number(
+        run.stats.batch_groups == 0
+            ? 0.0
+            : static_cast<double>(run.stats.vector_lanes) /
+                  static_cast<double>(run.stats.batch_groups));
+  }
   return entry;
 }
 
@@ -170,23 +190,66 @@ int Main(int argc, char** argv) {
   }
   const XCluster synopsis{GraphSynopsis(reference)};
 
+  int rc = 0;
   JsonValue entries = JsonValue::Array();
   std::vector<PoolRun> runs;
   for (size_t workers : config.workers) {
     std::fprintf(stderr, "bench_service: %zu queries, workers=%zu ...\n",
                  queries.size(), workers);
-    PoolRun run = RunPool(synopsis, queries, workers);
+    // Same-run scalar-vs-vectorized comparison: identical query vector,
+    // fresh service each, so the two runs are directly comparable and the
+    // per-slot estimates must match bit for bit.
+    PoolRun scalar =
+        RunPool(synopsis, queries, workers, /*vectorize=*/false);
+    PoolRun batch = RunPool(synopsis, queries, workers, /*vectorize=*/true);
     std::fprintf(stderr,
-                 "  qps=%.0f wall_ms=%.1f ok=%zu failed=%zu "
-                 "p50_us=%llu p95_us=%llu\n",
-                 run.qps, static_cast<double>(run.stats.wall_ns) / 1e6,
-                 run.stats.ok, run.stats.failed,
+                 "  scalar qps=%.0f | batch qps=%.0f groups=%zu lanes=%zu "
+                 "(%.2fx) ok=%zu failed=%zu p95_us=%llu\n",
+                 scalar.qps, batch.qps, batch.stats.batch_groups,
+                 batch.stats.vector_lanes,
+                 scalar.qps > 0.0 ? batch.qps / scalar.qps : 0.0,
+                 batch.stats.ok, batch.stats.failed,
                  static_cast<unsigned long long>(
-                     run.stats.p50_latency_ns / 1000),
-                 static_cast<unsigned long long>(
-                     run.stats.p95_latency_ns / 1000));
-    entries.items().push_back(PoolEntry(run));
-    runs.push_back(run);
+                     batch.stats.p95_latency_ns / 1000));
+
+    // Hard bit-identity gate: every slot of the vectorized run must equal
+    // the scalar run's double exactly.
+    size_t mismatches = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (batch.estimates[i] != scalar.estimates[i]) ++mismatches;
+    }
+    if (mismatches > 0 || batch.stats.ok != scalar.stats.ok) {
+      std::fprintf(stderr,
+                   "bench_service: BIT-IDENTITY FAIL workers=%zu: %zu slot "
+                   "mismatches (ok %zu vs %zu)\n",
+                   workers, mismatches, batch.stats.ok, scalar.stats.ok);
+      rc = 1;
+    }
+
+    entries.items().push_back(PoolEntry(scalar));
+    entries.items().push_back(PoolEntry(batch));
+
+    JsonValue speedup_entry = JsonValue::Object();
+    speedup_entry.members()["name"] = JsonValue::String(
+        "vectorize_speedup/workers:" + std::to_string(workers));
+    speedup_entry.members()["scalar_qps"] = JsonValue::Number(scalar.qps);
+    speedup_entry.members()["batch_qps"] = JsonValue::Number(batch.qps);
+    speedup_entry.members()["speedup"] = JsonValue::Number(
+        scalar.qps > 0.0 ? batch.qps / scalar.qps : 0.0);
+    speedup_entry.members()["bit_identical"] =
+        JsonValue::Number(mismatches == 0 ? 1.0 : 0.0);
+    entries.items().push_back(std::move(speedup_entry));
+
+    // Regression gate at the widest pool: the vectorized path must not be
+    // slower than the scalar path it replaced, measured in the same run.
+    if (workers == config.workers.back() && batch.qps < scalar.qps) {
+      std::fprintf(stderr,
+                   "bench_service: VECTORIZE REGRESSION workers=%zu: batch "
+                   "%.0f qps < scalar %.0f qps\n",
+                   workers, batch.qps, scalar.qps);
+      rc = 1;
+    }
+    runs.push_back(batch);
   }
 
   // Speedup of the widest pool over the narrowest, as measured: no
@@ -210,7 +273,6 @@ int Main(int argc, char** argv) {
   // Trace-overhead A/B/A at the widest pool: baseline, ring-traced with
   // every batch sampled, baseline again. Gating against the slower of the
   // two baselines absorbs run-to-run drift on a shared host.
-  int rc = 0;
   {
     const size_t workers = config.workers.back();
     std::fprintf(stderr, "bench_service: trace overhead A/B/A, workers=%zu "
@@ -219,7 +281,8 @@ int Main(int argc, char** argv) {
     telemetry::TraceRecorder ring(65536);
     telemetry::TraceRecorder* previous = telemetry::GlobalTraceRecorder();
     telemetry::InstallGlobalTraceRecorder(&ring);
-    PoolRun traced = RunPool(synopsis, queries, workers, /*traced=*/true);
+    PoolRun traced = RunPool(synopsis, queries, workers, /*vectorize=*/true,
+                             /*traced=*/true);
     telemetry::InstallGlobalTraceRecorder(previous);
     PoolRun baseline_b = RunPool(synopsis, queries, workers);
 

@@ -218,10 +218,17 @@ BENCH_REQUIRED = {
 }
 
 
+# Benchmarks whose vectorized batch path must be visible in the entries:
+# at least one entry carrying the lane-group shape fields.
+BENCH_BATCH_FIELDS = ("batch_groups", "lanes_per_group")
+BENCH_NEEDS_BATCH_ENTRY = ("service", "estimator")
+
+
 def check_bench(report, require_counters=(), require_histograms=()):
     entries = report.get("entries")
     if not isinstance(entries, list) or not entries:
         fail("bench: 'entries' must be a non-empty array")
+    batch_entries = 0
     for entry in entries:
         if not isinstance(entry, dict) or not isinstance(
             entry.get("name"), str
@@ -234,6 +241,27 @@ def check_bench(report, require_counters=(), require_histograms=()):
         ]
         if not numeric:
             fail(f"bench: entry '{entry['name']}' has no measurements")
+        # Lane-group shape fields travel as a pair: an entry reporting one
+        # must report both, as non-negative numbers.
+        present = [key for key in BENCH_BATCH_FIELDS if key in entry]
+        if present:
+            for key in BENCH_BATCH_FIELDS:
+                value = entry.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    fail(
+                        f"bench: entry '{entry['name']}' has "
+                        f"'{present[0]}' but '{key}' is not a "
+                        f"non-negative number"
+                    )
+            batch_entries += 1
+    if (
+        report.get("benchmark") in BENCH_NEEDS_BATCH_ENTRY
+        and batch_entries == 0
+    ):
+        fail(
+            f"bench '{report['benchmark']}': no entry carries the "
+            f"vectorized batch fields {BENCH_BATCH_FIELDS}"
+        )
     metrics = report.get("metrics")
     if metrics is None:
         fail("bench: embedded 'metrics' snapshot missing")

@@ -37,6 +37,12 @@ batch books 3
 //book
 //book[/price]
 ][broken
+batch books 2 mode=scalar
+//book
+//book[/price]
+batch books 2 mode=batch
+//book
+//book[/price]
 stats
 drop books
 quit
@@ -65,11 +71,26 @@ expect_line 8 '^ok batch n=3 ok=2 err=1 us=[0-9]+'
 expect_line 9 '^0 ok [0-9.eE+-]+ us=[0-9]+'
 expect_line 10 '^1 ok [0-9.eE+-]+ us=[0-9]+'
 expect_line 11 '^2 err InvalidArgument'
-expect_line 12 '^ok stats synopses=1 workers=2 '
-expect_line 13 '^ok drop books$'
-expect_line 14 '^ok bye$'
-[ "$(wc -l < "$WORKDIR/out.txt")" -eq 14 ] \
-  || fail "expected exactly 14 response lines"
+expect_line 12 '^ok batch n=2 ok=2 err=0 us=[0-9]+'
+expect_line 13 '^0 ok [0-9.eE+-]+ us=[0-9]+'
+expect_line 14 '^1 ok [0-9.eE+-]+ us=[0-9]+'
+expect_line 15 '^ok batch n=2 ok=2 err=0 us=[0-9]+'
+expect_line 16 '^0 ok [0-9.eE+-]+ us=[0-9]+'
+expect_line 17 '^1 ok [0-9.eE+-]+ us=[0-9]+'
+expect_line 18 '^ok stats synopses=1 workers=2 '
+expect_line 19 '^ok drop books$'
+expect_line 20 '^ok bye$'
+[ "$(wc -l < "$WORKDIR/out.txt")" -eq 20 ] \
+  || fail "expected exactly 20 response lines"
+
+# mode=scalar and mode=batch must report the identical estimate strings
+# (the vectorized engine is gated to be bit-identical to the scalar DP).
+for item in 0 1; do
+  scalar_est="$(sed -n "$((13 + item))p" "$WORKDIR/out.txt" | awk '{print $3}')"
+  batch_est="$(sed -n "$((16 + item))p" "$WORKDIR/out.txt" | awk '{print $3}')"
+  [ "$scalar_est" = "$batch_est" ] \
+    || fail "scalar/batch estimate mismatch on item $item: $scalar_est vs $batch_est"
+done
 
 # 3. Multi-query estimate through the synopsis store.
 printf '//book\n//book[/price]\n' > "$WORKDIR/queries.txt"

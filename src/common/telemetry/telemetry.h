@@ -96,6 +96,20 @@ class ScopedTimer {
 
 #else  // !XCLUSTER_TELEMETRY_ENABLED
 
+#include <cstdint>
+
+namespace xcluster {
+namespace telemetry {
+
+/// Declared even with instrumentation compiled out: product behavior
+/// (snapshot install timestamps, deadline math) reads the monotonic
+/// clock directly, independent of the metrics registry. metrics.cc is
+/// always part of the build, so the definition is available to link.
+uint64_t MonotonicNowNs();
+
+}  // namespace telemetry
+}  // namespace xcluster
+
 #define XCLUSTER_COUNTER_ADD(name, delta) \
   do {                                    \
     (void)sizeof(delta);                  \

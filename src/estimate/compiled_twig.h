@@ -51,9 +51,26 @@ class CompiledTwig {
   /// dictionary — the query can never be satisfied.
   bool has_unknown_terms() const { return has_unknown_terms_; }
 
+  /// Structural group key for batch lane grouping: a hash of the query's
+  /// variable *skeleton* — per-variable axis, wildcard flag, resolved
+  /// label symbol, and child topology — and nothing about predicates.
+  /// Two plans with equal keys (verified by SameStructure against hash
+  /// collisions) visit exactly the same (variable, synopsis-node) pairs
+  /// in the embedding DP, so a batch engine can evaluate them as lanes of
+  /// one shared structure-of-arrays traversal. Computed once at Compile
+  /// and stored with the plan, so plan-cache hits return the same key the
+  /// original compilation produced.
+  uint64_t group_key() const { return group_key_; }
+
+  /// Exact skeleton equality: same variable count and, per variable, the
+  /// same axis, wildcard flag, label symbol, and children. The collision
+  /// check behind group_key().
+  bool SameStructure(const CompiledTwig& other) const;
+
  private:
   std::vector<CompiledVar> vars_;
   bool has_unknown_terms_ = false;
+  uint64_t group_key_ = 0;
 };
 
 }  // namespace xcluster

@@ -1,5 +1,6 @@
 #include "estimate/estimator.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <optional>
@@ -182,10 +183,20 @@ EstimateExplanation XClusterEstimator::Explain(const TwigQuery& query) const {
   mass[0][synopsis_.root()] = synopsis_.node(synopsis_.root()).count;
 
   // Variables in tree order (parents before children by construction).
+  // Nodes are walked in ascending id order — never the unordered_map's —
+  // so every per-variable sum accumulates in a deterministic order that
+  // matches FlatEstimator::Explain (flat ids preserve arena order) bit
+  // for bit.
+  std::vector<SynNodeId> nodes;
   for (QueryVarId var = 0; var < resolved.size(); ++var) {
+    nodes.clear();
+    nodes.reserve(mass[var].size());
+    for (const auto& [node, amount] : mass[var]) nodes.push_back(node);
+    std::sort(nodes.begin(), nodes.end());
     double pre_total = 0.0;
     double post_total = 0.0;
-    for (const auto& [node, amount] : mass[var]) {
+    for (const SynNodeId node : nodes) {
+      const double amount = mass[var].find(node)->second;
       const double sigma = PredicateSelectivity(resolved, var, node);
       pre_total += amount;
       post_total += amount * sigma;
@@ -199,7 +210,8 @@ EstimateExplanation XClusterEstimator::Explain(const TwigQuery& query) const {
     explanation.vars.push_back(std::move(stats));
 
     for (QueryVarId child : resolved.var(var).children) {
-      for (const auto& [node, amount] : mass[var]) {
+      for (const SynNodeId node : nodes) {
+        const double amount = mass[var].find(node)->second;
         const double sigma = PredicateSelectivity(resolved, var, node);
         if (amount * sigma <= 0.0) continue;
         std::vector<std::pair<SynNodeId, double>> targets;

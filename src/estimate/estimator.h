@@ -88,7 +88,9 @@ class XClusterEstimator {
   /// Estimate plus an EXPLAIN-style per-variable breakdown: the expected
   /// number of elements bound to each query variable (after predicates)
   /// and the average predicate selectivity applied there. Useful when
-  /// integrating the synopsis into an optimizer.
+  /// integrating the synopsis into an optimizer. Deterministic: nodes are
+  /// walked in ascending id order, so per-variable sums are exactly equal
+  /// to FlatEstimator::Explain's.
   EstimateExplanation Explain(const TwigQuery& query) const;
 
  private:

@@ -46,6 +46,15 @@ void FlatEstimator::Reach(
   const uint64_t key = ReachCache::Key(source, var.label);
   if (reach_cache_.Lookup(key, out)) return;
 
+  ReachCache::Value result;
+  ComputeDescendantReach(source, var, &result);
+  out->insert(out->end(), result.begin(), result.end());
+  reach_cache_.Insert(key, std::move(result));
+}
+
+void FlatEstimator::ComputeDescendantReach(FlatNodeId source,
+                                           const CompiledVar& var,
+                                           ReachCache::Value* result) const {
   // Bounded-hop dense DP over the CSR adjacency. Sources are drained in
   // ascending flat id and children in stored order — the same summation
   // order as the legacy std::map-based DP, which keeps every accumulated
@@ -95,13 +104,28 @@ void FlatEstimator::Reach(
   }
 
   std::sort(reached_ids.begin(), reached_ids.end());
-  ReachCache::Value result;
-  result.reserve(reached_ids.size());
+  result->reserve(result->size() + reached_ids.size());
   for (const uint32_t node : reached_ids) {
-    result.push_back({node, reached_mass[node]});
+    result->push_back({node, reached_mass[node]});
   }
-  out->insert(out->end(), result.begin(), result.end());
-  reach_cache_.Insert(key, std::move(result));
+}
+
+const ReachCache::Value* FlatEstimator::DescendantReach(
+    FlatNodeId source, const CompiledVar& var, BatchReachTier* tier,
+    ReachCache::Value* scratch) const {
+  // Unknown labels match nothing and (as in Reach) must not be cached:
+  // their kInvalidSymbol slot would collide with the wildcard key.
+  if (!var.wildcard && var.label == kInvalidSymbol) return nullptr;
+  const uint64_t key = ReachCache::Key(source, var.label);
+  if (const ReachCache::Value* shared = tier->Lookup(key)) return shared;
+  scratch->clear();
+  if (reach_cache_.Lookup(key, scratch)) {
+    return tier->Insert(key, std::move(*scratch));
+  }
+  scratch->clear();
+  ComputeDescendantReach(source, var, scratch);
+  reach_cache_.Insert(key, *scratch);
+  return tier->Insert(key, std::move(*scratch));
 }
 
 double FlatEstimator::PredicateSelectivity(const CompiledTwig& plan,

@@ -41,11 +41,35 @@ class FlatEstimator {
   /// synopsis).
   double Estimate(const CompiledTwig& plan) const;
 
-  /// Estimate plus the EXPLAIN-style per-variable breakdown. Deterministic
-  /// (dense tables are walked in ascending node order), though the
-  /// per-variable sums may differ from the legacy Explain by float
-  /// summation order (the legacy path iterates unordered_map order).
+  /// Estimate plus the EXPLAIN-style per-variable breakdown.
+  /// Deterministic, and exactly equal to XClusterEstimator::Explain:
+  /// both walk per-variable masses in ascending node order (flat ids
+  /// preserve arena order), so every per-variable sum accumulates in the
+  /// same order and the doubles match bit for bit.
   EstimateExplanation Explain(const CompiledTwig& plan) const;
+
+  /// Combined selectivity of `plan.var(var)`'s predicates at `node` —
+  /// the sigma term of the embedding DP. Public for the batch lane
+  /// engine (BatchEstimator), which evaluates it per lane; the arithmetic
+  /// (multiply in predicate order, short-circuit at zero) is the single
+  /// implementation both paths share, which is what keeps lane-evaluated
+  /// estimates bit-identical to scalar ones.
+  double PredicateSelectivity(const CompiledTwig& plan, uint32_t var,
+                              FlatNodeId node) const;
+
+  /// Descendant-axis reach of `var` from `source` as a stable shared
+  /// vector, for the batch lane engine. Consults `tier` (the batch-local
+  /// sharing map) first, then the cross-batch ReachCache, and only then
+  /// runs the bounded-hop DP — publishing the result to both tiers. The
+  /// returned pointer lives as long as `tier`; nullptr means the reach is
+  /// empty because `var` names a label the synopsis never interned.
+  /// `scratch` is caller-owned staging (cleared here) so group loops
+  /// reuse one allocation instead of building a vector per probe.
+  /// Requires var.axis == kDescendant.
+  const ReachCache::Value* DescendantReach(FlatNodeId source,
+                                           const CompiledVar& var,
+                                           BatchReachTier* tier,
+                                           ReachCache::Value* scratch) const;
 
   const FlatSynopsis& synopsis() const { return synopsis_; }
   const ReachCache& reach_cache() const { return reach_cache_; }
@@ -53,10 +77,12 @@ class FlatEstimator {
  private:
   double TuplesPerElement(const CompiledTwig& plan, uint32_t var,
                           FlatNodeId node, double* memo) const;
-  double PredicateSelectivity(const CompiledTwig& plan, uint32_t var,
-                              FlatNodeId node) const;
   void Reach(FlatNodeId source, const CompiledVar& var,
              std::vector<std::pair<uint32_t, double>>* out) const;
+  /// The bounded-hop descendant DP itself (no cache consultation):
+  /// appends (target, mass) pairs in ascending target order.
+  void ComputeDescendantReach(FlatNodeId source, const CompiledVar& var,
+                              ReachCache::Value* result) const;
   bool LabelMatches(FlatNodeId node, const CompiledVar& var) const {
     return var.wildcard || synopsis_.label(node) == var.label;
   }

@@ -72,4 +72,31 @@ size_t ReachCache::size() const {
   return total;
 }
 
+void ReachCache::NoteBatchSharedHit() const {
+  batch_shared_hits_.fetch_add(1, std::memory_order_relaxed);
+  XCLUSTER_COUNTER_INC("estimator.reach_cache.batch_shared_hits");
+}
+
+const ReachCache::Value* BatchReachTier::Lookup(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  if (cache_ != nullptr) cache_->NoteBatchSharedHit();
+  // Stable across concurrent inserts: the map is node-based and nothing
+  // is ever erased, so the pointer survives unlocking.
+  return &it->second;
+}
+
+const ReachCache::Value* BatchReachTier::Insert(uint64_t key,
+                                                ReachCache::Value value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // First writer wins: a racing group computed the identical vector.
+  return &map_.try_emplace(key, std::move(value)).first->second;
+}
+
+size_t BatchReachTier::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
 }  // namespace xcluster

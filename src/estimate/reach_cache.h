@@ -83,12 +83,20 @@ class ReachCache {
   /// Plain (non-telemetry) counters so tests can observe cache behavior
   /// even when the library is built with XCLUSTER_TELEMETRY=OFF. The same
   /// events are also exported as `estimator.reach_cache.{hits,misses,
-  /// evictions}` through the metrics registry.
+  /// evictions,batch_shared_hits}` through the metrics registry.
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
+  /// Reach lookups served by a BatchReachTier's batch-local map — sharing
+  /// that happened entirely within one batch, above this cache.
+  uint64_t batch_shared_hits() const {
+    return batch_shared_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by BatchReachTier when its batch-local map serves a lookup.
+  void NoteBatchSharedHit() const;
 
  private:
   struct Entry {
@@ -111,6 +119,52 @@ class ReachCache {
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   mutable std::atomic<uint64_t> evictions_{0};
+  mutable std::atomic<uint64_t> batch_shared_hits_{0};
+};
+
+/// A batch-scoped sharing tier above a ReachCache: descendant-reach
+/// vectors computed while evaluating one batch are published here once
+/// and handed out as stable `const Value*` pointers, so every lane group
+/// that needs the same (source, label) reach within the batch reads one
+/// shared vector instead of copying it out of the LRU per probe — and
+/// entries pinned here cannot be evicted mid-batch by unrelated traffic.
+///
+/// Unlike the ReachCache (bounded, copies on Lookup), the tier is
+/// unbounded but batch-lived: it holds at most the distinct reach keys
+/// one batch touches and is destroyed when the batch returns.
+///
+/// Determinism: values are pure functions of their key; Insert keeps the
+/// first writer, so concurrent lane groups racing on a key all read the
+/// same (identical) vector.
+///
+/// Thread safety: all methods may be called from any thread. Returned
+/// pointers stay valid until the tier is destroyed — the map is
+/// node-based and entries are never erased.
+class BatchReachTier {
+ public:
+  /// `cache` receives the batch_shared_hits accounting (and is where the
+  /// owning estimator keeps its cross-batch tier); it must outlive the
+  /// tier. May be null in tests.
+  explicit BatchReachTier(const ReachCache* cache) : cache_(cache) {}
+
+  BatchReachTier(const BatchReachTier&) = delete;
+  BatchReachTier& operator=(const BatchReachTier&) = delete;
+
+  /// The shared vector for `key`, or nullptr when this batch has not
+  /// published it yet. A hit is counted on the backing cache's
+  /// batch_shared_hits counter.
+  const ReachCache::Value* Lookup(uint64_t key);
+
+  /// Publishes `value` under `key` (first writer wins) and returns the
+  /// canonical shared vector — the incumbent's when one already landed.
+  const ReachCache::Value* Insert(uint64_t key, ReachCache::Value value);
+
+  size_t size() const;
+
+ private:
+  const ReachCache* cache_ = nullptr;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, ReachCache::Value> map_;
 };
 
 }  // namespace xcluster

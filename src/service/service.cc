@@ -10,19 +10,49 @@
 #include "common/json.h"
 #include "common/telemetry/metrics.h"
 #include "common/telemetry/telemetry.h"
+#include "estimate/batch_estimator.h"
 #include "query/parser.h"
 
 namespace xcluster {
 
 namespace {
 
+/// Resolves `query` to a compiled plan through the shared plan cache. The
+/// cache is consulted under (snapshot generation, normalized text); on a
+/// miss the query is parsed and compiled against the snapshot's
+/// FlatSynopsis, then published for every later repeat — warm queries skip
+/// parse, label resolution, and term resolution entirely. Returns nullptr
+/// with `*status` carrying the parse error when the query is malformed.
+std::shared_ptr<const CompiledTwig> ResolvePlan(const StoredSynopsis& snapshot,
+                                                const PlanCache& plans,
+                                                const std::string& query,
+                                                Status* status) {
+  std::string trim_storage;
+  const std::string& normalized =
+      PlanCache::NormalizeQuery(query, &trim_storage);
+  std::shared_ptr<const CompiledTwig> plan =
+      plans.Get(snapshot.generation(), normalized);
+  if (plan != nullptr) return plan;
+  // A plan-cache miss shows up in a sampled trace as this compile span;
+  // hits go straight to estimation with no span between.
+  XCLUSTER_TRACE_SPAN("plan.compile");
+  Result<TwigQuery> parsed = ParseTwig(normalized);
+  if (!parsed.ok()) {
+    // Parse errors are not negative-cached: they are cheap to rediscover
+    // and caching them would let malformed input evict real plans.
+    *status = parsed.status();
+    XCLUSTER_COUNTER_INC("service.requests.invalid");
+    return nullptr;
+  }
+  plan = std::make_shared<const CompiledTwig>(
+      CompiledTwig::Compile(parsed.value(), snapshot.flat()));
+  plans.Put(snapshot.generation(), normalized, plan);
+  return plan;
+}
+
 /// Estimates one query against a snapshot through the compiled-plan path,
-/// writing the outcome into `result`. The plan cache is consulted under
-/// (snapshot generation, normalized text); on a miss the query is parsed
-/// and compiled against the snapshot's FlatSynopsis, then published for
-/// every later repeat — warm queries skip parse, label resolution, and
-/// term resolution entirely. `deadline_ns` is absolute monotonic (0 =
-/// none); it is re-checked here so a query that reached a worker just
+/// writing the outcome into `result`. `deadline_ns` is absolute monotonic
+/// (0 = none); it is re-checked here so a query that reached a worker just
 /// under the wire still fails fast instead of burning the budget further.
 void ProcessQuery(const StoredSynopsis& snapshot, const PlanCache& plans,
                   const std::string& query, bool explain,
@@ -36,27 +66,9 @@ void ProcessQuery(const StoredSynopsis& snapshot, const PlanCache& plans,
     XCLUSTER_COUNTER_INC("service.requests.deadline_exceeded");
     return;
   }
-  std::string trim_storage;
-  const std::string& normalized =
-      PlanCache::NormalizeQuery(query, &trim_storage);
   std::shared_ptr<const CompiledTwig> plan =
-      plans.Get(snapshot.generation(), normalized);
-  if (plan == nullptr) {
-    // A plan-cache miss shows up in a sampled trace as this compile span;
-    // hits go straight to estimation with no span between.
-    XCLUSTER_TRACE_SPAN("plan.compile");
-    Result<TwigQuery> parsed = ParseTwig(normalized);
-    if (!parsed.ok()) {
-      // Parse errors are not negative-cached: they are cheap to rediscover
-      // and caching them would let malformed input evict real plans.
-      result->status = parsed.status();
-      XCLUSTER_COUNTER_INC("service.requests.invalid");
-      return;
-    }
-    plan = std::make_shared<const CompiledTwig>(
-        CompiledTwig::Compile(parsed.value(), snapshot.flat()));
-    plans.Put(snapshot.generation(), normalized, plan);
-  }
+      ResolvePlan(snapshot, plans, query, &result->status);
+  if (plan == nullptr) return;
   if (explain) {
     EstimateExplanation explanation =
         snapshot.flat_estimator().Explain(*plan);
@@ -293,76 +305,218 @@ BatchResult EstimationService::EstimateBatch(
       lane_latency_[static_cast<size_t>(options.lane)];
 
   // Slot-per-query completion tracking: tasks write disjoint slots, so
-  // only the done-counter needs the lock.
+  // only the done-counter needs the lock. On the vectorized path one task
+  // covers a whole lane group and advances `done` by the group's slot
+  // count; the batch is finished when every *slot* is accounted for.
   std::mutex mu;
   std::condition_variable all_done;
   size_t done = 0;
 
-  auto make_task = [&](QueryResult* slot, const std::string* query) {
-    return [&, slot, query](const Executor::TaskContext& ctx) {
-      // Worker threads carry no context of their own; adopt the request's
-      // for the duration of this task so spans attribute correctly.
-      telemetry::ScopedTraceContext task_scope(options.trace);
-      slot->queue_ns = ctx.queue_ns;
-#if XCLUSTER_TELEMETRY_ENABLED
-      EmitQueueWaitEvent(ctx.queue_ns);
-#endif
-      if (ctx.cancelled) {
-        slot->status = Status::Unsupported("executor shut down mid-batch");
-      } else if (ctx.deadline_expired) {
-        slot->status =
-            Status::DeadlineExceeded("batch deadline expired in queue");
-        XCLUSTER_COUNTER_INC("service.requests.deadline_exceeded");
-      } else {
-        XCLUSTER_TRACE_SPAN("executor.task");
-        ProcessQuery(*snapshot, plan_cache_, *query, options.explain,
-                     deadline_ns, lane_latency, slot);
-      }
-      std::lock_guard<std::mutex> lock(mu);
-      ++done;
-      all_done.notify_all();
-    };
-  };
-
-  for (size_t i = 0; i < queries.size(); ++i) {
-    QueryResult* slot = &batch.results[i];
-    const std::string* query = &queries[i];
-    // Fail fast once the batch deadline has passed: every remaining
-    // queued query is marked deadline_expired here, without paying
-    // per-task dispatch overhead or invoking the estimator.
-    if (deadline_ns != 0 && telemetry::MonotonicNowNs() > deadline_ns) {
-      size_t expired = 0;
-      for (size_t j = i; j < queries.size(); ++j) {
-        batch.results[j].status =
-            Status::DeadlineExceeded("batch deadline expired");
-        ++expired;
-      }
-      XCLUSTER_COUNTER_ADD("service.requests.deadline_exceeded", expired);
-      std::lock_guard<std::mutex> lock(mu);
-      done += expired;
-      break;
-    }
+  // Flow-control submit shared by both paths: when the bounded executor
+  // queue is full, wait for one of our own completions to free a slot,
+  // then resubmit. The wait is bounded — the queue may be full of a
+  // *different* batch's tasks while none of ours are in flight, in which
+  // case only retrying can make progress. Raw Executor::Submit callers
+  // keep the hard ResourceExhausted; only the batch API absorbs it.
+  // Returns OK or the shutdown status (the task never ran).
+  auto submit_with_flow_control = [&](Executor::Task task) {
     for (;;) {
-      Status submitted =
-          admission_->Submit(batch_id, make_task(slot, query), deadline_ns);
-      if (submitted.ok()) break;
-      if (submitted.code() != Status::Code::kResourceExhausted) {
-        // Shut down: fail the slot ourselves; the task never ran.
-        slot->status = std::move(submitted);
-        std::lock_guard<std::mutex> lock(mu);
-        ++done;
-        break;
+      Status submitted = admission_->Submit(batch_id, task, deadline_ns);
+      if (submitted.ok() ||
+          submitted.code() != Status::Code::kResourceExhausted) {
+        return submitted;
       }
-      // Queue full: batch-level flow control. Wait for one of our own
-      // completions to free a slot, then resubmit. The wait is bounded —
-      // the queue may be full of a *different* batch's tasks while none
-      // of ours are in flight, in which case only retrying can make
-      // progress. Raw Executor::Submit callers keep the hard
-      // ResourceExhausted; only the batch API absorbs it.
       std::unique_lock<std::mutex> lock(mu);
       const size_t seen = done;
       all_done.wait_for(lock, std::chrono::milliseconds(1),
                         [&] { return done > seen; });
+    }
+  };
+
+  // Vectorized-path state; declared at function scope because group tasks
+  // reference it until the completion wait below.
+  std::vector<std::shared_ptr<const CompiledTwig>> batch_plans;
+  BatchPlan partition;
+  std::unique_ptr<BatchReachTier> reach_tier;
+
+  const bool vectorize = options.vectorize && !options.explain;
+  if (vectorize) {
+    // --- Vectorized path: compile on the calling thread, partition into
+    // lane groups, one executor task per group. ---------------------------
+    {
+      XCLUSTER_TRACE_SPAN("plan.batch_partition");
+      batch_plans.resize(queries.size());
+      std::vector<const CompiledTwig*> raw_plans(queries.size(), nullptr);
+      size_t invalid = 0;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        batch_plans[i] =
+            ResolvePlan(*snapshot, plan_cache_, queries[i],
+                        &batch.results[i].status);
+        if (batch_plans[i] == nullptr) {
+          // Parse failures complete immediately on the calling thread;
+          // their slots appear in no lane group.
+          ++invalid;
+        } else {
+          raw_plans[i] = batch_plans[i].get();
+        }
+      }
+      partition = BatchPlan::Build(raw_plans);
+      batch.stats.batch_groups = partition.num_groups();
+      batch.stats.vector_lanes = partition.num_lanes();
+      if (invalid > 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        done += invalid;
+      }
+    }
+    reach_tier =
+        std::make_unique<BatchReachTier>(&snapshot->flat_estimator().reach_cache());
+
+    auto make_group_task = [&](size_t group_index) {
+      return [&, group_index](const Executor::TaskContext& ctx) {
+        telemetry::ScopedTraceContext task_scope(options.trace);
+        const BatchPlan::Group& group = partition.groups()[group_index];
+        const size_t num_slots = group.num_slots();
+#if XCLUSTER_TELEMETRY_ENABLED
+        EmitQueueWaitEvent(ctx.queue_ns);
+#endif
+        const uint64_t task_start_ns = telemetry::MonotonicNowNs();
+        Status failure;
+        if (ctx.cancelled) {
+          failure = Status::Unsupported("executor shut down mid-batch");
+        } else if (ctx.deadline_expired ||
+                   (deadline_ns != 0 && task_start_ns > deadline_ns)) {
+          failure = Status::DeadlineExceeded("batch deadline expired");
+          XCLUSTER_COUNTER_ADD("service.requests.deadline_exceeded",
+                               num_slots);
+        }
+        if (!failure.ok()) {
+          for (const std::vector<uint32_t>& slots : group.lane_slots) {
+            for (const uint32_t slot : slots) {
+              batch.results[slot].status = failure;
+              batch.results[slot].queue_ns = ctx.queue_ns;
+            }
+          }
+        } else {
+          XCLUSTER_TRACE_SPAN("executor.task");
+          std::vector<double> lane_estimates;
+          BatchEstimator::EstimateGroup(snapshot->flat_estimator(), group,
+                                        reach_tier.get(), &lane_estimates);
+          // The group runs as one unit: per-slot latency is the group wall
+          // time amortized over its slots, so batch-level quantiles stay
+          // comparable with the scalar path.
+          const uint64_t wall_ns =
+              telemetry::MonotonicNowNs() - task_start_ns;
+          const uint64_t slot_ns =
+              num_slots == 0 ? 0 : wall_ns / num_slots;
+          for (size_t lane = 0; lane < group.lane_slots.size(); ++lane) {
+            for (const uint32_t slot : group.lane_slots[lane]) {
+              QueryResult& result = batch.results[slot];
+              result.status = Status::OK();
+              result.estimate = lane_estimates[lane];
+              result.latency_ns = slot_ns;
+              result.queue_ns = ctx.queue_ns;
+              lane_latency->Record(slot_ns);
+              XCLUSTER_HISTOGRAM_RECORD_NS("service.request_latency_ns",
+                                           slot_ns);
+            }
+          }
+          XCLUSTER_COUNTER_ADD("service.requests.ok", num_slots);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        done += num_slots;
+        all_done.notify_all();
+      };
+    };
+
+    for (size_t g = 0; g < partition.num_groups(); ++g) {
+      const size_t group_slots = partition.groups()[g].num_slots();
+      // Fail fast once the batch deadline has passed: every remaining
+      // group is failed here, without paying dispatch overhead or
+      // invoking the estimator.
+      if (deadline_ns != 0 && telemetry::MonotonicNowNs() > deadline_ns) {
+        size_t expired = 0;
+        for (size_t j = g; j < partition.num_groups(); ++j) {
+          for (const std::vector<uint32_t>& slots :
+               partition.groups()[j].lane_slots) {
+            for (const uint32_t slot : slots) {
+              batch.results[slot].status =
+                  Status::DeadlineExceeded("batch deadline expired");
+              ++expired;
+            }
+          }
+        }
+        XCLUSTER_COUNTER_ADD("service.requests.deadline_exceeded", expired);
+        std::lock_guard<std::mutex> lock(mu);
+        done += expired;
+        break;
+      }
+      Status submitted = submit_with_flow_control(make_group_task(g));
+      if (!submitted.ok()) {
+        // Shut down: fail the group's slots ourselves; the task never ran.
+        for (const std::vector<uint32_t>& slots :
+             partition.groups()[g].lane_slots) {
+          for (const uint32_t slot : slots) {
+            batch.results[slot].status = submitted;
+          }
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        done += group_slots;
+      }
+    }
+  } else {
+    // --- Scalar path: one executor task per query. -----------------------
+    auto make_task = [&](QueryResult* slot, const std::string* query) {
+      return [&, slot, query](const Executor::TaskContext& ctx) {
+        // Worker threads carry no context of their own; adopt the
+        // request's for the duration of this task so spans attribute
+        // correctly.
+        telemetry::ScopedTraceContext task_scope(options.trace);
+        slot->queue_ns = ctx.queue_ns;
+#if XCLUSTER_TELEMETRY_ENABLED
+        EmitQueueWaitEvent(ctx.queue_ns);
+#endif
+        if (ctx.cancelled) {
+          slot->status = Status::Unsupported("executor shut down mid-batch");
+        } else if (ctx.deadline_expired) {
+          slot->status =
+              Status::DeadlineExceeded("batch deadline expired in queue");
+          XCLUSTER_COUNTER_INC("service.requests.deadline_exceeded");
+        } else {
+          XCLUSTER_TRACE_SPAN("executor.task");
+          ProcessQuery(*snapshot, plan_cache_, *query, options.explain,
+                       deadline_ns, lane_latency, slot);
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        ++done;
+        all_done.notify_all();
+      };
+    };
+
+    for (size_t i = 0; i < queries.size(); ++i) {
+      QueryResult* slot = &batch.results[i];
+      const std::string* query = &queries[i];
+      // Fail fast once the batch deadline has passed: every remaining
+      // queued query is marked deadline_expired here, without paying
+      // per-task dispatch overhead or invoking the estimator.
+      if (deadline_ns != 0 && telemetry::MonotonicNowNs() > deadline_ns) {
+        size_t expired = 0;
+        for (size_t j = i; j < queries.size(); ++j) {
+          batch.results[j].status =
+              Status::DeadlineExceeded("batch deadline expired");
+          ++expired;
+        }
+        XCLUSTER_COUNTER_ADD("service.requests.deadline_exceeded", expired);
+        std::lock_guard<std::mutex> lock(mu);
+        done += expired;
+        break;
+      }
+      Status submitted = submit_with_flow_control(make_task(slot, query));
+      if (!submitted.ok()) {
+        // Shut down: fail the slot ourselves; the task never ran.
+        slot->status = std::move(submitted);
+        std::lock_guard<std::mutex> lock(mu);
+        ++done;
+      }
     }
   }
 

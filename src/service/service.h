@@ -66,6 +66,15 @@ struct BatchOptions {
   /// themselves bulk so they never starve point queries.
   Lane lane = Lane::kInteractive;
 
+  /// Evaluate the batch through the vectorized lane-group engine
+  /// (BatchPlan/BatchEstimator): queries are compiled up front, grouped
+  /// by plan skeleton, and each group runs the embedding DP once with
+  /// queries as lanes — bit-identical to the scalar path (enforced by
+  /// tests and bench gates), just faster. false forces the legacy one
+  /// task-per-query scalar path; explain batches always take the scalar
+  /// path (the EXPLAIN DP is per-query by nature).
+  bool vectorize = true;
+
   /// Request trace context. A zero trace id records a flight entry with no
   /// trace identity; a nonzero id is carried through admission, executor,
   /// and estimation spans (when sampled) and into the flight ring.
@@ -92,6 +101,12 @@ struct BatchStats {
   uint64_t p50_latency_ns = 0;  ///< per-query worker latency percentiles
   uint64_t p95_latency_ns = 0;
   uint64_t max_latency_ns = 0;
+
+  /// Vectorized-path shape: lane groups the batch partitioned into and
+  /// distinct lanes evaluated (duplicate queries share a lane). Both 0
+  /// when the batch ran the scalar path.
+  size_t batch_groups = 0;
+  size_t vector_lanes = 0;
 };
 
 struct BatchResult {

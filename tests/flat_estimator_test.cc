@@ -136,6 +136,54 @@ TEST(FlatEstimatorTest, EmptySynopsisAndEmptyPlan) {
   EXPECT_EQ(estimator.Estimate(CompiledTwig()), 0.0);
 }
 
+/// Asserts the legacy and flat EXPLAIN breakdowns agree exactly — doubles
+/// with EXPECT_EQ, not EXPECT_NEAR. Legacy Explain walks per-variable
+/// masses in sorted node order precisely so this holds.
+void ExpectExplainIdentical(const GraphSynopsis& synopsis,
+                            const std::string& query) {
+  XClusterEstimator legacy(synopsis);
+  FlatSynopsis flat(synopsis);
+  FlatEstimator estimator(flat);
+  const TwigQuery twig = MustParse(query);
+  const EstimateExplanation from_legacy = legacy.Explain(twig);
+  const EstimateExplanation from_flat =
+      estimator.Explain(CompiledTwig::Compile(twig, flat));
+  EXPECT_EQ(from_flat.selectivity, from_legacy.selectivity) << query;
+  ASSERT_EQ(from_flat.vars.size(), from_legacy.vars.size()) << query;
+  for (size_t v = 0; v < from_flat.vars.size(); ++v) {
+    EXPECT_EQ(from_flat.vars[v].expected_bindings,
+              from_legacy.vars[v].expected_bindings)
+        << query << " var " << v;
+    EXPECT_EQ(from_flat.vars[v].predicate_selectivity,
+              from_legacy.vars[v].predicate_selectivity)
+        << query << " var " << v;
+    EXPECT_EQ(from_flat.vars[v].step, from_legacy.vars[v].step);
+  }
+  EXPECT_EQ(from_flat.ToString(), from_legacy.ToString()) << query;
+}
+
+TEST(FlatEstimatorTest, ExplainBitIdenticalToLegacy) {
+  GraphSynopsis fig7 = MakeFig7();
+  for (const char* query :
+       {"//A[/B/C[range(0,0)]]//E", "/A/B/C[range(0,4)]", "//C", "/A/*",
+        "//*", "/A[/B]/D", "/Z"}) {
+    ExpectExplainIdentical(fig7, query);
+  }
+
+  GraphSynopsis cyclic;
+  SynNodeId root = cyclic.AddNode("R", ValueType::kNone, 1.0);
+  SynNodeId parlist = cyclic.AddNode("parlist", ValueType::kNone, 20.0);
+  SynNodeId text = cyclic.AddNode("text", ValueType::kNone, 40.0);
+  cyclic.AddEdge(root, parlist, 10.0);
+  cyclic.AddEdge(parlist, parlist, 0.5);
+  cyclic.AddEdge(parlist, text, 1.0);
+  cyclic.set_term_dictionary(std::make_shared<TermDictionary>());
+  for (const char* query :
+       {"//text", "//parlist//text", "/parlist/parlist", "//*"}) {
+    ExpectExplainIdentical(cyclic, query);
+  }
+}
+
 TEST(FlatEstimatorTest, ExplainSelectivityMatchesEstimate) {
   GraphSynopsis synopsis = MakeFig7();
   FlatSynopsis flat(synopsis);
@@ -174,6 +222,12 @@ void RunWorkloadSuite(const GeneratedDataset& dataset, size_t num_queries) {
     for (const WorkloadQuery& query : workload.queries) {
       const CompiledTwig plan = CompiledTwig::Compile(query.query, flat);
       EXPECT_EQ(estimator.Estimate(plan), legacy.Estimate(query.query));
+      // EXPLAIN breakdowns must agree exactly too (legacy walks nodes in
+      // sorted order specifically to make this comparison exact).
+      const EstimateExplanation flat_explain = estimator.Explain(plan);
+      const EstimateExplanation legacy_explain = legacy.Explain(query.query);
+      EXPECT_EQ(flat_explain.selectivity, legacy_explain.selectivity);
+      EXPECT_EQ(flat_explain.ToString(), legacy_explain.ToString());
     }
   }
 }

@@ -96,6 +96,44 @@ TEST(ReachCacheTest, MixSeparatesXorCollidingKeys) {
   EXPECT_GT(low.size(), 32u);
 }
 
+TEST(BatchReachTierTest, InsertThenLookupReturnsStablePointer) {
+  ReachCache cache(ReachCache::Options{16, 1});
+  BatchReachTier tier(&cache);
+  const ReachCache::Value* first =
+      tier.Insert(ReachCache::Key(1, 2), Vec({{7, 3.5}}));
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(tier.size(), 1u);
+  // Pointers stay valid as the tier grows (node-based map, no erase):
+  // insert enough entries to force a rehash, then re-check the first.
+  for (uint32_t i = 10; i < 200; ++i) {
+    tier.Insert(ReachCache::Key(i, 0), Vec({{i, 1.0}}));
+  }
+  EXPECT_EQ(tier.Lookup(ReachCache::Key(1, 2)), first);
+  ASSERT_EQ(first->size(), 1u);
+  EXPECT_EQ((*first)[0].first, 7u);
+  EXPECT_EQ((*first)[0].second, 3.5);
+}
+
+TEST(BatchReachTierTest, FirstWriterWinsAndLookupCountsSharedHits) {
+  ReachCache cache(ReachCache::Options{16, 1});
+  BatchReachTier tier(&cache);
+  EXPECT_EQ(tier.Lookup(ReachCache::Key(3, 3)), nullptr);
+  EXPECT_EQ(cache.batch_shared_hits(), 0u);  // misses are not shared hits
+
+  const ReachCache::Value* winner =
+      tier.Insert(ReachCache::Key(3, 3), Vec({{1, 1.0}}));
+  const ReachCache::Value* loser =
+      tier.Insert(ReachCache::Key(3, 3), Vec({{2, 2.0}}));
+  EXPECT_EQ(loser, winner);  // second writer gets the first value back
+  ASSERT_EQ(winner->size(), 1u);
+  EXPECT_EQ((*winner)[0].first, 1u);
+  EXPECT_EQ(tier.size(), 1u);
+
+  EXPECT_EQ(tier.Lookup(ReachCache::Key(3, 3)), winner);
+  EXPECT_EQ(tier.Lookup(ReachCache::Key(3, 3)), winner);
+  EXPECT_EQ(cache.batch_shared_hits(), 2u);
+}
+
 TwigQuery MustParse(std::string_view input) {
   Result<TwigQuery> result = ParseTwig(input);
   EXPECT_TRUE(result.ok()) << result.status().ToString();

@@ -343,11 +343,12 @@ int EstimateFile(const std::string& synopsis_path,
     }
   }
   // Per-query latency summary straight from the telemetry histogram the
-  // estimator already records into.
+  // service records into on both the scalar and vectorized batch paths
+  // (the estimator's own estimate.latency_ns only counts scalar DP runs).
   telemetry::MetricsSnapshot snapshot =
       telemetry::MetricsRegistry::Global().Snapshot();
   for (const auto& histogram : snapshot.histograms) {
-    if (histogram.name != "estimate.latency_ns") continue;
+    if (histogram.name != "service.request_latency_ns") continue;
     std::printf(
         "# %zu queries: ok=%zu err=%zu wall_us=%llu "
         "estimate_p50_us=%.1f p95_us=%.1f p99_us=%.1f\n",
