@@ -27,9 +27,13 @@
 #include "common/io/file_io.h"
 #include "common/json.h"
 #include "common/telemetry/metrics.h"
+#include "common/telemetry/telemetry.h"
 #include "common/telemetry/trace.h"
 #include "data/xmark.h"
+#include "estimate/compiled_twig.h"
+#include "query/parser.h"
 #include "service/service.h"
+#include "storage/xcsf_writer.h"
 #include "synopsis/reference.h"
 #include "workload/generator.h"
 
@@ -139,6 +143,29 @@ JsonValue PoolEntry(const PoolRun& run) {
                   static_cast<double>(run.stats.batch_groups));
   }
   return entry;
+}
+
+/// One cold start against `path` (either format — SynopsisStore
+/// auto-detects): fresh store, load/mmap, compile the first query, return
+/// nanoseconds from load start to the first estimate landing. The
+/// estimate itself is returned for the bit-identity gate.
+uint64_t ColdStartTtfeNs(const std::string& path, const std::string& query,
+                         double* estimate) {
+  const uint64_t start = telemetry::MonotonicNowNs();
+  SynopsisStore store;
+  auto loaded = store.LoadFile("cold", path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "bench_service: cold load %s: %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    std::exit(1);
+  }
+  const StoredSynopsis& snapshot = *loaded.value();
+  Result<TwigQuery> twig = ParseTwig(query);
+  if (!twig.ok()) std::exit(1);
+  const CompiledTwig plan =
+      CompiledTwig::Compile(twig.value(), snapshot.flat());
+  *estimate = snapshot.flat_estimator().Estimate(plan);
+  return telemetry::MonotonicNowNs() - start;
 }
 
 int Main(int argc, char** argv) {
@@ -318,6 +345,110 @@ int Main(int argc, char** argv) {
     entry.members()["gate_pass"] =
         JsonValue::Number(traced.qps >= floor_qps ? 1.0 : 0.0);
     entries.items().push_back(std::move(entry));
+  }
+
+  // Cold start: `.xcs` parse-load vs `.xcsf` mmap-load, measured as
+  // time-to-first-estimate (fresh store -> load -> compile the first
+  // query -> estimate). Both files describe the same synopsis; minimum of
+  // several iterations so the page cache is equally warm for both. Two
+  // hard gates: the mmap path must be >= 10x faster, and serving the full
+  // workload from the mapped image must be bit-identical slot-for-slot to
+  // the compiled-in-RAM run.
+  {
+    const std::string xcs_path = "bench_coldstart.xcs";
+    const std::string xcsf_path = "bench_coldstart.xcsf";
+    Status saved = synopsis.Save(xcs_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "bench_service: save %s: %s\n", xcs_path.c_str(),
+                   saved.ToString().c_str());
+      return 1;
+    }
+    FlatSynopsis flat(synopsis.synopsis());
+    saved = storage::XcsfWriter::Write(flat, xcsf_path, /*sync=*/false);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "bench_service: write %s: %s\n",
+                   xcsf_path.c_str(), saved.ToString().c_str());
+      return 1;
+    }
+
+    const std::string& first_query = queries.front();
+    constexpr int kIterations = 7;
+    uint64_t xcs_ns = ~uint64_t{0}, xcsf_ns = ~uint64_t{0};
+    double xcs_estimate = 0.0, xcsf_estimate = 0.0;
+    for (int i = 0; i < kIterations; ++i) {
+      xcs_ns = std::min(xcs_ns,
+                        ColdStartTtfeNs(xcs_path, first_query, &xcs_estimate));
+      xcsf_ns = std::min(
+          xcsf_ns, ColdStartTtfeNs(xcsf_path, first_query, &xcsf_estimate));
+    }
+    const double speedup =
+        xcsf_ns > 0 ? static_cast<double>(xcs_ns) /xcsf_ns : 0.0;
+
+    // Slot-for-slot bit-identity of the mapped image over the whole
+    // workload, against the compiled-in-RAM estimates measured above.
+    size_t mismatches = 0;
+    {
+      ServiceOptions options;
+      options.executor.num_threads = config.workers.back();
+      options.executor.queue_capacity = 4096;
+      EstimationService service(options);
+      auto mapped = service.store().LoadFile("xmark", xcsf_path);
+      if (!mapped.ok()) {
+        std::fprintf(stderr, "bench_service: mmap load: %s\n",
+                     mapped.status().ToString().c_str());
+        return 1;
+      }
+      BatchResult batch = service.EstimateBatch("xmark", queries);
+      const std::vector<double>& compiled = runs.back().estimates;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const double estimate =
+            batch.results[i].status.ok() ? batch.results[i].estimate : 0.0;
+        if (estimate != compiled[i]) ++mismatches;
+      }
+    }
+    if (mismatches > 0 || xcs_estimate != xcsf_estimate) {
+      std::fprintf(stderr,
+                   "bench_service: MMAP BIT-IDENTITY FAIL: %zu slot "
+                   "mismatches (first query %.17g vs %.17g)\n",
+                   mismatches, xcs_estimate, xcsf_estimate);
+      rc = 1;
+    }
+    const bool fast_enough = speedup >= 10.0;
+    std::fprintf(stderr,
+                 "bench_service: cold start xcs=%.2fms xcsf=%.3fms "
+                 "(%.1fx, gate >=10x) -> %s\n",
+                 static_cast<double>(xcs_ns) / 1e6,
+                 static_cast<double>(xcsf_ns) / 1e6, speedup,
+                 fast_enough && mismatches == 0 ? "ok" : "FAIL");
+    if (!fast_enough) {
+      std::fprintf(stderr,
+                   "bench_service: COLD-START GATE FAIL: mmap load only "
+                   "%.1fx faster than parse load\n",
+                   speedup);
+      rc = 1;
+    }
+
+    JsonValue xcs_entry = JsonValue::Object();
+    xcs_entry.members()["name"] = JsonValue::String("cold_start/xcs");
+    xcs_entry.members()["ttfe_ms"] =
+        JsonValue::Number(static_cast<double>(xcs_ns) / 1e6);
+    entries.items().push_back(std::move(xcs_entry));
+    JsonValue xcsf_entry = JsonValue::Object();
+    xcsf_entry.members()["name"] = JsonValue::String("cold_start/xcsf");
+    xcsf_entry.members()["ttfe_ms"] =
+        JsonValue::Number(static_cast<double>(xcsf_ns) / 1e6);
+    entries.items().push_back(std::move(xcsf_entry));
+    JsonValue gate = JsonValue::Object();
+    gate.members()["name"] = JsonValue::String("cold_start_speedup");
+    gate.members()["speedup"] = JsonValue::Number(speedup);
+    gate.members()["bit_identical"] =
+        JsonValue::Number(mismatches == 0 ? 1.0 : 0.0);
+    gate.members()["gate_pass"] = JsonValue::Number(
+        fast_enough && mismatches == 0 ? 1.0 : 0.0);
+    entries.items().push_back(std::move(gate));
+
+    std::remove(xcs_path.c_str());
+    std::remove(xcsf_path.c_str());
   }
 
   JsonValue report = JsonValue::Object();

@@ -223,6 +223,17 @@ BENCH_REQUIRED = {
 BENCH_BATCH_FIELDS = ("batch_groups", "lanes_per_group")
 BENCH_NEEDS_BATCH_ENTRY = ("service", "estimator")
 
+# Entries that must be present by exact name, keyed by benchmark. The
+# service bench must report the cold-start comparison: time-to-first-
+# estimate for both on-disk formats plus the speedup gate verdict.
+BENCH_REQUIRED_ENTRIES = {
+    "service": (
+        "cold_start/xcs",
+        "cold_start/xcsf",
+        "cold_start_speedup",
+    ),
+}
+
 
 def check_bench(report, require_counters=(), require_histograms=()):
     entries = report.get("entries")
@@ -262,6 +273,11 @@ def check_bench(report, require_counters=(), require_histograms=()):
             f"bench '{report['benchmark']}': no entry carries the "
             f"vectorized batch fields {BENCH_BATCH_FIELDS}"
         )
+    entry_names = {entry["name"] for entry in entries}
+    for name in BENCH_REQUIRED_ENTRIES.get(report.get("benchmark"), ()):
+        if name not in entry_names:
+            fail(f"bench '{report['benchmark']}': required entry "
+                 f"'{name}' missing")
     metrics = report.get("metrics")
     if metrics is None:
         fail("bench: embedded 'metrics' snapshot missing")

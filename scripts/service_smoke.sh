@@ -103,4 +103,24 @@ cat "$WORKDIR/multi.txt"
 grep -q '^# 2 queries: ok=2 ' "$WORKDIR/multi.txt" \
   || fail "missing latency summary line"
 
+# 4. Compile the synopsis to the flat mmap image, verify it, serve from
+# it, and prove the .xcsf path reports the identical estimate strings as
+# the .xcs path (the mapped estimator is gated to be bit-identical).
+"$XCLUSTERCTL" compile --in "$WORKDIR/books.xcs" \
+  --out "$WORKDIR/books.xcsf" >/dev/null
+"$XCLUSTERCTL" verify --synopsis "$WORKDIR/books.xcsf" --quiet \
+  || fail "compiled .xcsf does not verify"
+"$XCLUSTERCTL" estimate --synopsis "$WORKDIR/books.xcsf" \
+  --queries "$WORKDIR/queries.txt" --workers 2 > "$WORKDIR/multi_xcsf.txt"
+echo "--- multi-query estimate (.xcsf) ---"
+cat "$WORKDIR/multi_xcsf.txt"
+[ "$(grep -c '//book' "$WORKDIR/multi_xcsf.txt")" -eq 2 ] \
+  || fail "expected 2 per-query result lines from the .xcsf path"
+# Per-query lines are `estimate us=N query`; the timings legitimately
+# differ between runs, so diff only estimate + query.
+awk '/^[^#]/ {print $1, $3}' "$WORKDIR/multi.txt" > "$WORKDIR/est_xcs.txt"
+awk '/^[^#]/ {print $1, $3}' "$WORKDIR/multi_xcsf.txt" > "$WORKDIR/est_xcsf.txt"
+diff -u "$WORKDIR/est_xcs.txt" "$WORKDIR/est_xcsf.txt" \
+  || fail ".xcs and .xcsf estimates differ"
+
 echo "service_smoke: OK"

@@ -14,6 +14,7 @@
 #include "common/telemetry/telemetry.h"
 #include "core/serialize.h"
 #include "service/harness.h"
+#include "storage/xcsf_mmap_view.h"
 
 namespace xcluster {
 namespace cluster {
@@ -454,7 +455,7 @@ void Router::HandleCommand(uint64_t conn_id, uint32_t version,
       return;
     }
     std::string report;
-    Status verified = VerifySynopsisBytes(bytes.value(), &report);
+    Status verified = storage::VerifySynopsisPayload(bytes.value(), &report);
     if (!verified.ok()) {
       Post(conn_id, net::FrameType::kResponse,
            "err " + verified.ToString() + "\n");

@@ -34,9 +34,7 @@ const Tables& GetTables() {
   return tables;
 }
 
-}  // namespace
-
-uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+uint32_t ExtendPortable(uint32_t crc, const void* data, size_t n) {
   const Tables& tbl = GetTables();
   const unsigned char* p = static_cast<const unsigned char*>(data);
   uint32_t c = crc ^ 0xffffffffu;
@@ -53,6 +51,118 @@ uint32_t Extend(uint32_t crc, const void* data, size_t n) {
     c = (c >> 8) ^ tbl.t[0][(c ^ *p++) & 0xff];
   }
   return c ^ 0xffffffffu;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define XCLUSTER_CRC32C_HW 1
+
+/// GF(2) matrix times vector: mat[i] is the image of bit i.
+uint32_t Gf2MatTimes(const uint32_t* mat, uint32_t vec) {
+  uint32_t sum = 0;
+  while (vec != 0) {
+    if (vec & 1) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+/// The operator advancing a raw CRC register over kCrcBlock zero bytes,
+/// as a 32x32 GF(2) matrix. Lets three crc32 dependency chains run in
+/// parallel over adjacent blocks and be recombined afterwards:
+/// crc(A||B) = Shift(crc(A)) ^ crc_0(B).
+constexpr size_t kCrcBlock = 1024;
+
+struct BlockShift {
+  uint32_t mat[32];
+
+  BlockShift() {
+    // One zero *bit*: the reflected-polynomial step.
+    uint32_t odd[32];
+    odd[0] = 0x82f63b78u;  // Castagnoli, reflected
+    for (int i = 1; i < 32; ++i) odd[i] = 1u << (i - 1);
+    uint32_t even[32];
+    // Each squaring doubles the zero count: 1 bit -> 2 -> 4 -> ... until
+    // the operator covers all 8 * kCrcBlock zero bits.
+    uint32_t* from = odd;
+    uint32_t* to = even;
+    for (size_t covered = 1; covered < 8 * kCrcBlock; covered <<= 1) {
+      for (int n = 0; n < 32; ++n) to[n] = Gf2MatTimes(from, from[n]);
+      uint32_t* swap = from;
+      from = to;
+      to = swap;
+    }
+    for (int n = 0; n < 32; ++n) mat[n] = from[n];
+  }
+
+  uint32_t Apply(uint32_t crc) const { return Gf2MatTimes(mat, crc); }
+};
+
+const BlockShift& GetBlockShift() {
+  static const BlockShift shift;
+  return shift;
+}
+
+/// Hardware CRC32C via the SSE4.2 crc32 instruction. The single crc32q
+/// chain is latency-bound (3 cycles per 8 bytes); running three chains
+/// over adjacent kCrcBlock-byte blocks and recombining with the zero-block
+/// shift operator roughly triples throughput. Selected at runtime, so the
+/// binary still runs on pre-Nehalem CPUs.
+__attribute__((target("sse4.2")))
+uint32_t ExtendHardware(uint32_t crc, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t c = crc ^ 0xffffffffu;
+  if (n >= 3 * kCrcBlock) {
+    const BlockShift& shift = GetBlockShift();
+    do {
+      uint64_t c1 = 0;
+      uint64_t c2 = 0;
+      for (size_t i = 0; i < kCrcBlock; i += 8) {
+        uint64_t w0, w1, w2;
+        __builtin_memcpy(&w0, p + i, sizeof(w0));
+        __builtin_memcpy(&w1, p + kCrcBlock + i, sizeof(w1));
+        __builtin_memcpy(&w2, p + 2 * kCrcBlock + i, sizeof(w2));
+        c = __builtin_ia32_crc32di(c, w0);
+        c1 = __builtin_ia32_crc32di(c1, w1);
+        c2 = __builtin_ia32_crc32di(c2, w2);
+      }
+      c = shift.Apply(static_cast<uint32_t>(c)) ^ c1;
+      c = shift.Apply(static_cast<uint32_t>(c)) ^ c2;
+      p += 3 * kCrcBlock;
+      n -= 3 * kCrcBlock;
+    } while (n >= 3 * kCrcBlock);
+  }
+  while (n >= 8) {
+    uint64_t word;
+    __builtin_memcpy(&word, p, sizeof(word));
+    c = __builtin_ia32_crc32di(c, word);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (n-- > 0) {
+    c32 = __builtin_ia32_crc32qi(c32, *p++);
+  }
+  return c32 ^ 0xffffffffu;
+}
+
+bool HardwareAvailable() { return __builtin_cpu_supports("sse4.2") != 0; }
+#endif  // __x86_64__
+
+using ExtendFn = uint32_t (*)(uint32_t, const void*, size_t);
+
+ExtendFn ResolveExtend() {
+#ifdef XCLUSTER_CRC32C_HW
+  if (HardwareAvailable()) return &ExtendHardware;
+#endif
+  return &ExtendPortable;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+  static const ExtendFn extend = ResolveExtend();
+  return extend(crc, data, n);
 }
 
 }  // namespace crc32c

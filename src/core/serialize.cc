@@ -672,6 +672,76 @@ Result<GraphSynopsis> DecodeLegacyText(std::string_view bytes) {
 
 }  // namespace
 
+void EncodeValueSummary(const ValueSummary& vsumm, ByteSink* sink) {
+  EncodeSummary(vsumm, sink);
+}
+
+Status DecodeValueSummary(ByteSource* src, ValueSummary* vsumm) {
+  return DecodeSummary(src, vsumm);
+}
+
+Status InspectSynopsisSections(std::string_view bytes,
+                               std::vector<SynopsisSectionInfo>* sections) {
+  sections->clear();
+  if (bytes.size() < 8 ||
+      bytes.substr(0, 4) != std::string_view(kBinaryMagic, 4)) {
+    return Status::Corruption("not an XCluster binary synopsis (bad magic)");
+  }
+  StringSource src(bytes);
+  XCLUSTER_RETURN_IF_ERROR(src.Skip(4));  // magic
+  uint32_t version = 0;
+  XCLUSTER_RETURN_IF_ERROR(GetFixed32(&src, &version));
+  if (version != kBinaryVersion) {
+    return Status::Unsupported("unsupported synopsis format version " +
+                               std::to_string(version));
+  }
+  auto section_name = [](uint8_t id) -> std::string {
+    switch (id) {
+      case kLabels: return "labels";
+      case kTerms: return "terms";
+      case kNodes: return "nodes";
+      case kEdges: return "edges";
+      default: return "section-" + std::to_string(id);
+    }
+  };
+  for (;;) {
+    SectionHeader header;
+    XCLUSTER_RETURN_IF_ERROR(ReadSectionHeader(&src, &header));
+    if (header.id == kEnd) {
+      // The end marker carries the whole-file CRC; report it as a final
+      // pseudo-section so inspect shows its validity too.
+      SynopsisSectionInfo info;
+      info.id = kEnd;
+      info.name = "file-crc";
+      info.offset = src.Position();
+      info.length = 4;
+      uint32_t stored = 0;
+      XCLUSTER_RETURN_IF_ERROR(GetFixed32(&src, &stored));
+      info.crc_ok =
+          crc32c::Unmask(stored) ==
+          crc32c::Value(bytes.substr(0, static_cast<size_t>(info.offset)));
+      sections->push_back(std::move(info));
+      return Status::OK();
+    }
+    if (header.length > src.Remaining()) {
+      return Status::Corruption("section " + std::to_string(header.id) +
+                                " length overruns the file");
+    }
+    SynopsisSectionInfo info;
+    info.id = header.id;
+    info.name = section_name(header.id);
+    info.offset = src.Position();
+    info.length = header.length;
+    const std::string_view payload =
+        bytes.substr(src.Position(), static_cast<size_t>(header.length));
+    XCLUSTER_RETURN_IF_ERROR(src.Skip(static_cast<size_t>(header.length)));
+    uint32_t stored = 0;
+    XCLUSTER_RETURN_IF_ERROR(GetFixed32(&src, &stored));
+    info.crc_ok = crc32c::Unmask(stored) == crc32c::Value(payload);
+    sections->push_back(std::move(info));
+  }
+}
+
 Status EncodeSynopsis(const GraphSynopsis& input, ByteSink* sink) {
   XCLUSTER_TRACE_SPAN("serialize.encode");
   XCLUSTER_SCOPED_TIMER_NS("serialize.encode_ns");

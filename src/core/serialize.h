@@ -1,11 +1,14 @@
 #ifndef XCLUSTER_CORE_SERIALIZE_H_
 #define XCLUSTER_CORE_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/io/bytes.h"
 #include "common/status.h"
+#include "summaries/value_summary.h"
 #include "synopsis/graph.h"
 
 namespace xcluster {
@@ -44,6 +47,33 @@ Status VerifySynopsisBytes(std::string_view bytes, std::string* report);
 
 /// VerifySynopsisBytes over a file's contents.
 Status VerifySynopsisFile(const std::string& path, std::string* report);
+
+/// Encodes one value summary as a tagged record (fixed8 kind + payload) —
+/// the per-node summary encoding of the XCSB node section, reused verbatim
+/// by the XCSF summary pool so both formats round-trip identically.
+void EncodeValueSummary(const ValueSummary& vsumm, ByteSink* sink);
+
+/// Decodes a record written by EncodeValueSummary. kCorruption on any
+/// malformed input.
+Status DecodeValueSummary(ByteSource* src, ValueSummary* vsumm);
+
+/// One section of a serialized synopsis file, as reported by
+/// InspectSynopsisSections (xclusterctl inspect's section table).
+struct SynopsisSectionInfo {
+  uint32_t id = 0;        ///< format-specific section id
+  std::string name;       ///< human-readable section name
+  uint64_t offset = 0;    ///< byte offset of the payload within the file
+  uint64_t length = 0;    ///< payload bytes
+  bool crc_ok = false;    ///< stored CRC matches the payload
+};
+
+/// Walks an XCSB byte image and reports every section (offset, length,
+/// CRC validity) without decoding payloads. Unlike VerifySynopsisBytes, a
+/// bad payload CRC does not stop the walk — the table marks it crc_ok=false
+/// and continues — so a corrupted file still yields a full table. Fails
+/// only when the section *framing* itself is unreadable.
+Status InspectSynopsisSections(std::string_view bytes,
+                               std::vector<SynopsisSectionInfo>* sections);
 
 }  // namespace xcluster
 

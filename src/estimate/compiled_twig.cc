@@ -23,9 +23,9 @@ CompiledTwig CompiledTwig::Compile(const TwigQuery& query,
   std::optional<TwigQuery> storage;
   const TwigQuery* resolved = &query;
   if (query.has_term_predicates() && !query.terms_resolved() &&
-      synopsis.term_dictionary() != nullptr) {
+      synopsis.term_resolver() != nullptr) {
     storage.emplace(query);
-    storage->ResolveTerms(*synopsis.term_dictionary());
+    storage->ResolveTerms(*synopsis.term_resolver());
     resolved = &storage.value();
   }
 

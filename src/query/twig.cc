@@ -34,7 +34,7 @@ void TwigQuery::AddPredicate(QueryVarId var, ValuePredicate pred) {
   vars_[var].predicates.push_back(std::move(pred));
 }
 
-void TwigQuery::ResolveTerms(const TermDictionary& dict) {
+void TwigQuery::ResolveTerms(const TermResolver& dict) {
   has_unknown_terms_ = false;
   terms_resolved_ = true;
   for (QueryVar& var : vars_) {

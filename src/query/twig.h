@@ -53,7 +53,9 @@ class TwigQuery {
 
   /// Resolves ftcontains term strings against `dict`, populating term_ids.
   /// Terms unknown to the dictionary are recorded via `has_unknown_terms`.
-  void ResolveTerms(const TermDictionary& dict);
+  /// The TermResolver overload is the general form (a mapped XCSF synopsis
+  /// resolves terms without ever materializing a TermDictionary).
+  void ResolveTerms(const TermResolver& dict);
 
   /// True if any ftcontains (conjunction) predicate names a term absent
   /// from the dictionary — such a query can never be satisfied. Unknown

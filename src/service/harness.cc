@@ -207,7 +207,7 @@ std::string ServiceHarness::ExecuteLine(const std::string& line, bool* quit,
     }
     const StoredSynopsis& snapshot = *loaded.value();
     out << "ok load " << name << " gen=" << snapshot.generation()
-        << " clusters=" << snapshot.synopsis().NodeCount() << "\n";
+        << " clusters=" << snapshot.num_clusters() << "\n";
     return out.str();
   }
   if (command == "drop") {
@@ -230,8 +230,8 @@ std::string ServiceHarness::ExecuteLine(const std::string& line, bool* quit,
       auto snapshot = service_->store().Get(name);
       if (snapshot == nullptr) continue;  // dropped between List and Get
       out << "synopsis " << name << " gen=" << snapshot->generation()
-          << " clusters=" << snapshot->synopsis().NodeCount()
-          << " bytes=" << snapshot->xcluster().SizeBytes();
+          << " clusters=" << snapshot->num_clusters()
+          << " bytes=" << snapshot->size_bytes();
       // Provenance/staleness metadata (appended so existing prefix-match
       // consumers keep working; routers aggregate this per replica).
       if (!snapshot->source().empty()) {

@@ -139,6 +139,9 @@ EstimationService::EstimationService(ServiceOptions options)
       plan_cache_(PlanCache::Options{options.plan_cache_capacity,
                                      PlanCache::Options().shards}),
       flight_(options.flight_recorder_capacity) {
+  if (!options_.xcsf_spool_dir.empty()) {
+    store_.SetSpoolDir(options_.xcsf_spool_dir);
+  }
   for (size_t i = 0; i < kNumLanes; ++i) {
     lane_latency_[i] = telemetry::MetricsRegistry::Global().GetHistogram(
         std::string("service.lane.") + LaneName(static_cast<Lane>(i)) +

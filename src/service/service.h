@@ -47,6 +47,11 @@ struct ServiceOptions {
 
   /// Destination for slow-query JSON lines (appended; empty = disabled).
   std::string slow_query_log_path;
+
+  /// Directory where XCSF payloads replicated over the wire are persisted
+  /// and mmapped (SynopsisStore::SetSpoolDir); empty keeps wire XCSF
+  /// installs in memory only.
+  std::string xcsf_spool_dir;
 };
 
 /// Per-batch request options.

@@ -5,25 +5,60 @@
 #include <mutex>
 #include <utility>
 
+#include "common/io/file_io.h"
 #include "common/telemetry/telemetry.h"
 #include "core/serialize.h"
+#include "storage/xcsf_format.h"
 
 namespace xcluster {
+
+namespace {
+
+/// Spool file name for a catalog entry: the synopsis name with anything
+/// path-hostile flattened to '_', plus the format suffix.
+std::string SpoolFileName(const std::string& name) {
+  std::string file = name;
+  for (char& c : file) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    if (!safe) c = '_';
+  }
+  return file + ".xcsf";
+}
+
+}  // namespace
 
 StoredSynopsis::StoredSynopsis(std::string name, XCluster synopsis,
                                uint64_t generation, EstimateOptions options,
                                std::string source)
     : name_(std::move(name)),
-      xcluster_(std::move(synopsis)),
+      xcluster_(std::make_unique<XCluster>(std::move(synopsis))),
       generation_(generation),
       source_(std::move(source)),
       installed_ns_(telemetry::MonotonicNowNs()) {
   // Constructed after xcluster_ has reached its final address: the
   // estimators and the flat compilation all hold references into it.
   estimator_ =
-      std::make_unique<XClusterEstimator>(xcluster_.synopsis(), options);
-  flat_ = std::make_unique<FlatSynopsis>(xcluster_.synopsis());
-  flat_estimator_ = std::make_unique<FlatEstimator>(*flat_, options);
+      std::make_unique<XClusterEstimator>(xcluster_->synopsis(), options);
+  flat_ = std::make_unique<FlatSynopsis>(xcluster_->synopsis());
+  flat_ptr_ = flat_.get();
+  flat_estimator_ = std::make_unique<FlatEstimator>(*flat_ptr_, options);
+}
+
+StoredSynopsis::StoredSynopsis(std::string name, storage::XcsfMmapView view,
+                               uint64_t generation, EstimateOptions options,
+                               std::string source)
+    : name_(std::move(name)),
+      view_(std::move(view)),
+      generation_(generation),
+      source_(std::move(source)),
+      installed_ns_(telemetry::MonotonicNowNs()) {
+  // No graph, no compile: the view's FlatSynopsis serves directly. Its
+  // address is stable across the view_ move above (held by unique_ptr
+  // inside the view).
+  flat_ptr_ = &view_->flat();
+  flat_estimator_ = std::make_unique<FlatEstimator>(*flat_ptr_, options);
 }
 
 std::shared_ptr<const StoredSynopsis> StoredSynopsis::Make(
@@ -32,6 +67,19 @@ std::shared_ptr<const StoredSynopsis> StoredSynopsis::Make(
   return std::shared_ptr<const StoredSynopsis>(
       new StoredSynopsis(std::move(name), std::move(synopsis), generation,
                          options, std::move(source)));
+}
+
+std::shared_ptr<const StoredSynopsis> StoredSynopsis::MakeMapped(
+    std::string name, storage::XcsfMmapView view, uint64_t generation,
+    EstimateOptions options, std::string source) {
+  return std::shared_ptr<const StoredSynopsis>(
+      new StoredSynopsis(std::move(name), std::move(view), generation,
+                         options, std::move(source)));
+}
+
+size_t StoredSynopsis::size_bytes() const {
+  if (mapped()) return view_->image_bytes();
+  return xcluster_->SizeBytes();
 }
 
 SynopsisStore::SynopsisStore(size_t num_shards,
@@ -47,26 +95,24 @@ SynopsisStore::Shard& SynopsisStore::ShardFor(const std::string& name) const {
   return *shards_[std::hash<std::string>()(name) % shards_.size()];
 }
 
-std::shared_ptr<const StoredSynopsis> SynopsisStore::Install(
-    const std::string& name, XCluster synopsis, uint64_t generation,
-    std::string source) {
-  const bool pinned = generation != 0;
-  if (!pinned) {
-    generation = next_generation_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    // Pinned (replicated) generation: keep the local counter strictly
-    // above it so a later auto-assigned install never reuses or
-    // undercuts a fleet-assigned number.
-    uint64_t next = next_generation_.load(std::memory_order_relaxed);
-    while (next <= generation &&
-           !next_generation_.compare_exchange_weak(
-               next, generation + 1, std::memory_order_relaxed)) {
-    }
+uint64_t SynopsisStore::AssignGeneration(uint64_t generation) {
+  if (generation == 0) {
+    return next_generation_.fetch_add(1, std::memory_order_relaxed);
   }
-  // Build the snapshot (estimator construction included) before touching
-  // the shard, so the lock covers only the pointer swap.
-  auto snapshot = StoredSynopsis::Make(name, std::move(synopsis), generation,
-                                       estimator_options_, std::move(source));
+  // Pinned (replicated) generation: keep the local counter strictly
+  // above it so a later auto-assigned install never reuses or
+  // undercuts a fleet-assigned number.
+  uint64_t next = next_generation_.load(std::memory_order_relaxed);
+  while (next <= generation &&
+         !next_generation_.compare_exchange_weak(
+             next, generation + 1, std::memory_order_relaxed)) {
+  }
+  return generation;
+}
+
+std::shared_ptr<const StoredSynopsis> SynopsisStore::Publish(
+    const std::string& name, std::shared_ptr<const StoredSynopsis> snapshot,
+    bool pinned) {
   Shard& shard = ShardFor(name);
   std::shared_ptr<const StoredSynopsis> replaced;  // destroyed outside lock
   {
@@ -79,7 +125,7 @@ std::shared_ptr<const StoredSynopsis> SynopsisStore::Install(
         // newer one would leave the fleet serving different snapshots
         // while stats claim lockstep. The generation decides, not arrival
         // order.
-        if (pinned && entry->generation() >= generation) {
+        if (pinned && entry->generation() >= snapshot->generation()) {
           XCLUSTER_COUNTER_INC("service.store.stale_installs");
           return nullptr;
         }
@@ -95,9 +141,36 @@ std::shared_ptr<const StoredSynopsis> SynopsisStore::Install(
   return snapshot;
 }
 
+std::shared_ptr<const StoredSynopsis> SynopsisStore::Install(
+    const std::string& name, XCluster synopsis, uint64_t generation,
+    std::string source) {
+  const bool pinned = generation != 0;
+  generation = AssignGeneration(generation);
+  // Build the snapshot (estimator construction included) before touching
+  // the shard, so the lock covers only the pointer swap.
+  auto snapshot = StoredSynopsis::Make(name, std::move(synopsis), generation,
+                                       estimator_options_, std::move(source));
+  return Publish(name, std::move(snapshot), pinned);
+}
+
 Result<std::shared_ptr<const StoredSynopsis>> SynopsisStore::LoadFile(
     const std::string& name, const std::string& path,
     const std::string& source) {
+  if (storage::SniffXcsfFile(path)) {
+    // XCSF image: validate + mmap, serve zero-copy. No graph is ever
+    // built; a failed validation leaves any existing snapshot untouched.
+    Result<storage::XcsfMmapView> view = storage::XcsfMmapView::Open(path);
+    if (!view.ok()) {
+      if (source.empty()) return view.status();
+      return Status::WithContext(view.status(),
+                                 "load requested by " + source);
+    }
+    auto snapshot = StoredSynopsis::MakeMapped(
+        name, std::move(view).value(), AssignGeneration(0),
+        estimator_options_, source.empty() ? path : source);
+    XCLUSTER_COUNTER_INC("service.store.mmap_loads");
+    return Publish(name, std::move(snapshot), /*pinned=*/false);
+  }
   Result<XCluster> loaded = XCluster::Load(path);
   if (!loaded.ok()) {
     if (source.empty()) return loaded.status();
@@ -110,15 +183,51 @@ Result<std::shared_ptr<const StoredSynopsis>> SynopsisStore::LoadFile(
                  source.empty() ? path : source);
 }
 
+Result<std::shared_ptr<const StoredSynopsis>>
+SynopsisStore::InstallXcsfFromWire(const std::string& name,
+                                   std::string_view bytes,
+                                   const std::string& source,
+                                   uint64_t generation) {
+  Result<storage::XcsfMmapView> view = [&]() -> Result<storage::XcsfMmapView> {
+    if (spool_dir_.empty()) {
+      // No spool: adopt the payload buffer in place (one copy off the
+      // wire, no file).
+      return storage::XcsfMmapView::Adopt(std::string(bytes));
+    }
+    // Spool + mmap: the replica persists the image (atomic temp+rename)
+    // and serves from the mapping, so a restart cold-starts from disk.
+    const std::string path = spool_dir_ + "/" + SpoolFileName(name);
+    XC_RETURN_IF_ERROR(WriteFileAtomic(path, bytes));
+    XCLUSTER_COUNTER_INC("service.store.spooled_installs");
+    return storage::XcsfMmapView::Open(path);
+  }();
+  if (!view.ok()) {
+    return Status::WithContext(view.status(), "install from " + source);
+  }
+  const bool pinned = generation != 0;
+  auto snapshot = StoredSynopsis::MakeMapped(
+      name, std::move(view).value(), AssignGeneration(generation),
+      estimator_options_, "wire:" + source);
+  return Publish(name, std::move(snapshot), pinned);
+}
+
 Result<std::shared_ptr<const StoredSynopsis>> SynopsisStore::InstallFromWire(
     const std::string& name, std::string_view bytes,
     const std::string& source, uint64_t generation) {
-  Result<GraphSynopsis> decoded = DecodeSynopsisBytes(bytes);
-  if (!decoded.ok()) {
-    return Status::WithContext(decoded.status(), "install from " + source);
+  std::shared_ptr<const StoredSynopsis> installed;
+  if (storage::LooksLikeXcsf(bytes)) {
+    Result<std::shared_ptr<const StoredSynopsis>> result =
+        InstallXcsfFromWire(name, bytes, source, generation);
+    if (!result.ok()) return result.status();
+    installed = std::move(result).value();
+  } else {
+    Result<GraphSynopsis> decoded = DecodeSynopsisBytes(bytes);
+    if (!decoded.ok()) {
+      return Status::WithContext(decoded.status(), "install from " + source);
+    }
+    installed = Install(name, XCluster(std::move(decoded).value()),
+                        generation, "wire:" + source);
   }
-  std::shared_ptr<const StoredSynopsis> installed = Install(
-      name, XCluster(std::move(decoded).value()), generation, "wire:" + source);
   if (installed == nullptr) {
     const std::shared_ptr<const StoredSynopsis> current = Get(name);
     return Status::InvalidArgument(

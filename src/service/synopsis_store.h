@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -14,18 +15,32 @@
 #include "estimate/estimator.h"
 #include "estimate/flat_estimator.h"
 #include "estimate/flat_synopsis.h"
+#include "storage/xcsf_mmap_view.h"
 
 namespace xcluster {
 
-/// One immutable synopsis snapshot served by a SynopsisStore: the loaded
-/// XCluster, its read-optimized FlatSynopsis compilation, and long-lived
-/// estimators over both (so the descendant reach caches warm across
-/// requests instead of being rebuilt per query). The flat compilation
-/// happens once here, at install time — never on the request path.
+/// One immutable synopsis snapshot served by a SynopsisStore, in one of
+/// two backings behind the same serving surface:
+///
+///  * graph-backed — a loaded/decoded XCluster plus its FlatSynopsis
+///    compilation (compiled once here, at install time);
+///  * mapped — a validated XCSF image (storage::XcsfMmapView) whose
+///    columns are served straight from the mapping; no XCluster, no
+///    graph, no compile step.
+///
+/// The serving hot path only ever touches flat()/flat_estimator(), which
+/// both backings provide — estimates from a mapped snapshot are
+/// bit-identical to the compiled form because the image *is* the compiled
+/// form's bytes. The graph-only accessors (xcluster(), synopsis(),
+/// estimator()) must not be called on a mapped snapshot; check mapped()
+/// first. Format-agnostic introspection goes through num_clusters() /
+/// size_bytes().
 ///
 /// Snapshots are shared out as `shared_ptr<const StoredSynopsis>`; a
 /// snapshot stays alive for as long as any in-flight request holds it,
-/// even after the store has swapped in a replacement or dropped the name.
+/// even after the store has swapped in a replacement or dropped the name —
+/// for a mapped snapshot, the underlying file mapping is released when the
+/// last holder lets go (hot-swap unmaps via shared_ptr release).
 class StoredSynopsis {
  public:
   /// Wraps `synopsis`; heap-allocates so the estimators' references into
@@ -34,21 +49,39 @@ class StoredSynopsis {
       std::string name, XCluster synopsis, uint64_t generation,
       EstimateOptions options = EstimateOptions(), std::string source = "");
 
-  const std::string& name() const { return name_; }
-  const XCluster& xcluster() const { return xcluster_; }
-  const GraphSynopsis& synopsis() const { return xcluster_.synopsis(); }
+  /// Wraps an already validated XCSF view (zero-copy install path).
+  static std::shared_ptr<const StoredSynopsis> MakeMapped(
+      std::string name, storage::XcsfMmapView view, uint64_t generation,
+      EstimateOptions options = EstimateOptions(), std::string source = "");
 
-  /// The read-optimized compilation of synopsis(), pinned for the
-  /// snapshot's lifetime.
-  const FlatSynopsis& flat() const { return *flat_; }
+  const std::string& name() const { return name_; }
+
+  /// True when this snapshot serves from a mapped XCSF image and has no
+  /// synopsis graph (the graph-only accessors below are unusable).
+  bool mapped() const { return xcluster_ == nullptr; }
+
+  /// Graph-backed snapshots only.
+  const XCluster& xcluster() const { return *xcluster_; }
+  const GraphSynopsis& synopsis() const { return xcluster_->synopsis(); }
+
+  /// The read-optimized flat form — compiled in RAM or mapped from disk —
+  /// pinned for the snapshot's lifetime.
+  const FlatSynopsis& flat() const { return *flat_ptr_; }
 
   /// The serving hot path: estimates CompiledTwig plans over flat().
   /// Thread-safe; shared across all requests that hold this snapshot.
   const FlatEstimator& flat_estimator() const { return *flat_estimator_; }
 
   /// Legacy tree-walking estimator (reference path; the flat estimator is
-  /// bit-identical to it). Thread-safe.
+  /// bit-identical to it). Thread-safe. Graph-backed snapshots only.
   const XClusterEstimator& estimator() const { return *estimator_; }
+
+  /// Cluster count, whichever backing (harness/stats surface).
+  uint32_t num_clusters() const { return flat_ptr_->num_nodes(); }
+
+  /// Resident size, whichever backing: the synopsis size model for
+  /// graph-backed snapshots, the image byte count for mapped ones.
+  size_t size_bytes() const;
 
   /// Monotonically increasing across the owning store; a reload of the
   /// same name yields a snapshot with a larger generation. Replication
@@ -69,12 +102,17 @@ class StoredSynopsis {
  private:
   StoredSynopsis(std::string name, XCluster synopsis, uint64_t generation,
                  EstimateOptions options, std::string source);
+  StoredSynopsis(std::string name, storage::XcsfMmapView view,
+                 uint64_t generation, EstimateOptions options,
+                 std::string source);
 
   std::string name_;
-  XCluster xcluster_;
-  std::unique_ptr<XClusterEstimator> estimator_;   // references xcluster_
-  std::unique_ptr<FlatSynopsis> flat_;             // references xcluster_
-  std::unique_ptr<FlatEstimator> flat_estimator_;  // references *flat_
+  std::unique_ptr<XCluster> xcluster_;             // null when mapped
+  std::optional<storage::XcsfMmapView> view_;      // engaged when mapped
+  std::unique_ptr<XClusterEstimator> estimator_;   // references *xcluster_
+  std::unique_ptr<FlatSynopsis> flat_;             // compiled form only
+  const FlatSynopsis* flat_ptr_ = nullptr;         // -> flat_ or view_'s
+  std::unique_ptr<FlatEstimator> flat_estimator_;  // references *flat_ptr_
   uint64_t generation_ = 0;
   std::string source_;
   uint64_t installed_ns_ = 0;
@@ -100,6 +138,14 @@ class SynopsisStore {
   SynopsisStore(const SynopsisStore&) = delete;
   SynopsisStore& operator=(const SynopsisStore&) = delete;
 
+  /// Directory where XCSF payloads received over the wire are persisted
+  /// (atomically) and then mmapped, so a replica restarted after a push
+  /// cold-starts from the spooled image. Empty (the default) keeps wire
+  /// XCSF installs fully in memory (the payload buffer is adopted).
+  /// Configure before serving; not synchronized against installs.
+  void SetSpoolDir(std::string dir) { spool_dir_ = std::move(dir); }
+  const std::string& spool_dir() const { return spool_dir_; }
+
   /// Publishes `synopsis` under `name`, replacing any previous snapshot
   /// (which stays alive until its last in-flight reader drops it).
   /// Returns the installed snapshot.
@@ -118,23 +164,27 @@ class SynopsisStore {
                                                 uint64_t generation = 0,
                                                 std::string source = "");
 
-  /// Loads a `.xcs` file (full checksum verification happens in
-  /// XCluster::Load) and installs it under `name`. The load runs outside
-  /// all locks; a failed load leaves any existing snapshot untouched.
-  /// A non-empty `source` is prepended to failure messages (and recorded
-  /// as the snapshot's provenance) so a load requested over the wire is
-  /// attributable to the requesting peer, not just the server-side path.
+  /// Loads a synopsis file and installs it under `name`, auto-detecting
+  /// the format from the magic: `.xcsf` images are mmapped zero-copy
+  /// (validated, never parsed), anything else goes through the `.xcs`
+  /// decode path (full checksum verification in XCluster::Load). The
+  /// load/map runs outside all locks; a failed load leaves any existing
+  /// snapshot untouched. A non-empty `source` is prepended to failure
+  /// messages (and recorded as the snapshot's provenance) so a load
+  /// requested over the wire is attributable to the requesting peer, not
+  /// just the server-side path.
   Result<std::shared_ptr<const StoredSynopsis>> LoadFile(
       const std::string& name, const std::string& path,
       const std::string& source = "");
 
-  /// Decodes an XCSB-encoded snapshot received over the wire (every
-  /// section CRC verified by the decoder) and installs it under `name`
-  /// with the given pinned generation (0 = auto). A pinned generation that
-  /// does not exceed the installed snapshot's is rejected as a stale
-  /// install (InvalidArgument naming both generations). Failures carry
-  /// `source` (the pushing peer's address) so replication errors are
-  /// attributable.
+  /// Installs a snapshot received over the wire under `name` with the
+  /// given pinned generation (0 = auto), sniffing the payload format:
+  /// XCSF images are spooled + mmapped (or adopted in place when no spool
+  /// dir is set), XCSB payloads are decoded (every section CRC verified).
+  /// A pinned generation that does not exceed the installed snapshot's is
+  /// rejected as a stale install (InvalidArgument naming both
+  /// generations). Failures carry `source` (the pushing peer's address)
+  /// so replication errors are attributable.
   Result<std::shared_ptr<const StoredSynopsis>> InstallFromWire(
       const std::string& name, std::string_view bytes,
       const std::string& source, uint64_t generation = 0);
@@ -160,9 +210,29 @@ class SynopsisStore {
 
   Shard& ShardFor(const std::string& name) const;
 
+  /// Resolves the generation for an install: 0 draws the next local
+  /// number; a nonzero pinned value is kept and the local counter is
+  /// bumped strictly past it.
+  uint64_t AssignGeneration(uint64_t generation);
+
+  /// Swaps `snapshot` into its shard. For pinned installs an existing
+  /// entry with a generation >= the snapshot's wins instead (returns
+  /// nullptr, catalog untouched). The replaced snapshot is released
+  /// outside the shard lock.
+  std::shared_ptr<const StoredSynopsis> Publish(
+      const std::string& name, std::shared_ptr<const StoredSynopsis> snapshot,
+      bool pinned);
+
+  /// Builds the mapped snapshot for an XCSF wire payload: spool + mmap
+  /// when a spool dir is configured, adopt-in-place otherwise.
+  Result<std::shared_ptr<const StoredSynopsis>> InstallXcsfFromWire(
+      const std::string& name, std::string_view bytes,
+      const std::string& source, uint64_t generation);
+
   std::vector<std::unique_ptr<Shard>> shards_;
   EstimateOptions estimator_options_;
   std::atomic<uint64_t> next_generation_{1};
+  std::string spool_dir_;
 };
 
 }  // namespace xcluster

@@ -1,0 +1,220 @@
+#include "storage/xcsf_writer.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/io/bytes.h"
+#include "common/io/crc32c.h"
+#include "common/io/file_io.h"
+#include "common/telemetry/telemetry.h"
+#include "core/serialize.h"
+#include "storage/xcsf_format.h"
+
+namespace xcluster {
+namespace storage {
+
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+std::string_view AsBytes(std::span<const T> span) {
+  return std::string_view(reinterpret_cast<const char*>(span.data()),
+                          span.size_bytes());
+}
+
+/// String table: u32 count | u32 zero | u32 offsets[count+1] | bytes.
+/// Offsets are relative to the blob base (right after the offset array);
+/// offsets[0] = 0, offsets[count] = blob size.
+template <typename GetString>
+std::string EncodeStringTable(size_t count, GetString&& get) {
+  std::string out;
+  AppendU32(&out, static_cast<uint32_t>(count));
+  AppendU32(&out, 0);
+  uint32_t offset = 0;
+  for (size_t i = 0; i <= count; ++i) {
+    AppendU32(&out, offset);
+    if (i < count) offset += static_cast<uint32_t>(get(i).size());
+  }
+  for (size_t i = 0; i < count; ++i) out.append(get(i));
+  return out;
+}
+
+/// Blob table: u32 count | u32 zero | u64 offsets[count+1] | blobs.
+std::string EncodeSummaryPool(const FlatSynopsis& flat) {
+  const uint32_t count = flat.num_summaries();
+  std::string blobs;
+  std::vector<uint64_t> offsets;
+  offsets.reserve(count + 1);
+  StringSink sink(&blobs);
+  for (uint32_t i = 0; i < count; ++i) {
+    offsets.push_back(blobs.size());
+    EncodeValueSummary(*flat.summary(i), &sink);
+  }
+  offsets.push_back(blobs.size());
+  std::string out;
+  AppendU32(&out, count);
+  AppendU32(&out, 0);
+  for (uint64_t offset : offsets) AppendU64(&out, offset);
+  out.append(blobs);
+  return out;
+}
+
+/// Sort-index section: the pool ids permuted into ascending string order,
+/// so a mapped reader resolves lookups by binary search instead of
+/// hydrating a hash index at load time.
+template <typename GetString>
+std::string EncodeSortIndex(size_t count, GetString&& get) {
+  std::vector<uint32_t> order(count);
+  for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
+  std::sort(order.begin(), order.end(),
+            [&get](uint32_t a, uint32_t b) { return get(a) < get(b); });
+  return std::string(reinterpret_cast<const char*>(order.data()),
+                     order.size() * sizeof(uint32_t));
+}
+
+struct PendingSection {
+  uint32_t id = 0;
+  std::string owned;       ///< used when view is empty
+  std::string_view view;   ///< zero-copy reference into the FlatSynopsis
+  std::string_view payload() const { return view.data() ? view : owned; }
+};
+
+}  // namespace
+
+Status XcsfWriter::Encode(const FlatSynopsis& flat, std::string* out) {
+  XCLUSTER_TRACE_SPAN("storage.xcsf_encode");
+  XCLUSTER_SCOPED_TIMER_NS("storage.xcsf.encode_ns");
+  const FlatSynopsis::Columns& cols = flat.columns();
+  const auto label_at = [&flat](size_t i) {
+    return flat.label_string(static_cast<SymbolId>(i));
+  };
+  const auto term_at = [&flat](size_t i) {
+    return flat.term_string(static_cast<TermId>(i));
+  };
+  const bool has_terms = flat.num_terms() > 0;
+
+  std::vector<PendingSection> sections;
+  auto add_view = [&sections](uint32_t id, std::string_view bytes) {
+    sections.push_back(PendingSection{id, std::string(), bytes});
+  };
+  auto add_owned = [&sections](uint32_t id, std::string bytes) {
+    sections.push_back(
+        PendingSection{id, std::move(bytes), std::string_view()});
+  };
+
+  add_view(kXcsfNodeLabels, AsBytes(cols.labels));
+  add_view(kXcsfNodeTypes, AsBytes(cols.types));
+  add_view(kXcsfNodeCounts, AsBytes(cols.counts));
+  add_view(kXcsfNodeSummaryIndex, AsBytes(cols.vsumm_index));
+  add_view(kXcsfSynOf, AsBytes(cols.syn_of));
+  add_view(kXcsfFlatOf, AsBytes(cols.flat_of));
+  add_view(kXcsfEdgeOffsets, AsBytes(cols.edge_offsets));
+  add_view(kXcsfEdgeTargets, AsBytes(cols.edge_targets));
+  add_view(kXcsfEdgeCounts, AsBytes(cols.edge_counts));
+  add_view(kXcsfSortedEdgeLabels, AsBytes(cols.sorted_edge_labels));
+  add_view(kXcsfSortedEdgeTargets, AsBytes(cols.sorted_edge_targets));
+  add_view(kXcsfSortedEdgeCounts, AsBytes(cols.sorted_edge_counts));
+  add_owned(kXcsfLabelPool, EncodeStringTable(flat.num_labels(), label_at));
+  if (has_terms) {
+    add_owned(kXcsfTermPool, EncodeStringTable(flat.num_terms(), term_at));
+  }
+  add_owned(kXcsfSummaryPool, EncodeSummaryPool(flat));
+  add_owned(kXcsfLabelSortIndex,
+            EncodeSortIndex(flat.num_labels(), label_at));
+  if (has_terms) {
+    add_owned(kXcsfTermSortIndex, EncodeSortIndex(flat.num_terms(), term_at));
+  }
+
+  // Lay out payload offsets: sections in declaration order, each aligned.
+  const size_t table_bytes = sections.size() * kXcsfTableEntryBytes;
+  uint64_t cursor = kXcsfHeaderBytes + table_bytes;
+  std::vector<uint64_t> offsets(sections.size());
+  for (size_t i = 0; i < sections.size(); ++i) {
+    cursor = (cursor + kXcsfSectionAlign - 1) / kXcsfSectionAlign *
+             kXcsfSectionAlign;
+    offsets[i] = cursor;
+    cursor += sections[i].payload().size();
+  }
+  // Trailer sits at the next 8-byte boundary.
+  const uint64_t trailer_offset = (cursor + 7) / 8 * 8;
+  const uint64_t file_size = trailer_offset + kXcsfTrailerBytes;
+
+  std::string table;
+  table.reserve(table_bytes);
+  for (size_t i = 0; i < sections.size(); ++i) {
+    const std::string_view payload = sections[i].payload();
+    AppendU32(&table, sections[i].id);
+    AppendU32(&table, 0);
+    AppendU64(&table, offsets[i]);
+    AppendU64(&table, payload.size());
+    uint32_t crc = 0;
+    {
+      XCLUSTER_SCOPED_TIMER_NS("storage.xcsf.crc_ns");
+      crc = crc32c::Value(payload);
+    }
+    AppendU32(&table, crc32c::Mask(crc));
+    AppendU32(&table, 0);
+  }
+
+  std::string& file = *out;
+  file.clear();
+  file.reserve(static_cast<size_t>(file_size));
+  file.append(kXcsfMagic, sizeof(kXcsfMagic));
+  AppendU32(&file, kXcsfVersion);
+  uint64_t flags = 0;
+  if (has_terms) flags |= kXcsfFlagHasTerms;
+  AppendU64(&file, flags);
+  AppendU64(&file, file_size);
+  AppendU32(&file, kXcsfEndianCheck);
+  AppendU32(&file, static_cast<uint32_t>(sections.size()));
+  AppendU32(&file, flat.num_nodes());
+  AppendU32(&file, cols.root);
+  AppendU64(&file, cols.edge_targets.size());
+  AppendU32(&file, static_cast<uint32_t>(cols.flat_of.size()));
+  AppendU32(&file, 0);  // reserved
+  AppendU32(&file, crc32c::Mask(crc32c::Value(table)));
+  AppendU32(&file, crc32c::Mask(crc32c::Value(file)));  // header CRC [0,60)
+  file.append(table);
+  for (size_t i = 0; i < sections.size(); ++i) {
+    file.resize(static_cast<size_t>(offsets[i]), '\0');  // alignment pad
+    const std::string_view payload = sections[i].payload();
+    file.append(payload.data(), payload.size());
+  }
+  file.resize(static_cast<size_t>(trailer_offset), '\0');
+  uint32_t file_crc = 0;
+  {
+    XCLUSTER_SCOPED_TIMER_NS("storage.xcsf.crc_ns");
+    file_crc = crc32c::Value(file);
+  }
+  AppendU32(&file, crc32c::Mask(file_crc));
+  AppendU32(&file, 0);
+  XCLUSTER_COUNTER_ADD("storage.xcsf.bytes_encoded", file.size());
+  return Status::OK();
+}
+
+Status XcsfWriter::Write(const FlatSynopsis& flat, const std::string& path,
+                         bool sync) {
+  std::string image;
+  XCLUSTER_RETURN_IF_ERROR(Encode(flat, &image));
+  XCLUSTER_RETURN_IF_ERROR(WriteFileAtomic(path, image, sync));
+  XCLUSTER_COUNTER_INC("storage.xcsf.writes");
+  return Status::OK();
+}
+
+Status XcsfWriter::WriteGraph(const GraphSynopsis& graph,
+                              const std::string& path, bool sync) {
+  FlatSynopsis flat(graph);
+  return Write(flat, path, sync);
+}
+
+}  // namespace storage
+}  // namespace xcluster

@@ -16,10 +16,21 @@ using TermId = SymbolId;
 /// the Boolean term vector of Sec. 2 (sorted, unique TermIds).
 using TermSet = std::vector<TermId>;
 
+/// Resolves a term string to its TermId (kInvalidSymbol when unknown).
+/// The seam between query-time term resolution and the dictionary's
+/// backing: a hash-indexed TermDictionary for synopses built in RAM, or a
+/// binary search over a sorted index mapped straight from an XCSF image
+/// (which never hydrates a dictionary at load).
+class TermResolver {
+ public:
+  virtual ~TermResolver() = default;
+  virtual TermId Lookup(std::string_view term) const = 0;
+};
+
 /// Maps terms to dense TermIds. One dictionary is shared by a document's
 /// TEXT values, the reference synopsis, and the query workload so that
 /// ftcontains predicates resolve to the same id space everywhere.
-class TermDictionary {
+class TermDictionary : public TermResolver {
  public:
   TermDictionary() = default;
 
@@ -33,7 +44,9 @@ class TermDictionary {
   TermSet LookupText(std::string_view text, bool* all_known = nullptr) const;
 
   TermId Intern(std::string_view term) { return pool_.Intern(term); }
-  TermId Lookup(std::string_view term) const { return pool_.Lookup(term); }
+  TermId Lookup(std::string_view term) const override {
+    return pool_.Lookup(term);
+  }
   const std::string& Get(TermId id) const { return pool_.Get(id); }
 
   /// Number of distinct terms.

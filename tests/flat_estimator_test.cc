@@ -73,7 +73,8 @@ TEST(FlatSynopsisTest, PreservesNodesEdgesAndArenaOrder) {
   for (FlatNodeId f = 0; f + 1 < flat.num_nodes(); ++f) {
     EXPECT_LT(flat.syn_of(f), flat.syn_of(f + 1));
   }
-  // Counts and value-summary pointers resolve to the arena node's.
+  // Counts match, and value summaries are owned copies of the arena
+  // node's (same type/kind, never a pointer into the source graph).
   for (FlatNodeId f = 0; f < flat.num_nodes(); ++f) {
     const SynNode& node = synopsis.node(flat.syn_of(f));
     EXPECT_EQ(flat.count(f), node.count);
@@ -81,10 +82,35 @@ TEST(FlatSynopsisTest, PreservesNodesEdgesAndArenaOrder) {
     if (node.vsumm.empty()) {
       EXPECT_EQ(flat.vsumm(f), nullptr);
     } else {
-      EXPECT_EQ(flat.vsumm(f), &node.vsumm);
+      ASSERT_NE(flat.vsumm(f), nullptr);
+      EXPECT_NE(flat.vsumm(f), &node.vsumm);
+      EXPECT_EQ(flat.vsumm(f)->type(), node.vsumm.type());
     }
   }
+  EXPECT_FALSE(flat.mapped());
   EXPECT_GT(flat.MemoryBytes(), 0u);
+}
+
+TEST(FlatSynopsisTest, SurvivesSourceGraphDestruction) {
+  // Regression for the old lifetime hazard: value-summary pointers and the
+  // label pool used to reference the source GraphSynopsis. The compiled
+  // form is now self-contained, so estimating after the source graph is
+  // destroyed must work — and stay bit-identical to estimating before.
+  auto synopsis = std::make_unique<GraphSynopsis>(MakeFig7());
+  XClusterEstimator legacy(*synopsis);
+  const TwigQuery twig = MustParse("//A[/B/C[range(0,4)]]//E");
+  const double expected = legacy.Estimate(twig);
+
+  FlatSynopsis flat(*synopsis);
+  const CompiledTwig plan = CompiledTwig::Compile(twig, flat);
+  synopsis.reset();  // the flat view must not reference the graph
+
+  FlatEstimator estimator(flat);
+  EXPECT_EQ(estimator.Estimate(plan), expected);
+  EXPECT_NE(flat.LookupLabel("A"), kInvalidSymbol);
+  size_t begin = 0, end = 0;
+  flat.LabelRun(flat.root(), flat.LookupLabel("A"), &begin, &end);
+  EXPECT_EQ(end - begin, 1u);
 }
 
 TEST(FlatSynopsisTest, LabelRunFindsExactlyTheLabeledChildren)

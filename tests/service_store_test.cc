@@ -8,7 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "estimate/compiled_twig.h"
 #include "query/parser.h"
+#include "storage/xcsf_writer.h"
 
 namespace xcluster {
 namespace {
@@ -156,6 +158,134 @@ TEST(SynopsisStoreTest, ConcurrentHotSwapNeverTearsReaders) {
   writer.join();
   for (std::thread& reader : readers) reader.join();
   EXPECT_GT(reads.load(), 0);
+}
+
+// --- XCSF (mapped) snapshots ---------------------------------------------
+
+/// Estimate through the serving hot path (flat estimator over a compiled
+/// plan) — the only estimation surface mapped snapshots provide.
+double FlatEstimate(const StoredSynopsis& snapshot, const std::string& query) {
+  const CompiledTwig plan =
+      CompiledTwig::Compile(MustParse(query), snapshot.flat());
+  return snapshot.flat_estimator().Estimate(plan);
+}
+
+/// Writes MakeSynopsis(count) as an XCSF image and returns its path.
+std::string WriteXcsf(const std::string& file, double count) {
+  const std::string path = testing::TempDir() + "/" + file;
+  EXPECT_TRUE(storage::XcsfWriter::WriteGraph(MakeSynopsis(count).synopsis(),
+                                              path, /*sync=*/false)
+                  .ok());
+  return path;
+}
+
+TEST(SynopsisStoreTest, LoadFileAutoDetectsXcsf) {
+  SynopsisStore store;
+  const std::string path = WriteXcsf("store_autodetect.xcsf", 7.0);
+  auto loaded = store.LoadFile("movies", path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const auto& snapshot = *loaded.value();
+  EXPECT_TRUE(snapshot.mapped());
+  EXPECT_EQ(snapshot.num_clusters(), 2u);
+  EXPECT_GT(snapshot.size_bytes(), 0u);
+  EXPECT_EQ(snapshot.source(), path);
+  EXPECT_NEAR(FlatEstimate(snapshot, "/A"), 7.0, 1e-9);
+  // The same store also still takes graph installs under other names.
+  auto graph = store.Install("graph", MakeSynopsis(3.0));
+  EXPECT_FALSE(graph->mapped());
+  EXPECT_NEAR(FlatEstimate(*graph, "/A"), 3.0, 1e-9);
+}
+
+TEST(SynopsisStoreTest, HotSwapOfMappedSnapshotBumpsGeneration) {
+  SynopsisStore store;
+  auto first =
+      store.LoadFile("c", WriteXcsf("store_swap_1.xcsf", 5.0));
+  ASSERT_TRUE(first.ok());
+  auto held = store.Get("c");  // in-flight request pins the mapping
+
+  auto second =
+      store.LoadFile("c", WriteXcsf("store_swap_2.xcsf", 9.0));
+  ASSERT_TRUE(second.ok());
+  EXPECT_GT(second.value()->generation(), first.value()->generation());
+  EXPECT_NE(store.Get("c").get(), held.get());
+  // The replaced mapped snapshot still serves until released; the swap
+  // unmaps only when the last holder lets go of the shared_ptr.
+  EXPECT_NEAR(FlatEstimate(*held, "/A"), 5.0, 1e-9);
+  EXPECT_NEAR(FlatEstimate(*store.Get("c"), "/A"), 9.0, 1e-9);
+  store.Remove("c");
+  EXPECT_NEAR(FlatEstimate(*held, "/A"), 5.0, 1e-9);
+}
+
+TEST(SynopsisStoreTest, FailedXcsfLoadLeavesCatalogUntouched) {
+  SynopsisStore store;
+  store.Install("c", MakeSynopsis(4.0));
+  auto before = store.Get("c");
+  // Right magic, garbage body: sniffed as XCSF, rejected by validation.
+  const std::string path = testing::TempDir() + "/store_corrupt.xcsf";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("XCSF garbage that is not a real image", f);
+  std::fclose(f);
+  auto loaded = store.LoadFile("c", path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), Status::Code::kCorruption);
+  EXPECT_EQ(store.Get("c").get(), before.get());
+}
+
+TEST(SynopsisStoreTest, TwoStoresMapTheSameFileConcurrently) {
+  const std::string path = WriteXcsf("store_shared.xcsf", 6.0);
+  SynopsisStore a;
+  SynopsisStore b;
+  ASSERT_TRUE(a.LoadFile("c", path).ok());
+  ASSERT_TRUE(b.LoadFile("c", path).ok());
+  EXPECT_NEAR(FlatEstimate(*a.Get("c"), "/A"), 6.0, 1e-9);
+  EXPECT_NEAR(FlatEstimate(*b.Get("c"), "/A"), 6.0, 1e-9);
+  // Dropping one store's snapshot must not disturb the other's mapping.
+  EXPECT_TRUE(a.Remove("c"));
+  EXPECT_NEAR(FlatEstimate(*b.Get("c"), "/A"), 6.0, 1e-9);
+}
+
+TEST(SynopsisStoreTest, WireXcsfInstallAdoptsBufferAndRespectsGenerations) {
+  std::string image;
+  {
+    GraphSynopsis synopsis = MakeSynopsis(8.0).synopsis();
+    FlatSynopsis flat(synopsis);
+    ASSERT_TRUE(storage::XcsfWriter::Encode(flat, &image).ok());
+  }
+  SynopsisStore store;
+  auto installed = store.InstallFromWire("c", image, "peer-1", 5);
+  ASSERT_TRUE(installed.ok()) << installed.status().ToString();
+  EXPECT_TRUE(installed.value()->mapped());
+  EXPECT_EQ(installed.value()->generation(), 5u);
+  EXPECT_EQ(installed.value()->source(), "wire:peer-1");
+  EXPECT_NEAR(FlatEstimate(*installed.value(), "/A"), 8.0, 1e-9);
+  // A stale pinned push must not roll the replica backwards.
+  auto stale = store.InstallFromWire("c", image, "peer-2", 5);
+  EXPECT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(store.Get("c")->generation(), 5u);
+}
+
+TEST(SynopsisStoreTest, WireXcsfInstallSpoolsToDisk) {
+  std::string image;
+  {
+    GraphSynopsis synopsis = MakeSynopsis(2.0).synopsis();
+    FlatSynopsis flat(synopsis);
+    ASSERT_TRUE(storage::XcsfWriter::Encode(flat, &image).ok());
+  }
+  SynopsisStore store;
+  store.SetSpoolDir(testing::TempDir());
+  auto installed = store.InstallFromWire("c/with:odd chars", image, "peer", 0);
+  ASSERT_TRUE(installed.ok()) << installed.status().ToString();
+  EXPECT_TRUE(installed.value()->mapped());
+  // The spooled image is a complete, loadable XCSF file: a restarted
+  // replica can cold-start straight from it.
+  const std::string spooled =
+      testing::TempDir() + "/c_with_odd_chars.xcsf";
+  SynopsisStore restarted;
+  auto reloaded = restarted.LoadFile("c", spooled);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_NEAR(FlatEstimate(*reloaded.value(), "/A"), 2.0, 1e-9);
 }
 
 }  // namespace

@@ -129,8 +129,14 @@
 #include "net/server.h"
 #include "net/socket.h"
 #include "query/parser.h"
+#include "estimate/compiled_twig.h"
+#include "estimate/flat_estimator.h"
+#include "estimate/flat_synopsis.h"
 #include "service/harness.h"
 #include "service/service.h"
+#include "storage/xcsf_format.h"
+#include "storage/xcsf_mmap_view.h"
+#include "storage/xcsf_writer.h"
 #include "synopsis/reference.h"
 #include "synopsis/stats.h"
 #include "workload/generator.h"
@@ -372,6 +378,23 @@ int Estimate(const Args& args) {
                         static_cast<size_t>(args.GetInt("workers", 0)),
                         args.Has("explain"));
   }
+  if (storage::SniffXcsfFile(path)) {
+    // Mapped image: estimate through the flat path (the only path a
+    // mapped synopsis has — and it is bit-identical to the graph one).
+    Result<storage::XcsfMmapView> view = storage::XcsfMmapView::Open(path);
+    if (!view.ok()) return Fail("load: " + view.status().ToString());
+    if (args.Has("explain")) {
+      return Fail(
+          "explain needs the synopsis graph; run it against the .xcs");
+    }
+    Result<TwigQuery> parsed = ParseTwig(query);
+    if (!parsed.ok()) return Fail("query: " + parsed.status().ToString());
+    const FlatSynopsis& flat = view.value().flat();
+    const CompiledTwig plan = CompiledTwig::Compile(parsed.value(), flat);
+    FlatEstimator estimator(flat);
+    std::printf("%.6g\n", estimator.Estimate(plan));
+    return 0;
+  }
   Result<XCluster> synopsis = XCluster::Load(path);
   if (!synopsis.ok()) return Fail("load: " + synopsis.status().ToString());
   Result<double> estimate = synopsis.value().EstimateSelectivity(query);
@@ -514,6 +537,9 @@ int Serve(const Args& args) {
   if (slow_query_ms > 0 && options.slow_query_log_path.empty()) {
     return Fail("--slow-query-ms requires --slow-query-log <path>");
   }
+  // --xcsf-spool DIR — persist replicated XCSF images there (atomic
+  // write + mmap) so a restarted replica cold-starts from disk.
+  options.xcsf_spool_dir = args.Get("xcsf-spool");
   // --lane-weights I:B — weighted-fair-queueing shares for the interactive
   // and bulk admission lanes (default 8:1).
   const std::string lane_weights = args.Get("lane-weights");
@@ -853,7 +879,8 @@ int Remote(const std::string& action, const Args& args) {
       return Fail("remote load requires --name and --path");
     }
     if (args.Has("replicate")) {
-      // --replicate reads the .xcs here and ships the bytes as a chunked
+      // --replicate reads the snapshot (.xcs or .xcsf) here and ships the
+      // bytes as a chunked
       // kInstall push (v4). Against a router that fans the snapshot out to
       // every healthy replica under one generation; against a single
       // replica it is a plain wire install. Either way the file only has
@@ -862,7 +889,7 @@ int Remote(const std::string& action, const Args& args) {
       if (!bytes.ok()) {
         return Fail("read " + path + ": " + bytes.status().ToString());
       }
-      Status verified = VerifySynopsisBytes(bytes.value(), nullptr);
+      Status verified = storage::VerifySynopsisPayload(bytes.value(), nullptr);
       if (!verified.ok()) {
         return Fail(path + ": " + verified.ToString());
       }
@@ -956,9 +983,67 @@ int Stats(const Args& args) {
   return 0;
 }
 
+/// Compiles a `.xcs` synopsis into an XCSF flat image (`.xcsf`): the
+/// read-optimized form a daemon mmaps and serves zero-copy.
+int Compile(const Args& args) {
+  const std::string in = args.Get("in");
+  const std::string out = args.Get("out");
+  if (in.empty() || out.empty()) {
+    return Fail("compile requires --in f.xcs and --out f.xcsf");
+  }
+  Result<XCluster> loaded = XCluster::Load(in);
+  if (!loaded.ok()) return Fail("load: " + loaded.status().ToString());
+  FlatSynopsis flat(loaded.value().synopsis());
+  Status status = storage::XcsfWriter::Write(flat, out);
+  if (!status.ok()) return Fail(status.ToString());
+  // Re-open through the real mmap path: proves the image round-trips
+  // before anyone serves from it, and reports the on-disk size.
+  Result<storage::XcsfMmapView> view = storage::XcsfMmapView::Open(out);
+  if (!view.ok()) return Fail("reopen: " + view.status().ToString());
+  std::printf("compiled %s -> %s: %u clusters, %zu edges, %zu bytes\n",
+              in.c_str(), out.c_str(), view.value().flat().num_nodes(),
+              view.value().flat().num_edges(), view.value().image_bytes());
+  return 0;
+}
+
+/// The per-section table shown by inspect, for either format.
+void PrintSectionTable(const std::vector<SynopsisSectionInfo>& sections) {
+  std::printf("%-20s %10s %12s  %s\n", "section", "offset", "bytes", "crc");
+  for (const SynopsisSectionInfo& info : sections) {
+    std::printf("%-20s %10llu %12llu  %s\n", info.name.c_str(),
+                static_cast<unsigned long long>(info.offset),
+                static_cast<unsigned long long>(info.length),
+                info.crc_ok ? "ok" : "BAD");
+  }
+}
+
 int Inspect(const Args& args) {
   const std::string path = args.Get("synopsis");
   if (path.empty()) return Fail("inspect requires --synopsis");
+  if (storage::SniffXcsfFile(path)) {
+    // XCSF image: everything comes from the header + section table —
+    // tolerant of payload corruption (bad sections print "BAD").
+    Result<std::string> bytes = ReadFileToString(path);
+    if (!bytes.ok()) return Fail(bytes.status().ToString());
+    storage::XcsfHeader header;
+    Status status = storage::ParseXcsfHeader(bytes.value(),
+                                             bytes.value().size(), &header);
+    if (!status.ok()) return Fail(path + ": " + status.ToString());
+    std::printf("format:     xcsf v%u (flat mmap image)\n", header.version);
+    std::printf("clusters:   %u\n", header.node_count);
+    std::printf("edges:      %llu\n",
+                static_cast<unsigned long long>(header.edge_count));
+    std::printf("terms:      %s\n",
+                (header.flags & storage::kXcsfFlagHasTerms) != 0 ? "yes"
+                                                                 : "no");
+    std::printf("image:      %zu bytes (%u sections)\n",
+                bytes.value().size(), header.section_count);
+    std::vector<SynopsisSectionInfo> sections;
+    status = storage::InspectXcsfSections(bytes.value(), &sections);
+    if (!status.ok()) return Fail(path + ": " + status.ToString());
+    PrintSectionTable(sections);
+    return 0;
+  }
   Result<XCluster> loaded = XCluster::Load(path);
   if (!loaded.ok()) return Fail("load: " + loaded.status().ToString());
   const GraphSynopsis& synopsis = loaded.value().synopsis();
@@ -969,6 +1054,14 @@ int Inspect(const Args& args) {
               synopsis.ValueBytes(), synopsis.ValueNodeCount());
   auto dict = synopsis.term_dictionary();
   std::printf("terms:      %zu\n", dict ? dict->size() : 0);
+  {
+    Result<std::string> bytes = ReadFileToString(path);
+    std::vector<SynopsisSectionInfo> sections;
+    if (bytes.ok() &&
+        InspectSynopsisSections(bytes.value(), &sections).ok()) {
+      PrintSectionTable(sections);
+    }
+  }
   if (args.Has("detail")) {
     std::printf("%s", ComputeStats(synopsis).ToString().c_str());
   }
@@ -1051,8 +1144,10 @@ int Evaluate(const Args& args) {
 int Verify(const Args& args) {
   const std::string path = args.Get("synopsis");
   if (path.empty()) return Fail("verify requires --synopsis");
+  Result<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) return Fail(bytes.status().ToString());
   std::string report;
-  Status status = VerifySynopsisFile(path, &report);
+  Status status = storage::VerifySynopsisPayload(bytes.value(), &report);
   if (!args.Has("quiet") && !report.empty()) {
     std::printf("%s", report.c_str());
   }
@@ -1072,9 +1167,12 @@ int Usage() {
       "  build    --in f.xml --out f.xcs [--bstr KB] [--bval KB]\n"
       "           [--paths f.paths] [--numeric hist|wavelet|sample]\n"
       "           [--verbose]\n"
+      "  compile  --in f.xcs --out f.xcsf   (flat mmap image: zero-copy,\n"
+      "           O(1) cold-start serving; see docs/FORMAT.md)\n"
       "  estimate --synopsis f.xcs --query \"//a[range(1,9)]/b\" [--explain]\n"
       "           (or --queries f.txt [--workers N] for a shared-load batch)\n"
-      "  serve    --stdin [--workers N] [--queue N] [--preload name=f.xcs]\n"
+      "  serve    --stdin [--workers N] [--queue N]\n"
+      "           [--preload name=f.xcs|f.xcsf] [--xcsf-spool DIR]\n"
       "           [--reach-cache-capacity N] [--plan-cache-capacity N]\n"
       "           [--quota name=rate:burst,...] [--lane-weights I:B]\n"
       "           [--trace-sample R] [--trace-ring N] [--flight-ring N]\n"
@@ -1092,18 +1190,18 @@ int Usage() {
       "  remote   batch    --connect host:port --name n --queries f.txt\n"
       "           [--deadline-us N] [--explain] [--trace [hexid]]\n"
       "           [--priority interactive|bulk]\n"
-      "  remote   load     --connect host:port --name n --path f.xcs\n"
+      "  remote   load     --connect host:port --name n --path f.xcs|f.xcsf\n"
       "           [--replicate [--generation N]]  (push bytes over the\n"
       "           wire; via a router, fan out to every healthy replica)\n"
       "  remote   stats    --connect host:port [--prom|--json]\n"
       "  remote   flight   --connect host:port [--limit N]\n"
       "  remote flags: [--timeout-ms N] [--connect-timeout-ms N]\n"
       "           [--retries N]\n"
-      "  inspect  --synopsis f.xcs [--detail] [--dump]\n"
+      "  inspect  --synopsis f.xcs|f.xcsf [--detail] [--dump]\n"
       "  workload --dataset imdb|xmark [--scale S] [--seed N]\n"
       "           [--queries N] [--negative] --out f.tsv\n"
       "  evaluate --synopsis f.xcs --workload f.tsv\n"
-      "  verify   --synopsis f.xcs [--quiet]\n"
+      "  verify   --synopsis f.xcs|f.xcsf [--quiet]\n"
       "  stats    [--in metrics.json] [--format text|json|prom]\n"
       "global flags (any command):\n"
       "  --metrics-json f.json   export a metrics snapshot on exit\n"
@@ -1116,6 +1214,7 @@ int Dispatch(const std::string& command, const std::string& action,
              const Args& args) {
   if (command == "generate") return Generate(args);
   if (command == "build") return Build(args);
+  if (command == "compile") return Compile(args);
   if (command == "estimate") return Estimate(args);
   if (command == "inspect") return Inspect(args);
   if (command == "workload") return MakeWorkload(args);
